@@ -1,0 +1,906 @@
+//! The [`Asm`] program builder.
+
+use std::collections::BTreeMap;
+
+use safedm_isa::{encode, AluKind, BranchKind, CsrKind, Inst, LoadKind, Reg, StoreKind};
+
+use crate::{AsmError, Program};
+
+/// A handle to a position in the program, usable before it is bound.
+///
+/// Created with [`Asm::new_label`], bound with [`Asm::bind`] (in text) or by
+/// the data-emitting methods (in data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone)]
+enum LabelPos {
+    Text(u64),
+    Data(u64),
+}
+
+#[derive(Debug, Clone)]
+struct LabelInfo {
+    name: String,
+    pos: Option<LabelPos>,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Inst),
+    Raw(u32),
+    Branch { kind: BranchKind, rs1: Reg, rs2: Reg, target: Label },
+    Jal { rd: Reg, target: Label },
+    La { rd: Reg, target: Label },
+}
+
+impl Item {
+    fn size(&self) -> u64 {
+        match self {
+            Item::La { .. } => 8,
+            _ => 4,
+        }
+    }
+}
+
+/// A programmatic RV64IM assembler.
+///
+/// Instructions are appended with one method per mnemonic; control flow uses
+/// [`Label`]s which may be referenced before they are bound. [`Asm::link`]
+/// resolves labels, lays out text and data, and produces a [`Program`].
+///
+/// # Examples
+///
+/// A count-down loop:
+///
+/// ```
+/// use safedm_asm::Asm;
+/// use safedm_isa::Reg;
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::T0, 10);
+/// let top = a.new_label("top");
+/// a.bind(top)?;
+/// a.addi(Reg::T0, Reg::T0, -1);
+/// a.bnez(Reg::T0, top);
+/// a.ebreak();
+/// let prog = a.link(0x8000_0000)?;
+/// assert!(prog.inst_count() >= 4);
+/// # Ok::<(), safedm_asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    text_off: u64,
+    labels: Vec<LabelInfo>,
+    data: Vec<u8>,
+    data_align: u64,
+}
+
+impl Asm {
+    /// Creates an empty program builder.
+    #[must_use]
+    pub fn new() -> Asm {
+        Asm { items: Vec::new(), text_off: 0, labels: Vec::new(), data: Vec::new(), data_align: 8 }
+    }
+
+    /// Creates a new, unbound label with a debug `name`.
+    ///
+    /// Names are used in error messages and exported as symbols; they do not
+    /// need to be unique (labels are identified by the returned handle).
+    pub fn new_label(&mut self, name: &str) -> Label {
+        self.labels.push(LabelInfo { name: name.to_owned(), pos: None });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current text position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateBind`] if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let info = &mut self.labels[label.0];
+        if info.pos.is_some() {
+            return Err(AsmError::DuplicateBind { name: info.name.clone() });
+        }
+        info.pos = Some(LabelPos::Text(self.text_off));
+        Ok(())
+    }
+
+    /// Creates and immediately binds a label at the current text position.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the fresh label cannot already be bound.
+    pub fn here(&mut self, name: &str) -> Label {
+        let l = self.new_label(name);
+        self.bind(l).expect("fresh label cannot be bound");
+        l
+    }
+
+    /// Current text offset in bytes (the address of the next instruction,
+    /// relative to the link base).
+    #[must_use]
+    pub fn text_offset(&self) -> u64 {
+        self.text_off
+    }
+
+    fn push(&mut self, item: Item) -> &mut Asm {
+        self.text_off += item.size();
+        self.items.push(item);
+        self
+    }
+
+    /// Appends an already-constructed instruction.
+    pub fn inst(&mut self, i: Inst) -> &mut Asm {
+        self.push(Item::Fixed(i))
+    }
+
+    /// Appends a raw 32-bit word into the text section (e.g. to plant an
+    /// illegal encoding for trap testing).
+    pub fn word(&mut self, raw: u32) -> &mut Asm {
+        self.push(Item::Raw(raw))
+    }
+
+    // ---- data section -----------------------------------------------------
+
+    fn data_label(&mut self, name: &str) -> Label {
+        // align before binding so the label points at the payload
+        while !(self.data.len() as u64).is_multiple_of(self.data_align) {
+            self.data.push(0);
+        }
+        self.labels.push(LabelInfo {
+            name: name.to_owned(),
+            pos: Some(LabelPos::Data(self.data.len() as u64)),
+        });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Sets the alignment applied before each subsequent data object.
+    pub fn data_alignment(&mut self, align: u64) -> &mut Asm {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.data_align = align;
+        self
+    }
+
+    /// Emits raw bytes into the data section, returning their label.
+    pub fn d_bytes(&mut self, name: &str, bytes: &[u8]) -> Label {
+        let l = self.data_label(name);
+        self.data.extend_from_slice(bytes);
+        l
+    }
+
+    /// Emits little-endian 32-bit words into the data section.
+    pub fn d_words(&mut self, name: &str, words: &[u32]) -> Label {
+        let l = self.data_label(name);
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        l
+    }
+
+    /// Emits little-endian 64-bit doublewords into the data section.
+    pub fn d_dwords(&mut self, name: &str, dwords: &[u64]) -> Label {
+        let l = self.data_label(name);
+        for d in dwords {
+            self.data.extend_from_slice(&d.to_le_bytes());
+        }
+        l
+    }
+
+    /// Reserves `len` zeroed bytes in the data section.
+    pub fn d_zero(&mut self, name: &str, len: u64) -> Label {
+        let l = self.data_label(name);
+        self.data.extend(std::iter::repeat_n(0u8, len as usize));
+        l
+    }
+
+    // ---- register-register ops ---------------------------------------------
+
+    fn op(&mut self, kind: AluKind, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.inst(Inst::Op { kind, rd, rs1, rs2 })
+    }
+
+    fn op_imm(&mut self, kind: AluKind, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.inst(Inst::OpImm { kind, rd, rs1, imm })
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Add, rd, rs1, rs2)
+    }
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Sub, rd, rs1, rs2)
+    }
+    /// `sll rd, rs1, rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Sll, rd, rs1, rs2)
+    }
+    /// `slt rd, rs1, rs2`
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Slt, rd, rs1, rs2)
+    }
+    /// `sltu rd, rs1, rs2`
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Sltu, rd, rs1, rs2)
+    }
+    /// `xor rd, rs1, rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Xor, rd, rs1, rs2)
+    }
+    /// `srl rd, rs1, rs2`
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Srl, rd, rs1, rs2)
+    }
+    /// `sra rd, rs1, rs2`
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Sra, rd, rs1, rs2)
+    }
+    /// `or rd, rs1, rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Or, rd, rs1, rs2)
+    }
+    /// `and rd, rs1, rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::And, rd, rs1, rs2)
+    }
+    /// `addw rd, rs1, rs2`
+    pub fn addw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Addw, rd, rs1, rs2)
+    }
+    /// `subw rd, rs1, rs2`
+    pub fn subw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Subw, rd, rs1, rs2)
+    }
+    /// `sllw rd, rs1, rs2`
+    pub fn sllw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Sllw, rd, rs1, rs2)
+    }
+    /// `srlw rd, rs1, rs2`
+    pub fn srlw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Srlw, rd, rs1, rs2)
+    }
+    /// `sraw rd, rs1, rs2`
+    pub fn sraw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Sraw, rd, rs1, rs2)
+    }
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Mul, rd, rs1, rs2)
+    }
+    /// `mulh rd, rs1, rs2`
+    pub fn mulh(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Mulh, rd, rs1, rs2)
+    }
+    /// `mulhu rd, rs1, rs2`
+    pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Mulhu, rd, rs1, rs2)
+    }
+    /// `mulhsu rd, rs1, rs2`
+    pub fn mulhsu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Mulhsu, rd, rs1, rs2)
+    }
+    /// `div rd, rs1, rs2`
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Div, rd, rs1, rs2)
+    }
+    /// `divu rd, rs1, rs2`
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Divu, rd, rs1, rs2)
+    }
+    /// `rem rd, rs1, rs2`
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Rem, rd, rs1, rs2)
+    }
+    /// `remu rd, rs1, rs2`
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Remu, rd, rs1, rs2)
+    }
+    /// `mulw rd, rs1, rs2`
+    pub fn mulw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Mulw, rd, rs1, rs2)
+    }
+    /// `divw rd, rs1, rs2`
+    pub fn divw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Divw, rd, rs1, rs2)
+    }
+    /// `divuw rd, rs1, rs2`
+    pub fn divuw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Divuw, rd, rs1, rs2)
+    }
+    /// `remw rd, rs1, rs2`
+    pub fn remw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Remw, rd, rs1, rs2)
+    }
+    /// `remuw rd, rs1, rs2`
+    pub fn remuw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.op(AluKind::Remuw, rd, rs1, rs2)
+    }
+
+    // ---- register-immediate ops ---------------------------------------------
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.op_imm(AluKind::Add, rd, rs1, imm)
+    }
+    /// `slti rd, rs1, imm`
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.op_imm(AluKind::Slt, rd, rs1, imm)
+    }
+    /// `sltiu rd, rs1, imm`
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.op_imm(AluKind::Sltu, rd, rs1, imm)
+    }
+    /// `xori rd, rs1, imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.op_imm(AluKind::Xor, rd, rs1, imm)
+    }
+    /// `ori rd, rs1, imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.op_imm(AluKind::Or, rd, rs1, imm)
+    }
+    /// `andi rd, rs1, imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.op_imm(AluKind::And, rd, rs1, imm)
+    }
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i64) -> &mut Asm {
+        self.op_imm(AluKind::Sll, rd, rs1, shamt)
+    }
+    /// `srli rd, rs1, shamt`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i64) -> &mut Asm {
+        self.op_imm(AluKind::Srl, rd, rs1, shamt)
+    }
+    /// `srai rd, rs1, shamt`
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i64) -> &mut Asm {
+        self.op_imm(AluKind::Sra, rd, rs1, shamt)
+    }
+    /// `addiw rd, rs1, imm`
+    pub fn addiw(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.op_imm(AluKind::Addw, rd, rs1, imm)
+    }
+    /// `slliw rd, rs1, shamt`
+    pub fn slliw(&mut self, rd: Reg, rs1: Reg, shamt: i64) -> &mut Asm {
+        self.op_imm(AluKind::Sllw, rd, rs1, shamt)
+    }
+    /// `srliw rd, rs1, shamt`
+    pub fn srliw(&mut self, rd: Reg, rs1: Reg, shamt: i64) -> &mut Asm {
+        self.op_imm(AluKind::Srlw, rd, rs1, shamt)
+    }
+    /// `sraiw rd, rs1, shamt`
+    pub fn sraiw(&mut self, rd: Reg, rs1: Reg, shamt: i64) -> &mut Asm {
+        self.op_imm(AluKind::Sraw, rd, rs1, shamt)
+    }
+    /// `lui rd, imm` — `imm` is the full (already shifted) value.
+    pub fn lui(&mut self, rd: Reg, imm: i64) -> &mut Asm {
+        self.inst(Inst::Lui { rd, imm })
+    }
+
+    // ---- loads / stores -------------------------------------------------------
+
+    fn load(&mut self, kind: LoadKind, rd: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.inst(Inst::Load { kind, rd, rs1, offset })
+    }
+    fn store(&mut self, kind: StoreKind, rs2: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.inst(Inst::Store { kind, rs1, rs2, offset })
+    }
+
+    /// `lb rd, offset(rs1)`
+    pub fn lb(&mut self, rd: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.load(LoadKind::B, rd, offset, rs1)
+    }
+    /// `lh rd, offset(rs1)`
+    pub fn lh(&mut self, rd: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.load(LoadKind::H, rd, offset, rs1)
+    }
+    /// `lw rd, offset(rs1)`
+    pub fn lw(&mut self, rd: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.load(LoadKind::W, rd, offset, rs1)
+    }
+    /// `ld rd, offset(rs1)`
+    pub fn ld(&mut self, rd: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.load(LoadKind::D, rd, offset, rs1)
+    }
+    /// `lbu rd, offset(rs1)`
+    pub fn lbu(&mut self, rd: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.load(LoadKind::Bu, rd, offset, rs1)
+    }
+    /// `lhu rd, offset(rs1)`
+    pub fn lhu(&mut self, rd: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.load(LoadKind::Hu, rd, offset, rs1)
+    }
+    /// `lwu rd, offset(rs1)`
+    pub fn lwu(&mut self, rd: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.load(LoadKind::Wu, rd, offset, rs1)
+    }
+    /// `sb rs2, offset(rs1)`
+    pub fn sb(&mut self, rs2: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.store(StoreKind::B, rs2, offset, rs1)
+    }
+    /// `sh rs2, offset(rs1)`
+    pub fn sh(&mut self, rs2: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.store(StoreKind::H, rs2, offset, rs1)
+    }
+    /// `sw rs2, offset(rs1)`
+    pub fn sw(&mut self, rs2: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.store(StoreKind::W, rs2, offset, rs1)
+    }
+    /// `sd rs2, offset(rs1)`
+    pub fn sd(&mut self, rs2: Reg, offset: i64, rs1: Reg) -> &mut Asm {
+        self.store(StoreKind::D, rs2, offset, rs1)
+    }
+
+    // ---- control flow ----------------------------------------------------------
+
+    fn branch(&mut self, kind: BranchKind, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.push(Item::Branch { kind, rs1, rs2, target })
+    }
+
+    /// `beq rs1, rs2, label`
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.branch(BranchKind::Eq, rs1, rs2, target)
+    }
+    /// `bne rs1, rs2, label`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.branch(BranchKind::Ne, rs1, rs2, target)
+    }
+    /// `blt rs1, rs2, label`
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.branch(BranchKind::Lt, rs1, rs2, target)
+    }
+    /// `bge rs1, rs2, label`
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.branch(BranchKind::Ge, rs1, rs2, target)
+    }
+    /// `bltu rs1, rs2, label`
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.branch(BranchKind::Ltu, rs1, rs2, target)
+    }
+    /// `bgeu rs1, rs2, label`
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.branch(BranchKind::Geu, rs1, rs2, target)
+    }
+    /// `beqz rs, label` — branch if zero.
+    pub fn beqz(&mut self, rs: Reg, target: Label) -> &mut Asm {
+        self.beq(rs, Reg::ZERO, target)
+    }
+    /// `bnez rs, label` — branch if not zero.
+    pub fn bnez(&mut self, rs: Reg, target: Label) -> &mut Asm {
+        self.bne(rs, Reg::ZERO, target)
+    }
+    /// `bltz rs, label` — branch if negative.
+    pub fn bltz(&mut self, rs: Reg, target: Label) -> &mut Asm {
+        self.blt(rs, Reg::ZERO, target)
+    }
+    /// `bgez rs, label` — branch if non-negative.
+    pub fn bgez(&mut self, rs: Reg, target: Label) -> &mut Asm {
+        self.bge(rs, Reg::ZERO, target)
+    }
+    /// `bgtz rs, label` — branch if positive.
+    pub fn bgtz(&mut self, rs: Reg, target: Label) -> &mut Asm {
+        self.blt(Reg::ZERO, rs, target)
+    }
+    /// `blez rs, label` — branch if `rs <= 0`.
+    pub fn blez(&mut self, rs: Reg, target: Label) -> &mut Asm {
+        self.bge(Reg::ZERO, rs, target)
+    }
+
+    /// `j label` — unconditional jump.
+    pub fn j(&mut self, target: Label) -> &mut Asm {
+        self.push(Item::Jal { rd: Reg::ZERO, target })
+    }
+    /// `jal rd, label`
+    pub fn jal(&mut self, rd: Reg, target: Label) -> &mut Asm {
+        self.push(Item::Jal { rd, target })
+    }
+    /// `jalr rd, offset(rs1)`
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, offset: i64) -> &mut Asm {
+        self.inst(Inst::Jalr { rd, rs1, offset })
+    }
+    /// `call label` — `jal ra, label`.
+    pub fn call(&mut self, target: Label) -> &mut Asm {
+        self.jal(Reg::RA, target)
+    }
+    /// `ret` — `jalr zero, 0(ra)`.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.jalr(Reg::ZERO, Reg::RA, 0)
+    }
+
+    // ---- pseudo-instructions ------------------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Asm {
+        self.inst(Inst::NOP)
+    }
+
+    /// Emits `count` consecutive `nop`s (used for staggering prologues).
+    pub fn nops(&mut self, count: usize) -> &mut Asm {
+        for _ in 0..count {
+            self.nop();
+        }
+        self
+    }
+
+    /// `mv rd, rs` — copy register.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.addi(rd, rs, 0)
+    }
+    /// `not rd, rs` — bitwise complement.
+    pub fn not(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.xori(rd, rs, -1)
+    }
+    /// `neg rd, rs` — two's complement negate.
+    pub fn neg(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.sub(rd, Reg::ZERO, rs)
+    }
+    /// `seqz rd, rs` — set if zero.
+    pub fn seqz(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.sltiu(rd, rs, 1)
+    }
+    /// `snez rd, rs` — set if not zero.
+    pub fn snez(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.sltu(rd, Reg::ZERO, rs)
+    }
+
+    /// `li rd, value` — materialise an arbitrary 64-bit constant using the
+    /// standard `lui`/`addiw`/`slli`/`addi` expansion.
+    pub fn li(&mut self, rd: Reg, value: i64) -> &mut Asm {
+        self.li_rec(rd, value);
+        self
+    }
+
+    fn li_rec(&mut self, rd: Reg, value: i64) {
+        if (-2048..=2047).contains(&value) {
+            self.addi(rd, Reg::ZERO, value);
+            return;
+        }
+        if value >= i32::MIN as i64 && value <= i32::MAX as i64 {
+            let lo = (value << 52) >> 52; // sign-extended low 12
+            let hi = value - lo; // multiple of 0x1000, may be ±2^31
+            // hi fits U-type after sign-extension of the 20-bit field
+            let hi_sext = ((hi as u32) as i32) as i64 & !0xfff;
+            self.lui(rd, hi_sext);
+            if lo != 0 {
+                self.addiw(rd, rd, lo);
+            }
+            return;
+        }
+        // Wide constant: build upper part, shift, add low 12 bits, recurse.
+        // All arithmetic is mod 2^64, matching the wrapping ALU semantics.
+        let lo = (value << 52) >> 52;
+        let hi = value.wrapping_sub(lo) >> 12;
+        self.li_rec(rd, hi);
+        self.slli(rd, rd, 12);
+        if lo != 0 {
+            self.addi(rd, rd, lo);
+        }
+    }
+
+    /// `la rd, label` — load the absolute address of `label` (PC-relative
+    /// `auipc` + `addi` pair, 8 bytes).
+    pub fn la(&mut self, rd: Reg, target: Label) -> &mut Asm {
+        self.push(Item::La { rd, target })
+    }
+
+    // ---- system ----------------------------------------------------------------------
+
+    /// `ecall`
+    pub fn ecall(&mut self) -> &mut Asm {
+        self.inst(Inst::Ecall)
+    }
+    /// `ebreak` — halts the modelled core.
+    pub fn ebreak(&mut self) -> &mut Asm {
+        self.inst(Inst::Ebreak)
+    }
+    /// `fence`
+    pub fn fence(&mut self) -> &mut Asm {
+        self.inst(Inst::Fence)
+    }
+    /// `csrr rd, csr` — read a CSR.
+    pub fn csrr(&mut self, rd: Reg, csr: u16) -> &mut Asm {
+        self.inst(Inst::Csr { kind: CsrKind::Rs, rd, rs1: Reg::ZERO, csr })
+    }
+    /// `csrw csr, rs` — write a CSR.
+    pub fn csrw(&mut self, csr: u16, rs: Reg) -> &mut Asm {
+        self.inst(Inst::Csr { kind: CsrKind::Rw, rd: Reg::ZERO, rs1: rs, csr })
+    }
+    /// Reads `mhartid` into `rd`.
+    pub fn hartid(&mut self, rd: Reg) -> &mut Asm {
+        self.csrr(rd, safedm_isa::csr::addr::MHARTID)
+    }
+
+    // ---- linking -------------------------------------------------------------------------
+
+    /// Links the program at `base`, placing data right after text (64-byte
+    /// aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] for unbound labels, out-of-range control flow,
+    /// or encoding failures.
+    pub fn link(&self, base: u64) -> Result<Program, AsmError> {
+        let text_end = base + self.text_off;
+        let data_base = (text_end + 63) & !63;
+        self.link_with_data_base(base, data_base)
+    }
+
+    /// Links the program with an explicit data-section base address.
+    ///
+    /// # Errors
+    ///
+    /// As [`Asm::link`], plus [`AsmError::LayoutOverlap`] when `data_base`
+    /// falls inside the text section.
+    pub fn link_with_data_base(&self, base: u64, data_base: u64) -> Result<Program, AsmError> {
+        let text_end = base + self.text_off;
+        if !self.data.is_empty() && data_base < text_end {
+            return Err(AsmError::LayoutOverlap { text_end, data_base });
+        }
+
+        let resolve = |label: Label| -> Result<u64, AsmError> {
+            let info = &self.labels[label.0];
+            match info.pos {
+                Some(LabelPos::Text(off)) => Ok(base + off),
+                Some(LabelPos::Data(off)) => Ok(data_base + off),
+                None => Err(AsmError::UnboundLabel { name: info.name.clone() }),
+            }
+        };
+
+        let text = std::cell::RefCell::new(Vec::with_capacity(self.text_off as usize));
+        let emit = |inst: &Inst| -> Result<(), AsmError> {
+            text.borrow_mut().extend_from_slice(&encode(inst)?.to_le_bytes());
+            Ok(())
+        };
+        let emit_raw = |raw: u32| -> Result<(), AsmError> {
+            text.borrow_mut().extend_from_slice(&raw.to_le_bytes());
+            Ok(())
+        };
+
+        let mut addr = base;
+        for item in &self.items {
+            match item {
+                Item::Fixed(inst) => emit(inst)?,
+                Item::Raw(raw) => emit_raw(*raw)?,
+                Item::Branch { kind, rs1, rs2, target } => {
+                    let offset = resolve(*target)? as i64 - addr as i64;
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange {
+                            name: self.labels[target.0].name.clone(),
+                            offset,
+                        });
+                    }
+                    emit(&Inst::Branch { kind: *kind, rs1: *rs1, rs2: *rs2, offset })?;
+                }
+                Item::Jal { rd, target } => {
+                    let offset = resolve(*target)? as i64 - addr as i64;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::JumpOutOfRange {
+                            name: self.labels[target.0].name.clone(),
+                            offset,
+                        });
+                    }
+                    emit(&Inst::Jal { rd: *rd, offset })?;
+                }
+                Item::La { rd, target } => {
+                    let delta = resolve(*target)? as i64 - addr as i64;
+                    let lo = (delta << 52) >> 52;
+                    let hi = delta - lo;
+                    emit(&Inst::Auipc { rd: *rd, imm: (hi as i32) as i64 })?;
+                    emit(&Inst::OpImm { kind: AluKind::Add, rd: *rd, rs1: *rd, imm: lo })?;
+                }
+            }
+            addr += item.size();
+        }
+
+        let mut symbols = BTreeMap::new();
+        for info in &self.labels {
+            if let Some(pos) = &info.pos {
+                let a = match pos {
+                    LabelPos::Text(off) => base + off,
+                    LabelPos::Data(off) => data_base + off,
+                };
+                symbols.insert(info.name.clone(), a);
+            }
+        }
+
+        Ok(Program {
+            entry: base,
+            text_base: base,
+            text: text.into_inner(),
+            data_base,
+            data: self.data.clone(),
+            symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_isa::{decode, Inst};
+
+    #[test]
+    fn empty_program_links() {
+        let prog = Asm::new().link(0x8000_0000).unwrap();
+        assert_eq!(prog.text_size(), 0);
+        assert_eq!(prog.data_size(), 0);
+    }
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut a = Asm::new();
+        let top = a.here("top");
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, top);
+        let prog = a.link(0x1000).unwrap();
+        let words: Vec<u32> = prog.words().map(|(_, w)| w).collect();
+        let Inst::Branch { offset, .. } = decode(words[1]).unwrap() else {
+            panic!("expected branch")
+        };
+        assert_eq!(offset, -4);
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let mut a = Asm::new();
+        let skip = a.new_label("skip");
+        a.beqz(Reg::A0, skip);
+        a.nop();
+        a.nop();
+        a.bind(skip).unwrap();
+        a.ebreak();
+        let prog = a.link(0).unwrap();
+        let words: Vec<u32> = prog.words().map(|(_, w)| w).collect();
+        let Inst::Branch { offset, .. } = decode(words[0]).unwrap() else {
+            panic!("expected branch")
+        };
+        assert_eq!(offset, 12);
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = Asm::new();
+        let l = a.new_label("nowhere");
+        a.j(l);
+        assert_eq!(a.link(0).unwrap_err(), AsmError::UnboundLabel { name: "nowhere".into() });
+    }
+
+    #[test]
+    fn duplicate_bind_errors() {
+        let mut a = Asm::new();
+        let l = a.new_label("x");
+        a.bind(l).unwrap();
+        assert_eq!(a.bind(l).unwrap_err(), AsmError::DuplicateBind { name: "x".into() });
+    }
+
+    #[test]
+    fn branch_out_of_range_errors() {
+        let mut a = Asm::new();
+        let far = a.new_label("far");
+        a.beqz(Reg::A0, far);
+        a.nops(2000); // 8000 bytes
+        a.bind(far).unwrap();
+        assert!(matches!(a.link(0), Err(AsmError::BranchOutOfRange { .. })));
+    }
+
+    #[test]
+    fn data_labels_and_symbols() {
+        let mut a = Asm::new();
+        a.nop();
+        let tab = a.d_dwords("table", &[1, 2, 3]);
+        a.la(Reg::A0, tab);
+        let prog = a.link(0x8000_0000).unwrap();
+        assert_eq!(prog.symbol("table"), Some(prog.data_base));
+        assert_eq!(prog.data_base % 64, 0);
+        assert_eq!(prog.data.len(), 24);
+        assert_eq!(&prog.data[0..8], &1u64.to_le_bytes());
+    }
+
+    #[test]
+    fn la_emits_pcrel_pair() {
+        let mut a = Asm::new();
+        let tab = a.d_dwords("t", &[0xdead]);
+        a.la(Reg::A0, tab);
+        a.ebreak();
+        let prog = a.link(0x8000_0000).unwrap();
+        let words: Vec<u32> = prog.words().map(|(_, w)| w).collect();
+        let Inst::Auipc { rd, imm: hi } = decode(words[0]).unwrap() else {
+            panic!("expected auipc")
+        };
+        assert_eq!(rd, Reg::A0);
+        let Inst::OpImm { imm: lo, .. } = decode(words[1]).unwrap() else {
+            panic!("expected addi")
+        };
+        assert_eq!(0x8000_0000u64.wrapping_add((hi + lo) as u64), prog.data_base);
+    }
+
+    #[test]
+    fn layout_overlap_detected() {
+        let mut a = Asm::new();
+        a.nops(16);
+        a.d_bytes("d", &[1]);
+        assert!(matches!(
+            a.link_with_data_base(0, 16),
+            Err(AsmError::LayoutOverlap { text_end: 64, data_base: 16 })
+        ));
+    }
+
+    /// Interprets a register-only instruction sequence (for li validation).
+    fn eval_sequence(words: &[u32]) -> [u64; 32] {
+        let mut regs = [0u64; 32];
+        for w in words {
+            match decode(*w).unwrap() {
+                Inst::OpImm { kind, rd, rs1, imm } => {
+                    let v = safedm_isa::alu(kind, regs[rs1.index() as usize], imm as u64);
+                    if !rd.is_zero() {
+                        regs[rd.index() as usize] = v;
+                    }
+                }
+                Inst::Lui { rd, imm } => {
+                    if !rd.is_zero() {
+                        regs[rd.index() as usize] = imm as u64;
+                    }
+                }
+                other => panic!("unexpected instruction {other}"),
+            }
+        }
+        regs
+    }
+
+    #[test]
+    fn li_materialises_constants() {
+        for value in [
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x1234,
+            -4096,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x1_0000_0000,
+            0x1234_5678_9abc_def0,
+            i64::MAX,
+            i64::MIN,
+            -0x1234_5678_9abc_def0,
+            0x8000_0000, // does not fit i32
+        ] {
+            let mut a = Asm::new();
+            a.li(Reg::A0, value);
+            let prog = a.link(0).unwrap();
+            let words: Vec<u32> = prog.words().map(|(_, w)| w).collect();
+            let regs = eval_sequence(&words);
+            assert_eq!(regs[10] as i64, value, "li {value:#x} produced {:#x}", regs[10]);
+        }
+    }
+
+    #[test]
+    fn nops_emit_exact_count() {
+        let mut a = Asm::new();
+        a.nops(100);
+        let prog = a.link(0).unwrap();
+        assert_eq!(prog.inst_count(), 100);
+        for (_, w) in prog.words() {
+            assert_eq!(decode(w).unwrap(), Inst::NOP);
+        }
+    }
+
+    #[test]
+    fn pseudo_expansions() {
+        let mut a = Asm::new();
+        a.mv(Reg::A0, Reg::A1);
+        a.not(Reg::A0, Reg::A0);
+        a.neg(Reg::A0, Reg::A0);
+        a.seqz(Reg::A0, Reg::A1);
+        a.snez(Reg::A0, Reg::A1);
+        a.ret();
+        let prog = a.link(0).unwrap();
+        assert_eq!(prog.inst_count(), 6);
+        // every word decodes
+        for (_, w) in prog.words() {
+            decode(w).unwrap();
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Assembly and linking errors.
+
+use std::error::Error;
+use std::fmt;
+
+use safedm_isa::EncodeError;
+
+/// Error produced while assembling or linking a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel {
+        /// The label's debug name.
+        name: String,
+    },
+    /// A label was bound twice.
+    DuplicateBind {
+        /// The label's debug name.
+        name: String,
+    },
+    /// A conditional branch target is beyond the ±4 KiB B-format range.
+    BranchOutOfRange {
+        /// The label's debug name.
+        name: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+    /// A `jal` target is beyond the ±1 MiB J-format range.
+    JumpOutOfRange {
+        /// The label's debug name.
+        name: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+    /// An instruction failed to encode.
+    Encode(EncodeError),
+    /// The data section would overlap the text section.
+    LayoutOverlap {
+        /// End of the text section.
+        text_end: u64,
+        /// Configured base of the data section.
+        data_base: u64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            AsmError::DuplicateBind { name } => write!(f, "label `{name}` bound twice"),
+            AsmError::BranchOutOfRange { name, offset } => {
+                write!(f, "branch to `{name}` out of range (offset {offset})")
+            }
+            AsmError::JumpOutOfRange { name, offset } => {
+                write!(f, "jump to `{name}` out of range (offset {offset})")
+            }
+            AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
+            AsmError::LayoutOverlap { text_end, data_base } => {
+                write!(f, "data base {data_base:#x} overlaps text ending at {text_end:#x}")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AsmError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> AsmError {
+        AsmError::Encode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = AsmError::UnboundLabel { name: "loop".into() };
+        assert_eq!(e.to_string(), "label `loop` was never bound");
+        let e = AsmError::BranchOutOfRange { name: "far".into(), offset: 5000 };
+        assert!(e.to_string().contains("5000"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # safedm-asm — programmatic RV64IM assembler
+//!
+//! A small assembler used to author the TACLe-style benchmark kernels of the
+//! SafeDM reproduction without an external toolchain. Programs are built with
+//! one method call per instruction, labels resolve forward and backward, the
+//! usual pseudo-instructions (`li`, `la`, `mv`, `call`, `ret`, …) expand to
+//! their standard sequences, and [`Asm::link`] produces a loadable
+//! [`Program`] image.
+//!
+//! ## Example
+//!
+//! ```
+//! use safedm_asm::Asm;
+//! use safedm_isa::Reg;
+//!
+//! // sum the doublewords of a table
+//! let mut a = Asm::new();
+//! let table = a.d_dwords("table", &[3, 7, 32]);
+//! a.la(Reg::T0, table);
+//! a.li(Reg::T1, 3);          // element count
+//! a.li(Reg::A0, 0);          // accumulator
+//! let top = a.here("top");
+//! a.ld(Reg::T2, 0, Reg::T0);
+//! a.add(Reg::A0, Reg::A0, Reg::T2);
+//! a.addi(Reg::T0, Reg::T0, 8);
+//! a.addi(Reg::T1, Reg::T1, -1);
+//! a.bnez(Reg::T1, top);
+//! a.ebreak();
+//! let prog = a.link(0x8000_0000)?;
+//! assert!(prog.inst_count() > 8);
+//! # Ok::<(), safedm_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod program;
+mod text;
+
+pub use builder::{Asm, Label};
+pub use error::AsmError;
+pub use program::Program;
+pub use text::{assemble, ParseError};

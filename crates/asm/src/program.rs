@@ -1,0 +1,86 @@
+//! The linked program artifact.
+
+use std::collections::BTreeMap;
+
+/// A linked, loadable bare-metal program image.
+///
+/// Produced by [`Asm::link`](crate::Asm::link); consumed by the SoC loader.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_asm::Asm;
+/// use safedm_isa::Reg;
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::A0, 42);
+/// a.ebreak();
+/// let prog = a.link(0x8000_0000)?;
+/// assert_eq!(prog.entry, 0x8000_0000);
+/// assert!(prog.text_size() >= 8);
+/// # Ok::<(), safedm_asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Entry point (the base address the text was linked at).
+    pub entry: u64,
+    /// Base address of the text section.
+    pub text_base: u64,
+    /// Encoded text section (little-endian instruction words).
+    pub text: Vec<u8>,
+    /// Base address of the data section.
+    pub data_base: u64,
+    /// Initialised data section bytes.
+    pub data: Vec<u8>,
+    /// Label name → resolved absolute address (named labels only).
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl Program {
+    /// Size of the text section in bytes.
+    #[must_use]
+    pub fn text_size(&self) -> u64 {
+        self.text.len() as u64
+    }
+
+    /// Size of the data section in bytes.
+    #[must_use]
+    pub fn data_size(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Number of instructions in the text section.
+    #[must_use]
+    pub fn inst_count(&self) -> u64 {
+        self.text_size() / 4
+    }
+
+    /// Looks up a named symbol's absolute address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Iterates over `(address, word)` pairs of the text section.
+    pub fn words(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.text.chunks_exact(4).enumerate().map(move |(i, c)| {
+            (self.text_base + 4 * i as u64, u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        })
+    }
+
+    /// The memory footprint as `(base, bytes)` segments, text first.
+    #[must_use]
+    pub fn segments(&self) -> Vec<(u64, &[u8])> {
+        let mut segs = vec![(self.text_base, self.text.as_slice())];
+        if !self.data.is_empty() {
+            segs.push((self.data_base, self.data.as_slice()));
+        }
+        segs
+    }
+
+    /// End address (exclusive) of the highest segment.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.segments().iter().map(|(b, s)| b + s.len() as u64).max().unwrap_or(self.text_base)
+    }
+}

@@ -1,0 +1,651 @@
+//! A text front end for the assembler: parse conventional RISC-V assembly
+//! source into a [`Program`], so experiments and tests can be written as
+//! `.s`-style strings instead of builder calls.
+//!
+//! Supported subset: the RV64IM instructions and pseudo-instructions of
+//! [`Asm`], labels (forward and backward), `#`/`//` comments, and the
+//! directives `.text`, `.data`, `.byte`, `.word`, `.dword`, `.zero`,
+//! `.align`.
+
+use std::collections::HashMap;
+
+use safedm_isa::{Reg, ABI_NAMES};
+
+use crate::{Asm, Label, Program};
+
+/// Error produced while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    if let Some(rest) = tok.strip_prefix('x') {
+        if let Ok(n) = rest.parse::<u8>() {
+            return Reg::try_new(n).ok_or_else(|| err(line, format!("register {tok} out of range")));
+        }
+    }
+    // fp is the conventional alias for s0/x8
+    if tok == "fp" {
+        return Ok(Reg::S0);
+    }
+    ABI_NAMES
+        .iter()
+        .position(|n| *n == tok)
+        .map(|i| Reg::new(i as u8))
+        .ok_or_else(|| err(line, format!("unknown register `{tok}`")))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16)
+    } else {
+        body.replace('_', "").parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("invalid number `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// `offset(base)` memory operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), ParseError> {
+    let open = tok.find('(').ok_or_else(|| err(line, format!("expected offset(base), got `{tok}`")))?;
+    let close = tok
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let offset = if open == 0 { 0 } else { parse_int(&tok[..open], line)? };
+    let base = parse_reg(&close[open + 1..], line)?;
+    Ok((offset, base))
+}
+
+struct Parser<'a> {
+    asm: Asm,
+    labels: HashMap<String, Label>,
+    /// Data-section payloads are buffered and emitted at their defining
+    /// label so `.data` regions can be interleaved with `.text`.
+    line: usize,
+    source: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn label_for(&mut self, name: &str) -> Label {
+        if let Some(l) = self.labels.get(name) {
+            return *l;
+        }
+        let l = self.asm.new_label(name);
+        self.labels.insert(name.to_owned(), l);
+        l
+    }
+
+    fn run(mut self, base: u64) -> Result<Program, ParseError> {
+        #[derive(PartialEq)]
+        enum Section {
+            Text,
+            Data,
+        }
+        let mut section = Section::Text;
+        // Data directives are applied immediately; labels inside .data bind
+        // to the next data payload.
+        let mut pending_data_label: Option<String> = None;
+        let source = self.source;
+
+        for (idx, raw_line) in source.lines().enumerate() {
+            self.line = idx + 1;
+            let line_no = self.line;
+            // strip comments
+            let mut text = raw_line;
+            for marker in ["#", "//"] {
+                if let Some(pos) = text.find(marker) {
+                    text = &text[..pos];
+                }
+            }
+            let mut text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            // labels (possibly several on one line)
+            while let Some(colon) = text.find(':') {
+                let (name, rest) = text.split_at(colon);
+                let name = name.trim();
+                if name.is_empty() || name.contains(char::is_whitespace) {
+                    break;
+                }
+                match section {
+                    Section::Text => {
+                        let l = self.label_for(name);
+                        self.asm
+                            .bind(l)
+                            .map_err(|e| err(line_no, format!("label `{name}`: {e}")))?;
+                    }
+                    Section::Data => {
+                        if pending_data_label.is_some() {
+                            return Err(err(line_no, "data label without payload"));
+                        }
+                        pending_data_label = Some(name.to_owned());
+                    }
+                }
+                text = rest[1..].trim();
+            }
+            if text.is_empty() {
+                continue;
+            }
+
+            // tokenize: mnemonic + comma-separated operands
+            let (mnemonic, rest) = match text.find(char::is_whitespace) {
+                Some(p) => (&text[..p], text[p..].trim()),
+                None => (text, ""),
+            };
+            let ops: Vec<&str> = if rest.is_empty() {
+                Vec::new()
+            } else {
+                rest.split(',').map(str::trim).collect()
+            };
+
+            if let Some(directive) = mnemonic.strip_prefix('.') {
+                match directive {
+                    "text" => section = Section::Text,
+                    "data" => section = Section::Data,
+                    "align" => {
+                        let n = parse_int(ops.first().copied().unwrap_or("8"), line_no)?;
+                        if section == Section::Data {
+                            self.asm.data_alignment(n as u64);
+                        }
+                    }
+                    "byte" | "word" | "dword" | "zero" => {
+                        if section != Section::Data {
+                            return Err(err(line_no, format!(".{directive} outside .data")));
+                        }
+                        let name = pending_data_label
+                            .take()
+                            .unwrap_or_else(|| format!("__anon_{line_no}"));
+                        let label = match directive {
+                            "byte" => {
+                                let bytes: Vec<u8> = ops
+                                    .iter()
+                                    .map(|o| parse_int(o, line_no).map(|v| v as u8))
+                                    .collect::<Result<_, _>>()?;
+                                self.asm.d_bytes(&name, &bytes)
+                            }
+                            "word" => {
+                                let words: Vec<u32> = ops
+                                    .iter()
+                                    .map(|o| parse_int(o, line_no).map(|v| v as u32))
+                                    .collect::<Result<_, _>>()?;
+                                self.asm.d_words(&name, &words)
+                            }
+                            "dword" => {
+                                let dwords: Vec<u64> = ops
+                                    .iter()
+                                    .map(|o| parse_int(o, line_no).map(|v| v as u64))
+                                    .collect::<Result<_, _>>()?;
+                                self.asm.d_dwords(&name, &dwords)
+                            }
+                            _ => {
+                                let n = parse_int(
+                                    ops.first().copied().ok_or_else(|| {
+                                        err(line_no, ".zero needs a length")
+                                    })?,
+                                    line_no,
+                                )?;
+                                self.asm.d_zero(&name, n as u64)
+                            }
+                        };
+                        self.labels.insert(name, label);
+                    }
+                    other => return Err(err(line_no, format!("unknown directive `.{other}`"))),
+                }
+                continue;
+            }
+
+            if section != Section::Text {
+                return Err(err(line_no, "instruction outside .text"));
+            }
+            self.instruction(mnemonic, &ops, line_no)?;
+        }
+
+        self.asm.link(base).map_err(|e| ParseError { line: 0, message: e.to_string() })
+    }
+
+    fn instruction(&mut self, m: &str, ops: &[&str], line: usize) -> Result<(), ParseError> {
+        let need = |n: usize| -> Result<(), ParseError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("`{m}` expects {n} operands, got {}", ops.len())))
+            }
+        };
+        let r = |i: usize| parse_reg(ops[i], line);
+        let n = |i: usize| parse_int(ops[i], line);
+        macro_rules! rrr {
+            ($f:ident) => {{
+                need(3)?;
+                self.asm.$f(r(0)?, r(1)?, r(2)?);
+            }};
+        }
+        macro_rules! rri {
+            ($f:ident) => {{
+                need(3)?;
+                self.asm.$f(r(0)?, r(1)?, n(2)?);
+            }};
+        }
+        macro_rules! mem {
+            ($f:ident) => {{
+                need(2)?;
+                let (off, base) = parse_mem(ops[1], line)?;
+                self.asm.$f(r(0)?, off, base);
+            }};
+        }
+        macro_rules! br {
+            ($f:ident, $kind:expr) => {{
+                need(3)?;
+                if let Ok(offset) = parse_int(ops[2], line) {
+                    // numeric byte offset (as the disassembler prints)
+                    self.asm.inst(safedm_isa::Inst::Branch {
+                        kind: $kind,
+                        rs1: r(0)?,
+                        rs2: r(1)?,
+                        offset,
+                    });
+                } else {
+                    let target = self.label_for(ops[2]);
+                    self.asm.$f(r(0)?, r(1)?, target);
+                }
+            }};
+        }
+        macro_rules! brz {
+            ($f:ident) => {{
+                need(2)?;
+                let target = self.label_for(ops[1]);
+                self.asm.$f(r(0)?, target);
+            }};
+        }
+        match m {
+            "add" => rrr!(add),
+            "sub" => rrr!(sub),
+            "sll" => rrr!(sll),
+            "slt" => rrr!(slt),
+            "sltu" => rrr!(sltu),
+            "xor" => rrr!(xor),
+            "srl" => rrr!(srl),
+            "sra" => rrr!(sra),
+            "or" => rrr!(or),
+            "and" => rrr!(and),
+            "addw" => rrr!(addw),
+            "subw" => rrr!(subw),
+            "sllw" => rrr!(sllw),
+            "srlw" => rrr!(srlw),
+            "sraw" => rrr!(sraw),
+            "mul" => rrr!(mul),
+            "mulh" => rrr!(mulh),
+            "mulhu" => rrr!(mulhu),
+            "mulhsu" => rrr!(mulhsu),
+            "div" => rrr!(div),
+            "divu" => rrr!(divu),
+            "rem" => rrr!(rem),
+            "remu" => rrr!(remu),
+            "mulw" => rrr!(mulw),
+            "divw" => rrr!(divw),
+            "divuw" => rrr!(divuw),
+            "remw" => rrr!(remw),
+            "remuw" => rrr!(remuw),
+            "addi" => rri!(addi),
+            "slti" => rri!(slti),
+            "sltiu" => rri!(sltiu),
+            "xori" => rri!(xori),
+            "ori" => rri!(ori),
+            "andi" => rri!(andi),
+            "slli" => rri!(slli),
+            "srli" => rri!(srli),
+            "srai" => rri!(srai),
+            "addiw" => rri!(addiw),
+            "slliw" => rri!(slliw),
+            "srliw" => rri!(srliw),
+            "sraiw" => rri!(sraiw),
+            "li" => {
+                need(2)?;
+                self.asm.li(r(0)?, n(1)?);
+            }
+            "lui" => {
+                // GNU-as semantics: the operand is the 20-bit hi field,
+                // sign-extended after shifting (0xfffff == -4096).
+                need(2)?;
+                let field = n(1)?;
+                if !(-(1 << 19)..(1 << 20)).contains(&field) {
+                    return Err(err(line, format!("lui immediate {field} out of range")));
+                }
+                let value = ((field << 12) as u32) as i32 as i64;
+                self.asm.lui(r(0)?, value);
+            }
+            "lb" => mem!(lb),
+            "lh" => mem!(lh),
+            "lw" => mem!(lw),
+            "ld" => mem!(ld),
+            "lbu" => mem!(lbu),
+            "lhu" => mem!(lhu),
+            "lwu" => mem!(lwu),
+            "sb" => mem!(sb),
+            "sh" => mem!(sh),
+            "sw" => mem!(sw),
+            "sd" => mem!(sd),
+            "beq" => br!(beq, safedm_isa::BranchKind::Eq),
+            "bne" => br!(bne, safedm_isa::BranchKind::Ne),
+            "blt" => br!(blt, safedm_isa::BranchKind::Lt),
+            "bge" => br!(bge, safedm_isa::BranchKind::Ge),
+            "bltu" => br!(bltu, safedm_isa::BranchKind::Ltu),
+            "bgeu" => br!(bgeu, safedm_isa::BranchKind::Geu),
+            "beqz" => brz!(beqz),
+            "bnez" => brz!(bnez),
+            "bltz" => brz!(bltz),
+            "bgez" => brz!(bgez),
+            "bgtz" => brz!(bgtz),
+            "blez" => brz!(blez),
+            "j" => {
+                need(1)?;
+                let t = self.label_for(ops[0]);
+                self.asm.j(t);
+            }
+            "jal" => {
+                need(2)?;
+                if let Ok(offset) = parse_int(ops[1], line) {
+                    self.asm.inst(safedm_isa::Inst::Jal { rd: r(0)?, offset });
+                } else {
+                    let t = self.label_for(ops[1]);
+                    self.asm.jal(r(0)?, t);
+                }
+            }
+            "jalr" => {
+                need(2)?;
+                let (off, base) = parse_mem(ops[1], line)?;
+                self.asm.jalr(r(0)?, base, off);
+            }
+            "call" => {
+                need(1)?;
+                let t = self.label_for(ops[0]);
+                self.asm.call(t);
+            }
+            "ret" => {
+                need(0)?;
+                self.asm.ret();
+            }
+            "la" => {
+                need(2)?;
+                let t = self.label_for(ops[1]);
+                self.asm.la(r(0)?, t);
+            }
+            "mv" => {
+                need(2)?;
+                self.asm.mv(r(0)?, r(1)?);
+            }
+            "not" => {
+                need(2)?;
+                self.asm.not(r(0)?, r(1)?);
+            }
+            "neg" => {
+                need(2)?;
+                self.asm.neg(r(0)?, r(1)?);
+            }
+            "seqz" => {
+                need(2)?;
+                self.asm.seqz(r(0)?, r(1)?);
+            }
+            "snez" => {
+                need(2)?;
+                self.asm.snez(r(0)?, r(1)?);
+            }
+            "nop" => {
+                need(0)?;
+                self.asm.nop();
+            }
+            "fence" => {
+                need(0)?;
+                self.asm.fence();
+            }
+            "ecall" => {
+                need(0)?;
+                self.asm.ecall();
+            }
+            "ebreak" => {
+                need(0)?;
+                self.asm.ebreak();
+            }
+            "csrr" => {
+                need(2)?;
+                self.asm.csrr(r(0)?, n(1)? as u16);
+            }
+            "csrw" => {
+                need(2)?;
+                self.asm.csrw(n(0)? as u16, r(1)?);
+            }
+            // full register forms, `csrrs rd, csr, rs1` (disassembler order)
+            "csrrw" | "csrrs" | "csrrc" => {
+                need(3)?;
+                let kind = match m {
+                    "csrrw" => safedm_isa::CsrKind::Rw,
+                    "csrrs" => safedm_isa::CsrKind::Rs,
+                    _ => safedm_isa::CsrKind::Rc,
+                };
+                self.asm.inst(safedm_isa::Inst::Csr {
+                    kind,
+                    rd: r(0)?,
+                    rs1: r(2)?,
+                    csr: n(1)? as u16,
+                });
+            }
+            "csrrwi" | "csrrsi" | "csrrci" => {
+                need(3)?;
+                let kind = match m {
+                    "csrrwi" => safedm_isa::CsrKind::Rw,
+                    "csrrsi" => safedm_isa::CsrKind::Rs,
+                    _ => safedm_isa::CsrKind::Rc,
+                };
+                self.asm.inst(safedm_isa::Inst::CsrImm {
+                    kind,
+                    rd: r(0)?,
+                    zimm: n(2)? as u8,
+                    csr: n(1)? as u16,
+                });
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+        Ok(())
+    }
+}
+
+/// Assembles RISC-V source text into a linked [`Program`] at `base`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntax errors; link-time failures (unbound
+/// labels, branch range) are reported with line 0 and the underlying
+/// [`AsmError`](crate::AsmError) message.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_asm::assemble;
+///
+/// let prog = assemble(
+///     r"
+///         .data
+///     table: .dword 5, 6, 7
+///         .text
+///         la   t0, table
+///         ld   a0, 8(t0)      # a0 = 6
+///         addi a0, a0, 36
+///         ebreak
+///     ",
+///     0x8000_0000,
+/// )?;
+/// assert!(prog.symbol("table").is_some());
+/// # Ok::<(), safedm_asm::ParseError>(())
+/// ```
+pub fn assemble(source: &str, base: u64) -> Result<Program, ParseError> {
+    let parser = Parser { asm: Asm::new(), labels: HashMap::new(), line: 0, source };
+    parser.run(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_isa::{decode, Inst};
+
+    #[test]
+    fn parses_loop_with_labels() {
+        let prog = assemble(
+            r"
+                li t0, 5
+                li a0, 0
+            top:
+                add a0, a0, t0
+                addi t0, t0, -1
+                bnez t0, top
+                ebreak
+            ",
+            0x8000_0000,
+        )
+        .unwrap();
+        assert_eq!(prog.inst_count(), 6);
+        assert_eq!(prog.symbol("top"), Some(0x8000_0000 + 8));
+    }
+
+    #[test]
+    fn parses_memory_operands_and_regs() {
+        let prog = assemble(
+            r"
+                ld   a0, 16(sp)
+                sd   a1, -8(s0)     # fp alias below
+                sw   x5, (fp)
+                jalr ra, 0(t0)
+                ebreak
+            ",
+            0,
+        )
+        .unwrap();
+        let words: Vec<u32> = prog.words().map(|(_, w)| w).collect();
+        assert!(matches!(decode(words[0]).unwrap(), Inst::Load { offset: 16, .. }));
+        assert!(matches!(decode(words[1]).unwrap(), Inst::Store { offset: -8, .. }));
+        assert!(matches!(decode(words[2]).unwrap(), Inst::Store { offset: 0, .. }));
+        assert!(matches!(decode(words[3]).unwrap(), Inst::Jalr { .. }));
+    }
+
+    #[test]
+    fn data_section_and_la() {
+        let prog = assemble(
+            r"
+                .data
+            nums:  .dword 1, 2, 3
+            bytes: .byte 0xff, 2
+            hole:  .zero 16
+                .text
+                la t0, nums
+                la t1, hole
+                ebreak
+            ",
+            0x8000_0000,
+        )
+        .unwrap();
+        let nums = prog.symbol("nums").unwrap();
+        assert_eq!(prog.symbol("bytes"), Some(nums + 24));
+        assert_eq!(&prog.data[..8], &1u64.to_le_bytes());
+        assert_eq!(prog.data[24], 0xff);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble(
+            "# full line comment\n\n  nop // trailing\n  nop # other style\n  ebreak\n",
+            0,
+        )
+        .unwrap();
+        assert_eq!(prog.inst_count(), 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nfrobnicate a0\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+        let e = assemble("addi a0, a1\n", 0).unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+        let e = assemble("add a0, a1, q7\n", 0).unwrap_err();
+        assert!(e.message.contains("unknown register"));
+        let e = assemble("ld a0, 8[sp]\n", 0).unwrap_err();
+        assert!(e.message.contains("offset(base)"));
+    }
+
+    #[test]
+    fn unbound_label_reported_at_link() {
+        let e = assemble("j nowhere\n", 0).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn text_program_runs_like_builder_program() {
+        // Equivalence check: same program via both front ends.
+        let text = assemble(
+            r"
+                li t0, 100
+                li a0, 0
+            top:
+                add a0, a0, t0
+                addi t0, t0, -1
+                bnez t0, top
+                ebreak
+            ",
+            0x8000_0000,
+        )
+        .unwrap();
+        let mut builder = Asm::new();
+        builder.li(Reg::T0, 100);
+        builder.li(Reg::A0, 0);
+        let top = builder.here("top");
+        builder.add(Reg::A0, Reg::A0, Reg::T0);
+        builder.addi(Reg::T0, Reg::T0, -1);
+        builder.bnez(Reg::T0, top);
+        builder.ebreak();
+        let built = builder.link(0x8000_0000).unwrap();
+        assert_eq!(text.text, built.text, "both front ends must emit identical code");
+    }
+
+    #[test]
+    fn pseudo_instructions_and_csr() {
+        let prog = assemble(
+            r"
+                csrr a0, 0xf14
+                csrw 0x340, a0
+                mv   t0, a0
+                not  t1, t0
+                seqz t2, t1
+                call fn
+                ebreak
+            fn:
+                ret
+            ",
+            0,
+        )
+        .unwrap();
+        assert!(prog.inst_count() >= 8);
+        for (_, w) in prog.words() {
+            decode(w).unwrap();
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion microbenchmark: per-cycle cost of `SafeDm::observe` — the
+//! monitor must keep up with the core clock, so its software model must be
+//! cheap enough to run in-loop with the simulator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use safedm_core::{SafeDm, SafeDmConfig};
+use safedm_soc::{CoreProbe, PortSample, StageSlot};
+
+fn probe(v: u64, raw: u32) -> CoreProbe {
+    let mut p = CoreProbe::default();
+    for (i, port) in p.reads.iter_mut().enumerate() {
+        *port = PortSample { enable: true, value: v.wrapping_mul(i as u64 + 1) };
+    }
+    p.stages[3][0] = StageSlot { valid: true, raw };
+    p.stages[4][0] = StageSlot { valid: true, raw: raw ^ 0x1000 };
+    p.committed = 1;
+    p
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitor");
+
+    g.bench_function("observe_identical", |b| {
+        b.iter_batched_ref(
+            || SafeDm::new(SafeDmConfig::default()),
+            |dm| {
+                for i in 0..64u64 {
+                    let p = probe(i, 0x13);
+                    dm.observe(&p, &p);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("observe_divergent", |b| {
+        b.iter_batched_ref(
+            || SafeDm::new(SafeDmConfig::default()),
+            |dm| {
+                for i in 0..64u64 {
+                    let p0 = probe(i, 0x13);
+                    let p1 = probe(i ^ 1, 0x93);
+                    dm.observe(&p0, &p1);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("observe_deep_fifo_n16", |b| {
+        b.iter_batched_ref(
+            || SafeDm::new(SafeDmConfig { data_fifo_depth: 16, ..SafeDmConfig::default() }),
+            |dm| {
+                for i in 0..64u64 {
+                    let p = probe(i, 0x13);
+                    dm.observe(&p, &p);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_observe
+}
+criterion_main!(benches);

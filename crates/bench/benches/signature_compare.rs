@@ -1,0 +1,68 @@
+//! Criterion microbenchmark: signature capture and comparison — the inner
+//! operations of the monitor (hold-gated FIFO shift, bit-equality).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use safedm_core::{DataSignature, InstructionSignature, SafeDmConfig};
+use safedm_soc::{CoreProbe, PortSample, StageSlot};
+
+fn busy_probe(seed: u64) -> CoreProbe {
+    let mut p = CoreProbe::default();
+    for (i, port) in p.reads.iter_mut().enumerate() {
+        *port = PortSample { enable: true, value: seed.wrapping_mul(i as u64 | 1) };
+    }
+    for (i, port) in p.writes.iter_mut().enumerate() {
+        *port = PortSample { enable: true, value: seed.rotate_left(i as u32) };
+    }
+    for s in 0..7 {
+        p.stages[s][0] = StageSlot { valid: true, raw: (seed as u32) ^ (s as u32) };
+    }
+    p
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let cfg = SafeDmConfig::default();
+    let mut g = c.benchmark_group("signature");
+
+    g.bench_function("ds_capture", |b| {
+        b.iter_batched_ref(
+            || DataSignature::new(&cfg),
+            |ds| {
+                for i in 0..64u64 {
+                    ds.capture(&busy_probe(i));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("ds_compare_equal", |b| {
+        let mut a = DataSignature::new(&cfg);
+        let mut bb = DataSignature::new(&cfg);
+        for i in 0..16u64 {
+            a.capture(&busy_probe(i));
+            bb.capture(&busy_probe(i));
+        }
+        b.iter(|| a == bb);
+    });
+
+    g.bench_function("is_capture_per_stage", |b| {
+        b.iter_batched_ref(
+            || InstructionSignature::new(&cfg),
+            |is| {
+                for i in 0..64u64 {
+                    is.capture(&busy_probe(i));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_signatures
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbenchmark: simulator throughput (SoC cycles per second)
+//! for the bare MPSoC and for the monitored system, on a mixed workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use safedm_core::{MonitoredSoc, SafeDmConfig};
+use safedm_soc::{MpSoc, SocConfig};
+use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
+
+const CYCLES: u64 = 20_000;
+
+fn bench_sim(c: &mut Criterion) {
+    let prog = build_kernel_program(
+        kernels::by_name("iir").expect("kernel"),
+        &HarnessConfig::default(),
+    );
+
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(CYCLES));
+
+    g.bench_function("mpsoc_step_2core", |b| {
+        b.iter(|| {
+            let mut soc = MpSoc::new(SocConfig::default());
+            soc.load_program(&prog);
+            for _ in 0..CYCLES {
+                soc.step();
+            }
+            soc.core(0).retired()
+        });
+    });
+
+    g.bench_function("monitored_step_2core", |b| {
+        b.iter(|| {
+            let mut sys = MonitoredSoc::new(SocConfig::default(), SafeDmConfig::default());
+            sys.load_program(&prog);
+            for _ in 0..CYCLES {
+                sys.step();
+            }
+            sys.monitor().counters().cycles_observed
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sim
+}
+criterion_main!(benches);

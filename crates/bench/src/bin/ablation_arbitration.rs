@@ -1,0 +1,64 @@
+//! **Ablation A3**: bus arbitration policy and natural diversity.
+//!
+//! The paper credits serialisation at shared resources for natural
+//! diversity ("one core is granted access first", Section V-C). The
+//! arbiter's *policy* shapes that serialisation: fair round-robin spreads
+//! the lead between the cores; fixed priority systematically favours
+//! core 0, biasing which core leads but still breaking lockstep. This sweep
+//! quantifies the effect on the Table I metrics.
+//!
+//! Usage: `cargo run -p safedm-bench --bin ablation_arbitration --release`
+
+use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
+use safedm_soc::{ArbitrationPolicy, SocConfig};
+use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
+
+fn run(name: &str, policy: ArbitrationPolicy) -> (u64, u64, u64, i64) {
+    let k = kernels::by_name(name).expect("kernel");
+    let prog = build_kernel_program(k, &HarnessConfig::default());
+    let mut soc_cfg = SocConfig::default();
+    soc_cfg.arbitration = policy;
+    let mut sys = MonitoredSoc::new(
+        soc_cfg,
+        SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },
+    );
+    sys.load_program(&prog);
+    sys.enable_trace();
+    let out = sys.run(200_000_000);
+    assert!(out.run.all_clean(), "{name}: {:?}", out.run.exits);
+    let trace = sys.take_trace();
+    // Which core led (positive diff = core 0 ahead)?
+    let lead_core0 = trace.iter().filter(|s| s.diff > 0).count() as i64;
+    let lead_core1 = trace.iter().filter(|s| s.diff < 0).count() as i64;
+    let bias = lead_core0 - lead_core1;
+    (out.zero_stag_cycles, out.no_div_cycles, out.run.cycles, bias)
+}
+
+fn main() {
+    let names = ["bitcount", "fac", "insertsort", "quicksort", "lms"];
+    println!("ABLATION A3: bus arbitration policy vs natural diversity");
+    println!();
+    println!(
+        "{:<12} | {:>10} {:>8} {:>10} | {:>10} {:>8} {:>10}",
+        "", "round-robin", "", "", "fixed-prio", "", ""
+    );
+    println!(
+        "{:<12} | {:>10} {:>8} {:>10} | {:>10} {:>8} {:>10}",
+        "benchmark", "zero-stag", "no-div", "lead-bias", "zero-stag", "no-div", "lead-bias"
+    );
+    for name in names {
+        let (zs_rr, nd_rr, _, bias_rr) = run(name, ArbitrationPolicy::RoundRobin);
+        let (zs_fp, nd_fp, _, bias_fp) = run(name, ArbitrationPolicy::FixedPriority);
+        println!(
+            "{:<12} | {:>10} {:>8} {:>10} | {:>10} {:>8} {:>10}",
+            name, zs_rr, nd_rr, bias_rr, zs_fp, nd_fp, bias_fp
+        );
+    }
+    println!();
+    println!(
+        "lead-bias = (cycles core 0 led) − (cycles core 1 led): fixed priority\n\
+         pushes the bias towards core 0, while both policies break lockstep —\n\
+         natural diversity does not depend on arbiter fairness, only on\n\
+         serialisation existing at all."
+    );
+}

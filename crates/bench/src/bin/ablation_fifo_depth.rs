@@ -1,0 +1,57 @@
+//! **Ablation A1**: sensitivity of the Data-Signature FIFO depth *n*
+//! (paper, Section III-B1: "the size of n depends on the depth of the
+//! processor pipeline").
+//!
+//! A deeper FIFO remembers more port history, so one divergent value
+//! suppresses the no-diversity flag for longer — fewer flagged cycles — at
+//! a linear area cost. The sweep quantifies that trade-off.
+//!
+//! Usage: `cargo run -p safedm-bench --bin ablation_fifo_depth --release`
+
+use safedm_bench::experiments::run_monitored;
+use safedm_core::SafeDmConfig;
+use safedm_power::estimate_area;
+use safedm_tacle::kernels;
+
+fn main() {
+    let names = ["fac", "iir", "bitcount", "md5"];
+    let depths = [1usize, 2, 4, 8, 12, 16];
+
+    println!("ABLATION A1: data-FIFO depth n vs no-diversity cycles and area");
+    println!();
+    print!("{:>4} {:>9} {:>7}", "n", "LUTs", "%SoC");
+    for n in names {
+        print!(" {:>10}", n);
+    }
+    println!("   (no-div cycles, 0-nop runs)");
+
+    let mut per_depth: Vec<Vec<u64>> = Vec::new();
+    for depth in depths {
+        let cfg = SafeDmConfig { data_fifo_depth: depth, ..SafeDmConfig::default() };
+        let area = estimate_area(&cfg);
+        print!("{:>4} {:>9} {:>7.2}", depth, area.total_luts, area.percent_of_baseline);
+        let mut row = Vec::new();
+        for name in names {
+            let k = kernels::by_name(name).expect("kernel");
+            let r = run_monitored(k, None, 0, cfg);
+            assert!(r.checksum_ok);
+            print!(" {:>10}", r.no_div);
+            row.push(r.no_div);
+        }
+        println!();
+        per_depth.push(row);
+    }
+
+    // Deeper FIFOs can only extend the protection window: no-div counts
+    // must be non-increasing in n (each divergent sample lives n cycles).
+    let mut monotone = true;
+    for col in 0..names.len() {
+        for w in per_depth.windows(2) {
+            if w[1][col] > w[0][col] {
+                monotone = false;
+            }
+        }
+    }
+    println!();
+    println!("no-div non-increasing in n: {monotone}");
+}

@@ -1,0 +1,44 @@
+//! **Ablation A2**: per-stage vs in-flight Instruction-Signature layout
+//! (paper, Section III-B2).
+//!
+//! The per-stage layout distinguishes two cores that hold the *same*
+//! instructions in *different* pipeline stages; the flat in-flight list
+//! (the paper's fallback for cores without group advance) cannot, so it
+//! reports **more** cycles without instruction diversity — extra false
+//! positives the paper's design decision avoids.
+//!
+//! Usage: `cargo run -p safedm-bench --bin ablation_is_layout --release`
+
+use safedm_bench::experiments::{dm_config_with_layout, run_monitored};
+use safedm_core::IsLayout;
+use safedm_tacle::kernels;
+
+fn main() {
+    let names = ["fac", "bitcount", "iir", "insertsort", "quicksort", "pm"];
+
+    println!("ABLATION A2: Instruction-Signature layout (is-match cycles, 0-nop runs)");
+    println!();
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>14} {:>14}",
+        "benchmark", "per-stage IS", "in-flight IS", "extra", "no-div (ps)", "no-div (if)"
+    );
+    let mut total_extra = 0i64;
+    for name in names {
+        let k = kernels::by_name(name).expect("kernel");
+        let ps = run_monitored(k, None, 0, dm_config_with_layout(IsLayout::PerStage));
+        let fl = run_monitored(k, None, 0, dm_config_with_layout(IsLayout::InFlight));
+        assert!(ps.checksum_ok && fl.checksum_ok);
+        let extra = fl.is_match as i64 - ps.is_match as i64;
+        total_extra += extra;
+        println!(
+            "{:<12} {:>14} {:>14} {:>12} {:>14} {:>14}",
+            name, ps.is_match, fl.is_match, extra, ps.no_div, fl.no_div
+        );
+    }
+    println!();
+    println!(
+        "the flat layout reports {total_extra} additional instruction-match cycles in total \
+         (>= 0 expected: it is strictly coarser)"
+    );
+    assert!(total_extra >= 0, "in-flight layout cannot be finer than per-stage");
+}

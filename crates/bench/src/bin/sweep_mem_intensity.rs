@@ -1,0 +1,69 @@
+//! **Extension E2**: natural diversity as a function of memory intensity.
+//!
+//! The paper attributes natural diversity to serialisation at shared
+//! resources; the synthetic-workload generator lets us turn that knob
+//! continuously. Sweeping the fraction of memory operations from 0 % (pure
+//! register compute, cores stay in lockstep) to high percentages (constant
+//! private-memory traffic, cores diverge almost immediately) produces the
+//! mechanism curve behind Table I.
+//!
+//! Usage: `cargo run -p safedm-bench --bin sweep_mem_intensity --release`
+
+use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
+use safedm_soc::SocConfig;
+use safedm_tacle::{build_synthetic, StackMode, SynthConfig};
+
+fn main() {
+    println!("EXTENSION E2: diversity vs memory intensity (synthetic kernels)");
+    println!();
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "mem %", "cycles", "zero-stag", "no-div", "observed", "no-div %"
+    );
+    for percent in [0u32, 2, 5, 10, 20, 40, 60, 80] {
+        // Average over a few seeds to smooth generator noise.
+        let mut totals = (0u64, 0u64, 0u64, 0u64);
+        const SEEDS: u64 = 3;
+        for seed in 0..SEEDS {
+            let prog = build_synthetic(
+                &SynthConfig::with_mem_percent(percent, 11 + seed),
+                None,
+                StackMode::Mirrored,
+            );
+            let mut sys = MonitoredSoc::new(
+                SocConfig::default(),
+                SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },
+            );
+            sys.load_program(&prog);
+            let out = sys.run(400_000_000);
+            assert!(out.run.all_clean(), "mem {percent}%: {:?}", out.run.exits);
+            totals.0 += out.run.cycles;
+            totals.1 += out.zero_stag_cycles;
+            totals.2 += out.no_div_cycles;
+            totals.3 += out.cycles_observed;
+        }
+        let share = totals.2 as f64 / totals.3.max(1) as f64 * 100.0;
+        println!(
+            "{:>7} {:>10} {:>10} {:>10} {:>10} {:>8.2}%",
+            percent,
+            totals.0 / SEEDS,
+            totals.1 / SEEDS,
+            totals.2 / SEEDS,
+            totals.3 / SEEDS,
+            share
+        );
+    }
+    println!();
+    println!(
+        "two regimes emerge:\n\
+         * 0% memory keeps bit-identical cores in cycle lockstep (no-div ≈ 100%);\n\
+           the first few percent of private-memory traffic collapse it — natural\n\
+           diversity is driven by shared-resource serialisation, the paper's\n\
+           Section V-C mechanism.\n\
+         * at extreme memory-boundedness the shared bus paces both cores: they\n\
+           spend most cycles frozen waiting on alternating grants, partially\n\
+           re-coupling (no-div creeps back up) — a regime worth monitoring for,\n\
+           and invisible to staggering-enforcement schemes that only count\n\
+           committed instructions."
+    );
+}

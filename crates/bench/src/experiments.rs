@@ -1,0 +1,321 @@
+//! Shared experiment plumbing: monitored kernel runs, the Table I sweep,
+//! and report structures (serialisable for EXPERIMENTS.md).
+
+use serde::Serialize;
+
+use safedm_core::{IsLayout, MonitoredSoc, ReportMode, SafeDmConfig};
+use safedm_isa::Reg;
+use safedm_soc::SocConfig;
+use safedm_tacle::{build_kernel_program, HarnessConfig, Kernel, StackMode, StaggerConfig};
+
+/// Cycle budget per kernel run (generous; runs end at `ebreak`).
+pub const RUN_BUDGET: u64 = 200_000_000;
+
+/// One monitored redundant run of one kernel.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelRunSummary {
+    /// Kernel name.
+    pub name: String,
+    /// Initial staggering in nops (0 = synchronised start).
+    pub stagger_nops: usize,
+    /// Which hart ran the sled.
+    pub delayed_core: usize,
+    /// Memory-jitter seed of this run.
+    pub seed: u64,
+    /// Cycles to completion.
+    pub cycles: u64,
+    /// Instructions retired by core 0.
+    pub instructions: u64,
+    /// Cycles with zero staggering.
+    pub zero_stag: u64,
+    /// Cycles without diversity.
+    pub no_div: u64,
+    /// Cycles with matching data signatures.
+    pub ds_match: u64,
+    /// Cycles with matching instruction signatures.
+    pub is_match: u64,
+    /// Monitored cycles.
+    pub observed: u64,
+    /// Whether both cores produced the reference checksum.
+    pub checksum_ok: bool,
+}
+
+/// Runs `kernel` redundantly under SafeDM with the given staggering and
+/// jitter seed.
+///
+/// The measurement window starts when the cores leave reset and commit
+/// their first instruction (the paper's synchronised start), excluding only
+/// the empty-pipeline boot stall while the first cache line is in flight.
+/// The staggering counter is seeded with the committed-instruction
+/// difference at that point (what a hardware counter running from reset
+/// would hold).
+///
+/// # Panics
+///
+/// Panics if the run exceeds [`RUN_BUDGET`] (indicates a model bug).
+#[must_use]
+pub fn run_monitored(
+    kernel: &Kernel,
+    stagger: Option<StaggerConfig>,
+    seed: u64,
+    dm_cfg: SafeDmConfig,
+) -> KernelRunSummary {
+    run_monitored_cfg(kernel, HarnessConfig { stagger, stack: StackMode::Mirrored }, seed, dm_cfg)
+}
+
+/// [`run_monitored`] with full harness control (stack placement included).
+///
+/// # Panics
+///
+/// Panics if the run exceeds [`RUN_BUDGET`] (indicates a model bug).
+#[must_use]
+pub fn run_monitored_cfg(
+    kernel: &Kernel,
+    harness: HarnessConfig,
+    seed: u64,
+    dm_cfg: SafeDmConfig,
+) -> KernelRunSummary {
+    let stagger = harness.stagger;
+    let prog = build_kernel_program(kernel, &harness);
+    let mut soc_cfg = SocConfig::default();
+    soc_cfg.mem_jitter = 2;
+    soc_cfg.jitter_seed = seed;
+    let mut dm_cfg = dm_cfg;
+    dm_cfg.report_mode = ReportMode::Polling;
+    let mut sys = MonitoredSoc::new(soc_cfg, dm_cfg);
+    sys.load_program(&prog);
+
+    // Hold the monitor disabled until the first instruction commits.
+    sys.write_ctrl(0);
+    sys.monitor_mut().set_enabled(false);
+    let mut spent = 0u64;
+    while sys.soc().core(0).retired() == 0 && sys.soc().core(1).retired() == 0 {
+        assert!(!sys.soc().all_halted(), "{}: halted before first commit", kernel.name);
+        sys.step();
+        spent += 1;
+        assert!(spent < RUN_BUDGET, "{}: boot exceeded budget", kernel.name);
+    }
+    let seed_diff = sys.soc().core(0).retired() as i64 - sys.soc().core(1).retired() as i64;
+    sys.monitor_mut().preset_diff(seed_diff);
+    sys.write_ctrl(1 | (safedm_core::regs::encode_mode(ReportMode::Polling) << 1));
+
+    let out = sys.run(RUN_BUDGET - spent);
+    assert!(!out.run.timed_out, "{}: run exceeded budget", kernel.name);
+    let golden = (kernel.reference)();
+    let checksum_ok = (0..2).all(|c| sys.soc().core(c).reg(Reg::A0) == golden);
+    let counters = sys.monitor().counters();
+    KernelRunSummary {
+        name: kernel.name.to_owned(),
+        stagger_nops: stagger.map_or(0, |s| s.nops),
+        delayed_core: stagger.map_or(0, |s| s.delayed_core),
+        seed,
+        cycles: out.run.cycles,
+        instructions: sys.soc().core(0).retired(),
+        zero_stag: out.zero_stag_cycles,
+        no_div: out.no_div_cycles,
+        ds_match: counters.ds_match_cycles,
+        is_match: counters.is_match_cycles,
+        observed: out.cycles_observed,
+        checksum_ok,
+    }
+}
+
+/// One Table I cell: maxima across the runs of one staggering setup.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Table1Cell {
+    /// Max cycles with zero staggering across runs.
+    pub zero_stag: u64,
+    /// Max cycles without diversity across runs.
+    pub no_div: u64,
+}
+
+/// One Table I row (one benchmark, four staggering setups).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Cells for 0 / 100 / 1,000 / 10,000 nops.
+    pub cells: [Table1Cell; 4],
+    /// Instructions executed (no-staggering run, core 0).
+    pub instructions: u64,
+    /// Whether every run passed its self-check.
+    pub all_checksums_ok: bool,
+}
+
+/// The staggering setups of Table I.
+pub const TABLE1_NOPS: [usize; 4] = [0, 100, 1_000, 10_000];
+
+/// Reproduces Table I for the given kernels. Per the paper's protocol,
+/// the no-staggering setup runs four times (different memory-jitter seeds)
+/// and each staggered setup runs twice (each core delayed once); cells
+/// report the maxima.
+#[must_use]
+pub fn table1(kernels: &[&Kernel], dm_cfg: SafeDmConfig) -> Vec<Table1Row> {
+    kernels
+        .iter()
+        .map(|k| {
+            let mut cells = [Table1Cell::default(); 4];
+            let mut instructions = 0;
+            let mut ok = true;
+            for (ci, nops) in TABLE1_NOPS.iter().enumerate() {
+                let runs: Vec<KernelRunSummary> = if *nops == 0 {
+                    (0..4).map(|seed| run_monitored(k, None, seed, dm_cfg)).collect()
+                } else {
+                    (0..2)
+                        .map(|d| {
+                            let st = StaggerConfig { nops: *nops, delayed_core: d };
+                            run_monitored(k, Some(st), d as u64, dm_cfg)
+                        })
+                        .collect()
+                };
+                for r in &runs {
+                    cells[ci].zero_stag = cells[ci].zero_stag.max(r.zero_stag);
+                    cells[ci].no_div = cells[ci].no_div.max(r.no_div);
+                    ok &= r.checksum_ok;
+                    if *nops == 0 {
+                        instructions = r.instructions;
+                    }
+                }
+            }
+            Table1Row { name: k.name.to_owned(), cells, instructions, all_checksums_ok: ok }
+        })
+        .collect()
+}
+
+/// Summary block printed below Table I (the paper's Section V-C averages).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Summary {
+    /// Mean instructions per benchmark.
+    pub avg_instructions: f64,
+    /// Mean of the per-benchmark zero-staggering maxima, per setup.
+    pub avg_zero_stag: [f64; 4],
+    /// Mean of the per-benchmark no-diversity maxima, per setup.
+    pub avg_no_div: [f64; 4],
+}
+
+/// Computes the summary block from Table I rows.
+#[must_use]
+pub fn summarize_table1(rows: &[Table1Row]) -> Table1Summary {
+    let n = rows.len().max(1) as f64;
+    let mut avg_zero = [0f64; 4];
+    let mut avg_nodiv = [0f64; 4];
+    for row in rows {
+        for i in 0..4 {
+            avg_zero[i] += row.cells[i].zero_stag as f64 / n;
+            avg_nodiv[i] += row.cells[i].no_div as f64 / n;
+        }
+    }
+    Table1Summary {
+        avg_instructions: rows.iter().map(|r| r.instructions as f64).sum::<f64>() / n,
+        avg_zero_stag: avg_zero,
+        avg_no_div: avg_nodiv,
+    }
+}
+
+/// Renders Table I in the paper's layout.
+#[must_use]
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<16}{:>10}{:>8}{:>10}{:>8}{:>10}{:>8}{:>10}{:>8}\n",
+        "", "0 nops", "", "100 nops", "", "1000 nops", "", "10000 nops", ""
+    ));
+    s.push_str(&format!(
+        "{:<16}{:>10}{:>8}{:>10}{:>8}{:>10}{:>8}{:>10}{:>8}\n",
+        "Benchmark", "Zero stag", "No div", "Zero stag", "No div", "Zero stag", "No div",
+        "Zero stag", "No div"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<16}{:>10}{:>8}{:>10}{:>8}{:>10}{:>8}{:>10}{:>8}\n",
+            r.name,
+            r.cells[0].zero_stag,
+            r.cells[0].no_div,
+            r.cells[1].zero_stag,
+            r.cells[1].no_div,
+            r.cells[2].zero_stag,
+            r.cells[2].no_div,
+            r.cells[3].zero_stag,
+            r.cells[3].no_div,
+        ));
+    }
+    s
+}
+
+/// Builds a [`SafeDmConfig`] for a given IS layout (ablation A2).
+#[must_use]
+pub fn dm_config_with_layout(layout: IsLayout) -> SafeDmConfig {
+    SafeDmConfig { is_layout: layout, ..SafeDmConfig::default() }
+}
+
+/// Parses `--flag value`-style arguments (tiny helper; no external CLI
+/// crate).
+#[must_use]
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` is present.
+#[must_use]
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_tacle::kernels;
+
+    #[test]
+    fn arg_helpers() {
+        let args: Vec<String> =
+            ["prog", "--json", "out.json", "--quick"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(arg_value(&args, "--json").as_deref(), Some("out.json"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+        assert!(arg_flag(&args, "--quick"));
+        assert!(!arg_flag(&args, "--slow"));
+        // flag at the end with no value
+        assert_eq!(arg_value(&args, "--quick"), None);
+    }
+
+    #[test]
+    fn run_monitored_is_deterministic_and_self_checking() {
+        let k = kernels::by_name("fac").expect("kernel");
+        let a = run_monitored(k, None, 3, SafeDmConfig::default());
+        let b = run_monitored(k, None, 3, SafeDmConfig::default());
+        assert!(a.checksum_ok);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.zero_stag, b.zero_stag);
+        assert_eq!(a.no_div, b.no_div);
+        // a different jitter seed shifts timing
+        let c = run_monitored(k, None, 4, SafeDmConfig::default());
+        assert!(c.checksum_ok);
+        assert_ne!((a.cycles, a.zero_stag), (c.cycles, c.zero_stag));
+    }
+
+    #[test]
+    fn staggering_suppresses_counts_in_run_monitored() {
+        let k = kernels::by_name("bitcount").expect("kernel");
+        let sync = run_monitored(k, None, 0, SafeDmConfig::default());
+        let st = StaggerConfig { nops: 1_000, delayed_core: 1 };
+        let staggered = run_monitored(k, Some(st), 0, SafeDmConfig::default());
+        assert!(sync.zero_stag > 10 * staggered.zero_stag.max(1));
+        assert!(sync.no_div > staggered.no_div);
+        assert_eq!(staggered.stagger_nops, 1_000);
+    }
+
+    #[test]
+    fn table1_row_shape_on_one_kernel() {
+        let k = kernels::by_name("fac").expect("kernel");
+        let rows = table1(&[k], SafeDmConfig::default());
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.all_checksums_ok);
+        assert!(row.cells[0].zero_stag >= row.cells[0].no_div);
+        assert!(row.cells[3].no_div <= row.cells[0].no_div);
+        let text = render_table1(&rows);
+        assert!(text.contains("fac"));
+        let summary = summarize_table1(&rows);
+        assert!(summary.avg_instructions > 1_000.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The Instruction-diff module (paper, Section IV-B3).
+//!
+//! A signed counter that increases when core 0 commits an instruction and
+//! decreases when core 1 does; its value is the instruction-count staggering
+//! between the cores. Zero means the cores have committed exactly the same
+//! number of instructions — the "zero staggering" condition of Table I.
+
+/// Staggering counter between two redundant cores.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_core::InstructionDiff;
+///
+/// let mut d = InstructionDiff::new();
+/// d.update(2, 0); // core 0 commits 2, core 1 none
+/// assert_eq!(d.value(), 2);
+/// d.update(0, 2);
+/// assert!(d.is_zero());
+/// assert_eq!(d.zero_cycles(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstructionDiff {
+    value: i64,
+    zero_cycles: u64,
+    max_abs: u64,
+    cycles: u64,
+}
+
+impl InstructionDiff {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> InstructionDiff {
+        InstructionDiff::default()
+    }
+
+    /// Applies one cycle of commit counts and updates the zero-staggering
+    /// statistics. Returns the new staggering value.
+    pub fn update(&mut self, committed0: u8, committed1: u8) -> i64 {
+        self.value += i64::from(committed0) - i64::from(committed1);
+        self.cycles += 1;
+        if self.value == 0 {
+            self.zero_cycles += 1;
+        }
+        self.max_abs = self.max_abs.max(self.value.unsigned_abs());
+        self.value
+    }
+
+    /// Current staggering in instructions (positive: core 0 ahead).
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Whether the staggering is currently zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.value == 0
+    }
+
+    /// Cycles observed with zero staggering (the Table I "Zero stag" count).
+    #[must_use]
+    pub fn zero_cycles(&self) -> u64 {
+        self.zero_cycles
+    }
+
+    /// Maximum absolute staggering seen.
+    #[must_use]
+    pub fn max_abs(&self) -> u64 {
+        self.max_abs
+    }
+
+    /// Cycles observed in total.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Presets the staggering value (used when the monitor is armed
+    /// mid-run: the hardware counter would have accumulated `value` since
+    /// reset). Statistics keep counting from the preset value.
+    pub fn preset(&mut self, value: i64) {
+        self.value = value;
+    }
+
+    /// Resets all state.
+    pub fn reset(&mut self) {
+        *self = InstructionDiff::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_zero_cycles_including_initial_equality() {
+        let mut d = InstructionDiff::new();
+        d.update(0, 0); // both idle: still zero staggering
+        d.update(1, 1);
+        d.update(2, 0);
+        d.update(0, 1);
+        d.update(0, 1);
+        assert_eq!(d.zero_cycles(), 3);
+        assert_eq!(d.value(), 0);
+        assert_eq!(d.cycles(), 5);
+    }
+
+    #[test]
+    fn tracks_max_abs_both_directions() {
+        let mut d = InstructionDiff::new();
+        d.update(2, 0);
+        d.update(2, 0);
+        assert_eq!(d.max_abs(), 4);
+        for _ in 0..5 {
+            d.update(0, 2);
+        }
+        assert_eq!(d.value(), -6);
+        assert_eq!(d.max_abs(), 6);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut d = InstructionDiff::new();
+        d.update(1, 0);
+        d.reset();
+        assert_eq!(d, InstructionDiff::new());
+    }
+}

@@ -1,0 +1,122 @@
+//! The hold-gated shift FIFO used by both signature generators.
+//!
+//! Hardware-wise this is a chain of registers clock-gated by the pipeline
+//! hold signal: every enabled cycle the oldest entry falls off the head and
+//! the new sample enters at the tail (paper, Section III-B1).
+
+/// Fixed-depth shift FIFO.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_core::HoldFifo;
+///
+/// let mut f = HoldFifo::new(3, 0u64);
+/// f.shift(1);
+/// f.shift(2);
+/// f.shift(3);
+/// assert_eq!(f.entries(), &[1, 2, 3]);
+/// f.shift(4); // 1 falls off
+/// assert_eq!(f.entries(), &[2, 3, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HoldFifo<T> {
+    entries: Vec<T>, // oldest first
+}
+
+impl<T: Clone> HoldFifo<T> {
+    /// Creates a FIFO of `depth` entries initialised to `init` (hardware
+    /// registers reset to a known value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(depth: usize, init: T) -> HoldFifo<T> {
+        assert!(depth >= 1, "FIFO depth must be at least 1");
+        HoldFifo { entries: vec![init; depth] }
+    }
+
+    /// Shifts in `sample`, dropping the oldest entry.
+    pub fn shift(&mut self, sample: T) {
+        self.entries.rotate_left(1);
+        let last = self.entries.len() - 1;
+        self.entries[last] = sample;
+    }
+
+    /// The entries, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> &[T] {
+        &self.entries
+    }
+
+    /// FIFO depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Resets every entry to `value`.
+    pub fn reset(&mut self, value: T) {
+        for e in &mut self.entries {
+            *e = value.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialised_full() {
+        let f = HoldFifo::new(4, 7u32);
+        assert_eq!(f.entries(), &[7, 7, 7, 7]);
+        assert_eq!(f.depth(), 4);
+    }
+
+    #[test]
+    fn shift_order_is_fifo() {
+        let mut f = HoldFifo::new(2, 0u8);
+        f.shift(1);
+        assert_eq!(f.entries(), &[0, 1]);
+        f.shift(2);
+        assert_eq!(f.entries(), &[1, 2]);
+        f.shift(3);
+        assert_eq!(f.entries(), &[2, 3]);
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let mut a = HoldFifo::new(3, 0u64);
+        let mut b = HoldFifo::new(3, 0u64);
+        assert_eq!(a, b);
+        a.shift(5);
+        assert_ne!(a, b);
+        b.shift(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_restores_known_state() {
+        let mut f = HoldFifo::new(3, 0u64);
+        f.shift(9);
+        f.reset(0);
+        assert_eq!(f, HoldFifo::new(3, 0u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_panics() {
+        let _ = HoldFifo::new(0, 0u8);
+    }
+
+    #[test]
+    fn depth_one_tracks_last() {
+        let mut f = HoldFifo::new(1, 0u8);
+        f.shift(3);
+        assert_eq!(f.entries(), &[3]);
+        f.shift(4);
+        assert_eq!(f.entries(), &[4]);
+    }
+}

@@ -1,0 +1,209 @@
+//! The History module (paper, Section IV-B4): evaluation-only histograms of
+//! no-diversity episodes with configurable bin sizes.
+
+/// Histogram of episode lengths with uniform bins and an open-ended tail.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_core::Histogram;
+///
+/// let mut h = Histogram::new(4, 4); // bins [1,4] [5,8] [9,12] [13,∞)
+/// h.record(3);
+/// h.record(6);
+/// h.record(100);
+/// assert_eq!(h.bins(), &[1, 1, 0, 1]);
+/// assert_eq!(h.total_episodes(), 3);
+/// assert_eq!(h.total_cycles(), 109);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    total_cycles: u64,
+    max_episode: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `bins` bins, each `bin_width` cycles wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero bins or zero width.
+    #[must_use]
+    pub fn new(bins: usize, bin_width: u64) -> Histogram {
+        assert!(bins >= 1 && bin_width >= 1, "histogram needs bins of nonzero width");
+        Histogram { bin_width, bins: vec![0; bins], total_cycles: 0, max_episode: 0 }
+    }
+
+    /// Records an episode of `length` cycles (zero-length episodes are
+    /// ignored).
+    pub fn record(&mut self, length: u64) {
+        if length == 0 {
+            return;
+        }
+        let idx = (((length - 1) / self.bin_width) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.total_cycles += length;
+        self.max_episode = self.max_episode.max(length);
+    }
+
+    /// Per-bin episode counts.
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Inclusive cycle range covered by bin `idx` (`None` upper bound for
+    /// the open-ended last bin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn bin_range(&self, idx: usize) -> (u64, Option<u64>) {
+        assert!(idx < self.bins.len());
+        let lo = idx as u64 * self.bin_width + 1;
+        if idx + 1 == self.bins.len() {
+            (lo, None)
+        } else {
+            (lo, Some((idx as u64 + 1) * self.bin_width))
+        }
+    }
+
+    /// Total episodes recorded.
+    #[must_use]
+    pub fn total_episodes(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Total cycles across all episodes.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Longest episode recorded.
+    #[must_use]
+    pub fn max_episode(&self) -> u64 {
+        self.max_episode
+    }
+
+    /// Clears all counts.
+    pub fn reset(&mut self) {
+        self.bins.iter_mut().for_each(|b| *b = 0);
+        self.total_cycles = 0;
+        self.max_episode = 0;
+    }
+}
+
+/// Tracks run lengths of a boolean condition cycle-by-cycle and records each
+/// completed run into a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpisodeTracker {
+    hist: Histogram,
+    current: u64,
+}
+
+impl EpisodeTracker {
+    /// Creates a tracker over a fresh histogram.
+    #[must_use]
+    pub fn new(bins: usize, bin_width: u64) -> EpisodeTracker {
+        EpisodeTracker { hist: Histogram::new(bins, bin_width), current: 0 }
+    }
+
+    /// Feeds one cycle of the condition.
+    pub fn observe(&mut self, active: bool) {
+        if active {
+            self.current += 1;
+        } else if self.current > 0 {
+            self.hist.record(self.current);
+            self.current = 0;
+        }
+    }
+
+    /// Flushes a trailing open episode (call at end of run).
+    pub fn finish(&mut self) {
+        if self.current > 0 {
+            self.hist.record(self.current);
+            self.current = 0;
+        }
+    }
+
+    /// The underlying histogram.
+    #[must_use]
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Length of the episode currently in progress.
+    #[must_use]
+    pub fn open_episode(&self) -> u64 {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_edges() {
+        let h = Histogram::new(3, 10);
+        assert_eq!(h.bin_range(0), (1, Some(10)));
+        assert_eq!(h.bin_range(1), (11, Some(20)));
+        assert_eq!(h.bin_range(2), (21, None));
+    }
+
+    #[test]
+    fn boundary_lengths_bin_correctly() {
+        let mut h = Histogram::new(3, 10);
+        h.record(1);
+        h.record(10);
+        h.record(11);
+        h.record(20);
+        h.record(21);
+        h.record(1000);
+        assert_eq!(h.bins(), &[2, 2, 2]);
+        assert_eq!(h.max_episode(), 1000);
+    }
+
+    #[test]
+    fn zero_length_ignored() {
+        let mut h = Histogram::new(2, 4);
+        h.record(0);
+        assert_eq!(h.total_episodes(), 0);
+    }
+
+    #[test]
+    fn tracker_splits_runs() {
+        let mut t = EpisodeTracker::new(4, 2);
+        for active in [true, true, false, true, false, false, true, true, true] {
+            t.observe(active);
+        }
+        t.finish();
+        // runs: 2, 1, 3
+        assert_eq!(t.histogram().total_episodes(), 3);
+        assert_eq!(t.histogram().total_cycles(), 6);
+        assert_eq!(t.histogram().bins(), &[2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut t = EpisodeTracker::new(2, 2);
+        t.observe(true);
+        t.finish();
+        t.finish();
+        assert_eq!(t.histogram().total_episodes(), 1);
+        assert_eq!(t.open_episode(), 0);
+    }
+
+    #[test]
+    fn reset_clears_histogram() {
+        let mut h = Histogram::new(2, 2);
+        h.record(5);
+        h.reset();
+        assert_eq!(h.total_episodes(), 0);
+        assert_eq!(h.total_cycles(), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The SafeDE baseline: *intrusive* diversity **enforcement** by staggering
+//! (Bas et al., "SafeDE: a flexible diversity enforcement hardware module
+//! for light-lockstepping", IOLTS 2021 — reference [4] of the SafeDM paper).
+//!
+//! SafeDE guarantees diversity by construction: it watches the committed-
+//! instruction staggering between a head and a trail core and stalls the
+//! trail core whenever the staggering drops below a programmed threshold.
+//! This is the comparison point of the paper's Table II — it enforces
+//! diversity but (a) perturbs execution (stall cycles) and (b) requires both
+//! cores to run *identical* instruction streams, a constraint SafeDM lifts.
+
+use safedm_soc::MpSoc;
+
+/// SafeDE configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SafeDeConfig {
+    /// Index of the head core (runs freely).
+    pub head: usize,
+    /// Index of the trail core (stalled when too close).
+    pub trail: usize,
+    /// Minimum committed-instruction staggering to maintain.
+    pub threshold: u64,
+}
+
+impl Default for SafeDeConfig {
+    fn default() -> SafeDeConfig {
+        SafeDeConfig { head: 0, trail: 1, threshold: 100 }
+    }
+}
+
+/// The staggering-enforcement module.
+///
+/// Drive it once per cycle, after [`MpSoc::step`]:
+///
+/// ```
+/// use safedm_asm::Asm;
+/// use safedm_core::{SafeDe, SafeDeConfig};
+/// use safedm_isa::Reg;
+/// use safedm_soc::{MpSoc, SocConfig};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::T0, 200);
+/// let top = a.here("top");
+/// a.addi(Reg::T0, Reg::T0, -1);
+/// a.bnez(Reg::T0, top);
+/// a.ebreak();
+/// let prog = a.link(0x8000_0000)?;
+///
+/// let mut soc = MpSoc::new(SocConfig::default());
+/// soc.load_program(&prog);
+/// let mut safede = SafeDe::new(SafeDeConfig { threshold: 50, ..SafeDeConfig::default() });
+/// for _ in 0..200_000 {
+///     soc.step();
+///     safede.control(&mut soc);
+///     if soc.all_halted() { break; }
+/// }
+/// assert!(safede.stall_cycles() > 0); // enforcement is intrusive
+/// # Ok::<(), safedm_asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SafeDe {
+    cfg: SafeDeConfig,
+    enabled: bool,
+    stall_cycles: u64,
+    min_stagger_seen: i64,
+    violations: u64,
+}
+
+impl SafeDe {
+    /// Builds the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if head and trail are the same core.
+    #[must_use]
+    pub fn new(cfg: SafeDeConfig) -> SafeDe {
+        assert_ne!(cfg.head, cfg.trail, "head and trail must differ");
+        SafeDe { cfg, enabled: true, stall_cycles: 0, min_stagger_seen: i64::MAX, violations: 0 }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SafeDeConfig {
+        &self.cfg
+    }
+
+    /// Enables or disables enforcement (releases the stall line when
+    /// disabled).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// One cycle of enforcement: stalls or releases the trail core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SoC has fewer cores than the configured indices.
+    pub fn control(&mut self, soc: &mut MpSoc) {
+        if !self.enabled {
+            soc.core_mut(self.cfg.trail).set_external_stall(false);
+            return;
+        }
+        let head = soc.core(self.cfg.head);
+        let trail = soc.core(self.cfg.trail);
+        // Once the head halts it can no longer advance; holding the trail
+        // would deadlock the redundant pair. Release and let it finish.
+        if head.halted() {
+            soc.core_mut(self.cfg.trail).set_external_stall(false);
+            return;
+        }
+        let stagger = head.retired() as i64 - trail.retired() as i64;
+        self.min_stagger_seen = self.min_stagger_seen.min(stagger);
+        if stagger < self.cfg.threshold as i64 {
+            self.violations += u64::from(!trail.external_stall());
+            soc.core_mut(self.cfg.trail).set_external_stall(true);
+            self.stall_cycles += 1;
+        } else {
+            soc.core_mut(self.cfg.trail).set_external_stall(false);
+        }
+    }
+
+    /// Total cycles the trail core was held stalled (the intrusiveness
+    /// metric of Table II).
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Number of distinct stall episodes started.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Minimum staggering observed (may be negative if the trail overtook
+    /// the head before enforcement kicked in).
+    #[must_use]
+    pub fn min_stagger_seen(&self) -> i64 {
+        self.min_stagger_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_asm::Asm;
+    use safedm_isa::Reg;
+    use safedm_soc::SocConfig;
+
+    fn loop_prog(iters: i64) -> safedm_asm::Program {
+        let mut a = Asm::new();
+        a.li(Reg::T0, iters);
+        let top = a.here("top");
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, top);
+        a.ebreak();
+        a.link(0x8000_0000).unwrap()
+    }
+
+    fn run_with(threshold: u64) -> (SafeDe, u64, u64, u64) {
+        let mut soc = MpSoc::new(SocConfig::default());
+        soc.load_program(&loop_prog(2000));
+        let mut de = SafeDe::new(SafeDeConfig { threshold, ..SafeDeConfig::default() });
+        let mut min_enforced_after_warmup = i64::MAX;
+        for cycle in 0..2_000_000u64 {
+            soc.step();
+            de.control(&mut soc);
+            if cycle > 2 * threshold && !soc.core(0).halted() && !soc.core(1).halted() {
+                let s = soc.core(0).retired() as i64 - soc.core(1).retired() as i64;
+                min_enforced_after_warmup = min_enforced_after_warmup.min(s);
+            }
+            if soc.all_halted() && soc.core(0).store_buffer_len() == 0
+                && soc.core(1).store_buffer_len() == 0
+            {
+                break;
+            }
+        }
+        assert!(soc.all_halted());
+        let c0 = soc.core(0).stats().cycles;
+        let c1 = soc.core(1).stats().cycles;
+        (de, c0, c1, min_enforced_after_warmup.max(0) as u64)
+    }
+
+    #[test]
+    fn enforces_minimum_staggering() {
+        let (de, _, _, min_seen) = run_with(100);
+        assert!(de.stall_cycles() > 0, "trail must have been stalled");
+        // After warm-up, enforced staggering stays at/above the threshold
+        // minus the dual-issue quantisation (2 per cycle).
+        assert!(min_seen + 2 >= 100, "staggering {min_seen} fell below threshold");
+    }
+
+    #[test]
+    fn intrusiveness_grows_with_threshold() {
+        let (de_small, ..) = run_with(50);
+        let (de_large, ..) = run_with(500);
+        assert!(
+            de_large.stall_cycles() > de_small.stall_cycles(),
+            "larger threshold must stall more ({} vs {})",
+            de_large.stall_cycles(),
+            de_small.stall_cycles()
+        );
+    }
+
+    #[test]
+    fn disabled_module_releases_stall() {
+        let mut soc = MpSoc::new(SocConfig::default());
+        soc.load_program(&loop_prog(100));
+        let mut de = SafeDe::new(SafeDeConfig::default());
+        soc.step();
+        de.control(&mut soc);
+        assert!(soc.core(1).external_stall());
+        de.set_enabled(false);
+        de.control(&mut soc);
+        assert!(!soc.core(1).external_stall());
+    }
+
+    #[test]
+    fn trail_finishes_after_head_halts() {
+        let (_, c0, c1, _) = run_with(200);
+        assert!(c1 >= c0, "trail runs at least as long as head");
+    }
+
+    #[test]
+    #[should_panic(expected = "head and trail must differ")]
+    fn same_core_rejected() {
+        let _ = SafeDe::new(SafeDeConfig { head: 0, trail: 0, threshold: 1 });
+    }
+}

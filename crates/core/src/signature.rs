@@ -1,0 +1,359 @@
+//! Data and Instruction Signature generators (paper, Section III-B, Fig. 2).
+
+use safedm_soc::{CoreProbe, PortSample, StageSlot, PIPE_STAGES, PIPE_WIDTH, READ_PORTS, WRITE_PORTS};
+
+use crate::{HoldFifo, IsLayout, SafeDmConfig};
+
+/// Total register-file ports observed per core.
+pub const DATA_PORTS: usize = READ_PORTS + WRITE_PORTS;
+
+/// One data-FIFO entry: the port enable line plus the 64-bit data lines.
+pub type DataSample = (bool, u64);
+
+/// The Data Signature (DS) of one core: one hold-gated FIFO per register
+/// port, each holding the last *n* cycles of port samples. The signature is
+/// the concatenation of all FIFOs; two cores lack data diversity when their
+/// signatures are bit-identical (paper, Section III-B1).
+///
+/// # Examples
+///
+/// ```
+/// use safedm_core::{DataSignature, SafeDmConfig};
+/// use safedm_soc::CoreProbe;
+///
+/// let cfg = SafeDmConfig::default();
+/// let mut a = DataSignature::new(&cfg);
+/// let mut b = DataSignature::new(&cfg);
+/// let probe = CoreProbe::default();
+/// a.capture(&probe);
+/// b.capture(&probe);
+/// assert_eq!(a, b); // identical activity -> identical signatures
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSignature {
+    fifos: Vec<HoldFifo<DataSample>>, // READ_PORTS read ports then WRITE_PORTS write ports
+}
+
+impl DataSignature {
+    /// Creates the signature generator for `cfg`.
+    #[must_use]
+    pub fn new(cfg: &SafeDmConfig) -> DataSignature {
+        DataSignature {
+            fifos: (0..DATA_PORTS).map(|_| HoldFifo::new(cfg.data_fifo_depth, (false, 0))).collect(),
+        }
+    }
+
+    /// Captures one cycle of register-port activity. When the probe reports
+    /// `hold`, the FIFOs are clock-gated and keep their contents.
+    pub fn capture(&mut self, probe: &CoreProbe) {
+        if probe.hold {
+            return;
+        }
+        let sample = |p: &PortSample| (p.enable, p.value);
+        for (i, port) in probe.reads.iter().enumerate() {
+            self.fifos[i].shift(sample(port));
+        }
+        for (i, port) in probe.writes.iter().enumerate() {
+            self.fifos[READ_PORTS + i].shift(sample(port));
+        }
+    }
+
+    /// The concatenated signature, port-major, oldest sample first — the DS
+    /// bit vector of the paper in `(enable, value)` tuples.
+    #[must_use]
+    pub fn bits(&self) -> Vec<DataSample> {
+        self.fifos.iter().flat_map(|f| f.entries().iter().copied()).collect()
+    }
+
+    /// Signature width in bits (65 bits per entry: 64 data + 1 enable).
+    #[must_use]
+    pub fn width_bits(&self) -> usize {
+        self.fifos.iter().map(|f| f.depth() * 65).sum()
+    }
+
+    /// Hamming distance to `other` in signature bits (0 ⇔ equal). A
+    /// *magnitude* of data diversity beyond the paper's binary verdict.
+    #[must_use]
+    pub fn hamming(&self, other: &DataSignature) -> u32 {
+        let mut d = 0u32;
+        for (fa, fb) in self.fifos.iter().zip(&other.fifos) {
+            for (&(ea, va), &(eb, vb)) in fa.entries().iter().zip(fb.entries()) {
+                d += u32::from(ea != eb) + (va ^ vb).count_ones();
+            }
+        }
+        d
+    }
+
+    /// Resets all FIFOs to the power-on state.
+    pub fn reset(&mut self) {
+        for f in &mut self.fifos {
+            f.reset((false, 0));
+        }
+    }
+}
+
+/// The Instruction Signature (IS) of one core (paper, Section III-B2).
+///
+/// In [`IsLayout::PerStage`] the signature is the per-stage slot occupancy
+/// `I_x^y` of Fig. 2b: `(valid, encoding)` for each of the `o × p` slots.
+/// In [`IsLayout::InFlight`] it degrades to the flat list of in-flight
+/// instruction encodings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstructionSignature {
+    layout: IsLayout,
+    include_stale: bool,
+    /// Per-stage capture (PerStage layout).
+    stages: [[(bool, u32); PIPE_WIDTH]; PIPE_STAGES],
+    /// Flat in-flight list, padded with invalid entries (InFlight layout).
+    flat: Vec<(bool, u32)>,
+}
+
+impl InstructionSignature {
+    /// Creates the signature generator for `cfg`.
+    #[must_use]
+    pub fn new(cfg: &SafeDmConfig) -> InstructionSignature {
+        InstructionSignature {
+            layout: cfg.is_layout,
+            include_stale: cfg.include_stale_bits,
+            stages: [[(false, 0); PIPE_WIDTH]; PIPE_STAGES],
+            flat: vec![(false, 0); PIPE_STAGES * PIPE_WIDTH],
+        }
+    }
+
+    /// Captures the pipeline occupancy of one cycle. Holds keep the previous
+    /// capture (the stage registers did not move).
+    pub fn capture(&mut self, probe: &CoreProbe) {
+        if probe.hold {
+            return;
+        }
+        let view = |s: &StageSlot| {
+            if s.valid {
+                (true, s.raw)
+            } else if self.include_stale {
+                (false, s.raw)
+            } else {
+                (false, 0)
+            }
+        };
+        match self.layout {
+            IsLayout::PerStage => {
+                for (i, stage) in probe.stages.iter().enumerate() {
+                    for (j, slot) in stage.iter().enumerate() {
+                        self.stages[i][j] = view(slot);
+                    }
+                }
+            }
+            IsLayout::InFlight => {
+                // Oldest (WB) first so the list is ordered by program age.
+                self.flat.clear();
+                for stage in probe.stages.iter().rev() {
+                    for slot in stage {
+                        if slot.valid {
+                            self.flat.push((true, slot.raw));
+                        }
+                    }
+                }
+                self.flat.resize(PIPE_STAGES * PIPE_WIDTH, (false, 0));
+            }
+        }
+    }
+
+    /// The signature as `(valid, encoding)` entries.
+    #[must_use]
+    pub fn bits(&self) -> Vec<(bool, u32)> {
+        match self.layout {
+            IsLayout::PerStage => self.stages.iter().flatten().copied().collect(),
+            IsLayout::InFlight => self.flat.clone(),
+        }
+    }
+
+    /// Signature width in bits (33 bits per slot: 32 encoding + 1 valid).
+    #[must_use]
+    pub fn width_bits(&self) -> usize {
+        PIPE_STAGES * PIPE_WIDTH * 33
+    }
+
+    /// Hamming distance to `other` in signature bits (0 ⇔ equal when both
+    /// use the same layout).
+    #[must_use]
+    pub fn hamming(&self, other: &InstructionSignature) -> u32 {
+        let a = self.bits();
+        let b = other.bits();
+        a.iter()
+            .zip(&b)
+            .map(|(&(va, ra), &(vb, rb))| u32::from(va != vb) + (ra ^ rb).count_ones())
+            .sum()
+    }
+
+    /// Resets to the power-on state.
+    pub fn reset(&mut self) {
+        self.stages = [[(false, 0); PIPE_WIDTH]; PIPE_STAGES];
+        self.flat = vec![(false, 0); PIPE_STAGES * PIPE_WIDTH];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_soc::{PortSample, StageSlot};
+
+    fn probe_with_read(v: u64) -> CoreProbe {
+        let mut p = CoreProbe::default();
+        p.reads[0] = PortSample { enable: true, value: v };
+        p
+    }
+
+    #[test]
+    fn identical_streams_identical_ds() {
+        let cfg = SafeDmConfig::default();
+        let mut a = DataSignature::new(&cfg);
+        let mut b = DataSignature::new(&cfg);
+        for v in 0..20 {
+            a.capture(&probe_with_read(v));
+            b.capture(&probe_with_read(v));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn one_different_value_breaks_ds_for_n_cycles() {
+        let cfg = SafeDmConfig { data_fifo_depth: 4, ..SafeDmConfig::default() };
+        let mut a = DataSignature::new(&cfg);
+        let mut b = DataSignature::new(&cfg);
+        a.capture(&probe_with_read(99));
+        b.capture(&probe_with_read(11));
+        assert_ne!(a, b);
+        // After n identical cycles the divergent sample ages out.
+        for v in 0..4 {
+            a.capture(&probe_with_read(v));
+            b.capture(&probe_with_read(v));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hold_freezes_ds() {
+        let cfg = SafeDmConfig::default();
+        let mut a = DataSignature::new(&cfg);
+        let before = a.bits();
+        let mut p = probe_with_read(42);
+        p.hold = true;
+        a.capture(&p);
+        assert_eq!(a.bits(), before, "held cycle must not shift");
+    }
+
+    #[test]
+    fn enable_bit_distinguishes_idle_from_zero() {
+        let cfg = SafeDmConfig::default();
+        let mut a = DataSignature::new(&cfg);
+        let mut b = DataSignature::new(&cfg);
+        let mut pa = CoreProbe::default();
+        pa.reads[0] = PortSample { enable: true, value: 0 };
+        let pb = CoreProbe::default(); // port idle, value 0
+        a.capture(&pa);
+        b.capture(&pb);
+        assert_ne!(a, b, "active-zero differs from idle");
+    }
+
+    #[test]
+    fn ds_width_matches_geometry() {
+        let cfg = SafeDmConfig::default();
+        let ds = DataSignature::new(&cfg);
+        assert_eq!(ds.width_bits(), DATA_PORTS * cfg.data_fifo_depth * 65);
+    }
+
+    fn probe_with_stage(stage: usize, slot: usize, raw: u32) -> CoreProbe {
+        let mut p = CoreProbe::default();
+        p.stages[stage][slot] = StageSlot { valid: true, raw };
+        p
+    }
+
+    #[test]
+    fn per_stage_distinguishes_stage_position() {
+        let cfg = SafeDmConfig::default();
+        let mut a = InstructionSignature::new(&cfg);
+        let mut b = InstructionSignature::new(&cfg);
+        a.capture(&probe_with_stage(2, 0, 0x13));
+        b.capture(&probe_with_stage(3, 0, 0x13)); // same inst, other stage
+        assert_ne!(a.bits(), b.bits());
+    }
+
+    #[test]
+    fn in_flight_ignores_stage_position() {
+        let cfg = SafeDmConfig { is_layout: IsLayout::InFlight, ..SafeDmConfig::default() };
+        let mut a = InstructionSignature::new(&cfg);
+        let mut b = InstructionSignature::new(&cfg);
+        a.capture(&probe_with_stage(2, 0, 0x13));
+        b.capture(&probe_with_stage(3, 0, 0x13));
+        assert_eq!(a.bits(), b.bits(), "flat layout collapses stage position");
+    }
+
+    #[test]
+    fn stale_bits_masked_by_default() {
+        let cfg = SafeDmConfig::default();
+        let mut a = InstructionSignature::new(&cfg);
+        let mut b = InstructionSignature::new(&cfg);
+        let mut pa = CoreProbe::default();
+        pa.stages[4][0] = StageSlot { valid: false, raw: 0xdead_beef };
+        let mut pb = CoreProbe::default();
+        pb.stages[4][0] = StageSlot { valid: false, raw: 0x1234_5678 };
+        a.capture(&pa);
+        b.capture(&pb);
+        assert_eq!(a.bits(), b.bits(), "invalid slots must compare equal");
+    }
+
+    #[test]
+    fn stale_bits_kept_when_configured() {
+        let cfg = SafeDmConfig { include_stale_bits: true, ..SafeDmConfig::default() };
+        let mut a = InstructionSignature::new(&cfg);
+        let mut b = InstructionSignature::new(&cfg);
+        let mut pa = CoreProbe::default();
+        pa.stages[4][0] = StageSlot { valid: false, raw: 0xdead_beef };
+        let mut pb = CoreProbe::default();
+        pb.stages[4][0] = StageSlot { valid: false, raw: 0x1234_5678 };
+        a.capture(&pa);
+        b.capture(&pb);
+        assert_ne!(a.bits(), b.bits());
+    }
+
+    #[test]
+    fn hamming_zero_iff_equal() {
+        let cfg = SafeDmConfig::default();
+        let mut a = DataSignature::new(&cfg);
+        let mut b = DataSignature::new(&cfg);
+        assert_eq!(a.hamming(&b), 0);
+        a.capture(&probe_with_read(0b1011));
+        b.capture(&probe_with_read(0b1000));
+        // 2 differing data bits; enables equal
+        assert_eq!(a.hamming(&b), 2);
+        assert_ne!(a, b);
+        b = a.clone();
+        assert_eq!(a.hamming(&b), 0);
+    }
+
+    #[test]
+    fn is_hamming_counts_encoding_bits() {
+        let cfg = SafeDmConfig::default();
+        let mut a = InstructionSignature::new(&cfg);
+        let mut b = InstructionSignature::new(&cfg);
+        a.capture(&probe_with_stage(3, 0, 0b1111));
+        b.capture(&probe_with_stage(3, 0, 0b1000));
+        assert_eq!(a.hamming(&b), 3);
+        // valid-bit difference counts one plus the masked encoding
+        let mut c = InstructionSignature::new(&cfg);
+        c.capture(&CoreProbe::default());
+        assert_eq!(a.hamming(&c), 1 + 4u32);
+    }
+
+    #[test]
+    fn is_hold_freezes_capture() {
+        let cfg = SafeDmConfig::default();
+        let mut a = InstructionSignature::new(&cfg);
+        a.capture(&probe_with_stage(1, 0, 0x77));
+        let before = a.bits();
+        let mut p = probe_with_stage(1, 0, 0x99);
+        p.hold = true;
+        a.capture(&p);
+        assert_eq!(a.bits(), before);
+    }
+}

@@ -1,0 +1,114 @@
+//! The minimal control-and-status-register (CSR) subset used by the model.
+//!
+//! Only the machine-mode counters and identity registers needed by bare-metal
+//! benchmark harnesses are implemented: cycle/instret counters and the hart
+//! id (used by redundant programs to pick per-core stacks).
+
+/// CSR addresses implemented by the pipeline model.
+pub mod addr {
+    /// `mcycle` — machine cycle counter.
+    pub const MCYCLE: u16 = 0xb00;
+    /// `minstret` — machine instructions-retired counter.
+    pub const MINSTRET: u16 = 0xb02;
+    /// `mhartid` — hardware thread id (read-only).
+    pub const MHARTID: u16 = 0xf14;
+    /// `mscratch` — machine scratch register.
+    pub const MSCRATCH: u16 = 0x340;
+    /// `cycle` — user-mode cycle counter alias.
+    pub const CYCLE: u16 = 0xc00;
+    /// `instret` — user-mode instret alias.
+    pub const INSTRET: u16 = 0xc02;
+}
+
+/// The CSR state held by one core.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_isa::csr::{CsrFile, addr};
+///
+/// let mut csrs = CsrFile::new(1);
+/// assert_eq!(csrs.read(addr::MHARTID), Some(1));
+/// csrs.write(addr::MSCRATCH, 42);
+/// assert_eq!(csrs.read(addr::MSCRATCH), Some(42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrFile {
+    hart_id: u64,
+    /// Cycle counter, incremented by the pipeline each cycle.
+    pub mcycle: u64,
+    /// Retired-instruction counter, incremented at commit.
+    pub minstret: u64,
+    mscratch: u64,
+}
+
+impl CsrFile {
+    /// Creates the CSR file for hart `hart_id` with zeroed counters.
+    #[must_use]
+    pub fn new(hart_id: u64) -> CsrFile {
+        CsrFile { hart_id, mcycle: 0, minstret: 0, mscratch: 0 }
+    }
+
+    /// Reads a CSR; `None` when the address is unimplemented.
+    #[must_use]
+    pub fn read(&self, csr: u16) -> Option<u64> {
+        match csr {
+            addr::MCYCLE | addr::CYCLE => Some(self.mcycle),
+            addr::MINSTRET | addr::INSTRET => Some(self.minstret),
+            addr::MHARTID => Some(self.hart_id),
+            addr::MSCRATCH => Some(self.mscratch),
+            _ => None,
+        }
+    }
+
+    /// Writes a CSR, ignoring writes to read-only or unimplemented addresses.
+    pub fn write(&mut self, csr: u16, value: u64) {
+        match csr {
+            addr::MCYCLE => self.mcycle = value,
+            addr::MINSTRET => self.minstret = value,
+            addr::MSCRATCH => self.mscratch = value,
+            _ => {}
+        }
+    }
+
+    /// The hart id this CSR file was built for.
+    #[must_use]
+    pub fn hart_id(&self) -> u64 {
+        self.hart_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hartid_is_read_only() {
+        let mut c = CsrFile::new(3);
+        c.write(addr::MHARTID, 99);
+        assert_eq!(c.read(addr::MHARTID), Some(3));
+    }
+
+    #[test]
+    fn counters_alias_user_views() {
+        let mut c = CsrFile::new(0);
+        c.mcycle = 123;
+        c.minstret = 45;
+        assert_eq!(c.read(addr::CYCLE), Some(123));
+        assert_eq!(c.read(addr::MCYCLE), Some(123));
+        assert_eq!(c.read(addr::INSTRET), Some(45));
+    }
+
+    #[test]
+    fn unimplemented_reads_none() {
+        let c = CsrFile::new(0);
+        assert_eq!(c.read(0x305), None); // mtvec not modelled
+    }
+
+    #[test]
+    fn scratch_roundtrip() {
+        let mut c = CsrFile::new(0);
+        c.write(addr::MSCRATCH, u64::MAX);
+        assert_eq!(c.read(addr::MSCRATCH), Some(u64::MAX));
+    }
+}

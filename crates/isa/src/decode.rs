@@ -1,0 +1,383 @@
+//! Decoding of 32-bit RV64IM instruction words into [`Inst`].
+
+use crate::{AluKind, BranchKind, CsrKind, DecodeError, Inst, LoadKind, Reg, StoreKind};
+
+const OPC_LUI: u32 = 0b011_0111;
+const OPC_AUIPC: u32 = 0b001_0111;
+const OPC_JAL: u32 = 0b110_1111;
+const OPC_JALR: u32 = 0b110_0111;
+const OPC_BRANCH: u32 = 0b110_0011;
+const OPC_LOAD: u32 = 0b000_0011;
+const OPC_STORE: u32 = 0b010_0011;
+const OPC_OP_IMM: u32 = 0b001_0011;
+const OPC_OP_IMM_32: u32 = 0b001_1011;
+const OPC_OP: u32 = 0b011_0011;
+const OPC_OP_32: u32 = 0b011_1011;
+const OPC_MISC_MEM: u32 = 0b000_1111;
+const OPC_SYSTEM: u32 = 0b111_0011;
+
+#[inline]
+fn rd(word: u32) -> Reg {
+    Reg::new(((word >> 7) & 0x1f) as u8)
+}
+
+#[inline]
+fn rs1(word: u32) -> Reg {
+    Reg::new(((word >> 15) & 0x1f) as u8)
+}
+
+#[inline]
+fn rs2(word: u32) -> Reg {
+    Reg::new(((word >> 20) & 0x1f) as u8)
+}
+
+#[inline]
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+#[inline]
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+/// Sign-extended I-type immediate (bits `[31:20]`).
+#[inline]
+fn imm_i(word: u32) -> i64 {
+    ((word as i32) >> 20) as i64
+}
+
+/// Sign-extended S-type immediate.
+#[inline]
+fn imm_s(word: u32) -> i64 {
+    let hi = ((word as i32) >> 25) as i64; // sign-extended [31:25]
+    let lo = ((word >> 7) & 0x1f) as i64;
+    (hi << 5) | lo
+}
+
+/// Sign-extended B-type immediate (byte offset, bit 0 implicit zero).
+#[inline]
+fn imm_b(word: u32) -> i64 {
+    let sign = ((word as i32) >> 31) as i64; // imm[12]
+    let b11 = ((word >> 7) & 0x1) as i64;
+    let b10_5 = ((word >> 25) & 0x3f) as i64;
+    let b4_1 = ((word >> 8) & 0xf) as i64;
+    (sign << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+}
+
+/// Sign-extended U-type immediate (already shifted left by 12).
+#[inline]
+fn imm_u(word: u32) -> i64 {
+    ((word & 0xffff_f000) as i32) as i64
+}
+
+/// Sign-extended J-type immediate (byte offset, bit 0 implicit zero).
+#[inline]
+fn imm_j(word: u32) -> i64 {
+    let sign = ((word as i32) >> 31) as i64; // imm[20]
+    let b19_12 = ((word >> 12) & 0xff) as i64;
+    let b11 = ((word >> 20) & 0x1) as i64;
+    let b10_1 = ((word >> 21) & 0x3ff) as i64;
+    (sign << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for compressed parcels, unknown opcodes,
+/// reserved funct selectors, or reserved shift amounts.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_isa::{decode, Inst};
+///
+/// // addi x0, x0, 0 == canonical nop (0x00000013)
+/// assert_eq!(decode(0x0000_0013)?, Inst::NOP);
+/// # Ok::<(), safedm_isa::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    if word & 0b11 != 0b11 {
+        return Err(DecodeError::Compressed { word });
+    }
+    match word & 0x7f {
+        OPC_LUI => Ok(Inst::Lui { rd: rd(word), imm: imm_u(word) }),
+        OPC_AUIPC => Ok(Inst::Auipc { rd: rd(word), imm: imm_u(word) }),
+        OPC_JAL => Ok(Inst::Jal { rd: rd(word), offset: imm_j(word) }),
+        OPC_JALR => {
+            if funct3(word) != 0 {
+                return Err(DecodeError::UnknownFunct { word });
+            }
+            Ok(Inst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) })
+        }
+        OPC_BRANCH => {
+            let kind = match funct3(word) {
+                0b000 => BranchKind::Eq,
+                0b001 => BranchKind::Ne,
+                0b100 => BranchKind::Lt,
+                0b101 => BranchKind::Ge,
+                0b110 => BranchKind::Ltu,
+                0b111 => BranchKind::Geu,
+                _ => return Err(DecodeError::UnknownFunct { word }),
+            };
+            Ok(Inst::Branch { kind, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) })
+        }
+        OPC_LOAD => {
+            let kind = match funct3(word) {
+                0b000 => LoadKind::B,
+                0b001 => LoadKind::H,
+                0b010 => LoadKind::W,
+                0b011 => LoadKind::D,
+                0b100 => LoadKind::Bu,
+                0b101 => LoadKind::Hu,
+                0b110 => LoadKind::Wu,
+                _ => return Err(DecodeError::UnknownFunct { word }),
+            };
+            Ok(Inst::Load { kind, rd: rd(word), rs1: rs1(word), offset: imm_i(word) })
+        }
+        OPC_STORE => {
+            let kind = match funct3(word) {
+                0b000 => StoreKind::B,
+                0b001 => StoreKind::H,
+                0b010 => StoreKind::W,
+                0b011 => StoreKind::D,
+                _ => return Err(DecodeError::UnknownFunct { word }),
+            };
+            Ok(Inst::Store { kind, rs1: rs1(word), rs2: rs2(word), offset: imm_s(word) })
+        }
+        OPC_OP_IMM => decode_op_imm(word),
+        OPC_OP_IMM_32 => decode_op_imm_32(word),
+        OPC_OP => decode_op(word),
+        OPC_OP_32 => decode_op_32(word),
+        OPC_MISC_MEM => {
+            if funct3(word) == 0 {
+                Ok(Inst::Fence)
+            } else {
+                Err(DecodeError::UnknownFunct { word })
+            }
+        }
+        OPC_SYSTEM => decode_system(word),
+        _ => Err(DecodeError::UnknownOpcode { word }),
+    }
+}
+
+fn decode_op_imm(word: u32) -> Result<Inst, DecodeError> {
+    let (rd, rs1) = (rd(word), rs1(word));
+    let imm = imm_i(word);
+    let kind = match funct3(word) {
+        0b000 => AluKind::Add,
+        0b010 => AluKind::Slt,
+        0b011 => AluKind::Sltu,
+        0b100 => AluKind::Xor,
+        0b110 => AluKind::Or,
+        0b111 => AluKind::And,
+        0b001 => {
+            // slli: funct6 must be 0 (RV64 shamt is 6 bits).
+            if word >> 26 != 0 {
+                return Err(DecodeError::ReservedShamt { word });
+            }
+            return Ok(Inst::OpImm { kind: AluKind::Sll, rd, rs1, imm: ((word >> 20) & 0x3f) as i64 });
+        }
+        0b101 => {
+            let shamt = ((word >> 20) & 0x3f) as i64;
+            return match word >> 26 {
+                0b000000 => Ok(Inst::OpImm { kind: AluKind::Srl, rd, rs1, imm: shamt }),
+                0b010000 => Ok(Inst::OpImm { kind: AluKind::Sra, rd, rs1, imm: shamt }),
+                _ => Err(DecodeError::ReservedShamt { word }),
+            };
+        }
+        _ => unreachable!("funct3 is 3 bits"),
+    };
+    Ok(Inst::OpImm { kind, rd, rs1, imm })
+}
+
+fn decode_op_imm_32(word: u32) -> Result<Inst, DecodeError> {
+    let (rd, rs1) = (rd(word), rs1(word));
+    match funct3(word) {
+        0b000 => Ok(Inst::OpImm { kind: AluKind::Addw, rd, rs1, imm: imm_i(word) }),
+        0b001 => {
+            if funct7(word) != 0 {
+                return Err(DecodeError::ReservedShamt { word });
+            }
+            Ok(Inst::OpImm { kind: AluKind::Sllw, rd, rs1, imm: ((word >> 20) & 0x1f) as i64 })
+        }
+        0b101 => {
+            let shamt = ((word >> 20) & 0x1f) as i64;
+            match funct7(word) {
+                0b000_0000 => Ok(Inst::OpImm { kind: AluKind::Srlw, rd, rs1, imm: shamt }),
+                0b010_0000 => Ok(Inst::OpImm { kind: AluKind::Sraw, rd, rs1, imm: shamt }),
+                _ => Err(DecodeError::ReservedShamt { word }),
+            }
+        }
+        _ => Err(DecodeError::UnknownFunct { word }),
+    }
+}
+
+fn decode_op(word: u32) -> Result<Inst, DecodeError> {
+    let kind = match (funct7(word), funct3(word)) {
+        (0b000_0000, 0b000) => AluKind::Add,
+        (0b010_0000, 0b000) => AluKind::Sub,
+        (0b000_0000, 0b001) => AluKind::Sll,
+        (0b000_0000, 0b010) => AluKind::Slt,
+        (0b000_0000, 0b011) => AluKind::Sltu,
+        (0b000_0000, 0b100) => AluKind::Xor,
+        (0b000_0000, 0b101) => AluKind::Srl,
+        (0b010_0000, 0b101) => AluKind::Sra,
+        (0b000_0000, 0b110) => AluKind::Or,
+        (0b000_0000, 0b111) => AluKind::And,
+        (0b000_0001, 0b000) => AluKind::Mul,
+        (0b000_0001, 0b001) => AluKind::Mulh,
+        (0b000_0001, 0b010) => AluKind::Mulhsu,
+        (0b000_0001, 0b011) => AluKind::Mulhu,
+        (0b000_0001, 0b100) => AluKind::Div,
+        (0b000_0001, 0b101) => AluKind::Divu,
+        (0b000_0001, 0b110) => AluKind::Rem,
+        (0b000_0001, 0b111) => AluKind::Remu,
+        _ => return Err(DecodeError::UnknownFunct { word }),
+    };
+    Ok(Inst::Op { kind, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+}
+
+fn decode_op_32(word: u32) -> Result<Inst, DecodeError> {
+    let kind = match (funct7(word), funct3(word)) {
+        (0b000_0000, 0b000) => AluKind::Addw,
+        (0b010_0000, 0b000) => AluKind::Subw,
+        (0b000_0000, 0b001) => AluKind::Sllw,
+        (0b000_0000, 0b101) => AluKind::Srlw,
+        (0b010_0000, 0b101) => AluKind::Sraw,
+        (0b000_0001, 0b000) => AluKind::Mulw,
+        (0b000_0001, 0b100) => AluKind::Divw,
+        (0b000_0001, 0b101) => AluKind::Divuw,
+        (0b000_0001, 0b110) => AluKind::Remw,
+        (0b000_0001, 0b111) => AluKind::Remuw,
+        _ => return Err(DecodeError::UnknownFunct { word }),
+    };
+    Ok(Inst::Op { kind, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+}
+
+fn decode_system(word: u32) -> Result<Inst, DecodeError> {
+    match funct3(word) {
+        0b000 => match word >> 20 {
+            0 if rd(word).is_zero() && rs1(word).is_zero() => Ok(Inst::Ecall),
+            1 if rd(word).is_zero() && rs1(word).is_zero() => Ok(Inst::Ebreak),
+            _ => Err(DecodeError::UnknownFunct { word }),
+        },
+        f3 @ (0b001..=0b011) => {
+            let kind = match f3 {
+                0b001 => CsrKind::Rw,
+                0b010 => CsrKind::Rs,
+                _ => CsrKind::Rc,
+            };
+            Ok(Inst::Csr { kind, rd: rd(word), rs1: rs1(word), csr: (word >> 20) as u16 })
+        }
+        f3 @ (0b101..=0b111) => {
+            let kind = match f3 {
+                0b101 => CsrKind::Rw,
+                0b110 => CsrKind::Rs,
+                _ => CsrKind::Rc,
+            };
+            Ok(Inst::CsrImm {
+                kind,
+                rd: rd(word),
+                zimm: ((word >> 15) & 0x1f) as u8,
+                csr: (word >> 20) as u16,
+            })
+        }
+        _ => Err(DecodeError::UnknownFunct { word }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_nop() {
+        assert_eq!(decode(0x0000_0013).unwrap(), Inst::NOP);
+    }
+
+    #[test]
+    fn rejects_compressed_parcel() {
+        assert_eq!(decode(0x0000_4501).unwrap_err(), DecodeError::Compressed { word: 0x4501 });
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        // opcode 0b1111111 is not assigned here
+        assert!(matches!(decode(0x0000_007f), Err(DecodeError::UnknownOpcode { .. })));
+    }
+
+    #[test]
+    fn decodes_known_words() {
+        // From riscv-tests reference encodings:
+        // add a0, a1, a2 = 0x00c58533
+        assert_eq!(
+            decode(0x00c5_8533).unwrap(),
+            Inst::Op { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }
+        );
+        // lui a0, 0x12345 = 0x12345537
+        assert_eq!(decode(0x1234_5537).unwrap(), Inst::Lui { rd: Reg::A0, imm: 0x1234_5000 });
+        // ld a1, 16(sp) = 0x01013583
+        assert_eq!(
+            decode(0x0101_3583).unwrap(),
+            Inst::Load { kind: LoadKind::D, rd: Reg::A1, rs1: Reg::SP, offset: 16 }
+        );
+        // sd a1, 24(sp) = 0x00b13c23
+        assert_eq!(
+            decode(0x00b1_3c23).unwrap(),
+            Inst::Store { kind: StoreKind::D, rs1: Reg::SP, rs2: Reg::A1, offset: 24 }
+        );
+        // beq a0, a1, -4: B-imm of -4 = 0xfeb50ee3
+        assert_eq!(
+            decode(0xfeb5_0ee3).unwrap(),
+            Inst::Branch { kind: BranchKind::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: -4 }
+        );
+        // jal ra, 8 = 0x008000ef
+        assert_eq!(decode(0x0080_00ef).unwrap(), Inst::Jal { rd: Reg::RA, offset: 8 });
+        // ecall / ebreak
+        assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Inst::Ebreak);
+        // mul a0, a1, a2 = 0x02c58533
+        assert_eq!(
+            decode(0x02c5_8533).unwrap(),
+            Inst::Op { kind: AluKind::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }
+        );
+        // srai a0, a1, 63 = 0x43f5d513
+        assert_eq!(
+            decode(0x43f5_d513).unwrap(),
+            Inst::OpImm { kind: AluKind::Sra, rd: Reg::A0, rs1: Reg::A1, imm: 63 }
+        );
+        // addiw a0, a0, 1 = 0x0015051b
+        assert_eq!(
+            decode(0x0015_051b).unwrap(),
+            Inst::OpImm { kind: AluKind::Addw, rd: Reg::A0, rs1: Reg::A0, imm: 1 }
+        );
+        // csrrs a0, mhartid(0xf14), x0 = 0xf1402573
+        assert_eq!(
+            decode(0xf140_2573).unwrap(),
+            Inst::Csr { kind: CsrKind::Rs, rd: Reg::A0, rs1: Reg::ZERO, csr: 0xf14 }
+        );
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi a0, a0, -1 = 0xfff50513
+        assert_eq!(
+            decode(0xfff5_0513).unwrap(),
+            Inst::OpImm { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A0, imm: -1 }
+        );
+        // lui a0, 0xfffff = imm -4096
+        assert_eq!(decode(0xffff_f537).unwrap(), Inst::Lui { rd: Reg::A0, imm: -4096 });
+    }
+
+    #[test]
+    fn reserved_shamt_rejected() {
+        // slli with bit 26 set (shamt >= 64 encoding space)
+        let word = 0x0400_1013 | (1 << 26);
+        assert!(matches!(decode(word), Err(DecodeError::ReservedShamt { .. })));
+        // slliw with shamt bit 5 set (funct7 != 0)
+        // slliw a0, a0, 1 = 0x0015151b; set bit 25
+        assert!(matches!(decode(0x0015_151b | (1 << 25)), Err(DecodeError::ReservedShamt { .. })));
+    }
+}

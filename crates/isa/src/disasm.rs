@@ -1,0 +1,174 @@
+//! Disassembly: `Display` for [`Inst`] in conventional RISC-V syntax.
+
+use std::fmt;
+
+use crate::{AluKind, BranchKind, CsrKind, Inst, LoadKind, StoreKind};
+
+fn alu_mnemonic(kind: AluKind, imm: bool) -> &'static str {
+    match (kind, imm) {
+        (AluKind::Add, false) => "add",
+        (AluKind::Add, true) => "addi",
+        (AluKind::Sub, _) => "sub",
+        (AluKind::Sll, false) => "sll",
+        (AluKind::Sll, true) => "slli",
+        (AluKind::Slt, false) => "slt",
+        (AluKind::Slt, true) => "slti",
+        (AluKind::Sltu, false) => "sltu",
+        (AluKind::Sltu, true) => "sltiu",
+        (AluKind::Xor, false) => "xor",
+        (AluKind::Xor, true) => "xori",
+        (AluKind::Srl, false) => "srl",
+        (AluKind::Srl, true) => "srli",
+        (AluKind::Sra, false) => "sra",
+        (AluKind::Sra, true) => "srai",
+        (AluKind::Or, false) => "or",
+        (AluKind::Or, true) => "ori",
+        (AluKind::And, false) => "and",
+        (AluKind::And, true) => "andi",
+        (AluKind::Addw, false) => "addw",
+        (AluKind::Addw, true) => "addiw",
+        (AluKind::Subw, _) => "subw",
+        (AluKind::Sllw, false) => "sllw",
+        (AluKind::Sllw, true) => "slliw",
+        (AluKind::Srlw, false) => "srlw",
+        (AluKind::Srlw, true) => "srliw",
+        (AluKind::Sraw, false) => "sraw",
+        (AluKind::Sraw, true) => "sraiw",
+        (AluKind::Mul, _) => "mul",
+        (AluKind::Mulh, _) => "mulh",
+        (AluKind::Mulhsu, _) => "mulhsu",
+        (AluKind::Mulhu, _) => "mulhu",
+        (AluKind::Div, _) => "div",
+        (AluKind::Divu, _) => "divu",
+        (AluKind::Rem, _) => "rem",
+        (AluKind::Remu, _) => "remu",
+        (AluKind::Mulw, _) => "mulw",
+        (AluKind::Divw, _) => "divw",
+        (AluKind::Divuw, _) => "divuw",
+        (AluKind::Remw, _) => "remw",
+        (AluKind::Remuw, _) => "remuw",
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm as u64 >> 12) & 0xf_ffff),
+            Inst::Auipc { rd, imm } => {
+                write!(f, "auipc {rd}, {:#x}", (imm as u64 >> 12) & 0xf_ffff)
+            }
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch { kind, rs1, rs2, offset } => {
+                let m = match kind {
+                    BranchKind::Eq => "beq",
+                    BranchKind::Ne => "bne",
+                    BranchKind::Lt => "blt",
+                    BranchKind::Ge => "bge",
+                    BranchKind::Ltu => "bltu",
+                    BranchKind::Geu => "bgeu",
+                };
+                write!(f, "{m} {rs1}, {rs2}, {offset}")
+            }
+            Inst::Load { kind, rd, rs1, offset } => {
+                let m = match kind {
+                    LoadKind::B => "lb",
+                    LoadKind::H => "lh",
+                    LoadKind::W => "lw",
+                    LoadKind::D => "ld",
+                    LoadKind::Bu => "lbu",
+                    LoadKind::Hu => "lhu",
+                    LoadKind::Wu => "lwu",
+                };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Inst::Store { kind, rs1, rs2, offset } => {
+                let m = match kind {
+                    StoreKind::B => "sb",
+                    StoreKind::H => "sh",
+                    StoreKind::W => "sw",
+                    StoreKind::D => "sd",
+                };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Inst::OpImm { kind, rd, rs1, imm } => {
+                if self.is_nop() {
+                    return f.write_str("nop");
+                }
+                write!(f, "{} {rd}, {rs1}, {imm}", alu_mnemonic(kind, true))
+            }
+            Inst::Op { kind, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", alu_mnemonic(kind, false))
+            }
+            Inst::Fence => f.write_str("fence"),
+            Inst::Ecall => f.write_str("ecall"),
+            Inst::Ebreak => f.write_str("ebreak"),
+            Inst::Csr { kind, rd, rs1, csr } => {
+                let m = match kind {
+                    CsrKind::Rw => "csrrw",
+                    CsrKind::Rs => "csrrs",
+                    CsrKind::Rc => "csrrc",
+                };
+                write!(f, "{m} {rd}, {csr:#x}, {rs1}")
+            }
+            Inst::CsrImm { kind, rd, zimm, csr } => {
+                let m = match kind {
+                    CsrKind::Rw => "csrrwi",
+                    CsrKind::Rs => "csrrsi",
+                    CsrKind::Rc => "csrrci",
+                };
+                write!(f, "{m} {rd}, {csr:#x}, {zimm}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn formats_common_instructions() {
+        let i = Inst::Op { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert_eq!(i.to_string(), "add a0, a1, a2");
+        let i = Inst::OpImm { kind: AluKind::Add, rd: Reg::SP, rs1: Reg::SP, imm: -16 };
+        assert_eq!(i.to_string(), "addi sp, sp, -16");
+        let i = Inst::Load { kind: LoadKind::D, rd: Reg::A1, rs1: Reg::SP, offset: 16 };
+        assert_eq!(i.to_string(), "ld a1, 16(sp)");
+        let i = Inst::Store { kind: StoreKind::W, rs1: Reg::A0, rs2: Reg::T0, offset: 0 };
+        assert_eq!(i.to_string(), "sw t0, 0(a0)");
+        let i = Inst::Branch { kind: BranchKind::Ltu, rs1: Reg::T0, rs2: Reg::T1, offset: -8 };
+        assert_eq!(i.to_string(), "bltu t0, t1, -8");
+    }
+
+    #[test]
+    fn nop_prints_as_nop() {
+        assert_eq!(Inst::NOP.to_string(), "nop");
+    }
+
+    #[test]
+    fn lui_prints_upper_immediate() {
+        let i = Inst::Lui { rd: Reg::A0, imm: 0x12345 << 12 };
+        assert_eq!(i.to_string(), "lui a0, 0x12345");
+        let i = Inst::Lui { rd: Reg::A0, imm: -4096 };
+        assert_eq!(i.to_string(), "lui a0, 0xfffff");
+    }
+
+    #[test]
+    fn csr_forms() {
+        let i = Inst::Csr { kind: CsrKind::Rs, rd: Reg::A0, rs1: Reg::ZERO, csr: 0xf14 };
+        assert_eq!(i.to_string(), "csrrs a0, 0xf14, zero");
+        let i = Inst::CsrImm { kind: CsrKind::Rw, rd: Reg::ZERO, zimm: 5, csr: 0x340 };
+        assert_eq!(i.to_string(), "csrrwi zero, 0x340, 5");
+    }
+
+    #[test]
+    fn jumps() {
+        assert_eq!(Inst::Jal { rd: Reg::ZERO, offset: -64 }.to_string(), "jal zero, -64");
+        assert_eq!(
+            Inst::Jalr { rd: Reg::RA, rs1: Reg::T0, offset: 0 }.to_string(),
+            "jalr ra, 0(t0)"
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Encoding of [`Inst`] back into 32-bit RV64IM instruction words.
+//!
+//! [`encode`] is the exact inverse of [`decode`](crate::decode) for every
+//! representable instruction; the round-trip property is enforced by the
+//! crate's property tests.
+
+use crate::{AluKind, BranchKind, CsrKind, EncodeError, Inst, LoadKind, Reg, StoreKind};
+
+#[inline]
+fn r(reg: Reg) -> u32 {
+    u32::from(reg.index())
+}
+
+fn check_range(field: &'static str, value: i64, bits: u32) -> Result<(), EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if value < min || value > max {
+        return Err(EncodeError::ImmOutOfRange { field, value });
+    }
+    Ok(())
+}
+
+fn enc_i(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i64) -> Result<u32, EncodeError> {
+    check_range("I-immediate", imm, 12)?;
+    Ok(((imm as u32) << 20) | (r(rs1) << 15) | (funct3 << 12) | (r(rd) << 7) | opcode)
+}
+
+fn enc_s(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i64) -> Result<u32, EncodeError> {
+    check_range("S-immediate", imm, 12)?;
+    let imm = imm as u32;
+    Ok(((imm >> 5) << 25)
+        | (r(rs2) << 20)
+        | (r(rs1) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode)
+}
+
+fn enc_b(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i64) -> Result<u32, EncodeError> {
+    if offset & 1 != 0 {
+        return Err(EncodeError::MisalignedOffset { offset });
+    }
+    check_range("B-immediate", offset, 13)?;
+    let imm = offset as u32;
+    let b12 = (imm >> 12) & 1;
+    let b11 = (imm >> 11) & 1;
+    let b10_5 = (imm >> 5) & 0x3f;
+    let b4_1 = (imm >> 1) & 0xf;
+    Ok((b12 << 31)
+        | (b10_5 << 25)
+        | (r(rs2) << 20)
+        | (r(rs1) << 15)
+        | (funct3 << 12)
+        | (b4_1 << 8)
+        | (b11 << 7)
+        | opcode)
+}
+
+fn enc_u(opcode: u32, rd: Reg, imm: i64) -> Result<u32, EncodeError> {
+    if imm & 0xfff != 0 {
+        return Err(EncodeError::ImmOutOfRange { field: "U-immediate (low 12 bits set)", value: imm });
+    }
+    if !(-(1i64 << 31)..(1i64 << 31)).contains(&imm) {
+        return Err(EncodeError::ImmOutOfRange { field: "U-immediate", value: imm });
+    }
+    Ok(((imm as u32) & 0xffff_f000) | (r(rd) << 7) | opcode)
+}
+
+fn enc_j(opcode: u32, rd: Reg, offset: i64) -> Result<u32, EncodeError> {
+    if offset & 1 != 0 {
+        return Err(EncodeError::MisalignedOffset { offset });
+    }
+    check_range("J-immediate", offset, 21)?;
+    let imm = offset as u32;
+    let b20 = (imm >> 20) & 1;
+    let b19_12 = (imm >> 12) & 0xff;
+    let b11 = (imm >> 11) & 1;
+    let b10_1 = (imm >> 1) & 0x3ff;
+    Ok((b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) | (r(rd) << 7) | opcode)
+}
+
+fn enc_r(opcode: u32, funct7: u32, funct3: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    (funct7 << 25) | (r(rs2) << 20) | (r(rs1) << 15) | (funct3 << 12) | (r(rd) << 7) | opcode
+}
+
+fn alu_funct(kind: AluKind) -> (u32, u32, u32) {
+    // (opcode, funct7, funct3) for the register-register form.
+    match kind {
+        AluKind::Add => (0x33, 0x00, 0b000),
+        AluKind::Sub => (0x33, 0x20, 0b000),
+        AluKind::Sll => (0x33, 0x00, 0b001),
+        AluKind::Slt => (0x33, 0x00, 0b010),
+        AluKind::Sltu => (0x33, 0x00, 0b011),
+        AluKind::Xor => (0x33, 0x00, 0b100),
+        AluKind::Srl => (0x33, 0x00, 0b101),
+        AluKind::Sra => (0x33, 0x20, 0b101),
+        AluKind::Or => (0x33, 0x00, 0b110),
+        AluKind::And => (0x33, 0x00, 0b111),
+        AluKind::Addw => (0x3b, 0x00, 0b000),
+        AluKind::Subw => (0x3b, 0x20, 0b000),
+        AluKind::Sllw => (0x3b, 0x00, 0b001),
+        AluKind::Srlw => (0x3b, 0x00, 0b101),
+        AluKind::Sraw => (0x3b, 0x20, 0b101),
+        AluKind::Mul => (0x33, 0x01, 0b000),
+        AluKind::Mulh => (0x33, 0x01, 0b001),
+        AluKind::Mulhsu => (0x33, 0x01, 0b010),
+        AluKind::Mulhu => (0x33, 0x01, 0b011),
+        AluKind::Div => (0x33, 0x01, 0b100),
+        AluKind::Divu => (0x33, 0x01, 0b101),
+        AluKind::Rem => (0x33, 0x01, 0b110),
+        AluKind::Remu => (0x33, 0x01, 0b111),
+        AluKind::Mulw => (0x3b, 0x01, 0b000),
+        AluKind::Divw => (0x3b, 0x01, 0b100),
+        AluKind::Divuw => (0x3b, 0x01, 0b101),
+        AluKind::Remw => (0x3b, 0x01, 0b110),
+        AluKind::Remuw => (0x3b, 0x01, 0b111),
+    }
+}
+
+fn kind_name(kind: AluKind) -> &'static str {
+    match kind {
+        AluKind::Add => "add",
+        AluKind::Sub => "sub",
+        AluKind::Sll => "sll",
+        AluKind::Slt => "slt",
+        AluKind::Sltu => "sltu",
+        AluKind::Xor => "xor",
+        AluKind::Srl => "srl",
+        AluKind::Sra => "sra",
+        AluKind::Or => "or",
+        AluKind::And => "and",
+        AluKind::Addw => "addw",
+        AluKind::Subw => "subw",
+        AluKind::Sllw => "sllw",
+        AluKind::Srlw => "srlw",
+        AluKind::Sraw => "sraw",
+        AluKind::Mul => "mul",
+        AluKind::Mulh => "mulh",
+        AluKind::Mulhsu => "mulhsu",
+        AluKind::Mulhu => "mulhu",
+        AluKind::Div => "div",
+        AluKind::Divu => "divu",
+        AluKind::Rem => "rem",
+        AluKind::Remu => "remu",
+        AluKind::Mulw => "mulw",
+        AluKind::Divw => "divw",
+        AluKind::Divuw => "divuw",
+        AluKind::Remw => "remw",
+        AluKind::Remuw => "remuw",
+    }
+}
+
+fn enc_op_imm(kind: AluKind, rd: Reg, rs1: Reg, imm: i64) -> Result<u32, EncodeError> {
+    if !kind.valid_for_imm() {
+        return Err(EncodeError::InvalidImmKind { kind: kind_name(kind) });
+    }
+    if kind.is_shift() {
+        let width: u8 = if kind.is_word() { 32 } else { 64 };
+        if imm < 0 || imm >= i64::from(width) {
+            return Err(EncodeError::ShamtOutOfRange { shamt: imm, width });
+        }
+        let (opcode, funct3, hi): (u32, u32, u32) = match kind {
+            AluKind::Sll => (0x13, 0b001, 0),
+            AluKind::Srl => (0x13, 0b101, 0),
+            AluKind::Sra => (0x13, 0b101, 0b010000 << 6),
+            AluKind::Sllw => (0x1b, 0b001, 0),
+            AluKind::Srlw => (0x1b, 0b101, 0),
+            AluKind::Sraw => (0x1b, 0b101, 0b0100000 << 5),
+            _ => unreachable!(),
+        };
+        return Ok((((imm as u32) | hi) << 20)
+            | (r(rs1) << 15)
+            | (funct3 << 12)
+            | (r(rd) << 7)
+            | opcode);
+    }
+    let (opcode, funct3) = match kind {
+        AluKind::Add => (0x13, 0b000),
+        AluKind::Slt => (0x13, 0b010),
+        AluKind::Sltu => (0x13, 0b011),
+        AluKind::Xor => (0x13, 0b100),
+        AluKind::Or => (0x13, 0b110),
+        AluKind::And => (0x13, 0b111),
+        AluKind::Addw => (0x1b, 0b000),
+        _ => unreachable!(),
+    };
+    enc_i(opcode, funct3, rd, rs1, imm)
+}
+
+/// Encodes a structured instruction into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an immediate overflows its field, a
+/// control-flow offset is misaligned, a shift amount is out of range, or the
+/// ALU kind has no immediate form.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_isa::{encode, Inst};
+///
+/// assert_eq!(encode(&Inst::NOP)?, 0x0000_0013);
+/// # Ok::<(), safedm_isa::EncodeError>(())
+/// ```
+pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
+    match *inst {
+        Inst::Lui { rd, imm } => enc_u(0x37, rd, imm),
+        Inst::Auipc { rd, imm } => enc_u(0x17, rd, imm),
+        Inst::Jal { rd, offset } => enc_j(0x6f, rd, offset),
+        Inst::Jalr { rd, rs1, offset } => enc_i(0x67, 0b000, rd, rs1, offset),
+        Inst::Branch { kind, rs1, rs2, offset } => {
+            let funct3 = match kind {
+                BranchKind::Eq => 0b000,
+                BranchKind::Ne => 0b001,
+                BranchKind::Lt => 0b100,
+                BranchKind::Ge => 0b101,
+                BranchKind::Ltu => 0b110,
+                BranchKind::Geu => 0b111,
+            };
+            enc_b(0x63, funct3, rs1, rs2, offset)
+        }
+        Inst::Load { kind, rd, rs1, offset } => {
+            let funct3 = match kind {
+                LoadKind::B => 0b000,
+                LoadKind::H => 0b001,
+                LoadKind::W => 0b010,
+                LoadKind::D => 0b011,
+                LoadKind::Bu => 0b100,
+                LoadKind::Hu => 0b101,
+                LoadKind::Wu => 0b110,
+            };
+            enc_i(0x03, funct3, rd, rs1, offset)
+        }
+        Inst::Store { kind, rs1, rs2, offset } => {
+            let funct3 = match kind {
+                StoreKind::B => 0b000,
+                StoreKind::H => 0b001,
+                StoreKind::W => 0b010,
+                StoreKind::D => 0b011,
+            };
+            enc_s(0x23, funct3, rs1, rs2, offset)
+        }
+        Inst::OpImm { kind, rd, rs1, imm } => enc_op_imm(kind, rd, rs1, imm),
+        Inst::Op { kind, rd, rs1, rs2 } => {
+            let (opcode, funct7, funct3) = alu_funct(kind);
+            Ok(enc_r(opcode, funct7, funct3, rd, rs1, rs2))
+        }
+        Inst::Fence => Ok(0x0000_000f),
+        Inst::Ecall => Ok(0x0000_0073),
+        Inst::Ebreak => Ok(0x0010_0073),
+        Inst::Csr { kind, rd, rs1, csr } => {
+            let funct3 = match kind {
+                CsrKind::Rw => 0b001,
+                CsrKind::Rs => 0b010,
+                CsrKind::Rc => 0b011,
+            };
+            Ok((u32::from(csr) << 20) | (r(rs1) << 15) | (funct3 << 12) | (r(rd) << 7) | 0x73)
+        }
+        Inst::CsrImm { kind, rd, zimm, csr } => {
+            let funct3 = match kind {
+                CsrKind::Rw => 0b101,
+                CsrKind::Rs => 0b110,
+                CsrKind::Rc => 0b111,
+            };
+            if zimm > 31 {
+                return Err(EncodeError::ImmOutOfRange {
+                    field: "CSR zimm",
+                    value: i64::from(zimm),
+                });
+            }
+            Ok((u32::from(csr) << 20)
+                | (u32::from(zimm) << 15)
+                | (funct3 << 12)
+                | (r(rd) << 7)
+                | 0x73)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn encodes_reference_words() {
+        let add = Inst::Op { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert_eq!(encode(&add).unwrap(), 0x00c5_8533);
+        assert_eq!(encode(&Inst::NOP).unwrap(), 0x0000_0013);
+        assert_eq!(encode(&Inst::Ecall).unwrap(), 0x0000_0073);
+        assert_eq!(encode(&Inst::Ebreak).unwrap(), 0x0010_0073);
+        let sd = Inst::Store { kind: StoreKind::D, rs1: Reg::SP, rs2: Reg::A1, offset: 24 };
+        assert_eq!(encode(&sd).unwrap(), 0x00b1_3c23);
+        let beq = Inst::Branch { kind: BranchKind::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: -4 };
+        assert_eq!(encode(&beq).unwrap(), 0xfeb5_0ee3);
+    }
+
+    #[test]
+    fn rejects_out_of_range_immediates() {
+        let i = Inst::OpImm { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A0, imm: 2048 };
+        assert!(matches!(encode(&i), Err(EncodeError::ImmOutOfRange { .. })));
+        let i = Inst::OpImm { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A0, imm: -2049 };
+        assert!(matches!(encode(&i), Err(EncodeError::ImmOutOfRange { .. })));
+        let i = Inst::OpImm { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A0, imm: -2048 };
+        assert!(encode(&i).is_ok());
+    }
+
+    #[test]
+    fn rejects_misaligned_branch() {
+        let b = Inst::Branch { kind: BranchKind::Ne, rs1: Reg::A0, rs2: Reg::A1, offset: 3 };
+        assert!(matches!(encode(&b), Err(EncodeError::MisalignedOffset { offset: 3 })));
+        let j = Inst::Jal { rd: Reg::RA, offset: 5 };
+        assert!(matches!(encode(&j), Err(EncodeError::MisalignedOffset { offset: 5 })));
+    }
+
+    #[test]
+    fn rejects_invalid_imm_kind() {
+        let i = Inst::OpImm { kind: AluKind::Sub, rd: Reg::A0, rs1: Reg::A0, imm: 1 };
+        assert!(matches!(encode(&i), Err(EncodeError::InvalidImmKind { kind: "sub" })));
+        let i = Inst::OpImm { kind: AluKind::Mul, rd: Reg::A0, rs1: Reg::A0, imm: 1 };
+        assert!(matches!(encode(&i), Err(EncodeError::InvalidImmKind { kind: "mul" })));
+    }
+
+    #[test]
+    fn rejects_bad_shamt() {
+        let i = Inst::OpImm { kind: AluKind::Sll, rd: Reg::A0, rs1: Reg::A0, imm: 64 };
+        assert!(matches!(encode(&i), Err(EncodeError::ShamtOutOfRange { shamt: 64, width: 64 })));
+        let i = Inst::OpImm { kind: AluKind::Sllw, rd: Reg::A0, rs1: Reg::A0, imm: 32 };
+        assert!(matches!(encode(&i), Err(EncodeError::ShamtOutOfRange { shamt: 32, width: 32 })));
+        let i = Inst::OpImm { kind: AluKind::Sraw, rd: Reg::A0, rs1: Reg::A0, imm: 31 };
+        assert!(encode(&i).is_ok());
+    }
+
+    #[test]
+    fn rejects_lui_with_low_bits() {
+        let i = Inst::Lui { rd: Reg::A0, imm: 0x1001 };
+        assert!(matches!(encode(&i), Err(EncodeError::ImmOutOfRange { .. })));
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        for kind in [AluKind::Sll, AluKind::Srl, AluKind::Sra] {
+            for shamt in [0i64, 1, 31, 32, 63] {
+                let i = Inst::OpImm { kind, rd: Reg::T0, rs1: Reg::T1, imm: shamt };
+                let w = encode(&i).unwrap();
+                assert_eq!(decode(w).unwrap(), i, "{kind:?} shamt {shamt}");
+            }
+        }
+        for kind in [AluKind::Sllw, AluKind::Srlw, AluKind::Sraw] {
+            for shamt in [0i64, 1, 15, 31] {
+                let i = Inst::OpImm { kind, rd: Reg::T0, rs1: Reg::T1, imm: shamt };
+                let w = encode(&i).unwrap();
+                assert_eq!(decode(w).unwrap(), i, "{kind:?} shamt {shamt}");
+            }
+        }
+    }
+}

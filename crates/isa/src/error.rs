@@ -1,0 +1,125 @@
+//! Error types for decoding and encoding RV64IM instructions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a 32-bit word does not decode to a supported RV64IM
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode (bits `[6:0]`) is not implemented.
+    UnknownOpcode {
+        /// The raw instruction word.
+        word: u32,
+    },
+    /// The opcode is known but the funct3/funct7 selector is reserved.
+    UnknownFunct {
+        /// The raw instruction word.
+        word: u32,
+    },
+    /// A shift instruction encodes a reserved shamt bit.
+    ReservedShamt {
+        /// The raw instruction word.
+        word: u32,
+    },
+    /// A compressed (16-bit) instruction parcel was found; the C extension is
+    /// not implemented.
+    Compressed {
+        /// The raw instruction word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::UnknownOpcode { word } => {
+                write!(f, "unknown opcode in instruction word {word:#010x}")
+            }
+            DecodeError::UnknownFunct { word } => {
+                write!(f, "reserved funct field in instruction word {word:#010x}")
+            }
+            DecodeError::ReservedShamt { word } => {
+                write!(f, "reserved shift amount in instruction word {word:#010x}")
+            }
+            DecodeError::Compressed { word } => {
+                write!(f, "compressed instruction parcel {word:#010x} (C extension unsupported)")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Error produced when a structured [`Inst`](crate::Inst) cannot be encoded
+/// into a valid 32-bit word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit its field.
+    ImmOutOfRange {
+        /// Which field overflowed (e.g. `"I-immediate"`).
+        field: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// A branch/jump offset is not 2-byte aligned (4-byte for this RV64-only
+    /// model, but the encoding requires 2).
+    MisalignedOffset {
+        /// The offending offset.
+        offset: i64,
+    },
+    /// The ALU kind has no register-immediate encoding (e.g. `sub`, `mul`).
+    InvalidImmKind {
+        /// Name of the rejected operation.
+        kind: &'static str,
+    },
+    /// A shift amount is out of range for the operand width.
+    ShamtOutOfRange {
+        /// The offending shift amount.
+        shamt: i64,
+        /// Operand width in bits (32 or 64).
+        width: u8,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { field, value } => {
+                write!(f, "{field} {value} out of range")
+            }
+            EncodeError::MisalignedOffset { offset } => {
+                write!(f, "control-flow offset {offset} is not 2-byte aligned")
+            }
+            EncodeError::InvalidImmKind { kind } => {
+                write!(f, "operation {kind} has no immediate encoding")
+            }
+            EncodeError::ShamtOutOfRange { shamt, width } => {
+                write!(f, "shift amount {shamt} out of range for {width}-bit operand")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_error_messages_are_lowercase_and_informative() {
+        let e = DecodeError::UnknownOpcode { word: 0xdead_beef };
+        assert!(e.to_string().contains("0xdeadbeef"));
+        let e = DecodeError::Compressed { word: 0x4501 };
+        assert!(e.to_string().contains("compressed"));
+    }
+
+    #[test]
+    fn encode_error_messages() {
+        let e = EncodeError::ImmOutOfRange { field: "I-immediate", value: 5000 };
+        assert_eq!(e.to_string(), "I-immediate 5000 out of range");
+        let e = EncodeError::ShamtOutOfRange { shamt: 64, width: 64 };
+        assert!(e.to_string().contains("64-bit"));
+    }
+}

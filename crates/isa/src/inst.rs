@@ -1,0 +1,491 @@
+//! The RV64IM instruction representation.
+//!
+//! [`Inst`] is a decoded, structured form of an RV64IM instruction. It is the
+//! currency between the assembler ([`safedm-asm`]), the pipeline model
+//! ([`safedm-soc`]) and the disassembler.
+//!
+//! [`safedm-asm`]: https://docs.rs/safedm-asm
+//! [`safedm-soc`]: https://docs.rs/safedm-soc
+
+use crate::Reg;
+
+/// Branch comparison performed by a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// `beq` — taken when `rs1 == rs2`.
+    Eq,
+    /// `bne` — taken when `rs1 != rs2`.
+    Ne,
+    /// `blt` — taken when `rs1 < rs2` (signed).
+    Lt,
+    /// `bge` — taken when `rs1 >= rs2` (signed).
+    Ge,
+    /// `bltu` — taken when `rs1 < rs2` (unsigned).
+    Ltu,
+    /// `bgeu` — taken when `rs1 >= rs2` (unsigned).
+    Geu,
+}
+
+/// Width and sign-extension behaviour of a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// `lb` — 8-bit, sign-extended.
+    B,
+    /// `lh` — 16-bit, sign-extended.
+    H,
+    /// `lw` — 32-bit, sign-extended.
+    W,
+    /// `ld` — 64-bit.
+    D,
+    /// `lbu` — 8-bit, zero-extended.
+    Bu,
+    /// `lhu` — 16-bit, zero-extended.
+    Hu,
+    /// `lwu` — 32-bit, zero-extended.
+    Wu,
+}
+
+impl LoadKind {
+    /// Access size in bytes.
+    #[must_use]
+    pub const fn size(self) -> u64 {
+        match self {
+            LoadKind::B | LoadKind::Bu => 1,
+            LoadKind::H | LoadKind::Hu => 2,
+            LoadKind::W | LoadKind::Wu => 4,
+            LoadKind::D => 8,
+        }
+    }
+}
+
+/// Width of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// `sb` — 8-bit.
+    B,
+    /// `sh` — 16-bit.
+    H,
+    /// `sw` — 32-bit.
+    W,
+    /// `sd` — 64-bit.
+    D,
+}
+
+impl StoreKind {
+    /// Access size in bytes.
+    #[must_use]
+    pub const fn size(self) -> u64 {
+        match self {
+            StoreKind::B => 1,
+            StoreKind::H => 2,
+            StoreKind::W => 4,
+            StoreKind::D => 8,
+        }
+    }
+}
+
+/// ALU / multiplier operation selector shared by the register-register
+/// (`OP`, `OP-32`) and register-immediate (`OP-IMM`, `OP-IMM-32`) formats.
+///
+/// Immediate forms only admit the subset returned by
+/// [`AluKind::valid_for_imm`]; the M-extension kinds are register-register
+/// only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluKind {
+    /// `add`/`addi`.
+    Add,
+    /// `sub`.
+    Sub,
+    /// `sll`/`slli`.
+    Sll,
+    /// `slt`/`slti` — set when less than (signed).
+    Slt,
+    /// `sltu`/`sltiu` — set when less than (unsigned).
+    Sltu,
+    /// `xor`/`xori`.
+    Xor,
+    /// `srl`/`srli`.
+    Srl,
+    /// `sra`/`srai`.
+    Sra,
+    /// `or`/`ori`.
+    Or,
+    /// `and`/`andi`.
+    And,
+    /// `addw`/`addiw` — 32-bit add, sign-extended result.
+    Addw,
+    /// `subw`.
+    Subw,
+    /// `sllw`/`slliw`.
+    Sllw,
+    /// `srlw`/`srliw`.
+    Srlw,
+    /// `sraw`/`sraiw`.
+    Sraw,
+    /// `mul` — low 64 bits of the product.
+    Mul,
+    /// `mulh` — high 64 bits of signed × signed.
+    Mulh,
+    /// `mulhsu` — high 64 bits of signed × unsigned.
+    Mulhsu,
+    /// `mulhu` — high 64 bits of unsigned × unsigned.
+    Mulhu,
+    /// `div` — signed division.
+    Div,
+    /// `divu` — unsigned division.
+    Divu,
+    /// `rem` — signed remainder.
+    Rem,
+    /// `remu` — unsigned remainder.
+    Remu,
+    /// `mulw` — 32-bit multiply, sign-extended.
+    Mulw,
+    /// `divw` — 32-bit signed division, sign-extended.
+    Divw,
+    /// `divuw` — 32-bit unsigned division, sign-extended.
+    Divuw,
+    /// `remw` — 32-bit signed remainder, sign-extended.
+    Remw,
+    /// `remuw` — 32-bit unsigned remainder, sign-extended.
+    Remuw,
+}
+
+impl AluKind {
+    /// Whether this kind has a register-immediate encoding (`OP-IMM` /
+    /// `OP-IMM-32`).
+    #[must_use]
+    pub const fn valid_for_imm(self) -> bool {
+        matches!(
+            self,
+            AluKind::Add
+                | AluKind::Sll
+                | AluKind::Slt
+                | AluKind::Sltu
+                | AluKind::Xor
+                | AluKind::Srl
+                | AluKind::Sra
+                | AluKind::Or
+                | AluKind::And
+                | AluKind::Addw
+                | AluKind::Sllw
+                | AluKind::Srlw
+                | AluKind::Sraw
+        )
+    }
+
+    /// Whether this is an M-extension (multiply/divide) operation.
+    #[must_use]
+    pub const fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            AluKind::Mul
+                | AluKind::Mulh
+                | AluKind::Mulhsu
+                | AluKind::Mulhu
+                | AluKind::Div
+                | AluKind::Divu
+                | AluKind::Rem
+                | AluKind::Remu
+                | AluKind::Mulw
+                | AluKind::Divw
+                | AluKind::Divuw
+                | AluKind::Remw
+                | AluKind::Remuw
+        )
+    }
+
+    /// Whether this is a divide/remainder operation (long latency).
+    #[must_use]
+    pub const fn is_div(self) -> bool {
+        matches!(
+            self,
+            AluKind::Div
+                | AluKind::Divu
+                | AluKind::Rem
+                | AluKind::Remu
+                | AluKind::Divw
+                | AluKind::Divuw
+                | AluKind::Remw
+                | AluKind::Remuw
+        )
+    }
+
+    /// Whether this is a word (`*W`) operation on the low 32 bits.
+    #[must_use]
+    pub const fn is_word(self) -> bool {
+        matches!(
+            self,
+            AluKind::Addw
+                | AluKind::Subw
+                | AluKind::Sllw
+                | AluKind::Srlw
+                | AluKind::Sraw
+                | AluKind::Mulw
+                | AluKind::Divw
+                | AluKind::Divuw
+                | AluKind::Remw
+                | AluKind::Remuw
+        )
+    }
+
+    /// Whether this is a shift (immediate forms encode a shamt).
+    #[must_use]
+    pub const fn is_shift(self) -> bool {
+        matches!(
+            self,
+            AluKind::Sll | AluKind::Srl | AluKind::Sra | AluKind::Sllw | AluKind::Srlw | AluKind::Sraw
+        )
+    }
+}
+
+/// CSR access operation (Zicsr).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrKind {
+    /// `csrrw` — atomic read/write.
+    Rw,
+    /// `csrrs` — atomic read and set bits.
+    Rs,
+    /// `csrrc` — atomic read and clear bits.
+    Rc,
+}
+
+/// A decoded RV64IM (plus minimal Zicsr) instruction.
+///
+/// Immediates are stored sign-extended in their natural unit: byte offsets
+/// for loads/stores/branches/jumps, the full shifted value for `lui`/`auipc`.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_isa::{Inst, Reg, AluKind};
+///
+/// let add = Inst::Op { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+/// assert_eq!(add.to_string(), "add a0, a1, a2");
+/// assert!(add.rd().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field meanings are given in the variant docs
+pub enum Inst {
+    /// `lui rd, imm` — load upper immediate; `imm` is the already-shifted
+    /// sign-extended 32-bit value (multiple of 4096).
+    Lui { rd: Reg, imm: i64 },
+    /// `auipc rd, imm` — add upper immediate to PC; `imm` as in `Lui`.
+    Auipc { rd: Reg, imm: i64 },
+    /// `jal rd, offset` — jump and link; `offset` is a byte offset from the
+    /// instruction's PC.
+    Jal { rd: Reg, offset: i64 },
+    /// `jalr rd, offset(rs1)` — indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, offset: i64 },
+    /// Conditional branch; `offset` is a byte offset from the PC.
+    Branch { kind: BranchKind, rs1: Reg, rs2: Reg, offset: i64 },
+    /// Load from `rs1 + offset` into `rd`.
+    Load { kind: LoadKind, rd: Reg, rs1: Reg, offset: i64 },
+    /// Store `rs2` to `rs1 + offset`.
+    Store { kind: StoreKind, rs1: Reg, rs2: Reg, offset: i64 },
+    /// Register-immediate ALU operation.
+    OpImm { kind: AluKind, rd: Reg, rs1: Reg, imm: i64 },
+    /// Register-register ALU / mul / div operation.
+    Op { kind: AluKind, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `fence` — memory ordering (a no-op for this in-order model beyond
+    /// draining the store buffer).
+    Fence,
+    /// `ecall` — environment call (used as the semihosting exit trap).
+    Ecall,
+    /// `ebreak` — breakpoint (used as the bare-metal halt).
+    Ebreak,
+    /// CSR access, register form (`csrrw`/`csrrs`/`csrrc`).
+    Csr { kind: CsrKind, rd: Reg, rs1: Reg, csr: u16 },
+    /// CSR access, immediate form (`csrrwi`/`csrrsi`/`csrrci`) with a 5-bit
+    /// zero-extended immediate.
+    CsrImm { kind: CsrKind, rd: Reg, zimm: u8, csr: u16 },
+}
+
+impl Inst {
+    /// The canonical no-operation, `addi x0, x0, 0`.
+    pub const NOP: Inst = Inst::OpImm {
+        kind: AluKind::Add,
+        rd: Reg::ZERO,
+        rs1: Reg::ZERO,
+        imm: 0,
+    };
+
+    /// The destination register written by this instruction, if any.
+    ///
+    /// `x0` destinations are reported as `None` since the write has no
+    /// architectural effect.
+    #[must_use]
+    pub fn rd(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::Op { rd, .. }
+            | Inst::Csr { rd, .. }
+            | Inst::CsrImm { rd, .. } => rd,
+            Inst::Branch { .. } | Inst::Store { .. } | Inst::Fence | Inst::Ecall | Inst::Ebreak => {
+                return None
+            }
+        };
+        (!rd.is_zero()).then_some(rd)
+    }
+
+    /// First source register read by this instruction, if any.
+    #[must_use]
+    pub fn rs1(&self) -> Option<Reg> {
+        match *self {
+            Inst::Jalr { rs1, .. }
+            | Inst::Branch { rs1, .. }
+            | Inst::Load { rs1, .. }
+            | Inst::Store { rs1, .. }
+            | Inst::OpImm { rs1, .. }
+            | Inst::Op { rs1, .. }
+            | Inst::Csr { rs1, .. } => Some(rs1),
+            Inst::Lui { .. }
+            | Inst::Auipc { .. }
+            | Inst::Jal { .. }
+            | Inst::Fence
+            | Inst::Ecall
+            | Inst::Ebreak
+            | Inst::CsrImm { .. } => None,
+        }
+    }
+
+    /// Second source register read by this instruction, if any.
+    #[must_use]
+    pub fn rs2(&self) -> Option<Reg> {
+        match *self {
+            Inst::Branch { rs2, .. } | Inst::Store { rs2, .. } | Inst::Op { rs2, .. } => Some(rs2),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a load.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// Whether this is a store.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+
+    /// Whether this is any memory access (load or store).
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether this instruction can redirect the control flow.
+    #[must_use]
+    pub fn is_control_flow(&self) -> bool {
+        matches!(self, Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. })
+    }
+
+    /// Whether this is a conditional branch.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// Whether this is an unconditional jump (`jal`/`jalr`).
+    #[must_use]
+    pub fn is_jump(&self) -> bool {
+        matches!(self, Inst::Jal { .. } | Inst::Jalr { .. })
+    }
+
+    /// Whether this instruction uses the multiply/divide unit.
+    #[must_use]
+    pub fn is_muldiv(&self) -> bool {
+        matches!(self, Inst::Op { kind, .. } if kind.is_muldiv())
+    }
+
+    /// Whether this is a system instruction (`ecall`/`ebreak`/CSR/fence).
+    #[must_use]
+    pub fn is_system(&self) -> bool {
+        matches!(
+            self,
+            Inst::Ecall | Inst::Ebreak | Inst::Fence | Inst::Csr { .. } | Inst::CsrImm { .. }
+        )
+    }
+
+    /// Whether this instruction is exactly the canonical `nop`.
+    #[must_use]
+    pub fn is_nop(&self) -> bool {
+        *self == Inst::NOP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_shape() {
+        assert!(Inst::NOP.is_nop());
+        assert_eq!(Inst::NOP.rd(), None);
+        assert_eq!(Inst::NOP.rs1(), Some(Reg::ZERO));
+    }
+
+    #[test]
+    fn rd_hides_x0() {
+        let i = Inst::OpImm { kind: AluKind::Add, rd: Reg::ZERO, rs1: Reg::A0, imm: 1 };
+        assert_eq!(i.rd(), None);
+        let i = Inst::OpImm { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 };
+        assert_eq!(i.rd(), Some(Reg::A0));
+    }
+
+    #[test]
+    fn source_registers() {
+        let st = Inst::Store { kind: StoreKind::D, rs1: Reg::SP, rs2: Reg::A0, offset: 8 };
+        assert_eq!(st.rs1(), Some(Reg::SP));
+        assert_eq!(st.rs2(), Some(Reg::A0));
+        assert_eq!(st.rd(), None);
+        assert!(st.is_store() && st.is_mem() && !st.is_load());
+
+        let lui = Inst::Lui { rd: Reg::A0, imm: 4096 };
+        assert_eq!(lui.rs1(), None);
+        assert_eq!(lui.rs2(), None);
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        let b = Inst::Branch { kind: BranchKind::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: -4 };
+        assert!(b.is_branch() && b.is_control_flow() && !b.is_jump());
+        let j = Inst::Jal { rd: Reg::RA, offset: 2048 };
+        assert!(j.is_jump() && j.is_control_flow() && !j.is_branch());
+    }
+
+    #[test]
+    fn alu_kind_predicates() {
+        assert!(AluKind::Add.valid_for_imm());
+        assert!(!AluKind::Sub.valid_for_imm());
+        assert!(!AluKind::Mul.valid_for_imm());
+        assert!(AluKind::Mul.is_muldiv() && !AluKind::Mul.is_div());
+        assert!(AluKind::Divu.is_div());
+        assert!(AluKind::Remw.is_word() && AluKind::Remw.is_div());
+        assert!(AluKind::Sllw.is_shift() && AluKind::Sllw.is_word());
+    }
+
+    #[test]
+    fn access_sizes() {
+        assert_eq!(LoadKind::B.size(), 1);
+        assert_eq!(LoadKind::Hu.size(), 2);
+        assert_eq!(LoadKind::Wu.size(), 4);
+        assert_eq!(LoadKind::D.size(), 8);
+        assert_eq!(StoreKind::B.size(), 1);
+        assert_eq!(StoreKind::D.size(), 8);
+    }
+
+    #[test]
+    fn muldiv_uses_unit() {
+        let m = Inst::Op { kind: AluKind::Mulhu, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert!(m.is_muldiv());
+        let a = Inst::Op { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert!(!a.is_muldiv());
+    }
+}

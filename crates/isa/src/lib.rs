@@ -1,0 +1,43 @@
+//! # safedm-isa — RV64IM instruction set
+//!
+//! The instruction-set layer of the SafeDM reproduction: structured
+//! instruction representation ([`Inst`]), binary [`decode`]/[`encode`],
+//! disassembly (`Display`), functional [`alu`]/[`branch_taken`] semantics,
+//! and the minimal [`csr`] subset used by bare-metal harnesses.
+//!
+//! The supported ISA is RV64IM plus `fence`, `ecall`, `ebreak` and Zicsr —
+//! exactly what the NOEL-V-like pipeline model in `safedm-soc` executes and
+//! what the TACLe-style kernels in `safedm-tacle` are written in.
+//!
+//! ## Example
+//!
+//! ```
+//! use safedm_isa::{decode, encode, Inst, Reg, AluKind, alu};
+//!
+//! let inst = Inst::Op { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+//! let word = encode(&inst)?;
+//! assert_eq!(decode(word)?, inst);
+//! assert_eq!(alu(AluKind::Add, 2, 40), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod csr;
+mod decode;
+mod disasm;
+mod encode;
+mod error;
+mod inst;
+mod reg;
+mod semantics;
+
+pub use decode::decode;
+pub use encode::encode;
+pub use error::{DecodeError, EncodeError};
+pub use inst::{AluKind, BranchKind, CsrKind, Inst, LoadKind, StoreKind};
+pub use reg::{Reg, ABI_NAMES};
+pub use semantics::{alu, branch_taken, is_aligned, load_value, store_lane_mask, store_merge};
+
+/// Width of one instruction in bytes (no compressed extension).
+pub const INST_BYTES: u64 = 4;

@@ -1,0 +1,221 @@
+//! Integer register file names for RV64.
+//!
+//! A [`Reg`] is a validated index into the 32-entry integer register file.
+//! The type is a transparent newtype so it can be stored in packed
+//! microarchitectural state, while still guaranteeing the `0..=31` range
+//! invariant at construction time.
+
+use std::fmt;
+
+/// One of the 32 RV64 integer registers (`x0`–`x31`).
+///
+/// # Examples
+///
+/// ```
+/// use safedm_isa::Reg;
+///
+/// let a0 = Reg::A0;
+/// assert_eq!(a0.index(), 10);
+/// assert_eq!(a0.to_string(), "a0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// ABI names of the 32 integer registers, indexed by register number.
+pub const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl Reg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address `x1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer `x3`.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer `x4`.
+    pub const TP: Reg = Reg(4);
+    /// Temporary `x5`.
+    pub const T0: Reg = Reg(5);
+    /// Temporary `x6`.
+    pub const T1: Reg = Reg(6);
+    /// Temporary `x7`.
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer `x8`.
+    pub const S0: Reg = Reg(8);
+    /// Saved register `x9`.
+    pub const S1: Reg = Reg(9);
+    /// Argument / return value `x10`.
+    pub const A0: Reg = Reg(10);
+    /// Argument / return value `x11`.
+    pub const A1: Reg = Reg(11);
+    /// Argument `x12`.
+    pub const A2: Reg = Reg(12);
+    /// Argument `x13`.
+    pub const A3: Reg = Reg(13);
+    /// Argument `x14`.
+    pub const A4: Reg = Reg(14);
+    /// Argument `x15`.
+    pub const A5: Reg = Reg(15);
+    /// Argument `x16`.
+    pub const A6: Reg = Reg(16);
+    /// Argument `x17`.
+    pub const A7: Reg = Reg(17);
+    /// Saved register `x18`.
+    pub const S2: Reg = Reg(18);
+    /// Saved register `x19`.
+    pub const S3: Reg = Reg(19);
+    /// Saved register `x20`.
+    pub const S4: Reg = Reg(20);
+    /// Saved register `x21`.
+    pub const S5: Reg = Reg(21);
+    /// Saved register `x22`.
+    pub const S6: Reg = Reg(22);
+    /// Saved register `x23`.
+    pub const S7: Reg = Reg(23);
+    /// Saved register `x24`.
+    pub const S8: Reg = Reg(24);
+    /// Saved register `x25`.
+    pub const S9: Reg = Reg(25);
+    /// Saved register `x26`.
+    pub const S10: Reg = Reg(26);
+    /// Saved register `x27`.
+    pub const S11: Reg = Reg(27);
+    /// Temporary `x28`.
+    pub const T3: Reg = Reg(28);
+    /// Temporary `x29`.
+    pub const T4: Reg = Reg(29);
+    /// Temporary `x30`.
+    pub const T5: Reg = Reg(30);
+    /// Temporary `x31`.
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use safedm_isa::Reg;
+    /// assert_eq!(Reg::new(2), Reg::SP);
+    /// ```
+    #[must_use]
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub const fn try_new(index: u8) -> Option<Reg> {
+        if index < 32 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in `0..=31`.
+    #[must_use]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The register's ABI name (e.g. `"sp"`, `"a0"`).
+    #[must_use]
+    pub const fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_constants_match_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 1);
+        assert_eq!(Reg::SP.index(), 2);
+        assert_eq!(Reg::GP.index(), 3);
+        assert_eq!(Reg::TP.index(), 4);
+        assert_eq!(Reg::T0.index(), 5);
+        assert_eq!(Reg::S0.index(), 8);
+        assert_eq!(Reg::A0.index(), 10);
+        assert_eq!(Reg::A7.index(), 17);
+        assert_eq!(Reg::S2.index(), 18);
+        assert_eq!(Reg::T3.index(), 28);
+        assert_eq!(Reg::T6.index(), 31);
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::new(15).to_string(), "a5");
+        assert_eq!(Reg::T6.to_string(), "t6");
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert_eq!(Reg::try_new(31), Some(Reg::T6));
+        assert_eq!(Reg::try_new(32), None);
+        assert_eq!(Reg::try_new(255), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+}

@@ -1,0 +1,337 @@
+//! Functional semantics of RV64IM operations.
+//!
+//! These pure functions are shared by the pipeline model's execute stage and
+//! by reference interpreters in tests. They implement the RISC-V unprivileged
+//! specification exactly, including the division-by-zero and overflow
+//! conventions (no traps; well-defined results).
+
+use crate::{AluKind, BranchKind, LoadKind, StoreKind};
+
+/// Evaluates a register-register or register-immediate ALU/mul/div operation.
+///
+/// `b` is the second operand: the value of `rs2`, or the sign-extended
+/// immediate (for shifts, the shamt).
+///
+/// # Examples
+///
+/// ```
+/// use safedm_isa::{alu, AluKind};
+///
+/// assert_eq!(alu(AluKind::Add, 1, 2), 3);
+/// assert_eq!(alu(AluKind::Div, u64::MAX, 0), u64::MAX); // div by zero => -1
+/// ```
+#[must_use]
+#[allow(clippy::manual_checked_ops)] // the explicit b == 0 branches mirror the RISC-V spec text
+pub fn alu(kind: AluKind, a: u64, b: u64) -> u64 {
+    match kind {
+        AluKind::Add => a.wrapping_add(b),
+        AluKind::Sub => a.wrapping_sub(b),
+        AluKind::Sll => a << (b & 63),
+        AluKind::Slt => u64::from((a as i64) < (b as i64)),
+        AluKind::Sltu => u64::from(a < b),
+        AluKind::Xor => a ^ b,
+        AluKind::Srl => a >> (b & 63),
+        AluKind::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluKind::Or => a | b,
+        AluKind::And => a & b,
+        AluKind::Addw => sext32(a.wrapping_add(b)),
+        AluKind::Subw => sext32(a.wrapping_sub(b)),
+        AluKind::Sllw => sext32((a as u32 as u64) << (b & 31)),
+        AluKind::Srlw => sext32(u64::from((a as u32) >> (b & 31))),
+        AluKind::Sraw => ((a as i32) >> (b & 31)) as i64 as u64,
+        AluKind::Mul => a.wrapping_mul(b),
+        AluKind::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        AluKind::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+        AluKind::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        AluKind::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64 // overflow: result is the dividend
+            } else {
+                (a / b) as u64
+            }
+        }
+        AluKind::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        AluKind::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as u64
+            }
+        }
+        AluKind::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluKind::Mulw => sext32((a as u32 as u64).wrapping_mul(b as u32 as u64)),
+        AluKind::Divw => {
+            let (a, b) = (a as i32, b as i32);
+            let r = if b == 0 {
+                -1
+            } else if a == i32::MIN && b == -1 {
+                a
+            } else {
+                a / b
+            };
+            r as i64 as u64
+        }
+        AluKind::Divuw => {
+            let (a, b) = (a as u32, b as u32);
+            let r = if b == 0 { u32::MAX } else { a / b };
+            r as i32 as i64 as u64
+        }
+        AluKind::Remw => {
+            let (a, b) = (a as i32, b as i32);
+            let r = if b == 0 {
+                a
+            } else if a == i32::MIN && b == -1 {
+                0
+            } else {
+                a % b
+            };
+            r as i64 as u64
+        }
+        AluKind::Remuw => {
+            let (a, b) = (a as u32, b as u32);
+            let r = if b == 0 { a } else { a % b };
+            r as i32 as i64 as u64
+        }
+    }
+}
+
+#[inline]
+fn sext32(v: u64) -> u64 {
+    v as u32 as i32 as i64 as u64
+}
+
+/// Evaluates a branch condition.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_isa::{branch_taken, BranchKind};
+///
+/// assert!(branch_taken(BranchKind::Lt, u64::MAX, 0)); // -1 < 0 signed
+/// assert!(!branch_taken(BranchKind::Ltu, u64::MAX, 0));
+/// ```
+#[must_use]
+pub fn branch_taken(kind: BranchKind, a: u64, b: u64) -> bool {
+    match kind {
+        BranchKind::Eq => a == b,
+        BranchKind::Ne => a != b,
+        BranchKind::Lt => (a as i64) < (b as i64),
+        BranchKind::Ge => (a as i64) >= (b as i64),
+        BranchKind::Ltu => a < b,
+        BranchKind::Geu => a >= b,
+    }
+}
+
+/// Extracts and extends a loaded value from the raw little-endian bytes of a
+/// naturally-aligned 8-byte window.
+///
+/// `raw` holds the 8 bytes at `addr & !7`; `addr` selects the lane.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_isa::{load_value, LoadKind};
+///
+/// let raw = 0x8899_aabb_ccdd_eeffu64;
+/// assert_eq!(load_value(LoadKind::B, raw, 0), 0xffff_ffff_ffff_ffff); // 0xff sign-extended
+/// assert_eq!(load_value(LoadKind::Bu, raw, 0), 0xff);
+/// assert_eq!(load_value(LoadKind::H, raw, 2), 0xffff_ffff_ffff_ccddu64);
+/// ```
+#[must_use]
+pub fn load_value(kind: LoadKind, raw: u64, addr: u64) -> u64 {
+    let shift = (addr & 7) * 8;
+    let v = raw >> shift;
+    match kind {
+        LoadKind::B => v as u8 as i8 as i64 as u64,
+        LoadKind::Bu => u64::from(v as u8),
+        LoadKind::H => v as u16 as i16 as i64 as u64,
+        LoadKind::Hu => u64::from(v as u16),
+        LoadKind::W => sext32(v),
+        LoadKind::Wu => u64::from(v as u32),
+        LoadKind::D => v,
+    }
+}
+
+/// Merges a store value into the raw little-endian bytes of a
+/// naturally-aligned 8-byte window, returning the updated window.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_isa::{store_merge, StoreKind};
+///
+/// let merged = store_merge(StoreKind::B, 0, 0xAB, 3); // byte lane 3
+/// assert_eq!(merged, 0xAB00_0000);
+/// ```
+#[must_use]
+pub fn store_merge(kind: StoreKind, raw: u64, value: u64, addr: u64) -> u64 {
+    let shift = (addr & 7) * 8;
+    let mask: u64 = match kind {
+        StoreKind::B => 0xff,
+        StoreKind::H => 0xffff,
+        StoreKind::W => 0xffff_ffff,
+        StoreKind::D => u64::MAX,
+    };
+    (raw & !(mask << shift)) | ((value & mask) << shift)
+}
+
+/// Byte-lane mask of a store within its aligned 8-byte window.
+#[must_use]
+pub fn store_lane_mask(kind: StoreKind, addr: u64) -> u8 {
+    let base: u8 = match kind {
+        StoreKind::B => 0b1,
+        StoreKind::H => 0b11,
+        StoreKind::W => 0b1111,
+        StoreKind::D => 0xff,
+    };
+    base << (addr & 7)
+}
+
+/// Whether an access of `size` bytes at `addr` is naturally aligned.
+#[must_use]
+pub fn is_aligned(addr: u64, size: u64) -> bool {
+    addr.is_multiple_of(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(alu(AluKind::Add, 3, 4), 7);
+        assert_eq!(alu(AluKind::Sub, 3, 4), u64::MAX); // -1
+        assert_eq!(alu(AluKind::Add, u64::MAX, 1), 0); // wrap
+        assert_eq!(alu(AluKind::Xor, 0xf0, 0x0f), 0xff);
+        assert_eq!(alu(AluKind::Or, 0xf0, 0x0f), 0xff);
+        assert_eq!(alu(AluKind::And, 0xf0, 0x0f), 0);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(alu(AluKind::Slt, u64::MAX, 0), 1); // -1 < 0
+        assert_eq!(alu(AluKind::Sltu, u64::MAX, 0), 0);
+        assert_eq!(alu(AluKind::Slt, 0, 0), 0);
+        assert_eq!(alu(AluKind::Sltu, 0, 1), 1);
+    }
+
+    #[test]
+    fn shifts_mask_amounts() {
+        assert_eq!(alu(AluKind::Sll, 1, 64), 1); // shamt masked to 0
+        assert_eq!(alu(AluKind::Srl, 0x8000_0000_0000_0000, 63), 1);
+        assert_eq!(alu(AluKind::Sra, 0x8000_0000_0000_0000, 63), u64::MAX);
+        assert_eq!(alu(AluKind::Sllw, 1, 31), 0xffff_ffff_8000_0000);
+        assert_eq!(alu(AluKind::Srlw, 0x8000_0000, 31), 1);
+        assert_eq!(alu(AluKind::Sraw, 0x8000_0000, 31), u64::MAX);
+    }
+
+    #[test]
+    fn word_ops_sign_extend() {
+        assert_eq!(alu(AluKind::Addw, 0x7fff_ffff, 1), 0xffff_ffff_8000_0000);
+        assert_eq!(alu(AluKind::Subw, 0, 1), u64::MAX);
+        assert_eq!(alu(AluKind::Mulw, 0x1_0000_0001, 2), 2); // high bits ignored
+    }
+
+    #[test]
+    fn multiply_highs() {
+        assert_eq!(alu(AluKind::Mul, 7, 6), 42);
+        assert_eq!(alu(AluKind::Mulhu, u64::MAX, u64::MAX), u64::MAX - 1);
+        assert_eq!(alu(AluKind::Mulh, u64::MAX, u64::MAX), 0); // (-1)*(-1)=1, high 0
+        // mulhsu: -1 (signed) * MAX (unsigned) = -MAX -> high = -1
+        assert_eq!(alu(AluKind::Mulhsu, u64::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn division_spec_corner_cases() {
+        // Division by zero
+        assert_eq!(alu(AluKind::Div, 42, 0), u64::MAX);
+        assert_eq!(alu(AluKind::Divu, 42, 0), u64::MAX);
+        assert_eq!(alu(AluKind::Rem, 42, 0), 42);
+        assert_eq!(alu(AluKind::Remu, 42, 0), 42);
+        assert_eq!(alu(AluKind::Divw, 42, 0), u64::MAX);
+        assert_eq!(alu(AluKind::Divuw, 42, 0), u64::MAX); // u32::MAX sign-extended
+        assert_eq!(alu(AluKind::Remw, 42, 0), 42);
+        assert_eq!(alu(AluKind::Remuw, 42, 0), 42);
+        // Signed overflow
+        assert_eq!(alu(AluKind::Div, i64::MIN as u64, u64::MAX), i64::MIN as u64);
+        assert_eq!(alu(AluKind::Rem, i64::MIN as u64, u64::MAX), 0);
+        assert_eq!(alu(AluKind::Divw, i32::MIN as u32 as u64, u32::MAX as u64), i32::MIN as i64 as u64);
+        assert_eq!(alu(AluKind::Remw, i32::MIN as u32 as u64, u32::MAX as u64), 0);
+        // Ordinary signed division truncates toward zero
+        assert_eq!(alu(AluKind::Div, (-7i64) as u64, 2) as i64, -3);
+        assert_eq!(alu(AluKind::Rem, (-7i64) as u64, 2) as i64, -1);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(BranchKind::Eq, 5, 5));
+        assert!(!branch_taken(BranchKind::Eq, 5, 6));
+        assert!(branch_taken(BranchKind::Ne, 5, 6));
+        assert!(branch_taken(BranchKind::Ge, 0, u64::MAX)); // 0 >= -1 signed
+        assert!(!branch_taken(BranchKind::Geu, 0, u64::MAX));
+        assert!(branch_taken(BranchKind::Geu, 5, 5));
+        assert!(branch_taken(BranchKind::Ge, 5, 5));
+    }
+
+    #[test]
+    fn load_lanes() {
+        let raw = u64::from_le_bytes([0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88]);
+        assert_eq!(load_value(LoadKind::B, raw, 8), 0x11);
+        assert_eq!(load_value(LoadKind::B, raw, 15), 0xffff_ffff_ffff_ff88);
+        assert_eq!(load_value(LoadKind::Bu, raw, 15), 0x88);
+        assert_eq!(load_value(LoadKind::H, raw, 0), 0x2211);
+        assert_eq!(load_value(LoadKind::Hu, raw, 6), 0x8877);
+        assert_eq!(load_value(LoadKind::W, raw, 4), 0xffff_ffff_8877_6655);
+        assert_eq!(load_value(LoadKind::Wu, raw, 4), 0x8877_6655);
+        assert_eq!(load_value(LoadKind::D, raw, 0), raw);
+    }
+
+    #[test]
+    fn store_merges() {
+        let raw = 0u64;
+        let r = store_merge(StoreKind::B, raw, 0xAB, 3);
+        assert_eq!(r, 0xAB00_0000);
+        let r = store_merge(StoreKind::H, r, 0x1234, 6);
+        assert_eq!(r, 0x1234_0000_AB00_0000);
+        let r = store_merge(StoreKind::W, r, 0xdead_beef, 0);
+        assert_eq!(r, 0x1234_0000_dead_beef);
+        let r = store_merge(StoreKind::D, r, 7, 0);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn lane_masks() {
+        assert_eq!(store_lane_mask(StoreKind::B, 0), 0b1);
+        assert_eq!(store_lane_mask(StoreKind::B, 7), 0b1000_0000);
+        assert_eq!(store_lane_mask(StoreKind::H, 2), 0b1100);
+        assert_eq!(store_lane_mask(StoreKind::W, 4), 0b1111_0000);
+        assert_eq!(store_lane_mask(StoreKind::D, 0), 0xff);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(is_aligned(0, 8));
+        assert!(is_aligned(4, 4));
+        assert!(!is_aligned(4, 8));
+        assert!(is_aligned(3, 1));
+        assert!(!is_aligned(1, 2));
+    }
+}

@@ -1,0 +1,194 @@
+//! Property tests: encode/decode round-trips and decoder totality.
+
+use proptest::prelude::*;
+use safedm_isa::{
+    alu, branch_taken, decode, encode, AluKind, BranchKind, CsrKind, Inst, LoadKind, Reg,
+    StoreKind,
+};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_branch_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Eq),
+        Just(BranchKind::Ne),
+        Just(BranchKind::Lt),
+        Just(BranchKind::Ge),
+        Just(BranchKind::Ltu),
+        Just(BranchKind::Geu),
+    ]
+}
+
+fn any_load_kind() -> impl Strategy<Value = LoadKind> {
+    prop_oneof![
+        Just(LoadKind::B),
+        Just(LoadKind::H),
+        Just(LoadKind::W),
+        Just(LoadKind::D),
+        Just(LoadKind::Bu),
+        Just(LoadKind::Hu),
+        Just(LoadKind::Wu),
+    ]
+}
+
+fn any_store_kind() -> impl Strategy<Value = StoreKind> {
+    prop_oneof![Just(StoreKind::B), Just(StoreKind::H), Just(StoreKind::W), Just(StoreKind::D)]
+}
+
+fn any_rr_alu_kind() -> impl Strategy<Value = AluKind> {
+    prop_oneof![
+        Just(AluKind::Add),
+        Just(AluKind::Sub),
+        Just(AluKind::Sll),
+        Just(AluKind::Slt),
+        Just(AluKind::Sltu),
+        Just(AluKind::Xor),
+        Just(AluKind::Srl),
+        Just(AluKind::Sra),
+        Just(AluKind::Or),
+        Just(AluKind::And),
+        Just(AluKind::Addw),
+        Just(AluKind::Subw),
+        Just(AluKind::Sllw),
+        Just(AluKind::Srlw),
+        Just(AluKind::Sraw),
+        Just(AluKind::Mul),
+        Just(AluKind::Mulh),
+        Just(AluKind::Mulhsu),
+        Just(AluKind::Mulhu),
+        Just(AluKind::Div),
+        Just(AluKind::Divu),
+        Just(AluKind::Rem),
+        Just(AluKind::Remu),
+        Just(AluKind::Mulw),
+        Just(AluKind::Divw),
+        Just(AluKind::Divuw),
+        Just(AluKind::Remw),
+        Just(AluKind::Remuw),
+    ]
+}
+
+fn any_imm_alu() -> impl Strategy<Value = (AluKind, i64)> {
+    prop_oneof![
+        // Non-shift immediates: 12-bit signed
+        (
+            prop_oneof![
+                Just(AluKind::Add),
+                Just(AluKind::Slt),
+                Just(AluKind::Sltu),
+                Just(AluKind::Xor),
+                Just(AluKind::Or),
+                Just(AluKind::And),
+                Just(AluKind::Addw),
+            ],
+            -2048i64..=2047
+        ),
+        // 64-bit shifts
+        (
+            prop_oneof![Just(AluKind::Sll), Just(AluKind::Srl), Just(AluKind::Sra)],
+            0i64..64
+        ),
+        // 32-bit shifts
+        (
+            prop_oneof![Just(AluKind::Sllw), Just(AluKind::Srlw), Just(AluKind::Sraw)],
+            0i64..32
+        ),
+    ]
+}
+
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (any_reg(), (-524_288i64..524_288)).prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
+        (any_reg(), (-524_288i64..524_288)).prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
+        (any_reg(), (-524_288i64..=524_287)).prop_map(|(rd, h)| Inst::Jal { rd, offset: h * 2 }),
+        (any_reg(), any_reg(), -2048i64..=2047)
+            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (any_branch_kind(), any_reg(), any_reg(), -2048i64..=2047)
+            .prop_map(|(kind, rs1, rs2, h)| Inst::Branch { kind, rs1, rs2, offset: h * 2 }),
+        (any_load_kind(), any_reg(), any_reg(), -2048i64..=2047)
+            .prop_map(|(kind, rd, rs1, offset)| Inst::Load { kind, rd, rs1, offset }),
+        (any_store_kind(), any_reg(), any_reg(), -2048i64..=2047)
+            .prop_map(|(kind, rs1, rs2, offset)| Inst::Store { kind, rs1, rs2, offset }),
+        (any_imm_alu(), any_reg(), any_reg())
+            .prop_map(|((kind, imm), rd, rs1)| Inst::OpImm { kind, rd, rs1, imm }),
+        (any_rr_alu_kind(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(kind, rd, rs1, rs2)| Inst::Op { kind, rd, rs1, rs2 }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        (
+            prop_oneof![Just(CsrKind::Rw), Just(CsrKind::Rs), Just(CsrKind::Rc)],
+            any_reg(),
+            any_reg(),
+            0u16..4096
+        )
+            .prop_map(|(kind, rd, rs1, csr)| Inst::Csr { kind, rd, rs1, csr }),
+        (
+            prop_oneof![Just(CsrKind::Rw), Just(CsrKind::Rs), Just(CsrKind::Rc)],
+            any_reg(),
+            0u8..32,
+            0u16..4096
+        )
+            .prop_map(|(kind, rd, zimm, csr)| Inst::CsrImm { kind, rd, zimm, csr }),
+    ]
+}
+
+proptest! {
+    /// encode(decode(w)) == w cannot hold for all w (don't-care bits), but
+    /// decode(encode(i)) == i must hold for every representable instruction.
+    #[test]
+    fn encode_decode_roundtrip(inst in any_inst()) {
+        let word = encode(&inst).expect("generated instruction must encode");
+        let back = decode(word).expect("encoded word must decode");
+        prop_assert_eq!(back, inst);
+    }
+
+    /// Decoding never panics on arbitrary words and, when it succeeds,
+    /// re-encoding yields a word that decodes to the same instruction
+    /// (a canonicalisation fixpoint).
+    #[test]
+    fn decode_total_and_canonical(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            let reenc = encode(&inst).expect("decoded instruction must re-encode");
+            prop_assert_eq!(decode(reenc).expect("canonical word decodes"), inst);
+        }
+    }
+
+    /// Disassembly never panics and is never empty.
+    #[test]
+    fn disasm_nonempty(inst in any_inst()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    /// ALU word ops always produce sign-extended 32-bit values.
+    #[test]
+    fn word_ops_are_sign_extended(a in any::<u64>(), b in any::<u64>()) {
+        for kind in [AluKind::Addw, AluKind::Subw, AluKind::Sllw, AluKind::Srlw,
+                     AluKind::Sraw, AluKind::Mulw, AluKind::Divw, AluKind::Divuw,
+                     AluKind::Remw, AluKind::Remuw] {
+            let r = alu(kind, a, b);
+            prop_assert_eq!(r, r as u32 as i32 as i64 as u64, "{:?}", kind);
+        }
+    }
+
+    /// Branch kinds are pairwise-complementary: eq/ne, lt/ge, ltu/geu.
+    #[test]
+    fn branch_complements(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_ne!(branch_taken(BranchKind::Eq, a, b), branch_taken(BranchKind::Ne, a, b));
+        prop_assert_ne!(branch_taken(BranchKind::Lt, a, b), branch_taken(BranchKind::Ge, a, b));
+        prop_assert_ne!(branch_taken(BranchKind::Ltu, a, b), branch_taken(BranchKind::Geu, a, b));
+    }
+
+    /// Division identity: a == div(a,b)*b + rem(a,b) whenever b != 0 and the
+    /// operation does not overflow.
+    #[test]
+    fn division_identity(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        prop_assume!(!(a == i64::MIN && b == -1));
+        let q = alu(AluKind::Div, a as u64, b as u64) as i64;
+        let r = alu(AluKind::Rem, a as u64, b as u64) as i64;
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+}

@@ -1,0 +1,222 @@
+//! # safedm-power — FPGA area and power model for SafeDM
+//!
+//! The paper reports (Section V-D) that SafeDM costs about **4,000 LUTs**
+//! (3.4 % of the baseline MPSoC) and **0.019 W** (< 1 % of the ~2 W
+//! baseline) on a Xilinx Kintex UltraScale KCU105. With no synthesis flow in
+//! this environment, this crate provides a *structural* model: LUT and FF
+//! counts derived from the monitor's configured geometry (FIFO bits,
+//! comparator width, APB/control logic), with coefficients **calibrated so
+//! the paper's default configuration lands on the published numbers**. The
+//! value of the model is its *scaling*: area/power as functions of FIFO
+//! depth, port count and signature width (ablation A1), plus the relative
+//! overhead against the baseline SoC.
+//!
+//! ## Example
+//!
+//! ```
+//! use safedm_core::SafeDmConfig;
+//! use safedm_power::{estimate_area, estimate_power, Activity};
+//!
+//! let area = estimate_area(&SafeDmConfig::default());
+//! assert!((area.total_luts as f64 - 4000.0).abs() < 150.0);
+//! assert!(area.percent_of_baseline > 3.0 && area.percent_of_baseline < 4.0);
+//!
+//! let p = estimate_power(&SafeDmConfig::default(), Activity::default());
+//! assert!(p.total_w > 0.01 && p.total_w < 0.03);
+//! ```
+
+#![warn(missing_docs)]
+
+use safedm_core::{SafeDmConfig, DATA_PORTS};
+use safedm_soc::{PIPE_STAGES, PIPE_WIDTH};
+
+/// Baseline MPSoC size on the KCU105 (2×NOEL-V + L2 + peripherals). Chosen
+/// so the paper's 4,000-LUT SafeDM is a 3.4 % overhead.
+pub const BASELINE_LUTS: u64 = 117_647;
+/// Baseline MPSoC power draw reported in the paper ("over 2 W").
+pub const BASELINE_POWER_W: f64 = 2.05;
+
+/// LUTs per flip-flop-backed state bit (register + routing share).
+const LUT_PER_STATE_BIT: f64 = 0.35;
+/// LUTs per compared bit (XOR + OR-reduction tree share).
+const LUT_PER_CMP_BIT: f64 = 0.12;
+/// Fixed control overhead: APB slave, counters, interrupt logic.
+const LUT_FIXED_CTRL: f64 = 1063.0;
+
+/// Dynamic power per state bit toggling every cycle at the platform clock
+/// (calibrated against the 0.019 W total).
+const W_PER_TOGGLING_BIT: f64 = 4.2e-6;
+/// Static (leakage + clock tree) share of the module.
+const W_STATIC: f64 = 0.004;
+
+/// Structural area breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Data-signature state bits (both cores).
+    pub ds_bits: u64,
+    /// Instruction-signature state bits (both cores).
+    pub is_bits: u64,
+    /// Bits compared per cycle (one signature pair).
+    pub cmp_bits: u64,
+    /// LUTs spent on signature storage.
+    pub storage_luts: u64,
+    /// LUTs spent on comparators.
+    pub compare_luts: u64,
+    /// LUTs spent on APB/control/counters.
+    pub control_luts: u64,
+    /// Total LUTs.
+    pub total_luts: u64,
+    /// Flip-flops (≈ state bits + control registers).
+    pub total_ffs: u64,
+    /// Percentage of [`BASELINE_LUTS`].
+    pub percent_of_baseline: f64,
+}
+
+/// Signature state-bit counts for a configuration.
+#[must_use]
+pub fn signature_bits(cfg: &SafeDmConfig) -> (u64, u64) {
+    // 65 bits per data FIFO entry (64 data + enable); 33 per IS slot.
+    let ds = 2 * (DATA_PORTS * cfg.data_fifo_depth * 65) as u64;
+    let is = 2 * (PIPE_STAGES * PIPE_WIDTH * 33) as u64;
+    (ds, is)
+}
+
+/// Estimates the FPGA area of a SafeDM configuration.
+#[must_use]
+pub fn estimate_area(cfg: &SafeDmConfig) -> AreaReport {
+    let (ds_bits, is_bits) = signature_bits(cfg);
+    let state_bits = ds_bits + is_bits;
+    let cmp_bits = state_bits / 2; // one comparator across the core pair
+    let storage = (state_bits as f64 * LUT_PER_STATE_BIT).round() as u64;
+    let compare = (cmp_bits as f64 * LUT_PER_CMP_BIT).round() as u64;
+    let control = LUT_FIXED_CTRL.round() as u64;
+    let total = storage + compare + control;
+    AreaReport {
+        ds_bits,
+        is_bits,
+        cmp_bits,
+        storage_luts: storage,
+        compare_luts: compare,
+        control_luts: control,
+        total_luts: total,
+        total_ffs: state_bits + 256,
+        percent_of_baseline: total as f64 / BASELINE_LUTS as f64 * 100.0,
+    }
+}
+
+/// Observed switching activity of a run, used to scale dynamic power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Activity {
+    /// Fraction of cycles the signature FIFOs shifted (1 − hold fraction).
+    pub shift_fraction: f64,
+    /// Average fraction of signature bits toggling per shifted cycle.
+    pub toggle_density: f64,
+}
+
+impl Default for Activity {
+    fn default() -> Activity {
+        // Typical values observed on the TACLe kernels.
+        Activity { shift_fraction: 0.85, toggle_density: 0.5 }
+    }
+}
+
+impl Activity {
+    /// Derives activity from run statistics: `hold_cycles` out of `cycles`.
+    #[must_use]
+    pub fn from_run(cycles: u64, hold_cycles: u64) -> Activity {
+        let shift = if cycles == 0 {
+            0.0
+        } else {
+            1.0 - hold_cycles as f64 / cycles as f64
+        };
+        Activity { shift_fraction: shift.clamp(0.0, 1.0), ..Activity::default() }
+    }
+}
+
+/// Power breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Dynamic power (W).
+    pub dynamic_w: f64,
+    /// Static power (W).
+    pub static_w: f64,
+    /// Total (W).
+    pub total_w: f64,
+    /// Percentage of [`BASELINE_POWER_W`].
+    pub percent_of_baseline: f64,
+}
+
+/// Estimates the power draw of a SafeDM configuration under `activity`.
+#[must_use]
+pub fn estimate_power(cfg: &SafeDmConfig, activity: Activity) -> PowerReport {
+    let (ds, is) = signature_bits(cfg);
+    let bits = (ds + is) as f64;
+    let dynamic = bits * activity.shift_fraction * activity.toggle_density * W_PER_TOGGLING_BIT;
+    let total = dynamic + W_STATIC;
+    PowerReport {
+        dynamic_w: dynamic,
+        static_w: W_STATIC,
+        total_w: total,
+        percent_of_baseline: total / BASELINE_POWER_W * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_headline() {
+        let a = estimate_area(&SafeDmConfig::default());
+        assert!(
+            (a.total_luts as i64 - 4000).unsigned_abs() < 150,
+            "expected ≈4000 LUTs, got {}",
+            a.total_luts
+        );
+        assert!((a.percent_of_baseline - 3.4).abs() < 0.2);
+        let p = estimate_power(&SafeDmConfig::default(), Activity::default());
+        assert!((p.total_w - 0.019).abs() < 0.004, "expected ≈0.019 W, got {}", p.total_w);
+        assert!(p.percent_of_baseline < 1.5);
+    }
+
+    #[test]
+    fn area_scales_with_fifo_depth() {
+        let small = estimate_area(&SafeDmConfig { data_fifo_depth: 2, ..SafeDmConfig::default() });
+        let base = estimate_area(&SafeDmConfig::default());
+        let big = estimate_area(&SafeDmConfig { data_fifo_depth: 16, ..SafeDmConfig::default() });
+        assert!(small.total_luts < base.total_luts);
+        assert!(base.total_luts < big.total_luts);
+        // DS storage dominates and scales linearly in n.
+        assert_eq!(big.ds_bits, 8 * small.ds_bits);
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let idle = estimate_power(
+            &SafeDmConfig::default(),
+            Activity { shift_fraction: 0.0, toggle_density: 0.5 },
+        );
+        let busy = estimate_power(
+            &SafeDmConfig::default(),
+            Activity { shift_fraction: 1.0, toggle_density: 0.5 },
+        );
+        assert!((idle.dynamic_w - 0.0).abs() < 1e-12);
+        assert!(busy.total_w > idle.total_w);
+        assert!((idle.total_w - W_STATIC).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_from_run_clamps() {
+        let a = Activity::from_run(100, 20);
+        assert!((a.shift_fraction - 0.8).abs() < 1e-12);
+        let a = Activity::from_run(0, 0);
+        assert!(a.shift_fraction.abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_bits_default_geometry() {
+        let (ds, is) = signature_bits(&SafeDmConfig::default());
+        assert_eq!(ds, 2 * 6 * 8 * 65);
+        assert_eq!(is, 2 * 7 * 2 * 33);
+    }
+}

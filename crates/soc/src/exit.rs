@@ -1,0 +1,136 @@
+//! Core termination states.
+
+use std::fmt;
+
+/// Why a core stopped executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreExit {
+    /// Still running.
+    Running,
+    /// Halted at an `ebreak` (the bare-metal "done" convention).
+    Ebreak {
+        /// PC of the `ebreak`.
+        pc: u64,
+    },
+    /// Halted at an `ecall` (semihosting exit).
+    Ecall {
+        /// PC of the `ecall`.
+        pc: u64,
+    },
+    /// Halted on a trap condition.
+    Trap(TrapCause),
+}
+
+impl CoreExit {
+    /// Whether the core ended via `ebreak`/`ecall` (a clean exit).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        matches!(self, CoreExit::Ebreak { .. } | CoreExit::Ecall { .. })
+    }
+
+    /// Whether the core is still running.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        matches!(self, CoreExit::Running)
+    }
+}
+
+/// Trap conditions recognised by the model. Real hardware would vector to a
+/// handler; the bare-metal model halts and reports, which is what the
+/// fault-injection campaigns classify as *detected by machine trap*.
+///
+/// Traps are **imprecise**: they are taken where detected (decode for
+/// illegal encodings, the memory stage for access faults), flushing older
+/// in-flight instructions rather than draining them. Bare-metal runs halt
+/// on any trap, so precision buys nothing here; campaigns only use the
+/// trap *kind*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapCause {
+    /// A word that does not decode reached the decode stage.
+    IllegalInstruction {
+        /// PC of the offending word.
+        pc: u64,
+        /// The raw word.
+        word: u32,
+    },
+    /// A misaligned data access.
+    MisalignedAccess {
+        /// PC of the access.
+        pc: u64,
+        /// The offending address.
+        addr: u64,
+    },
+    /// An access outside RAM and APB windows.
+    AccessFault {
+        /// PC of the access.
+        pc: u64,
+        /// The offending address.
+        addr: u64,
+    },
+    /// A store targeting the read-only code region.
+    StoreToCode {
+        /// PC of the store.
+        pc: u64,
+        /// The offending address.
+        addr: u64,
+    },
+    /// Instruction fetch left the loaded code region.
+    FetchFault {
+        /// The offending fetch address.
+        pc: u64,
+    },
+}
+
+impl fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TrapCause::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#x}")
+            }
+            TrapCause::MisalignedAccess { pc, addr } => {
+                write!(f, "misaligned access to {addr:#x} at pc {pc:#x}")
+            }
+            TrapCause::AccessFault { pc, addr } => {
+                write!(f, "access fault at {addr:#x} (pc {pc:#x})")
+            }
+            TrapCause::StoreToCode { pc, addr } => {
+                write!(f, "store to code region at {addr:#x} (pc {pc:#x})")
+            }
+            TrapCause::FetchFault { pc } => write!(f, "fetch fault at pc {pc:#x}"),
+        }
+    }
+}
+
+impl fmt::Display for CoreExit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreExit::Running => f.write_str("running"),
+            CoreExit::Ebreak { pc } => write!(f, "ebreak at pc {pc:#x}"),
+            CoreExit::Ecall { pc } => write!(f, "ecall at pc {pc:#x}"),
+            CoreExit::Trap(t) => write!(f, "trap: {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_exit_classification() {
+        assert!(CoreExit::Ebreak { pc: 4 }.is_clean());
+        assert!(CoreExit::Ecall { pc: 4 }.is_clean());
+        assert!(!CoreExit::Running.is_clean());
+        assert!(CoreExit::Running.is_running());
+        let t = CoreExit::Trap(TrapCause::FetchFault { pc: 0 });
+        assert!(!t.is_clean() && !t.is_running());
+    }
+
+    #[test]
+    fn display_messages() {
+        let t = TrapCause::IllegalInstruction { pc: 0x80000000, word: 0xffff_ffff };
+        assert!(t.to_string().contains("0xffffffff"));
+        assert!(CoreExit::Trap(t).to_string().starts_with("trap:"));
+        assert_eq!(CoreExit::Running.to_string(), "running");
+    }
+}

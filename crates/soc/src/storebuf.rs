@@ -1,0 +1,364 @@
+//! The per-core coalescing store buffer.
+//!
+//! Retired stores enter the buffer at cache-line granularity; stores to the
+//! same line coalesce into one entry (one bus transaction), which is exactly
+//! the mechanism behind the `pm` timing anomaly discussed in the SafeDM
+//! paper (Section V-C). Entries drain to the bus after a configurable
+//! coalescing window, or immediately when the buffer fills.
+
+use std::collections::VecDeque;
+
+use crate::MemSpace;
+
+/// Maximum line size supported by the buffer.
+pub const MAX_LINE: usize = 64;
+
+/// One line-granular pending store.
+#[derive(Debug, Clone)]
+pub struct SbEntry {
+    /// Target memory space.
+    pub space: MemSpace,
+    /// Line base address (logical).
+    pub line_addr: u64,
+    /// Pending data bytes (only bytes with `mask` set are meaningful).
+    pub data: [u8; MAX_LINE],
+    /// Per-byte valid mask.
+    pub mask: [bool; MAX_LINE],
+    /// Age in cycles since first byte was written.
+    pub age: u32,
+    /// Whether this entry has been handed to the bus (no further coalescing).
+    pub in_flight: bool,
+}
+
+impl SbEntry {
+    fn new(space: MemSpace, line_addr: u64) -> SbEntry {
+        SbEntry {
+            space,
+            line_addr,
+            data: [0; MAX_LINE],
+            mask: [false; MAX_LINE],
+            age: 0,
+            in_flight: false,
+        }
+    }
+}
+
+/// Coalescing store buffer.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_soc::{StoreBuffer, MemSpace};
+///
+/// let mut sb = StoreBuffer::new(4, 32, 6);
+/// sb.push(MemSpace::Private(0), 0x8000_0010, &7u32.to_le_bytes()).unwrap();
+/// assert_eq!(sb.len(), 1);
+/// // A second store to the same line coalesces:
+/// sb.push(MemSpace::Private(0), 0x8000_0018, &9u32.to_le_bytes()).unwrap();
+/// assert_eq!(sb.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    entries: VecDeque<SbEntry>,
+    capacity: usize,
+    line_bytes: u64,
+    drain_delay: u32,
+    coalesced: u64,
+    drained: u64,
+}
+
+/// Result of probing the buffer for a load's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbForward {
+    /// No pending store overlaps the load.
+    None,
+    /// All requested bytes are pending; the returned window is the aligned
+    /// 8-byte window with buffer bytes merged over memory bytes.
+    Full(u64),
+    /// Some but not all bytes overlap; the load must wait for a drain.
+    Partial,
+}
+
+impl StoreBuffer {
+    /// Creates an empty buffer of `capacity` line entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` exceeds [`MAX_LINE`] or is not a power of two.
+    #[must_use]
+    pub fn new(capacity: usize, line_bytes: u64, drain_delay: u32) -> StoreBuffer {
+        assert!(line_bytes.is_power_of_two() && line_bytes as usize <= MAX_LINE);
+        StoreBuffer {
+            entries: VecDeque::new(),
+            capacity,
+            line_bytes,
+            drain_delay,
+            coalesced: 0,
+            drained: 0,
+        }
+    }
+
+    /// Number of occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the buffer cannot accept a store to a new line.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// Inserts a store. Returns `Err(())` when the buffer is full and the
+    /// store targets a line with no coalescable entry (the pipeline must
+    /// stall and retry after a drain).
+    #[allow(clippy::result_unit_err)]
+    pub fn push(&mut self, space: MemSpace, addr: u64, bytes: &[u8]) -> Result<(), ()> {
+        let line = self.line_of(addr);
+        debug_assert!(addr + bytes.len() as u64 <= line + self.line_bytes, "store crosses line");
+        // Coalesce into the *youngest* matching entry that is not in flight,
+        // to preserve store ordering within the line.
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .rev()
+            .find(|e| e.space == space && e.line_addr == line && !e.in_flight)
+        {
+            let off = (addr - line) as usize;
+            for (i, b) in bytes.iter().enumerate() {
+                e.data[off + i] = *b;
+                e.mask[off + i] = true;
+            }
+            self.coalesced += 1;
+            return Ok(());
+        }
+        if self.is_full() {
+            return Err(());
+        }
+        let mut e = SbEntry::new(space, line);
+        let off = (addr - line) as usize;
+        for (i, b) in bytes.iter().enumerate() {
+            e.data[off + i] = *b;
+            e.mask[off + i] = true;
+        }
+        self.entries.push_back(e);
+        Ok(())
+    }
+
+    /// Advances entry ages by one cycle.
+    pub fn tick(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    /// Whether the oldest entry is ready to be sent to the bus (buffer full,
+    /// window expired, or `force`), and not already in flight.
+    #[must_use]
+    pub fn drain_ready(&self, force: bool) -> bool {
+        match self.entries.front() {
+            Some(e) if !e.in_flight => force || self.is_full() || e.age >= self.drain_delay,
+            _ => false,
+        }
+    }
+
+    /// Marks the oldest entry as in flight and returns a copy for the bus
+    /// request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty or the head is already in flight.
+    pub fn begin_drain(&mut self) -> SbEntry {
+        let e = self.entries.front_mut().expect("drain of empty store buffer");
+        assert!(!e.in_flight, "head already in flight");
+        e.in_flight = true;
+        e.clone()
+    }
+
+    /// Removes the drained head entry once the bus write completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not in flight.
+    pub fn finish_drain(&mut self) {
+        let e = self.entries.pop_front().expect("finish_drain on empty buffer");
+        assert!(e.in_flight, "head was not in flight");
+        self.drained += 1;
+    }
+
+    /// Probes the buffer for a load of `size` bytes at `addr`, merging over
+    /// the memory window `mem_window` (the aligned 8-byte window containing
+    /// `addr`).
+    #[must_use]
+    pub fn forward(&self, space: MemSpace, addr: u64, size: u64, mem_window: u64) -> SbForward {
+        let line = self.line_of(addr);
+        let mut merged = mem_window.to_le_bytes();
+        let win_base = addr & !7;
+        let mut covered = 0u64;
+        let mut any = false;
+        // Apply entries oldest→youngest so younger stores win.
+        for e in &self.entries {
+            if e.space != space || e.line_addr != line {
+                continue;
+            }
+            for i in 0..8u64 {
+                let a = win_base + i;
+                if a < line || a >= line + self.line_bytes {
+                    continue;
+                }
+                let off = (a - line) as usize;
+                if e.mask[off] {
+                    merged[i as usize] = e.data[off];
+                    if a >= addr && a < addr + size {
+                        covered |= 1 << (a - addr);
+                        any = true;
+                    }
+                }
+            }
+        }
+        if !any {
+            return SbForward::None;
+        }
+        let need = (1u64 << size) - 1;
+        if covered & need == need {
+            SbForward::Full(u64::from_le_bytes(merged))
+        } else {
+            SbForward::Partial
+        }
+    }
+
+    /// `(coalesced_stores, drained_entries)` statistics.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.coalesced, self.drained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: MemSpace = MemSpace::Private(0);
+
+    fn sb() -> StoreBuffer {
+        StoreBuffer::new(2, 32, 4)
+    }
+
+    #[test]
+    fn coalesces_same_line() {
+        let mut b = sb();
+        b.push(S, 0x100, &[1, 2, 3, 4]).unwrap();
+        b.push(S, 0x110, &[5]).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.stats().0, 1);
+    }
+
+    #[test]
+    fn distinct_lines_take_entries() {
+        let mut b = sb();
+        b.push(S, 0x100, &[1]).unwrap();
+        b.push(S, 0x120, &[2]).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b.is_full());
+        assert!(b.push(S, 0x140, &[3]).is_err());
+        // but coalescing into an existing line still works when full
+        b.push(S, 0x104, &[4]).unwrap();
+    }
+
+    #[test]
+    fn drain_after_window() {
+        let mut b = sb();
+        b.push(S, 0x100, &[1]).unwrap();
+        assert!(!b.drain_ready(false));
+        for _ in 0..4 {
+            b.tick();
+        }
+        assert!(b.drain_ready(false));
+        let e = b.begin_drain();
+        assert_eq!(e.line_addr, 0x100);
+        assert!(!b.drain_ready(false)); // head in flight
+        b.finish_drain();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn force_drain_ignores_window() {
+        let mut b = sb();
+        b.push(S, 0x100, &[1]).unwrap();
+        assert!(b.drain_ready(true));
+    }
+
+    #[test]
+    fn full_buffer_is_drain_ready() {
+        let mut b = sb();
+        b.push(S, 0x100, &[1]).unwrap();
+        b.push(S, 0x120, &[2]).unwrap();
+        assert!(b.drain_ready(false));
+    }
+
+    #[test]
+    fn in_flight_entry_does_not_coalesce() {
+        let mut b = sb();
+        b.push(S, 0x100, &[1]).unwrap();
+        b.begin_drain();
+        b.push(S, 0x104, &[9]).unwrap(); // new entry, not merged
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn forward_full_and_partial() {
+        let mut b = sb();
+        b.push(S, 0x100, &0xdead_beefu32.to_le_bytes()).unwrap();
+        match b.forward(S, 0x100, 4, 0) {
+            SbForward::Full(w) => assert_eq!(w as u32, 0xdead_beef),
+            other => panic!("expected full forward, got {other:?}"),
+        }
+        // 8-byte load covering only 4 pending bytes → partial
+        assert_eq!(b.forward(S, 0x100, 8, 0), SbForward::Partial);
+        // disjoint load
+        assert_eq!(b.forward(S, 0x110, 4, 0), SbForward::None);
+        // other space
+        assert_eq!(b.forward(MemSpace::Private(1), 0x100, 4, 0), SbForward::None);
+    }
+
+    #[test]
+    fn forward_merges_over_memory() {
+        let mut b = sb();
+        b.push(S, 0x102, &[0xaa]).unwrap();
+        let mem = 0x8877_6655_4433_2211u64; // window at 0x100
+        match b.forward(S, 0x100, 4, mem) {
+            SbForward::Partial => {} // only byte 2 of 4 covered
+            other => panic!("{other:?}"),
+        }
+        match b.forward(S, 0x102, 1, mem) {
+            SbForward::Full(w) => {
+                assert_eq!(w.to_le_bytes()[2], 0xaa);
+                assert_eq!(w.to_le_bytes()[0], 0x11);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn younger_store_wins_forward() {
+        let mut b = sb();
+        b.push(S, 0x100, &[1]).unwrap();
+        b.begin_drain(); // freeze entry 1
+        b.push(S, 0x100, &[2]).unwrap(); // younger entry same line
+        match b.forward(S, 0x100, 1, 0) {
+            SbForward::Full(w) => assert_eq!(w as u8, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Commit-stream differential testing: the pipeline's committed-instruction
+//! sequence (PC, encoding, destination value) must equal the ISS's executed
+//! sequence step for step — far stronger than comparing final state only.
+
+use safedm_asm::Asm;
+use safedm_isa::{Inst, Reg};
+use safedm_soc::{Iss, MpSoc, SocConfig};
+
+fn compare_streams(prog: &safedm_asm::Program, max: u64) {
+    let mut soc_cfg = SocConfig::default();
+    soc_cfg.cores = 1;
+    let mut soc = MpSoc::new(soc_cfg);
+    soc.load_program(prog);
+    soc.core_mut(0).enable_commit_trace(usize::MAX / 2);
+    let r = soc.run(max * 8);
+    assert!(r.all_clean(), "{:?}", r.exits);
+    let trace = soc.core_mut(0).take_commit_trace();
+
+    let mut iss = Iss::new(0);
+    iss.load_program(prog);
+    for (i, rec) in trace.iter().enumerate() {
+        assert_eq!(rec.pc, iss.pc(), "commit #{i}: pc diverged ({rec})");
+        let pc_inst = safedm_isa::decode(rec.raw).expect("committed word decodes");
+        let stepped = iss.step();
+        // ebreak is the final record: the ISS halts on it.
+        if matches!(pc_inst, Inst::Ebreak) {
+            assert!(!stepped || i + 1 == trace.len());
+            break;
+        }
+        assert!(stepped, "ISS halted early at commit #{i} ({rec})");
+        if let Some(rd) = rec.rd {
+            assert_eq!(
+                rec.value.expect("rd implies value"),
+                iss.reg(rd),
+                "commit #{i}: {rd} value diverged ({rec})"
+            );
+        }
+    }
+    // the ISS counts the final ebreak as executed, matching the commit
+    assert_eq!(trace.len() as u64, iss.executed(), "commit counts must match");
+}
+
+#[test]
+fn commit_stream_matches_iss_on_mixed_program() {
+    let mut a = Asm::new();
+    let buf = a.d_zero("buf", 512);
+    a.la(Reg::S0, buf);
+    a.li(Reg::T0, 60);
+    let top = a.here("top");
+    // mix: ALU, mul/div, loads, stores, branches, a call
+    a.mul(Reg::T1, Reg::T0, Reg::T0);
+    a.andi(Reg::T2, Reg::T1, 63 << 3);
+    a.add(Reg::T2, Reg::T2, Reg::S0);
+    a.sd(Reg::T1, 0, Reg::T2);
+    a.ld(Reg::T3, 0, Reg::T2);
+    a.remu(Reg::T4, Reg::T3, Reg::T0);
+    a.add(Reg::A0, Reg::A0, Reg::T4);
+    let skip = a.new_label("skip");
+    a.andi(Reg::T5, Reg::T0, 3);
+    a.bnez(Reg::T5, skip);
+    a.slli(Reg::A0, Reg::A0, 1);
+    a.srli(Reg::A0, Reg::A0, 1);
+    a.bind(skip).unwrap();
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, top);
+    a.ebreak();
+    let prog = a.link(0x8000_0000).unwrap();
+    compare_streams(&prog, 1_000_000);
+}
+
+#[test]
+fn commit_stream_matches_iss_on_recursion() {
+    let mut a = Asm::new();
+    a.li(Reg::SP, 0x80f0_0000);
+    let fib = a.new_label("fib");
+    a.li(Reg::A1, 10);
+    a.call(fib);
+    a.ebreak();
+    a.bind(fib).unwrap();
+    let base = a.new_label("base");
+    a.li(Reg::T0, 2);
+    a.blt(Reg::A1, Reg::T0, base);
+    a.addi(Reg::SP, Reg::SP, -24);
+    a.sd(Reg::RA, 0, Reg::SP);
+    a.sd(Reg::A1, 8, Reg::SP);
+    a.addi(Reg::A1, Reg::A1, -1);
+    a.call(fib);
+    a.sd(Reg::A0, 16, Reg::SP);
+    a.ld(Reg::A1, 8, Reg::SP);
+    a.addi(Reg::A1, Reg::A1, -2);
+    a.call(fib);
+    a.ld(Reg::T0, 16, Reg::SP);
+    a.add(Reg::A0, Reg::A0, Reg::T0);
+    a.ld(Reg::RA, 0, Reg::SP);
+    a.addi(Reg::SP, Reg::SP, 24);
+    a.ret();
+    a.bind(base).unwrap();
+    a.mv(Reg::A0, Reg::A1);
+    a.ret();
+    let prog = a.link(0x8000_0000).unwrap();
+    compare_streams(&prog, 1_000_000);
+}

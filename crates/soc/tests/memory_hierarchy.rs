@@ -1,0 +1,101 @@
+//! Timing behaviour of the cache hierarchy: the model must show the
+//! qualitative speed relationships real hardware shows (L1-resident fast,
+//! L1-thrashing slower, L2-resident in between), since those latencies are
+//! what create the serialisation windows behind natural diversity.
+
+use safedm_asm::Asm;
+use safedm_isa::Reg;
+use safedm_soc::{MpSoc, SocConfig};
+
+/// Builds a pointer-free strided read loop over `footprint` bytes.
+fn strided_reader(footprint: u64, iters: i64) -> safedm_asm::Program {
+    let mut a = Asm::new();
+    let buf = a.d_zero("buf", footprint);
+    a.la(Reg::S0, buf);
+    a.li(Reg::S1, iters);
+    a.li(Reg::A0, 0);
+    let outer = a.here("outer");
+    a.li(Reg::T0, 0);
+    let inner = a.here("inner");
+    a.add(Reg::T1, Reg::S0, Reg::T0);
+    a.ld(Reg::T2, 0, Reg::T1);
+    a.add(Reg::A0, Reg::A0, Reg::T2);
+    a.addi(Reg::T0, Reg::T0, 64); // stride past one line (32 B) pair
+    a.li(Reg::T3, footprint as i64);
+    a.blt(Reg::T0, Reg::T3, inner);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, outer);
+    a.ebreak();
+    a.link(0x8000_0000).unwrap()
+}
+
+fn cycles_for(footprint: u64) -> f64 {
+    // Normalise by the number of loads issued.
+    let iters = 40;
+    let loads = (footprint / 64) * iters as u64;
+    let mut cfg = SocConfig::default();
+    cfg.cores = 1;
+    let mut soc = MpSoc::new(cfg);
+    soc.load_program(&strided_reader(footprint, iters));
+    let r = soc.run(400_000_000);
+    assert!(r.all_clean());
+    r.cycles as f64 / loads as f64
+}
+
+#[test]
+fn cache_capacity_regimes_order_correctly() {
+    let l1_resident = cycles_for(8 * 1024); // fits 16 KiB L1D
+    let l2_resident = cycles_for(64 * 1024); // exceeds L1D, fits 128 KiB L2
+    let mem_bound = cycles_for(512 * 1024); // exceeds L2
+    assert!(
+        l1_resident < l2_resident,
+        "L1-resident must beat L2-resident: {l1_resident:.1} vs {l2_resident:.1}"
+    );
+    assert!(
+        l2_resident < mem_bound,
+        "L2-resident must beat memory-bound: {l2_resident:.1} vs {mem_bound:.1}"
+    );
+    // Sanity magnitudes: an L1 hit loop stays under ~8 cycles/load; the
+    // memory-bound loop pays tens of cycles per load.
+    assert!(l1_resident < 10.0, "L1 loop too slow: {l1_resident:.1} cycles/load");
+    assert!(mem_bound > 15.0, "memory-bound loop too fast: {mem_bound:.1} cycles/load");
+}
+
+#[test]
+fn warm_instruction_cache_speeds_up_reruns() {
+    // Second traversal of a long straight-line block is much faster than
+    // the first (I$ warm-up), observable through per-core hold cycles.
+    let mut a = Asm::new();
+    a.li(Reg::S1, 2);
+    let again = a.here("again");
+    for i in 0..800 {
+        a.addi(Reg::T0, Reg::T0, (i % 100) - 50);
+    }
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bgtz(Reg::S1, again);
+    a.ebreak();
+    let prog = a.link(0x8000_0000).unwrap();
+    let mut cfg = SocConfig::default();
+    cfg.cores = 1;
+    let mut soc = MpSoc::new(cfg);
+    soc.load_program(&prog);
+
+    // Measure cycles for the first vs second traversal via retired counts.
+    let mut first_pass_cycles = None;
+    let target_first = 800u64; // after ~one traversal
+    let mut total = 0u64;
+    while !soc.all_halted() {
+        soc.step();
+        total += 1;
+        if first_pass_cycles.is_none() && soc.core(0).retired() >= target_first {
+            first_pass_cycles = Some(total);
+        }
+        assert!(total < 10_000_000);
+    }
+    let first = first_pass_cycles.expect("first pass finished") as f64;
+    let second = total as f64 - first;
+    assert!(
+        second < first * 0.7,
+        "warm I$ must make the second traversal faster: {first} then {second}"
+    );
+}

@@ -1,0 +1,425 @@
+//! Hash kernels: `md5` and `sha` (SHA-1 core).
+//!
+//! Both process pre-padded message blocks (the TACLe versions also hash
+//! fixed self-contained buffers). All arithmetic is 32-bit modular; the asm
+//! keeps values zero-extended in 64-bit registers and masks after every
+//! wrap-prone operation (`s11` holds `0xFFFF_FFFF`).
+
+use safedm_asm::Asm;
+use safedm_isa::Reg;
+
+use super::bytes;
+use crate::Kernel;
+
+const R: Reg = Reg::A0;
+const MASK: Reg = Reg::S11;
+
+/// Emits `rd = rotl32(rs, shamt_reg)`; clobbers `t5`, `t6` is avoided.
+/// Inputs must be 32-bit clean; output is masked.
+fn emit_rotl32_reg(a: &mut Asm, rd: Reg, rs: Reg, sh: Reg, scratch: Reg) {
+    a.sll(scratch, rs, sh); // x << s
+    a.li(rd, 32);
+    a.sub(rd, rd, sh); // 32 - s
+    a.srl(rd, rs, rd); // x >> (32-s)
+    a.or(rd, rd, scratch);
+    a.and(rd, rd, MASK);
+}
+
+// --------------------------------------------------------------------------
+// md5
+
+const MD5_BLOCKS: usize = 4;
+
+#[rustfmt::skip]
+const MD5_S: [u64; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+#[rustfmt::skip]
+const MD5_K: [u64; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+fn md5_message() -> Vec<u8> {
+    bytes(0x3D5, MD5_BLOCKS * 64)
+}
+
+/// `md5`: the full 64-round MD5 compression over a multi-block buffer.
+pub fn md5() -> Kernel {
+    fn build(a: &mut Asm) {
+        let msg = a.d_bytes("md5_msg", &md5_message());
+        let kt = a.d_dwords("md5_k", &MD5_K);
+        let st = a.d_dwords("md5_s", &MD5_S);
+        a.la(Reg::S0, msg);
+        a.la(Reg::S1, kt);
+        a.la(Reg::S2, st);
+        a.li(MASK, 0xffff_ffff);
+        // digest state a0..d0 in s3..s6
+        a.li(Reg::S3, 0x6745_2301);
+        a.li(Reg::S4, 0xefcd_ab89);
+        a.li(Reg::S5, 0x98ba_dcfe);
+        a.li(Reg::S6, 0x1032_5476);
+        a.li(Reg::S7, MD5_BLOCKS as i64);
+        let block_loop = a.here("md5_block");
+        // working vars A..D in t0..t3
+        a.mv(Reg::T0, Reg::S3);
+        a.mv(Reg::T1, Reg::S4);
+        a.mv(Reg::T2, Reg::S5);
+        a.mv(Reg::T3, Reg::S6);
+        a.li(Reg::S8, 0); // round i
+        let round_loop = a.here("md5_round");
+        // select F and g by round quartile
+        let (q1, q2, q3) =
+            (a.new_label("md5_q1"), a.new_label("md5_q2"), a.new_label("md5_q3"));
+        let dispatch_done = a.new_label("md5_fg_done");
+        a.li(Reg::T4, 16);
+        a.blt(Reg::S8, Reg::T4, q1);
+        a.li(Reg::T4, 32);
+        a.blt(Reg::S8, Reg::T4, q2);
+        a.li(Reg::T4, 48);
+        a.blt(Reg::S8, Reg::T4, q3);
+        // round 4: F = C ^ (B | ~D); g = (7i) % 16
+        a.not(Reg::T4, Reg::T3);
+        a.or(Reg::T4, Reg::T1, Reg::T4);
+        a.xor(Reg::T4, Reg::T2, Reg::T4);
+        a.and(Reg::T4, Reg::T4, MASK);
+        a.li(Reg::T5, 7);
+        a.mul(Reg::S9, Reg::S8, Reg::T5);
+        a.andi(Reg::S9, Reg::S9, 15);
+        a.j(dispatch_done);
+        a.bind(q1).unwrap();
+        // F = (B & C) | (~B & D); g = i
+        a.and(Reg::T4, Reg::T1, Reg::T2);
+        a.not(Reg::T5, Reg::T1);
+        a.and(Reg::T5, Reg::T5, Reg::T3);
+        a.or(Reg::T4, Reg::T4, Reg::T5);
+        a.and(Reg::T4, Reg::T4, MASK);
+        a.mv(Reg::S9, Reg::S8);
+        a.j(dispatch_done);
+        a.bind(q2).unwrap();
+        // F = (D & B) | (~D & C); g = (5i + 1) % 16
+        a.and(Reg::T4, Reg::T3, Reg::T1);
+        a.not(Reg::T5, Reg::T3);
+        a.and(Reg::T5, Reg::T5, Reg::T2);
+        a.or(Reg::T4, Reg::T4, Reg::T5);
+        a.and(Reg::T4, Reg::T4, MASK);
+        a.li(Reg::T5, 5);
+        a.mul(Reg::S9, Reg::S8, Reg::T5);
+        a.addi(Reg::S9, Reg::S9, 1);
+        a.andi(Reg::S9, Reg::S9, 15);
+        a.j(dispatch_done);
+        a.bind(q3).unwrap();
+        // F = B ^ C ^ D; g = (3i + 5) % 16
+        a.xor(Reg::T4, Reg::T1, Reg::T2);
+        a.xor(Reg::T4, Reg::T4, Reg::T3);
+        a.li(Reg::T5, 3);
+        a.mul(Reg::S9, Reg::S8, Reg::T5);
+        a.addi(Reg::S9, Reg::S9, 5);
+        a.andi(Reg::S9, Reg::S9, 15);
+        a.bind(dispatch_done).unwrap();
+        // sum = A + F + K[i] + M[g]
+        a.add(Reg::T4, Reg::T4, Reg::T0);
+        a.slli(Reg::T5, Reg::S8, 3);
+        a.add(Reg::T5, Reg::T5, Reg::S1);
+        a.ld(Reg::T5, 0, Reg::T5); // K[i]
+        a.add(Reg::T4, Reg::T4, Reg::T5);
+        a.slli(Reg::T5, Reg::S9, 2);
+        a.add(Reg::T5, Reg::T5, Reg::S0);
+        a.lwu(Reg::T5, 0, Reg::T5); // M[g]
+        a.add(Reg::T4, Reg::T4, Reg::T5);
+        a.and(Reg::T4, Reg::T4, MASK);
+        // rotate by S[i]
+        a.slli(Reg::T5, Reg::S8, 3);
+        a.add(Reg::T5, Reg::T5, Reg::S2);
+        a.ld(Reg::S10, 0, Reg::T5); // shift amount
+        emit_rotl32_reg(a, Reg::S9, Reg::T4, Reg::S10, Reg::T5);
+        // (A,B,C,D) = (D, B + rot, B, C)
+        a.mv(Reg::T4, Reg::T3); // new A source = D
+        a.mv(Reg::T3, Reg::T2);
+        a.mv(Reg::T2, Reg::T1);
+        a.add(Reg::T1, Reg::T1, Reg::S9);
+        a.and(Reg::T1, Reg::T1, MASK);
+        a.mv(Reg::T0, Reg::T4);
+        a.addi(Reg::S8, Reg::S8, 1);
+        a.li(Reg::T4, 64);
+        a.blt(Reg::S8, Reg::T4, round_loop);
+        // fold into digest
+        a.add(Reg::S3, Reg::S3, Reg::T0);
+        a.and(Reg::S3, Reg::S3, MASK);
+        a.add(Reg::S4, Reg::S4, Reg::T1);
+        a.and(Reg::S4, Reg::S4, MASK);
+        a.add(Reg::S5, Reg::S5, Reg::T2);
+        a.and(Reg::S5, Reg::S5, MASK);
+        a.add(Reg::S6, Reg::S6, Reg::T3);
+        a.and(Reg::S6, Reg::S6, MASK);
+        a.addi(Reg::S0, Reg::S0, 64); // next block
+        a.addi(Reg::S7, Reg::S7, -1);
+        a.bnez(Reg::S7, block_loop);
+        // checksum = (a0 | b0<<32) ^ (c0 | d0<<32)
+        a.slli(Reg::T0, Reg::S4, 32);
+        a.or(Reg::T0, Reg::T0, Reg::S3);
+        a.slli(Reg::T1, Reg::S6, 32);
+        a.or(Reg::T1, Reg::T1, Reg::S5);
+        a.xor(R, Reg::T0, Reg::T1);
+    }
+    fn reference() -> u64 {
+        let msg = md5_message();
+        let (mut a0, mut b0, mut c0, mut d0) =
+            (0x6745_2301u32, 0xefcd_ab89u32, 0x98ba_dcfeu32, 0x1032_5476u32);
+        for block in msg.chunks_exact(64) {
+            let m: Vec<u32> = block
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+            for i in 0..64usize {
+                let (f, g) = match i / 16 {
+                    0 => ((b & c) | (!b & d), i),
+                    1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                    2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                    _ => (c ^ (b | !d), (7 * i) % 16),
+                };
+                let sum = a
+                    .wrapping_add(f)
+                    .wrapping_add(MD5_K[i] as u32)
+                    .wrapping_add(m[g]);
+                let rot = sum.rotate_left(MD5_S[i] as u32);
+                let new_b = b.wrapping_add(rot);
+                a = d;
+                d = c;
+                c = b;
+                b = new_b;
+            }
+            a0 = a0.wrapping_add(a);
+            b0 = b0.wrapping_add(b);
+            c0 = c0.wrapping_add(c);
+            d0 = d0.wrapping_add(d);
+        }
+        (u64::from(a0) | (u64::from(b0) << 32)) ^ (u64::from(c0) | (u64::from(d0) << 32))
+    }
+    Kernel { name: "md5", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// sha (SHA-1)
+
+const SHA_BLOCKS: usize = 3;
+
+fn sha_message() -> Vec<u8> {
+    bytes(0x5A1, SHA_BLOCKS * 64)
+}
+
+/// `sha`: the SHA-1 compression (80 rounds with message-schedule expansion
+/// into a scratch buffer) over a multi-block buffer.
+pub fn sha() -> Kernel {
+    fn build(a: &mut Asm) {
+        let msg = a.d_bytes("sha_msg", &sha_message());
+        let wt = a.d_zero("sha_w", 80 * 8);
+        a.la(Reg::S0, msg);
+        a.la(Reg::S1, wt);
+        a.li(MASK, 0xffff_ffff);
+        // h0..h4 in s2..s6
+        a.li(Reg::S2, 0x6745_2301);
+        a.li(Reg::S3, 0xefcd_ab89);
+        a.li(Reg::S4, 0x98ba_dcfe);
+        a.li(Reg::S5, 0x1032_5476);
+        a.li(Reg::S6, 0xc3d2_e1f0);
+        a.li(Reg::S7, SHA_BLOCKS as i64);
+        let block_loop = a.here("sha_block");
+        // schedule: W[0..16] = big-endian words of the block
+        a.li(Reg::S8, 0);
+        let load_loop = a.here("sha_load");
+        a.slli(Reg::T0, Reg::S8, 2);
+        a.add(Reg::T0, Reg::T0, Reg::S0);
+        a.lwu(Reg::T1, 0, Reg::T0); // little-endian load
+        // byte-swap to big-endian
+        a.srli(Reg::T2, Reg::T1, 24);
+        a.srli(Reg::T3, Reg::T1, 8);
+        a.li(Reg::T4, 0xff00);
+        a.and(Reg::T3, Reg::T3, Reg::T4);
+        a.or(Reg::T2, Reg::T2, Reg::T3);
+        a.slli(Reg::T3, Reg::T1, 8);
+        a.li(Reg::T4, 0xff_0000);
+        a.and(Reg::T3, Reg::T3, Reg::T4);
+        a.or(Reg::T2, Reg::T2, Reg::T3);
+        a.slli(Reg::T3, Reg::T1, 24);
+        a.and(Reg::T3, Reg::T3, MASK);
+        a.li(Reg::T4, 0xff00_0000);
+        a.and(Reg::T3, Reg::T3, Reg::T4);
+        a.or(Reg::T2, Reg::T2, Reg::T3);
+        a.slli(Reg::T0, Reg::S8, 3);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.sd(Reg::T2, 0, Reg::T0);
+        a.addi(Reg::S8, Reg::S8, 1);
+        a.li(Reg::T4, 16);
+        a.blt(Reg::S8, Reg::T4, load_loop);
+        // W[i] = rotl1(W[i-3] ^ W[i-8] ^ W[i-14] ^ W[i-16]) for 16..80
+        let expand_loop = a.here("sha_expand");
+        a.slli(Reg::T0, Reg::S8, 3);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.ld(Reg::T1, -3 * 8, Reg::T0);
+        a.ld(Reg::T2, -8 * 8, Reg::T0);
+        a.xor(Reg::T1, Reg::T1, Reg::T2);
+        a.ld(Reg::T2, -14 * 8, Reg::T0);
+        a.xor(Reg::T1, Reg::T1, Reg::T2);
+        a.ld(Reg::T2, -16 * 8, Reg::T0);
+        a.xor(Reg::T1, Reg::T1, Reg::T2);
+        // rotl1
+        a.slli(Reg::T2, Reg::T1, 1);
+        a.srli(Reg::T1, Reg::T1, 31);
+        a.or(Reg::T1, Reg::T1, Reg::T2);
+        a.and(Reg::T1, Reg::T1, MASK);
+        a.sd(Reg::T1, 0, Reg::T0);
+        a.addi(Reg::S8, Reg::S8, 1);
+        a.li(Reg::T4, 80);
+        a.blt(Reg::S8, Reg::T4, expand_loop);
+        // working vars a..e in t0..t3, s10
+        a.mv(Reg::T0, Reg::S2);
+        a.mv(Reg::T1, Reg::S3);
+        a.mv(Reg::T2, Reg::S4);
+        a.mv(Reg::T3, Reg::S5);
+        a.mv(Reg::S10, Reg::S6);
+        a.li(Reg::S8, 0);
+        let round_loop = a.here("sha_round");
+        let (r1, r2, r3) = (a.new_label("sha_r1"), a.new_label("sha_r2"), a.new_label("sha_r3"));
+        let fk_done = a.new_label("sha_fk_done");
+        a.li(Reg::T4, 20);
+        a.blt(Reg::S8, Reg::T4, r1);
+        a.li(Reg::T4, 40);
+        a.blt(Reg::S8, Reg::T4, r2);
+        a.li(Reg::T4, 60);
+        a.blt(Reg::S8, Reg::T4, r3);
+        // 60..80: f = b^c^d, k = 0xca62c1d6
+        a.xor(Reg::T5, Reg::T1, Reg::T2);
+        a.xor(Reg::T5, Reg::T5, Reg::T3);
+        a.li(Reg::S9, 0xca62_c1d6);
+        a.j(fk_done);
+        a.bind(r1).unwrap();
+        // 0..20: f = (b&c) | (~b&d), k = 0x5a827999
+        a.and(Reg::T5, Reg::T1, Reg::T2);
+        a.not(Reg::T4, Reg::T1);
+        a.and(Reg::T4, Reg::T4, Reg::T3);
+        a.or(Reg::T5, Reg::T5, Reg::T4);
+        a.and(Reg::T5, Reg::T5, MASK);
+        a.li(Reg::S9, 0x5a82_7999);
+        a.j(fk_done);
+        a.bind(r2).unwrap();
+        // 20..40: f = b^c^d, k = 0x6ed9eba1
+        a.xor(Reg::T5, Reg::T1, Reg::T2);
+        a.xor(Reg::T5, Reg::T5, Reg::T3);
+        a.li(Reg::S9, 0x6ed9_eba1);
+        a.j(fk_done);
+        a.bind(r3).unwrap();
+        // 40..60: f = (b&c) | (b&d) | (c&d), k = 0x8f1bbcdc
+        a.and(Reg::T5, Reg::T1, Reg::T2);
+        a.and(Reg::T4, Reg::T1, Reg::T3);
+        a.or(Reg::T5, Reg::T5, Reg::T4);
+        a.and(Reg::T4, Reg::T2, Reg::T3);
+        a.or(Reg::T5, Reg::T5, Reg::T4);
+        a.li(Reg::S9, 0x8f1b_bcdc);
+        a.bind(fk_done).unwrap();
+        // tmp = rotl5(a) + f + e + k + W[i]  (into t4)
+        a.slli(Reg::T4, Reg::T0, 5);
+        a.srli(Reg::T6, Reg::T0, 27);
+        a.or(Reg::T4, Reg::T4, Reg::T6);
+        a.and(Reg::T4, Reg::T4, MASK);
+        a.add(Reg::T4, Reg::T4, Reg::T5); // + f
+        a.add(Reg::T4, Reg::T4, Reg::S10); // + e
+        a.add(Reg::T4, Reg::T4, Reg::S9); // + k
+        a.slli(Reg::T6, Reg::S8, 3);
+        a.add(Reg::T6, Reg::T6, Reg::S1);
+        a.ld(Reg::T6, 0, Reg::T6); // W[i]
+        a.add(Reg::T4, Reg::T4, Reg::T6);
+        a.and(Reg::T4, Reg::T4, MASK);
+        // rotl30(b) into t6 before b is overwritten
+        a.slli(Reg::T6, Reg::T1, 30);
+        a.srli(Reg::T5, Reg::T1, 2);
+        a.or(Reg::T6, Reg::T6, Reg::T5);
+        a.and(Reg::T6, Reg::T6, MASK);
+        // (a,b,c,d,e) = (tmp, a, rotl30(b), c, d)
+        a.mv(Reg::S10, Reg::T3); // e = d
+        a.mv(Reg::T3, Reg::T2); // d = c
+        a.mv(Reg::T2, Reg::T6); // c = rotl30(b)
+        a.mv(Reg::T1, Reg::T0); // b = a
+        a.mv(Reg::T0, Reg::T4); // a = tmp
+        a.addi(Reg::S8, Reg::S8, 1);
+        a.li(Reg::T4, 80);
+        a.blt(Reg::S8, Reg::T4, round_loop);
+        // fold into digest
+        a.add(Reg::S2, Reg::S2, Reg::T0);
+        a.and(Reg::S2, Reg::S2, MASK);
+        a.add(Reg::S3, Reg::S3, Reg::T1);
+        a.and(Reg::S3, Reg::S3, MASK);
+        a.add(Reg::S4, Reg::S4, Reg::T2);
+        a.and(Reg::S4, Reg::S4, MASK);
+        a.add(Reg::S5, Reg::S5, Reg::T3);
+        a.and(Reg::S5, Reg::S5, MASK);
+        a.add(Reg::S6, Reg::S6, Reg::S10);
+        a.and(Reg::S6, Reg::S6, MASK);
+        a.addi(Reg::S0, Reg::S0, 64);
+        a.addi(Reg::S7, Reg::S7, -1);
+        a.bnez(Reg::S7, block_loop);
+        // checksum = (h0 | h1<<32) ^ (h2 | h3<<32) ^ h4
+        a.slli(Reg::T0, Reg::S3, 32);
+        a.or(Reg::T0, Reg::T0, Reg::S2);
+        a.slli(Reg::T1, Reg::S5, 32);
+        a.or(Reg::T1, Reg::T1, Reg::S4);
+        a.xor(R, Reg::T0, Reg::T1);
+        a.xor(R, R, Reg::S6);
+    }
+    fn reference() -> u64 {
+        let msg = sha_message();
+        let mut h = [0x6745_2301u32, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+        for block in msg.chunks_exact(64) {
+            let mut w = [0u32; 80];
+            for (i, c) in block.chunks_exact(4).enumerate() {
+                w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            }
+            for i in 16..80 {
+                w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+            }
+            let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+            for (i, wi) in w.iter().enumerate() {
+                let (f, k) = match i / 20 {
+                    0 => ((b & c) | (!b & d), 0x5a82_7999u32),
+                    1 => (b ^ c ^ d, 0x6ed9_eba1),
+                    2 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                    _ => (b ^ c ^ d, 0xca62_c1d6),
+                };
+                let tmp = a
+                    .rotate_left(5)
+                    .wrapping_add(f)
+                    .wrapping_add(e)
+                    .wrapping_add(k)
+                    .wrapping_add(*wi);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = tmp;
+            }
+            h[0] = h[0].wrapping_add(a);
+            h[1] = h[1].wrapping_add(b);
+            h[2] = h[2].wrapping_add(c);
+            h[3] = h[3].wrapping_add(d);
+            h[4] = h[4].wrapping_add(e);
+        }
+        (u64::from(h[0]) | (u64::from(h[1]) << 32))
+            ^ (u64::from(h[2]) | (u64::from(h[3]) << 32))
+            ^ u64::from(h[4])
+    }
+    Kernel { name: "sha", build, reference }
+}

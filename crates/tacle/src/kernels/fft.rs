@@ -1,0 +1,247 @@
+//! `fft`: iterative radix-2 decimation-in-time FFT in Q16.16 over a batch
+//! of blocks (bit-reversal permutation + butterfly stages).
+
+use safedm_asm::Asm;
+use safedm_isa::Reg;
+
+use super::dwords_mod;
+use crate::Kernel;
+
+const R: Reg = Reg::A0;
+const ONE: i64 = 1 << 16;
+const FFT_N: usize = 64;
+const FFT_BLOCKS: usize = 8;
+
+fn qmul(a: i64, b: i64) -> i64 {
+    a.wrapping_mul(b) >> 16
+}
+
+/// Twiddle factors `e^{-2πik/N}` for `k < N/2`, Q16.16. Generated once at
+/// data-build time; the assembled table and the reference share the values,
+/// so platform `cos` rounding cannot cause divergence between them.
+fn twiddles() -> (Vec<i64>, Vec<i64>) {
+    let mut re = Vec::with_capacity(FFT_N / 2);
+    let mut im = Vec::with_capacity(FFT_N / 2);
+    for k in 0..FFT_N / 2 {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / FFT_N as f64;
+        re.push((ang.cos() * ONE as f64).round() as i64);
+        im.push((ang.sin() * ONE as f64).round() as i64);
+    }
+    (re, im)
+}
+
+fn fft_input() -> (Vec<i64>, Vec<i64>) {
+    let re = dwords_mod(0xFF7_0, FFT_BLOCKS * FFT_N, 2 * ONE as u64)
+        .into_iter()
+        .map(|v| v as i64 - ONE)
+        .collect();
+    let im = dwords_mod(0xFF7_1, FFT_BLOCKS * FFT_N, 2 * ONE as u64)
+        .into_iter()
+        .map(|v| v as i64 - ONE)
+        .collect();
+    (re, im)
+}
+
+fn as_u64(v: &[i64]) -> Vec<u64> {
+    v.iter().map(|x| *x as u64).collect()
+}
+
+/// The `fft` kernel.
+pub fn fft() -> Kernel {
+    #[allow(clippy::too_many_lines)]
+    fn build(a: &mut Asm) {
+        let (re, im) = fft_input();
+        let (wre, wim) = twiddles();
+        let ret = a.d_dwords("fft_re", &as_u64(&re));
+        let imt = a.d_dwords("fft_im", &as_u64(&im));
+        let wret = a.d_dwords("fft_wre", &as_u64(&wre));
+        let wimt = a.d_dwords("fft_wim", &as_u64(&wim));
+        a.la(Reg::S0, ret);
+        a.la(Reg::S1, imt);
+        a.la(Reg::S2, wret);
+        a.la(Reg::S3, wimt);
+        a.li(Reg::S10, FFT_BLOCKS as i64);
+        let block_loop = a.here("fft_block");
+
+        // ---- bit-reversal permutation ------------------------------------
+        a.li(Reg::S4, 1); // i
+        a.li(Reg::S5, 0); // j
+        let brv_loop = a.here("fft_brv");
+        a.li(Reg::T0, (FFT_N / 2) as i64); // bit
+        let brv_clear = a.here("fft_brv_clear");
+        a.and(Reg::T1, Reg::S5, Reg::T0);
+        let brv_set = a.new_label("fft_brv_set");
+        a.beqz(Reg::T1, brv_set);
+        a.xor(Reg::S5, Reg::S5, Reg::T0);
+        a.srli(Reg::T0, Reg::T0, 1);
+        a.j(brv_clear);
+        a.bind(brv_set).unwrap();
+        a.xor(Reg::S5, Reg::S5, Reg::T0);
+        // if i < j: swap re/im[i] and re/im[j]
+        let no_swap = a.new_label("fft_noswap");
+        a.bge(Reg::S4, Reg::S5, no_swap);
+        for arr in [Reg::S0, Reg::S1] {
+            a.slli(Reg::T0, Reg::S4, 3);
+            a.add(Reg::T0, Reg::T0, arr);
+            a.slli(Reg::T1, Reg::S5, 3);
+            a.add(Reg::T1, Reg::T1, arr);
+            a.ld(Reg::T2, 0, Reg::T0);
+            a.ld(Reg::T3, 0, Reg::T1);
+            a.sd(Reg::T3, 0, Reg::T0);
+            a.sd(Reg::T2, 0, Reg::T1);
+        }
+        a.bind(no_swap).unwrap();
+        a.addi(Reg::S4, Reg::S4, 1);
+        a.li(Reg::T0, FFT_N as i64);
+        a.blt(Reg::S4, Reg::T0, brv_loop);
+
+        // ---- butterfly stages ----------------------------------------------
+        a.li(Reg::S4, 2); // len
+        let stage_loop = a.here("fft_stage");
+        a.li(Reg::S5, 0); // group start i
+        let group_loop = a.here("fft_group");
+        a.li(Reg::S6, 0); // k within half
+        let bfly_loop = a.here("fft_bfly");
+        // twiddle index = k * (N / len)
+        a.li(Reg::T0, FFT_N as i64);
+        a.div(Reg::T0, Reg::T0, Reg::S4);
+        a.mul(Reg::T0, Reg::T0, Reg::S6);
+        a.slli(Reg::T0, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T0, Reg::S2);
+        a.ld(Reg::S7, 0, Reg::T1); // wr
+        a.add(Reg::T1, Reg::T0, Reg::S3);
+        a.ld(Reg::S8, 0, Reg::T1); // wi
+        // p = i + k ; q = p + len/2
+        a.add(Reg::T0, Reg::S5, Reg::S6);
+        a.srli(Reg::T1, Reg::S4, 1);
+        a.add(Reg::T1, Reg::T1, Reg::T0); // q
+        // load a[q]
+        a.slli(Reg::T2, Reg::T1, 3);
+        a.add(Reg::T3, Reg::T2, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T3); // qr
+        a.add(Reg::T3, Reg::T2, Reg::S1);
+        a.ld(Reg::T5, 0, Reg::T3); // qi
+        // v = w * a[q]  (complex, Q16.16) into s9 (vr), t6 (vi)
+        a.mul(Reg::S9, Reg::T4, Reg::S7);
+        a.srai(Reg::S9, Reg::S9, 16);
+        a.mul(Reg::T6, Reg::T5, Reg::S8);
+        a.srai(Reg::T6, Reg::T6, 16);
+        a.sub(Reg::S9, Reg::S9, Reg::T6); // vr = qr*wr - qi*wi
+        a.mul(Reg::T6, Reg::T4, Reg::S8);
+        a.srai(Reg::T6, Reg::T6, 16);
+        a.mul(Reg::T4, Reg::T5, Reg::S7);
+        a.srai(Reg::T4, Reg::T4, 16);
+        a.add(Reg::T6, Reg::T6, Reg::T4); // vi = qr*wi + qi*wr
+        // load a[p] (u)
+        a.slli(Reg::T2, Reg::T0, 3);
+        a.add(Reg::T3, Reg::T2, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T3); // ur
+        a.add(Reg::T3, Reg::T2, Reg::S1);
+        a.ld(Reg::T5, 0, Reg::T3); // ui
+        // a[p] = u + v ; a[q] = u - v
+        a.add(Reg::T2, Reg::T4, Reg::S9);
+        a.slli(Reg::T3, Reg::T0, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.sd(Reg::T2, 0, Reg::T3);
+        a.add(Reg::T2, Reg::T5, Reg::T6);
+        a.slli(Reg::T3, Reg::T0, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S1);
+        a.sd(Reg::T2, 0, Reg::T3);
+        a.sub(Reg::T2, Reg::T4, Reg::S9);
+        a.slli(Reg::T3, Reg::T1, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.sd(Reg::T2, 0, Reg::T3);
+        a.sub(Reg::T2, Reg::T5, Reg::T6);
+        a.slli(Reg::T3, Reg::T1, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S1);
+        a.sd(Reg::T2, 0, Reg::T3);
+        // next butterfly
+        a.addi(Reg::S6, Reg::S6, 1);
+        a.srli(Reg::T0, Reg::S4, 1);
+        a.blt(Reg::S6, Reg::T0, bfly_loop);
+        // next group
+        a.add(Reg::S5, Reg::S5, Reg::S4);
+        a.li(Reg::T0, FFT_N as i64);
+        a.blt(Reg::S5, Reg::T0, group_loop);
+        // next stage
+        a.slli(Reg::S4, Reg::S4, 1);
+        a.li(Reg::T0, FFT_N as i64);
+        a.bge(Reg::T0, Reg::S4, stage_loop);
+
+        // advance to next block
+        a.addi(Reg::S0, Reg::S0, (FFT_N * 8) as i64);
+        a.addi(Reg::S1, Reg::S1, (FFT_N * 8) as i64);
+        a.addi(Reg::S10, Reg::S10, -1);
+        a.bnez(Reg::S10, block_loop);
+
+        // checksum over every output (re and im), position-weighted
+        a.li(Reg::T0, (FFT_BLOCKS * FFT_N * 8) as i64);
+        a.sub(Reg::S0, Reg::S0, Reg::T0);
+        a.sub(Reg::S1, Reg::S1, Reg::T0);
+        a.li(R, 0);
+        a.li(Reg::T0, 0);
+        let ck = a.here("fft_ck");
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T2, Reg::T1, Reg::S0);
+        a.ld(Reg::T3, 0, Reg::T2);
+        a.add(R, R, Reg::T3);
+        a.add(Reg::T2, Reg::T1, Reg::S1);
+        a.ld(Reg::T3, 0, Reg::T2);
+        a.slli(Reg::T3, Reg::T3, 1);
+        a.add(R, R, Reg::T3);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.li(Reg::T4, (FFT_BLOCKS * FFT_N) as i64);
+        a.blt(Reg::T0, Reg::T4, ck);
+    }
+    fn reference() -> u64 {
+        let (mut re, mut im) = fft_input();
+        let (wre, wim) = twiddles();
+        for b in 0..FFT_BLOCKS {
+            let re = &mut re[b * FFT_N..(b + 1) * FFT_N];
+            let im = &mut im[b * FFT_N..(b + 1) * FFT_N];
+            // bit reversal
+            let mut j = 0usize;
+            for i in 1..FFT_N {
+                let mut bit = FFT_N / 2;
+                while j & bit != 0 {
+                    j ^= bit;
+                    bit >>= 1;
+                }
+                j ^= bit;
+                if i < j {
+                    re.swap(i, j);
+                    im.swap(i, j);
+                }
+            }
+            // stages
+            let mut len = 2usize;
+            while len <= FFT_N {
+                let mut i = 0usize;
+                while i < FFT_N {
+                    for k in 0..len / 2 {
+                        let t = k * (FFT_N / len);
+                        let (wr, wi) = (wre[t], wim[t]);
+                        let p = i + k;
+                        let q = p + len / 2;
+                        let vr = qmul(re[q], wr).wrapping_sub(qmul(im[q], wi));
+                        let vi = qmul(re[q], wi).wrapping_add(qmul(im[q], wr));
+                        let (ur, ui) = (re[p], im[p]);
+                        re[p] = ur.wrapping_add(vr);
+                        im[p] = ui.wrapping_add(vi);
+                        re[q] = ur.wrapping_sub(vr);
+                        im[q] = ui.wrapping_sub(vi);
+                    }
+                    i += len;
+                }
+                len <<= 1;
+            }
+        }
+        let mut acc = 0u64;
+        for i in 0..FFT_BLOCKS * FFT_N {
+            acc = acc.wrapping_add(re[i] as u64);
+            acc = acc.wrapping_add((im[i] as u64).wrapping_mul(2));
+        }
+        acc
+    }
+    Kernel { name: "fft", build, reference }
+}

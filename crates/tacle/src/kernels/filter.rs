@@ -1,0 +1,472 @@
+//! DSP kernels: `complex_updates`, `filterbank`, `fir2dim`, `iir`, `lms`.
+//!
+//! All arithmetic is Q16.16 fixed-point with wrapping semantics (the asm
+//! `mul`/`srai` pair and the Rust `wrapping_mul >> 16` are bit-identical).
+
+use safedm_asm::Asm;
+use safedm_isa::Reg;
+
+use super::dwords_mod;
+use crate::Kernel;
+
+const R: Reg = Reg::A0;
+const ONE: i64 = 1 << 16;
+
+fn qmul(a: i64, b: i64) -> i64 {
+    a.wrapping_mul(b) >> 16
+}
+
+/// Signal samples in [-1, 1) Q16.16.
+fn signal(seed: u64, n: usize) -> Vec<i64> {
+    dwords_mod(seed, n, 2 * ONE as u64).into_iter().map(|v| v as i64 - ONE).collect()
+}
+
+fn as_u64(v: &[i64]) -> Vec<u64> {
+    v.iter().map(|x| *x as u64).collect()
+}
+
+// --------------------------------------------------------------------------
+// complex_updates
+
+const CU_N: usize = 256;
+const CU_PASSES: i64 = 4;
+
+/// `complex_updates`: complex multiply-accumulate `C[i] += A[i] * B[i]`
+/// over interleaved re/im arrays, repeated for several passes.
+pub fn complex_updates() -> Kernel {
+    fn build(a: &mut Asm) {
+        let av = signal(0xCA, 2 * CU_N);
+        let bv = signal(0xCB, 2 * CU_N);
+        let at = a.d_dwords("cu_a", &as_u64(&av));
+        let bt = a.d_dwords("cu_b", &as_u64(&bv));
+        let ct = a.d_zero("cu_c", (2 * CU_N * 8) as u64);
+        a.li(Reg::S5, CU_PASSES);
+        let pass = a.here("cu_pass");
+        a.la(Reg::S0, at);
+        a.la(Reg::S1, bt);
+        a.la(Reg::S2, ct);
+        a.li(Reg::S3, CU_N as i64);
+        let lp = a.here("cu_loop");
+        a.ld(Reg::T0, 0, Reg::S0); // ar
+        a.ld(Reg::T1, 8, Reg::S0); // ai
+        a.ld(Reg::T2, 0, Reg::S1); // br
+        a.ld(Reg::T3, 8, Reg::S1); // bi
+        // cr += ar*br - ai*bi ; ci += ar*bi + ai*br
+        a.mul(Reg::T4, Reg::T0, Reg::T2);
+        a.srai(Reg::T4, Reg::T4, 16);
+        a.mul(Reg::T5, Reg::T1, Reg::T3);
+        a.srai(Reg::T5, Reg::T5, 16);
+        a.sub(Reg::T4, Reg::T4, Reg::T5);
+        a.ld(Reg::S4, 0, Reg::S2);
+        a.add(Reg::S4, Reg::S4, Reg::T4);
+        a.sd(Reg::S4, 0, Reg::S2);
+        a.mul(Reg::T4, Reg::T0, Reg::T3);
+        a.srai(Reg::T4, Reg::T4, 16);
+        a.mul(Reg::T5, Reg::T1, Reg::T2);
+        a.srai(Reg::T5, Reg::T5, 16);
+        a.add(Reg::T4, Reg::T4, Reg::T5);
+        a.ld(Reg::S4, 8, Reg::S2);
+        a.add(Reg::S4, Reg::S4, Reg::T4);
+        a.sd(Reg::S4, 8, Reg::S2);
+        a.addi(Reg::S0, Reg::S0, 16);
+        a.addi(Reg::S1, Reg::S1, 16);
+        a.addi(Reg::S2, Reg::S2, 16);
+        a.addi(Reg::S3, Reg::S3, -1);
+        a.bnez(Reg::S3, lp);
+        a.addi(Reg::S5, Reg::S5, -1);
+        a.bnez(Reg::S5, pass);
+        // checksum over C
+        a.la(Reg::S2, ct);
+        a.li(Reg::S3, (2 * CU_N) as i64);
+        a.li(R, 0);
+        let ck = a.here("cu_ck");
+        a.ld(Reg::T0, 0, Reg::S2);
+        a.add(R, R, Reg::T0);
+        a.addi(Reg::S2, Reg::S2, 8);
+        a.addi(Reg::S3, Reg::S3, -1);
+        a.bnez(Reg::S3, ck);
+    }
+    fn reference() -> u64 {
+        let av = signal(0xCA, 2 * CU_N);
+        let bv = signal(0xCB, 2 * CU_N);
+        let mut c = vec![0i64; 2 * CU_N];
+        for _ in 0..CU_PASSES {
+            for i in 0..CU_N {
+                let (ar, ai) = (av[2 * i], av[2 * i + 1]);
+                let (br, bi) = (bv[2 * i], bv[2 * i + 1]);
+                c[2 * i] = c[2 * i].wrapping_add(qmul(ar, br).wrapping_sub(qmul(ai, bi)));
+                c[2 * i + 1] =
+                    c[2 * i + 1].wrapping_add(qmul(ar, bi).wrapping_add(qmul(ai, br)));
+            }
+        }
+        c.iter().fold(0u64, |acc, v| acc.wrapping_add(*v as u64))
+    }
+    Kernel { name: "complex_updates", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// filterbank
+
+const FB_BANKS: usize = 8;
+const FB_TAPS: usize = 32;
+const FB_N: usize = 256;
+
+/// `filterbank`: a bank of FIR filters over one signal, per-bank outputs
+/// stored then folded into the checksum.
+pub fn filterbank() -> Kernel {
+    fn build(a: &mut Asm) {
+        let x = signal(0xFB0, FB_N);
+        let h = signal(0xFB1, FB_BANKS * FB_TAPS);
+        let xt = a.d_dwords("fb_x", &as_u64(&x));
+        let ht = a.d_dwords("fb_h", &as_u64(&h));
+        let yt = a.d_zero("fb_y", (FB_BANKS * 8) as u64);
+        a.la(Reg::S0, xt);
+        a.la(Reg::S1, ht);
+        a.la(Reg::S2, yt);
+        a.li(Reg::S3, 0); // bank
+        let bank_loop = a.here("fb_bank");
+        a.li(Reg::S4, (FB_TAPS - 1) as i64); // n starts at TAPS-1
+        a.li(Reg::S5, 0); // bank accumulator
+        let n_loop = a.here("fb_n");
+        a.li(Reg::T0, 0); // k
+        a.li(Reg::S6, 0); // y
+        let k_loop = a.here("fb_k");
+        // x[n-k]
+        a.sub(Reg::T1, Reg::S4, Reg::T0);
+        a.slli(Reg::T1, Reg::T1, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S0);
+        a.ld(Reg::T2, 0, Reg::T1);
+        // h[bank*TAPS + k]
+        a.li(Reg::T3, FB_TAPS as i64);
+        a.mul(Reg::T3, Reg::T3, Reg::S3);
+        a.add(Reg::T3, Reg::T3, Reg::T0);
+        a.slli(Reg::T3, Reg::T3, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S1);
+        a.ld(Reg::T4, 0, Reg::T3);
+        a.mul(Reg::T5, Reg::T2, Reg::T4);
+        a.srai(Reg::T5, Reg::T5, 16);
+        a.add(Reg::S6, Reg::S6, Reg::T5);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.li(Reg::T1, FB_TAPS as i64);
+        a.blt(Reg::T0, Reg::T1, k_loop);
+        a.add(Reg::S5, Reg::S5, Reg::S6);
+        a.addi(Reg::S4, Reg::S4, 1);
+        a.li(Reg::T1, FB_N as i64);
+        a.blt(Reg::S4, Reg::T1, n_loop);
+        // store bank sum
+        a.slli(Reg::T0, Reg::S3, 3);
+        a.add(Reg::T0, Reg::T0, Reg::S2);
+        a.sd(Reg::S5, 0, Reg::T0);
+        a.addi(Reg::S3, Reg::S3, 1);
+        a.li(Reg::T1, FB_BANKS as i64);
+        a.blt(Reg::S3, Reg::T1, bank_loop);
+        // checksum
+        a.li(R, 0);
+        a.li(Reg::T0, 0);
+        let ck = a.here("fb_ck");
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S2);
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.mul(Reg::T2, Reg::T2, Reg::T0);
+        a.add(R, R, Reg::T2);
+        a.li(Reg::T3, FB_BANKS as i64);
+        a.blt(Reg::T0, Reg::T3, ck);
+    }
+    fn reference() -> u64 {
+        let x = signal(0xFB0, FB_N);
+        let h = signal(0xFB1, FB_BANKS * FB_TAPS);
+        let mut y = [0i64; FB_BANKS];
+        for (bank, yb) in y.iter_mut().enumerate() {
+            let mut acc = 0i64;
+            for n in FB_TAPS - 1..FB_N {
+                let mut v = 0i64;
+                for k in 0..FB_TAPS {
+                    v = v.wrapping_add(qmul(x[n - k], h[bank * FB_TAPS + k]));
+                }
+                acc = acc.wrapping_add(v);
+            }
+            *yb = acc;
+        }
+        y.iter().enumerate().fold(0u64, |acc, (i, v)| {
+            acc.wrapping_add((*v as u64).wrapping_mul(i as u64 + 1))
+        })
+    }
+    Kernel { name: "filterbank", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// fir2dim
+
+const F2_DIM: usize = 32;
+const F2_OUT: usize = F2_DIM - 2;
+
+/// `fir2dim`: 3×3 2-D FIR convolution over an image, outputs stored.
+pub fn fir2dim() -> Kernel {
+    fn build(a: &mut Asm) {
+        let img = signal(0xF12D, F2_DIM * F2_DIM);
+        let coef = signal(0xF12C, 9);
+        let it = a.d_dwords("f2_img", &as_u64(&img));
+        let ct = a.d_dwords("f2_coef", &as_u64(&coef));
+        let ot = a.d_zero("f2_out", (F2_OUT * F2_OUT * 8) as u64);
+        a.la(Reg::S0, it);
+        a.la(Reg::S1, ct);
+        a.la(Reg::S2, ot);
+        a.li(Reg::S3, 0); // row
+        let row_loop = a.here("f2_row");
+        a.li(Reg::S4, 0); // col
+        let col_loop = a.here("f2_col");
+        a.li(Reg::S5, 0); // acc
+        a.li(Reg::T0, 0); // kr
+        let kr_loop = a.here("f2_kr");
+        a.li(Reg::T1, 0); // kc
+        let kc_loop = a.here("f2_kc");
+        // img[(row+kr)*DIM + col+kc]
+        a.add(Reg::T2, Reg::S3, Reg::T0);
+        a.li(Reg::T3, F2_DIM as i64);
+        a.mul(Reg::T2, Reg::T2, Reg::T3);
+        a.add(Reg::T2, Reg::T2, Reg::S4);
+        a.add(Reg::T2, Reg::T2, Reg::T1);
+        a.slli(Reg::T2, Reg::T2, 3);
+        a.add(Reg::T2, Reg::T2, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T2);
+        // coef[kr*3+kc]
+        a.slli(Reg::T2, Reg::T0, 1);
+        a.add(Reg::T2, Reg::T2, Reg::T0); // kr*3
+        a.add(Reg::T2, Reg::T2, Reg::T1);
+        a.slli(Reg::T2, Reg::T2, 3);
+        a.add(Reg::T2, Reg::T2, Reg::S1);
+        a.ld(Reg::T5, 0, Reg::T2);
+        a.mul(Reg::T4, Reg::T4, Reg::T5);
+        a.srai(Reg::T4, Reg::T4, 16);
+        a.add(Reg::S5, Reg::S5, Reg::T4);
+        a.addi(Reg::T1, Reg::T1, 1);
+        a.li(Reg::T3, 3);
+        a.blt(Reg::T1, Reg::T3, kc_loop);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.li(Reg::T3, 3);
+        a.blt(Reg::T0, Reg::T3, kr_loop);
+        // out[row*OUT + col] = acc
+        a.li(Reg::T3, F2_OUT as i64);
+        a.mul(Reg::T2, Reg::S3, Reg::T3);
+        a.add(Reg::T2, Reg::T2, Reg::S4);
+        a.slli(Reg::T2, Reg::T2, 3);
+        a.add(Reg::T2, Reg::T2, Reg::S2);
+        a.sd(Reg::S5, 0, Reg::T2);
+        a.addi(Reg::S4, Reg::S4, 1);
+        a.li(Reg::T3, F2_OUT as i64);
+        a.blt(Reg::S4, Reg::T3, col_loop);
+        a.addi(Reg::S3, Reg::S3, 1);
+        a.li(Reg::T3, F2_OUT as i64);
+        a.blt(Reg::S3, Reg::T3, row_loop);
+        // checksum
+        a.li(R, 0);
+        a.li(Reg::T0, 0);
+        let ck = a.here("f2_ck");
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S2);
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.mul(Reg::T2, Reg::T2, Reg::T0);
+        a.add(R, R, Reg::T2);
+        a.li(Reg::T3, (F2_OUT * F2_OUT) as i64);
+        a.blt(Reg::T0, Reg::T3, ck);
+    }
+    fn reference() -> u64 {
+        let img = signal(0xF12D, F2_DIM * F2_DIM);
+        let coef = signal(0xF12C, 9);
+        let mut out = vec![0i64; F2_OUT * F2_OUT];
+        for row in 0..F2_OUT {
+            for col in 0..F2_OUT {
+                let mut acc = 0i64;
+                for kr in 0..3 {
+                    for kc in 0..3 {
+                        acc = acc.wrapping_add(qmul(
+                            img[(row + kr) * F2_DIM + col + kc],
+                            coef[kr * 3 + kc],
+                        ));
+                    }
+                }
+                out[row * F2_OUT + col] = acc;
+            }
+        }
+        out.iter().enumerate().fold(0u64, |acc, (i, v)| {
+            acc.wrapping_add((*v as u64).wrapping_mul(i as u64 + 1))
+        })
+    }
+    Kernel { name: "fir2dim", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// iir
+
+const IIR_N: usize = 1024;
+/// Biquad coefficients in Q16.16 (stable low-pass-ish values).
+const IIR_B0: i64 = 9830; // 0.15
+const IIR_B1: i64 = 19661; // 0.30
+const IIR_B2: i64 = 9830;
+const IIR_A1: i64 = -22938; // -0.35
+const IIR_A2: i64 = 6554; // 0.10
+
+/// `iir`: a register-resident biquad filter over a long signal — the
+/// archetypal kernel with long register-only stretches (diversity-scarce).
+pub fn iir() -> Kernel {
+    fn build(a: &mut Asm) {
+        let x = signal(0x112, IIR_N);
+        let xt = a.d_dwords("iir_x", &as_u64(&x));
+        a.la(Reg::S0, xt);
+        a.li(Reg::S1, IIR_N as i64);
+        a.li(Reg::S2, 0); // x1
+        a.li(Reg::S3, 0); // x2
+        a.li(Reg::S4, 0); // y1
+        a.li(Reg::S5, 0); // y2
+        a.li(R, 0);
+        let lp = a.here("iir_loop");
+        a.ld(Reg::T0, 0, Reg::S0); // x
+        a.li(Reg::T1, IIR_B0);
+        a.mul(Reg::T2, Reg::T0, Reg::T1);
+        a.srai(Reg::T2, Reg::T2, 16);
+        a.li(Reg::T1, IIR_B1);
+        a.mul(Reg::T3, Reg::S2, Reg::T1);
+        a.srai(Reg::T3, Reg::T3, 16);
+        a.add(Reg::T2, Reg::T2, Reg::T3);
+        a.li(Reg::T1, IIR_B2);
+        a.mul(Reg::T3, Reg::S3, Reg::T1);
+        a.srai(Reg::T3, Reg::T3, 16);
+        a.add(Reg::T2, Reg::T2, Reg::T3);
+        a.li(Reg::T1, IIR_A1);
+        a.mul(Reg::T3, Reg::S4, Reg::T1);
+        a.srai(Reg::T3, Reg::T3, 16);
+        a.sub(Reg::T2, Reg::T2, Reg::T3);
+        a.li(Reg::T1, IIR_A2);
+        a.mul(Reg::T3, Reg::S5, Reg::T1);
+        a.srai(Reg::T3, Reg::T3, 16);
+        a.sub(Reg::T2, Reg::T2, Reg::T3); // y
+        a.mv(Reg::S3, Reg::S2);
+        a.mv(Reg::S2, Reg::T0);
+        a.mv(Reg::S5, Reg::S4);
+        a.mv(Reg::S4, Reg::T2);
+        a.add(R, R, Reg::T2);
+        a.addi(Reg::S0, Reg::S0, 8);
+        a.addi(Reg::S1, Reg::S1, -1);
+        a.bnez(Reg::S1, lp);
+    }
+    fn reference() -> u64 {
+        let x = signal(0x112, IIR_N);
+        let (mut x1, mut x2, mut y1, mut y2) = (0i64, 0i64, 0i64, 0i64);
+        let mut acc = 0u64;
+        for xv in x {
+            let y = qmul(xv, IIR_B0)
+                .wrapping_add(qmul(x1, IIR_B1))
+                .wrapping_add(qmul(x2, IIR_B2))
+                .wrapping_sub(qmul(y1, IIR_A1))
+                .wrapping_sub(qmul(y2, IIR_A2));
+            x2 = x1;
+            x1 = xv;
+            y2 = y1;
+            y1 = y;
+            acc = acc.wrapping_add(y as u64);
+        }
+        acc
+    }
+    Kernel { name: "iir", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// lms
+
+const LMS_TAPS: usize = 16;
+const LMS_N: usize = 512;
+const LMS_MU: i64 = 655; // 0.01 in Q16.16
+
+/// `lms`: LMS adaptive FIR — per-sample weight loads *and* stores.
+pub fn lms() -> Kernel {
+    fn build(a: &mut Asm) {
+        let x = signal(0x175, LMS_N);
+        let d = signal(0x176, LMS_N);
+        let xt = a.d_dwords("lms_x", &as_u64(&x));
+        let dt = a.d_dwords("lms_d", &as_u64(&d));
+        let wt = a.d_zero("lms_w", (LMS_TAPS * 8) as u64);
+        a.la(Reg::S0, xt);
+        a.la(Reg::S1, dt);
+        a.la(Reg::S2, wt);
+        a.li(Reg::S3, (LMS_TAPS - 1) as i64); // n
+        let n_loop = a.here("lms_n");
+        // y = Σ w[k] * x[n-k]
+        a.li(Reg::T0, 0); // k
+        a.li(Reg::S4, 0); // y
+        let fir = a.here("lms_fir");
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S2);
+        a.ld(Reg::T2, 0, Reg::T1); // w[k]
+        a.sub(Reg::T3, Reg::S3, Reg::T0);
+        a.slli(Reg::T3, Reg::T3, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T3); // x[n-k]
+        a.mul(Reg::T5, Reg::T2, Reg::T4);
+        a.srai(Reg::T5, Reg::T5, 16);
+        a.add(Reg::S4, Reg::S4, Reg::T5);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.li(Reg::T1, LMS_TAPS as i64);
+        a.blt(Reg::T0, Reg::T1, fir);
+        // e = d[n] - y
+        a.slli(Reg::T1, Reg::S3, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S1);
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.sub(Reg::S5, Reg::T2, Reg::S4); // e
+        // w[k] += mu * e * x[n-k]
+        a.li(Reg::T0, 0);
+        let upd = a.here("lms_upd");
+        a.sub(Reg::T3, Reg::S3, Reg::T0);
+        a.slli(Reg::T3, Reg::T3, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T3); // x[n-k]
+        a.li(Reg::T1, LMS_MU);
+        a.mul(Reg::T5, Reg::S5, Reg::T1);
+        a.srai(Reg::T5, Reg::T5, 16); // mu*e
+        a.mul(Reg::T5, Reg::T5, Reg::T4);
+        a.srai(Reg::T5, Reg::T5, 16);
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S2);
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.add(Reg::T2, Reg::T2, Reg::T5);
+        a.sd(Reg::T2, 0, Reg::T1);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.li(Reg::T1, LMS_TAPS as i64);
+        a.blt(Reg::T0, Reg::T1, upd);
+        a.addi(Reg::S3, Reg::S3, 1);
+        a.li(Reg::T1, LMS_N as i64);
+        a.blt(Reg::S3, Reg::T1, n_loop);
+        // checksum = Σ w[k] * (k+1)
+        a.li(R, 0);
+        a.li(Reg::T0, 0);
+        let ck = a.here("lms_ck");
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S2);
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.mul(Reg::T2, Reg::T2, Reg::T0);
+        a.add(R, R, Reg::T2);
+        a.li(Reg::T3, LMS_TAPS as i64);
+        a.blt(Reg::T0, Reg::T3, ck);
+    }
+    fn reference() -> u64 {
+        let x = signal(0x175, LMS_N);
+        let d = signal(0x176, LMS_N);
+        let mut w = [0i64; LMS_TAPS];
+        for n in LMS_TAPS - 1..LMS_N {
+            let mut y = 0i64;
+            for k in 0..LMS_TAPS {
+                y = y.wrapping_add(qmul(w[k], x[n - k]));
+            }
+            let e = d[n].wrapping_sub(y);
+            for k in 0..LMS_TAPS {
+                w[k] = w[k].wrapping_add(qmul(qmul(LMS_MU, e), x[n - k]));
+            }
+        }
+        w.iter().enumerate().fold(0u64, |acc, (i, v)| {
+            acc.wrapping_add((*v as u64).wrapping_mul(i as u64 + 1))
+        })
+    }
+    Kernel { name: "lms", build, reference }
+}

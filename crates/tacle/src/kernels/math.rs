@@ -1,0 +1,265 @@
+//! Arithmetic kernels: `cosf`, `cubic`, `deg2rad`, `rad2deg`, `isqrt`.
+//!
+//! The TACLe originals use single-precision floats; this reproduction uses
+//! Q16.16 fixed-point (the model is RV64IM-only). The loop and memory
+//! structure — what the diversity monitor actually observes — is preserved.
+
+use safedm_asm::Asm;
+use safedm_isa::Reg;
+
+use super::dwords_mod;
+use crate::Kernel;
+
+const R: Reg = Reg::A0;
+const ONE_Q16: i64 = 1 << 16;
+
+/// Q16.16 multiply in the reference implementations.
+fn qmul(a: i64, b: i64) -> i64 {
+    a.wrapping_mul(b) >> 16
+}
+
+// --------------------------------------------------------------------------
+// cosf
+
+const COS_N: usize = 512;
+
+fn cos_angles() -> Vec<i64> {
+    // angles in roughly [-2, 2) radians, Q16.16
+    dwords_mod(0xC05F, COS_N, 4 * ONE_Q16 as u64)
+        .into_iter()
+        .map(|v| v as i64 - 2 * ONE_Q16)
+        .collect()
+}
+
+/// `cosf`: 6th-order Taylor cosine in Q16.16 over a table of angles.
+pub fn cosf() -> Kernel {
+    fn build(a: &mut Asm) {
+        let angles: Vec<u64> = cos_angles().iter().map(|v| *v as u64).collect();
+        let tab = a.d_dwords("cos_angles", &angles);
+        a.la(Reg::S0, tab);
+        a.li(Reg::S1, COS_N as i64);
+        a.li(R, 0);
+        let lp = a.here("cos_loop");
+        a.ld(Reg::T0, 0, Reg::S0); // x
+        // x2 = (x*x) >> 16
+        a.mul(Reg::T1, Reg::T0, Reg::T0);
+        a.srai(Reg::T1, Reg::T1, 16);
+        // x4 = (x2*x2) >> 16
+        a.mul(Reg::T2, Reg::T1, Reg::T1);
+        a.srai(Reg::T2, Reg::T2, 16);
+        // x6 = (x4*x2) >> 16
+        a.mul(Reg::T3, Reg::T2, Reg::T1);
+        a.srai(Reg::T3, Reg::T3, 16);
+        // cos = 1 - x2/2 + x4/24 - x6/720
+        a.li(Reg::T4, ONE_Q16);
+        a.li(Reg::T5, 2);
+        a.div(Reg::S2, Reg::T1, Reg::T5);
+        a.sub(Reg::T4, Reg::T4, Reg::S2);
+        a.li(Reg::T5, 24);
+        a.div(Reg::S2, Reg::T2, Reg::T5);
+        a.add(Reg::T4, Reg::T4, Reg::S2);
+        a.li(Reg::T5, 720);
+        a.div(Reg::S2, Reg::T3, Reg::T5);
+        a.sub(Reg::T4, Reg::T4, Reg::S2);
+        a.add(R, R, Reg::T4);
+        a.addi(Reg::S0, Reg::S0, 8);
+        a.addi(Reg::S1, Reg::S1, -1);
+        a.bnez(Reg::S1, lp);
+    }
+    fn reference() -> u64 {
+        let mut acc = 0u64;
+        for x in cos_angles() {
+            let x2 = qmul(x, x);
+            let x4 = qmul(x2, x2);
+            let x6 = qmul(x4, x2);
+            let c = ONE_Q16 - x2 / 2 + x4 / 24 - x6 / 720;
+            acc = acc.wrapping_add(c as u64);
+        }
+        acc
+    }
+    Kernel { name: "cosf", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// cubic
+
+const CUBIC_N: usize = 128;
+const CUBIC_ITERS: i64 = 40;
+
+fn cubic_values() -> Vec<u64> {
+    dwords_mod(0xC0B1C, CUBIC_N, 1_000_000_000).into_iter().map(|v| v + 1).collect()
+}
+
+/// `cubic`: Newton integer cube roots (division-heavy, like the original's
+/// cubic-equation solver).
+pub fn cubic() -> Kernel {
+    fn build(a: &mut Asm) {
+        let tab = a.d_dwords("cubic_vals", &cubic_values());
+        a.la(Reg::S0, tab);
+        a.li(Reg::S1, CUBIC_N as i64);
+        a.li(R, 0);
+        let val_loop = a.here("cubic_val");
+        a.ld(Reg::S2, 0, Reg::S0); // v
+        a.mv(Reg::T0, Reg::S2); // r = v
+        a.li(Reg::S3, CUBIC_ITERS);
+        let newton = a.here("cubic_newton");
+        a.mul(Reg::T1, Reg::T0, Reg::T0); // r*r
+        a.div(Reg::T2, Reg::S2, Reg::T1); // v / r²
+        a.slli(Reg::T3, Reg::T0, 1); // 2r
+        a.add(Reg::T3, Reg::T3, Reg::T2);
+        a.li(Reg::T4, 3);
+        a.div(Reg::T0, Reg::T3, Reg::T4); // r = (2r + v/r²) / 3
+        let keep = a.new_label("cubic_keep");
+        a.bgtz(Reg::T0, keep);
+        a.li(Reg::T0, 1); // clamp to 1 (mirrors the reference)
+        a.bind(keep).unwrap();
+        a.addi(Reg::S3, Reg::S3, -1);
+        a.bnez(Reg::S3, newton);
+        a.add(R, R, Reg::T0);
+        a.addi(Reg::S0, Reg::S0, 8);
+        a.addi(Reg::S1, Reg::S1, -1);
+        a.bnez(Reg::S1, val_loop);
+    }
+    fn reference() -> u64 {
+        let mut acc = 0u64;
+        for v in cubic_values() {
+            let v = v as i64;
+            let mut r = v;
+            for _ in 0..CUBIC_ITERS {
+                r = (2 * r + v / (r * r)) / 3;
+                if r <= 0 {
+                    r = 1;
+                }
+            }
+            acc = acc.wrapping_add(r as u64);
+        }
+        acc
+    }
+    Kernel { name: "cubic", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// deg2rad / rad2deg
+
+const DEG_N: usize = 2048;
+/// π/180 in Q16.16.
+const DEG2RAD_Q16: i64 = 1144;
+/// 180/π in Q16.16.
+const RAD2DEG_Q16: i64 = 3_754_936;
+
+fn angle_table(seed: u64, bound: u64) -> Vec<u64> {
+    dwords_mod(seed, DEG_N, bound)
+}
+
+/// `deg2rad`: Q16.16 degree→radian conversion over a table.
+pub fn deg2rad() -> Kernel {
+    fn build(a: &mut Asm) {
+        let tab = a.d_dwords("d2r_vals", &angle_table(0xDE62AD, 360 << 16));
+        emit_conversion(a, tab, DEG2RAD_Q16);
+    }
+    fn reference() -> u64 {
+        ref_conversion(&angle_table(0xDE62AD, 360 << 16), DEG2RAD_Q16)
+    }
+    Kernel { name: "deg2rad", build, reference }
+}
+
+/// `rad2deg`: Q16.16 radian→degree conversion over a table.
+pub fn rad2deg() -> Kernel {
+    fn build(a: &mut Asm) {
+        let tab = a.d_dwords("r2d_vals", &angle_table(0x2AD2DE6, 7 << 16));
+        emit_conversion(a, tab, RAD2DEG_Q16);
+    }
+    fn reference() -> u64 {
+        ref_conversion(&angle_table(0x2AD2DE6, 7 << 16), RAD2DEG_Q16)
+    }
+    Kernel { name: "rad2deg", build, reference }
+}
+
+fn emit_conversion(a: &mut Asm, tab: safedm_asm::Label, factor: i64) {
+    a.la(Reg::S0, tab);
+    a.li(Reg::S1, DEG_N as i64);
+    a.li(Reg::S2, factor);
+    a.li(R, 0);
+    let lp = a.here("conv_loop");
+    a.ld(Reg::T0, 0, Reg::S0);
+    a.mul(Reg::T1, Reg::T0, Reg::S2);
+    a.srai(Reg::T1, Reg::T1, 16);
+    a.add(R, R, Reg::T1);
+    a.addi(Reg::S0, Reg::S0, 8);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, lp);
+}
+
+fn ref_conversion(tab: &[u64], factor: i64) -> u64 {
+    tab.iter().fold(0u64, |acc, v| acc.wrapping_add(qmul(*v as i64, factor) as u64))
+}
+
+// --------------------------------------------------------------------------
+// isqrt
+
+const ISQRT_N: usize = 512;
+
+/// `isqrt`: binary restoring integer square root.
+pub fn isqrt() -> Kernel {
+    fn build(a: &mut Asm) {
+        let tab = a.d_dwords("isqrt_vals", &super::dwords(0x15A27, ISQRT_N));
+        a.la(Reg::S0, tab);
+        a.li(Reg::S1, ISQRT_N as i64);
+        a.li(R, 0);
+        let val_loop = a.here("isq_val");
+        a.ld(Reg::T0, 0, Reg::S0); // v
+        a.li(Reg::T1, 1);
+        a.slli(Reg::T1, Reg::T1, 62); // bit
+        let bit_fit = a.new_label("isq_fit");
+        let bit_shrink = a.here("isq_shrink");
+        a.bgeu(Reg::T0, Reg::T1, bit_fit);
+        a.srli(Reg::T1, Reg::T1, 2);
+        a.bnez(Reg::T1, bit_shrink);
+        a.bind(bit_fit).unwrap();
+        a.li(Reg::T2, 0); // res
+        let iter_done = a.new_label("isq_done");
+        let step = a.here("isq_step");
+        a.beqz(Reg::T1, iter_done);
+        a.add(Reg::T3, Reg::T2, Reg::T1); // res + bit
+        let smaller = a.new_label("isq_smaller");
+        a.bltu(Reg::T0, Reg::T3, smaller);
+        a.sub(Reg::T0, Reg::T0, Reg::T3);
+        a.srli(Reg::T2, Reg::T2, 1);
+        a.add(Reg::T2, Reg::T2, Reg::T1);
+        let cont = a.new_label("isq_cont");
+        a.j(cont);
+        a.bind(smaller).unwrap();
+        a.srli(Reg::T2, Reg::T2, 1);
+        a.bind(cont).unwrap();
+        a.srli(Reg::T1, Reg::T1, 2);
+        a.j(step);
+        a.bind(iter_done).unwrap();
+        a.add(R, R, Reg::T2);
+        a.addi(Reg::S0, Reg::S0, 8);
+        a.addi(Reg::S1, Reg::S1, -1);
+        a.bnez(Reg::S1, val_loop);
+    }
+    fn reference() -> u64 {
+        let mut acc = 0u64;
+        for v in super::dwords(0x15A27, ISQRT_N) {
+            let mut v = v;
+            let mut bit = 1u64 << 62;
+            while bit != 0 && bit > v {
+                bit >>= 2;
+            }
+            let mut res = 0u64;
+            while bit != 0 {
+                if v >= res + bit {
+                    v -= res + bit;
+                    res = (res >> 1) + bit;
+                } else {
+                    res >>= 1;
+                }
+                bit >>= 2;
+            }
+            acc = acc.wrapping_add(res);
+        }
+        acc
+    }
+    Kernel { name: "isqrt", build, reference }
+}

@@ -1,0 +1,584 @@
+//! Linear-algebra kernels: `matrix1`, `ludcmp`, `minver`, `st`, `jfdctint`.
+
+use safedm_asm::Asm;
+use safedm_isa::Reg;
+
+use super::{dwords_mod, Lcg};
+use crate::Kernel;
+
+const R: Reg = Reg::A0;
+const ONE: i64 = 1 << 16;
+
+fn qmul(a: i64, b: i64) -> i64 {
+    a.wrapping_mul(b) >> 16
+}
+
+/// Q16.16 division matching the asm `slli`/`div` pair.
+fn qdiv(a: i64, b: i64) -> i64 {
+    (a << 16) / b
+}
+
+fn as_u64(v: &[i64]) -> Vec<u64> {
+    v.iter().map(|x| *x as u64).collect()
+}
+
+/// Emits the shared position-weighted checksum loop over `n` doublewords.
+fn emit_weighted_checksum(a: &mut Asm, base: Reg, n: usize) {
+    a.li(R, 0);
+    a.li(Reg::T0, 0);
+    let ck = a.here("wck_loop");
+    a.slli(Reg::T1, Reg::T0, 3);
+    a.add(Reg::T1, Reg::T1, base);
+    a.ld(Reg::T2, 0, Reg::T1);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.mul(Reg::T2, Reg::T2, Reg::T0);
+    a.add(R, R, Reg::T2);
+    a.li(Reg::T3, n as i64);
+    a.blt(Reg::T0, Reg::T3, ck);
+}
+
+fn ref_weighted_checksum(v: &[i64]) -> u64 {
+    v.iter().enumerate().fold(0u64, |acc, (i, x)| {
+        acc.wrapping_add((*x as u64).wrapping_mul(i as u64 + 1))
+    })
+}
+
+// --------------------------------------------------------------------------
+// matrix1
+
+const M1_DIM: usize = 24;
+
+fn m1_data() -> (Vec<i64>, Vec<i64>) {
+    let a = dwords_mod(0x3A7, M1_DIM * M1_DIM, 2000).into_iter().map(|v| v as i64 - 1000);
+    let b = dwords_mod(0x3A8, M1_DIM * M1_DIM, 2000).into_iter().map(|v| v as i64 - 1000);
+    (a.collect(), b.collect())
+}
+
+/// `matrix1`: dense integer matrix multiply `C = A × B`.
+pub fn matrix1() -> Kernel {
+    fn build(asm: &mut Asm) {
+        let (a, b) = m1_data();
+        let at = asm.d_dwords("m1_a", &as_u64(&a));
+        let bt = asm.d_dwords("m1_b", &as_u64(&b));
+        let ct = asm.d_zero("m1_c", (M1_DIM * M1_DIM * 8) as u64);
+        asm.la(Reg::S0, at);
+        asm.la(Reg::S1, bt);
+        asm.la(Reg::S2, ct);
+        asm.li(Reg::S3, 0); // i
+        let i_loop = asm.here("m1_i");
+        asm.li(Reg::S4, 0); // j
+        let j_loop = asm.here("m1_j");
+        asm.li(Reg::S5, 0); // acc
+        asm.li(Reg::T0, 0); // k
+        let k_loop = asm.here("m1_k");
+        // A[i][k]
+        asm.li(Reg::T1, M1_DIM as i64);
+        asm.mul(Reg::T2, Reg::S3, Reg::T1);
+        asm.add(Reg::T2, Reg::T2, Reg::T0);
+        asm.slli(Reg::T2, Reg::T2, 3);
+        asm.add(Reg::T2, Reg::T2, Reg::S0);
+        asm.ld(Reg::T3, 0, Reg::T2);
+        // B[k][j]
+        asm.mul(Reg::T2, Reg::T0, Reg::T1);
+        asm.add(Reg::T2, Reg::T2, Reg::S4);
+        asm.slli(Reg::T2, Reg::T2, 3);
+        asm.add(Reg::T2, Reg::T2, Reg::S1);
+        asm.ld(Reg::T4, 0, Reg::T2);
+        asm.mul(Reg::T3, Reg::T3, Reg::T4);
+        asm.add(Reg::S5, Reg::S5, Reg::T3);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.blt(Reg::T0, Reg::T1, k_loop);
+        // C[i][j] = acc
+        asm.mul(Reg::T2, Reg::S3, Reg::T1);
+        asm.add(Reg::T2, Reg::T2, Reg::S4);
+        asm.slli(Reg::T2, Reg::T2, 3);
+        asm.add(Reg::T2, Reg::T2, Reg::S2);
+        asm.sd(Reg::S5, 0, Reg::T2);
+        asm.addi(Reg::S4, Reg::S4, 1);
+        asm.blt(Reg::S4, Reg::T1, j_loop);
+        asm.addi(Reg::S3, Reg::S3, 1);
+        asm.blt(Reg::S3, Reg::T1, i_loop);
+        emit_weighted_checksum(asm, Reg::S2, M1_DIM * M1_DIM);
+    }
+    fn reference() -> u64 {
+        let (a, b) = m1_data();
+        let n = M1_DIM;
+        let mut c = vec![0i64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for k in 0..n {
+                    acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        ref_weighted_checksum(&c)
+    }
+    Kernel { name: "matrix1", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// ludcmp
+
+const LU_DIM: usize = 10;
+
+fn lu_data() -> Vec<i64> {
+    // Diagonally dominant Q16.16 matrix: safe Doolittle without pivoting.
+    let mut lcg = Lcg::new(0x1DC);
+    let n = LU_DIM;
+    let mut m = vec![0i64; n * n];
+    for (idx, cell) in m.iter_mut().enumerate() {
+        let v = (lcg.next() % (2 * ONE as u64)) as i64 - ONE; // [-1, 1)
+        let (i, j) = (idx / n, idx % n);
+        *cell = if i == j { v + (n as i64 + 2) * ONE } else { v };
+    }
+    m
+}
+
+/// `ludcmp`: in-place Doolittle LU decomposition in Q16.16 (divider-heavy).
+pub fn ludcmp() -> Kernel {
+    fn build(a: &mut Asm) {
+        let mt = a.d_dwords("lu_m", &as_u64(&lu_data()));
+        a.la(Reg::S0, mt);
+        a.li(Reg::S1, 0); // k
+        let k_loop = a.here("lu_k");
+        a.addi(Reg::S2, Reg::S1, 1); // i = k+1
+        let k_next = a.new_label("lu_k_next");
+        let i_loop = a.here("lu_i");
+        a.li(Reg::T0, LU_DIM as i64);
+        a.bge(Reg::S2, Reg::T0, k_next);
+        // a[i][k] = qdiv(a[i][k], a[k][k])
+        a.li(Reg::T0, LU_DIM as i64);
+        a.mul(Reg::T1, Reg::S2, Reg::T0);
+        a.add(Reg::T1, Reg::T1, Reg::S1);
+        a.slli(Reg::T1, Reg::T1, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S0); // &a[i][k]
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.mul(Reg::T3, Reg::S1, Reg::T0);
+        a.add(Reg::T3, Reg::T3, Reg::S1);
+        a.slli(Reg::T3, Reg::T3, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T3); // a[k][k]
+        a.slli(Reg::T2, Reg::T2, 16);
+        a.div(Reg::T2, Reg::T2, Reg::T4); // factor
+        a.sd(Reg::T2, 0, Reg::T1);
+        a.mv(Reg::S5, Reg::T2); // keep factor
+        // for j in k+1..n: a[i][j] -= qmul(factor, a[k][j])
+        a.addi(Reg::S3, Reg::S1, 1); // j
+        let j_loop = a.here("lu_j");
+        a.li(Reg::T0, LU_DIM as i64);
+        let i_next = a.new_label("lu_i_next");
+        a.bge(Reg::S3, Reg::T0, i_next);
+        a.mul(Reg::T1, Reg::S2, Reg::T0);
+        a.add(Reg::T1, Reg::T1, Reg::S3);
+        a.slli(Reg::T1, Reg::T1, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S0); // &a[i][j]
+        a.mul(Reg::T3, Reg::S1, Reg::T0);
+        a.add(Reg::T3, Reg::T3, Reg::S3);
+        a.slli(Reg::T3, Reg::T3, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T3); // a[k][j]
+        a.mul(Reg::T4, Reg::S5, Reg::T4);
+        a.srai(Reg::T4, Reg::T4, 16);
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.sub(Reg::T2, Reg::T2, Reg::T4);
+        a.sd(Reg::T2, 0, Reg::T1);
+        a.addi(Reg::S3, Reg::S3, 1);
+        a.j(j_loop);
+        a.bind(i_next).unwrap();
+        a.addi(Reg::S2, Reg::S2, 1);
+        a.j(i_loop);
+        a.bind(k_next).unwrap();
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.li(Reg::T0, (LU_DIM - 1) as i64);
+        a.blt(Reg::S1, Reg::T0, k_loop);
+        emit_weighted_checksum(a, Reg::S0, LU_DIM * LU_DIM);
+    }
+    fn reference() -> u64 {
+        let n = LU_DIM;
+        let mut m = lu_data();
+        for k in 0..n - 1 {
+            for i in k + 1..n {
+                let f = qdiv(m[i * n + k], m[k * n + k]);
+                m[i * n + k] = f;
+                for j in k + 1..n {
+                    m[i * n + j] = m[i * n + j].wrapping_sub(qmul(f, m[k * n + j]));
+                }
+            }
+        }
+        ref_weighted_checksum(&m)
+    }
+    Kernel { name: "ludcmp", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// minver
+
+const MV_COUNT: usize = 64;
+
+fn mv_data() -> Vec<i64> {
+    // MV_COUNT diagonally dominant 3×3 Q16.16 matrices, flattened.
+    let mut lcg = Lcg::new(0x317E2);
+    let mut out = Vec::with_capacity(MV_COUNT * 9);
+    for _ in 0..MV_COUNT {
+        for idx in 0..9 {
+            let v = (lcg.next() % (2 * ONE as u64)) as i64 - ONE;
+            out.push(if idx % 4 == 0 { v + 4 * ONE } else { v });
+        }
+    }
+    out
+}
+
+fn mv_invert(m: &[i64], out: &mut [i64]) {
+    // adjugate / determinant, all Q16.16
+    let c00 = qmul(m[4], m[8]).wrapping_sub(qmul(m[5], m[7]));
+    let c01 = qmul(m[5], m[6]).wrapping_sub(qmul(m[3], m[8]));
+    let c02 = qmul(m[3], m[7]).wrapping_sub(qmul(m[4], m[6]));
+    let det = qmul(m[0], c00).wrapping_add(qmul(m[1], c01)).wrapping_add(qmul(m[2], c02));
+    let adj = [
+        c00,
+        qmul(m[2], m[7]).wrapping_sub(qmul(m[1], m[8])),
+        qmul(m[1], m[5]).wrapping_sub(qmul(m[2], m[4])),
+        c01,
+        qmul(m[0], m[8]).wrapping_sub(qmul(m[2], m[6])),
+        qmul(m[2], m[3]).wrapping_sub(qmul(m[0], m[5])),
+        c02,
+        qmul(m[1], m[6]).wrapping_sub(qmul(m[0], m[7])),
+        qmul(m[0], m[4]).wrapping_sub(qmul(m[1], m[3])),
+    ];
+    for i in 0..9 {
+        out[i] = qdiv(adj[i], det);
+    }
+}
+
+/// `minver`: 3×3 fixed-point matrix inversion over a batch of matrices.
+///
+/// The 3×3 adjugate is emitted as straight-line code via a cofactor helper,
+/// mirroring the unrolled structure of the TACLe original.
+pub fn minver() -> Kernel {
+    fn build(a: &mut Asm) {
+        let mt = a.d_dwords("mv_in", &as_u64(&mv_data()));
+        let ot = a.d_zero("mv_out", (MV_COUNT * 9 * 8) as u64);
+        a.la(Reg::S0, mt);
+        a.la(Reg::S1, ot);
+        a.li(Reg::S2, MV_COUNT as i64);
+
+        // helper: qmul(mA, mB) - qmul(mC, mD) into T5, for element indices
+        let cof = |a: &mut Asm, ia: i64, ib: i64, ic: i64, id: i64| {
+            a.ld(Reg::T0, ia * 8, Reg::S0);
+            a.ld(Reg::T1, ib * 8, Reg::S0);
+            a.mul(Reg::T0, Reg::T0, Reg::T1);
+            a.srai(Reg::T0, Reg::T0, 16);
+            a.ld(Reg::T2, ic * 8, Reg::S0);
+            a.ld(Reg::T3, id * 8, Reg::S0);
+            a.mul(Reg::T2, Reg::T2, Reg::T3);
+            a.srai(Reg::T2, Reg::T2, 16);
+            a.sub(Reg::T5, Reg::T0, Reg::T2);
+        };
+
+        let mat_loop = a.here("mv_mat");
+        // adjugate entries in order, saved to the output slots first
+        let adj: [(i64, i64, i64, i64); 9] = [
+            (4, 8, 5, 7),
+            (2, 7, 1, 8),
+            (1, 5, 2, 4),
+            (5, 6, 3, 8),
+            (0, 8, 2, 6),
+            (2, 3, 0, 5),
+            (3, 7, 4, 6),
+            (1, 6, 0, 7),
+            (0, 4, 1, 3),
+        ];
+        for (slot, (ia, ib, ic, id)) in adj.iter().enumerate() {
+            cof(a, *ia, *ib, *ic, *id);
+            a.sd(Reg::T5, (slot as i64) * 8, Reg::S1);
+        }
+        // det = q(m0, adj0) + q(m1, adj3) + q(m2, adj6)
+        a.li(Reg::S4, 0);
+        for (mi, ai) in [(0i64, 0i64), (1, 3), (2, 6)] {
+            a.ld(Reg::T0, mi * 8, Reg::S0);
+            a.ld(Reg::T1, ai * 8, Reg::S1);
+            a.mul(Reg::T0, Reg::T0, Reg::T1);
+            a.srai(Reg::T0, Reg::T0, 16);
+            a.add(Reg::S4, Reg::S4, Reg::T0);
+        }
+        // out[i] = qdiv(adj[i], det)
+        for slot in 0..9i64 {
+            a.ld(Reg::T0, slot * 8, Reg::S1);
+            a.slli(Reg::T0, Reg::T0, 16);
+            a.div(Reg::T0, Reg::T0, Reg::S4);
+            a.sd(Reg::T0, slot * 8, Reg::S1);
+        }
+        a.addi(Reg::S0, Reg::S0, 72);
+        a.addi(Reg::S1, Reg::S1, 72);
+        a.addi(Reg::S2, Reg::S2, -1);
+        a.bnez(Reg::S2, mat_loop);
+        // checksum over all outputs
+        a.li(Reg::T0, (MV_COUNT * 9 * 8) as i64);
+        a.sub(Reg::S1, Reg::S1, Reg::T0);
+        emit_weighted_checksum(a, Reg::S1, MV_COUNT * 9);
+    }
+    fn reference() -> u64 {
+        let data = mv_data();
+        let mut out = vec![0i64; MV_COUNT * 9];
+        for m in 0..MV_COUNT {
+            let mut inv = [0i64; 9];
+            mv_invert(&data[m * 9..(m + 1) * 9], &mut inv);
+            out[m * 9..(m + 1) * 9].copy_from_slice(&inv);
+        }
+        ref_weighted_checksum(&out)
+    }
+    Kernel { name: "minver", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// st
+
+const ST_N: usize = 512;
+
+fn st_data() -> (Vec<i64>, Vec<i64>) {
+    let x = dwords_mod(0x57A, ST_N, 2000).into_iter().map(|v| v as i64 - 1000).collect();
+    let y = dwords_mod(0x57B, ST_N, 2000).into_iter().map(|v| v as i64 - 1000).collect();
+    (x, y)
+}
+
+/// `st`: statistics — means, variances and covariance of two series.
+pub fn st() -> Kernel {
+    fn build(a: &mut Asm) {
+        let (x, y) = st_data();
+        let xt = a.d_dwords("st_x", &as_u64(&x));
+        let yt = a.d_dwords("st_y", &as_u64(&y));
+        a.la(Reg::S0, xt);
+        a.la(Reg::S1, yt);
+        // pass 1: sums
+        a.li(Reg::S2, 0); // sumx
+        a.li(Reg::S3, 0); // sumy
+        a.li(Reg::T0, 0);
+        let sum_loop = a.here("st_sum");
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T2, Reg::T1, Reg::S0);
+        a.ld(Reg::T3, 0, Reg::T2);
+        a.add(Reg::S2, Reg::S2, Reg::T3);
+        a.add(Reg::T2, Reg::T1, Reg::S1);
+        a.ld(Reg::T3, 0, Reg::T2);
+        a.add(Reg::S3, Reg::S3, Reg::T3);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.li(Reg::T4, ST_N as i64);
+        a.blt(Reg::T0, Reg::T4, sum_loop);
+        a.li(Reg::T4, ST_N as i64);
+        a.div(Reg::S2, Reg::S2, Reg::T4); // mean x
+        a.div(Reg::S3, Reg::S3, Reg::T4); // mean y
+        // pass 2: central moments
+        a.li(Reg::S4, 0); // varx
+        a.li(Reg::S5, 0); // vary
+        a.li(Reg::S6, 0); // cov
+        a.li(Reg::T0, 0);
+        let mom_loop = a.here("st_mom");
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T2, Reg::T1, Reg::S0);
+        a.ld(Reg::T3, 0, Reg::T2);
+        a.sub(Reg::T3, Reg::T3, Reg::S2); // dx
+        a.add(Reg::T2, Reg::T1, Reg::S1);
+        a.ld(Reg::T4, 0, Reg::T2);
+        a.sub(Reg::T4, Reg::T4, Reg::S3); // dy
+        a.mul(Reg::T5, Reg::T3, Reg::T3);
+        a.add(Reg::S4, Reg::S4, Reg::T5);
+        a.mul(Reg::T5, Reg::T4, Reg::T4);
+        a.add(Reg::S5, Reg::S5, Reg::T5);
+        a.mul(Reg::T5, Reg::T3, Reg::T4);
+        a.add(Reg::S6, Reg::S6, Reg::T5);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.li(Reg::T4, ST_N as i64);
+        a.blt(Reg::T0, Reg::T4, mom_loop);
+        // checksum = varx + 3*vary + 5*cov + meanx + meany
+        a.li(Reg::T0, 3);
+        a.mul(Reg::T1, Reg::S5, Reg::T0);
+        a.li(Reg::T0, 5);
+        a.mul(Reg::T2, Reg::S6, Reg::T0);
+        a.add(R, Reg::S4, Reg::T1);
+        a.add(R, R, Reg::T2);
+        a.add(R, R, Reg::S2);
+        a.add(R, R, Reg::S3);
+    }
+    fn reference() -> u64 {
+        let (x, y) = st_data();
+        let n = ST_N as i64;
+        let mx = x.iter().sum::<i64>() / n;
+        let my = y.iter().sum::<i64>() / n;
+        let (mut varx, mut vary, mut cov) = (0i64, 0i64, 0i64);
+        for i in 0..ST_N {
+            let dx = x[i] - mx;
+            let dy = y[i] - my;
+            varx = varx.wrapping_add(dx.wrapping_mul(dx));
+            vary = vary.wrapping_add(dy.wrapping_mul(dy));
+            cov = cov.wrapping_add(dx.wrapping_mul(dy));
+        }
+        (varx
+            .wrapping_add(vary.wrapping_mul(3))
+            .wrapping_add(cov.wrapping_mul(5))
+            .wrapping_add(mx)
+            .wrapping_add(my)) as u64
+    }
+    Kernel { name: "st", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// jfdctint
+
+const DCT_BLOCKS: usize = 16;
+/// DCT-II basis, `0.5·c(u)·cos((2i+1)uπ/16)` in Q13 (scale 8192).
+#[rustfmt::skip]
+const DCT_COEF: [i64; 64] = [
+    5793,  5793,  5793,  5793,  5793,  5793,  5793,  5793,
+    8035,  6811,  4551,  1598, -1598, -4551, -6811, -8035,
+    7568,  3135, -3135, -7568, -7568, -3135,  3135,  7568,
+    6811, -1598, -8035, -4551,  4551,  8035,  1598, -6811,
+    5793, -5793, -5793,  5793,  5793, -5793, -5793,  5793,
+    4551, -8035,  1598,  6811, -6811, -1598,  8035, -4551,
+    3135, -7568,  7568, -3135, -3135,  7568, -7568,  3135,
+    1598, -4551,  6811, -8035,  8035, -6811,  4551, -1598,
+];
+
+fn dct_blocks() -> Vec<i64> {
+    dwords_mod(0xDC7, DCT_BLOCKS * 64, 512).into_iter().map(|v| v as i64 - 256).collect()
+}
+
+/// `jfdctint`: integer 8×8 forward DCT (row pass then column pass) over a
+/// batch of blocks.
+pub fn jfdctint() -> Kernel {
+    fn build(a: &mut Asm) {
+        let xt = a.d_dwords("dct_x", &as_u64(&dct_blocks()));
+        let ct = a.d_dwords("dct_c", &as_u64(&DCT_COEF));
+        let tt = a.d_zero("dct_tmp", 64 * 8);
+        let ot = a.d_zero("dct_out", (DCT_BLOCKS * 64 * 8) as u64);
+        a.la(Reg::S0, xt);
+        a.la(Reg::S1, ct);
+        a.la(Reg::S2, tt);
+        a.la(Reg::S3, ot);
+        a.li(Reg::S4, DCT_BLOCKS as i64);
+        let block_loop = a.here("dct_block");
+        // --- row pass: tmp[r*8+u] = (Σ_i x[r*8+i] * C[u*8+i]) >> 13
+        emit_dct_pass(a, PassKind::Rows);
+        // --- column pass: out[v*8+u] = (Σ_r tmp[r*8+u] * C[v*8+r]) >> 13
+        emit_dct_pass(a, PassKind::Cols);
+        a.addi(Reg::S0, Reg::S0, 64 * 8);
+        a.addi(Reg::S3, Reg::S3, 64 * 8);
+        a.addi(Reg::S4, Reg::S4, -1);
+        a.bnez(Reg::S4, block_loop);
+        // checksum over every output block
+        a.li(Reg::T0, (DCT_BLOCKS * 64 * 8) as i64);
+        a.sub(Reg::S3, Reg::S3, Reg::T0);
+        emit_weighted_checksum(a, Reg::S3, DCT_BLOCKS * 64);
+    }
+    fn reference() -> u64 {
+        let x = dct_blocks();
+        let mut out = vec![0i64; DCT_BLOCKS * 64];
+        for b in 0..DCT_BLOCKS {
+            let blk = &x[b * 64..(b + 1) * 64];
+            let mut tmp = [0i64; 64];
+            for r in 0..8 {
+                for u in 0..8 {
+                    let mut acc = 0i64;
+                    for i in 0..8 {
+                        acc = acc.wrapping_add(blk[r * 8 + i].wrapping_mul(DCT_COEF[u * 8 + i]));
+                    }
+                    tmp[r * 8 + u] = acc >> 13;
+                }
+            }
+            for v in 0..8 {
+                for u in 0..8 {
+                    let mut acc = 0i64;
+                    for r in 0..8 {
+                        acc = acc.wrapping_add(tmp[r * 8 + u].wrapping_mul(DCT_COEF[v * 8 + r]));
+                    }
+                    out[b * 64 + v * 8 + u] = acc >> 13;
+                }
+            }
+        }
+        ref_weighted_checksum(&out)
+    }
+    Kernel { name: "jfdctint", build, reference }
+}
+
+#[derive(Clone, Copy)]
+enum PassKind {
+    Rows,
+    Cols,
+}
+
+/// Emits one DCT pass. Register contract: `s0` input block (Rows) /
+/// `s2` tmp (Cols source), `s1` coefficients, `s2` tmp (Rows dest) /
+/// `s3` output (Cols dest). Clobbers `t0..t5`, `s5`, `s6`, `s7`.
+fn emit_dct_pass(a: &mut Asm, kind: PassKind) {
+    // outer index o (r for Rows, v for Cols), inner result index u,
+    // reduction index q (i for Rows, r for Cols).
+    a.li(Reg::S5, 0); // o
+    let o_loop = a.here("dct_o");
+    a.li(Reg::S6, 0); // u
+    let u_loop = a.here("dct_u");
+    a.li(Reg::S7, 0); // q
+    a.li(Reg::T5, 0); // acc
+    let q_loop = a.here("dct_q");
+    match kind {
+        PassKind::Rows => {
+            // x[o*8 + q]
+            a.slli(Reg::T0, Reg::S5, 3);
+            a.add(Reg::T0, Reg::T0, Reg::S7);
+            a.slli(Reg::T0, Reg::T0, 3);
+            a.add(Reg::T0, Reg::T0, Reg::S0);
+        }
+        PassKind::Cols => {
+            // tmp[q*8 + u]
+            a.slli(Reg::T0, Reg::S7, 3);
+            a.add(Reg::T0, Reg::T0, Reg::S6);
+            a.slli(Reg::T0, Reg::T0, 3);
+            a.add(Reg::T0, Reg::T0, Reg::S2);
+        }
+    }
+    a.ld(Reg::T1, 0, Reg::T0);
+    match kind {
+        PassKind::Rows => {
+            // C[u*8 + q]
+            a.slli(Reg::T2, Reg::S6, 3);
+            a.add(Reg::T2, Reg::T2, Reg::S7);
+        }
+        PassKind::Cols => {
+            // C[o*8 + q] (o plays v)
+            a.slli(Reg::T2, Reg::S5, 3);
+            a.add(Reg::T2, Reg::T2, Reg::S7);
+        }
+    }
+    a.slli(Reg::T2, Reg::T2, 3);
+    a.add(Reg::T2, Reg::T2, Reg::S1);
+    a.ld(Reg::T3, 0, Reg::T2);
+    a.mul(Reg::T1, Reg::T1, Reg::T3);
+    a.add(Reg::T5, Reg::T5, Reg::T1);
+    a.addi(Reg::S7, Reg::S7, 1);
+    a.li(Reg::T0, 8);
+    a.blt(Reg::S7, Reg::T0, q_loop);
+    a.srai(Reg::T5, Reg::T5, 13);
+    match kind {
+        PassKind::Rows => {
+            // tmp[o*8 + u]
+            a.slli(Reg::T0, Reg::S5, 3);
+            a.add(Reg::T0, Reg::T0, Reg::S6);
+            a.slli(Reg::T0, Reg::T0, 3);
+            a.add(Reg::T0, Reg::T0, Reg::S2);
+        }
+        PassKind::Cols => {
+            // out[o*8 + u] (o plays v)
+            a.slli(Reg::T0, Reg::S5, 3);
+            a.add(Reg::T0, Reg::T0, Reg::S6);
+            a.slli(Reg::T0, Reg::T0, 3);
+            a.add(Reg::T0, Reg::T0, Reg::S3);
+        }
+    }
+    a.sd(Reg::T5, 0, Reg::T0);
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.li(Reg::T0, 8);
+    a.blt(Reg::S6, Reg::T0, u_loop);
+    a.addi(Reg::S5, Reg::S5, 1);
+    a.li(Reg::T0, 8);
+    a.blt(Reg::S5, Reg::T0, o_loop);
+}

@@ -1,0 +1,434 @@
+//! Search, counting and control-flow kernels: `binarysearch`, `bitcount`,
+//! `countnegative`, `fac`, `prime`, `recursion`, `pm`.
+
+use safedm_asm::Asm;
+use safedm_isa::Reg;
+
+use super::{bytes, dwords, sorted_dwords};
+use crate::Kernel;
+
+const R: Reg = Reg::A0; // checksum accumulator by convention
+
+// --------------------------------------------------------------------------
+// binarysearch
+
+const BS_N: usize = 256;
+const BS_KEYS: usize = 192;
+
+fn bs_data() -> (Vec<u64>, Vec<u64>) {
+    let arr = sorted_dwords(0xB5, BS_N);
+    // Half of the keys are planted hits, half are likely misses.
+    let misses = dwords(0x1CEB00DA, BS_KEYS);
+    let keys: Vec<u64> = (0..BS_KEYS)
+        .map(|i| if i % 2 == 0 { arr[(i * 7) % BS_N] } else { misses[i] })
+        .collect();
+    (arr, keys)
+}
+
+/// `binarysearch`: classic `lo < hi` binary search over a sorted table.
+pub fn binarysearch() -> Kernel {
+    fn build(a: &mut Asm) {
+        let (arr, keys) = bs_data();
+        let arr_l = a.d_dwords("bs_arr", &arr);
+        let keys_l = a.d_dwords("bs_keys", &keys);
+        a.la(Reg::S0, arr_l);
+        a.la(Reg::S2, keys_l);
+        a.li(Reg::S3, BS_KEYS as i64);
+        a.li(R, 0);
+        let key_loop = a.here("key_loop");
+        a.ld(Reg::S4, 0, Reg::S2); // key
+        a.li(Reg::T0, 0); // lo
+        a.li(Reg::T1, BS_N as i64); // hi
+        a.li(Reg::S5, 0xffff); // not-found marker
+        let bs_done = a.new_label("bs_done");
+        let bs_loop = a.here("bs_loop");
+        a.bgeu(Reg::T0, Reg::T1, bs_done);
+        a.add(Reg::T2, Reg::T0, Reg::T1);
+        a.srli(Reg::T2, Reg::T2, 1); // mid
+        a.slli(Reg::T3, Reg::T2, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T3);
+        let found = a.new_label("found");
+        let right = a.new_label("right");
+        a.beq(Reg::T4, Reg::S4, found);
+        a.bltu(Reg::T4, Reg::S4, right);
+        a.mv(Reg::T1, Reg::T2); // hi = mid
+        a.j(bs_loop);
+        a.bind(right).unwrap();
+        a.addi(Reg::T0, Reg::T2, 1); // lo = mid + 1
+        a.j(bs_loop);
+        a.bind(found).unwrap();
+        a.mv(Reg::S5, Reg::T2);
+        a.bind(bs_done).unwrap();
+        a.add(R, R, Reg::S5);
+        a.addi(Reg::S2, Reg::S2, 8);
+        a.addi(Reg::S3, Reg::S3, -1);
+        a.bnez(Reg::S3, key_loop);
+    }
+    fn reference() -> u64 {
+        let (arr, keys) = bs_data();
+        let mut acc = 0u64;
+        for key in keys {
+            let (mut lo, mut hi) = (0usize, BS_N);
+            let mut res = 0xffffu64;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if arr[mid] == key {
+                    res = mid as u64;
+                    break;
+                } else if arr[mid] < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            acc = acc.wrapping_add(res);
+        }
+        acc
+    }
+    Kernel { name: "binarysearch", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// bitcount
+
+const BC_N: usize = 256;
+
+/// `bitcount`: Kernighan popcount over a table of words.
+pub fn bitcount() -> Kernel {
+    fn build(a: &mut Asm) {
+        let data = dwords(0xB17C, BC_N);
+        let l = a.d_dwords("bc_data", &data);
+        a.la(Reg::S0, l);
+        a.li(Reg::S1, BC_N as i64);
+        a.li(R, 0);
+        let word_loop = a.here("word_loop");
+        a.ld(Reg::T0, 0, Reg::S0);
+        a.li(Reg::T1, 0); // count
+        let next_word = a.new_label("next_word");
+        let bit_loop = a.here("bit_loop");
+        a.beqz(Reg::T0, next_word);
+        a.addi(Reg::T2, Reg::T0, -1);
+        a.and(Reg::T0, Reg::T0, Reg::T2); // v &= v - 1
+        a.addi(Reg::T1, Reg::T1, 1);
+        a.j(bit_loop);
+        a.bind(next_word).unwrap();
+        a.add(R, R, Reg::T1);
+        a.addi(Reg::S0, Reg::S0, 8);
+        a.addi(Reg::S1, Reg::S1, -1);
+        a.bnez(Reg::S1, word_loop);
+    }
+    fn reference() -> u64 {
+        dwords(0xB17C, BC_N).iter().map(|v| u64::from(v.count_ones())).sum()
+    }
+    Kernel { name: "bitcount", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// countnegative
+
+const CN_N: usize = 1024; // 32×32 matrix
+
+fn cn_data() -> Vec<u64> {
+    // Signed values centred on zero.
+    dwords(0xC0DE, CN_N).into_iter().map(|v| (v as i64 >> 1) as u64).collect()
+}
+
+/// `countnegative`: counts negative elements and sums positives of a matrix.
+pub fn countnegative() -> Kernel {
+    fn build(a: &mut Asm) {
+        let l = a.d_dwords("cn_data", &cn_data());
+        a.la(Reg::S0, l);
+        a.li(Reg::S1, CN_N as i64);
+        a.li(Reg::T3, 0); // negative count
+        a.li(Reg::T4, 0); // positive sum
+        let lp = a.here("cn_loop");
+        a.ld(Reg::T0, 0, Reg::S0);
+        let nonneg = a.new_label("nonneg");
+        let next = a.new_label("next");
+        a.bgez(Reg::T0, nonneg);
+        a.addi(Reg::T3, Reg::T3, 1);
+        a.j(next);
+        a.bind(nonneg).unwrap();
+        a.add(Reg::T4, Reg::T4, Reg::T0);
+        a.bind(next).unwrap();
+        a.addi(Reg::S0, Reg::S0, 8);
+        a.addi(Reg::S1, Reg::S1, -1);
+        a.bnez(Reg::S1, lp);
+        a.slli(R, Reg::T3, 32);
+        a.add(R, R, Reg::T4);
+    }
+    fn reference() -> u64 {
+        let (mut neg, mut pos) = (0u64, 0u64);
+        for v in cn_data() {
+            if (v as i64) < 0 {
+                neg += 1;
+            } else {
+                pos = pos.wrapping_add(v);
+            }
+        }
+        (neg << 32).wrapping_add(pos)
+    }
+    Kernel { name: "countnegative", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// fac
+
+const FAC_OUTER: i64 = 48;
+const FAC_MAX_N: i64 = 12;
+
+/// `fac`: recursive factorials summed over repeated evaluation (the TACLe
+/// original is recursive too — the call stack gives the kernel early
+/// private-memory traffic).
+pub fn fac() -> Kernel {
+    fn build(a: &mut Asm) {
+        let fact = a.new_label("fact");
+        let done = a.new_label("fac_done");
+        a.li(Reg::S0, FAC_OUTER);
+        a.li(R, 0);
+        let outer = a.here("fac_outer");
+        a.li(Reg::S1, FAC_MAX_N); // n = MAX_N down to 1
+        let per_n = a.here("fac_per_n");
+        a.mv(Reg::A1, Reg::S1);
+        a.call(fact);
+        a.add(R, R, Reg::A2);
+        a.addi(Reg::S1, Reg::S1, -1);
+        a.bnez(Reg::S1, per_n);
+        a.addi(Reg::S0, Reg::S0, -1);
+        a.bnez(Reg::S0, outer);
+        a.j(done);
+        // fact(a1) -> a2 = a1!, recursive; clobbers t0
+        a.bind(fact).unwrap();
+        let base = a.new_label("fact_base");
+        a.li(Reg::T0, 2);
+        a.blt(Reg::A1, Reg::T0, base);
+        a.addi(Reg::SP, Reg::SP, -16);
+        a.sd(Reg::RA, 0, Reg::SP);
+        a.sd(Reg::A1, 8, Reg::SP);
+        a.addi(Reg::A1, Reg::A1, -1);
+        a.call(fact);
+        a.ld(Reg::A1, 8, Reg::SP);
+        a.mul(Reg::A2, Reg::A2, Reg::A1);
+        a.ld(Reg::RA, 0, Reg::SP);
+        a.addi(Reg::SP, Reg::SP, 16);
+        a.ret();
+        a.bind(base).unwrap();
+        a.li(Reg::A2, 1);
+        a.ret();
+        a.bind(done).unwrap();
+    }
+    fn reference() -> u64 {
+        fn fact(n: u64) -> u64 {
+            if n < 2 {
+                1
+            } else {
+                n.wrapping_mul(fact(n - 1))
+            }
+        }
+        let mut acc = 0u64;
+        for _ in 0..FAC_OUTER {
+            for n in (1..=FAC_MAX_N as u64).rev() {
+                acc = acc.wrapping_add(fact(n));
+            }
+        }
+        acc
+    }
+    Kernel { name: "fac", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// prime
+
+const PRIME_LIMIT: i64 = 3000;
+
+/// `prime`: trial-division primality over a range (divider-heavy).
+pub fn prime() -> Kernel {
+    fn build(a: &mut Asm) {
+        a.li(R, 0); // prime count
+        a.li(Reg::S0, 2); // n
+        a.li(Reg::S1, PRIME_LIMIT);
+        let n_loop = a.here("n_loop");
+        a.li(Reg::T0, 2); // divisor
+        let composite = a.new_label("composite");
+        let is_prime = a.new_label("is_prime");
+        let d_loop = a.here("d_loop");
+        a.mul(Reg::T1, Reg::T0, Reg::T0); // d*d
+        a.blt(Reg::S0, Reg::T1, is_prime); // d*d > n → prime
+        a.remu(Reg::T2, Reg::S0, Reg::T0);
+        a.beqz(Reg::T2, composite);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.j(d_loop);
+        a.bind(is_prime).unwrap();
+        a.addi(R, R, 1);
+        a.bind(composite).unwrap();
+        a.addi(Reg::S0, Reg::S0, 1);
+        a.bne(Reg::S0, Reg::S1, n_loop);
+    }
+    fn reference() -> u64 {
+        let mut count = 0u64;
+        for n in 2..PRIME_LIMIT as u64 {
+            let mut d = 2u64;
+            let mut prime = true;
+            while d * d <= n {
+                if n % d == 0 {
+                    prime = false;
+                    break;
+                }
+                d += 1;
+            }
+            if prime {
+                count += 1;
+            }
+        }
+        count
+    }
+    Kernel { name: "prime", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// recursion
+
+const FIB_N: i64 = 16;
+
+/// `recursion`: naive recursive Fibonacci exercising the call stack.
+pub fn recursion() -> Kernel {
+    fn build(a: &mut Asm) {
+        let fib = a.new_label("fib");
+        a.li(Reg::A1, FIB_N);
+        a.call(fib);
+        let done = a.new_label("rec_done");
+        a.j(done);
+        // fib(a1) -> a0, clobbers t0
+        a.bind(fib).unwrap();
+        let base = a.new_label("fib_base");
+        a.li(Reg::T0, 2);
+        a.blt(Reg::A1, Reg::T0, base);
+        a.addi(Reg::SP, Reg::SP, -24);
+        a.sd(Reg::RA, 0, Reg::SP);
+        a.sd(Reg::A1, 8, Reg::SP);
+        a.addi(Reg::A1, Reg::A1, -1);
+        a.call(fib);
+        a.sd(Reg::A0, 16, Reg::SP); // fib(n-1)
+        a.ld(Reg::A1, 8, Reg::SP);
+        a.addi(Reg::A1, Reg::A1, -2);
+        a.call(fib);
+        a.ld(Reg::T0, 16, Reg::SP);
+        a.add(Reg::A0, Reg::A0, Reg::T0);
+        a.ld(Reg::RA, 0, Reg::SP);
+        a.addi(Reg::SP, Reg::SP, 24);
+        a.ret();
+        a.bind(base).unwrap();
+        a.mv(Reg::A0, Reg::A1); // fib(0)=0, fib(1)=1
+        a.ret();
+        a.bind(done).unwrap();
+    }
+    fn reference() -> u64 {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                n
+            } else {
+                fib(n - 1) + fib(n - 2)
+            }
+        }
+        fib(FIB_N as u64)
+    }
+    Kernel { name: "recursion", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// pm (pattern matching)
+
+const PM_TEXT: usize = 2048;
+const PM_PATTERNS: usize = 8;
+const PM_PLEN: usize = 8;
+
+fn pm_data() -> (Vec<u8>, Vec<u8>) {
+    let mut text = bytes(0x9A77E12, PM_TEXT);
+    let patterns = bytes(0xFACADE, PM_PATTERNS * PM_PLEN);
+    // Plant each pattern a few times so matches occur.
+    for p in 0..PM_PATTERNS {
+        for rep in 0..3 {
+            let pos = (p * 251 + rep * 617) % (PM_TEXT - PM_PLEN);
+            text[pos..pos + PM_PLEN].copy_from_slice(&patterns[p * PM_PLEN..(p + 1) * PM_PLEN]);
+        }
+    }
+    (text, patterns)
+}
+
+/// `pm`: naive multi-pattern string matching with per-pattern result
+/// stores — the store traffic behind the paper's timing-anomaly analysis.
+pub fn pm() -> Kernel {
+    fn build(a: &mut Asm) {
+        let (text, patterns) = pm_data();
+        let text_l = a.d_bytes("pm_text", &text);
+        let pat_l = a.d_bytes("pm_patterns", &patterns);
+        let res_l = a.d_zero("pm_results", (PM_PATTERNS * 8) as u64);
+        a.la(Reg::S0, text_l);
+        a.la(Reg::S1, pat_l);
+        a.la(Reg::S2, res_l);
+        a.li(Reg::S3, 0); // pattern index
+        let pat_loop = a.here("pat_loop");
+        a.li(Reg::S4, 0); // match count for this pattern
+        a.li(Reg::S5, 0); // start position
+        a.li(Reg::S6, (PM_TEXT - PM_PLEN) as i64);
+        let pos_loop = a.here("pos_loop");
+        // compare PM_PLEN bytes
+        a.li(Reg::T0, 0); // byte index
+        let mismatch = a.new_label("mismatch");
+        let matched = a.new_label("matched");
+        let cmp_loop = a.here("cmp_loop");
+        a.add(Reg::T1, Reg::S0, Reg::S5);
+        a.add(Reg::T1, Reg::T1, Reg::T0);
+        a.lbu(Reg::T2, 0, Reg::T1); // text byte
+        a.add(Reg::T3, Reg::S1, Reg::T0);
+        a.lbu(Reg::T4, 0, Reg::T3); // pattern byte
+        a.bne(Reg::T2, Reg::T4, mismatch);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.li(Reg::T5, PM_PLEN as i64);
+        a.blt(Reg::T0, Reg::T5, cmp_loop);
+        a.bind(matched).unwrap(); // fell through: all bytes equal
+        a.addi(Reg::S4, Reg::S4, 1);
+        a.sd(Reg::S4, 0, Reg::S2); // running count store (per paper: store traffic)
+        a.bind(mismatch).unwrap();
+        a.addi(Reg::S5, Reg::S5, 1);
+        a.bne(Reg::S5, Reg::S6, pos_loop);
+        // finalise this pattern
+        a.sd(Reg::S4, 0, Reg::S2);
+        a.addi(Reg::S2, Reg::S2, 8);
+        a.addi(Reg::S1, Reg::S1, PM_PLEN as i64);
+        a.addi(Reg::S3, Reg::S3, 1);
+        a.li(Reg::T5, PM_PATTERNS as i64);
+        a.blt(Reg::S3, Reg::T5, pat_loop);
+        // checksum: weighted sum of counts (reload from memory)
+        a.la(Reg::S2, res_l);
+        a.li(R, 0);
+        a.li(Reg::T0, 0);
+        let sum_loop = a.here("sum_loop");
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S2);
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.addi(Reg::T3, Reg::T0, 1);
+        a.mul(Reg::T2, Reg::T2, Reg::T3);
+        a.add(R, R, Reg::T2);
+        a.mv(Reg::T0, Reg::T3);
+        a.li(Reg::T5, PM_PATTERNS as i64);
+        a.blt(Reg::T0, Reg::T5, sum_loop);
+    }
+    fn reference() -> u64 {
+        let (text, patterns) = pm_data();
+        let mut acc = 0u64;
+        for p in 0..PM_PATTERNS {
+            let pat = &patterns[p * PM_PLEN..(p + 1) * PM_PLEN];
+            let mut count = 0u64;
+            for pos in 0..PM_TEXT - PM_PLEN {
+                if &text[pos..pos + PM_PLEN] == pat {
+                    count += 1;
+                }
+            }
+            acc = acc.wrapping_add(count * (p as u64 + 1));
+        }
+        acc
+    }
+    Kernel { name: "pm", build, reference }
+}

@@ -1,0 +1,313 @@
+//! Sorting kernels: `bsort`, `insertsort`, `quicksort`, `bitonic`.
+
+use safedm_asm::{Asm, Label};
+use safedm_isa::Reg;
+
+use super::dwords;
+use crate::Kernel;
+
+const R: Reg = Reg::A0;
+
+/// Emits a position-weighted checksum loop over `n` doublewords at the
+/// label: `a0 = Σ arr[i] * (i+1)`. Clobbers `t0..t3` and `s0`.
+fn emit_checksum(a: &mut Asm, arr: Label, n: usize) {
+    a.la(Reg::S0, arr);
+    a.li(R, 0);
+    a.li(Reg::T0, 0);
+    let lp = a.here("ck_loop");
+    a.slli(Reg::T1, Reg::T0, 3);
+    a.add(Reg::T1, Reg::T1, Reg::S0);
+    a.ld(Reg::T2, 0, Reg::T1);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.mul(Reg::T2, Reg::T2, Reg::T0);
+    a.add(R, R, Reg::T2);
+    a.li(Reg::T3, n as i64);
+    a.blt(Reg::T0, Reg::T3, lp);
+}
+
+fn ref_checksum(arr: &[u64]) -> u64 {
+    arr.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, v)| acc.wrapping_add(v.wrapping_mul(i as u64 + 1)))
+}
+
+// --------------------------------------------------------------------------
+// bsort
+
+const BSORT_N: usize = 96;
+
+/// `bsort`: bubble sort with early exit.
+pub fn bsort() -> Kernel {
+    fn build(a: &mut Asm) {
+        let data = dwords(0xB50B7, BSORT_N);
+        let arr = a.d_dwords("bsort_arr", &data);
+        a.la(Reg::S0, arr);
+        a.li(Reg::S2, (BSORT_N - 1) as i64); // inner limit
+        let done = a.new_label("bs_done");
+        let pass = a.here("bs_pass");
+        a.li(Reg::S4, 0); // swapped flag
+        a.li(Reg::T0, 0);
+        let inner = a.here("bs_inner");
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S0);
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.ld(Reg::T3, 8, Reg::T1);
+        let noswap = a.new_label("bs_noswap");
+        a.bgeu(Reg::T3, Reg::T2, noswap);
+        a.sd(Reg::T3, 0, Reg::T1);
+        a.sd(Reg::T2, 8, Reg::T1);
+        a.li(Reg::S4, 1);
+        a.bind(noswap).unwrap();
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::S2, inner);
+        a.beqz(Reg::S4, done);
+        a.addi(Reg::S2, Reg::S2, -1);
+        a.bgtz(Reg::S2, pass);
+        a.bind(done).unwrap();
+        emit_checksum(a, arr, BSORT_N);
+    }
+    fn reference() -> u64 {
+        let mut arr = dwords(0xB50B7, BSORT_N);
+        let mut limit = BSORT_N - 1;
+        loop {
+            let mut swapped = false;
+            for i in 0..limit {
+                if arr[i] > arr[i + 1] {
+                    arr.swap(i, i + 1);
+                    swapped = true;
+                }
+            }
+            if !swapped || limit == 1 {
+                break;
+            }
+            limit -= 1;
+        }
+        ref_checksum(&arr)
+    }
+    Kernel { name: "bsort", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// insertsort
+
+const INS_N: usize = 128;
+
+/// `insertsort`: classic insertion sort.
+pub fn insertsort() -> Kernel {
+    fn build(a: &mut Asm) {
+        let data = dwords(0x1A5E27, INS_N);
+        let arr = a.d_dwords("ins_arr", &data);
+        a.la(Reg::S0, arr);
+        a.li(Reg::S1, 1); // i
+        let outer = a.here("ins_outer");
+        a.slli(Reg::T0, Reg::S1, 3);
+        a.add(Reg::T0, Reg::T0, Reg::S0);
+        a.ld(Reg::S2, 0, Reg::T0); // key
+        a.addi(Reg::S3, Reg::S1, -1); // j
+        let place = a.new_label("ins_place");
+        let shift = a.here("ins_shift");
+        a.bltz(Reg::S3, place);
+        a.slli(Reg::T1, Reg::S3, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S0);
+        a.ld(Reg::T2, 0, Reg::T1); // arr[j]
+        a.bgeu(Reg::S2, Reg::T2, place); // key >= arr[j]: stop
+        a.sd(Reg::T2, 8, Reg::T1); // arr[j+1] = arr[j]
+        a.addi(Reg::S3, Reg::S3, -1);
+        a.j(shift);
+        a.bind(place).unwrap();
+        a.addi(Reg::T3, Reg::S3, 1);
+        a.slli(Reg::T3, Reg::T3, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.sd(Reg::S2, 0, Reg::T3); // arr[j+1] = key
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.li(Reg::T4, INS_N as i64);
+        a.blt(Reg::S1, Reg::T4, outer);
+        emit_checksum(a, arr, INS_N);
+    }
+    fn reference() -> u64 {
+        let mut arr = dwords(0x1A5E27, INS_N);
+        for i in 1..INS_N {
+            let key = arr[i];
+            let mut j = i as i64 - 1;
+            while j >= 0 && arr[j as usize] > key {
+                arr[j as usize + 1] = arr[j as usize];
+                j -= 1;
+            }
+            arr[(j + 1) as usize] = key;
+        }
+        ref_checksum(&arr)
+    }
+    Kernel { name: "insertsort", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// quicksort
+
+const QS_N: usize = 192;
+
+/// `quicksort`: iterative Lomuto quicksort with an explicit work stack.
+pub fn quicksort() -> Kernel {
+    fn build(a: &mut Asm) {
+        let data = dwords(0x0111C250, QS_N);
+        let arr = a.d_dwords("qs_arr", &data);
+        a.la(Reg::S0, arr);
+        a.mv(Reg::S6, Reg::SP); // stack base marker
+        // push (0, N-1)
+        a.addi(Reg::SP, Reg::SP, -16);
+        a.li(Reg::T0, 0);
+        a.sd(Reg::T0, 0, Reg::SP);
+        a.li(Reg::T0, (QS_N - 1) as i64);
+        a.sd(Reg::T0, 8, Reg::SP);
+        let work_done = a.new_label("qs_all_done");
+        let work = a.here("qs_work");
+        a.beq(Reg::SP, Reg::S6, work_done);
+        a.ld(Reg::S1, 0, Reg::SP); // lo
+        a.ld(Reg::S2, 8, Reg::SP); // hi
+        a.addi(Reg::SP, Reg::SP, 16);
+        a.bge(Reg::S1, Reg::S2, work); // lo >= hi: nothing to do
+        // partition: pivot = arr[hi]
+        a.slli(Reg::T0, Reg::S2, 3);
+        a.add(Reg::T0, Reg::T0, Reg::S0);
+        a.ld(Reg::S3, 0, Reg::T0); // pivot
+        a.addi(Reg::S4, Reg::S1, -1); // i
+        a.mv(Reg::S5, Reg::S1); // j
+        let part_done = a.new_label("qs_part_done");
+        let part = a.here("qs_part");
+        a.bge(Reg::S5, Reg::S2, part_done);
+        a.slli(Reg::T1, Reg::S5, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S0);
+        a.ld(Reg::T2, 0, Reg::T1); // arr[j]
+        let no_swap = a.new_label("qs_noswap");
+        a.bltu(Reg::S3, Reg::T2, no_swap); // arr[j] > pivot: skip
+        a.addi(Reg::S4, Reg::S4, 1);
+        a.slli(Reg::T3, Reg::S4, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T3); // arr[i]
+        a.sd(Reg::T2, 0, Reg::T3);
+        a.sd(Reg::T4, 0, Reg::T1);
+        a.bind(no_swap).unwrap();
+        a.addi(Reg::S5, Reg::S5, 1);
+        a.j(part);
+        a.bind(part_done).unwrap();
+        // swap arr[i+1], arr[hi]; p = i+1
+        a.addi(Reg::S4, Reg::S4, 1);
+        a.slli(Reg::T3, Reg::S4, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S0);
+        a.ld(Reg::T4, 0, Reg::T3);
+        a.slli(Reg::T1, Reg::S2, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S0);
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.sd(Reg::T2, 0, Reg::T3);
+        a.sd(Reg::T4, 0, Reg::T1);
+        // push (lo, p-1) and (p+1, hi)
+        a.addi(Reg::SP, Reg::SP, -32);
+        a.sd(Reg::S1, 0, Reg::SP);
+        a.addi(Reg::T0, Reg::S4, -1);
+        a.sd(Reg::T0, 8, Reg::SP);
+        a.addi(Reg::T0, Reg::S4, 1);
+        a.sd(Reg::T0, 16, Reg::SP);
+        a.sd(Reg::S2, 24, Reg::SP);
+        a.j(work);
+        a.bind(work_done).unwrap();
+        emit_checksum(a, arr, QS_N);
+    }
+    fn reference() -> u64 {
+        let mut arr = dwords(0x0111C250, QS_N);
+        let mut stack: Vec<(i64, i64)> = vec![(0, QS_N as i64 - 1)];
+        while let Some((lo, hi)) = stack.pop() {
+            if lo >= hi {
+                continue;
+            }
+            let pivot = arr[hi as usize];
+            let mut i = lo - 1;
+            for j in lo..hi {
+                if arr[j as usize] <= pivot {
+                    i += 1;
+                    arr.swap(i as usize, j as usize);
+                }
+            }
+            arr.swap((i + 1) as usize, hi as usize);
+            let p = i + 1;
+            // match the asm's LIFO order: (p+1,hi) processed first
+            stack.push((lo, p - 1));
+            stack.push((p + 1, hi));
+        }
+        ref_checksum(&arr)
+    }
+    Kernel { name: "quicksort", build, reference }
+}
+
+// --------------------------------------------------------------------------
+// bitonic
+
+const BIT_N: usize = 128; // power of two
+
+/// `bitonic`: the bitonic sorting network (data-independent schedule).
+pub fn bitonic() -> Kernel {
+    fn build(a: &mut Asm) {
+        let data = dwords(0xB170 | 1, BIT_N);
+        let arr = a.d_dwords("bit_arr", &data);
+        a.la(Reg::S0, arr);
+        a.li(Reg::S1, 2); // k
+        let k_loop = a.here("bit_k");
+        a.srli(Reg::S2, Reg::S1, 1); // j = k >> 1
+        let j_loop = a.here("bit_j");
+        a.li(Reg::S3, 0); // i
+        let i_loop = a.here("bit_i");
+        a.xor(Reg::S4, Reg::S3, Reg::S2); // l = i ^ j
+        let skip = a.new_label("bit_skip");
+        a.bge(Reg::S3, Reg::S4, skip); // only l > i
+        a.slli(Reg::T0, Reg::S3, 3);
+        a.add(Reg::T0, Reg::T0, Reg::S0);
+        a.ld(Reg::T1, 0, Reg::T0); // arr[i]
+        a.slli(Reg::T2, Reg::S4, 3);
+        a.add(Reg::T2, Reg::T2, Reg::S0);
+        a.ld(Reg::T3, 0, Reg::T2); // arr[l]
+        a.and(Reg::T4, Reg::S3, Reg::S1); // i & k
+        let descending = a.new_label("bit_desc");
+        let do_swap = a.new_label("bit_swap");
+        a.bnez(Reg::T4, descending);
+        // ascending: swap when arr[i] > arr[l]
+        a.bgeu(Reg::T3, Reg::T1, skip);
+        a.j(do_swap);
+        a.bind(descending).unwrap();
+        // descending: swap when arr[i] < arr[l]
+        a.bgeu(Reg::T1, Reg::T3, skip);
+        a.bind(do_swap).unwrap();
+        a.sd(Reg::T3, 0, Reg::T0);
+        a.sd(Reg::T1, 0, Reg::T2);
+        a.bind(skip).unwrap();
+        a.addi(Reg::S3, Reg::S3, 1);
+        a.li(Reg::T5, BIT_N as i64);
+        a.blt(Reg::S3, Reg::T5, i_loop);
+        a.srli(Reg::S2, Reg::S2, 1);
+        a.bgtz(Reg::S2, j_loop);
+        a.slli(Reg::S1, Reg::S1, 1);
+        a.li(Reg::T5, BIT_N as i64);
+        a.bge(Reg::T5, Reg::S1, k_loop); // while k <= N
+        emit_checksum(a, arr, BIT_N);
+    }
+    fn reference() -> u64 {
+        let mut arr = dwords(0xB170 | 1, BIT_N);
+        let n = BIT_N;
+        let mut k = 2;
+        while k <= n {
+            let mut j = k >> 1;
+            while j > 0 {
+                for i in 0..n {
+                    let l = i ^ j;
+                    if l > i {
+                        let up = i & k == 0;
+                        if (up && arr[i] > arr[l]) || (!up && arr[i] < arr[l]) {
+                            arr.swap(i, l);
+                        }
+                    }
+                }
+                j >>= 1;
+            }
+            k <<= 1;
+        }
+        ref_checksum(&arr)
+    }
+    Kernel { name: "bitonic", build, reference }
+}

@@ -1,0 +1,203 @@
+//! # safedm-tacle — TACLeBench-style benchmark kernels
+//!
+//! The SafeDM paper evaluates on the TACLe benchmark collection (Falk et
+//! al., WCET 2016): self-contained kernels for critical real-time systems.
+//! With no cross-compiler in this environment, the 29 kernels of the
+//! paper's Table I are re-written against the [`safedm_asm`] DSL, with
+//! floating-point kernels transposed to fixed-point arithmetic (diversity
+//! behaviour depends on instruction/memory structure, not numerics — see
+//! DESIGN.md).
+//!
+//! Every kernel is **self-checking**: it leaves a checksum in `a0` and
+//! stores it to the `result` data cell, and ships with a Rust reference
+//! implementation ([`Kernel::reference`]) that computes the same checksum,
+//! so the assembly and the model are verified against an independent
+//! implementation.
+//!
+//! ## Example
+//!
+//! ```
+//! use safedm_tacle::{kernels, build_kernel_program, HarnessConfig};
+//! use safedm_soc::Iss;
+//!
+//! let k = kernels::by_name("bitcount").expect("kernel exists");
+//! let prog = build_kernel_program(k, &HarnessConfig::default());
+//! let mut iss = Iss::new(0);
+//! iss.load_program(&prog);
+//! iss.run(10_000_000);
+//! assert_eq!(iss.reg(safedm_isa::Reg::A0), (k.reference)());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+mod synth;
+
+pub use synth::{build_synthetic, SynthConfig};
+
+/// Crate-internal bridge to the kernel data generators (used by the
+/// synthetic workload builder).
+pub(crate) fn kernels_data(seed: u64, n: usize) -> Vec<u64> {
+    kernels::dwords(seed, n)
+}
+
+/// Crate-internal deterministic RNG closure.
+pub(crate) fn kernels_lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut lcg = kernels::Lcg::new(seed);
+    move || lcg.next()
+}
+
+use safedm_asm::{Asm, Program};
+use safedm_isa::Reg;
+
+/// Link base for all kernel programs.
+pub const TEXT_BASE: u64 = 0x8000_0000;
+/// Default stack top (grows down; mirrored per core by default).
+pub const STACK_TOP: u64 = 0x80f0_0000;
+
+/// One benchmark kernel.
+pub struct Kernel {
+    /// TACLeBench-style name (e.g. `"binarysearch"`).
+    pub name: &'static str,
+    /// Emits the kernel body. On entry `sp` is valid; the body must leave
+    /// its checksum in `a0` and may clobber every other register.
+    pub build: fn(&mut Asm),
+    /// Independent Rust implementation of the same checksum.
+    pub reference: fn() -> u64,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel").field("name", &self.name).finish()
+    }
+}
+
+/// How redundant copies place their stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StackMode {
+    /// Both cores use the same stack addresses (private memory mirrors make
+    /// this safe). This is the diversity-scarce scenario the paper stresses:
+    /// every observed value is identical unless timing diverges.
+    #[default]
+    Mirrored,
+    /// Each hart offsets its stack by 64 KiB — the software-replication
+    /// scenario where address operands differ between the copies.
+    PerHart,
+}
+
+/// Initial staggering: `delayed_core` executes `nops` no-ops before the
+/// kernel (paper, Section V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaggerConfig {
+    /// Number of `nop` instructions.
+    pub nops: usize,
+    /// Which hart runs the sled.
+    pub delayed_core: usize,
+}
+
+/// Program-construction options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HarnessConfig {
+    /// Optional initial staggering.
+    pub stagger: Option<StaggerConfig>,
+    /// Stack placement.
+    pub stack: StackMode,
+}
+
+impl HarnessConfig {
+    /// Number of instructions hart `hart` executes before reaching the
+    /// kernel body (the prologue plus, for the delayed hart, the sled).
+    /// Experiments use this to bracket the measurement window to the
+    /// program region, as the paper's evaluation does.
+    #[must_use]
+    pub fn prologue_insts(&self, hart: usize) -> u64 {
+        let li_sp = {
+            let mut probe = Asm::new();
+            probe.li(Reg::SP, STACK_TOP as i64);
+            probe.text_offset() / 4
+        };
+        let mut n = li_sp + 1; // + csrr mhartid
+        if let StackMode::PerHart = self.stack {
+            n += 2; // slli + sub
+        }
+        if let Some(st) = self.stagger {
+            n += 2; // li + beq
+            n += if hart == st.delayed_core { st.nops as u64 } else { 1 };
+        }
+        n
+    }
+}
+
+/// Builds the bare-metal redundant program for `kernel`: per-hart prologue
+/// (stack setup, optional nop sled), the kernel body, result store and halt.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to assemble (a bug in the kernel builder).
+#[must_use]
+pub fn build_kernel_program(kernel: &Kernel, cfg: &HarnessConfig) -> Program {
+    let mut a = Asm::new();
+    let result = a.d_dwords("result", &[0]);
+
+    // --- prologue ---------------------------------------------------------
+    a.li(Reg::SP, STACK_TOP as i64);
+    a.hartid(Reg::T0);
+    if let StackMode::PerHart = cfg.stack {
+        a.slli(Reg::T1, Reg::T0, 16); // 64 KiB per hart
+        a.sub(Reg::SP, Reg::SP, Reg::T1);
+    }
+    if let Some(st) = cfg.stagger {
+        // Conditional branches reach ±4 KiB only; sleds can be 40 KiB, so
+        // branch *into* the sled and jump (jal, ±1 MiB) around it.
+        let sled = a.new_label("sled");
+        let skip = a.new_label("skip_sled");
+        a.li(Reg::T1, st.delayed_core as i64);
+        a.beq(Reg::T0, Reg::T1, sled);
+        a.j(skip);
+        a.bind(sled).expect("fresh label");
+        a.nops(st.nops);
+        a.bind(skip).expect("fresh label");
+    }
+
+    // --- body --------------------------------------------------------------
+    (kernel.build)(&mut a);
+
+    // --- epilogue -----------------------------------------------------------
+    a.la(Reg::T6, result);
+    a.sd(Reg::A0, 0, Reg::T6);
+    a.fence();
+    a.ebreak();
+
+    a.link(TEXT_BASE).expect("kernel must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_builds_all_kernels_in_all_modes() {
+        for k in kernels::all() {
+            for stagger in [None, Some(StaggerConfig { nops: 100, delayed_core: 1 })] {
+                for stack in [StackMode::Mirrored, StackMode::PerHart] {
+                    let prog = build_kernel_program(k, &HarnessConfig { stagger, stack });
+                    assert!(prog.inst_count() > 4, "{} too small", k.name);
+                    assert!(prog.symbol("result").is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stagger_sled_adds_exact_nops() {
+        let k = kernels::by_name("fac").unwrap();
+        let plain = build_kernel_program(k, &HarnessConfig::default());
+        let cfg = HarnessConfig {
+            stagger: Some(StaggerConfig { nops: 1000, delayed_core: 0 }),
+            stack: StackMode::Mirrored,
+        };
+        let staggered = build_kernel_program(k, &cfg);
+        // 1000 nops + li + beq + j (li of a small constant is one inst)
+        assert_eq!(staggered.inst_count(), plain.inst_count() + 1003);
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic synthetic workload generator.
+//!
+//! Table I shows per-kernel diversity behaviour, but the *mechanism* —
+//! private-memory traffic serialising the cores — suggests a continuous
+//! knob: the fraction of memory operations in the instruction mix. This
+//! module generates parameterised kernels (ALU / memory / branch / muldiv
+//! mix over a configurable working set) so experiments can sweep that knob
+//! directly instead of relying on whatever mixes the TACLe kernels happen
+//! to have.
+
+use safedm_asm::{Asm, Program};
+use safedm_isa::Reg;
+
+use crate::{StackMode, StaggerConfig, STACK_TOP, TEXT_BASE};
+
+/// Instruction-mix parameters of a synthetic kernel. The weights are
+/// relative (they need not sum to any particular value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Weight of plain ALU operations.
+    pub alu_weight: u32,
+    /// Weight of memory operations (alternating loads and stores over the
+    /// working set).
+    pub mem_weight: u32,
+    /// Weight of short forward branches.
+    pub branch_weight: u32,
+    /// Weight of multiply/divide operations.
+    pub muldiv_weight: u32,
+    /// Working-set size in doublewords (private per core).
+    pub working_set: usize,
+    /// Number of inner-body instructions generated.
+    pub body_ops: usize,
+    /// Outer-loop iterations over the body.
+    pub iterations: i64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            alu_weight: 6,
+            mem_weight: 2,
+            branch_weight: 1,
+            muldiv_weight: 1,
+            working_set: 512,
+            body_ops: 120,
+            iterations: 150,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A mix with `percent` % memory operations and the rest ALU (used by
+    /// the memory-intensity sweep).
+    #[must_use]
+    pub fn with_mem_percent(percent: u32, seed: u64) -> SynthConfig {
+        SynthConfig {
+            alu_weight: 100 - percent.min(100),
+            mem_weight: percent.min(100),
+            branch_weight: 0,
+            muldiv_weight: 0,
+            seed,
+            ..SynthConfig::default()
+        }
+    }
+}
+
+/// Builds the synthetic redundant program for `cfg` (same harness shape as
+/// the TACLe kernels: per-hart prologue, optional sled, checksum in `a0`,
+/// `result` cell, `ebreak`).
+///
+/// # Panics
+///
+/// Panics if the generated program fails to assemble (a generator bug).
+#[must_use]
+pub fn build_synthetic(
+    cfg: &SynthConfig,
+    stagger: Option<StaggerConfig>,
+    stack: StackMode,
+) -> Program {
+    let mut a = Asm::new();
+    let result = a.d_dwords("result", &[0]);
+    let ws = a.d_dwords("synth_ws", &super::kernels_data(cfg.seed, cfg.working_set));
+
+    // prologue (mirrors build_kernel_program)
+    a.li(Reg::SP, STACK_TOP as i64);
+    a.hartid(Reg::T0);
+    if let StackMode::PerHart = stack {
+        a.slli(Reg::T1, Reg::T0, 16);
+        a.sub(Reg::SP, Reg::SP, Reg::T1);
+    }
+    if let Some(st) = stagger {
+        let sled = a.new_label("sled");
+        let skip = a.new_label("skip_sled");
+        a.li(Reg::T1, st.delayed_core as i64);
+        a.beq(Reg::T0, Reg::T1, sled);
+        a.j(skip);
+        a.bind(sled).expect("fresh label");
+        a.nops(st.nops);
+        a.bind(skip).expect("fresh label");
+    }
+
+    // body: a0 checksum, s0 working-set base, s1 loop counter,
+    // t0..t5 scratch. The scratch registers must be seeded with constants:
+    // after the prologue t0 holds the hart id, and a redundant workload
+    // must not fold hart-dependent values into its checksum.
+    a.la(Reg::S0, ws);
+    a.li(Reg::A0, 0x5EED);
+    a.li(Reg::S1, cfg.iterations);
+    for (i, r) in [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5].iter().enumerate() {
+        a.li(*r, 0x1000 + 7 * i as i64);
+    }
+    let total =
+        u64::from(cfg.alu_weight + cfg.mem_weight + cfg.branch_weight + cfg.muldiv_weight).max(1);
+    let mut rng = super::kernels_lcg(cfg.seed ^ 0xA5A5);
+    let outer = a.here("synth_outer");
+    let mut next_store = false;
+    for i in 0..cfg.body_ops {
+        let pick = rng() % total;
+        let r = [Reg::T0, Reg::T1, Reg::T2, Reg::T3][i % 4];
+        if pick < u64::from(cfg.alu_weight) {
+            match rng() % 4 {
+                0 => {
+                    a.add(r, r, Reg::A0);
+                }
+                1 => {
+                    a.xori(r, r, (rng() % 2048) as i64 - 1024);
+                }
+                2 => {
+                    a.slli(r, r, (rng() % 13 + 1) as i64);
+                }
+                _ => {
+                    a.sub(r, Reg::A0, r);
+                }
+            }
+            a.add(Reg::A0, Reg::A0, r);
+        } else if pick < u64::from(cfg.alu_weight + cfg.mem_weight) {
+            // address = base + 8 * ((a0 ^ k) % working_set)
+            a.li(Reg::T4, (rng() % cfg.working_set as u64) as i64 * 8);
+            a.add(Reg::T4, Reg::T4, Reg::S0);
+            if next_store {
+                a.sd(Reg::A0, 0, Reg::T4);
+            } else {
+                a.ld(Reg::T5, 0, Reg::T4);
+                a.add(Reg::A0, Reg::A0, Reg::T5);
+            }
+            next_store = !next_store;
+        } else if pick < u64::from(cfg.alu_weight + cfg.mem_weight + cfg.branch_weight) {
+            let skip = a.new_label("synth_skip");
+            a.andi(Reg::T4, Reg::A0, 1);
+            a.beqz(Reg::T4, skip);
+            a.addi(Reg::A0, Reg::A0, 3);
+            a.bind(skip).expect("fresh label");
+        } else {
+            a.li(Reg::T4, (rng() % 1000 + 1) as i64);
+            match rng() % 2 {
+                0 => {
+                    a.mul(Reg::T5, Reg::A0, Reg::T4);
+                }
+                _ => {
+                    a.divu(Reg::T5, Reg::A0, Reg::T4);
+                }
+            }
+            a.add(Reg::A0, Reg::A0, Reg::T5);
+        }
+    }
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bgtz(Reg::S1, outer);
+
+    // epilogue
+    a.la(Reg::T6, result);
+    a.sd(Reg::A0, 0, Reg::T6);
+    a.fence();
+    a.ebreak();
+    a.link(TEXT_BASE).expect("synthetic kernel must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_isa::Reg;
+    use safedm_soc::{Iss, MpSoc, SocConfig};
+
+    #[test]
+    fn synthetic_kernels_terminate_deterministically() {
+        let cfg = SynthConfig::default();
+        let run = || {
+            let prog = build_synthetic(&cfg, None, StackMode::Mirrored);
+            let mut iss = Iss::new(0);
+            iss.load_program(&prog);
+            let exit = iss.run(50_000_000);
+            assert!(exit.is_clean(), "{exit}");
+            (iss.executed(), iss.reg(Reg::A0))
+        };
+        assert_eq!(run(), run(), "same seed, same program, same result");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build_synthetic(
+            &SynthConfig { seed: 1, ..SynthConfig::default() },
+            None,
+            StackMode::Mirrored,
+        );
+        let b = build_synthetic(
+            &SynthConfig { seed: 2, ..SynthConfig::default() },
+            None,
+            StackMode::Mirrored,
+        );
+        assert_ne!(a.text, b.text);
+    }
+
+    #[test]
+    fn mem_percent_controls_memory_traffic() {
+        let count_mem = |percent: u32| {
+            let prog = build_synthetic(
+                &SynthConfig::with_mem_percent(percent, 7),
+                None,
+                StackMode::Mirrored,
+            );
+            prog.words()
+                .filter(|(_, w)| {
+                    matches!(
+                        safedm_isa::decode(*w),
+                        Ok(safedm_isa::Inst::Load { .. } | safedm_isa::Inst::Store { .. })
+                    )
+                })
+                .count()
+        };
+        let low = count_mem(5);
+        let high = count_mem(80);
+        assert!(high > 2 * low, "memory mix must scale: {low} vs {high}");
+    }
+
+    #[test]
+    fn synthetic_is_hart_independent() {
+        // both harts must compute the same checksum (redundant workload)
+        let prog = build_synthetic(&SynthConfig::default(), None, StackMode::Mirrored);
+        let run = |hart: usize| {
+            let mut iss = Iss::new(hart);
+            iss.load_program(&prog);
+            assert!(iss.run(50_000_000).is_clean());
+            iss.reg(Reg::A0)
+        };
+        assert_eq!(run(0), run(1));
+    }
+
+    #[test]
+    fn pipeline_matches_iss_on_synthetic() {
+        let cfg = SynthConfig { iterations: 20, ..SynthConfig::default() };
+        let prog = build_synthetic(&cfg, None, StackMode::Mirrored);
+        let mut iss = Iss::new(0);
+        iss.load_program(&prog);
+        assert!(iss.run(50_000_000).is_clean());
+        let mut soc_cfg = SocConfig::default();
+        soc_cfg.cores = 1;
+        let mut soc = MpSoc::new(soc_cfg);
+        soc.load_program(&prog);
+        assert!(soc.run(50_000_000).all_clean());
+        assert_eq!(soc.core(0).reg(Reg::A0), iss.reg(Reg::A0));
+    }
+}

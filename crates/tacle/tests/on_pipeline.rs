@@ -1,0 +1,20 @@
+//! The pipelined core must reproduce the kernels' reference checksums too —
+//! end-to-end verification of kernels × pipeline × memory system.
+
+use safedm_isa::Reg;
+use safedm_soc::{MpSoc, SocConfig};
+use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
+
+#[test]
+fn kernels_match_reference_on_pipeline() {
+    for k in kernels::all() {
+        let prog = build_kernel_program(k, &HarnessConfig::default());
+        let mut cfg = SocConfig::default();
+        cfg.cores = 1;
+        let mut soc = MpSoc::new(cfg);
+        soc.load_program(&prog);
+        let r = soc.run(60_000_000);
+        assert!(r.all_clean(), "{}: {:?}", k.name, r.exits);
+        assert_eq!(soc.core(0).reg(Reg::A0), (k.reference)(), "{}: checksum mismatch", k.name);
+    }
+}

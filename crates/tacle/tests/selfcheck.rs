@@ -1,0 +1,86 @@
+//! Every kernel, executed on the reference ISS, must reproduce its Rust
+//! reference checksum — this pins the hand-written assembly against an
+//! independent implementation.
+
+use safedm_isa::Reg;
+use safedm_soc::{CoreExit, Iss};
+use safedm_tacle::{build_kernel_program, kernels, HarnessConfig, StackMode, StaggerConfig};
+
+const BUDGET: u64 = 50_000_000;
+
+#[test]
+fn all_kernels_match_reference_on_iss() {
+    for k in kernels::all() {
+        let prog = build_kernel_program(k, &HarnessConfig::default());
+        let mut iss = Iss::new(0);
+        iss.load_program(&prog);
+        let exit = iss.run(BUDGET);
+        assert!(
+            matches!(exit, CoreExit::Ebreak { .. }),
+            "{}: unexpected exit {exit} after {} instructions",
+            k.name,
+            iss.executed()
+        );
+        let expected = (k.reference)();
+        assert_eq!(
+            iss.reg(Reg::A0),
+            expected,
+            "{}: checksum mismatch (asm {:#x} vs reference {:#x})",
+            k.name,
+            iss.reg(Reg::A0),
+            expected
+        );
+        // The epilogue stored the checksum to the result cell as well.
+        let result = prog.symbol("result").expect("result cell");
+        assert_eq!(iss.read_dword(result), expected, "{}: result cell mismatch", k.name);
+    }
+}
+
+#[test]
+fn kernels_are_nontrivial_but_bounded() {
+    for k in kernels::all() {
+        let prog = build_kernel_program(k, &HarnessConfig::default());
+        let mut iss = Iss::new(0);
+        iss.load_program(&prog);
+        iss.run(BUDGET);
+        let n = iss.executed();
+        assert!(n > 3_000, "{} too short: {n} instructions", k.name);
+        assert!(n < 3_000_000, "{} too long: {n} instructions", k.name);
+    }
+}
+
+#[test]
+fn stagger_sled_only_runs_on_delayed_hart() {
+    let k = kernels::by_name("bitcount").unwrap();
+    let cfg = HarnessConfig {
+        stagger: Some(StaggerConfig { nops: 500, delayed_core: 1 }),
+        stack: StackMode::Mirrored,
+    };
+    let prog = build_kernel_program(k, &cfg);
+    let run = |hart: usize| {
+        let mut iss = Iss::new(hart);
+        iss.load_program(&prog);
+        iss.run(BUDGET);
+        (iss.executed(), iss.reg(Reg::A0))
+    };
+    let (n0, r0) = run(0);
+    let (n1, r1) = run(1);
+    assert_eq!(r0, r1, "both harts compute the same checksum");
+    // delayed: li + taken beq + 500 nops; other: li + beq + j around the sled
+    assert_eq!(n1, n0 + 499, "delayed hart executes exactly the sled extra");
+}
+
+#[test]
+fn per_hart_stacks_differ_but_results_match() {
+    let k = kernels::by_name("recursion").unwrap();
+    let cfg = HarnessConfig { stagger: None, stack: StackMode::PerHart };
+    let prog = build_kernel_program(k, &cfg);
+    let run = |hart: usize| {
+        let mut iss = Iss::new(hart);
+        iss.load_program(&prog);
+        iss.run(BUDGET);
+        iss.reg(Reg::A0)
+    };
+    assert_eq!(run(0), run(1));
+    assert_eq!(run(0), (k.reference)());
+}

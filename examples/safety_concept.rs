@@ -1,0 +1,105 @@
+//! The ASIL-D safety concept built on top of SafeDM (paper, Section III-A):
+//! a periodic critical task (think 50 ms braking control) runs redundantly;
+//! when SafeDM raises the diversity-loss interrupt during a job, the RTOS
+//! **drops that job's actuation** (holding the previous command) — safe as
+//! long as drops do not exhaust the Fault Tolerant Time Interval (FTTI,
+//! e.g. 200 ms = 4 consecutive periods).
+//!
+//! ```text
+//! cargo run --release --example safety_concept
+//! ```
+
+use safedm::monitor::{MonitoredSoc, ReportMode, SafeDmConfig};
+use safedm::soc::SocConfig;
+use safedm::tacle::{build_kernel_program, kernels, HarnessConfig, StaggerConfig};
+
+/// FTTI expressed in consecutive droppable activations.
+const FTTI_JOBS: u32 = 4;
+const ACTIVATIONS: u64 = 24;
+
+/// Release offset the RTOS applies to the trail copy at each activation —
+/// a simple rotation: every fourth activation releases both copies in
+/// perfect sync (the risky case), the rest carry some incidental staggering
+/// (the paper's "unintended staggering" scenario, Section V-B).
+fn release_offset(activation: u64) -> usize {
+    [0usize, 120, 240, 360][(activation % 4) as usize]
+}
+
+fn main() {
+    let kernel = kernels::by_name("iir").expect("kernel exists");
+    let golden = (kernel.reference)();
+
+    let mut consecutive_drops = 0u32;
+    let mut worst_streak = 0u32;
+    let mut drops = 0u32;
+    let mut actuations = 0u32;
+
+    println!("periodic redundant task `{}` under the SafeDM safety concept", kernel.name);
+    println!("FTTI budget: {FTTI_JOBS} consecutive job drops");
+    println!();
+    println!("{:>4} {:>7} {:>9} {:>8} {:>8}  action", "job", "nops", "cycles", "no-div", "irq");
+
+    for activation in 0..ACTIVATIONS {
+        let nops = release_offset(activation);
+        let prog = build_kernel_program(
+            kernel,
+            &HarnessConfig {
+                stagger: (nops > 0).then_some(StaggerConfig { nops, delayed_core: 1 }),
+                ..HarnessConfig::default()
+            },
+        );
+        // Each activation sees slightly different platform state (DRAM
+        // phase); model it with the per-run jitter seed.
+        let mut soc_cfg = SocConfig::default();
+        soc_cfg.mem_jitter = 3;
+        soc_cfg.jitter_seed = activation;
+        let mut sys = MonitoredSoc::new(soc_cfg, SafeDmConfig::default());
+        sys.load_program(&prog);
+        // Program the monitor over its APB registers, driver-style:
+        // enabled, interrupt after 120 no-diversity cycles.
+        sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(
+            ReportMode::InterruptThreshold(0)) << 1));
+        sys.write_threshold(120);
+        let out = sys.run(100_000_000);
+        assert!(out.run.all_clean());
+
+        // Redundancy check first (the usual output comparison):
+        let r0 = sys.soc().core(0).reg(safedm::isa::Reg::A0);
+        let r1 = sys.soc().core(1).reg(safedm::isa::Reg::A0);
+        let outputs_agree = r0 == r1 && r0 == golden;
+
+        // SafeDM verdict: was the redundancy *trustworthy*?
+        let action = if !outputs_agree {
+            consecutive_drops += 1;
+            drops += 1;
+            "MISMATCH -> drop job, degrade"
+        } else if out.irq {
+            consecutive_drops += 1;
+            drops += 1;
+            "diversity lost -> drop job (hold previous actuation)"
+        } else {
+            consecutive_drops = 0;
+            actuations += 1;
+            "actuate"
+        };
+        worst_streak = worst_streak.max(consecutive_drops);
+        println!(
+            "{:>4} {:>7} {:>9} {:>8} {:>8}  {}",
+            activation, nops, out.run.cycles, out.no_div_cycles, out.irq, action
+        );
+        assert!(
+            consecutive_drops < FTTI_JOBS,
+            "FTTI exhausted: {consecutive_drops} consecutive drops"
+        );
+    }
+
+    println!();
+    println!(
+        "{actuations}/{ACTIVATIONS} jobs actuated, {drops} dropped, worst streak {worst_streak} \
+         (< FTTI {FTTI_JOBS})"
+    );
+    println!(
+        "the system stayed within its FTTI: diversity loss was detected and\n\
+         handled as a droppable error, never accumulating into a hazard."
+    );
+}

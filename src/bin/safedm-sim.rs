@@ -1,0 +1,203 @@
+//! `safedm-sim` — command-line driver for the monitored MPSoC.
+//!
+//! Assemble a RISC-V source file (or pick a built-in TACLe kernel), run it
+//! redundantly under SafeDM, and report the diversity verdict; optionally
+//! dump a VCD waveform or a commit trace.
+//!
+//! ```text
+//! safedm-sim program.s [--base 0x80000000] [--stagger N [--delayed-core C]]
+//!            [--vcd out.vcd [--vcd-cycles N]] [--trace N] [--json]
+//! safedm-sim --kernel bitcount [...]
+//! safedm-sim --list-kernels
+//! ```
+
+use std::process::ExitCode;
+
+use safedm::monitor::{MonitoredSoc, ReportMode, SafeDmConfig};
+use safedm::soc::{ProbeVcd, SocConfig};
+use safedm::tacle::{build_kernel_program, kernels, HarnessConfig, StaggerConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    }
+    .map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn usage() -> &'static str {
+    "usage: safedm-sim <program.s | --kernel NAME | --list-kernels>\n\
+     \x20      [--base ADDR] [--stagger NOPS [--delayed-core 0|1]]\n\
+     \x20      [--vcd FILE [--vcd-cycles N]] [--trace N] [--max-cycles N] [--json]"
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || arg_flag(&args, "--help") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    if arg_flag(&args, "--list-kernels") {
+        for k in kernels::all() {
+            println!("{}", k.name);
+        }
+        return Ok(());
+    }
+
+    let base = arg_value(&args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;
+    let stagger = arg_value(&args, "--stagger")
+        .map(|v| parse_u64(&v))
+        .transpose()?
+        .map(|nops| StaggerConfig {
+            nops: nops as usize,
+            delayed_core: arg_value(&args, "--delayed-core")
+                .map_or(Ok(1), |v| parse_u64(&v))
+                .map(|c| c as usize)
+                .unwrap_or(1),
+        });
+    let max_cycles =
+        arg_value(&args, "--max-cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
+
+    // Program source: a file path or a built-in kernel.
+    let (name, prog, golden) = if let Some(kname) = arg_value(&args, "--kernel") {
+        let k = kernels::by_name(&kname)
+            .ok_or_else(|| format!("unknown kernel `{kname}` (see --list-kernels)"))?;
+        let prog = build_kernel_program(k, &HarnessConfig { stagger, ..HarnessConfig::default() });
+        (kname, prog, Some((k.reference)()))
+    } else {
+        let path = args
+            .iter()
+            .find(|a| !a.starts_with("--") && !is_flag_value(&args, a))
+            .ok_or_else(|| usage().to_owned())?;
+        if stagger.is_some() {
+            return Err("--stagger is only supported with --kernel (the harness builds the sled)"
+                .to_owned());
+        }
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let prog = safedm::asm::assemble(&source, base).map_err(|e| e.to_string())?;
+        (path.clone(), prog, None)
+    };
+
+    let mut sys = MonitoredSoc::new(
+        SocConfig::default(),
+        SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },
+    );
+    sys.load_program(&prog);
+    // Program the APB CTRL register too (it overrides the config each cycle,
+    // as an RTOS write would).
+    sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(ReportMode::Polling) << 1));
+
+    let trace_n = arg_value(&args, "--trace").map(|v| parse_u64(&v)).transpose()?;
+    if let Some(n) = trace_n {
+        sys.soc_mut().core_mut(0).enable_commit_trace(n as usize);
+    }
+
+    // Optional VCD of the first N cycles.
+    let vcd_path = arg_value(&args, "--vcd");
+    let vcd_cycles =
+        arg_value(&args, "--vcd-cycles").map_or(Ok(4_096), |v| parse_u64(&v))?;
+    let mut vcd = vcd_path.as_ref().map(|_| {
+        let mut v = ProbeVcd::new(2, "safedm_sim");
+        let nd = v.add_channel("monitor.no_diversity", 1);
+        let diff = v.add_channel("monitor.instr_diff", 64);
+        (v, nd, diff)
+    });
+
+    let mut spent = 0u64;
+    while spent < max_cycles && !sys.soc().all_halted() {
+        let report = sys.step();
+        spent += 1;
+        if let Some((v, nd, diff)) = vcd.as_mut() {
+            if spent <= vcd_cycles {
+                v.set_channel(*nd, u64::from(report.no_diversity));
+                v.set_channel(*diff, sys.monitor().instruction_diff().value() as u64);
+                let (p0, p1) = (*sys.soc().probe(0), *sys.soc().probe(1));
+                v.sample(&[&p0, &p1]);
+            }
+        }
+    }
+    // Drain store buffers / finish the monitor.
+    let out = sys.run(max_cycles.saturating_sub(spent));
+    sys.monitor_mut().finish();
+
+    if let (Some((v, ..)), Some(path)) = (vcd, vcd_path.as_ref()) {
+        v.write_to(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if trace_n.is_some() {
+        eprintln!("--- commit trace (core 0, newest {} entries) ---", trace_n.unwrap_or(0));
+        for rec in sys.soc_mut().core_mut(0).take_commit_trace() {
+            eprintln!("{rec}");
+        }
+    }
+
+    let exits: Vec<String> =
+        (0..2).map(|c| sys.soc().core(c).exit().to_string()).collect();
+    let a0 = [sys.soc().core(0).reg(safedm::isa::Reg::A0),
+              sys.soc().core(1).reg(safedm::isa::Reg::A0)];
+    let c = sys.monitor().counters();
+    let zero_stag = sys.monitor().instruction_diff().zero_cycles();
+
+    if arg_flag(&args, "--json") {
+        println!(
+            "{{\"program\":\"{name}\",\"cycles\":{},\"observed\":{},\"zero_stag\":{zero_stag},\
+             \"no_div\":{},\"ds_match\":{},\"is_match\":{},\"a0\":[{},{}],\"irq\":{}}}",
+            spent + out.run.cycles,
+            c.cycles_observed,
+            c.no_div_cycles,
+            c.ds_match_cycles,
+            c.is_match_cycles,
+            a0[0],
+            a0[1],
+            sys.monitor().irq_pending(),
+        );
+    } else {
+        println!("program          : {name}");
+        println!("cycles           : {}", spent + out.run.cycles);
+        println!("exits            : {} / {}", exits[0], exits[1]);
+        println!("a0               : {:#x} / {:#x}", a0[0], a0[1]);
+        if let Some(g) = golden {
+            let ok = a0[0] == g && a0[1] == g;
+            println!("self-check       : {}", if ok { "PASS" } else { "FAIL" });
+        }
+        println!("monitored cycles : {}", c.cycles_observed);
+        println!("zero staggering  : {zero_stag}");
+        println!("no diversity     : {}", c.no_div_cycles);
+        println!("irq pending      : {}", sys.monitor().irq_pending());
+    }
+    if !sys.soc().all_halted() {
+        return Err("run did not complete within --max-cycles".to_owned());
+    }
+    Ok(())
+}
+
+/// Whether `tok` is the value of some `--flag value` pair (not a program
+/// path).
+fn is_flag_value(args: &[String], tok: &String) -> bool {
+    args.iter()
+        .position(|a| a == tok)
+        .and_then(|i| i.checked_sub(1))
+        .and_then(|i| args.get(i))
+        .is_some_and(|prev| prev.starts_with("--"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("safedm-sim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

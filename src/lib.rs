@@ -1,0 +1,58 @@
+//! # safedm — reproduction of *SafeDM: a Hardware Diversity Monitor for
+//! Redundant Execution on Non-Lockstepped Cores* (DATE 2022)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`isa`] | `safedm-isa` | RV64IM decode/encode/semantics |
+//! | [`asm`] | `safedm-asm` | programmatic assembler |
+//! | [`soc`] | `safedm-soc` | NOEL-V-like dual-issue 7-stage MPSoC model |
+//! | [`monitor`] | `safedm-core` | **SafeDM** itself + the SafeDE baseline |
+//! | [`tacle`] | `safedm-tacle` | the 29 TACLe-style kernels of Table I |
+//! | [`faults`] | `safedm-faults` | common-cause fault-injection campaigns |
+//! | [`power`] | `safedm-power` | FPGA area/power model (Section V-D) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use safedm::monitor::{MonitoredSoc, SafeDmConfig};
+//! use safedm::soc::SocConfig;
+//! use safedm::tacle::{build_kernel_program, kernels, HarnessConfig};
+//!
+//! let kernel = kernels::by_name("bitcount").unwrap();
+//! let prog = build_kernel_program(kernel, &HarnessConfig::default());
+//!
+//! let mut sys = MonitoredSoc::new(SocConfig::default(), SafeDmConfig::default());
+//! sys.load_program(&prog);
+//! let out = sys.run(50_000_000);
+//! assert!(out.run.all_clean());
+//! println!(
+//!     "zero-staggering cycles: {}, cycles without diversity: {}",
+//!     out.zero_stag_cycles, out.no_div_cycles
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+/// RV64IM instruction set (re-export of `safedm-isa`).
+pub use safedm_isa as isa;
+
+/// Programmatic assembler (re-export of `safedm-asm`).
+pub use safedm_asm as asm;
+
+/// MPSoC platform model (re-export of `safedm-soc`).
+pub use safedm_soc as soc;
+
+/// The SafeDM diversity monitor and SafeDE baseline (re-export of
+/// `safedm-core`).
+pub use safedm_core as monitor;
+
+/// TACLe-style benchmark kernels (re-export of `safedm-tacle`).
+pub use safedm_tacle as tacle;
+
+/// Fault-injection campaigns (re-export of `safedm-faults`).
+pub use safedm_faults as faults;
+
+/// FPGA area and power model (re-export of `safedm-power`).
+pub use safedm_power as power;

@@ -1,0 +1,143 @@
+//! Property tests of the SafeDM monitor over random probe streams.
+
+use proptest::prelude::*;
+use safedm::monitor::{SafeDm, SafeDmConfig};
+use safedm::soc::{CoreProbe, PortSample, StageSlot, PIPE_STAGES, PIPE_WIDTH, READ_PORTS};
+
+#[derive(Debug, Clone)]
+struct ProbeStep {
+    hold: bool,
+    reads: Vec<(bool, u64)>,
+    stage_raws: Vec<(usize, usize, bool, u32)>,
+    committed: u8,
+}
+
+fn any_step() -> impl Strategy<Value = ProbeStep> {
+    (
+        proptest::bool::weighted(0.15),
+        proptest::collection::vec((any::<bool>(), any::<u64>()), READ_PORTS),
+        proptest::collection::vec(
+            (0..PIPE_STAGES, 0..PIPE_WIDTH, any::<bool>(), any::<u32>()),
+            0..6,
+        ),
+        0u8..=2,
+    )
+        .prop_map(|(hold, reads, stage_raws, committed)| ProbeStep {
+            hold,
+            reads,
+            stage_raws,
+            committed,
+        })
+}
+
+fn apply(prev: &CoreProbe, step: &ProbeStep) -> CoreProbe {
+    let mut p = *prev;
+    p.hold = step.hold;
+    p.committed = step.committed;
+    if !step.hold {
+        for (i, (en, v)) in step.reads.iter().enumerate() {
+            p.reads[i] = PortSample { enable: *en, value: *v };
+        }
+        for (s, w, valid, raw) in &step.stage_raws {
+            p.stages[*s][*w] = StageSlot { valid: *valid, raw: *raw };
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Feeding the identical stream to both inputs flags every cycle —
+    /// the no-false-negative property over arbitrary activity.
+    #[test]
+    fn identical_streams_always_flagged(steps in proptest::collection::vec(any_step(), 1..80)) {
+        let mut dm = SafeDm::new(SafeDmConfig::default());
+        let mut probe = CoreProbe::default();
+        for step in &steps {
+            probe = apply(&probe, step);
+            let r = dm.observe(&probe.clone(), &probe);
+            prop_assert!(r.no_diversity);
+        }
+        prop_assert_eq!(dm.counters().no_div_cycles, steps.len() as u64);
+    }
+
+    /// Counter lattice: no-div <= each match count <= observed; episode
+    /// histograms account exactly for their counters after finish().
+    #[test]
+    fn counters_are_consistent(
+        a in proptest::collection::vec(any_step(), 1..80),
+        b in proptest::collection::vec(any_step(), 1..80),
+    ) {
+        let n = a.len().min(b.len());
+        let mut dm = SafeDm::new(SafeDmConfig::default());
+        let (mut pa, mut pb) = (CoreProbe::default(), CoreProbe::default());
+        for i in 0..n {
+            pa = apply(&pa, &a[i]);
+            pb = apply(&pb, &b[i]);
+            dm.observe(&pa, &pb);
+        }
+        dm.finish();
+        let c = dm.counters();
+        prop_assert!(c.no_div_cycles <= c.ds_match_cycles);
+        prop_assert!(c.no_div_cycles <= c.is_match_cycles);
+        prop_assert!(c.ds_match_cycles <= c.cycles_observed);
+        prop_assert!(c.is_match_cycles <= c.cycles_observed);
+        prop_assert_eq!(c.cycles_observed, n as u64);
+        prop_assert_eq!(dm.no_diversity_history().total_cycles(), c.no_div_cycles);
+        prop_assert_eq!(dm.ds_match_history().total_cycles(), c.ds_match_cycles);
+        prop_assert_eq!(dm.is_match_history().total_cycles(), c.is_match_cycles);
+        prop_assert!(dm.max_no_div_run() <= c.no_div_cycles);
+    }
+
+    /// The IRQ line is monotone in InterruptFirst mode: once raised it
+    /// stays raised until cleared, and it is raised iff no-div occurred.
+    #[test]
+    fn irq_first_mode_fires_iff_no_div(
+        a in proptest::collection::vec(any_step(), 1..60),
+        b in proptest::collection::vec(any_step(), 1..60),
+    ) {
+        let n = a.len().min(b.len());
+        let mut dm = SafeDm::new(SafeDmConfig::default());
+        let (mut pa, mut pb) = (CoreProbe::default(), CoreProbe::default());
+        let mut was_pending = false;
+        for i in 0..n {
+            pa = apply(&pa, &a[i]);
+            pb = apply(&pb, &b[i]);
+            dm.observe(&pa, &pb);
+            prop_assert!(!was_pending || dm.irq_pending(), "irq must latch");
+            was_pending = dm.irq_pending();
+        }
+        prop_assert_eq!(dm.irq_pending(), dm.counters().no_div_cycles > 0);
+    }
+
+    /// A single divergent data cycle suppresses the flag for at least the
+    /// FIFO depth, regardless of what identical traffic follows.
+    #[test]
+    fn divergence_protects_for_fifo_depth(
+        depth in 1usize..12,
+        tail in proptest::collection::vec(any_step(), 12..40),
+    ) {
+        let cfg = SafeDmConfig { data_fifo_depth: depth, ..SafeDmConfig::default() };
+        let mut dm = SafeDm::new(cfg);
+        // one divergent cycle (port value differs)
+        let mut pa = CoreProbe::default();
+        pa.reads[0] = PortSample { enable: true, value: 1 };
+        let mut pb = pa;
+        pb.reads[0].value = 2;
+        dm.observe(&pa, &pb);
+        // identical (non-hold) traffic afterwards
+        let mut probe = CoreProbe::default();
+        let mut shifted = 0usize;
+        for step in &tail {
+            let mut s = step.clone();
+            s.hold = false;
+            probe = apply(&probe, &s);
+            let r = dm.observe(&probe.clone(), &probe);
+            shifted += 1;
+            if shifted < depth {
+                prop_assert!(!r.ds_match, "divergent sample must persist {depth} cycles");
+            }
+        }
+    }
+}
