@@ -1,0 +1,463 @@
+//! Decoded-program representation, control-flow graph construction,
+//! dominators and natural-loop detection.
+//!
+//! The CFG is built over the **linked text section** of a
+//! [`Program`](safedm_asm::Program): every 32-bit word is decoded with
+//! [`safedm_isa::decode`] and split into basic blocks at branch targets and
+//! after control-flow instructions. Calls (`jal` with a link register) are
+//! modelled with both a *target* edge and an abstract *return* edge to the
+//! fall-through instruction, so loops inside and around callees stay visible
+//! without interprocedural analysis. Indirect jumps (`jalr` other than `ret`)
+//! conservatively end their block with no static successors.
+
+use std::collections::BTreeSet;
+
+use safedm_asm::Program;
+use safedm_isa::{decode, Inst, INST_BYTES};
+
+/// One decoded instruction slot of the text section.
+#[derive(Debug, Clone, Copy)]
+pub struct Slot {
+    /// Address of the instruction.
+    pub pc: u64,
+    /// Raw 32-bit encoding as fetched.
+    pub raw: u32,
+    /// Decoded form, or `None` when the word does not decode (data embedded
+    /// in the text section, or a corrupt image).
+    pub inst: Option<Inst>,
+}
+
+/// The text section decoded into addressable instruction slots.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    /// Base address of the text section.
+    pub text_base: u64,
+    /// Program entry point.
+    pub entry: u64,
+    /// One slot per 32-bit word, in address order.
+    pub slots: Vec<Slot>,
+}
+
+impl DecodedProgram {
+    /// Decodes the text section of a linked program.
+    #[must_use]
+    pub fn from_program(prog: &Program) -> DecodedProgram {
+        let slots =
+            prog.words().map(|(pc, raw)| Slot { pc, raw, inst: decode(raw).ok() }).collect();
+        DecodedProgram { text_base: prog.text_base, entry: prog.entry, slots }
+    }
+
+    /// Index of the slot holding `pc`, when `pc` is a word-aligned address
+    /// inside the text section.
+    #[must_use]
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
+        if pc < self.text_base || !(pc - self.text_base).is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let idx = ((pc - self.text_base) / INST_BYTES) as usize;
+        (idx < self.slots.len()).then_some(idx)
+    }
+
+    /// Address of slot `idx`.
+    #[must_use]
+    pub fn pc_of(&self, idx: usize) -> u64 {
+        self.text_base + (idx as u64) * INST_BYTES
+    }
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Execution continues into the next block.
+    FallThrough,
+    /// Conditional branch: taken edge plus fall-through edge.
+    Branch,
+    /// Unconditional direct jump (`jal`); a linking jump also gets an
+    /// abstract return edge to its fall-through.
+    Jump,
+    /// Indirect jump (`jalr`). `ret` and other indirect targets are not
+    /// resolved statically, so the block has no successors (except the
+    /// abstract return edge already placed at the matching call site).
+    IndirectJump,
+    /// `ecall`/`ebreak` (program exit on this platform) or an undecodable
+    /// word.
+    Halt,
+}
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Index of this block in [`Cfg::blocks`].
+    pub id: usize,
+    /// First slot index (inclusive).
+    pub start: usize,
+    /// One past the last slot index.
+    pub end: usize,
+    /// How the block ends.
+    pub term: Terminator,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Number of instruction slots in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block holds no slots (never true for constructed CFGs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Block id of the loop header (the back-edge target, which dominates
+    /// every block of the loop).
+    pub header: usize,
+    /// Ids of the blocks whose back edges close this loop.
+    pub latches: Vec<usize>,
+    /// All block ids in the loop body, header included.
+    pub blocks: BTreeSet<usize>,
+    /// Total instruction slots across the body.
+    pub insts: usize,
+}
+
+/// Control-flow graph over a [`DecodedProgram`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in address order.
+    pub blocks: Vec<BasicBlock>,
+    /// Block id containing the program entry point, when the entry lies in
+    /// the text section.
+    pub entry_block: Option<usize>,
+    /// Natural loops, innermost-last, discovered from dominator back edges.
+    pub loops: Vec<NaturalLoop>,
+}
+
+/// Direct control-flow targets of the instruction at `pc`, as slot-relative
+/// addresses. Returns `(targets, falls_through)`.
+fn flow_targets(pc: u64, inst: &Inst) -> (Vec<u64>, bool) {
+    match *inst {
+        Inst::Jal { rd, offset } => {
+            let target = pc.wrapping_add(offset as u64);
+            // A linking jump is a call: model the callee's eventual return
+            // with an abstract fall-through edge.
+            (vec![target], !rd.is_zero())
+        }
+        Inst::Branch { offset, .. } => (vec![pc.wrapping_add(offset as u64)], true),
+        Inst::Jalr { .. } | Inst::Ecall | Inst::Ebreak => (vec![], false),
+        _ => (vec![], true),
+    }
+}
+
+impl Cfg {
+    /// Builds the CFG, dominator tree and natural loops for a decoded
+    /// program.
+    #[must_use]
+    pub fn build(prog: &DecodedProgram) -> Cfg {
+        if prog.slots.is_empty() {
+            return Cfg { blocks: vec![], entry_block: None, loops: vec![] };
+        }
+        let n = prog.slots.len();
+
+        // --- leaders -----------------------------------------------------
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        if let Some(e) = prog.index_of(prog.entry) {
+            leader[e] = true;
+        }
+        for (i, slot) in prog.slots.iter().enumerate() {
+            let Some(inst) = slot.inst else {
+                // Undecodable word: traps, so the next slot starts fresh.
+                if i + 1 < n {
+                    leader[i + 1] = true;
+                }
+                continue;
+            };
+            if inst.is_control_flow() || matches!(inst, Inst::Ecall | Inst::Ebreak) {
+                if i + 1 < n {
+                    leader[i + 1] = true;
+                }
+                let (targets, _) = flow_targets(slot.pc, &inst);
+                for t in targets {
+                    if let Some(ti) = prog.index_of(t) {
+                        leader[ti] = true;
+                    }
+                }
+            }
+        }
+
+        // --- blocks ------------------------------------------------------
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for i in 0..n {
+            if i + 1 == n || leader[i + 1] {
+                let id = blocks.len();
+                let term = match prog.slots[i].inst {
+                    None | Some(Inst::Ecall | Inst::Ebreak) => Terminator::Halt,
+                    Some(Inst::Branch { .. }) => Terminator::Branch,
+                    Some(Inst::Jal { .. }) => Terminator::Jump,
+                    Some(Inst::Jalr { .. }) => Terminator::IndirectJump,
+                    Some(_) => Terminator::FallThrough,
+                };
+                blocks.push(BasicBlock {
+                    id,
+                    start,
+                    end: i + 1,
+                    term,
+                    succs: vec![],
+                    preds: vec![],
+                });
+                for b in &mut block_of[start..=i] {
+                    *b = id;
+                }
+                start = i + 1;
+            }
+        }
+
+        // --- edges -------------------------------------------------------
+        for bid in 0..blocks.len() {
+            let last = blocks[bid].end - 1;
+            let slot = prog.slots[last];
+            let mut succs: Vec<usize> = Vec::new();
+            if let Some(inst) = slot.inst {
+                let (targets, falls) = flow_targets(slot.pc, &inst);
+                for t in targets {
+                    if let Some(ti) = prog.index_of(t) {
+                        succs.push(block_of[ti]);
+                    }
+                }
+                if falls && last + 1 < n {
+                    succs.push(block_of[last + 1]);
+                }
+            }
+            succs.dedup();
+            for &s in &succs {
+                blocks[s].preds.push(bid);
+            }
+            blocks[bid].succs = succs;
+        }
+
+        let entry_block = prog.index_of(prog.entry).map(|i| block_of[i]);
+        let loops = find_loops(&blocks, entry_block);
+        Cfg { blocks, entry_block, loops }
+    }
+
+    /// The block containing slot index `idx`, when any.
+    #[must_use]
+    pub fn block_of_slot(&self, idx: usize) -> Option<usize> {
+        self.blocks.iter().find(|b| b.start <= idx && idx < b.end).map(|b| b.id)
+    }
+}
+
+/// Iterative dominator computation (Cooper–Harvey–Kennedy) followed by
+/// back-edge discovery and natural-loop body collection.
+fn find_loops(blocks: &[BasicBlock], entry_block: Option<usize>) -> Vec<NaturalLoop> {
+    let Some(entry) = entry_block else { return vec![] };
+    let n = blocks.len();
+
+    // Reverse postorder over blocks reachable from the entry.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    state[entry] = 1;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        if *next < blocks[b].succs.len() {
+            let s = blocks[b].succs[*next];
+            *next += 1;
+            if state[s] == 0 {
+                state[s] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b] = 2;
+            order.push(b);
+            stack.pop();
+        }
+    }
+    order.reverse();
+
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        rpo_index[b] = i;
+    }
+
+    let mut idom = vec![usize::MAX; n];
+    idom[entry] = entry;
+    let intersect = |idom: &[usize], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while rpo_index[a] > rpo_index[b] {
+                a = idom[a];
+            }
+            while rpo_index[b] > rpo_index[a] {
+                b = idom[b];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom = usize::MAX;
+            for &p in &blocks[b].preds {
+                if idom[p] == usize::MAX {
+                    continue;
+                }
+                new_idom = if new_idom == usize::MAX { p } else { intersect(&idom, new_idom, p) };
+            }
+            if new_idom != usize::MAX && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    let dominates = |a: usize, b: usize| -> bool {
+        let mut x = b;
+        loop {
+            if x == a {
+                return true;
+            }
+            if x == entry || idom[x] == usize::MAX || idom[x] == x {
+                return x == a;
+            }
+            x = idom[x];
+        }
+    };
+
+    // Back edges and loop bodies, grouped by header.
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for b in 0..n {
+        if idom[b] == usize::MAX && b != entry {
+            continue; // unreachable
+        }
+        for &s in &blocks[b].succs {
+            if !dominates(s, b) {
+                continue;
+            }
+            let header = s;
+            // Collect the body: everything reaching the latch backwards
+            // without passing through the header.
+            let mut body: BTreeSet<usize> = BTreeSet::new();
+            body.insert(header);
+            let mut work = vec![b];
+            while let Some(x) = work.pop() {
+                if body.insert(x) {
+                    work.extend(blocks[x].preds.iter().copied());
+                }
+            }
+            if let Some(l) = loops.iter_mut().find(|l| l.header == header) {
+                l.latches.push(b);
+                l.blocks.extend(body);
+                l.insts = l.blocks.iter().map(|&x| blocks[x].len()).sum();
+            } else {
+                let insts = body.iter().map(|&x| blocks[x].len()).sum();
+                loops.push(NaturalLoop { header, latches: vec![b], blocks: body, insts });
+            }
+        }
+    }
+    loops.sort_by_key(|l| blocks[l.header].start);
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_asm::Asm;
+    use safedm_isa::Reg;
+
+    fn build(f: impl FnOnce(&mut Asm)) -> DecodedProgram {
+        let mut a = Asm::new();
+        f(&mut a);
+        DecodedProgram::from_program(&a.link(0x8000_0000).unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = build(|a| {
+            a.nop();
+            a.nop();
+            a.ebreak();
+        });
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].term, Terminator::Halt);
+        assert!(cfg.loops.is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_detected() {
+        let p = build(|a| {
+            a.nop();
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.j(l);
+        });
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.loops.len(), 1);
+        let lp = &cfg.loops[0];
+        assert_eq!(lp.blocks.len(), 1);
+        assert_eq!(lp.insts, 1);
+    }
+
+    #[test]
+    fn counted_loop_blocks_and_edges() {
+        let p = build(|a| {
+            a.li(Reg::T0, 4);
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, l);
+            a.ebreak();
+        });
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.loops.len(), 1);
+        let lp = &cfg.loops[0];
+        assert_eq!(lp.insts, 2);
+        // Every edge target is a decoded slot boundary.
+        for b in &cfg.blocks {
+            for &s in &b.succs {
+                assert!(p.index_of(p.pc_of(cfg.blocks[s].start)).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn call_gets_return_edge() {
+        let p = build(|a| {
+            let f = a.new_label("f");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.ret();
+        });
+        let cfg = Cfg::build(&p);
+        let entry = cfg.entry_block.unwrap();
+        // The call block has two successors: the callee and the abstract
+        // return to the ebreak block.
+        assert_eq!(cfg.blocks[entry].succs.len(), 2);
+        // `ret` (jalr) has no static successors.
+        let ret_block = cfg.blocks.iter().find(|b| b.term == Terminator::IndirectJump).unwrap();
+        assert!(ret_block.succs.is_empty());
+    }
+
+    #[test]
+    fn undecodable_word_halts_block() {
+        let mut a = Asm::new();
+        a.nop();
+        a.word(0xffff_ffff);
+        a.nop();
+        let p = DecodedProgram::from_program(&a.link(0x8000_0000).unwrap());
+        let cfg = Cfg::build(&p);
+        assert!(cfg.blocks.iter().any(|b| b.term == Terminator::Halt));
+    }
+}

@@ -1,0 +1,209 @@
+//! Lint diagnostics and their rustc-style text rendering.
+
+use std::fmt;
+
+use crate::cfg::DecodedProgram;
+
+/// Stable identifier of a diversity lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// Cycle-periodic loop: register-port traffic repeats with a fixed
+    /// period, so the data signatures of two cores staggered by a multiple
+    /// of the period are guaranteed to collide.
+    Div001,
+    /// Identical-instruction sled long enough to fill both pipelines with
+    /// the same opcodes, guaranteeing an instruction-signature collision for
+    /// small staggering.
+    Div002,
+    /// Data-independent loop: no input-derived value reaches the body, so
+    /// redundant cores compute identical register traffic and diversity
+    /// relies on staggering alone.
+    Div003,
+    /// The configured staggering is unsafe against a hazard found by
+    /// DIV001/DIV002 (multiple of a loop period, or smaller than a sled's
+    /// minimum safe stagger).
+    Div004,
+}
+
+impl LintCode {
+    /// All lint codes, in numeric order.
+    pub const ALL: [LintCode; 4] =
+        [LintCode::Div001, LintCode::Div002, LintCode::Div003, LintCode::Div004];
+
+    /// Short human description of what the lint detects.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintCode::Div001 => "cycle-periodic loop (guaranteed data-signature collision)",
+            LintCode::Div002 => {
+                "identical-instruction sled (guaranteed instruction-signature collision)"
+            }
+            LintCode::Div003 => "data-independent loop (diversity relies on staggering alone)",
+            LintCode::Div004 => "configured staggering defeated by a detected hazard",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LintCode::Div001 => "DIV001",
+            LintCode::Div002 => "DIV002",
+            LintCode::Div003 => "DIV003",
+            LintCode::Div004 => "DIV004",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How certain / severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational.
+    Note,
+    /// Likely hazard, not guaranteed.
+    Warning,
+    /// Guaranteed no-diversity hazard under the stated conditions.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A half-open PC range `[start, end)` in the text section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcSpan {
+    /// First instruction address of the region.
+    pub start: u64,
+    /// One past the last instruction address.
+    pub end: u64,
+}
+
+impl PcSpan {
+    /// Number of 32-bit instruction slots covered.
+    #[must_use]
+    pub fn insts(&self) -> u64 {
+        (self.end - self.start) / 4
+    }
+
+    /// Whether `pc` falls inside the span.
+    #[must_use]
+    pub fn contains(&self, pc: u64) -> bool {
+        self.start <= pc && pc < self.end
+    }
+}
+
+impl fmt::Display for PcSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}..{:#x}", self.start, self.end)
+    }
+}
+
+/// One finding of the static diversity analyzer.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// How severe the finding is.
+    pub severity: Severity,
+    /// The program region the finding is anchored to.
+    pub span: PcSpan,
+    /// One-line description.
+    pub message: String,
+    /// Additional `= note:` / `= help:` lines.
+    pub notes: Vec<String>,
+    /// Traffic period in instructions, for periodic-loop findings.
+    pub period: Option<u64>,
+    /// Minimum staggering (in committed instructions) that clears the
+    /// hazard, when one exists.
+    pub min_safe_stagger: Option<u64>,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in rustc style, with a disassembly snippet
+    /// taken from `prog` (at most `snippet_lines` lines shown).
+    #[must_use]
+    pub fn render(&self, prog: &DecodedProgram, snippet_lines: usize) -> String {
+        let mut out = String::new();
+        use fmt::Write;
+        let _ = writeln!(out, "{}[{}]: {}", self.severity, self.code, self.message);
+        let _ = writeln!(out, "  --> {} ({} instructions)", self.span, self.span.insts());
+        let _ = writeln!(out, "   |");
+
+        let lines: Vec<String> = (self.span.start..self.span.end)
+            .step_by(4)
+            .filter_map(|pc| prog.index_of(pc))
+            .map(|idx| {
+                let slot = prog.slots[idx];
+                match slot.inst {
+                    Some(inst) => format!("   | {:#010x}: {}", slot.pc, inst),
+                    None => format!("   | {:#010x}: .word {:#010x}", slot.pc, slot.raw),
+                }
+            })
+            .collect();
+        if lines.len() <= snippet_lines.max(2) {
+            for l in &lines {
+                let _ = writeln!(out, "{l}");
+            }
+        } else {
+            let head = snippet_lines.max(2) - 1;
+            for l in &lines[..head] {
+                let _ = writeln!(out, "{l}");
+            }
+            let _ = writeln!(out, "   | ... ({} more)", lines.len() - head - 1);
+            let _ = writeln!(out, "{}", lines[lines.len() - 1]);
+        }
+        let _ = writeln!(out, "   |");
+        for n in &self.notes {
+            let _ = writeln!(out, "   = {n}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_asm::Asm;
+
+    #[test]
+    fn span_contains_and_len() {
+        let s = PcSpan { start: 0x100, end: 0x110 };
+        assert_eq!(s.insts(), 4);
+        assert!(s.contains(0x100));
+        assert!(s.contains(0x10c));
+        assert!(!s.contains(0x110));
+    }
+
+    #[test]
+    fn render_elides_long_snippets() {
+        let mut a = Asm::new();
+        for _ in 0..32 {
+            a.nop();
+        }
+        a.ebreak();
+        let prog = DecodedProgram::from_program(&a.link(0x1000).unwrap());
+        let d = Diagnostic {
+            code: LintCode::Div002,
+            severity: Severity::Error,
+            span: PcSpan { start: 0x1000, end: 0x1000 + 32 * 4 },
+            message: "sled".into(),
+            notes: vec!["note: test".into()],
+            period: None,
+            min_safe_stagger: Some(19),
+        };
+        let r = d.render(&prog, 6);
+        assert!(r.contains("error[DIV002]"));
+        assert!(r.contains("(32 instructions)"));
+        assert!(r.contains("more)"));
+        assert!(r.lines().count() < 16);
+    }
+}

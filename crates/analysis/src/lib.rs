@@ -1,0 +1,217 @@
+//! # safedm-analysis — static diversity analyzer
+//!
+//! A CFG/dataflow lint pass that predicts **no-diversity hazards** in a
+//! linked [`Program`](safedm_asm::Program) *before* it ever runs under the
+//! SafeDM monitor.
+//!
+//! SafeDM (DATE 2022) measures diversity between two redundant cores by
+//! comparing per-cycle *data signatures* (register-port traffic over the
+//! last *n* cycles) and *instruction signatures* (pipeline-stage opcode
+//! occupancy). Some code shapes make those signatures collide no matter how
+//! the cores are scheduled — idle loops, nop sleds, constant-traffic spins —
+//! and this crate finds them statically:
+//!
+//! | lint | severity | finding |
+//! |---|---|---|
+//! | `DIV001` | error | cycle-periodic loop: traffic repeats with period *p* ≤ FIFO depth — guaranteed data-signature collision at stagger ≡ 0 (mod *p*) |
+//! | `DIV002` | error | identical-instruction sled longer than the pipeline — guaranteed instruction-signature collision below its minimum safe stagger |
+//! | `DIV003` | warning | data-independent loop: no load/CSR-derived value reaches the body, so redundant cores compute identical traffic |
+//! | `DIV004` | error | the configured staggering is defeated by a DIV001/DIV002 hazard |
+//!
+//! The pipeline: [`cfg::DecodedProgram`] decodes the text section,
+//! [`cfg::Cfg`] builds basic blocks / dominators / natural loops, the
+//! [`dataflow`] passes (reaching definitions, constant propagation,
+//! liveness, input taint) feed [`lints`], and findings come back as
+//! rustc-style [`diag::Diagnostic`]s.
+//!
+//! ```
+//! use safedm_analysis::{analyze, AnalysisConfig, LintCode};
+//! use safedm_asm::Asm;
+//!
+//! let mut a = Asm::new();
+//! let spin = a.new_label("spin");
+//! a.bind(spin).unwrap();
+//! a.nop();
+//! a.j(spin);
+//! let prog = a.link(0x8000_0000).unwrap();
+//!
+//! let report = analyze(&prog, &AnalysisConfig::default());
+//! assert!(report.diagnostics.iter().any(|d| d.code == LintCode::Div001));
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod diag;
+pub mod lints;
+
+pub use cfg::{BasicBlock, Cfg, DecodedProgram, NaturalLoop, Slot, Terminator};
+pub use dataflow::{ConstProp, ConstVal, Liveness, LoopTraffic, ReachingDefs, Taint};
+pub use diag::{Diagnostic, LintCode, PcSpan, Severity};
+
+use safedm_asm::Program;
+use safedm_soc::{PIPE_STAGES, PIPE_WIDTH};
+
+/// Tunables of the analyzer, mirroring the monitored platform.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Depth *n* of the data-signature FIFO (cycles of port traffic per
+    /// signature). Mirrors `SafeDmConfig::data_fifo_depth`.
+    pub fifo_depth: usize,
+    /// Total pipeline slots per core (stages x issue width); an identical
+    /// sled at least this long fills the whole instruction signature.
+    pub pipeline_slots: usize,
+    /// Staggering the run is configured with (nops delaying one core), when
+    /// known. Enables the DIV004 cross-check.
+    pub stagger_nops: Option<u64>,
+    /// Maximum disassembly lines per rendered snippet.
+    pub snippet_lines: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            fifo_depth: 8,
+            pipeline_slots: PIPE_STAGES * PIPE_WIDTH,
+            stagger_nops: None,
+            snippet_lines: 6,
+        }
+    }
+}
+
+/// Everything the analyzer learned about one program.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The decoded text section the findings refer to.
+    pub program: DecodedProgram,
+    /// Control-flow graph with dominator-derived natural loops.
+    pub cfg: Cfg,
+    /// The configuration the analysis ran with.
+    pub config: AnalysisConfig,
+    /// All findings, sorted by address.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Findings with [`Severity::Error`].
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Findings with [`Severity::Warning`].
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// The *guaranteed* hazards (DIV001/DIV002): regions where the monitor
+    /// must observe no-diversity cycles when both cores execute them in
+    /// lockstep (stagger 0). These are the findings the `safedm-core`
+    /// pre-run gate cross-validates.
+    pub fn guaranteed_hazards(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| matches!(d.code, LintCode::Div001 | LintCode::Div002))
+    }
+
+    /// Minimum staggering (committed instructions) clearing every sled
+    /// hazard, i.e. the maximum of the per-sled minima (0 when no sleds).
+    #[must_use]
+    pub fn min_safe_stagger(&self) -> u64 {
+        self.diagnostics.iter().filter_map(|d| d.min_safe_stagger).max().unwrap_or(0)
+    }
+
+    /// Traffic periods of the periodic loops found; safe staggers must avoid
+    /// every multiple of each.
+    #[must_use]
+    pub fn hazardous_periods(&self) -> Vec<u64> {
+        let mut p: Vec<u64> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::Div001)
+            .filter_map(|d| d.period)
+            .collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    }
+
+    /// Renders every diagnostic plus a one-line summary, rustc style.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(&self.program, self.config.snippet_lines));
+            out.push('\n');
+        }
+        let summary = self.summary_line();
+        out.push_str(&summary);
+        out.push('\n');
+        out
+    }
+
+    /// The trailing summary line of [`AnalysisReport::render`].
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "analysis: {} instructions, {} blocks, {} loops; {} errors, {} warnings; \
+             min safe stagger {} insts{}",
+            self.program.slots.len(),
+            self.cfg.blocks.len(),
+            self.cfg.loops.len(),
+            self.error_count(),
+            self.warning_count(),
+            self.min_safe_stagger(),
+            if self.hazardous_periods().is_empty() {
+                String::new()
+            } else {
+                format!(", avoid stagger multiples of {:?}", self.hazardous_periods())
+            }
+        )
+    }
+}
+
+/// Runs the full static diversity analysis on a linked program.
+#[must_use]
+pub fn analyze(prog: &Program, config: &AnalysisConfig) -> AnalysisReport {
+    let program = DecodedProgram::from_program(prog);
+    let cfg = Cfg::build(&program);
+    let diagnostics = lints::run_lints(&program, &cfg, config);
+    AnalysisReport { program, cfg, config: config.clone(), diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_asm::Asm;
+
+    #[test]
+    fn report_summarizes_and_renders() {
+        let mut a = Asm::new();
+        a.nops(20);
+        let l = a.new_label("l");
+        a.bind(l).unwrap();
+        a.j(l);
+        let prog = a.link(0x8000_0000).unwrap();
+        let report = analyze(&prog, &AnalysisConfig::default());
+        assert!(report.error_count() >= 2, "{}", report.render());
+        assert!(report.min_safe_stagger() >= 7);
+        assert_eq!(report.hazardous_periods(), vec![1]);
+        let text = report.render();
+        assert!(text.contains("DIV001") && text.contains("DIV002"));
+        assert!(text.contains("min safe stagger"));
+    }
+
+    #[test]
+    fn clean_program_has_no_guaranteed_hazards() {
+        let mut a = Asm::new();
+        a.li(safedm_isa::Reg::A0, 0x8010_0000);
+        a.lw(safedm_isa::Reg::T0, 0, safedm_isa::Reg::A0);
+        a.addi(safedm_isa::Reg::T0, safedm_isa::Reg::T0, 1);
+        a.ebreak();
+        let prog = a.link(0x8000_0000).unwrap();
+        let report = analyze(&prog, &AnalysisConfig::default());
+        assert_eq!(report.guaranteed_hazards().count(), 0, "{}", report.render());
+    }
+}

@@ -1,0 +1,389 @@
+//! The diversity lints: DIV001–DIV004.
+//!
+//! Each lint turns facts from the CFG and dataflow passes into
+//! [`Diagnostic`]s predicting where the SafeDM runtime monitor would see no
+//! diversity between two redundant cores. The lints only *predict* hazards —
+//! the `safedm-core` pre-run gate cross-validates guaranteed findings
+//! against the cycle-accurate monitor.
+
+use safedm_isa::Reg;
+
+use crate::cfg::{Cfg, DecodedProgram};
+use crate::dataflow::{ConstProp, LoopTraffic, Taint};
+use crate::diag::{Diagnostic, LintCode, PcSpan, Severity};
+use crate::AnalysisConfig;
+
+fn reg_list(mask: u32) -> String {
+    let names: Vec<&str> =
+        (1..32u8).filter(|r| mask & (1 << r) != 0).map(|r| Reg::new(r).abi_name()).collect();
+    names.join(", ")
+}
+
+fn loop_span(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    blocks: &std::collections::BTreeSet<usize>,
+) -> PcSpan {
+    let start = blocks.iter().map(|&b| cfg.blocks[b].start).min().unwrap_or(0);
+    let end = blocks.iter().map(|&b| cfg.blocks[b].end).max().unwrap_or(0);
+    PcSpan { start: prog.pc_of(start), end: prog.pc_of(end) }
+}
+
+/// Runs every lint and returns the findings sorted by address then code.
+#[must_use]
+pub fn run_lints(prog: &DecodedProgram, cfg: &Cfg, config: &AnalysisConfig) -> Vec<Diagnostic> {
+    let taint = Taint::compute(prog, cfg);
+    let constprop = ConstProp::compute(prog, cfg);
+
+    let mut diags = Vec::new();
+    lint_loops(prog, cfg, config, &taint, &constprop, &mut diags);
+    lint_sleds(prog, cfg, config, &mut diags);
+    lint_stagger(config, &mut diags);
+    diags.sort_by_key(|d| (d.span.start, d.code));
+    diags
+}
+
+/// DIV001 + DIV003: per-loop traffic classification.
+fn lint_loops(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    config: &AnalysisConfig,
+    taint: &Taint,
+    constprop: &ConstProp,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for lp in &cfg.loops {
+        let t = LoopTraffic::analyze(prog, cfg, lp, taint, constprop);
+        let span = loop_span(prog, cfg, &lp.blocks);
+
+        // DIV001: fully iteration-invariant traffic — every register read
+        // and write repeats identically each time around, so the data
+        // signature stream is periodic with the loop period.
+        if t.deterministic_body && t.varying == 0 && !t.has_load && !t.has_csr {
+            let period = t.period.unwrap_or(lp.insts as u64).max(1);
+            let severity = if period <= config.fifo_depth as u64 {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            let mut notes = vec![format!(
+                "note: guaranteed data-signature collision between cores staggered by \
+                 any multiple of {period} committed instructions (including 0)"
+            )];
+            if period <= config.fifo_depth as u64 {
+                notes.push(format!(
+                    "note: the period fits inside the {}-cycle signature FIFO, so the \
+                     collision persists every cycle of the loop",
+                    config.fifo_depth
+                ));
+            }
+            if t.reads & !t.const_reads == 0 && t.reads != 0 {
+                notes.push(
+                    "note: every register read in the body is a compile-time constant".into(),
+                );
+            }
+            if let Some(trips) = t.trip_count {
+                notes.push(format!("note: estimated trip count: {trips}"));
+            }
+            notes.push(format!(
+                "help: stagger the cores by an amount that is not a multiple of {period}, \
+                 or introduce core-specific state (e.g. an mhartid-derived value) into the loop"
+            ));
+            diags.push(Diagnostic {
+                code: LintCode::Div001,
+                severity,
+                span,
+                message: format!(
+                    "cycle-periodic loop: register-port traffic repeats every {period} instructions"
+                ),
+                notes,
+                period: Some(period),
+                min_safe_stagger: None,
+            });
+            continue;
+        }
+
+        // DIV003: no input-derived value reaches the body — both cores
+        // compute bit-identical traffic and only staggering separates them.
+        if !t.has_load && !t.has_csr && !t.tainted_read {
+            let mut notes = vec![
+                "note: the body reads no load- or CSR-derived value, so redundant cores \
+                 compute identical register traffic"
+                    .into(),
+                "note: diversity inside this loop relies on staggering alone".into(),
+            ];
+            if t.varying != 0 {
+                notes.push(format!(
+                    "note: iteration-varying registers ({}) still separate *shifted* copies \
+                     of the traffic",
+                    reg_list(t.varying)
+                ));
+            }
+            if let Some(trips) = t.trip_count {
+                notes.push(format!("note: estimated trip count: {trips}"));
+            }
+            diags.push(Diagnostic {
+                code: LintCode::Div003,
+                severity: Severity::Warning,
+                span,
+                message: "data-independent loop: both cores compute identical register traffic"
+                    .into(),
+                notes,
+                period: t.period,
+                min_safe_stagger: None,
+            });
+        }
+    }
+}
+
+/// DIV002: straight-line runs of identical instruction words at least as
+/// long as the pipeline is deep.
+fn lint_sleds(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    config: &AnalysisConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let threshold = config.pipeline_slots;
+    for b in &cfg.blocks {
+        let mut run_start = b.start;
+        let mut i = b.start;
+        while i <= b.end {
+            let extend = i < b.end
+                && prog.slots[i].raw == prog.slots[run_start].raw
+                && prog.slots[i].inst.is_some();
+            if extend {
+                i += 1;
+                continue;
+            }
+            let len = i - run_start;
+            if len >= threshold {
+                let slot = prog.slots[run_start];
+                let inst = slot.inst.expect("runs only cover decodable slots");
+                let min_safe = (len - threshold + 1) as u64;
+                let mut notes = vec![
+                    format!(
+                        "note: {len} consecutive `{inst}` fill all {} pipeline slots of both \
+                         cores with identical opcodes when their stagger is below {min_safe} \
+                         committed instructions",
+                        config.pipeline_slots
+                    ),
+                    "note: guaranteed instruction-signature collision in that window".into(),
+                ];
+                if inst.is_nop() {
+                    notes.push(
+                        "note: nops also read and write only x0, so the data signatures \
+                         collide as well"
+                            .into(),
+                    );
+                }
+                notes.push(format!(
+                    "help: stagger the cores by at least {min_safe} committed instructions, \
+                     or diversify the sled (e.g. alternate addi/ori encodings)"
+                ));
+                diags.push(Diagnostic {
+                    code: LintCode::Div002,
+                    severity: Severity::Error,
+                    span: PcSpan { start: prog.pc_of(run_start), end: prog.pc_of(run_start + len) },
+                    message: format!("identical-instruction sled: {len} x `{inst}`"),
+                    notes,
+                    period: None,
+                    min_safe_stagger: Some(min_safe),
+                });
+            }
+            if i >= b.end {
+                break;
+            }
+            run_start = i;
+            if prog.slots[i].inst.is_none() {
+                run_start = i + 1;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// DIV004: check the configured staggering against the hazards found by
+/// DIV001/DIV002.
+fn lint_stagger(config: &AnalysisConfig, diags: &mut Vec<Diagnostic>) {
+    let Some(stagger) = config.stagger_nops else { return };
+    let mut extra = Vec::new();
+    for d in diags.iter() {
+        match d.code {
+            LintCode::Div001 => {
+                let period = d.period.unwrap_or(1).max(1);
+                if stagger % period == 0 {
+                    extra.push(Diagnostic {
+                        code: LintCode::Div004,
+                        severity: Severity::Error,
+                        span: d.span,
+                        message: format!(
+                            "configured stagger of {stagger} nops is a multiple of this \
+                             loop's {period}-instruction traffic period"
+                        ),
+                        notes: vec![format!(
+                            "note: the periodic traffic re-aligns exactly, reproducing the \
+                             stagger-0 data-signature collision; see {} at {}",
+                            d.code, d.span
+                        )],
+                        period: Some(period),
+                        min_safe_stagger: None,
+                    });
+                }
+            }
+            LintCode::Div002 => {
+                let min_safe = d.min_safe_stagger.unwrap_or(1);
+                if stagger < min_safe {
+                    extra.push(Diagnostic {
+                        code: LintCode::Div004,
+                        severity: Severity::Error,
+                        span: d.span,
+                        message: format!(
+                            "configured stagger of {stagger} nops is below this sled's \
+                             minimum safe stagger of {min_safe}"
+                        ),
+                        notes: vec![format!(
+                            "note: both pipelines sit fully inside the sled at the same \
+                             time; see {} at {}",
+                            d.code, d.span
+                        )],
+                        period: None,
+                        min_safe_stagger: Some(min_safe),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    diags.extend(extra);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::DecodedProgram;
+    use safedm_asm::Asm;
+    use safedm_isa::Reg;
+
+    fn lints(config: &AnalysisConfig, f: impl FnOnce(&mut Asm)) -> Vec<Diagnostic> {
+        let mut a = Asm::new();
+        f(&mut a);
+        let p = DecodedProgram::from_program(&a.link(0x8000_0000).unwrap());
+        let c = Cfg::build(&p);
+        run_lints(&p, &c, config)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<LintCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn div001_fires_on_idle_loop() {
+        let d = lints(&AnalysisConfig::default(), |a| {
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.nop();
+            a.j(l);
+        });
+        assert!(codes(&d).contains(&LintCode::Div001), "{d:?}");
+        let div1 = d.iter().find(|x| x.code == LintCode::Div001).unwrap();
+        assert_eq!(div1.period, Some(2));
+        assert_eq!(div1.severity, Severity::Error);
+    }
+
+    #[test]
+    fn div001_not_fired_on_counted_loop() {
+        // A counter makes the write-port traffic vary per iteration.
+        let d = lints(&AnalysisConfig::default(), |a| {
+            a.li(Reg::T0, 100);
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, l);
+            a.ebreak();
+        });
+        assert!(!codes(&d).contains(&LintCode::Div001), "{d:?}");
+        // ... but DIV003 fires: the traffic is data-independent.
+        assert!(codes(&d).contains(&LintCode::Div003), "{d:?}");
+    }
+
+    #[test]
+    fn div003_not_fired_when_loop_reads_loaded_data() {
+        let d = lints(&AnalysisConfig::default(), |a| {
+            a.li(Reg::A0, 0x8010_0000);
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.lw(Reg::T0, 0, Reg::A0);
+            a.bnez(Reg::T0, l);
+            a.ebreak();
+        });
+        assert!(!codes(&d).contains(&LintCode::Div003), "{d:?}");
+        assert!(!codes(&d).contains(&LintCode::Div001), "{d:?}");
+    }
+
+    #[test]
+    fn div003_not_fired_when_loop_reads_hartid() {
+        let d = lints(&AnalysisConfig::default(), |a| {
+            a.hartid(Reg::T0);
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.addi(Reg::T1, Reg::T0, 1);
+            a.bnez(Reg::T1, l);
+            a.ebreak();
+        });
+        assert!(!codes(&d).contains(&LintCode::Div003), "{d:?}");
+    }
+
+    #[test]
+    fn div002_fires_on_nop_sled() {
+        let cfg = AnalysisConfig::default();
+        let d = lints(&cfg, |a| {
+            a.nops(40);
+            a.ebreak();
+        });
+        let sled = d.iter().find(|x| x.code == LintCode::Div002).expect("sled diagnostic");
+        assert_eq!(sled.span.insts(), 40);
+        assert_eq!(sled.min_safe_stagger, Some((40 - cfg.pipeline_slots + 1) as u64));
+    }
+
+    #[test]
+    fn div002_ignores_short_sleds() {
+        let cfg = AnalysisConfig::default();
+        let d = lints(&cfg, |a| {
+            a.nops(cfg.pipeline_slots - 1);
+            a.ebreak();
+        });
+        assert!(!codes(&d).contains(&LintCode::Div002), "{d:?}");
+    }
+
+    #[test]
+    fn div004_flags_stagger_multiple_of_period() {
+        let cfg = AnalysisConfig { stagger_nops: Some(4), ..AnalysisConfig::default() }; // multiple of the 2-instruction period
+        let d = lints(&cfg, |a| {
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.nop();
+            a.j(l);
+        });
+        assert!(codes(&d).contains(&LintCode::Div004), "{d:?}");
+
+        let cfg = AnalysisConfig { stagger_nops: Some(5), ..AnalysisConfig::default() }; // NOT a multiple: safe
+        let d = lints(&cfg, |a| {
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.nop();
+            a.j(l);
+        });
+        assert!(!codes(&d).contains(&LintCode::Div004), "{d:?}");
+    }
+
+    #[test]
+    fn div004_flags_stagger_below_sled_minimum() {
+        let cfg = AnalysisConfig { stagger_nops: Some(3), ..AnalysisConfig::default() };
+        let d = lints(&cfg, |a| {
+            a.nops(40);
+            a.ebreak();
+        });
+        assert!(codes(&d).contains(&LintCode::Div004), "{d:?}");
+    }
+}

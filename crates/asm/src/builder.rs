@@ -558,7 +558,7 @@ impl Asm {
         if value >= i32::MIN as i64 && value <= i32::MAX as i64 {
             let lo = (value << 52) >> 52; // sign-extended low 12
             let hi = value - lo; // multiple of 0x1000, may be ±2^31
-            // hi fits U-type after sign-extension of the 20-bit field
+                                 // hi fits U-type after sign-extension of the 20-bit field
             let hi_sext = ((hi as u32) as i32) as i64 & !0xfff;
             self.lui(rd, hi_sext);
             if lo != 0 {

@@ -37,7 +37,8 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
     if let Some(rest) = tok.strip_prefix('x') {
         if let Ok(n) = rest.parse::<u8>() {
-            return Reg::try_new(n).ok_or_else(|| err(line, format!("register {tok} out of range")));
+            return Reg::try_new(n)
+                .ok_or_else(|| err(line, format!("register {tok} out of range")));
         }
     }
     // fp is the conventional alias for s0/x8
@@ -67,10 +68,10 @@ fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
 
 /// `offset(base)` memory operand.
 fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), ParseError> {
-    let open = tok.find('(').ok_or_else(|| err(line, format!("expected offset(base), got `{tok}`")))?;
-    let close = tok
-        .strip_suffix(')')
-        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let open =
+        tok.find('(').ok_or_else(|| err(line, format!("expected offset(base), got `{tok}`")))?;
+    let close =
+        tok.strip_suffix(')').ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
     let offset = if open == 0 { 0 } else { parse_int(&tok[..open], line)? };
     let base = parse_reg(&close[open + 1..], line)?;
     Ok((offset, base))
@@ -153,11 +154,8 @@ impl<'a> Parser<'a> {
                 Some(p) => (&text[..p], text[p..].trim()),
                 None => (text, ""),
             };
-            let ops: Vec<&str> = if rest.is_empty() {
-                Vec::new()
-            } else {
-                rest.split(',').map(str::trim).collect()
-            };
+            let ops: Vec<&str> =
+                if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
 
             if let Some(directive) = mnemonic.strip_prefix('.') {
                 match directive {
@@ -200,9 +198,9 @@ impl<'a> Parser<'a> {
                             }
                             _ => {
                                 let n = parse_int(
-                                    ops.first().copied().ok_or_else(|| {
-                                        err(line_no, ".zero needs a length")
-                                    })?,
+                                    ops.first()
+                                        .copied()
+                                        .ok_or_else(|| err(line_no, ".zero needs a length"))?,
                                     line_no,
                                 )?;
                                 self.asm.d_zero(&name, n as u64)

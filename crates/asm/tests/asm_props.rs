@@ -129,8 +129,11 @@ mod display_roundtrip {
         prop_oneof![
             (any_reg(), (-524_288i64..524_288)).prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
             (any_reg(), (-1000i64..=1000)).prop_map(|(rd, h)| Inst::Jal { rd, offset: h * 2 }),
-            (any_reg(), any_reg(), -2048i64..=2047)
-                .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+            (any_reg(), any_reg(), -2048i64..=2047).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+                rd,
+                rs1,
+                offset
+            }),
             (
                 prop_oneof![
                     Just(BranchKind::Eq),
@@ -144,7 +147,12 @@ mod display_roundtrip {
                 any_reg(),
                 -2048i64..=2047
             )
-                .prop_map(|(kind, rs1, rs2, h)| Inst::Branch { kind, rs1, rs2, offset: h * 2 }),
+                .prop_map(|(kind, rs1, rs2, h)| Inst::Branch {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset: h * 2
+                }),
             (
                 prop_oneof![
                     Just(LoadKind::B),
@@ -159,7 +167,12 @@ mod display_roundtrip {
                 any_reg(),
                 -2048i64..=2047
             )
-                .prop_map(|(kind, rd, rs1, offset)| Inst::Load { kind, rd, rs1, offset }),
+                .prop_map(|(kind, rd, rs1, offset)| Inst::Load {
+                    kind,
+                    rd,
+                    rs1,
+                    offset
+                }),
             (
                 prop_oneof![
                     Just(StoreKind::B),
@@ -171,7 +184,12 @@ mod display_roundtrip {
                 any_reg(),
                 -2048i64..=2047
             )
-                .prop_map(|(kind, rs1, rs2, offset)| Inst::Store { kind, rs1, rs2, offset }),
+                .prop_map(|(kind, rs1, rs2, offset)| Inst::Store {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset
+                }),
             (
                 prop_oneof![
                     Just(AluKind::Add),
@@ -194,12 +212,7 @@ mod display_roundtrip {
                 -2048i64..=2047
             )
                 .prop_map(|(kind, rd, rs1, imm)| Inst::OpImm { kind, rd, rs1, imm }),
-            (
-                prop_oneof![Just(AluKind::Sll), Just(AluKind::Sra)],
-                any_reg(),
-                any_reg(),
-                0i64..64
-            )
+            (prop_oneof![Just(AluKind::Sll), Just(AluKind::Sra)], any_reg(), any_reg(), 0i64..64)
                 .prop_map(|(kind, rd, rs1, imm)| Inst::OpImm { kind, rd, rs1, imm }),
             Just(Inst::Fence),
             Just(Inst::Ecall),

@@ -9,10 +9,8 @@ use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
 const CYCLES: u64 = 20_000;
 
 fn bench_sim(c: &mut Criterion) {
-    let prog = build_kernel_program(
-        kernels::by_name("iir").expect("kernel"),
-        &HarnessConfig::default(),
-    );
+    let prog =
+        build_kernel_program(kernels::by_name("iir").expect("kernel"), &HarnessConfig::default());
 
     let mut g = c.benchmark_group("sim");
     g.throughput(Throughput::Elements(CYCLES));

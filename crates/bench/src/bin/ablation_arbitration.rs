@@ -16,8 +16,7 @@ use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
 fn run(name: &str, policy: ArbitrationPolicy) -> (u64, u64, u64, i64) {
     let k = kernels::by_name(name).expect("kernel");
     let prog = build_kernel_program(k, &HarnessConfig::default());
-    let mut soc_cfg = SocConfig::default();
-    soc_cfg.arbitration = policy;
+    let soc_cfg = SocConfig { arbitration: policy, ..SocConfig::default() };
     let mut sys = MonitoredSoc::new(
         soc_cfg,
         SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },

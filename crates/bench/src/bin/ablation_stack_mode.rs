@@ -24,10 +24,7 @@ fn main() {
     let names: Vec<&str> = stack_users.iter().chain(&controls).copied().collect();
     println!("ABLATION A4: mirrored vs per-hart address spaces (0-nop runs)");
     println!();
-    println!(
-        "{:<12} | {:>10} {:>8} | {:>10} {:>8}",
-        "", "mirrored", "", "per-hart", ""
-    );
+    println!("{:<12} | {:>10} {:>8} | {:>10} {:>8}", "", "mirrored", "", "per-hart", "");
     println!(
         "{:<12} | {:>10} {:>8} | {:>10} {:>8}",
         "benchmark", "zero-stag", "no-div", "zero-stag", "no-div"

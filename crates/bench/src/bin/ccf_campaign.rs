@@ -25,7 +25,14 @@ fn main() {
     println!();
     println!(
         "{:<12} {:>7} {:>9} {:>9} {:>12} {:>12} {:>12} {:>12}",
-        "benchmark", "masked", "mismatch", "anomaly", "silent@nodiv", "silent@div", "site-diverg", "det-lat(cyc)"
+        "benchmark",
+        "masked",
+        "mismatch",
+        "anomaly",
+        "silent@nodiv",
+        "silent@div",
+        "site-diverg",
+        "det-lat(cyc)"
     );
 
     let mut grand_silent_flagged = 0u64;
@@ -52,9 +59,7 @@ fn main() {
         grand_silent_flagged += stats.silent_with_no_diversity;
         grand_silent_unflagged += stats.silent_with_diversity + stats.silent_site_divergent;
         grand_mismatch_flagged += stats.mismatch_with_no_diversity;
-        let lat = stats
-            .mean_detect_latency()
-            .map_or_else(|| "-".to_owned(), |l| format!("{l:.0}"));
+        let lat = stats.mean_detect_latency().map_or_else(|| "-".to_owned(), |l| format!("{l:.0}"));
         println!(
             "{:<12} {:>7} {:>9} {:>9} {:>12} {:>12} {:>12} {:>12}",
             name,

@@ -52,8 +52,7 @@ fn main() {
         let prog = build_kernel_program(k, &HarnessConfig::default());
         let mix = characterize(&prog);
 
-        let mut cfg = SocConfig::default();
-        cfg.cores = 1;
+        let cfg = SocConfig { cores: 1, ..SocConfig::default() };
         let mut soc = MpSoc::new(cfg);
         soc.load_program(&prog);
         let r = soc.run(400_000_000);

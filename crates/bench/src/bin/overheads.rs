@@ -33,9 +33,14 @@ fn main() {
     );
     println!();
     println!("  breakdown:");
-    println!("    signature storage : {:>5} LUTs ({} DS bits + {} IS bits)",
-        area.storage_luts, area.ds_bits, area.is_bits);
-    println!("    comparators       : {:>5} LUTs ({} compared bits)", area.compare_luts, area.cmp_bits);
+    println!(
+        "    signature storage : {:>5} LUTs ({} DS bits + {} IS bits)",
+        area.storage_luts, area.ds_bits, area.is_bits
+    );
+    println!(
+        "    comparators       : {:>5} LUTs ({} compared bits)",
+        area.compare_luts, area.cmp_bits
+    );
     println!("    APB/control       : {:>5} LUTs", area.control_luts);
     println!("    flip-flops        : {:>5}", area.total_ffs);
     println!();

@@ -18,12 +18,10 @@ fn main() {
     let window: u64 = arg_value(&args, "--window").map_or(256, |v| v.parse().expect("--window"));
 
     let k = kernels::by_name(&kernel_name).expect("unknown kernel");
-    let stagger =
-        (nops > 0).then_some(StaggerConfig { nops, delayed_core: 1 });
+    let stagger = (nops > 0).then_some(StaggerConfig { nops, delayed_core: 1 });
     let prog = build_kernel_program(k, &HarnessConfig { stagger, stack: StackMode::Mirrored });
 
-    let mut dm = SafeDmConfig::default();
-    dm.report_mode = ReportMode::Polling;
+    let dm = SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() };
     let mut sys = MonitoredSoc::new(SocConfig::default(), dm);
     sys.load_program(&prog);
     sys.enable_trace();
@@ -35,7 +33,10 @@ fn main() {
     // no-div count.
     let mut lines = String::from("window_start,mean_abs_diff,min_abs_diff,zero_stag,no_div\n");
     println!("staggering trace: kernel={kernel_name} nops={nops} cycles={}", trace.len());
-    println!("{:>12} {:>14} {:>12} {:>10} {:>8}", "cycle", "mean|diff|", "min|diff|", "zero-stag", "no-div");
+    println!(
+        "{:>12} {:>14} {:>12} {:>10} {:>8}",
+        "cycle", "mean|diff|", "min|diff|", "zero-stag", "no-div"
+    );
     for chunk in trace.chunks(window as usize) {
         let start = chunk.first().map_or(0, |s| s.cycle);
         let mean =

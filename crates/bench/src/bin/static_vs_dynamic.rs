@@ -1,0 +1,144 @@
+//! Compares the **static diversity analyzer** against the **runtime
+//! monitor**: per TACLe kernel, what the lints predict vs. what SafeDM
+//! measures at stagger 0, plus a set of synthetic hazard programs whose
+//! guaranteed (DIV001/DIV002) findings are cross-validated by the pre-run
+//! gate.
+//!
+//! Exits non-zero if any guaranteed prediction is refuted (a false
+//! "guaranteed" — the acceptance criterion of the analyzer).
+//!
+//! Usage: `cargo run -p safedm-bench --bin static_vs_dynamic --release
+//! [--quick]`
+
+use safedm_analysis::{AnalysisConfig, LintCode};
+use safedm_asm::{Asm, Program};
+use safedm_bench::experiments::arg_flag;
+use safedm_core::{DiversityGate, MonitoredRun, MonitoredSoc, SafeDmConfig};
+use safedm_isa::Reg;
+use safedm_soc::SocConfig;
+use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
+
+fn run_gated(prog: &Program, max_cycles: u64) -> (MonitoredRun, DiversityGate) {
+    let mut sys = MonitoredSoc::new(SocConfig::default(), SafeDmConfig::default());
+    sys.enable_static_gate(AnalysisConfig::default());
+    sys.load_program(prog);
+    let out = sys.run(max_cycles);
+    let gate = sys.detach_gate().expect("gate armed by load_program");
+    (out, gate)
+}
+
+fn count(gate: &DiversityGate, code: LintCode) -> usize {
+    gate.report().diagnostics.iter().filter(|d| d.code == code).count()
+}
+
+/// Synthetic programs that must trip the guaranteed lints.
+fn synthetic_hazards() -> Vec<(&'static str, Program)> {
+    let mut out = Vec::new();
+
+    // A nop sled far longer than the pipeline, then halt.
+    let mut a = Asm::new();
+    a.nops(64);
+    a.ebreak();
+    out.push(("nop_sled", a.link(0x8000_0000).unwrap()));
+
+    // A short spin then a DIV001 idle loop (runs until the cycle budget).
+    let mut a = Asm::new();
+    a.li(Reg::T0, 200);
+    let spin = a.new_label("spin");
+    a.bind(spin).unwrap();
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, spin);
+    let idle = a.new_label("idle");
+    a.bind(idle).unwrap();
+    a.nop();
+    a.j(idle);
+    out.push(("spin_then_idle", a.link(0x8000_0000).unwrap()));
+
+    // A sled mid-program between data-dependent work.
+    let mut a = Asm::new();
+    a.li(Reg::A0, 0x8010_0000);
+    a.lw(Reg::T1, 0, Reg::A0);
+    a.nops(32);
+    a.addi(Reg::T1, Reg::T1, 1);
+    a.sw(Reg::T1, 0, Reg::A0);
+    a.ebreak();
+    out.push(("sled_between_loads", a.link(0x8000_0000).unwrap()));
+
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = arg_flag(&args, "--quick");
+
+    let all = kernels::all();
+    let selected: Vec<&safedm_tacle::Kernel> = if quick {
+        all.iter()
+            .filter(|k| ["bitcount", "fac", "prime", "fft", "iir"].contains(&k.name))
+            .collect()
+    } else {
+        all.iter().collect()
+    };
+
+    println!("STATIC vs DYNAMIC: analyzer predictions against the monitor (stagger 0)");
+    println!(
+        "{:<18} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}  verdict",
+        "program", "loops", "DIV001", "DIV002", "DIV003", "no-div", "observed"
+    );
+
+    let mut refuted = 0usize;
+    let mut kernels_with_diags = 0usize;
+
+    for k in &selected {
+        let prog = build_kernel_program(k, &HarnessConfig::default());
+        let (out, gate) = run_gated(&prog, 200_000_000);
+        assert!(!out.run.timed_out, "{}: kernel run timed out", k.name);
+        let report = gate.report();
+        if !report.diagnostics.is_empty() {
+            kernels_with_diags += 1;
+        }
+        let ok = gate.all_confirmed();
+        if !ok {
+            refuted += 1;
+        }
+        println!(
+            "{:<18} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}  {}",
+            k.name,
+            report.cfg.loops.len(),
+            count(&gate, LintCode::Div001),
+            count(&gate, LintCode::Div002),
+            count(&gate, LintCode::Div003),
+            out.no_div_cycles,
+            out.cycles_observed,
+            if ok { "ok" } else { "REFUTED" }
+        );
+    }
+
+    println!("\nsynthetic guaranteed-hazard programs (gate cross-validation):");
+    for (name, prog) in synthetic_hazards() {
+        let (out, gate) = run_gated(&prog, 100_000);
+        let guaranteed = gate.report().guaranteed_hazards().count();
+        assert!(guaranteed > 0, "{name}: expected a guaranteed hazard");
+        let ok = gate.all_confirmed();
+        let executed = gate.executed_count();
+        if !ok {
+            refuted += 1;
+        }
+        println!(
+            "  {:<20} guaranteed {:>2}  executed {:>2}  no-div {:>7}  {}",
+            name,
+            guaranteed,
+            executed,
+            out.no_div_cycles,
+            if ok { "all confirmed" } else { "REFUTED" }
+        );
+        assert!(executed > 0, "{name}: no predicted region was executed");
+    }
+
+    println!("\nkernels with diagnostics: {kernels_with_diags}/{}", selected.len());
+    if refuted > 0 {
+        println!("FALSE GUARANTEED PREDICTIONS: {refuted}");
+        std::process::exit(1);
+    }
+    println!("zero false guaranteed predictions");
+}

@@ -5,9 +5,7 @@
 //! Usage: `cargo run -p safedm-bench --bin table1 --release [--quick]
 //! [--json PATH]`
 
-use safedm_bench::experiments::{
-    arg_flag, arg_value, render_table1, summarize_table1, table1,
-};
+use safedm_bench::experiments::{arg_flag, arg_value, render_table1, summarize_table1, table1};
 use safedm_core::SafeDmConfig;
 use safedm_tacle::kernels;
 
@@ -17,7 +15,9 @@ fn main() {
 
     let all = kernels::all();
     let selected: Vec<&safedm_tacle::Kernel> = if quick {
-        all.iter().filter(|k| ["bitcount", "fac", "iir", "pm", "quicksort"].contains(&k.name)).collect()
+        all.iter()
+            .filter(|k| ["bitcount", "fac", "iir", "pm", "quicksort"].contains(&k.name))
+            .collect()
     } else {
         all.iter().collect()
     };
@@ -54,16 +54,15 @@ fn main() {
 
     // Shape checks mirroring the paper's qualitative findings.
     let monotone_ok = rows.iter().all(|r| r.cells[3].no_div <= r.cells[0].no_div.max(1));
-    let nodiv_bounded = rows.iter().all(|r| {
-        (0..4).all(|i| r.cells[i].no_div <= r.cells[i].zero_stag + r.cells[i].no_div)
-    });
+    let nodiv_bounded = rows
+        .iter()
+        .all(|r| (0..4).all(|i| r.cells[i].no_div <= r.cells[i].zero_stag + r.cells[i].no_div));
     println!("shape: no-div vanishes with large staggering: {monotone_ok}");
     println!("shape: no-div bounded by observation: {nodiv_bounded}");
 
     if let Some(path) = arg_value(&args, "--json") {
-        let blob = serde_json::json!({ "rows": rows, "summary": summary });
-        std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serialise"))
-            .expect("write json");
+        let blob = safedm_bench::experiments::json::table1_document(&rows, &summary);
+        std::fs::write(&path, blob).expect("write json");
         eprintln!("wrote {path}");
     }
 }

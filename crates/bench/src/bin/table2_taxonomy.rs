@@ -44,8 +44,7 @@ fn run_safede(prog: &safedm_asm::Program, threshold: u64) -> (u64, u64) {
 }
 
 fn run_safedm(prog: &safedm_asm::Program) -> (u64, u64, u64) {
-    let mut dm = SafeDmConfig::default();
-    dm.report_mode = ReportMode::Polling;
+    let dm = SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() };
     let mut sys = MonitoredSoc::new(SocConfig::default(), dm);
     sys.load_program(prog);
     let out = sys.run(200_000_000);

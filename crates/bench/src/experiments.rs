@@ -1,7 +1,6 @@
 //! Shared experiment plumbing: monitored kernel runs, the Table I sweep,
-//! and report structures (serialisable for EXPERIMENTS.md).
-
-use serde::Serialize;
+//! and report structures (serialisable for EXPERIMENTS.md via the hand-rolled
+//! [`mod@json`] helpers — no external serialisation dependency).
 
 use safedm_core::{IsLayout, MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_isa::Reg;
@@ -12,7 +11,7 @@ use safedm_tacle::{build_kernel_program, HarnessConfig, Kernel, StackMode, Stagg
 pub const RUN_BUDGET: u64 = 200_000_000;
 
 /// One monitored redundant run of one kernel.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KernelRunSummary {
     /// Kernel name.
     pub name: String,
@@ -77,9 +76,7 @@ pub fn run_monitored_cfg(
 ) -> KernelRunSummary {
     let stagger = harness.stagger;
     let prog = build_kernel_program(kernel, &harness);
-    let mut soc_cfg = SocConfig::default();
-    soc_cfg.mem_jitter = 2;
-    soc_cfg.jitter_seed = seed;
+    let soc_cfg = SocConfig { mem_jitter: 2, jitter_seed: seed, ..SocConfig::default() };
     let mut dm_cfg = dm_cfg;
     dm_cfg.report_mode = ReportMode::Polling;
     let mut sys = MonitoredSoc::new(soc_cfg, dm_cfg);
@@ -121,7 +118,7 @@ pub fn run_monitored_cfg(
 }
 
 /// One Table I cell: maxima across the runs of one staggering setup.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Table1Cell {
     /// Max cycles with zero staggering across runs.
     pub zero_stag: u64,
@@ -130,7 +127,7 @@ pub struct Table1Cell {
 }
 
 /// One Table I row (one benchmark, four staggering setups).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Benchmark name.
     pub name: String,
@@ -183,7 +180,7 @@ pub fn table1(kernels: &[&Kernel], dm_cfg: SafeDmConfig) -> Vec<Table1Row> {
 }
 
 /// Summary block printed below Table I (the paper's Section V-C averages).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Summary {
     /// Mean instructions per benchmark.
     pub avg_instructions: f64,
@@ -222,8 +219,15 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     ));
     s.push_str(&format!(
         "{:<16}{:>10}{:>8}{:>10}{:>8}{:>10}{:>8}{:>10}{:>8}\n",
-        "Benchmark", "Zero stag", "No div", "Zero stag", "No div", "Zero stag", "No div",
-        "Zero stag", "No div"
+        "Benchmark",
+        "Zero stag",
+        "No div",
+        "Zero stag",
+        "No div",
+        "Zero stag",
+        "No div",
+        "Zero stag",
+        "No div"
     ));
     for r in rows {
         s.push_str(&format!(
@@ -259,6 +263,81 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
 #[must_use]
 pub fn arg_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Minimal JSON emission for the report structures (replaces the previous
+/// serde derive: this workspace builds with no external serialisation crate).
+pub mod json {
+    use super::{Table1Row, Table1Summary};
+
+    /// Escapes a string for inclusion in a JSON document.
+    #[must_use]
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Renders a float the way JSON expects (`NaN`/infinities become null).
+    #[must_use]
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_owned()
+        }
+    }
+
+    /// One Table I row as a JSON object.
+    #[must_use]
+    pub fn table1_row(r: &Table1Row) -> String {
+        let cells: Vec<String> = r
+            .cells
+            .iter()
+            .map(|c| format!("{{\"zero_stag\":{},\"no_div\":{}}}", c.zero_stag, c.no_div))
+            .collect();
+        format!(
+            "{{\"name\":\"{}\",\"cells\":[{}],\"instructions\":{},\"all_checksums_ok\":{}}}",
+            escape(&r.name),
+            cells.join(","),
+            r.instructions,
+            r.all_checksums_ok
+        )
+    }
+
+    /// The summary block as a JSON object.
+    #[must_use]
+    pub fn table1_summary(s: &Table1Summary) -> String {
+        let zs: Vec<String> = s.avg_zero_stag.iter().map(|v| number(*v)).collect();
+        let nd: Vec<String> = s.avg_no_div.iter().map(|v| number(*v)).collect();
+        format!(
+            "{{\"avg_instructions\":{},\"avg_zero_stag\":[{}],\"avg_no_div\":[{}]}}",
+            number(s.avg_instructions),
+            zs.join(","),
+            nd.join(",")
+        )
+    }
+
+    /// The full `table1 --json` document.
+    #[must_use]
+    pub fn table1_document(rows: &[Table1Row], summary: &Table1Summary) -> String {
+        let rendered: Vec<String> = rows.iter().map(table1_row).collect();
+        format!(
+            "{{\n  \"rows\": [{}],\n  \"summary\": {}\n}}\n",
+            rendered.join(","),
+            table1_summary(summary)
+        )
+    }
 }
 
 #[cfg(test)]

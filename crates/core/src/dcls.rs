@@ -131,8 +131,7 @@ mod tests {
     use safedm_soc::PortSample;
 
     fn commit(v: u64) -> CoreProbe {
-        let mut p = CoreProbe::default();
-        p.committed = 1;
+        let mut p = CoreProbe { committed: 1, ..CoreProbe::default() };
         p.writes[0] = PortSample { enable: true, value: v };
         p
     }
@@ -190,8 +189,7 @@ mod tests {
 
     #[test]
     fn commit_count_differences_affect_digest() {
-        let mut a = CoreProbe::default();
-        a.committed = 2;
+        let mut a = CoreProbe { committed: 2, ..CoreProbe::default() };
         a.writes[0] = PortSample { enable: true, value: 7 };
         let mut b = a;
         b.committed = 1;

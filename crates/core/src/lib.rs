@@ -59,6 +59,7 @@ mod config;
 mod dcls;
 mod diff;
 mod fifo;
+mod gate;
 mod history;
 mod monitor;
 mod multipair;
@@ -71,6 +72,7 @@ pub use config::{IsLayout, ReportMode, SafeDmConfig};
 pub use dcls::DclsComparator;
 pub use diff::InstructionDiff;
 pub use fifo::HoldFifo;
+pub use gate::{DiversityGate, GateCheck};
 pub use history::{EpisodeTracker, Histogram};
 pub use monitor::{CycleReport, DiversityCounters, HammingStats, SafeDm};
 pub use multipair::MultiPairSoc;

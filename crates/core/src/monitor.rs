@@ -126,10 +126,9 @@ impl SafeDm {
             irq: false,
             finished: false,
             last: CycleReport::default(),
-            hamming: cfg.track_hamming.then(|| HammingStats {
-                min_total: u32::MAX,
-                ..HammingStats::default()
-            }),
+            hamming: cfg
+                .track_hamming
+                .then(|| HammingStats { min_total: u32::MAX, ..HammingStats::default() }),
             cfg,
         }
     }

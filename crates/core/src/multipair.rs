@@ -186,9 +186,7 @@ mod tests {
     use safedm_isa::Reg;
 
     fn four_core() -> SocConfig {
-        let mut cfg = SocConfig::default();
-        cfg.cores = 4;
-        cfg
+        SocConfig { cores: 4, ..SocConfig::default() }
     }
 
     fn loop_prog(iters: i64) -> Program {
@@ -203,8 +201,7 @@ mod tests {
 
     #[test]
     fn two_pairs_monitor_independently() {
-        let mut sys =
-            MultiPairSoc::new(four_core(), SafeDmConfig::default(), &[(0, 1), (2, 3)]);
+        let mut sys = MultiPairSoc::new(four_core(), SafeDmConfig::default(), &[(0, 1), (2, 3)]);
         sys.load_program(&loop_prog(300));
         let out = sys.run(10_000_000);
         assert!(out.all_clean());
@@ -225,8 +222,7 @@ mod tests {
     #[test]
     fn cross_pair_configuration_is_possible() {
         // Pairing (0,2) and (1,3) is equally valid.
-        let mut sys =
-            MultiPairSoc::new(four_core(), SafeDmConfig::default(), &[(0, 2), (1, 3)]);
+        let mut sys = MultiPairSoc::new(four_core(), SafeDmConfig::default(), &[(0, 2), (1, 3)]);
         sys.load_program(&loop_prog(100));
         assert!(sys.run(10_000_000).all_clean());
         assert_eq!(sys.pair_cores(0), (0, 2));

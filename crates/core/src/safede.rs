@@ -169,7 +169,8 @@ mod tests {
                 let s = soc.core(0).retired() as i64 - soc.core(1).retired() as i64;
                 min_enforced_after_warmup = min_enforced_after_warmup.min(s);
             }
-            if soc.all_halted() && soc.core(0).store_buffer_len() == 0
+            if soc.all_halted()
+                && soc.core(0).store_buffer_len() == 0
                 && soc.core(1).store_buffer_len() == 0
             {
                 break;

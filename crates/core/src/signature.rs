@@ -1,6 +1,8 @@
 //! Data and Instruction Signature generators (paper, Section III-B, Fig. 2).
 
-use safedm_soc::{CoreProbe, PortSample, StageSlot, PIPE_STAGES, PIPE_WIDTH, READ_PORTS, WRITE_PORTS};
+use safedm_soc::{
+    CoreProbe, PortSample, StageSlot, PIPE_STAGES, PIPE_WIDTH, READ_PORTS, WRITE_PORTS,
+};
 
 use crate::{HoldFifo, IsLayout, SafeDmConfig};
 
@@ -39,7 +41,9 @@ impl DataSignature {
     #[must_use]
     pub fn new(cfg: &SafeDmConfig) -> DataSignature {
         DataSignature {
-            fifos: (0..DATA_PORTS).map(|_| HoldFifo::new(cfg.data_fifo_depth, (false, 0))).collect(),
+            fifos: (0..DATA_PORTS)
+                .map(|_| HoldFifo::new(cfg.data_fifo_depth, (false, 0)))
+                .collect(),
         }
     }
 

@@ -4,6 +4,9 @@
 use safedm_asm::Program;
 use safedm_soc::{ApbRegisterFile, MpSoc, RunResult, SocConfig};
 
+use safedm_analysis::AnalysisConfig;
+
+use crate::gate::DiversityGate;
 use crate::regs::{self, regmap};
 use crate::{CycleReport, SafeDe, SafeDm, SafeDmConfig};
 
@@ -73,6 +76,8 @@ pub struct MonitoredSoc {
     safede: Option<SafeDe>,
     apb_index: usize,
     trace: Option<Vec<TraceSample>>,
+    gate_cfg: Option<AnalysisConfig>,
+    gate: Option<DiversityGate>,
 }
 
 /// Byte offset of the SafeDM register bank inside the APB window.
@@ -93,7 +98,35 @@ impl MonitoredSoc {
         let mut bank = ApbRegisterFile::new(base, regmap::REG_COUNT);
         bank.set_reg(regmap::CTRL, regs::reset_ctrl());
         let apb_index = soc.uncore_mut().add_apb_slave(bank);
-        MonitoredSoc { soc, dm: SafeDm::new(dm_cfg), safede: None, apb_index, trace: None }
+        MonitoredSoc {
+            soc,
+            dm: SafeDm::new(dm_cfg),
+            safede: None,
+            apb_index,
+            trace: None,
+            gate_cfg: None,
+            gate: None,
+        }
+    }
+
+    /// Enables the optional pre-run static gate: every subsequent
+    /// [`MonitoredSoc::load_program`] runs the `safedm-analysis` lints on
+    /// the image and arms a [`DiversityGate`] that cross-validates the
+    /// guaranteed (DIV001/DIV002) findings against the runtime monitor.
+    pub fn enable_static_gate(&mut self, cfg: AnalysisConfig) {
+        self.gate_cfg = Some(cfg);
+    }
+
+    /// The armed gate (present once a program was loaded with the static
+    /// gate enabled).
+    #[must_use]
+    pub fn gate(&self) -> Option<&DiversityGate> {
+        self.gate.as_ref()
+    }
+
+    /// Detaches the gate with its accumulated cross-validation counters.
+    pub fn detach_gate(&mut self) -> Option<DiversityGate> {
+        self.gate.take()
     }
 
     /// Attaches a SafeDE enforcement module (driven each cycle before the
@@ -117,10 +150,15 @@ impl MonitoredSoc {
         self.trace.take().unwrap_or_default()
     }
 
-    /// Loads the redundant program (both cores, same image).
+    /// Loads the redundant program (both cores, same image). With the
+    /// static gate enabled, also analyzes the image and arms the gate.
     pub fn load_program(&mut self, prog: &Program) {
         self.soc.load_program(prog);
         self.dm.reset();
+        if let Some(cfg) = &self.gate_cfg {
+            let report = safedm_analysis::analyze(prog, cfg);
+            self.gate = Some(DiversityGate::new(report));
+        }
     }
 
     /// One cycle: SoC, then SafeDE (if attached), then APB command
@@ -142,6 +180,9 @@ impl MonitoredSoc {
         };
         let bank = self.soc.uncore_mut().apb_slave_mut(self.apb_index);
         regs::mirror(&self.dm, bank);
+        if let Some(gate) = self.gate.as_mut() {
+            gate.observe(self.soc.core(0).last_commit_pc(), &report);
+        }
         if let Some(trace) = self.trace.as_mut() {
             trace.push(TraceSample {
                 cycle: self.soc.cycle(),
@@ -219,19 +260,13 @@ impl MonitoredSoc {
     /// Host-side write to the monitor's CTRL register (takes effect at the
     /// next cycle's command application, like an RTOS APB write would).
     pub fn write_ctrl(&mut self, value: u64) {
-        self.soc
-            .uncore_mut()
-            .apb_slave_mut(self.apb_index)
-            .set_reg(regmap::CTRL, value);
+        self.soc.uncore_mut().apb_slave_mut(self.apb_index).set_reg(regmap::CTRL, value);
     }
 
     /// Host-side write to the monitor's THRESHOLD register (used by the
     /// interrupt-after-count reporting mode).
     pub fn write_threshold(&mut self, value: u64) {
-        self.soc
-            .uncore_mut()
-            .apb_slave_mut(self.apb_index)
-            .set_reg(regmap::THRESHOLD, value);
+        self.soc.uncore_mut().apb_slave_mut(self.apb_index).set_reg(regmap::THRESHOLD, value);
     }
 }
 
@@ -314,8 +349,7 @@ mod tests {
 
     #[test]
     fn monitored_soc_requires_two_cores() {
-        let mut cfg = SocConfig::default();
-        cfg.cores = 1;
+        let cfg = SocConfig { cores: 1, ..SocConfig::default() };
         let r = std::panic::catch_unwind(|| MonitoredSoc::new(cfg, SafeDmConfig::default()));
         assert!(r.is_err());
     }

@@ -209,9 +209,7 @@ fn inject_common(
     let mut spent = 0u64;
     let mut detect_latency = None;
     while spent < max_cycles {
-        if sys.soc().all_halted()
-            && (0..2).all(|i| sys.soc().core(i).store_buffer_len() == 0)
-        {
+        if sys.soc().all_halted() && (0..2).all(|i| sys.soc().core(i).store_buffer_len() == 0) {
             break;
         }
         sys.step();
@@ -429,10 +427,7 @@ impl Campaign {
                 bit: rng.gen_range(0..64),
             }
         } else {
-            FaultTarget::Register {
-                reg: Reg::new(rng.gen_range(1..32)),
-                bit: rng.gen_range(0..64),
-            }
+            FaultTarget::Register { reg: Reg::new(rng.gen_range(1..32)), bit: rng.gen_range(0..64) }
         };
         CommonCauseFault { cycle, target }
     }

@@ -177,7 +177,12 @@ fn decode_op_imm(word: u32) -> Result<Inst, DecodeError> {
             if word >> 26 != 0 {
                 return Err(DecodeError::ReservedShamt { word });
             }
-            return Ok(Inst::OpImm { kind: AluKind::Sll, rd, rs1, imm: ((word >> 20) & 0x3f) as i64 });
+            return Ok(Inst::OpImm {
+                kind: AluKind::Sll,
+                rd,
+                rs1,
+                imm: ((word >> 20) & 0x3f) as i64,
+            });
         }
         0b101 => {
             let shamt = ((word >> 20) & 0x3f) as i64;

@@ -58,7 +58,10 @@ fn enc_b(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i64) -> Result<u3
 
 fn enc_u(opcode: u32, rd: Reg, imm: i64) -> Result<u32, EncodeError> {
     if imm & 0xfff != 0 {
-        return Err(EncodeError::ImmOutOfRange { field: "U-immediate (low 12 bits set)", value: imm });
+        return Err(EncodeError::ImmOutOfRange {
+            field: "U-immediate (low 12 bits set)",
+            value: imm,
+        });
     }
     if !(-(1i64 << 31)..(1i64 << 31)).contains(&imm) {
         return Err(EncodeError::ImmOutOfRange { field: "U-immediate", value: imm });

@@ -233,7 +233,12 @@ impl AluKind {
     pub const fn is_shift(self) -> bool {
         matches!(
             self,
-            AluKind::Sll | AluKind::Srl | AluKind::Sra | AluKind::Sllw | AluKind::Srlw | AluKind::Sraw
+            AluKind::Sll
+                | AluKind::Srl
+                | AluKind::Sra
+                | AluKind::Sllw
+                | AluKind::Srlw
+                | AluKind::Sraw
         )
     }
 }
@@ -302,12 +307,7 @@ pub enum Inst {
 
 impl Inst {
     /// The canonical no-operation, `addi x0, x0, 0`.
-    pub const NOP: Inst = Inst::OpImm {
-        kind: AluKind::Add,
-        rd: Reg::ZERO,
-        rs1: Reg::ZERO,
-        imm: 0,
-    };
+    pub const NOP: Inst = Inst::OpImm { kind: AluKind::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 };
 
     /// The destination register written by this instruction, if any.
     ///

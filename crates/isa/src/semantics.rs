@@ -255,7 +255,7 @@ mod tests {
         assert_eq!(alu(AluKind::Mul, 7, 6), 42);
         assert_eq!(alu(AluKind::Mulhu, u64::MAX, u64::MAX), u64::MAX - 1);
         assert_eq!(alu(AluKind::Mulh, u64::MAX, u64::MAX), 0); // (-1)*(-1)=1, high 0
-        // mulhsu: -1 (signed) * MAX (unsigned) = -MAX -> high = -1
+                                                               // mulhsu: -1 (signed) * MAX (unsigned) = -MAX -> high = -1
         assert_eq!(alu(AluKind::Mulhsu, u64::MAX, u64::MAX), u64::MAX);
     }
 
@@ -273,7 +273,10 @@ mod tests {
         // Signed overflow
         assert_eq!(alu(AluKind::Div, i64::MIN as u64, u64::MAX), i64::MIN as u64);
         assert_eq!(alu(AluKind::Rem, i64::MIN as u64, u64::MAX), 0);
-        assert_eq!(alu(AluKind::Divw, i32::MIN as u32 as u64, u32::MAX as u64), i32::MIN as i64 as u64);
+        assert_eq!(
+            alu(AluKind::Divw, i32::MIN as u32 as u64, u32::MAX as u64),
+            i32::MIN as i64 as u64
+        );
         assert_eq!(alu(AluKind::Remw, i32::MIN as u32 as u64, u32::MAX as u64), 0);
         // Ordinary signed division truncates toward zero
         assert_eq!(alu(AluKind::Div, (-7i64) as u64, 2) as i64, -3);

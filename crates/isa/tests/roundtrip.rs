@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use safedm_isa::{
-    alu, branch_taken, decode, encode, AluKind, BranchKind, CsrKind, Inst, LoadKind, Reg,
-    StoreKind,
+    alu, branch_taken, decode, encode, AluKind, BranchKind, CsrKind, Inst, LoadKind, Reg, StoreKind,
 };
 
 fn any_reg() -> impl Strategy<Value = Reg> {
@@ -86,15 +85,9 @@ fn any_imm_alu() -> impl Strategy<Value = (AluKind, i64)> {
             -2048i64..=2047
         ),
         // 64-bit shifts
-        (
-            prop_oneof![Just(AluKind::Sll), Just(AluKind::Srl), Just(AluKind::Sra)],
-            0i64..64
-        ),
+        (prop_oneof![Just(AluKind::Sll), Just(AluKind::Srl), Just(AluKind::Sra)], 0i64..64),
         // 32-bit shifts
-        (
-            prop_oneof![Just(AluKind::Sllw), Just(AluKind::Srlw), Just(AluKind::Sraw)],
-            0i64..32
-        ),
+        (prop_oneof![Just(AluKind::Sllw), Just(AluKind::Srlw), Just(AluKind::Sraw)], 0i64..32),
     ]
 }
 
@@ -103,16 +96,23 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         (any_reg(), (-524_288i64..524_288)).prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
         (any_reg(), (-524_288i64..524_288)).prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
         (any_reg(), (-524_288i64..=524_287)).prop_map(|(rd, h)| Inst::Jal { rd, offset: h * 2 }),
-        (any_reg(), any_reg(), -2048i64..=2047)
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (any_reg(), any_reg(), -2048i64..=2047).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         (any_branch_kind(), any_reg(), any_reg(), -2048i64..=2047)
             .prop_map(|(kind, rs1, rs2, h)| Inst::Branch { kind, rs1, rs2, offset: h * 2 }),
         (any_load_kind(), any_reg(), any_reg(), -2048i64..=2047)
             .prop_map(|(kind, rd, rs1, offset)| Inst::Load { kind, rd, rs1, offset }),
         (any_store_kind(), any_reg(), any_reg(), -2048i64..=2047)
             .prop_map(|(kind, rs1, rs2, offset)| Inst::Store { kind, rs1, rs2, offset }),
-        (any_imm_alu(), any_reg(), any_reg())
-            .prop_map(|((kind, imm), rd, rs1)| Inst::OpImm { kind, rd, rs1, imm }),
+        (any_imm_alu(), any_reg(), any_reg()).prop_map(|((kind, imm), rd, rs1)| Inst::OpImm {
+            kind,
+            rd,
+            rs1,
+            imm
+        }),
         (any_rr_alu_kind(), any_reg(), any_reg(), any_reg())
             .prop_map(|(kind, rd, rs1, rs2)| Inst::Op { kind, rd, rs1, rs2 }),
         Just(Inst::Fence),

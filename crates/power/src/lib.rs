@@ -124,11 +124,7 @@ impl Activity {
     /// Derives activity from run statistics: `hold_cycles` out of `cycles`.
     #[must_use]
     pub fn from_run(cycles: u64, hold_cycles: u64) -> Activity {
-        let shift = if cycles == 0 {
-            0.0
-        } else {
-            1.0 - hold_cycles as f64 / cycles as f64
-        };
+        let shift = if cycles == 0 { 0.0 } else { 1.0 - hold_cycles as f64 / cycles as f64 };
         Activity { shift_fraction: shift.clamp(0.0, 1.0), ..Activity::default() }
     }
 }

@@ -160,7 +160,8 @@ impl Uncore {
             slave.base()
         );
         for s in &self.apb {
-            let disjoint = slave.base() + slave.size() <= s.base() || s.base() + s.size() <= slave.base();
+            let disjoint =
+                slave.base() + slave.size() <= s.base() || s.base() + s.size() <= slave.base();
             assert!(disjoint, "APB slaves overlap at {:#x}", slave.base());
         }
         self.apb.push(slave);
@@ -194,8 +195,7 @@ impl Uncore {
     #[must_use]
     pub fn in_flight(&self, port: PortId) -> bool {
         let idx = port.index();
-        self.ports[idx].pending.is_some()
-            || self.active.as_ref().is_some_and(|a| a.port == idx)
+        self.ports[idx].pending.is_some() || self.active.as_ref().is_some_and(|a| a.port == idx)
     }
 
     /// Collects the completion for `port`, if any.
@@ -280,8 +280,7 @@ impl Uncore {
                 BusResult::Done
             }
             BusOp::ApbRead { addr } => {
-                let data =
-                    self.apb.iter().find(|s| s.contains(addr)).map_or(0, |s| s.read(addr));
+                let data = self.apb.iter().find(|s| s.contains(addr)).map_or(0, |s| s.read(addr));
                 BusResult::ApbData(data)
             }
             BusOp::ApbWrite { addr, data } => {
@@ -541,8 +540,10 @@ mod tests {
 
     #[test]
     fn fixed_priority_always_favours_port_zero() {
-        let mut cfg = SocConfig::default();
-        cfg.arbitration = crate::ArbitrationPolicy::FixedPriority;
+        let cfg = SocConfig {
+            arbitration: crate::ArbitrationPolicy::FixedPriority,
+            ..SocConfig::default()
+        };
         let mut u = Uncore::new(&cfg);
         let k0 = MemSpace::Private(0).fold(0x8000_0000);
         let k1 = MemSpace::Private(1).fold(0x8000_0000);
@@ -575,9 +576,7 @@ mod tests {
     #[test]
     fn jitter_changes_latency_deterministically() {
         let mk = |seed: u64| {
-            let mut cfg = SocConfig::default();
-            cfg.mem_jitter = 3;
-            cfg.jitter_seed = seed;
+            let cfg = SocConfig { mem_jitter: 3, jitter_seed: seed, ..SocConfig::default() };
             let mut u = Uncore::new(&cfg);
             u.request(P0, BusOp::ReadLine { key: 0x8000_0000 });
             run_until_done(&mut u, P0, 400).1

@@ -41,7 +41,13 @@ impl TagCache {
     /// Creates an empty cache with the given geometry.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> TagCache {
-        TagCache { cfg, ways: vec![Way::default(); cfg.sets * cfg.ways], tick: 0, hits: 0, misses: 0 }
+        TagCache {
+            cfg,
+            ways: vec![Way::default(); cfg.sets * cfg.ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn set_of(&self, key: u64) -> usize {
@@ -102,9 +108,7 @@ impl TagCache {
             .iter_mut()
             .min_by_key(|w| if w.valid { w.stamp } else { 0 })
             .expect("cache has at least one way");
-        let evicted = victim
-            .valid
-            .then(|| (victim.tag * sets + set as u64) * line_bytes);
+        let evicted = victim.valid.then(|| (victim.tag * sets + set as u64) * line_bytes);
         victim.tag = tag;
         victim.valid = true;
         victim.stamp = tick;

@@ -161,15 +161,19 @@ impl SocConfig {
         assert!(self.cores >= 1, "at least one core required");
         for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
             assert!(c.sets.is_power_of_two(), "{name}: sets must be a power of two");
-            assert!(c.line_bytes.is_power_of_two() && c.line_bytes >= 8,
-                "{name}: line size must be a power of two >= 8");
+            assert!(
+                c.line_bytes.is_power_of_two() && c.line_bytes >= 8,
+                "{name}: line size must be a power of two >= 8"
+            );
             assert!(c.ways >= 1, "{name}: at least one way");
         }
         assert_eq!(self.l1i.line_bytes, self.l2.line_bytes, "L1I/L2 line sizes must match");
         assert_eq!(self.l1d.line_bytes, self.l2.line_bytes, "L1D/L2 line sizes must match");
         assert!(self.store_buffer_entries >= 1, "store buffer needs an entry");
-        assert!(self.ram_size > 0 && self.ram_base.is_multiple_of(self.l2.line_bytes),
-            "RAM must be line-aligned and non-empty");
+        assert!(
+            self.ram_size > 0 && self.ram_base.is_multiple_of(self.l2.line_bytes),
+            "RAM must be line-aligned and non-empty"
+        );
     }
 }
 

@@ -6,11 +6,9 @@
 //!
 //! [`Core`]: crate::Core
 
-use safedm_isa::csr::CsrFile;
-use safedm_isa::{
-    alu, branch_taken, decode, is_aligned, load_value, store_merge, Inst, Reg,
-};
 use safedm_asm::Program;
+use safedm_isa::csr::CsrFile;
+use safedm_isa::{alu, branch_taken, decode, is_aligned, load_value, store_merge, Inst, Reg};
 
 use crate::{CoreExit, MainMemory, MemSpace, TrapCause};
 

@@ -101,10 +101,8 @@ pub struct CommitRecord {
 
 impl std::fmt::Display for CommitRecord {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let text = decode(self.raw).map_or_else(
-            |_| format!(".word {:#010x}", self.raw),
-            |i| i.to_string(),
-        );
+        let text = decode(self.raw)
+            .map_or_else(|_| format!(".word {:#010x}", self.raw), |i| i.to_string());
         write!(f, "[{:>8}] {:#010x}: {text}", self.cycle, self.pc)?;
         if let (Some(rd), Some(v)) = (self.rd, self.value) {
             write!(f, "  # {rd} <- {v:#x}")?;
@@ -152,6 +150,7 @@ pub struct Core {
     probe: CoreProbe,
     stats: CoreStats,
     commit_trace: Option<(Vec<CommitRecord>, usize)>,
+    last_commit_pc: Option<u64>,
 }
 
 impl std::fmt::Debug for Core {
@@ -177,7 +176,11 @@ impl Core {
             csrs: CsrFile::new(id as u64),
             l1i: TagCache::new(cfg.l1i),
             l1d: TagCache::new(cfg.l1d),
-            sb: StoreBuffer::new(cfg.store_buffer_entries, cfg.l1d.line_bytes, cfg.store_drain_delay),
+            sb: StoreBuffer::new(
+                cfg.store_buffer_entries,
+                cfg.l1d.line_bytes,
+                cfg.store_drain_delay,
+            ),
             stages: Default::default(),
             stale_raw: [[0; PIPE_WIDTH]; PIPE_STAGES],
             fetch_pc: 0,
@@ -192,7 +195,18 @@ impl Core {
             probe: CoreProbe::default(),
             stats: CoreStats::default(),
             commit_trace: None,
+            last_commit_pc: None,
         }
+    }
+
+    /// PC of the most recently committed instruction, if any committed yet.
+    ///
+    /// Sticky across cycles: while the core stalls the value stays at the
+    /// last commit, which is what region-correlation consumers (the
+    /// `safedm-core` pre-run gate) want.
+    #[must_use]
+    pub fn last_commit_pc(&self) -> Option<u64> {
+        self.last_commit_pc
     }
 
     /// Enables the commit trace, keeping the most recent `capacity`
@@ -420,8 +434,7 @@ impl Core {
                     });
                 }
                 if let Some(rd) = inst.rd() {
-                    self.regs
-                        .write(i, rd, slot.result.expect("committing instruction has result"));
+                    self.regs.write(i, rd, slot.result.expect("committing instruction has result"));
                 } else if let Some(v) = slot.result {
                     if !matches!(inst, Inst::Branch { .. } | Inst::Store { .. }) {
                         // x0-destination writes still drive the port lines.
@@ -433,6 +446,7 @@ impl Core {
                 }
                 self.csrs.minstret += 1;
                 self.stats.retired += 1;
+                self.last_commit_pc = Some(slot.pc);
                 committed += 1;
                 match inst {
                     Inst::Ebreak => {
@@ -486,11 +500,14 @@ impl Core {
         }
 
         // ---- RA -> EX ------------------------------------------------------
-        if !self.halted() && !group_empty(&self.stages[RA]) && group_empty(&self.stages[EX])
-            && self.read_operands() {
-                self.stages[EX] = std::mem::take(&mut self.stages[RA]);
-                progress = true;
-            }
+        if !self.halted()
+            && !group_empty(&self.stages[RA])
+            && group_empty(&self.stages[EX])
+            && self.read_operands()
+        {
+            self.stages[EX] = std::mem::take(&mut self.stages[RA]);
+            progress = true;
+        }
 
         // ---- D: predecode, then issue to RA ---------------------------------
         if !self.halted() && !group_empty(&self.stages[D]) {
@@ -582,9 +599,7 @@ impl Core {
             let Some(slot) = self.stages[D][i].clone() else { continue };
             if slot.inst.is_none() {
                 match decode(slot.raw) {
-                    Ok(inst) => {
-                        self.stages[D][i].as_mut().expect("slot exists").inst = Some(inst)
-                    }
+                    Ok(inst) => self.stages[D][i].as_mut().expect("slot exists").inst = Some(inst),
                     Err(_) => {
                         self.trap(TrapCause::IllegalInstruction { pc: slot.pc, word: slot.raw });
                         return false;
@@ -810,8 +825,7 @@ impl Core {
                     let taken = branch_taken(kind, a, b);
                     let predicted = slot.predicted_taken;
                     if taken != predicted {
-                        let target =
-                            if taken { pc.wrapping_add(offset as u64) } else { pc + 4 };
+                        let target = if taken { pc.wrapping_add(offset as u64) } else { pc + 4 };
                         redirect = Some(target);
                         self.stats.mispredicts += 1;
                     }
@@ -1074,16 +1088,38 @@ mod tests {
 
     fn inst(text_kind: &str) -> Inst {
         match text_kind {
-            "add" => Inst::Op { kind: safedm_isa::AluKind::Add, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 },
-            "add2" => Inst::Op { kind: safedm_isa::AluKind::Add, rd: Reg::T3, rs1: Reg::T4, rs2: Reg::T5 },
-            "dep" => Inst::Op { kind: safedm_isa::AluKind::Add, rd: Reg::T3, rs1: Reg::T0, rs2: Reg::T5 },
-            "waw" => Inst::Op { kind: safedm_isa::AluKind::Sub, rd: Reg::T0, rs1: Reg::T4, rs2: Reg::T5 },
+            "add" => {
+                Inst::Op { kind: safedm_isa::AluKind::Add, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 }
+            }
+            "add2" => {
+                Inst::Op { kind: safedm_isa::AluKind::Add, rd: Reg::T3, rs1: Reg::T4, rs2: Reg::T5 }
+            }
+            "dep" => {
+                Inst::Op { kind: safedm_isa::AluKind::Add, rd: Reg::T3, rs1: Reg::T0, rs2: Reg::T5 }
+            }
+            "waw" => {
+                Inst::Op { kind: safedm_isa::AluKind::Sub, rd: Reg::T0, rs1: Reg::T4, rs2: Reg::T5 }
+            }
             "load" => Inst::Load { kind: LoadKind::D, rd: Reg::A0, rs1: Reg::SP, offset: 0 },
             "load2" => Inst::Load { kind: LoadKind::W, rd: Reg::A1, rs1: Reg::SP, offset: 8 },
-            "store" => Inst::Store { kind: safedm_isa::StoreKind::D, rs1: Reg::SP, rs2: Reg::A2, offset: 16 },
-            "mul" => Inst::Op { kind: safedm_isa::AluKind::Mul, rd: Reg::A3, rs1: Reg::T1, rs2: Reg::T2 },
-            "div" => Inst::Op { kind: safedm_isa::AluKind::Div, rd: Reg::A4, rs1: Reg::T1, rs2: Reg::T2 },
-            "branch" => Inst::Branch { kind: safedm_isa::BranchKind::Eq, rs1: Reg::A5, rs2: Reg::A6, offset: 16 },
+            "store" => Inst::Store {
+                kind: safedm_isa::StoreKind::D,
+                rs1: Reg::SP,
+                rs2: Reg::A2,
+                offset: 16,
+            },
+            "mul" => {
+                Inst::Op { kind: safedm_isa::AluKind::Mul, rd: Reg::A3, rs1: Reg::T1, rs2: Reg::T2 }
+            }
+            "div" => {
+                Inst::Op { kind: safedm_isa::AluKind::Div, rd: Reg::A4, rs1: Reg::T1, rs2: Reg::T2 }
+            }
+            "branch" => Inst::Branch {
+                kind: safedm_isa::BranchKind::Eq,
+                rs1: Reg::A5,
+                rs2: Reg::A6,
+                offset: 16,
+            },
             "jal" => Inst::Jal { rd: Reg::RA, offset: 32 },
             "csr" => Inst::Csr { kind: CsrKind::Rs, rd: Reg::T0, rs1: Reg::ZERO, csr: 0xf14 },
             "fence" => Inst::Fence,
@@ -1122,8 +1158,7 @@ mod tests {
         let mut a = Asm::new();
         build(&mut a);
         let prog = a.link(0x8000_0000).unwrap();
-        let mut cfg = SocConfig::default();
-        cfg.cores = 1;
+        let cfg = SocConfig { cores: 1, ..SocConfig::default() };
         let mut soc = MpSoc::new(cfg);
         soc.load_program(&prog);
         let r = soc.run(1_000_000);
@@ -1185,8 +1220,7 @@ mod tests {
             a.bnez(Reg::T0, top);
             a.ebreak();
             let prog = a.link(0x8000_0000).unwrap();
-            let mut cfg = SocConfig::default();
-            cfg.cores = 1;
+            let cfg = SocConfig { cores: 1, ..SocConfig::default() };
             let mut soc = MpSoc::new(cfg);
             soc.load_program(&prog);
             let r = soc.run(1_000_000);
@@ -1230,8 +1264,7 @@ mod tests {
         a.bnez(Reg::T0, top);
         a.ebreak();
         let prog = a.link(0x8000_0000).unwrap();
-        let mut cfg = SocConfig::default();
-        cfg.cores = 1;
+        let cfg = SocConfig { cores: 1, ..SocConfig::default() };
         let mut soc = MpSoc::new(cfg);
         soc.load_program(&prog);
         for _ in 0..60 {
@@ -1250,8 +1283,7 @@ mod tests {
         a.addi(Reg::T1, Reg::T0, 1);
         a.ebreak();
         let prog = a.link(0x8000_0000).unwrap();
-        let mut cfg = SocConfig::default();
-        cfg.cores = 1;
+        let cfg = SocConfig { cores: 1, ..SocConfig::default() };
         let mut soc = MpSoc::new(cfg);
         soc.load_program(&prog);
         soc.core_mut(0).enable_commit_trace(16);
@@ -1277,8 +1309,7 @@ mod tests {
         a.bnez(Reg::T0, top);
         a.ebreak();
         let prog = a.link(0x8000_0000).unwrap();
-        let mut cfg = SocConfig::default();
-        cfg.cores = 1;
+        let cfg = SocConfig { cores: 1, ..SocConfig::default() };
         let mut soc = MpSoc::new(cfg);
         soc.load_program(&prog);
         soc.core_mut(0).enable_commit_trace(10);

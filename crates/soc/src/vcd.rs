@@ -104,8 +104,7 @@ impl ProbeVcd {
     //   0: hold, 1: committed, 2: halted,
     //   3..3+S*W: slot valid, then S*W raws, then read en/val, write en/val.
     fn var_base(&self, core: usize) -> usize {
-        let per_core =
-            3 + 2 * PIPE_STAGES * PIPE_WIDTH + 2 * (READ_PORTS + WRITE_PORTS);
+        let per_core = 3 + 2 * PIPE_STAGES * PIPE_WIDTH + 2 * (READ_PORTS + WRITE_PORTS);
         core * per_core
     }
 
@@ -127,25 +126,15 @@ impl ProbeVcd {
             let mut v = base + 3;
             for s in 0..PIPE_STAGES {
                 for w in 0..PIPE_WIDTH {
-                    let _ = writeln!(
-                        h,
-                        "$var wire 1 {} {}_{}_valid $end",
-                        ident(v),
-                        STAGE_NAMES[s],
-                        w
-                    );
+                    let _ =
+                        writeln!(h, "$var wire 1 {} {}_{}_valid $end", ident(v), STAGE_NAMES[s], w);
                     v += 1;
                 }
             }
             for s in 0..PIPE_STAGES {
                 for w in 0..PIPE_WIDTH {
-                    let _ = writeln!(
-                        h,
-                        "$var wire 32 {} {}_{}_inst $end",
-                        ident(v),
-                        STAGE_NAMES[s],
-                        w
-                    );
+                    let _ =
+                        writeln!(h, "$var wire 32 {} {}_{}_inst $end", ident(v), STAGE_NAMES[s], w);
                     v += 1;
                 }
             }
@@ -212,12 +201,11 @@ impl ProbeVcd {
                     Self::emit_scalar(ch, id, now);
                 }
             };
-            let diffv =
-                |ch: &mut String, id: usize, now: u64, before: Option<u64>, width: u8| {
-                    if before != Some(now) {
-                        Self::emit_vec(ch, id, now, width);
-                    }
-                };
+            let diffv = |ch: &mut String, id: usize, now: u64, before: Option<u64>, width: u8| {
+                if before != Some(now) {
+                    Self::emit_vec(ch, id, now, width);
+                }
+            };
             diff1(&mut changes, base, probe.hold, last.map(|l| l.hold));
             diffv(
                 &mut changes,
@@ -260,13 +248,7 @@ impl ProbeVcd {
             for p in 0..WRITE_PORTS {
                 diff1(&mut changes, v, probe.writes[p].enable, last.map(|l| l.writes[p].enable));
                 v += 1;
-                diffv(
-                    &mut changes,
-                    v,
-                    probe.writes[p].value,
-                    last.map(|l| l.writes[p].value),
-                    64,
-                );
+                diffv(&mut changes, v, probe.writes[p].value, last.map(|l| l.writes[p].value), 64);
                 v += 1;
             }
             self.last_probe[core] = Some(**probe);

@@ -7,8 +7,7 @@ use safedm_isa::{Inst, Reg};
 use safedm_soc::{Iss, MpSoc, SocConfig};
 
 fn compare_streams(prog: &safedm_asm::Program, max: u64) {
-    let mut soc_cfg = SocConfig::default();
-    soc_cfg.cores = 1;
+    let soc_cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(soc_cfg);
     soc.load_program(prog);
     soc.core_mut(0).enable_commit_trace(usize::MAX / 2);

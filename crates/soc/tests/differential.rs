@@ -28,15 +28,44 @@ const POOL: [Reg; 12] = [
 
 #[derive(Debug, Clone)]
 enum Step {
-    Alu { kind: AluKind, rd: usize, rs1: usize, rs2: usize },
-    AluImm { kind: AluKind, rd: usize, rs1: usize, imm: i64 },
-    Li { rd: usize, value: i64 },
-    StoreD { rs: usize, slot: usize },
-    LoadD { rd: usize, slot: usize },
-    StoreW { rs: usize, slot: usize },
-    LoadW { rd: usize, slot: usize },
+    Alu {
+        kind: AluKind,
+        rd: usize,
+        rs1: usize,
+        rs2: usize,
+    },
+    AluImm {
+        kind: AluKind,
+        rd: usize,
+        rs1: usize,
+        imm: i64,
+    },
+    Li {
+        rd: usize,
+        value: i64,
+    },
+    StoreD {
+        rs: usize,
+        slot: usize,
+    },
+    LoadD {
+        rd: usize,
+        slot: usize,
+    },
+    StoreW {
+        rs: usize,
+        slot: usize,
+    },
+    LoadW {
+        rd: usize,
+        slot: usize,
+    },
     /// Forward branch skipping `skip` generated steps (bounded, terminates).
-    SkipIfEq { a: usize, b: usize, skip: usize },
+    SkipIfEq {
+        a: usize,
+        b: usize,
+        skip: usize,
+    },
 }
 
 fn any_rr_kind() -> impl Strategy<Value = AluKind> {
@@ -116,12 +145,7 @@ fn build(steps: &[Step]) -> safedm_asm::Program {
         });
         match *step {
             Step::Alu { kind, rd, rs1, rs2 } => {
-                a.inst(safedm_isa::Inst::Op {
-                    kind,
-                    rd: POOL[rd],
-                    rs1: POOL[rs1],
-                    rs2: POOL[rs2],
-                });
+                a.inst(safedm_isa::Inst::Op { kind, rd: POOL[rd], rs1: POOL[rs1], rs2: POOL[rs2] });
             }
             Step::AluImm { kind, rd, rs1, imm } => {
                 a.inst(safedm_isa::Inst::OpImm { kind, rd: POOL[rd], rs1: POOL[rs1], imm });
@@ -168,8 +192,7 @@ proptest! {
         let iss_exit = iss.run(1_000_000);
         prop_assert!(matches!(iss_exit, CoreExit::Ebreak { .. }), "ISS exit: {iss_exit}");
 
-        let mut cfg = SocConfig::default();
-        cfg.cores = 1;
+        let cfg = SocConfig { cores: 1, ..SocConfig::default() };
         let mut soc = MpSoc::new(cfg);
         soc.load_program(&prog);
         let result = soc.run(4_000_000);

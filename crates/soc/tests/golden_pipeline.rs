@@ -25,9 +25,7 @@ fn occupancy(soc: &MpSoc) -> String {
 }
 
 fn single_core() -> SocConfig {
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
-    cfg
+    SocConfig { cores: 1, ..SocConfig::default() }
 }
 
 #[test]
@@ -133,9 +131,5 @@ fn taken_backward_branch_has_single_fetch_bubble() {
     let stats = soc.core(0).stats();
     assert_eq!(stats.mispredicts, 1, "only the loop exit mispredicts");
     // Steady-state loop cost: ≲4 cycles per 2-instruction iteration.
-    assert!(
-        stats.cycles < 64 * 4 + 120,
-        "loop iterations too slow: {} cycles",
-        stats.cycles
-    );
+    assert!(stats.cycles < 64 * 4 + 120, "loop iterations too slow: {} cycles", stats.cycles);
 }

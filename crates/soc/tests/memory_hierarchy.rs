@@ -33,8 +33,7 @@ fn cycles_for(footprint: u64) -> f64 {
     // Normalise by the number of loads issued.
     let iters = 40;
     let loads = (footprint / 64) * iters as u64;
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(cfg);
     soc.load_program(&strided_reader(footprint, iters));
     let r = soc.run(400_000_000);
@@ -75,8 +74,7 @@ fn warm_instruction_cache_speeds_up_reruns() {
     a.bgtz(Reg::S1, again);
     a.ebreak();
     let prog = a.link(0x8000_0000).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(cfg);
     soc.load_program(&prog);
 

@@ -32,8 +32,7 @@ fn dual_issue_pairs_independent_ops() {
     }
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(cfg);
     soc.load_program(&prog);
     assert!(soc.run(100_000).all_clean());
@@ -55,8 +54,7 @@ fn dependent_chain_does_not_dual_issue() {
     }
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(cfg);
     soc.load_program(&prog);
     assert!(soc.run(100_000).all_clean());
@@ -146,8 +144,7 @@ fn store_buffer_coalesces_same_line() {
     }
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(cfg);
     soc.load_program(&prog);
     assert!(soc.run(100_000).all_clean());
@@ -202,8 +199,7 @@ fn guest_apb_store_and_load() {
     a.ld(Reg::A0, 0, Reg::T0);
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(cfg);
     let slave = soc.uncore_mut().add_apb_slave(ApbRegisterFile::new(0xfc00_0100, 8));
     soc.load_program(&prog);
@@ -223,8 +219,7 @@ fn fence_drains_store_buffer() {
     a.fence();
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(cfg);
     soc.load_program(&prog);
     assert!(soc.run(100_000).all_clean());
@@ -270,9 +265,7 @@ fn determinism_same_seed_same_trace() {
 #[test]
 fn jitter_seeds_change_timing_but_not_results() {
     let run = |seed: u64| {
-        let mut cfg = SocConfig::default();
-        cfg.mem_jitter = 4;
-        cfg.jitter_seed = seed;
+        let cfg = SocConfig { mem_jitter: 4, jitter_seed: seed, ..SocConfig::default() };
         let mut soc = MpSoc::new(cfg);
         soc.load_program(&countdown_loop(500));
         let r = soc.run(1_000_000);
@@ -299,8 +292,7 @@ fn load_use_forwarding_correctness_under_misses() {
     a.addi(Reg::A0, Reg::T2, 1);
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(cfg);
     soc.load_program(&prog);
     assert!(soc.run(100_000).all_clean());
@@ -319,8 +311,7 @@ fn partial_store_overlap_forces_drain() {
     a.ld(Reg::A0, 0, Reg::T0); // partial overlap with the pending sb
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = MpSoc::new(cfg);
     soc.load_program(&prog);
     assert!(soc.run(100_000).all_clean());
@@ -334,14 +325,19 @@ fn illegal_instruction_traps_the_pipeline() {
     a.word(0xffff_ffff); // not a valid encoding
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = safedm_soc::MpSoc::new(cfg);
     soc.load_program(&prog);
     let r = soc.run(100_000);
     assert!(!r.timed_out);
     assert!(
-        matches!(r.exits[0], safedm_soc::CoreExit::Trap(safedm_soc::TrapCause::IllegalInstruction { word: 0xffff_ffff, .. })),
+        matches!(
+            r.exits[0],
+            safedm_soc::CoreExit::Trap(safedm_soc::TrapCause::IllegalInstruction {
+                word: 0xffff_ffff,
+                ..
+            })
+        ),
         "{:?}",
         r.exits[0]
     );
@@ -357,8 +353,7 @@ fn wild_jump_traps_as_fetch_fault() {
     a.jalr(Reg::ZERO, Reg::T0, 0);
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = safedm_soc::MpSoc::new(cfg);
     soc.load_program(&prog);
     let r = soc.run(100_000);
@@ -375,8 +370,7 @@ fn out_of_ram_load_traps_as_access_fault() {
     a.ld(Reg::T1, 0, Reg::T0);
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = safedm_soc::MpSoc::new(cfg);
     soc.load_program(&prog);
     let r = soc.run(100_000);
@@ -393,8 +387,7 @@ fn store_to_code_traps_on_the_pipeline() {
     a.sd(Reg::T0, 0, Reg::T0);
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = safedm_soc::MpSoc::new(cfg);
     soc.load_program(&prog);
     let r = soc.run(100_000);
@@ -412,8 +405,7 @@ fn misaligned_load_traps_on_the_pipeline() {
     a.lw(Reg::T1, 2, Reg::T0);
     a.ebreak();
     let prog = a.link(BASE).unwrap();
-    let mut cfg = SocConfig::default();
-    cfg.cores = 1;
+    let cfg = SocConfig { cores: 1, ..SocConfig::default() };
     let mut soc = safedm_soc::MpSoc::new(cfg);
     soc.load_program(&prog);
     let r = soc.run(100_000);

@@ -82,8 +82,7 @@ pub fn md5() -> Kernel {
         a.li(Reg::S8, 0); // round i
         let round_loop = a.here("md5_round");
         // select F and g by round quartile
-        let (q1, q2, q3) =
-            (a.new_label("md5_q1"), a.new_label("md5_q2"), a.new_label("md5_q3"));
+        let (q1, q2, q3) = (a.new_label("md5_q1"), a.new_label("md5_q2"), a.new_label("md5_q3"));
         let dispatch_done = a.new_label("md5_fg_done");
         a.li(Reg::T4, 16);
         a.blt(Reg::S8, Reg::T4, q1);
@@ -192,10 +191,7 @@ pub fn md5() -> Kernel {
                     2 => (b ^ c ^ d, (3 * i + 5) % 16),
                     _ => (c ^ (b | !d), (7 * i) % 16),
                 };
-                let sum = a
-                    .wrapping_add(f)
-                    .wrapping_add(MD5_K[i] as u32)
-                    .wrapping_add(m[g]);
+                let sum = a.wrapping_add(f).wrapping_add(MD5_K[i] as u32).wrapping_add(m[g]);
                 let rot = sum.rotate_left(MD5_S[i] as u32);
                 let new_b = b.wrapping_add(rot);
                 a = d;
@@ -245,7 +241,7 @@ pub fn sha() -> Kernel {
         a.slli(Reg::T0, Reg::S8, 2);
         a.add(Reg::T0, Reg::T0, Reg::S0);
         a.lwu(Reg::T1, 0, Reg::T0); // little-endian load
-        // byte-swap to big-endian
+                                    // byte-swap to big-endian
         a.srli(Reg::T2, Reg::T1, 24);
         a.srli(Reg::T3, Reg::T1, 8);
         a.li(Reg::T4, 0xff00);

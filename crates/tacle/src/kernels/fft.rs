@@ -31,11 +31,11 @@ fn twiddles() -> (Vec<i64>, Vec<i64>) {
 }
 
 fn fft_input() -> (Vec<i64>, Vec<i64>) {
-    let re = dwords_mod(0xFF7_0, FFT_BLOCKS * FFT_N, 2 * ONE as u64)
+    let re = dwords_mod(0xFF70, FFT_BLOCKS * FFT_N, 2 * ONE as u64)
         .into_iter()
         .map(|v| v as i64 - ONE)
         .collect();
-    let im = dwords_mod(0xFF7_1, FFT_BLOCKS * FFT_N, 2 * ONE as u64)
+    let im = dwords_mod(0xFF71, FFT_BLOCKS * FFT_N, 2 * ONE as u64)
         .into_iter()
         .map(|v| v as i64 - ONE)
         .collect();
@@ -111,17 +111,17 @@ pub fn fft() -> Kernel {
         a.ld(Reg::S7, 0, Reg::T1); // wr
         a.add(Reg::T1, Reg::T0, Reg::S3);
         a.ld(Reg::S8, 0, Reg::T1); // wi
-        // p = i + k ; q = p + len/2
+                                   // p = i + k ; q = p + len/2
         a.add(Reg::T0, Reg::S5, Reg::S6);
         a.srli(Reg::T1, Reg::S4, 1);
         a.add(Reg::T1, Reg::T1, Reg::T0); // q
-        // load a[q]
+                                          // load a[q]
         a.slli(Reg::T2, Reg::T1, 3);
         a.add(Reg::T3, Reg::T2, Reg::S0);
         a.ld(Reg::T4, 0, Reg::T3); // qr
         a.add(Reg::T3, Reg::T2, Reg::S1);
         a.ld(Reg::T5, 0, Reg::T3); // qi
-        // v = w * a[q]  (complex, Q16.16) into s9 (vr), t6 (vi)
+                                   // v = w * a[q]  (complex, Q16.16) into s9 (vr), t6 (vi)
         a.mul(Reg::S9, Reg::T4, Reg::S7);
         a.srai(Reg::S9, Reg::S9, 16);
         a.mul(Reg::T6, Reg::T5, Reg::S8);
@@ -132,13 +132,13 @@ pub fn fft() -> Kernel {
         a.mul(Reg::T4, Reg::T5, Reg::S7);
         a.srai(Reg::T4, Reg::T4, 16);
         a.add(Reg::T6, Reg::T6, Reg::T4); // vi = qr*wi + qi*wr
-        // load a[p] (u)
+                                          // load a[p] (u)
         a.slli(Reg::T2, Reg::T0, 3);
         a.add(Reg::T3, Reg::T2, Reg::S0);
         a.ld(Reg::T4, 0, Reg::T3); // ur
         a.add(Reg::T3, Reg::T2, Reg::S1);
         a.ld(Reg::T5, 0, Reg::T3); // ui
-        // a[p] = u + v ; a[q] = u - v
+                                   // a[p] = u + v ; a[q] = u - v
         a.add(Reg::T2, Reg::T4, Reg::S9);
         a.slli(Reg::T3, Reg::T0, 3);
         a.add(Reg::T3, Reg::T3, Reg::S0);

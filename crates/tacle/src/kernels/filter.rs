@@ -51,7 +51,7 @@ pub fn complex_updates() -> Kernel {
         a.ld(Reg::T1, 8, Reg::S0); // ai
         a.ld(Reg::T2, 0, Reg::S1); // br
         a.ld(Reg::T3, 8, Reg::S1); // bi
-        // cr += ar*br - ai*bi ; ci += ar*bi + ai*br
+                                   // cr += ar*br - ai*bi ; ci += ar*bi + ai*br
         a.mul(Reg::T4, Reg::T0, Reg::T2);
         a.srai(Reg::T4, Reg::T4, 16);
         a.mul(Reg::T5, Reg::T1, Reg::T3);
@@ -95,8 +95,7 @@ pub fn complex_updates() -> Kernel {
                 let (ar, ai) = (av[2 * i], av[2 * i + 1]);
                 let (br, bi) = (bv[2 * i], bv[2 * i + 1]);
                 c[2 * i] = c[2 * i].wrapping_add(qmul(ar, br).wrapping_sub(qmul(ai, bi)));
-                c[2 * i + 1] =
-                    c[2 * i + 1].wrapping_add(qmul(ar, bi).wrapping_add(qmul(ai, br)));
+                c[2 * i + 1] = c[2 * i + 1].wrapping_add(qmul(ar, bi).wrapping_add(qmul(ai, br)));
             }
         }
         c.iter().fold(0u64, |acc, v| acc.wrapping_add(*v as u64))
@@ -188,9 +187,9 @@ pub fn filterbank() -> Kernel {
             }
             *yb = acc;
         }
-        y.iter().enumerate().fold(0u64, |acc, (i, v)| {
-            acc.wrapping_add((*v as u64).wrapping_mul(i as u64 + 1))
-        })
+        y.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, v)| acc.wrapping_add((*v as u64).wrapping_mul(i as u64 + 1)))
     }
     Kernel { name: "filterbank", build, reference }
 }
@@ -290,9 +289,9 @@ pub fn fir2dim() -> Kernel {
                 out[row * F2_OUT + col] = acc;
             }
         }
-        out.iter().enumerate().fold(0u64, |acc, (i, v)| {
-            acc.wrapping_add((*v as u64).wrapping_mul(i as u64 + 1))
-        })
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, v)| acc.wrapping_add((*v as u64).wrapping_mul(i as u64 + 1)))
     }
     Kernel { name: "fir2dim", build, reference }
 }
@@ -414,7 +413,7 @@ pub fn lms() -> Kernel {
         a.add(Reg::T1, Reg::T1, Reg::S1);
         a.ld(Reg::T2, 0, Reg::T1);
         a.sub(Reg::S5, Reg::T2, Reg::S4); // e
-        // w[k] += mu * e * x[n-k]
+                                          // w[k] += mu * e * x[n-k]
         a.li(Reg::T0, 0);
         let upd = a.here("lms_upd");
         a.sub(Reg::T3, Reg::S3, Reg::T0);
@@ -464,9 +463,9 @@ pub fn lms() -> Kernel {
                 w[k] = w[k].wrapping_add(qmul(qmul(LMS_MU, e), x[n - k]));
             }
         }
-        w.iter().enumerate().fold(0u64, |acc, (i, v)| {
-            acc.wrapping_add((*v as u64).wrapping_mul(i as u64 + 1))
-        })
+        w.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, v)| acc.wrapping_add((*v as u64).wrapping_mul(i as u64 + 1)))
     }
     Kernel { name: "lms", build, reference }
 }

@@ -41,7 +41,7 @@ pub fn cosf() -> Kernel {
         a.li(R, 0);
         let lp = a.here("cos_loop");
         a.ld(Reg::T0, 0, Reg::S0); // x
-        // x2 = (x*x) >> 16
+                                   // x2 = (x*x) >> 16
         a.mul(Reg::T1, Reg::T0, Reg::T0);
         a.srai(Reg::T1, Reg::T1, 16);
         // x4 = (x2*x2) >> 16

@@ -38,9 +38,9 @@ fn emit_weighted_checksum(a: &mut Asm, base: Reg, n: usize) {
 }
 
 fn ref_weighted_checksum(v: &[i64]) -> u64 {
-    v.iter().enumerate().fold(0u64, |acc, (i, x)| {
-        acc.wrapping_add((*x as u64).wrapping_mul(i as u64 + 1))
-    })
+    v.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, x)| acc.wrapping_add((*x as u64).wrapping_mul(i as u64 + 1)))
 }
 
 // --------------------------------------------------------------------------
@@ -164,7 +164,7 @@ pub fn ludcmp() -> Kernel {
         a.div(Reg::T2, Reg::T2, Reg::T4); // factor
         a.sd(Reg::T2, 0, Reg::T1);
         a.mv(Reg::S5, Reg::T2); // keep factor
-        // for j in k+1..n: a[i][j] -= qmul(factor, a[k][j])
+                                // for j in k+1..n: a[i][j] -= qmul(factor, a[k][j])
         a.addi(Reg::S3, Reg::S1, 1); // j
         let j_loop = a.here("lu_j");
         a.li(Reg::T0, LU_DIM as i64);
@@ -369,7 +369,7 @@ pub fn st() -> Kernel {
         a.li(Reg::T4, ST_N as i64);
         a.div(Reg::S2, Reg::S2, Reg::T4); // mean x
         a.div(Reg::S3, Reg::S3, Reg::T4); // mean y
-        // pass 2: central moments
+                                          // pass 2: central moments
         a.li(Reg::S4, 0); // varx
         a.li(Reg::S5, 0); // vary
         a.li(Reg::S6, 0); // cov

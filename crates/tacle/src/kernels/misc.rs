@@ -19,9 +19,8 @@ fn bs_data() -> (Vec<u64>, Vec<u64>) {
     let arr = sorted_dwords(0xB5, BS_N);
     // Half of the keys are planted hits, half are likely misses.
     let misses = dwords(0x1CEB00DA, BS_KEYS);
-    let keys: Vec<u64> = (0..BS_KEYS)
-        .map(|i| if i % 2 == 0 { arr[(i * 7) % BS_N] } else { misses[i] })
-        .collect();
+    let keys: Vec<u64> =
+        (0..BS_KEYS).map(|i| if i % 2 == 0 { arr[(i * 7) % BS_N] } else { misses[i] }).collect();
     (arr, keys)
 }
 

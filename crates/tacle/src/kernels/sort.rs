@@ -26,9 +26,7 @@ fn emit_checksum(a: &mut Asm, arr: Label, n: usize) {
 }
 
 fn ref_checksum(arr: &[u64]) -> u64 {
-    arr.iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, v)| acc.wrapping_add(v.wrapping_mul(i as u64 + 1)))
+    arr.iter().enumerate().fold(0u64, |acc, (i, v)| acc.wrapping_add(v.wrapping_mul(i as u64 + 1)))
 }
 
 // --------------------------------------------------------------------------
@@ -152,7 +150,7 @@ pub fn quicksort() -> Kernel {
         let arr = a.d_dwords("qs_arr", &data);
         a.la(Reg::S0, arr);
         a.mv(Reg::S6, Reg::SP); // stack base marker
-        // push (0, N-1)
+                                // push (0, N-1)
         a.addi(Reg::SP, Reg::SP, -16);
         a.li(Reg::T0, 0);
         a.sd(Reg::T0, 0, Reg::SP);
@@ -165,7 +163,7 @@ pub fn quicksort() -> Kernel {
         a.ld(Reg::S2, 8, Reg::SP); // hi
         a.addi(Reg::SP, Reg::SP, 16);
         a.bge(Reg::S1, Reg::S2, work); // lo >= hi: nothing to do
-        // partition: pivot = arr[hi]
+                                       // partition: pivot = arr[hi]
         a.slli(Reg::T0, Reg::S2, 3);
         a.add(Reg::T0, Reg::T0, Reg::S0);
         a.ld(Reg::S3, 0, Reg::T0); // pivot

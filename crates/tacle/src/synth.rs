@@ -254,8 +254,7 @@ mod tests {
         let mut iss = Iss::new(0);
         iss.load_program(&prog);
         assert!(iss.run(50_000_000).is_clean());
-        let mut soc_cfg = SocConfig::default();
-        soc_cfg.cores = 1;
+        let soc_cfg = SocConfig { cores: 1, ..SocConfig::default() };
         let mut soc = MpSoc::new(soc_cfg);
         soc.load_program(&prog);
         assert!(soc.run(50_000_000).all_clean());

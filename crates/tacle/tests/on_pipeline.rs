@@ -9,8 +9,7 @@ use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
 fn kernels_match_reference_on_pipeline() {
     for k in kernels::all() {
         let prog = build_kernel_program(k, &HarnessConfig::default());
-        let mut cfg = SocConfig::default();
-        cfg.cores = 1;
+        let cfg = SocConfig { cores: 1, ..SocConfig::default() };
         let mut soc = MpSoc::new(cfg);
         soc.load_program(&prog);
         let r = soc.run(60_000_000);

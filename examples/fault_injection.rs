@@ -5,7 +5,9 @@
 //! cargo run --release --example fault_injection
 //! ```
 
-use safedm::faults::{run_injection, run_single_core_injection, CommonCauseFault, FaultTarget, Outcome};
+use safedm::faults::{
+    run_injection, run_single_core_injection, CommonCauseFault, FaultTarget, Outcome,
+};
 use safedm::isa::Reg;
 use safedm::tacle::{build_kernel_program, kernels, HarnessConfig};
 
@@ -18,10 +20,8 @@ fn main() {
     println!();
 
     // 1. A transient fault in ONE core: plain redundancy suffices.
-    let fault = CommonCauseFault {
-        cycle: 5_000,
-        target: FaultTarget::Register { reg: Reg::A0, bit: 60 },
-    };
+    let fault =
+        CommonCauseFault { cycle: 5_000, target: FaultTarget::Register { reg: Reg::A0, bit: 60 } };
     let r = run_single_core_injection(&prog, golden, fault, 0, 80_000_000);
     println!("single-core flip of a0 bit 60 at cycle 5000 : {:?}", r.outcome);
     assert_ne!(r.outcome, Outcome::SilentCorruption);

@@ -12,8 +12,7 @@ use safedm::soc::SocConfig;
 use safedm::tacle::{build_kernel_program, kernels, HarnessConfig};
 
 fn main() {
-    let mut soc_cfg = SocConfig::default();
-    soc_cfg.cores = 4;
+    let soc_cfg = SocConfig { cores: 4, ..SocConfig::default() };
 
     let mut sys = MultiPairSoc::new(soc_cfg, SafeDmConfig::default(), &[(0, 1), (2, 3)]);
 
@@ -32,10 +31,7 @@ fn main() {
     println!("kernel: {} on 4 cores, two monitored pairs", kernel.name);
     println!("cycles: {}", out.cycles);
     println!();
-    println!(
-        "{:>6} {:>10} {:>10} {:>10} {:>8}",
-        "pair", "observed", "zero-stag", "no-div", "irq"
-    );
+    println!("{:>6} {:>10} {:>10} {:>10} {:>8}", "pair", "observed", "zero-stag", "no-div", "irq");
     for i in 0..sys.pair_count() {
         let (a, b) = sys.pair_cores(i);
         let bank = sys.apb_bank(i);

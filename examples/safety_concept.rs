@@ -50,15 +50,14 @@ fn main() {
         );
         // Each activation sees slightly different platform state (DRAM
         // phase); model it with the per-run jitter seed.
-        let mut soc_cfg = SocConfig::default();
-        soc_cfg.mem_jitter = 3;
-        soc_cfg.jitter_seed = activation;
+        let soc_cfg = SocConfig { mem_jitter: 3, jitter_seed: activation, ..SocConfig::default() };
         let mut sys = MonitoredSoc::new(soc_cfg, SafeDmConfig::default());
         sys.load_program(&prog);
         // Program the monitor over its APB registers, driver-style:
         // enabled, interrupt after 120 no-diversity cycles.
-        sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(
-            ReportMode::InterruptThreshold(0)) << 1));
+        sys.write_ctrl(
+            1 | (safedm::monitor::regs::encode_mode(ReportMode::InterruptThreshold(0)) << 1),
+        );
         sys.write_threshold(120);
         let out = sys.run(100_000_000);
         assert!(out.run.all_clean());

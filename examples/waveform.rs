@@ -51,10 +51,6 @@ fn main() {
     let cycles = vcd.cycles();
     let path = std::path::Path::new("safedm_trace.vcd");
     vcd.write_to(path).expect("write vcd");
-    println!(
-        "wrote {} ({} cycles of 2 cores + monitor verdicts)",
-        path.display(),
-        cycles
-    );
+    println!("wrote {} ({} cycles of 2 cores + monitor verdicts)", path.display(), cycles);
     println!("open it with: gtkwave {}", path.display());
 }

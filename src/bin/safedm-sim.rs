@@ -4,15 +4,21 @@
 //! redundantly under SafeDM, and report the diversity verdict; optionally
 //! dump a VCD waveform or a commit trace.
 //!
+//! The `analyze` subcommand runs the static diversity analyzer
+//! (`safedm-analysis`) instead of the simulator, and can optionally
+//! cross-validate its guaranteed findings against the runtime monitor.
+//!
 //! ```text
 //! safedm-sim program.s [--base 0x80000000] [--stagger N [--delayed-core C]]
 //!            [--vcd out.vcd [--vcd-cycles N]] [--trace N] [--json]
 //! safedm-sim --kernel bitcount [...]
+//! safedm-sim analyze <program.s | --kernel NAME> [--stagger N] [--gate]
 //! safedm-sim --list-kernels
 //! ```
 
 use std::process::ExitCode;
 
+use safedm::analysis::{analyze, AnalysisConfig};
 use safedm::monitor::{MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm::soc::{ProbeVcd, SocConfig};
 use safedm::tacle::{build_kernel_program, kernels, HarnessConfig, StaggerConfig};
@@ -38,7 +44,60 @@ fn parse_u64(s: &str) -> Result<u64, String> {
 fn usage() -> &'static str {
     "usage: safedm-sim <program.s | --kernel NAME | --list-kernels>\n\
      \x20      [--base ADDR] [--stagger NOPS [--delayed-core 0|1]]\n\
-     \x20      [--vcd FILE [--vcd-cycles N]] [--trace N] [--max-cycles N] [--json]"
+     \x20      [--vcd FILE [--vcd-cycles N]] [--trace N] [--max-cycles N] [--json]\n\
+     \x20      safedm-sim analyze <program.s | --kernel NAME>\n\
+     \x20      [--base ADDR] [--stagger NOPS] [--gate] [--max-cycles N]"
+}
+
+/// The `analyze` subcommand: run the static diversity lints, print the
+/// rustc-style report, and with `--gate` cross-validate the guaranteed
+/// findings against a monitored run.
+fn run_analyze(args: &[String]) -> Result<(), String> {
+    let base = arg_value(args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;
+    let stagger_nops = arg_value(args, "--stagger").map(|v| parse_u64(&v)).transpose()?;
+    let max_cycles = arg_value(args, "--max-cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
+
+    let (name, prog) = if let Some(kname) = arg_value(args, "--kernel") {
+        let k = kernels::by_name(&kname)
+            .ok_or_else(|| format!("unknown kernel `{kname}` (see --list-kernels)"))?;
+        let stagger =
+            stagger_nops.map(|nops| StaggerConfig { nops: nops as usize, delayed_core: 1 });
+        let prog = build_kernel_program(k, &HarnessConfig { stagger, ..HarnessConfig::default() });
+        (kname, prog)
+    } else {
+        let path = args
+            .iter()
+            .find(|a| !a.starts_with("--") && *a != "analyze" && !is_flag_value(args, a))
+            .ok_or_else(|| usage().to_owned())?;
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let prog = safedm::asm::assemble(&source, base).map_err(|e| e.to_string())?;
+        (path.clone(), prog)
+    };
+
+    let cfg = AnalysisConfig { stagger_nops, ..AnalysisConfig::default() };
+    let report = analyze(&prog, &cfg);
+    println!("static diversity analysis of `{name}`");
+    print!("{}", report.render());
+
+    if arg_flag(args, "--gate") {
+        println!("\ncross-validating against the runtime monitor (stagger 0) ...");
+        let mut sys = MonitoredSoc::new(SocConfig::default(), SafeDmConfig::default());
+        sys.enable_static_gate(cfg);
+        sys.load_program(&prog);
+        sys.run(max_cycles);
+        let gate = sys.detach_gate().expect("gate armed by load_program");
+        print!("{}", gate.summary());
+        if !gate.all_confirmed() {
+            return Err("cross-validation REFUTED a guaranteed prediction".to_owned());
+        }
+        println!(
+            "gate: {}/{} predicted regions executed, all confirmed",
+            gate.executed_count(),
+            gate.checks().len()
+        );
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -53,20 +112,21 @@ fn run() -> Result<(), String> {
         }
         return Ok(());
     }
+    if args.first().is_some_and(|a| a == "analyze") {
+        return run_analyze(&args[1..]);
+    }
 
     let base = arg_value(&args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;
-    let stagger = arg_value(&args, "--stagger")
-        .map(|v| parse_u64(&v))
-        .transpose()?
-        .map(|nops| StaggerConfig {
+    let stagger = arg_value(&args, "--stagger").map(|v| parse_u64(&v)).transpose()?.map(|nops| {
+        StaggerConfig {
             nops: nops as usize,
             delayed_core: arg_value(&args, "--delayed-core")
                 .map_or(Ok(1), |v| parse_u64(&v))
                 .map(|c| c as usize)
                 .unwrap_or(1),
-        });
-    let max_cycles =
-        arg_value(&args, "--max-cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
+        }
+    });
+    let max_cycles = arg_value(&args, "--max-cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
 
     // Program source: a file path or a built-in kernel.
     let (name, prog, golden) = if let Some(kname) = arg_value(&args, "--kernel") {
@@ -105,8 +165,7 @@ fn run() -> Result<(), String> {
 
     // Optional VCD of the first N cycles.
     let vcd_path = arg_value(&args, "--vcd");
-    let vcd_cycles =
-        arg_value(&args, "--vcd-cycles").map_or(Ok(4_096), |v| parse_u64(&v))?;
+    let vcd_cycles = arg_value(&args, "--vcd-cycles").map_or(Ok(4_096), |v| parse_u64(&v))?;
     let mut vcd = vcd_path.as_ref().map(|_| {
         let mut v = ProbeVcd::new(2, "safedm_sim");
         let nd = v.add_channel("monitor.no_diversity", 1);
@@ -142,10 +201,9 @@ fn run() -> Result<(), String> {
         }
     }
 
-    let exits: Vec<String> =
-        (0..2).map(|c| sys.soc().core(c).exit().to_string()).collect();
-    let a0 = [sys.soc().core(0).reg(safedm::isa::Reg::A0),
-              sys.soc().core(1).reg(safedm::isa::Reg::A0)];
+    let exits: Vec<String> = (0..2).map(|c| sys.soc().core(c).exit().to_string()).collect();
+    let a0 =
+        [sys.soc().core(0).reg(safedm::isa::Reg::A0), sys.soc().core(1).reg(safedm::isa::Reg::A0)];
     let c = sys.monitor().counters();
     let zero_stag = sys.monitor().instruction_diff().zero_cycles();
 

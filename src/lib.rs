@@ -12,6 +12,7 @@
 //! | [`tacle`] | `safedm-tacle` | the 29 TACLe-style kernels of Table I |
 //! | [`faults`] | `safedm-faults` | common-cause fault-injection campaigns |
 //! | [`power`] | `safedm-power` | FPGA area/power model (Section V-D) |
+//! | [`analysis`] | `safedm-analysis` | static diversity analyzer (CFG/dataflow lints) |
 //!
 //! ## Quickstart
 //!
@@ -56,3 +57,6 @@ pub use safedm_faults as faults;
 
 /// FPGA area and power model (re-export of `safedm-power`).
 pub use safedm_power as power;
+
+/// Static diversity analyzer (re-export of `safedm-analysis`).
+pub use safedm_analysis as analysis;

@@ -190,8 +190,7 @@ fn guest_can_reprogram_the_monitor_over_apb() {
 
 #[test]
 fn four_core_soc_still_monitors_first_pair() {
-    let mut cfg = SocConfig::default();
-    cfg.cores = 4;
+    let cfg = SocConfig { cores: 4, ..SocConfig::default() };
     let k = kernels::by_name("fac").expect("kernel");
     let prog = build_kernel_program(k, &HarnessConfig::default());
     let mut sys = MonitoredSoc::new(cfg, polling_cfg());

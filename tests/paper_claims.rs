@@ -107,7 +107,11 @@ fn claim_comparison_blind_without_diversity() {
     for (i, cycle) in lockstep_cycles.iter().enumerate() {
         let fault = CommonCauseFault {
             cycle: cycle - 1,
-            target: FaultTarget::StageResult { stage: 3 + i % 3, slot: 0, bit: (i * 11 % 64) as u8 },
+            target: FaultTarget::StageResult {
+                stage: 3 + i % 3,
+                slot: 0,
+                bit: (i * 11 % 64) as u8,
+            },
         };
         let r = run_injection(&prog, golden, fault, 200_000_000);
         assert!(r.no_diversity_at_injection, "cycle {cycle} must be flagged");
@@ -144,15 +148,9 @@ fn claim_false_positives_exist_and_err_toward_caution() {
     let out = sys.run(100_000_000);
     assert!(out.run.all_clean());
     // Flagged cycles while the staggering counter is visibly nonzero:
-    let false_positives = sys
-        .take_trace()
-        .iter()
-        .filter(|t| t.no_diversity && t.diff.unsigned_abs() > 20)
-        .count();
-    assert!(
-        false_positives > 0,
-        "recursion@100nops is the documented false-positive scenario"
-    );
+    let false_positives =
+        sys.take_trace().iter().filter(|t| t.no_diversity && t.diff.unsigned_abs() > 20).count();
+    assert!(false_positives > 0, "recursion@100nops is the documented false-positive scenario");
     // And they are rare relative to the run (safe to treat as errors).
     assert!((false_positives as f64) < 0.05 * out.cycles_observed as f64);
 }

@@ -1,0 +1,235 @@
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion) API.
+//!
+//! Implements the benchmark-definition surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`, benchmark groups,
+//! `iter`/`iter_batched`/`iter_batched_ref`, `Throughput`) with a plain
+//! mean-of-samples timer instead of criterion's statistics engine. Output is
+//! one line per benchmark: mean wall-clock time per iteration and, when a
+//! throughput was declared, the derived rate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point so `criterion::black_box` resolves.
+pub use std::hint::black_box;
+
+/// How `iter_batched*` amortises setup cost. The shim times every routine
+/// invocation individually, so the variants only differ in intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived-rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The measurement driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    samples: usize,
+    elapsed: &'a mut Duration,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            let out = routine();
+            *self.elapsed += t.elapsed();
+            *self.iters += 1;
+            black_box(out);
+        }
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            *self.elapsed += t.elapsed();
+            *self.iters += 1;
+            black_box(out);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by mutable
+    /// reference.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let t = Instant::now();
+            let out = routine(&mut input);
+            *self.elapsed += t.elapsed();
+            *self.iters += 1;
+            black_box(out);
+        }
+    }
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Criterion {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the units processed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher<'_>)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.criterion.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report flushing is per-benchmark in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher<'_>),
+) {
+    let mut elapsed = Duration::ZERO;
+    let mut iters = 0u64;
+    f(&mut Bencher { samples, elapsed: &mut elapsed, iters: &mut iters });
+    if iters == 0 {
+        println!("{name:<40} (no iterations)");
+        return;
+    }
+    let per_iter = elapsed / iters as u32;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("{name:<40} {per_iter:>12.2?}/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("{name:<40} {per_iter:>12.2?}/iter  {rate:>14.0} B/s");
+        }
+        None => println!("{name:<40} {per_iter:>12.2?}/iter"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn batched_ref_gets_fresh_input() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("b", |b| {
+            b.iter_batched_ref(
+                || 0u32,
+                |v| {
+                    *v += 1;
+                    assert_eq!(*v, 1);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+    }
+}

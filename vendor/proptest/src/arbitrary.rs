@@ -1,0 +1,74 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // Mix plain uniform bits with edge values: uniform draws
+                // almost never produce 0/MIN/MAX, which dominate real bugs.
+                match rng.next_u64() % 16 {
+                    0 => 0,
+                    1 => <$ty>::MAX,
+                    2 => <$ty>::MIN,
+                    3 => 1 as $ty,
+                    _ => rng.next_u64() as $ty,
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_appear() {
+        let mut rng = TestRng::from_seed(3);
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..500 {
+            let v = u32::arbitrary(&mut rng);
+            saw_zero |= v == 0;
+            saw_max |= v == u32::MAX;
+        }
+        assert!(saw_zero && saw_max, "edge values must be over-represented");
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline drop-in subset of the [proptest](https://docs.rs/proptest) API.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! property-testing layer is vendored: the same surface the tests use
+//! (`proptest!`, `prop_assert*`, `prop_oneof!`, `Strategy`, `any`,
+//! `collection::vec`, `bool::weighted`, `ProptestConfig`) backed by a
+//! deterministic splitmix64 generator. Differences from the real crate:
+//!
+//! * no shrinking — a failing case reports its inputs but is not minimised;
+//! * deterministic seeding per test (derived from the test's module path),
+//!   so failures reproduce without a regression file;
+//! * `proptest-regressions` files are ignored.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+
+/// Strategies over `bool` (subset of `proptest::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `true` with probability `probability`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    /// Returns a strategy producing `true` with the given probability.
+    pub fn weighted(probability: f64) -> Weighted {
+        Weighted { probability }
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_f64() < self.probability
+        }
+    }
+}
+
+/// The commonly-used re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) so the harness can report the generating inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left != right` (both `{:?}`)",
+                l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (counts as neither pass nor failure) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_owned(),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)*
+                let inputs = {
+                    let mut s = String::new();
+                    $(s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)*
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {case}/{} failed: {msg}\ninputs:\n{inputs}",
+                            config.cases
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
