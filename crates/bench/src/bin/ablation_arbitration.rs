@@ -9,6 +9,8 @@
 //!
 //! Usage: `cargo run -p safedm-bench --bin ablation_arbitration --release`
 
+use std::fmt::Write as _;
+
 use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_soc::{ArbitrationPolicy, SocConfig};
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
@@ -35,6 +37,17 @@ fn run(name: &str, policy: ArbitrationPolicy) -> (u64, u64, u64, i64) {
 
 fn main() {
     let names = ["bitcount", "fac", "insertsort", "quicksort", "lms"];
+    // Rows accumulate while the sweeps run; the table prints once at the end.
+    let mut rows = String::new();
+    for name in names {
+        let (zs_rr, nd_rr, _, bias_rr) = run(name, ArbitrationPolicy::RoundRobin);
+        let (zs_fp, nd_fp, _, bias_fp) = run(name, ArbitrationPolicy::FixedPriority);
+        let _ = writeln!(
+            rows,
+            "{:<12} | {:>10} {:>8} {:>10} | {:>10} {:>8} {:>10}",
+            name, zs_rr, nd_rr, bias_rr, zs_fp, nd_fp, bias_fp
+        );
+    }
     println!("ABLATION A3: bus arbitration policy vs natural diversity");
     println!();
     println!(
@@ -45,14 +58,7 @@ fn main() {
         "{:<12} | {:>10} {:>8} {:>10} | {:>10} {:>8} {:>10}",
         "benchmark", "zero-stag", "no-div", "lead-bias", "zero-stag", "no-div", "lead-bias"
     );
-    for name in names {
-        let (zs_rr, nd_rr, _, bias_rr) = run(name, ArbitrationPolicy::RoundRobin);
-        let (zs_fp, nd_fp, _, bias_fp) = run(name, ArbitrationPolicy::FixedPriority);
-        println!(
-            "{:<12} | {:>10} {:>8} {:>10} | {:>10} {:>8} {:>10}",
-            name, zs_rr, nd_rr, bias_rr, zs_fp, nd_fp, bias_fp
-        );
-    }
+    print!("{rows}");
     println!();
     println!(
         "lead-bias = (cycles core 0 led) − (cycles core 1 led): fixed priority\n\

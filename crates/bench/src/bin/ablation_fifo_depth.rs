@@ -8,6 +8,8 @@
 //!
 //! Usage: `cargo run -p safedm-bench --bin ablation_fifo_depth --release`
 
+use std::fmt::Write as _;
+
 use safedm_bench::experiments::run_monitored;
 use safedm_core::SafeDmConfig;
 use safedm_power::estimate_area;
@@ -17,6 +19,26 @@ fn main() {
     let names = ["fac", "iir", "bitcount", "md5"];
     let depths = [1usize, 2, 4, 8, 12, 16];
 
+    // Rows accumulate while the sweep runs; the table prints once at the end.
+    let mut rows = String::new();
+    let mut per_depth: Vec<Vec<u64>> = Vec::new();
+    for depth in depths {
+        let cfg = SafeDmConfig { data_fifo_depth: depth, ..SafeDmConfig::default() };
+        let area = estimate_area(&cfg);
+        let _ =
+            write!(rows, "{:>4} {:>9} {:>7.2}", depth, area.total_luts, area.percent_of_baseline);
+        let mut row = Vec::new();
+        for name in names {
+            let k = kernels::by_name(name).expect("kernel");
+            let r = run_monitored(k, None, 0, cfg);
+            assert!(r.checksum_ok);
+            let _ = write!(rows, " {:>10}", r.no_div);
+            row.push(r.no_div);
+        }
+        let _ = writeln!(rows);
+        per_depth.push(row);
+    }
+
     println!("ABLATION A1: data-FIFO depth n vs no-diversity cycles and area");
     println!();
     print!("{:>4} {:>9} {:>7}", "n", "LUTs", "%SoC");
@@ -24,23 +46,7 @@ fn main() {
         print!(" {:>10}", n);
     }
     println!("   (no-div cycles, 0-nop runs)");
-
-    let mut per_depth: Vec<Vec<u64>> = Vec::new();
-    for depth in depths {
-        let cfg = SafeDmConfig { data_fifo_depth: depth, ..SafeDmConfig::default() };
-        let area = estimate_area(&cfg);
-        print!("{:>4} {:>9} {:>7.2}", depth, area.total_luts, area.percent_of_baseline);
-        let mut row = Vec::new();
-        for name in names {
-            let k = kernels::by_name(name).expect("kernel");
-            let r = run_monitored(k, None, 0, cfg);
-            assert!(r.checksum_ok);
-            print!(" {:>10}", r.no_div);
-            row.push(r.no_div);
-        }
-        println!();
-        per_depth.push(row);
-    }
+    print!("{rows}");
 
     // Deeper FIFOs can only extend the protection window: no-div counts
     // must be non-increasing in n (each divergent sample lives n cycles).

@@ -9,6 +9,8 @@
 //!
 //! Usage: `cargo run -p safedm-bench --bin ablation_is_layout --release`
 
+use std::fmt::Write as _;
+
 use safedm_bench::experiments::{dm_config_with_layout, run_monitored};
 use safedm_core::IsLayout;
 use safedm_tacle::kernels;
@@ -16,12 +18,8 @@ use safedm_tacle::kernels;
 fn main() {
     let names = ["fac", "bitcount", "iir", "insertsort", "quicksort", "pm"];
 
-    println!("ABLATION A2: Instruction-Signature layout (is-match cycles, 0-nop runs)");
-    println!();
-    println!(
-        "{:<12} {:>14} {:>14} {:>12} {:>14} {:>14}",
-        "benchmark", "per-stage IS", "in-flight IS", "extra", "no-div (ps)", "no-div (if)"
-    );
+    // Rows accumulate while the runs execute; the table prints once at the end.
+    let mut rows = String::new();
     let mut total_extra = 0i64;
     for name in names {
         let k = kernels::by_name(name).expect("kernel");
@@ -30,11 +28,19 @@ fn main() {
         assert!(ps.checksum_ok && fl.checksum_ok);
         let extra = fl.is_match as i64 - ps.is_match as i64;
         total_extra += extra;
-        println!(
+        let _ = writeln!(
+            rows,
             "{:<12} {:>14} {:>14} {:>12} {:>14} {:>14}",
             name, ps.is_match, fl.is_match, extra, ps.no_div, fl.no_div
         );
     }
+    println!("ABLATION A2: Instruction-Signature layout (is-match cycles, 0-nop runs)");
+    println!();
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>14} {:>14}",
+        "benchmark", "per-stage IS", "in-flight IS", "extra", "no-div (ps)", "no-div (if)"
+    );
+    print!("{rows}");
     println!();
     println!(
         "the flat layout reports {total_extra} additional instruction-match cycles in total \

@@ -12,6 +12,8 @@
 //!
 //! Usage: `cargo run -p safedm-bench --bin ablation_stack_mode --release`
 
+use std::fmt::Write as _;
+
 use safedm_bench::experiments::run_monitored_cfg;
 use safedm_core::SafeDmConfig;
 use safedm_tacle::{kernels, HarnessConfig, StackMode};
@@ -22,13 +24,8 @@ fn main() {
     let stack_users = ["fac", "recursion", "quicksort"];
     let controls = ["md5", "prime"];
     let names: Vec<&str> = stack_users.iter().chain(&controls).copied().collect();
-    println!("ABLATION A4: mirrored vs per-hart address spaces (0-nop runs)");
-    println!();
-    println!("{:<12} | {:>10} {:>8} | {:>10} {:>8}", "", "mirrored", "", "per-hart", "");
-    println!(
-        "{:<12} | {:>10} {:>8} | {:>10} {:>8}",
-        "benchmark", "zero-stag", "no-div", "zero-stag", "no-div"
-    );
+    // Rows accumulate while the runs execute; the table prints once at the end.
+    let mut rows = String::new();
     for name in names {
         let k = kernels::by_name(name).expect("kernel");
         let mirrored = run_monitored_cfg(
@@ -44,7 +41,8 @@ fn main() {
             SafeDmConfig::default(),
         );
         assert!(mirrored.checksum_ok && per_hart.checksum_ok, "{name}");
-        println!(
+        let _ = writeln!(
+            rows,
             "{:<12} | {:>10} {:>8} | {:>10} {:>8}",
             name, mirrored.zero_stag, mirrored.no_div, per_hart.zero_stag, per_hart.no_div
         );
@@ -57,6 +55,14 @@ fn main() {
             );
         }
     }
+    println!("ABLATION A4: mirrored vs per-hart address spaces (0-nop runs)");
+    println!();
+    println!("{:<12} | {:>10} {:>8} | {:>10} {:>8}", "", "mirrored", "", "per-hart", "");
+    println!(
+        "{:<12} | {:>10} {:>8} | {:>10} {:>8}",
+        "benchmark", "zero-stag", "no-div", "zero-stag", "no-div"
+    );
+    print!("{rows}");
     println!();
     println!(
         "distinct address spaces put different values on the register ports\n\

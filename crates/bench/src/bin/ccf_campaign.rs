@@ -9,7 +9,9 @@
 //! also quantifies how much more dangerous flagged cycles are.
 //!
 //! Usage: `cargo run -p safedm-bench --bin ccf_campaign --release
-//! [--trials N] [--seed S]`
+//! [--trials N] [--seed S] [--metrics-out PATH]`
+
+use std::fmt::Write as _;
 
 use safedm_bench::experiments::arg_value;
 use safedm_faults::{Campaign, CampaignConfig};
@@ -21,25 +23,16 @@ fn main() {
     let seed: u64 = arg_value(&args, "--seed").map_or(2024, |v| v.parse().expect("--seed"));
 
     let names = ["fac", "bitcount", "iir", "quicksort"];
-    println!("VALIDATION V1: common-cause fault injection ({trials} trials/kernel, seed {seed})");
-    println!();
-    println!(
-        "{:<12} {:>7} {:>9} {:>9} {:>12} {:>12} {:>12} {:>12}",
-        "benchmark",
-        "masked",
-        "mismatch",
-        "anomaly",
-        "silent@nodiv",
-        "silent@div",
-        "site-diverg",
-        "det-lat(cyc)"
-    );
 
     let mut grand_silent_flagged = 0u64;
     let mut grand_silent_unflagged = 0u64;
     let mut grand_mismatch_flagged = 0u64;
     let mut grand_flagged_trials = 0u64;
     let mut grand_unflagged_trials = 0u64;
+    // Campaigns run silently; per-kernel rows and metrics accumulate here
+    // and render as a final report below.
+    let mut rows = String::new();
+    let mut reg = safedm_obs::MetricsRegistry::new(true);
     for name in names {
         let k = kernels::by_name(name).expect("kernel");
         let stats = Campaign::new(CampaignConfig {
@@ -60,7 +53,8 @@ fn main() {
         grand_silent_unflagged += stats.silent_with_diversity + stats.silent_site_divergent;
         grand_mismatch_flagged += stats.mismatch_with_no_diversity;
         let lat = stats.mean_detect_latency().map_or_else(|| "-".to_owned(), |l| format!("{l:.0}"));
-        println!(
+        let _ = writeln!(
+            rows,
             "{:<12} {:>7} {:>9} {:>9} {:>12} {:>12} {:>12} {:>12}",
             name,
             stats.masked,
@@ -71,8 +65,33 @@ fn main() {
             stats.silent_site_divergent,
             lat
         );
+        for (metric, value) in [
+            ("masked", stats.masked),
+            ("mismatch", stats.detected_mismatch),
+            ("anomaly", stats.detected_anomaly),
+            ("silent_no_div", stats.silent_with_no_diversity),
+            ("silent_div", stats.silent_with_diversity),
+            ("silent_site_divergent", stats.silent_site_divergent),
+        ] {
+            let id = reg.counter(&format!("ccf.{name}.{metric}"));
+            reg.set_total(id, value);
+        }
     }
 
+    println!("VALIDATION V1: common-cause fault injection ({trials} trials/kernel, seed {seed})");
+    println!();
+    println!(
+        "{:<12} {:>7} {:>9} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark",
+        "masked",
+        "mismatch",
+        "anomaly",
+        "silent@nodiv",
+        "silent@div",
+        "site-diverg",
+        "det-lat(cyc)"
+    );
+    print!("{rows}");
     println!();
     let p_flagged = grand_silent_flagged as f64 / grand_flagged_trials.max(1) as f64;
     let p_unflagged = grand_silent_unflagged as f64 / grand_unflagged_trials.max(1) as f64;
@@ -92,5 +111,19 @@ fn main() {
     );
     if grand_flagged_trials > 0 && p_flagged > p_unflagged {
         println!("flagged cycles are measurably more CCF-vulnerable, as the paper argues");
+    }
+    if let Some(path) = arg_value(&args, "--metrics-out") {
+        for (metric, value) in [
+            ("silent_flagged", grand_silent_flagged),
+            ("silent_unflagged", grand_silent_unflagged),
+            ("mismatch_flagged", grand_mismatch_flagged),
+            ("flagged_trials", grand_flagged_trials),
+            ("unflagged_trials", grand_unflagged_trials),
+        ] {
+            let id = reg.counter(&format!("ccf.total.{metric}"));
+            reg.set_total(id, value);
+        }
+        std::fs::write(&path, reg.snapshot().to_json()).expect("write metrics");
+        eprintln!("wrote {path}");
     }
 }

@@ -5,6 +5,8 @@
 //!
 //! Usage: `cargo run -p safedm-bench --bin kernel_stats --release`
 
+use std::fmt::Write as _;
+
 use safedm_isa::Inst;
 use safedm_soc::{Iss, MpSoc, SocConfig};
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
@@ -42,12 +44,8 @@ fn characterize(prog: &safedm_asm::Program) -> Mix {
 }
 
 fn main() {
-    println!("KERNEL CHARACTERISATION (dynamic, single core)");
-    println!();
-    println!(
-        "{:<16} {:>10} {:>8} {:>8} {:>8} {:>10} {:>6}",
-        "benchmark", "insts", "mem %", "br %", "muldiv %", "cycles", "IPC"
-    );
+    // Rows accumulate while the kernels run; the table prints once at the end.
+    let mut rows = String::new();
     for k in kernels::all() {
         let prog = build_kernel_program(k, &HarnessConfig::default());
         let mix = characterize(&prog);
@@ -58,7 +56,8 @@ fn main() {
         let r = soc.run(400_000_000);
         assert!(r.all_clean(), "{}: {:?}", k.name, r.exits);
 
-        println!(
+        let _ = writeln!(
+            rows,
             "{:<16} {:>10} {:>7.1}% {:>7.1}% {:>7.1}% {:>10} {:>6.2}",
             k.name,
             mix.total,
@@ -69,6 +68,13 @@ fn main() {
             mix.total as f64 / r.cycles as f64,
         );
     }
+    println!("KERNEL CHARACTERISATION (dynamic, single core)");
+    println!();
+    println!(
+        "{:<16} {:>10} {:>8} {:>8} {:>8} {:>10} {:>6}",
+        "benchmark", "insts", "mem %", "br %", "muldiv %", "cycles", "IPC"
+    );
+    print!("{rows}");
     println!();
     println!("IPC < 2 reflects the dual-issue in-order bound minus hazards and misses.");
 }

@@ -1,15 +1,30 @@
 //! Regenerates the **staggering/diversity time series** behind the paper's
 //! Section V-C discussion (including the `pm` timing-anomaly narrative):
 //! per-cycle committed-instruction staggering and the monitor's verdicts,
-//! down-sampled into fixed windows and printed as CSV.
+//! down-sampled into fixed windows and rendered as a final report.
+//!
+//! The run is observed by a `safedm-obs` [`RunObserver`], so the same
+//! invocation can emit a machine-readable metric snapshot
+//! (`--metrics-out`) alongside the CSV.
 //!
 //! Usage: `cargo run -p safedm-bench --bin staggering_trace --release
-//! [--kernel pm] [--nops 1000] [--window 256] [--csv PATH]`
+//! [--kernel pm] [--nops 1000] [--window 256] [--csv PATH]
+//! [--metrics-out PATH]`
+
+use std::fmt::Write as _;
 
 use safedm_bench::experiments::{arg_value, RUN_BUDGET};
-use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
+use safedm_core::{MonitoredSoc, ObsConfig, ReportMode, RunObserver, SafeDmConfig};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig, StackMode, StaggerConfig};
+
+struct WindowRow {
+    start: u64,
+    mean_abs: f64,
+    min_abs: u64,
+    zero_stag: usize,
+    no_div: usize,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -25,39 +40,69 @@ fn main() {
     let mut sys = MonitoredSoc::new(SocConfig::default(), dm);
     sys.load_program(&prog);
     sys.enable_trace();
+    sys.attach_obs(RunObserver::new(ObsConfig::default(), 2));
     let out = sys.run(RUN_BUDGET);
     assert!(out.run.all_clean(), "{kernel_name}: {:?}", out.run.exits);
     let trace = sys.take_trace();
+    let obs = sys.detach_obs().expect("observer attached");
 
-    // Down-sample: per window, mean |diff|, min |diff|, zero-stag count,
-    // no-div count.
-    let mut lines = String::from("window_start,mean_abs_diff,min_abs_diff,zero_stag,no_div\n");
-    println!("staggering trace: kernel={kernel_name} nops={nops} cycles={}", trace.len());
-    println!(
+    // Down-sample into windows: per window, mean |diff|, min |diff|,
+    // zero-stag count, no-div count. No printing in this loop — rows are
+    // accumulated and rendered once below.
+    let mut rows = Vec::with_capacity(trace.len() / window as usize + 1);
+    let mut csv = String::from("window_start,mean_abs_diff,min_abs_diff,zero_stag,no_div\n");
+    for chunk in trace.chunks(window as usize) {
+        let row = WindowRow {
+            start: chunk.first().map_or(0, |s| s.cycle),
+            mean_abs: chunk.iter().map(|s| s.diff.unsigned_abs() as f64).sum::<f64>()
+                / chunk.len() as f64,
+            min_abs: chunk.iter().map(|s| s.diff.unsigned_abs()).min().unwrap_or(0),
+            zero_stag: chunk.iter().filter(|s| s.zero_stagger).count(),
+            no_div: chunk.iter().filter(|s| s.no_diversity).count(),
+        };
+        let _ = writeln!(
+            csv,
+            "{},{:.2},{},{},{}",
+            row.start, row.mean_abs, row.min_abs, row.zero_stag, row.no_div
+        );
+        rows.push(row);
+    }
+
+    // Final formatted report.
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "staggering trace: kernel={kernel_name} nops={nops} cycles={}",
+        trace.len()
+    );
+    let _ = writeln!(
+        report,
         "{:>12} {:>14} {:>12} {:>10} {:>8}",
         "cycle", "mean|diff|", "min|diff|", "zero-stag", "no-div"
     );
-    for chunk in trace.chunks(window as usize) {
-        let start = chunk.first().map_or(0, |s| s.cycle);
-        let mean =
-            chunk.iter().map(|s| s.diff.unsigned_abs() as f64).sum::<f64>() / chunk.len() as f64;
-        let min = chunk.iter().map(|s| s.diff.unsigned_abs()).min().unwrap_or(0);
-        let zs = chunk.iter().filter(|s| s.zero_stagger).count();
-        let nd = chunk.iter().filter(|s| s.no_diversity).count();
-        println!("{start:>12} {mean:>14.1} {min:>12} {zs:>10} {nd:>8}");
-        lines.push_str(&format!("{start},{mean:.2},{min},{zs},{nd}\n"));
+    for row in &rows {
+        let _ = writeln!(
+            report,
+            "{:>12} {:>14.1} {:>12} {:>10} {:>8}",
+            row.start, row.mean_abs, row.min_abs, row.zero_stag, row.no_div
+        );
     }
-
-    println!();
-    println!(
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
         "totals: zero-stag {} cycles, no-div {} cycles over {} observed",
         out.zero_stag_cycles, out.no_div_cycles, out.cycles_observed
     );
+    print!("{report}");
     // The pm narrative: staggered start, transient re-synchronisation
     // (small |diff|) while both cores work core-locally, yet diversity
     // persists (no-div stays near zero in those windows).
     if let Some(path) = arg_value(&args, "--csv") {
-        std::fs::write(&path, lines).expect("write csv");
+        std::fs::write(&path, csv).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = arg_value(&args, "--metrics-out") {
+        std::fs::write(&path, obs.metrics_snapshot().to_json()).expect("write metrics");
         eprintln!("wrote {path}");
     }
 }

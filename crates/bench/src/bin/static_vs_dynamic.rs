@@ -10,6 +10,8 @@
 //! Usage: `cargo run -p safedm-bench --bin static_vs_dynamic --release
 //! [--quick]`
 
+use std::fmt::Write as _;
+
 use safedm_analysis::{AnalysisConfig, LintCode};
 use safedm_asm::{Asm, Program};
 use safedm_bench::experiments::arg_flag;
@@ -80,15 +82,11 @@ fn main() {
         all.iter().collect()
     };
 
-    println!("STATIC vs DYNAMIC: analyzer predictions against the monitor (stagger 0)");
-    println!(
-        "{:<18} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}  verdict",
-        "program", "loops", "DIV001", "DIV002", "DIV003", "no-div", "observed"
-    );
-
     let mut refuted = 0usize;
     let mut kernels_with_diags = 0usize;
 
+    // Rows accumulate while the runs execute; the tables print once at the end.
+    let mut kernel_rows = String::new();
     for k in &selected {
         let prog = build_kernel_program(k, &HarnessConfig::default());
         let (out, gate) = run_gated(&prog, 200_000_000);
@@ -101,7 +99,8 @@ fn main() {
         if !ok {
             refuted += 1;
         }
-        println!(
+        let _ = writeln!(
+            kernel_rows,
             "{:<18} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}  {}",
             k.name,
             report.cfg.loops.len(),
@@ -114,7 +113,7 @@ fn main() {
         );
     }
 
-    println!("\nsynthetic guaranteed-hazard programs (gate cross-validation):");
+    let mut synth_rows = String::new();
     for (name, prog) in synthetic_hazards() {
         let (out, gate) = run_gated(&prog, 100_000);
         let guaranteed = gate.report().guaranteed_hazards().count();
@@ -124,7 +123,8 @@ fn main() {
         if !ok {
             refuted += 1;
         }
-        println!(
+        let _ = writeln!(
+            synth_rows,
             "  {:<20} guaranteed {:>2}  executed {:>2}  no-div {:>7}  {}",
             name,
             guaranteed,
@@ -135,6 +135,14 @@ fn main() {
         assert!(executed > 0, "{name}: no predicted region was executed");
     }
 
+    println!("STATIC vs DYNAMIC: analyzer predictions against the monitor (stagger 0)");
+    println!(
+        "{:<18} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}  verdict",
+        "program", "loops", "DIV001", "DIV002", "DIV003", "no-div", "observed"
+    );
+    print!("{kernel_rows}");
+    println!("\nsynthetic guaranteed-hazard programs (gate cross-validation):");
+    print!("{synth_rows}");
     println!("\nkernels with diagnostics: {kernels_with_diags}/{}", selected.len());
     if refuted > 0 {
         println!("FALSE GUARANTEED PREDICTIONS: {refuted}");

@@ -9,17 +9,15 @@
 //!
 //! Usage: `cargo run -p safedm-bench --bin sweep_mem_intensity --release`
 
+use std::fmt::Write as _;
+
 use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_synthetic, StackMode, SynthConfig};
 
 fn main() {
-    println!("EXTENSION E2: diversity vs memory intensity (synthetic kernels)");
-    println!();
-    println!(
-        "{:>7} {:>10} {:>10} {:>10} {:>10} {:>9}",
-        "mem %", "cycles", "zero-stag", "no-div", "observed", "no-div %"
-    );
+    // Rows accumulate while the sweep runs; the table prints once at the end.
+    let mut rows = String::new();
     for percent in [0u32, 2, 5, 10, 20, 40, 60, 80] {
         // Average over a few seeds to smooth generator noise.
         let mut totals = (0u64, 0u64, 0u64, 0u64);
@@ -43,7 +41,8 @@ fn main() {
             totals.3 += out.cycles_observed;
         }
         let share = totals.2 as f64 / totals.3.max(1) as f64 * 100.0;
-        println!(
+        let _ = writeln!(
+            rows,
             "{:>7} {:>10} {:>10} {:>10} {:>10} {:>8.2}%",
             percent,
             totals.0 / SEEDS,
@@ -53,6 +52,13 @@ fn main() {
             share
         );
     }
+    println!("EXTENSION E2: diversity vs memory intensity (synthetic kernels)");
+    println!();
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "mem %", "cycles", "zero-stag", "no-div", "observed", "no-div %"
+    );
+    print!("{rows}");
     println!();
     println!(
         "two regimes emerge:\n\

@@ -3,7 +3,7 @@
 //! 0 / 100 / 1,000 / 10,000 nops, plus the Section V-C summary block.
 //!
 //! Usage: `cargo run -p safedm-bench --bin table1 --release [--quick]
-//! [--json PATH]`
+//! [--json PATH] [--metrics-out PATH]`
 
 use safedm_bench::experiments::{arg_flag, arg_value, render_table1, summarize_table1, table1};
 use safedm_core::SafeDmConfig;
@@ -63,6 +63,21 @@ fn main() {
     if let Some(path) = arg_value(&args, "--json") {
         let blob = safedm_bench::experiments::json::table1_document(&rows, &summary);
         std::fs::write(&path, blob).expect("write json");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = arg_value(&args, "--metrics-out") {
+        let mut reg = safedm_obs::MetricsRegistry::new(true);
+        for r in &rows {
+            for (i, nops) in safedm_bench::experiments::TABLE1_NOPS.iter().enumerate() {
+                let zs = reg.counter(&format!("table1.{}.nops{nops}.zero_stag", r.name));
+                let nd = reg.counter(&format!("table1.{}.nops{nops}.no_div", r.name));
+                reg.set_total(zs, r.cells[i].zero_stag);
+                reg.set_total(nd, r.cells[i].no_div);
+            }
+            let instr = reg.counter(&format!("table1.{}.instructions", r.name));
+            reg.set_total(instr, r.instructions);
+        }
+        std::fs::write(&path, reg.snapshot().to_json()).expect("write metrics");
         eprintln!("wrote {path}");
     }
 }

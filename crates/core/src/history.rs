@@ -21,6 +21,7 @@ pub struct Histogram {
     bin_width: u64,
     bins: Vec<u64>,
     total_cycles: u64,
+    total_episodes: u64,
     max_episode: u64,
 }
 
@@ -33,7 +34,13 @@ impl Histogram {
     #[must_use]
     pub fn new(bins: usize, bin_width: u64) -> Histogram {
         assert!(bins >= 1 && bin_width >= 1, "histogram needs bins of nonzero width");
-        Histogram { bin_width, bins: vec![0; bins], total_cycles: 0, max_episode: 0 }
+        Histogram {
+            bin_width,
+            bins: vec![0; bins],
+            total_cycles: 0,
+            total_episodes: 0,
+            max_episode: 0,
+        }
     }
 
     /// Records an episode of `length` cycles (zero-length episodes are
@@ -45,6 +52,7 @@ impl Histogram {
         let idx = (((length - 1) / self.bin_width) as usize).min(self.bins.len() - 1);
         self.bins[idx] += 1;
         self.total_cycles += length;
+        self.total_episodes += 1;
         self.max_episode = self.max_episode.max(length);
     }
 
@@ -74,7 +82,7 @@ impl Histogram {
     /// Total episodes recorded.
     #[must_use]
     pub fn total_episodes(&self) -> u64 {
-        self.bins.iter().sum()
+        self.total_episodes
     }
 
     /// Total cycles across all episodes.
@@ -93,6 +101,7 @@ impl Histogram {
     pub fn reset(&mut self) {
         self.bins.iter_mut().for_each(|b| *b = 0);
         self.total_cycles = 0;
+        self.total_episodes = 0;
         self.max_episode = 0;
     }
 }

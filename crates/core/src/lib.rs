@@ -63,6 +63,7 @@ mod gate;
 mod history;
 mod monitor;
 mod multipair;
+mod obs;
 pub mod regs;
 mod safede;
 mod signature;
@@ -76,6 +77,7 @@ pub use gate::{DiversityGate, GateCheck};
 pub use history::{EpisodeTracker, Histogram};
 pub use monitor::{CycleReport, DiversityCounters, HammingStats, SafeDm};
 pub use multipair::MultiPairSoc;
+pub use obs::{ObsConfig, RunObserver};
 pub use safede::{SafeDe, SafeDeConfig};
 pub use signature::{DataSample, DataSignature, InstructionSignature, DATA_PORTS};
 pub use system::{MonitoredRun, MonitoredSoc, TraceSample, SAFEDM_APB_OFFSET};

@@ -33,6 +33,14 @@ pub mod regmap {
     pub const ZERO_STAG_CYCLES: usize = 8;
     /// Longest no-diversity run.
     pub const MAX_NO_DIV_RUN: usize = 9;
+    /// Completed no-diversity episodes (read-only event counter).
+    pub const NO_DIV_EPISODES: usize = 10;
+    /// Largest absolute staggering observed (read-only).
+    pub const MAX_ABS_STAGGER: usize = 11;
+    /// Completed Data-Signature-match episodes (read-only).
+    pub const DS_MATCH_EPISODES: usize = 12;
+    /// Completed Instruction-Signature-match episodes (read-only).
+    pub const IS_MATCH_EPISODES: usize = 13;
     /// First history bin (no-diversity episode histogram).
     pub const HIST_BASE: usize = 16;
     /// Total registers in the bank (16 fixed + up to 16 history bins).
@@ -60,6 +68,10 @@ pub fn mirror(dm: &SafeDm, rf: &mut ApbRegisterFile) {
     rf.set_reg(regmap::INSTR_DIFF, dm.instruction_diff().value() as u64);
     rf.set_reg(regmap::ZERO_STAG_CYCLES, dm.instruction_diff().zero_cycles());
     rf.set_reg(regmap::MAX_NO_DIV_RUN, dm.max_no_div_run());
+    rf.set_reg(regmap::NO_DIV_EPISODES, dm.no_diversity_history().total_episodes());
+    rf.set_reg(regmap::MAX_ABS_STAGGER, dm.instruction_diff().max_abs());
+    rf.set_reg(regmap::DS_MATCH_EPISODES, dm.ds_match_history().total_episodes());
+    rf.set_reg(regmap::IS_MATCH_EPISODES, dm.is_match_history().total_episodes());
     let hist = dm.no_diversity_history();
     for (i, b) in hist.bins().iter().enumerate() {
         if regmap::HIST_BASE + i < rf.len() {
@@ -160,6 +172,24 @@ mod tests {
         mirror(&dm, &mut rf);
         assert_eq!(rf.reg(regmap::HIST_BASE), 1); // one episode of length 3 in bin 0 (width 4)
         assert_eq!(rf.reg(regmap::STATUS) >> 1 & 1, 1); // finished
+    }
+
+    #[test]
+    fn mirror_exports_episode_counters() {
+        let mut dm = SafeDm::new(SafeDmConfig::default());
+        let p = CoreProbe::default();
+        // identical probes: one continuous no-div/DS/IS episode, closed by finish()
+        for _ in 0..5 {
+            dm.observe(&p, &p);
+        }
+        dm.finish();
+        let mut rf = bank();
+        mirror(&dm, &mut rf);
+        assert_eq!(rf.reg(regmap::NO_DIV_EPISODES), dm.no_diversity_history().total_episodes());
+        assert_eq!(rf.reg(regmap::NO_DIV_EPISODES), 1);
+        assert_eq!(rf.reg(regmap::DS_MATCH_EPISODES), 1);
+        assert_eq!(rf.reg(regmap::IS_MATCH_EPISODES), 1);
+        assert_eq!(rf.reg(regmap::MAX_ABS_STAGGER), 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use safedm_soc::{ApbRegisterFile, MpSoc, RunResult, SocConfig};
 use safedm_analysis::AnalysisConfig;
 
 use crate::gate::DiversityGate;
+use crate::obs::RunObserver;
 use crate::regs::{self, regmap};
 use crate::{CycleReport, SafeDe, SafeDm, SafeDmConfig};
 
@@ -78,6 +79,7 @@ pub struct MonitoredSoc {
     trace: Option<Vec<TraceSample>>,
     gate_cfg: Option<AnalysisConfig>,
     gate: Option<DiversityGate>,
+    obs: Option<RunObserver>,
 }
 
 /// Byte offset of the SafeDM register bank inside the APB window.
@@ -106,6 +108,7 @@ impl MonitoredSoc {
             trace: None,
             gate_cfg: None,
             gate: None,
+            obs: None,
         }
     }
 
@@ -140,6 +143,30 @@ impl MonitoredSoc {
         self.safede.take()
     }
 
+    /// Attaches a [`RunObserver`] that is fed every subsequent cycle.
+    pub fn attach_obs(&mut self, obs: RunObserver) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observer, if any.
+    #[must_use]
+    pub fn observer(&self) -> Option<&RunObserver> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable observer access (phase spans, extra metrics).
+    pub fn observer_mut(&mut self) -> Option<&mut RunObserver> {
+        self.obs.as_mut()
+    }
+
+    /// Detaches the observer, finalising it first (open spans are closed at
+    /// the current cycle and a last metric sample is taken).
+    pub fn detach_obs(&mut self) -> Option<RunObserver> {
+        let mut obs = self.obs.take()?;
+        obs.finish(&self.soc, &self.dm);
+        Some(obs)
+    }
+
     /// Starts recording a per-cycle trace.
     pub fn enable_trace(&mut self) {
         self.trace = Some(Vec::new());
@@ -167,6 +194,18 @@ impl MonitoredSoc {
     /// judged.
     pub fn step(&mut self) -> CycleReport {
         self.soc.step();
+        self.post_step()
+    }
+
+    /// Like [`MonitoredSoc::step`], attributing wall-clock time per
+    /// component to `prof`: the SoC's `uncore`/`coreN` phases plus a
+    /// `monitor` phase covering SafeDE, SafeDM and the APB mirror.
+    pub fn step_profiled(&mut self, prof: &mut safedm_obs::SelfProfiler) -> CycleReport {
+        self.soc.step_profiled(prof);
+        prof.time_named("monitor", || self.post_step())
+    }
+
+    fn post_step(&mut self) -> CycleReport {
         if let Some(de) = self.safede.as_mut() {
             de.control(&mut self.soc);
         }
@@ -193,6 +232,9 @@ impl MonitoredSoc {
                 no_diversity: report.no_diversity,
             });
         }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.on_cycle(&self.soc, &self.dm, &report);
+        }
         report
     }
 
@@ -209,6 +251,10 @@ impl MonitoredSoc {
             self.step();
         }
         self.dm.finish();
+        // finish() closes any open match episode; re-mirror so the APB bank
+        // exposes the final counter state (episode totals included).
+        let bank = self.soc.uncore_mut().apb_slave_mut(self.apb_index);
+        regs::mirror(&self.dm, bank);
         let run = RunResult {
             cycles: self.soc.cycle() - start,
             exits: (0..self.soc.core_count()).map(|i| self.soc.core(i).exit()).collect(),

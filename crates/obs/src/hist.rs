@@ -1,0 +1,239 @@
+//! Fixed-bin histograms with explicit underflow/overflow bins.
+//!
+//! Unlike the monitor's episode histogram in `safedm-core` (which is part of
+//! the modelled SafeDM hardware), this histogram is an *observability*
+//! primitive: uniform bins over `[lo, lo + bins * width)`, plus a dedicated
+//! underflow bin for samples below `lo` and an overflow bin for samples at or
+//! beyond the upper edge. It never allocates after construction and never
+//! loses a sample.
+
+/// A fixed-geometry histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_obs::BinnedHistogram;
+///
+/// // bins: [10,20) [20,30) [30,40), plus underflow (<10) and overflow (>=40)
+/// let mut h = BinnedHistogram::new(10, 10, 3);
+/// h.observe(5);
+/// h.observe(10);
+/// h.observe(39);
+/// h.observe(40);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.bins(), &[1, 0, 1]);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinnedHistogram {
+    lo: u64,
+    width: u64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl BinnedHistogram {
+    /// Creates a histogram with `bins` uniform bins of `width` starting at
+    /// `lo`. A single-bin histogram (`bins == 1`) is valid and degenerates
+    /// into an "in range / out of range" counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero bins or zero width.
+    #[must_use]
+    pub fn new(lo: u64, width: u64, bins: usize) -> BinnedHistogram {
+        assert!(bins >= 1, "histogram needs at least one bin");
+        assert!(width >= 1, "histogram bins need nonzero width");
+        BinnedHistogram {
+            lo,
+            width,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = (v - self.lo) / self.width;
+        if idx >= self.bins.len() as u64 {
+            self.overflow += 1;
+        } else {
+            self.bins[idx as usize] += 1;
+        }
+    }
+
+    /// Per-bin counts (underflow/overflow excluded).
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples below the first bin's lower edge.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the last bin's upper edge.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Half-open range `[lo, hi)` covered by bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn bin_range(&self, idx: usize) -> (u64, u64) {
+        assert!(idx < self.bins.len());
+        let lo = self.lo + idx as u64 * self.width;
+        (lo, lo + self.width)
+    }
+
+    /// Total samples, including under/overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Clears all counts, keeping the geometry.
+    pub fn reset(&mut self) {
+        self.bins.iter_mut().for_each(|b| *b = 0);
+        self.underflow = 0;
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edges_bin_correctly() {
+        let mut h = BinnedHistogram::new(0, 4, 4); // [0,4) [4,8) [8,12) [12,16)
+        for v in [0, 3, 4, 7, 8, 11, 12, 15] {
+            h.observe(v);
+        }
+        assert_eq!(h.bins(), &[2, 2, 2, 2]);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.bin_range(0), (0, 4));
+        assert_eq!(h.bin_range(3), (12, 16));
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_separate_bins() {
+        let mut h = BinnedHistogram::new(100, 10, 2); // [100,110) [110,120)
+        h.observe(0);
+        h.observe(99);
+        h.observe(100);
+        h.observe(119);
+        h.observe(120);
+        h.observe(u64::MAX);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.bins(), &[1, 1]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn single_bin_histogram() {
+        let mut h = BinnedHistogram::new(5, 5, 1); // [5,10)
+        h.observe(4);
+        h.observe(5);
+        h.observe(9);
+        h.observe(10);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.bins(), &[2]);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn wide_values_do_not_overflow_index_math() {
+        let mut h = BinnedHistogram::new(0, 1, 8);
+        h.observe(u64::MAX); // (MAX - 0) / 1 must not wrap into a bin
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn mean_min_max_and_reset() {
+        let mut h = BinnedHistogram::new(0, 10, 2);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        h.observe(2);
+        h.observe(4);
+        assert_eq!(h.mean(), 3.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.bins(), &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = BinnedHistogram::new(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero width")]
+    fn zero_width_panics() {
+        let _ = BinnedHistogram::new(0, 0, 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! A zero-cost-when-disabled metrics registry.
+//!
+//! Components register named counters, gauges and histograms once at
+//! attach time, then update them by id on the hot path. Every update is
+//! guarded by a single `enabled` flag, so a disabled registry costs one
+//! predictable branch per call and touches no memory. Metric names use
+//! dotted scopes (`core0.retired`, `bus.contended_cycles`,
+//! `monitor.no_div_cycles`) and snapshots are emitted in sorted name order
+//! so two identical runs produce byte-identical JSON.
+
+use crate::hist::BinnedHistogram;
+use crate::json::{escape, number};
+use std::fmt::Write as _;
+
+/// Handle to a registered counter (monotonically increasing `u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (instantaneous signed value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// The registry components record into.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_obs::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new(true);
+/// let retired = reg.counter("core0.retired");
+/// reg.add(retired, 3);
+/// reg.add(retired, 2);
+/// assert_eq!(reg.snapshot().counter("core0.retired"), Some(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    histograms: Vec<(String, BinnedHistogram)>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry. A disabled registry accepts registrations and
+    /// ignores every update.
+    #[must_use]
+    pub fn new(enabled: bool) -> MetricsRegistry {
+        MetricsRegistry {
+            enabled,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Whether updates are recorded.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or re-uses) a counter under `name`.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_owned(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or re-uses) a gauge under `name`.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_owned(), 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or re-uses) a histogram under `name` with the given
+    /// geometry (see [`BinnedHistogram::new`]).
+    pub fn histogram(&mut self, name: &str, lo: u64, width: u64, bins: usize) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push((name.to_owned(), BinnedHistogram::new(lo, width, bins)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        if self.enabled {
+            self.counters[id.0].1 += delta;
+        }
+    }
+
+    /// Sets a counter to an externally maintained running total.
+    ///
+    /// Simulator components already keep their own cheap statistics structs;
+    /// mirroring those totals at sample points is cheaper than forwarding
+    /// every increment through the registry.
+    #[inline]
+    pub fn set_total(&mut self, id: CounterId, total: u64) {
+        if self.enabled {
+            self.counters[id.0].1 = total;
+        }
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: i64) {
+        if self.enabled {
+            self.gauges[id.0].1 = value;
+        }
+    }
+
+    /// Records a histogram sample.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        if self.enabled {
+            self.histograms[id.0].1.observe(value);
+        }
+    }
+
+    /// Takes a deterministic snapshot: all metrics sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges = self.gauges.clone();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms = self.histograms.clone();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// A point-in-time, name-sorted copy of every metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    histograms: Vec<(String, BinnedHistogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&BinnedHistogram> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// All counters in name order.
+    #[must_use]
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// Serialises the snapshot as a deterministic JSON document:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (lo, hi) = h.bin_range(0);
+            let _ =
+                write!(out, "\"{}\":{{\"lo\":{lo},\"width\":{},\"bins\":[", escape(name), hi - lo);
+            for (j, b) in h.bins().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            let _ = write!(
+                out,
+                "],\"underflow\":{},\"overflow\":{},\"count\":{},\"mean\":{}}}",
+                h.underflow(),
+                h.overflow(),
+                h.count(),
+                number(h.mean()),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders a human-readable report, one metric per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:name_width$}  {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name:name_width$}  {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:name_width$}  count={} mean={:.2} min={} max={} under={} over={}",
+                h.count(),
+                h.mean(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+                h.underflow(),
+                h.overflow(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut reg = MetricsRegistry::new(false);
+        let c = reg.counter("a");
+        let g = reg.gauge("b");
+        let h = reg.histogram("c", 0, 1, 4);
+        reg.inc(c);
+        reg.add(c, 10);
+        reg.set_total(c, 99);
+        reg.set(g, -5);
+        reg.observe(h, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), Some(0));
+        assert_eq!(snap.gauge("b"), Some(0));
+        assert_eq!(snap.histogram("c").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = MetricsRegistry::new(true);
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        assert_eq!(a, b);
+        reg.inc(a);
+        reg.inc(b);
+        assert_eq!(reg.snapshot().counter("x"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_parses() {
+        let mut reg = MetricsRegistry::new(true);
+        let z = reg.counter("z.last");
+        let a = reg.counter("a.first");
+        reg.add(z, 7);
+        reg.add(a, 1);
+        let g = reg.gauge("m.stagger");
+        reg.set(g, -3);
+        let h = reg.histogram("m.runs", 0, 2, 2);
+        reg.observe(h, 1);
+        reg.observe(h, 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters()[0].0, "a.first");
+        let doc = parse(&snap.to_json()).expect("snapshot JSON parses");
+        assert_eq!(doc.get("counters").unwrap().get("z.last").unwrap().as_f64(), Some(7.0));
+        assert_eq!(doc.get("gauges").unwrap().get("m.stagger").unwrap().as_f64(), Some(-3.0));
+        let hist = doc.get("histograms").unwrap().get("m.runs").unwrap();
+        assert_eq!(hist.get("overflow").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn set_total_mirrors_running_totals() {
+        let mut reg = MetricsRegistry::new(true);
+        let c = reg.counter("bus.transactions");
+        reg.set_total(c, 42);
+        reg.set_total(c, 40); // mirrored totals may be rewritten wholesale
+        assert_eq!(reg.snapshot().counter("bus.transactions"), Some(40));
+    }
+
+    #[test]
+    fn render_lists_every_metric() {
+        let mut reg = MetricsRegistry::new(true);
+        reg.counter("one");
+        reg.gauge("two");
+        reg.histogram("three", 0, 1, 1);
+        let text = reg.snapshot().render();
+        assert!(text.contains("one"));
+        assert!(text.contains("two"));
+        assert!(text.contains("three"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Wall-clock self-profiler for the simulator itself.
+//!
+//! Answers "where does *simulator* time go" (fetch/decode/exec vs bus vs
+//! monitor), as opposed to the metrics registry which tracks *simulated*
+//! behaviour. Wall-clock readings are inherently non-deterministic, so the
+//! profiler is kept strictly separate from metric snapshots: profiler output
+//! never appears in `MetricsSnapshot::to_json`, preserving the byte-identical
+//! determinism guarantee of seeded runs.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock time per named phase.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_obs::SelfProfiler;
+///
+/// let mut prof = SelfProfiler::new();
+/// let x = prof.time_named("uncore", || 2 + 2);
+/// assert_eq!(x, 4);
+/// assert_eq!(prof.phases().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SelfProfiler {
+    phases: Vec<(String, Duration, u64)>,
+}
+
+impl SelfProfiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> SelfProfiler {
+        SelfProfiler::default()
+    }
+
+    /// Runs `f`, attributing its wall-clock time to `name`.
+    pub fn time_named<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Adds an externally measured duration to `name`.
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        match self.phases.iter_mut().find(|(n, _, _)| n == name) {
+            Some((_, total, calls)) => {
+                *total += elapsed;
+                *calls += 1;
+            }
+            None => self.phases.push((name.to_owned(), elapsed, 1)),
+        }
+    }
+
+    /// `(name, total, calls)` per phase, in first-seen order.
+    #[must_use]
+    pub fn phases(&self) -> &[(String, Duration, u64)] {
+        &self.phases
+    }
+
+    /// Total time across all phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d, _)| *d).sum()
+    }
+
+    /// Renders a per-phase report with percentages, slowest first.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let total = self.total().as_secs_f64().max(f64::EPSILON);
+        let mut rows: Vec<&(String, Duration, u64)> = self.phases.iter().collect();
+        rows.sort_by_key(|row| std::cmp::Reverse(row.1));
+        let name_width = rows.iter().map(|(n, _, _)| n.len()).max().unwrap_or(0).max(5);
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "{:name_width$}  {:>10}  {:>6}  {:>10}", "phase", "time", "%", "calls");
+        for (name, dur, calls) in rows {
+            let _ = writeln!(
+                out,
+                "{name:name_width$}  {:>9.3}ms  {:>5.1}%  {calls:>10}",
+                dur.as_secs_f64() * 1e3,
+                dur.as_secs_f64() / total * 100.0,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_calls() {
+        let mut prof = SelfProfiler::new();
+        prof.record("core", Duration::from_millis(2));
+        prof.record("core", Duration::from_millis(3));
+        prof.record("bus", Duration::from_millis(1));
+        assert_eq!(prof.phases().len(), 2);
+        let (name, total, calls) = &prof.phases()[0];
+        assert_eq!(name, "core");
+        assert_eq!(*total, Duration::from_millis(5));
+        assert_eq!(*calls, 2);
+        assert_eq!(prof.total(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn report_sorts_slowest_first() {
+        let mut prof = SelfProfiler::new();
+        prof.record("fast", Duration::from_micros(10));
+        prof.record("slow", Duration::from_millis(10));
+        let report = prof.report();
+        let slow_at = report.find("slow").unwrap();
+        let fast_at = report.find("fast").unwrap();
+        assert!(slow_at < fast_at);
+    }
+
+    #[test]
+    fn time_named_returns_closure_result() {
+        let mut prof = SelfProfiler::new();
+        let v = prof.time_named("work", || vec![1, 2, 3].len());
+        assert_eq!(v, 3);
+        assert_eq!(prof.phases()[0].2, 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! Structured, ring-buffered event tracing with Chrome trace-event export.
+//!
+//! Events are keyed by simulation cycle, not wall-clock time: the exporter
+//! maps one cycle to one microsecond so chrome://tracing and Perfetto render
+//! a cycle-accurate timeline. Three event kinds are supported:
+//!
+//! * **spans** — a named interval on a track (e.g. a no-diversity episode on
+//!   the `monitor` track), emitted as Chrome `"X"` complete events;
+//! * **instants** — a point event (e.g. a fault injection), Chrome `"i"`;
+//! * **counters** — a sampled numeric series (e.g. staggering), Chrome `"C"`.
+//!
+//! The buffer is bounded: once `capacity` completed events are held, the
+//! oldest are dropped and counted, so an arbitrarily long run cannot exhaust
+//! memory.
+
+use crate::json::escape;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A track (rendered as a Chrome/Perfetto thread row) events belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TrackId(u32);
+
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    Span { dur: u64 },
+    Instant,
+    Counter { value: f64 },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    name: String,
+    track: TrackId,
+    ts: u64,
+    kind: EventKind,
+}
+
+/// Handle to a span opened with [`TraceBuffer::begin_span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u64);
+
+/// A bounded trace event buffer.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_obs::TraceBuffer;
+///
+/// let mut trace = TraceBuffer::new(1024);
+/// let monitor = trace.track("monitor");
+/// let span = trace.begin_span(monitor, "no-diversity", 100);
+/// trace.end_span(span, 140);
+/// trace.counter(monitor, "stagger", 150, -3.0);
+/// let doc = trace.chrome_trace_json();
+/// assert!(doc.contains("\"traceEvents\""));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    capacity: usize,
+    tracks: Vec<String>,
+    events: VecDeque<Event>,
+    open: Vec<(SpanId, Event)>,
+    next_span: u64,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` completed events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceBuffer {
+        assert!(capacity >= 1, "trace buffer needs nonzero capacity");
+        TraceBuffer {
+            capacity,
+            tracks: Vec::new(),
+            events: VecDeque::new(),
+            open: Vec::new(),
+            next_span: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Registers (or re-uses) a named track.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        if let Some(i) = self.tracks.iter().position(|n| n == name) {
+            return TrackId(i as u32);
+        }
+        self.tracks.push(name.to_owned());
+        TrackId((self.tracks.len() - 1) as u32)
+    }
+
+    /// Opens a span at cycle `ts`. Open spans do not count against capacity
+    /// until they are closed.
+    pub fn begin_span(&mut self, track: TrackId, name: &str, ts: u64) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.open.push((
+            id,
+            Event { name: name.to_owned(), track, ts, kind: EventKind::Span { dur: 0 } },
+        ));
+        id
+    }
+
+    /// Closes a span at cycle `ts`. Closing an already-closed span is a
+    /// no-op; a zero-length span is recorded with duration zero.
+    pub fn end_span(&mut self, id: SpanId, ts: u64) {
+        if let Some(i) = self.open.iter().position(|(sid, _)| *sid == id) {
+            let (_, mut ev) = self.open.swap_remove(i);
+            ev.kind = EventKind::Span { dur: ts.saturating_sub(ev.ts) };
+            self.push(ev);
+        }
+    }
+
+    /// Records a point event at cycle `ts`.
+    pub fn instant(&mut self, track: TrackId, name: &str, ts: u64) {
+        self.push(Event { name: name.to_owned(), track, ts, kind: EventKind::Instant });
+    }
+
+    /// Samples a counter series at cycle `ts`.
+    pub fn counter(&mut self, track: TrackId, name: &str, ts: u64, value: f64) {
+        self.push(Event { name: name.to_owned(), track, ts, kind: EventKind::Counter { value } });
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Completed events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no completed events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Spans opened but not yet closed.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Events evicted to stay within capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exports the buffer as a Chrome trace-event JSON document
+    /// (`{"traceEvents":[...]}`) that loads in chrome://tracing and
+    /// Perfetto. Cycle numbers map to microseconds; each track becomes a
+    /// named thread via `"M"` metadata events. Still-open spans are emitted
+    /// as zero-duration spans at their start cycle.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for (tid, name) in self.tracks.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            );
+            let _ = write!(
+                out,
+                ",{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"sort_index\":{tid}}}}}"
+            );
+        }
+        for ev in self.events.iter().chain(self.open.iter().map(|(_, ev)| ev)) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let name = escape(&ev.name);
+            let tid = ev.track.0;
+            let ts = ev.ts;
+            match ev.kind {
+                EventKind::Span { dur } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
+                         \"ts\":{ts},\"dur\":{dur}}}"
+                    );
+                }
+                EventKind::Instant => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{name}\",\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\
+                         \"ts\":{ts},\"s\":\"t\"}}"
+                    );
+                }
+                EventKind::Counter { value } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\
+                         \"ts\":{ts},\"args\":{{\"value\":{}}}}}",
+                        crate::json::number(value)
+                    );
+                }
+            }
+        }
+        let _ = write!(out, "],\"displayTimeUnit\":\"ns\",\"dropped\":{}}}", self.dropped);
+        out
+    }
+
+    /// Exports the buffer as JSON Lines: one compact object per completed
+    /// event, in record order.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            let name = escape(&ev.name);
+            let track = escape(&self.tracks[ev.track.0 as usize]);
+            let ts = ev.ts;
+            match ev.kind {
+                EventKind::Span { dur } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"kind\":\"span\",\"track\":\"{track}\",\"name\":\"{name}\",\
+                         \"cycle\":{ts},\"dur\":{dur}}}"
+                    );
+                }
+                EventKind::Instant => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"kind\":\"instant\",\"track\":\"{track}\",\"name\":\"{name}\",\
+                         \"cycle\":{ts}}}"
+                    );
+                }
+                EventKind::Counter { value } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"kind\":\"counter\",\"track\":\"{track}\",\"name\":\"{name}\",\
+                         \"cycle\":{ts},\"value\":{}}}",
+                        crate::json::number(value)
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn chrome_export_parses_and_has_expected_phases() {
+        let mut t = TraceBuffer::new(64);
+        let mon = t.track("monitor");
+        let bus = t.track("bus");
+        let s = t.begin_span(mon, "no-diversity", 10);
+        t.end_span(s, 25);
+        t.instant(bus, "grant", 12);
+        t.counter(mon, "stagger", 30, -2.0);
+        let doc = parse(&t.chrome_trace_json()).expect("chrome trace parses");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 tracks * 2 metadata events + 3 payload events
+        assert_eq!(events.len(), 7);
+        let phases: Vec<&str> =
+            events.iter().map(|e| e.get("ph").unwrap().as_str().unwrap()).collect();
+        assert!(phases.contains(&"M"));
+        assert!(phases.contains(&"X"));
+        assert!(phases.contains(&"i"));
+        assert!(phases.contains(&"C"));
+        let span = events.iter().find(|e| e.get("ph").unwrap().as_str() == Some("X")).unwrap();
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(15.0));
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = TraceBuffer::new(2);
+        let track = t.track("x");
+        t.instant(track, "a", 1);
+        t.instant(track, "b", 2);
+        t.instant(track, "c", 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let jsonl = t.to_jsonl();
+        assert!(!jsonl.contains("\"a\""));
+        assert!(jsonl.contains("\"b\""));
+        assert!(jsonl.contains("\"c\""));
+    }
+
+    #[test]
+    fn open_spans_survive_until_closed() {
+        let mut t = TraceBuffer::new(4);
+        let track = t.track("x");
+        let s = t.begin_span(track, "ep", 5);
+        assert_eq!(t.open_spans(), 1);
+        assert!(t.is_empty());
+        // open spans still appear in the chrome export (zero duration)
+        assert!(t.chrome_trace_json().contains("\"ep\""));
+        t.end_span(s, 9);
+        assert_eq!(t.open_spans(), 0);
+        assert_eq!(t.len(), 1);
+        t.end_span(s, 20); // double close is a no-op
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let mut t = TraceBuffer::new(8);
+        let track = t.track("m");
+        let s = t.begin_span(track, "run", 0);
+        t.end_span(s, 100);
+        t.counter(track, "v", 50, 1.5);
+        for line in t.to_jsonl().lines() {
+            let v = parse(line).expect("each JSONL line parses");
+            assert!(v.get("kind").is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn zero_capacity_panics() {
+        let _ = TraceBuffer::new(0);
+    }
+}

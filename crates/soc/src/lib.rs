@@ -50,6 +50,7 @@ mod exit;
 mod iss;
 mod mem;
 mod mpsoc;
+mod obs;
 mod pipeline;
 pub mod probe;
 mod regfile;
@@ -64,6 +65,7 @@ pub use exit::{CoreExit, TrapCause};
 pub use iss::Iss;
 pub use mem::{MainMemory, MemSpace};
 pub use mpsoc::{MpSoc, RunResult};
+pub use obs::SocMetrics;
 pub use pipeline::{CommitRecord, Core, CoreStats};
 pub use probe::{
     CoreProbe, PortSample, StageSlot, PIPE_STAGES, PIPE_WIDTH, READ_PORTS, WRITE_PORTS,

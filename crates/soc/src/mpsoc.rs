@@ -107,6 +107,24 @@ impl MpSoc {
         self.cycle += 1;
     }
 
+    /// Advances the whole SoC by one clock cycle, attributing wall-clock
+    /// time per component to `prof` (`uncore`, `core0`, `core1`, …).
+    ///
+    /// Functionally identical to [`MpSoc::step`]; the timing overhead is
+    /// two `Instant` reads per component per cycle, so use plain `step`
+    /// when profiling is off.
+    pub fn step_profiled(&mut self, prof: &mut safedm_obs::SelfProfiler) {
+        const CORE_PHASE: [&str; 8] =
+            ["core0", "core1", "core2", "core3", "core4", "core5", "core6", "core7"];
+        let uncore = &mut self.uncore;
+        prof.time_named("uncore", || uncore.step());
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let name = CORE_PHASE.get(i).copied().unwrap_or("coreN");
+            prof.time_named(name, || core.step(uncore));
+        }
+        self.cycle += 1;
+    }
+
     /// Runs until all cores halt **and** their store buffers drain, or until
     /// `max_cycles` elapse.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {

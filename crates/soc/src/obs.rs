@@ -1,0 +1,190 @@
+//! Bridges the SoC's internal statistics into a `safedm-obs` registry.
+//!
+//! Every component already keeps cheap running counters ([`CoreStats`],
+//! [`BusStats`](crate::BusStats), cache and store-buffer stats); this module
+//! registers a metric per counter under dotted scopes (`core0.retired`,
+//! `bus.contended_cycles`, …) and mirrors the totals into the registry at
+//! sample points via `set_total`. Sampling reads shared state only — the
+//! probe non-intrusiveness property extends to observability.
+
+use safedm_obs::{CounterId, MetricsRegistry};
+
+use crate::MpSoc;
+
+#[derive(Debug, Clone)]
+struct CoreIds {
+    retired: CounterId,
+    cycles: CounterId,
+    hold_cycles: CounterId,
+    mispredicts: CounterId,
+    dual_commits: CounterId,
+    stall_mem: CounterId,
+    stall_ex: CounterId,
+    stall_operand: CounterId,
+    stall_fetch: CounterId,
+    sb_full: CounterId,
+    l1i_hits: CounterId,
+    l1i_misses: CounterId,
+    l1d_hits: CounterId,
+    l1d_misses: CounterId,
+    sb_coalesced: CounterId,
+    sb_drained: CounterId,
+}
+
+/// Registered metric handles for an [`MpSoc`].
+///
+/// # Examples
+///
+/// ```
+/// use safedm_obs::MetricsRegistry;
+/// use safedm_soc::{MpSoc, SocConfig, SocMetrics};
+///
+/// let soc = MpSoc::new(SocConfig::default());
+/// let mut reg = MetricsRegistry::new(true);
+/// let metrics = SocMetrics::register(&mut reg, soc.core_count());
+/// metrics.sample(&soc, &mut reg);
+/// assert_eq!(reg.snapshot().counter("core0.retired"), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SocMetrics {
+    cores: Vec<CoreIds>,
+    bus_transactions: CounterId,
+    bus_busy: CounterId,
+    bus_contended: CounterId,
+    l2_hits: CounterId,
+    l2_misses: CounterId,
+    mshr_merges: CounterId,
+}
+
+impl SocMetrics {
+    /// Registers the full metric set for a SoC with `cores` cores.
+    pub fn register(reg: &mut MetricsRegistry, cores: usize) -> SocMetrics {
+        let per_core = (0..cores)
+            .map(|i| CoreIds {
+                retired: reg.counter(&format!("core{i}.retired")),
+                cycles: reg.counter(&format!("core{i}.cycles")),
+                hold_cycles: reg.counter(&format!("core{i}.hold_cycles")),
+                mispredicts: reg.counter(&format!("core{i}.mispredicts")),
+                dual_commits: reg.counter(&format!("core{i}.dual_commits")),
+                stall_mem: reg.counter(&format!("core{i}.stall_mem_cycles")),
+                stall_ex: reg.counter(&format!("core{i}.stall_ex_cycles")),
+                stall_operand: reg.counter(&format!("core{i}.stall_operand_cycles")),
+                stall_fetch: reg.counter(&format!("core{i}.stall_fetch_cycles")),
+                sb_full: reg.counter(&format!("core{i}.sb_full_events")),
+                l1i_hits: reg.counter(&format!("core{i}.l1i_hits")),
+                l1i_misses: reg.counter(&format!("core{i}.l1i_misses")),
+                l1d_hits: reg.counter(&format!("core{i}.l1d_hits")),
+                l1d_misses: reg.counter(&format!("core{i}.l1d_misses")),
+                sb_coalesced: reg.counter(&format!("core{i}.sb_coalesced")),
+                sb_drained: reg.counter(&format!("core{i}.sb_drained")),
+            })
+            .collect();
+        SocMetrics {
+            cores: per_core,
+            bus_transactions: reg.counter("bus.transactions"),
+            bus_busy: reg.counter("bus.busy_cycles"),
+            bus_contended: reg.counter("bus.contended_cycles"),
+            l2_hits: reg.counter("bus.l2_hits"),
+            l2_misses: reg.counter("bus.l2_misses"),
+            mshr_merges: reg.counter("bus.mshr_merges"),
+        }
+    }
+
+    /// Mirrors every component's running totals into `reg`.
+    pub fn sample(&self, soc: &MpSoc, reg: &mut MetricsRegistry) {
+        for (i, ids) in self.cores.iter().enumerate() {
+            let core = soc.core(i);
+            let stats = core.stats();
+            reg.set_total(ids.retired, stats.retired);
+            reg.set_total(ids.cycles, stats.cycles);
+            reg.set_total(ids.hold_cycles, stats.hold_cycles);
+            reg.set_total(ids.mispredicts, stats.mispredicts);
+            reg.set_total(ids.dual_commits, stats.dual_commits);
+            reg.set_total(ids.stall_mem, stats.stall_mem_cycles);
+            reg.set_total(ids.stall_ex, stats.stall_ex_cycles);
+            reg.set_total(ids.stall_operand, stats.stall_operand_cycles);
+            reg.set_total(ids.stall_fetch, stats.stall_fetch_cycles);
+            reg.set_total(ids.sb_full, stats.sb_full_events);
+            let ((ih, im), (dh, dm)) = core.l1_stats();
+            reg.set_total(ids.l1i_hits, ih);
+            reg.set_total(ids.l1i_misses, im);
+            reg.set_total(ids.l1d_hits, dh);
+            reg.set_total(ids.l1d_misses, dm);
+            let (coalesced, drained) = core.sb_stats();
+            reg.set_total(ids.sb_coalesced, coalesced);
+            reg.set_total(ids.sb_drained, drained);
+        }
+        let bus = soc.uncore().stats();
+        reg.set_total(self.bus_transactions, bus.transactions);
+        reg.set_total(self.bus_busy, bus.busy_cycles);
+        reg.set_total(self.bus_contended, bus.contended_cycles);
+        reg.set_total(self.l2_hits, bus.l2_hits);
+        reg.set_total(self.l2_misses, bus.l2_misses);
+        reg.set_total(self.mshr_merges, bus.merged_reads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SocConfig;
+    use safedm_asm::Asm;
+    use safedm_isa::Reg;
+
+    fn small_program() -> safedm_asm::Program {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 10);
+        a.li(Reg::A0, 0);
+        let top = a.here("top");
+        a.add(Reg::A0, Reg::A0, Reg::T0);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, top);
+        a.ebreak();
+        a.link(0x8000_0000).expect("assembles")
+    }
+
+    #[test]
+    fn sampled_metrics_match_component_stats() {
+        let mut soc = MpSoc::new(SocConfig::default());
+        soc.load_program(&small_program());
+        let mut reg = MetricsRegistry::new(true);
+        let metrics = SocMetrics::register(&mut reg, soc.core_count());
+        let result = soc.run(100_000);
+        assert!(result.all_clean());
+        metrics.sample(&soc, &mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("core0.retired"), Some(soc.core(0).stats().retired));
+        assert_eq!(snap.counter("core1.cycles"), Some(soc.core(1).stats().cycles));
+        assert_eq!(snap.counter("bus.transactions"), Some(soc.uncore().stats().transactions));
+        assert!(snap.counter("core0.retired").unwrap() > 0);
+        // stall attribution never exceeds total hold cycles
+        let stats = soc.core(0).stats();
+        assert!(
+            stats.stall_mem_cycles
+                + stats.stall_ex_cycles
+                + stats.stall_operand_cycles
+                + stats.stall_fetch_cycles
+                <= stats.hold_cycles
+        );
+    }
+
+    #[test]
+    fn step_profiled_matches_step() {
+        let mut a = MpSoc::new(SocConfig::default());
+        let mut b = MpSoc::new(SocConfig::default());
+        let prog = small_program();
+        a.load_program(&prog);
+        b.load_program(&prog);
+        let mut prof = safedm_obs::SelfProfiler::new();
+        for _ in 0..2_000 {
+            a.step();
+            b.step_profiled(&mut prof);
+        }
+        assert_eq!(a.core(0).stats(), b.core(0).stats());
+        assert_eq!(a.cycle(), b.cycle());
+        let names: Vec<&str> = prof.phases().iter().map(|(n, _, _)| n.as_str()).collect();
+        assert!(names.contains(&"uncore"));
+        assert!(names.contains(&"core0"));
+        assert!(names.contains(&"core1"));
+    }
+}

@@ -124,6 +124,18 @@ pub struct CoreStats {
     pub mispredicts: u64,
     /// Cycles in which two instructions committed together.
     pub dual_commits: u64,
+    /// Hold cycles attributed to a blocked memory stage (cache miss, APB
+    /// access in flight, or a full store buffer).
+    pub stall_mem_cycles: u64,
+    /// Hold cycles attributed to multi-cycle execution latency (mul/div).
+    pub stall_ex_cycles: u64,
+    /// Hold cycles attributed to operand-read interlocks.
+    pub stall_operand_cycles: u64,
+    /// Hold cycles attributed to instruction fetch (icache miss or bus
+    /// contention on the ifetch port).
+    pub stall_fetch_cycles: u64,
+    /// Store-buffer-full events (a store retried because `push` failed).
+    pub sb_full_events: u64,
 }
 
 /// One modelled core.
@@ -331,6 +343,12 @@ impl Core {
         (self.l1i.stats(), self.l1d.stats())
     }
 
+    /// Store-buffer statistics `(coalesced_stores, drained_entries)`.
+    #[must_use]
+    pub fn sb_stats(&self) -> (u64, u64) {
+        self.sb.stats()
+    }
+
     fn ifetch_port(&self) -> PortId {
         PortId { core: self.id, unit: BusUnit::IFetch }
     }
@@ -414,6 +432,12 @@ impl Core {
 
         let mut progress = false;
         let mut committed = 0u8;
+        // Stall-cause attribution: which stages were blocked this cycle.
+        // Only charged when the whole pipeline fails to make progress.
+        let mut me_blocked = false;
+        let mut ex_blocked = false;
+        let mut operand_blocked = false;
+        let mut fetch_blocked = false;
 
         // ---- WB: commit -------------------------------------------------
         if !group_empty(&self.stages[WB]) {
@@ -480,6 +504,8 @@ impl Core {
             if all_done && group_empty(&self.stages[XC]) {
                 self.stages[XC] = std::mem::take(&mut self.stages[ME]);
                 progress = true;
+            } else if !all_done {
+                me_blocked = true;
             }
         }
 
@@ -496,17 +522,19 @@ impl Core {
                 self.stages[ME] = std::mem::take(&mut self.stages[EX]);
                 self.ex_done = false;
                 progress = true;
+            } else if self.ex_remaining > 0 {
+                ex_blocked = true;
             }
         }
 
         // ---- RA -> EX ------------------------------------------------------
-        if !self.halted()
-            && !group_empty(&self.stages[RA])
-            && group_empty(&self.stages[EX])
-            && self.read_operands()
-        {
-            self.stages[EX] = std::mem::take(&mut self.stages[RA]);
-            progress = true;
+        if !self.halted() && !group_empty(&self.stages[RA]) && group_empty(&self.stages[EX]) {
+            if self.read_operands() {
+                self.stages[EX] = std::mem::take(&mut self.stages[RA]);
+                progress = true;
+            } else {
+                operand_blocked = true;
+            }
         }
 
         // ---- D: predecode, then issue to RA ---------------------------------
@@ -526,12 +554,27 @@ impl Core {
         }
 
         // ---- fetch ---------------------------------------------------------------
-        if !self.halted() && group_empty(&self.stages[F]) && self.fetch(uncore) {
-            progress = true;
+        if !self.halted() && group_empty(&self.stages[F]) {
+            if self.fetch(uncore) {
+                progress = true;
+            } else {
+                fetch_blocked = true;
+            }
         }
 
         if !progress {
             self.stats.hold_cycles += 1;
+            // Memory backpressure dominates, then execution latency, then
+            // interlocks, then fetch.
+            if me_blocked {
+                self.stats.stall_mem_cycles += 1;
+            } else if ex_blocked {
+                self.stats.stall_ex_cycles += 1;
+            } else if operand_blocked {
+                self.stats.stall_operand_cycles += 1;
+            } else if fetch_blocked {
+                self.stats.stall_fetch_cycles += 1;
+            }
         }
         self.build_probe(!progress, committed);
     }
@@ -1031,6 +1074,7 @@ impl Core {
         let bytes = value.to_le_bytes();
         if self.sb.push(space, addr, &bytes[..size as usize]).is_err() {
             self.sb_force = true; // full: drain and retry
+            self.stats.sb_full_events += 1;
             return false;
         }
         let slot = self.stages[ME][i].as_mut().expect("slot exists");

@@ -95,9 +95,13 @@ impl ProbeVcd {
         Channel(self.user.len() - 1)
     }
 
-    /// Sets a user channel's value for the upcoming sample.
+    /// Sets a user channel's value for the upcoming sample. Bits above the
+    /// channel's declared width are discarded, so two values that agree in
+    /// the dumped bits never produce a phantom change record.
     pub fn set_channel(&mut self, ch: Channel, value: u64) {
-        self.user[ch.0].value = value;
+        let width = self.user[ch.0].width;
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        self.user[ch.0].value = value & mask;
     }
 
     // Variable id layout per core:
@@ -366,6 +370,43 @@ mod tests {
 
     fn vcd_count_timestamps(t: &str) -> usize {
         t.lines().filter(|l| l.starts_with('#')).count()
+    }
+
+    #[test]
+    fn wide_channel_small_values_use_vector_syntax() {
+        // A multi-bit channel must emit `b<binary>` records even when the
+        // value fits in a single bit, or GTKWave mis-decodes the channel.
+        let mut vcd = ProbeVcd::new(1, "tb");
+        let ch = vcd.add_channel("wide", 8);
+        let p = CoreProbe::default();
+        vcd.set_channel(ch, 0);
+        vcd.sample(&[&p]);
+        vcd.set_channel(ch, 1);
+        vcd.sample(&[&p]);
+        let text = vcd.finish();
+        let id = ident(vcd_user_base_for(1));
+        assert!(text.contains(&format!("b0 {id}")), "zero must be a vector record: {text}");
+        assert!(text.contains(&format!("b1 {id}")), "one must be a vector record: {text}");
+        assert!(!text.contains(&format!("\n0{id}")), "no scalar records for wide channels");
+        assert!(!text.contains(&format!("\n1{id}")), "no scalar records for wide channels");
+    }
+
+    #[test]
+    fn out_of_width_bits_do_not_cause_phantom_changes() {
+        let mut vcd = ProbeVcd::new(1, "tb");
+        let ch = vcd.add_channel("nibble", 4);
+        let p = CoreProbe::default();
+        vcd.set_channel(ch, 0x0a);
+        vcd.sample(&[&p]);
+        vcd.set_channel(ch, 0x1a); // same low nibble: must not re-emit
+        vcd.sample(&[&p]);
+        let text = vcd.finish();
+        assert_eq!(text.matches("b1010 ").count(), 1, "identical visible value re-emitted");
+        assert_eq!(vcd_count_timestamps(&text), 2); // t0 and the final marker
+    }
+
+    fn vcd_user_base_for(cores: usize) -> usize {
+        ProbeVcd::new(cores, "tb").user_base()
     }
 
     #[test]

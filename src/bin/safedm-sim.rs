@@ -7,19 +7,26 @@
 //! The `analyze` subcommand runs the static diversity analyzer
 //! (`safedm-analysis`) instead of the simulator, and can optionally
 //! cross-validate its guaranteed findings against the runtime monitor.
+//! The `trace` subcommand records a Chrome trace-event timeline
+//! (chrome://tracing, Perfetto) of a monitored run; `stats` emits the full
+//! metric snapshot, optionally with a wall-clock self-profile.
 //!
 //! ```text
 //! safedm-sim program.s [--base 0x80000000] [--stagger N [--delayed-core C]]
 //!            [--vcd out.vcd [--vcd-cycles N]] [--trace N] [--json]
 //! safedm-sim --kernel bitcount [...]
 //! safedm-sim analyze <program.s | --kernel NAME> [--stagger N] [--gate]
+//! safedm-sim trace <kernel | program.s> [--cycles N] [--out FILE] [--jsonl]
+//! safedm-sim stats <kernel | program.s> [--cycles N] [--json] [--profile]
 //! safedm-sim --list-kernels
 //! ```
 
 use std::process::ExitCode;
 
 use safedm::analysis::{analyze, AnalysisConfig};
-use safedm::monitor::{MonitoredSoc, ReportMode, SafeDmConfig};
+use safedm::asm::Program;
+use safedm::monitor::{MonitoredSoc, ObsConfig, ReportMode, RunObserver, SafeDmConfig};
+use safedm::obs::SelfProfiler;
 use safedm::soc::{ProbeVcd, SocConfig};
 use safedm::tacle::{build_kernel_program, kernels, HarnessConfig, StaggerConfig};
 
@@ -46,7 +53,121 @@ fn usage() -> &'static str {
      \x20      [--base ADDR] [--stagger NOPS [--delayed-core 0|1]]\n\
      \x20      [--vcd FILE [--vcd-cycles N]] [--trace N] [--max-cycles N] [--json]\n\
      \x20      safedm-sim analyze <program.s | --kernel NAME>\n\
-     \x20      [--base ADDR] [--stagger NOPS] [--gate] [--max-cycles N]"
+     \x20      [--base ADDR] [--stagger NOPS] [--gate] [--max-cycles N]\n\
+     \x20      safedm-sim trace <kernel | program.s>\n\
+     \x20      [--cycles N] [--out FILE] [--jsonl] [--events N] [--interval N]\n\
+     \x20      safedm-sim stats <kernel | program.s>\n\
+     \x20      [--cycles N] [--json] [--metrics-out FILE] [--profile] [--interval N]"
+}
+
+/// Resolves the positional target of a subcommand: a built-in kernel name
+/// first, then a RISC-V source file path.
+fn resolve_target(args: &[String], base: u64) -> Result<(String, Program), String> {
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or_else(|| usage().to_owned())?;
+    if let Some(k) = kernels::by_name(target) {
+        return Ok((target.clone(), build_kernel_program(k, &HarnessConfig::default())));
+    }
+    let source =
+        std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
+    let prog = safedm::asm::assemble(&source, base).map_err(|e| e.to_string())?;
+    Ok((target.clone(), prog))
+}
+
+/// A short name usable in default output filenames (`path/to/x.s` → `x`).
+fn file_stem(name: &str) -> String {
+    std::path::Path::new(name)
+        .file_stem()
+        .map_or_else(|| name.to_owned(), |s| s.to_string_lossy().into_owned())
+}
+
+/// Runs a program under the monitor with a [`RunObserver`] attached.
+fn observed_run(
+    args: &[String],
+    profile: Option<&mut SelfProfiler>,
+) -> Result<(String, MonitoredSoc, RunObserver), String> {
+    let base = arg_value(args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;
+    let max_cycles = arg_value(args, "--cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
+    let events = arg_value(args, "--events").map_or(Ok(1 << 16), |v| parse_u64(&v))?;
+    let interval = arg_value(args, "--interval").map_or(Ok(64), |v| parse_u64(&v))?.max(1);
+    let (name, prog) = resolve_target(args, base)?;
+
+    let mut sys = MonitoredSoc::new(
+        SocConfig::default(),
+        SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },
+    );
+    sys.load_program(&prog);
+    sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(ReportMode::Polling) << 1));
+    sys.attach_obs(RunObserver::new(
+        ObsConfig { trace_capacity: events.max(1) as usize, counter_interval: interval },
+        sys.soc().core_count(),
+    ));
+
+    match profile {
+        Some(prof) => {
+            let mut spent = 0u64;
+            while spent < max_cycles && !sys.soc().all_halted() {
+                sys.step_profiled(prof);
+                spent += 1;
+            }
+            sys.run(max_cycles.saturating_sub(spent));
+        }
+        None => {
+            sys.run(max_cycles);
+        }
+    }
+    sys.monitor_mut().finish();
+    if !sys.soc().all_halted() {
+        // A bounded window over a longer run is a normal way to trace;
+        // report it but keep the collected observations.
+        eprintln!("note: budget of {max_cycles} cycles expired before the program halted");
+    }
+    let obs = sys.detach_obs().expect("observer attached above");
+    Ok((name, sys, obs))
+}
+
+/// The `trace` subcommand: run under the observer and write the event
+/// timeline as Chrome trace-event JSON (default) or JSONL.
+fn run_trace(args: &[String]) -> Result<(), String> {
+    let (name, _sys, obs) = observed_run(args, None)?;
+    let jsonl = arg_flag(args, "--jsonl");
+    let out = arg_value(args, "--out").unwrap_or_else(|| {
+        format!("{}.trace.{}", file_stem(&name), if jsonl { "jsonl" } else { "json" })
+    });
+    let payload = if jsonl { obs.trace_jsonl() } else { obs.chrome_trace_json() };
+    std::fs::write(&out, payload).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "wrote {out} ({} events, {} dropped) — open in chrome://tracing or Perfetto",
+        obs.trace().len(),
+        obs.trace().dropped()
+    );
+    Ok(())
+}
+
+/// The `stats` subcommand: run under the observer and print the metric
+/// snapshot (human table or JSON), optionally with a self-profile.
+fn run_stats(args: &[String]) -> Result<(), String> {
+    let mut prof = SelfProfiler::new();
+    let profile = arg_flag(args, "--profile");
+    let (name, _sys, obs) = observed_run(args, profile.then_some(&mut prof))?;
+    let snap = obs.metrics_snapshot();
+    if let Some(path) = arg_value(args, "--metrics-out") {
+        std::fs::write(&path, snap.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if arg_flag(args, "--json") {
+        println!("{}", snap.to_json());
+    } else {
+        println!("metrics for `{name}`:");
+        print!("{}", snap.render());
+    }
+    if profile {
+        eprintln!("\nsimulator self-profile (wall clock):");
+        eprint!("{}", prof.report());
+    }
+    Ok(())
 }
 
 /// The `analyze` subcommand: run the static diversity lints, print the
@@ -114,6 +235,12 @@ fn run() -> Result<(), String> {
     }
     if args.first().is_some_and(|a| a == "analyze") {
         return run_analyze(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "trace") {
+        return run_trace(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "stats") {
+        return run_stats(&args[1..]);
     }
 
     let base = arg_value(&args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;

@@ -8,6 +8,7 @@
 //! | [`isa`] | `safedm-isa` | RV64IM decode/encode/semantics |
 //! | [`asm`] | `safedm-asm` | programmatic assembler |
 //! | [`soc`] | `safedm-soc` | NOEL-V-like dual-issue 7-stage MPSoC model |
+//! | [`obs`] | `safedm-obs` | metrics registry, event tracing, self-profiler |
 //! | [`monitor`] | `safedm-core` | **SafeDM** itself + the SafeDE baseline |
 //! | [`tacle`] | `safedm-tacle` | the 29 TACLe-style kernels of Table I |
 //! | [`faults`] | `safedm-faults` | common-cause fault-injection campaigns |
@@ -44,6 +45,10 @@ pub use safedm_asm as asm;
 
 /// MPSoC platform model (re-export of `safedm-soc`).
 pub use safedm_soc as soc;
+
+/// Observability layer: metrics, tracing, profiling (re-export of
+/// `safedm-obs`).
+pub use safedm_obs as obs;
 
 /// The SafeDM diversity monitor and SafeDE baseline (re-export of
 /// `safedm-core`).
