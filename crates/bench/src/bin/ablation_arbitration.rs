@@ -7,10 +7,13 @@
 //! core 0, biasing which core leads but still breaking lockstep. This sweep
 //! quantifies the effect on the Table I metrics.
 //!
-//! Usage: `cargo run -p safedm-bench --bin ablation_arbitration --release`
+//! Usage: `cargo run -p safedm-bench --bin ablation_arbitration --release
+//! [--jobs N]`
 
 use std::fmt::Write as _;
 
+use safedm_bench::experiments::jobs_from_args;
+use safedm_campaign::par_map;
 use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_soc::{ArbitrationPolicy, SocConfig};
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
@@ -36,12 +39,20 @@ fn run(name: &str, policy: ArbitrationPolicy) -> (u64, u64, u64, i64) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&args);
     let names = ["bitcount", "fac", "insertsort", "quicksort", "lms"];
-    // Rows accumulate while the sweeps run; the table prints once at the end.
+    // One campaign cell per (kernel, policy); ordered collection keeps the
+    // table identical for any --jobs N.
+    let cells: Vec<(&str, ArbitrationPolicy)> = names
+        .iter()
+        .flat_map(|&n| [(n, ArbitrationPolicy::RoundRobin), (n, ArbitrationPolicy::FixedPriority)])
+        .collect();
+    let outs = par_map(jobs, &cells, |_, &(name, policy)| run(name, policy));
     let mut rows = String::new();
-    for name in names {
-        let (zs_rr, nd_rr, _, bias_rr) = run(name, ArbitrationPolicy::RoundRobin);
-        let (zs_fp, nd_fp, _, bias_fp) = run(name, ArbitrationPolicy::FixedPriority);
+    for (i, name) in names.iter().enumerate() {
+        let (zs_rr, nd_rr, _, bias_rr) = outs[2 * i];
+        let (zs_fp, nd_fp, _, bias_fp) = outs[2 * i + 1];
         let _ = writeln!(
             rows,
             "{:<12} | {:>10} {:>8} {:>10} | {:>10} {:>8} {:>10}",

@@ -6,34 +6,45 @@
 //! suppresses the no-diversity flag for longer — fewer flagged cycles — at
 //! a linear area cost. The sweep quantifies that trade-off.
 //!
-//! Usage: `cargo run -p safedm-bench --bin ablation_fifo_depth --release`
+//! Usage: `cargo run -p safedm-bench --bin ablation_fifo_depth --release
+//! [--jobs N]`
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::run_monitored;
+use safedm_bench::experiments::{jobs_from_args, run_monitored};
+use safedm_campaign::par_map;
 use safedm_core::SafeDmConfig;
 use safedm_power::estimate_area;
 use safedm_tacle::kernels;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&args);
     let names = ["fac", "iir", "bitcount", "md5"];
     let depths = [1usize, 2, 4, 8, 12, 16];
 
-    // Rows accumulate while the sweep runs; the table prints once at the end.
+    // One campaign cell per (depth, kernel); ordered collection keeps the
+    // table identical for any --jobs N.
+    let cells: Vec<(usize, &str)> =
+        depths.iter().flat_map(|&d| names.iter().map(move |&n| (d, n))).collect();
+    let no_divs = par_map(jobs, &cells, |_, &(depth, name)| {
+        let cfg = SafeDmConfig { data_fifo_depth: depth, ..SafeDmConfig::default() };
+        let k = kernels::by_name(name).expect("kernel");
+        let r = run_monitored(k, None, 0, cfg);
+        assert!(r.checksum_ok);
+        r.no_div
+    });
+
     let mut rows = String::new();
     let mut per_depth: Vec<Vec<u64>> = Vec::new();
-    for depth in depths {
-        let cfg = SafeDmConfig { data_fifo_depth: depth, ..SafeDmConfig::default() };
+    for (i, depth) in depths.iter().enumerate() {
+        let cfg = SafeDmConfig { data_fifo_depth: *depth, ..SafeDmConfig::default() };
         let area = estimate_area(&cfg);
         let _ =
             write!(rows, "{:>4} {:>9} {:>7.2}", depth, area.total_luts, area.percent_of_baseline);
-        let mut row = Vec::new();
-        for name in names {
-            let k = kernels::by_name(name).expect("kernel");
-            let r = run_monitored(k, None, 0, cfg);
-            assert!(r.checksum_ok);
-            let _ = write!(rows, " {:>10}", r.no_div);
-            row.push(r.no_div);
+        let row: Vec<u64> = no_divs[i * names.len()..(i + 1) * names.len()].to_vec();
+        for nd in &row {
+            let _ = write!(rows, " {:>10}", nd);
         }
         let _ = writeln!(rows);
         per_depth.push(row);

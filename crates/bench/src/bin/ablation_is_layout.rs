@@ -7,24 +7,35 @@
 //! reports **more** cycles without instruction diversity — extra false
 //! positives the paper's design decision avoids.
 //!
-//! Usage: `cargo run -p safedm-bench --bin ablation_is_layout --release`
+//! Usage: `cargo run -p safedm-bench --bin ablation_is_layout --release
+//! [--jobs N]`
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{dm_config_with_layout, run_monitored};
+use safedm_bench::experiments::{dm_config_with_layout, jobs_from_args, run_monitored};
+use safedm_campaign::par_map;
 use safedm_core::IsLayout;
 use safedm_tacle::kernels;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&args);
     let names = ["fac", "bitcount", "iir", "insertsort", "quicksort", "pm"];
 
-    // Rows accumulate while the runs execute; the table prints once at the end.
+    // One campaign cell per (kernel, layout); ordered collection keeps the
+    // table identical for any --jobs N.
+    let cells: Vec<(&str, IsLayout)> =
+        names.iter().flat_map(|&n| [(n, IsLayout::PerStage), (n, IsLayout::InFlight)]).collect();
+    let outs = par_map(jobs, &cells, |_, &(name, layout)| {
+        let k = kernels::by_name(name).expect("kernel");
+        run_monitored(k, None, 0, dm_config_with_layout(layout))
+    });
+
     let mut rows = String::new();
     let mut total_extra = 0i64;
-    for name in names {
-        let k = kernels::by_name(name).expect("kernel");
-        let ps = run_monitored(k, None, 0, dm_config_with_layout(IsLayout::PerStage));
-        let fl = run_monitored(k, None, 0, dm_config_with_layout(IsLayout::InFlight));
+    for (i, name) in names.iter().enumerate() {
+        let ps = &outs[2 * i];
+        let fl = &outs[2 * i + 1];
         assert!(ps.checksum_ok && fl.checksum_ok);
         let extra = fl.is_match as i64 - ps.is_match as i64;
         total_extra += extra;

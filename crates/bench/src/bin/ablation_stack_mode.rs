@@ -10,36 +10,38 @@
 //! stack-using kernel, with zero-staggering barely affected (address
 //! diversity is data diversity, not timing).
 //!
-//! Usage: `cargo run -p safedm-bench --bin ablation_stack_mode --release`
+//! Usage: `cargo run -p safedm-bench --bin ablation_stack_mode --release
+//! [--jobs N]`
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::run_monitored_cfg;
+use safedm_bench::experiments::{jobs_from_args, run_monitored_cfg};
+use safedm_campaign::par_map;
 use safedm_core::SafeDmConfig;
 use safedm_tacle::{kernels, HarnessConfig, StackMode};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&args);
     // Stack-using kernels (calls / explicit work stacks) versus controls
     // whose data lives only in mirrored tables or registers.
     let stack_users = ["fac", "recursion", "quicksort"];
     let controls = ["md5", "prime"];
     let names: Vec<&str> = stack_users.iter().chain(&controls).copied().collect();
-    // Rows accumulate while the runs execute; the table prints once at the end.
-    let mut rows = String::new();
-    for name in names {
+
+    // One campaign cell per (kernel, stack mode); ordered collection keeps
+    // the table identical for any --jobs N.
+    let cells: Vec<(&str, StackMode)> =
+        names.iter().flat_map(|&n| [(n, StackMode::Mirrored), (n, StackMode::PerHart)]).collect();
+    let outs = par_map(jobs, &cells, |_, &(name, stack)| {
         let k = kernels::by_name(name).expect("kernel");
-        let mirrored = run_monitored_cfg(
-            k,
-            HarnessConfig { stagger: None, stack: StackMode::Mirrored },
-            0,
-            SafeDmConfig::default(),
-        );
-        let per_hart = run_monitored_cfg(
-            k,
-            HarnessConfig { stagger: None, stack: StackMode::PerHart },
-            0,
-            SafeDmConfig::default(),
-        );
+        run_monitored_cfg(k, HarnessConfig { stagger: None, stack }, 0, SafeDmConfig::default())
+    });
+
+    let mut rows = String::new();
+    for (i, &name) in names.iter().enumerate() {
+        let mirrored = &outs[2 * i];
+        let per_hart = &outs[2 * i + 1];
         assert!(mirrored.checksum_ok && per_hart.checksum_ok, "{name}");
         let _ = writeln!(
             rows,

@@ -8,19 +8,26 @@
 //! raise a mismatch — whatever corrupts, corrupts silently. The campaign
 //! also quantifies how much more dangerous flagged cycles are.
 //!
+//! Faults are planned serially from the seeded RNG, injections execute on
+//! the `safedm-campaign` pool, and records fold back in trial order, so
+//! every output is byte-identical for any `--jobs N`.
+//!
 //! Usage: `cargo run -p safedm-bench --bin ccf_campaign --release
-//! [--trials N] [--seed S] [--metrics-out PATH]`
+//! [--trials N] [--seed S] [--jobs N] [--metrics-out PATH]`
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::arg_value;
+use safedm_bench::experiments::{
+    arg_parsed_or, arg_value, ccf_metrics, jobs_from_args, set_metric_totals, write_metrics_json,
+};
 use safedm_faults::{Campaign, CampaignConfig};
 use safedm_tacle::kernels;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let trials: usize = arg_value(&args, "--trials").map_or(120, |v| v.parse().expect("--trials"));
-    let seed: u64 = arg_value(&args, "--seed").map_or(2024, |v| v.parse().expect("--seed"));
+    let trials: usize = arg_parsed_or(&args, "--trials", 120);
+    let seed: u64 = arg_parsed_or(&args, "--seed", 2024);
+    let jobs = jobs_from_args(&args);
 
     let names = ["fac", "bitcount", "iir", "quicksort"];
 
@@ -29,10 +36,10 @@ fn main() {
     let mut grand_mismatch_flagged = 0u64;
     let mut grand_flagged_trials = 0u64;
     let mut grand_unflagged_trials = 0u64;
-    // Campaigns run silently; per-kernel rows and metrics accumulate here
+    // Campaigns run silently; per-kernel rows and stats accumulate here
     // and render as a final report below.
     let mut rows = String::new();
-    let mut reg = safedm_obs::MetricsRegistry::new(true);
+    let mut per_kernel = Vec::new();
     for name in names {
         let k = kernels::by_name(name).expect("kernel");
         let stats = Campaign::new(CampaignConfig {
@@ -41,7 +48,7 @@ fn main() {
             max_cycle: 10_000,
             ..CampaignConfig::default()
         })
-        .run(k);
+        .run_jobs(k, jobs);
         for r in &stats.records {
             if r.no_diversity_at_injection {
                 grand_flagged_trials += 1;
@@ -65,17 +72,7 @@ fn main() {
             stats.silent_site_divergent,
             lat
         );
-        for (metric, value) in [
-            ("masked", stats.masked),
-            ("mismatch", stats.detected_mismatch),
-            ("anomaly", stats.detected_anomaly),
-            ("silent_no_div", stats.silent_with_no_diversity),
-            ("silent_div", stats.silent_with_diversity),
-            ("silent_site_divergent", stats.silent_site_divergent),
-        ] {
-            let id = reg.counter(&format!("ccf.{name}.{metric}"));
-            reg.set_total(id, value);
-        }
+        per_kernel.push((name, stats));
     }
 
     println!("VALIDATION V1: common-cause fault injection ({trials} trials/kernel, seed {seed})");
@@ -113,17 +110,20 @@ fn main() {
         println!("flagged cycles are measurably more CCF-vulnerable, as the paper argues");
     }
     if let Some(path) = arg_value(&args, "--metrics-out") {
-        for (metric, value) in [
-            ("silent_flagged", grand_silent_flagged),
-            ("silent_unflagged", grand_silent_unflagged),
-            ("mismatch_flagged", grand_mismatch_flagged),
-            ("flagged_trials", grand_flagged_trials),
-            ("unflagged_trials", grand_unflagged_trials),
-        ] {
-            let id = reg.counter(&format!("ccf.total.{metric}"));
-            reg.set_total(id, value);
-        }
-        std::fs::write(&path, reg.snapshot().to_json()).expect("write metrics");
-        eprintln!("wrote {path}");
+        let refs: Vec<(&str, &safedm_faults::CampaignStats)> =
+            per_kernel.iter().map(|(n, s)| (*n, s)).collect();
+        let mut reg = ccf_metrics(&refs);
+        set_metric_totals(
+            &mut reg,
+            [
+                ("silent_flagged", grand_silent_flagged),
+                ("silent_unflagged", grand_silent_unflagged),
+                ("mismatch_flagged", grand_mismatch_flagged),
+                ("flagged_trials", grand_flagged_trials),
+                ("unflagged_trials", grand_unflagged_trials),
+            ]
+            .map(|(metric, value)| (format!("ccf.total.{metric}"), value)),
+        );
+        write_metrics_json(&path, &reg.snapshot());
     }
 }

@@ -16,7 +16,10 @@ use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = arg_value(&args, "--kernel").unwrap_or_else(|| "bitcount".to_owned());
-    let k = kernels::by_name(&name).expect("unknown kernel");
+    let k = kernels::by_name(&name).unwrap_or_else(|| {
+        eprintln!("error: unknown kernel `{name}` (see kernel_stats for the list)");
+        std::process::exit(2);
+    });
     let prog = build_kernel_program(k, &HarnessConfig::default());
 
     let dm_cfg = SafeDmConfig {

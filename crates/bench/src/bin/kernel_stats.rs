@@ -3,10 +3,11 @@
 //! diversity results (memory-rich kernels diverge early; register-pure ones
 //! stay in lockstep).
 //!
-//! Usage: `cargo run -p safedm-bench --bin kernel_stats --release`
+//! Usage: `cargo run -p safedm-bench --bin kernel_stats --release
+//! [--jobs N]`
 
-use std::fmt::Write as _;
-
+use safedm_bench::experiments::jobs_from_args;
+use safedm_campaign::par_map;
 use safedm_isa::Inst;
 use safedm_soc::{Iss, MpSoc, SocConfig};
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
@@ -44,9 +45,12 @@ fn characterize(prog: &safedm_asm::Program) -> Mix {
 }
 
 fn main() {
-    // Rows accumulate while the kernels run; the table prints once at the end.
-    let mut rows = String::new();
-    for k in kernels::all() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&args);
+    // One campaign cell per kernel; ordered collection keeps the table
+    // identical for any --jobs N.
+    let all = kernels::all();
+    let row_strings = par_map(jobs, all, |_, k| {
         let prog = build_kernel_program(k, &HarnessConfig::default());
         let mix = characterize(&prog);
 
@@ -56,9 +60,8 @@ fn main() {
         let r = soc.run(400_000_000);
         assert!(r.all_clean(), "{}: {:?}", k.name, r.exits);
 
-        let _ = writeln!(
-            rows,
-            "{:<16} {:>10} {:>7.1}% {:>7.1}% {:>7.1}% {:>10} {:>6.2}",
+        format!(
+            "{:<16} {:>10} {:>7.1}% {:>7.1}% {:>7.1}% {:>10} {:>6.2}\n",
             k.name,
             mix.total,
             mix.mem as f64 / mix.total as f64 * 100.0,
@@ -66,8 +69,9 @@ fn main() {
             mix.muldiv as f64 / mix.total as f64 * 100.0,
             r.cycles,
             mix.total as f64 / r.cycles as f64,
-        );
-    }
+        )
+    });
+    let rows: String = row_strings.concat();
     println!("KERNEL CHARACTERISATION (dynamic, single core)");
     println!();
     println!(

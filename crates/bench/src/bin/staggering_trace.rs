@@ -13,7 +13,7 @@
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{arg_value, RUN_BUDGET};
+use safedm_bench::experiments::{arg_parsed_or, arg_value, write_metrics_json, RUN_BUDGET};
 use safedm_core::{MonitoredSoc, ObsConfig, ReportMode, RunObserver, SafeDmConfig};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig, StackMode, StaggerConfig};
@@ -29,10 +29,13 @@ struct WindowRow {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let kernel_name = arg_value(&args, "--kernel").unwrap_or_else(|| "pm".to_owned());
-    let nops: usize = arg_value(&args, "--nops").map_or(1000, |v| v.parse().expect("--nops"));
-    let window: u64 = arg_value(&args, "--window").map_or(256, |v| v.parse().expect("--window"));
+    let nops: usize = arg_parsed_or(&args, "--nops", 1000);
+    let window: u64 = arg_parsed_or(&args, "--window", 256).max(1);
 
-    let k = kernels::by_name(&kernel_name).expect("unknown kernel");
+    let k = kernels::by_name(&kernel_name).unwrap_or_else(|| {
+        eprintln!("error: unknown kernel `{kernel_name}` (see kernel_stats for the list)");
+        std::process::exit(2);
+    });
     let stagger = (nops > 0).then_some(StaggerConfig { nops, delayed_core: 1 });
     let prog = build_kernel_program(k, &HarnessConfig { stagger, stack: StackMode::Mirrored });
 
@@ -102,7 +105,6 @@ fn main() {
         eprintln!("wrote {path}");
     }
     if let Some(path) = arg_value(&args, "--metrics-out") {
-        std::fs::write(&path, obs.metrics_snapshot().to_json()).expect("write metrics");
-        eprintln!("wrote {path}");
+        write_metrics_json(&path, &obs.metrics_snapshot());
     }
 }

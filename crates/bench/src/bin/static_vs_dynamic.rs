@@ -7,14 +7,17 @@
 //! Exits non-zero if any guaranteed prediction is refuted (a false
 //! "guaranteed" — the acceptance criterion of the analyzer).
 //!
+//! Both the kernel comparison and the synthetic-hazard cross-validation run
+//! on the `safedm-campaign` pool with ordered collection: output is
+//! identical for any `--jobs N`.
+//!
 //! Usage: `cargo run -p safedm-bench --bin static_vs_dynamic --release
-//! [--quick]`
-
-use std::fmt::Write as _;
+//! [--quick] [--jobs N]`
 
 use safedm_analysis::{AnalysisConfig, LintCode};
 use safedm_asm::{Asm, Program};
-use safedm_bench::experiments::arg_flag;
+use safedm_bench::experiments::{arg_flag, jobs_from_args};
+use safedm_campaign::par_map;
 use safedm_core::{DiversityGate, MonitoredRun, MonitoredSoc, SafeDmConfig};
 use safedm_isa::Reg;
 use safedm_soc::SocConfig;
@@ -72,6 +75,7 @@ fn synthetic_hazards() -> Vec<(&'static str, Program)> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = arg_flag(&args, "--quick");
+    let jobs = jobs_from_args(&args);
 
     let all = kernels::all();
     let selected: Vec<&safedm_tacle::Kernel> = if quick {
@@ -82,26 +86,17 @@ fn main() {
         all.iter().collect()
     };
 
-    let mut refuted = 0usize;
-    let mut kernels_with_diags = 0usize;
-
-    // Rows accumulate while the runs execute; the tables print once at the end.
-    let mut kernel_rows = String::new();
-    for k in &selected {
+    // One campaign cell per kernel; each returns its rendered row plus the
+    // two verdict bits the summary needs.
+    let kernel_cells = par_map(jobs, &selected, |_, k| {
         let prog = build_kernel_program(k, &HarnessConfig::default());
         let (out, gate) = run_gated(&prog, 200_000_000);
         assert!(!out.run.timed_out, "{}: kernel run timed out", k.name);
         let report = gate.report();
-        if !report.diagnostics.is_empty() {
-            kernels_with_diags += 1;
-        }
+        let has_diags = !report.diagnostics.is_empty();
         let ok = gate.all_confirmed();
-        if !ok {
-            refuted += 1;
-        }
-        let _ = writeln!(
-            kernel_rows,
-            "{:<18} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}  {}",
+        let row = format!(
+            "{:<18} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}  {}\n",
             k.name,
             report.cfg.loops.len(),
             count(&gate, LintCode::Div001),
@@ -111,21 +106,31 @@ fn main() {
             out.cycles_observed,
             if ok { "ok" } else { "REFUTED" }
         );
+        (row, has_diags, ok)
+    });
+
+    let mut refuted = 0usize;
+    let mut kernels_with_diags = 0usize;
+    let mut kernel_rows = String::new();
+    for (row, has_diags, ok) in kernel_cells {
+        kernel_rows.push_str(&row);
+        if has_diags {
+            kernels_with_diags += 1;
+        }
+        if !ok {
+            refuted += 1;
+        }
     }
 
-    let mut synth_rows = String::new();
-    for (name, prog) in synthetic_hazards() {
-        let (out, gate) = run_gated(&prog, 100_000);
+    let hazards = synthetic_hazards();
+    let synth_cells = par_map(jobs, &hazards, |_, (name, prog)| {
+        let (out, gate) = run_gated(prog, 100_000);
         let guaranteed = gate.report().guaranteed_hazards().count();
         assert!(guaranteed > 0, "{name}: expected a guaranteed hazard");
         let ok = gate.all_confirmed();
         let executed = gate.executed_count();
-        if !ok {
-            refuted += 1;
-        }
-        let _ = writeln!(
-            synth_rows,
-            "  {:<20} guaranteed {:>2}  executed {:>2}  no-div {:>7}  {}",
+        let row = format!(
+            "  {:<20} guaranteed {:>2}  executed {:>2}  no-div {:>7}  {}\n",
             name,
             guaranteed,
             executed,
@@ -133,6 +138,15 @@ fn main() {
             if ok { "all confirmed" } else { "REFUTED" }
         );
         assert!(executed > 0, "{name}: no predicted region was executed");
+        (row, ok)
+    });
+
+    let mut synth_rows = String::new();
+    for (row, ok) in synth_cells {
+        synth_rows.push_str(&row);
+        if !ok {
+            refuted += 1;
+        }
     }
 
     println!("STATIC vs DYNAMIC: analyzer predictions against the monitor (stagger 0)");

@@ -7,38 +7,56 @@
 //! private-memory traffic, cores diverge almost immediately) produces the
 //! mechanism curve behind Table I.
 //!
-//! Usage: `cargo run -p safedm-bench --bin sweep_mem_intensity --release`
+//! The (percent, seed) cells run on the `safedm-campaign` pool; per-percent
+//! averages fold in cell order, so the table is identical for any
+//! `--jobs N`.
+//!
+//! Usage: `cargo run -p safedm-bench --bin sweep_mem_intensity --release
+//! [--jobs N]`
 
 use std::fmt::Write as _;
 
+use safedm_bench::experiments::jobs_from_args;
+use safedm_campaign::par_map;
 use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_synthetic, StackMode, SynthConfig};
 
+const PERCENTS: [u32; 8] = [0, 2, 5, 10, 20, 40, 60, 80];
+const SEEDS: u64 = 3;
+
 fn main() {
-    // Rows accumulate while the sweep runs; the table prints once at the end.
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&args);
+
+    // One campaign cell per (mem-percent, generator-seed) pair.
+    let cells: Vec<(u32, u64)> =
+        PERCENTS.iter().flat_map(|&p| (0..SEEDS).map(move |s| (p, s))).collect();
+    let outs = par_map(jobs, &cells, |_, &(percent, seed)| {
+        let prog = build_synthetic(
+            &SynthConfig::with_mem_percent(percent, 11 + seed),
+            None,
+            StackMode::Mirrored,
+        );
+        let mut sys = MonitoredSoc::new(
+            SocConfig::default(),
+            SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },
+        );
+        sys.load_program(&prog);
+        let out = sys.run(400_000_000);
+        assert!(out.run.all_clean(), "mem {percent}%: {:?}", out.run.exits);
+        (out.run.cycles, out.zero_stag_cycles, out.no_div_cycles, out.cycles_observed)
+    });
+
+    // Fold per-seed results back into per-percent averages, in sweep order.
     let mut rows = String::new();
-    for percent in [0u32, 2, 5, 10, 20, 40, 60, 80] {
-        // Average over a few seeds to smooth generator noise.
+    for (i, &percent) in PERCENTS.iter().enumerate() {
         let mut totals = (0u64, 0u64, 0u64, 0u64);
-        const SEEDS: u64 = 3;
-        for seed in 0..SEEDS {
-            let prog = build_synthetic(
-                &SynthConfig::with_mem_percent(percent, 11 + seed),
-                None,
-                StackMode::Mirrored,
-            );
-            let mut sys = MonitoredSoc::new(
-                SocConfig::default(),
-                SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },
-            );
-            sys.load_program(&prog);
-            let out = sys.run(400_000_000);
-            assert!(out.run.all_clean(), "mem {percent}%: {:?}", out.run.exits);
-            totals.0 += out.run.cycles;
-            totals.1 += out.zero_stag_cycles;
-            totals.2 += out.no_div_cycles;
-            totals.3 += out.cycles_observed;
+        for out in &outs[i * SEEDS as usize..(i + 1) * SEEDS as usize] {
+            totals.0 += out.0;
+            totals.1 += out.1;
+            totals.2 += out.2;
+            totals.3 += out.3;
         }
         let share = totals.2 as f64 / totals.3.max(1) as f64 * 100.0;
         let _ = writeln!(

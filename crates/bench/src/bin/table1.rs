@@ -2,16 +2,33 @@
 //! zero staggering and cycles without diversity, for initial staggering of
 //! 0 / 100 / 1,000 / 10,000 nops, plus the Section V-C summary block.
 //!
+//! The configuration grid runs through the `safedm-campaign` engine: rows
+//! and JSON are byte-identical for every `--jobs N` (see
+//! EXPERIMENTS.md, "Parallel campaigns").
+//!
 //! Usage: `cargo run -p safedm-bench --bin table1 --release [--quick]
-//! [--json PATH] [--metrics-out PATH]`
+//! [--jobs N] [--root-seed S] [--profile] [--json PATH]
+//! [--metrics-out PATH]`
 
-use safedm_bench::experiments::{arg_flag, arg_value, render_table1, summarize_table1, table1};
+use safedm_bench::experiments::{
+    arg_flag, arg_value, jobs_from_args, render_table1, summarize_table1, table1_metrics,
+    table1_with_jobs, try_arg_parsed, write_metrics_json,
+};
 use safedm_core::SafeDmConfig;
+use safedm_obs::SelfProfiler;
 use safedm_tacle::kernels;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = arg_flag(&args, "--quick");
+    let jobs = jobs_from_args(&args);
+    let root_seed = match try_arg_parsed::<u64>(&args, "--root-seed") {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
 
     let all = kernels::all();
     let selected: Vec<&safedm_tacle::Kernel> = if quick {
@@ -23,11 +40,14 @@ fn main() {
     };
 
     eprintln!(
-        "table1: running {} kernels x 4 staggering setups (4 seeds for 0 nops, 2 for the rest)",
+        "table1: running {} kernels x 4 staggering setups (4 seeds for 0 nops, 2 for the rest) \
+         on {jobs} worker(s)",
         selected.len()
     );
     let t = std::time::Instant::now();
-    let rows = table1(&selected, SafeDmConfig::default());
+    let mut prof = SelfProfiler::new();
+    let rows =
+        table1_with_jobs(&selected, SafeDmConfig::default(), jobs, root_seed, Some(&mut prof));
     eprintln!("table1: finished in {:.1?}", t.elapsed());
 
     println!("TABLE I: TACLe-style benchmarks under SafeDM (model reproduction)");
@@ -66,18 +86,12 @@ fn main() {
         eprintln!("wrote {path}");
     }
     if let Some(path) = arg_value(&args, "--metrics-out") {
-        let mut reg = safedm_obs::MetricsRegistry::new(true);
-        for r in &rows {
-            for (i, nops) in safedm_bench::experiments::TABLE1_NOPS.iter().enumerate() {
-                let zs = reg.counter(&format!("table1.{}.nops{nops}.zero_stag", r.name));
-                let nd = reg.counter(&format!("table1.{}.nops{nops}.no_div", r.name));
-                reg.set_total(zs, r.cells[i].zero_stag);
-                reg.set_total(nd, r.cells[i].no_div);
-            }
-            let instr = reg.counter(&format!("table1.{}.instructions", r.name));
-            reg.set_total(instr, r.instructions);
-        }
-        std::fs::write(&path, reg.snapshot().to_json()).expect("write metrics");
-        eprintln!("wrote {path}");
+        write_metrics_json(&path, &table1_metrics(&rows).snapshot());
+    }
+    if arg_flag(&args, "--profile") {
+        // Wall-clock per campaign cell (host measurement — deliberately on
+        // stderr, never part of the deterministic outputs above).
+        eprintln!("\nper-cell wall-clock (campaign profiler, {jobs} worker(s)):");
+        eprint!("{}", prof.report());
     }
 }

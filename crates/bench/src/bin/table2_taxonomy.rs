@@ -9,8 +9,11 @@
 //! * **Diversity monitored (non-intrusive)** — SafeDM: zero slowdown, and
 //!   quantified diversity evidence.
 //!
-//! Usage: `cargo run -p safedm-bench --bin table2_taxonomy --release`
+//! Usage: `cargo run -p safedm-bench --bin table2_taxonomy --release
+//! [--jobs N]`
 
+use safedm_bench::experiments::jobs_from_args;
+use safedm_campaign::par_map;
 use safedm_core::{MonitoredSoc, ReportMode, SafeDe, SafeDeConfig, SafeDmConfig};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
@@ -53,16 +56,19 @@ fn run_safedm(prog: &safedm_asm::Program) -> (u64, u64, u64) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&args);
     let names = ["bitcount", "fac", "iir", "insertsort", "pm", "quicksort", "md5", "fft"];
     let threshold = 200u64;
-    let mut rows = Vec::new();
-    for name in names {
+    // One campaign cell per kernel (each cell runs all three techniques);
+    // ordered collection keeps the table identical for any --jobs N.
+    let rows = par_map(jobs, &names, |_, &name| {
         let k = kernels::by_name(name).expect("kernel exists");
         let prog = build_kernel_program(k, &HarnessConfig::default());
         let plain = run_plain(&prog);
         let (dec, stalls) = run_safede(&prog, threshold);
         let (dmc, no_div, zero_stag) = run_safedm(&prog);
-        rows.push(Row {
+        Row {
             name,
             plain_cycles: plain,
             safede_cycles: dec,
@@ -70,8 +76,8 @@ fn main() {
             safedm_cycles: dmc,
             no_div,
             zero_stag,
-        });
-    }
+        }
+    });
 
     println!("TABLE II (quantified): non-lockstepped redundant execution techniques");
     println!();

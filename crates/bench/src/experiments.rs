@@ -1,9 +1,14 @@
-//! Shared experiment plumbing: monitored kernel runs, the Table I sweep,
-//! and report structures (serialisable for EXPERIMENTS.md via the hand-rolled
+//! Shared experiment plumbing: monitored kernel runs, the Table I sweep
+//! (serial and parallel via the `safedm-campaign` engine), and report
+//! structures (serialisable for EXPERIMENTS.md via the hand-rolled
 //! [`mod@json`] helpers — no external serialisation dependency).
 
+use std::sync::Arc;
+
+use safedm_campaign::{derive_cell_seed, par_map_timed};
 use safedm_core::{IsLayout, MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_isa::Reg;
+use safedm_obs::{MetricsRegistry, MetricsSnapshot, SelfProfiler};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, HarnessConfig, Kernel, StackMode, StaggerConfig};
 
@@ -74,13 +79,30 @@ pub fn run_monitored_cfg(
     seed: u64,
     dm_cfg: SafeDmConfig,
 ) -> KernelRunSummary {
-    let stagger = harness.stagger;
     let prog = build_kernel_program(kernel, &harness);
+    run_monitored_prebuilt(kernel, &prog, harness.stagger, seed, dm_cfg)
+}
+
+/// [`run_monitored`] on a pre-built program image. Campaign cells share one
+/// decoded [`Program`] per (kernel, staggering) setup via `Arc` instead of
+/// re-assembling it per run.
+///
+/// # Panics
+///
+/// Panics if the run exceeds [`RUN_BUDGET`] (indicates a model bug).
+#[must_use]
+pub fn run_monitored_prebuilt(
+    kernel: &Kernel,
+    prog: &safedm_asm::Program,
+    stagger: Option<StaggerConfig>,
+    seed: u64,
+    dm_cfg: SafeDmConfig,
+) -> KernelRunSummary {
     let soc_cfg = SocConfig { mem_jitter: 2, jitter_seed: seed, ..SocConfig::default() };
     let mut dm_cfg = dm_cfg;
     dm_cfg.report_mode = ReportMode::Polling;
     let mut sys = MonitoredSoc::new(soc_cfg, dm_cfg);
-    sys.load_program(&prog);
+    sys.load_program(prog);
 
     // Hold the monitor disabled until the first instruction commits.
     sys.write_ctrl(0);
@@ -142,12 +164,172 @@ pub struct Table1Row {
 /// The staggering setups of Table I.
 pub const TABLE1_NOPS: [usize; 4] = [0, 100, 1_000, 10_000];
 
+/// Number of runs per Table I staggering setup: 4 jitter seeds for the
+/// synchronised start, 2 (each core delayed once) for the staggered ones.
+#[must_use]
+pub fn table1_runs_per_setup(nops: usize) -> usize {
+    if nops == 0 {
+        4
+    } else {
+        2
+    }
+}
+
+/// One scheduled run of the Table I protocol: a campaign cell.
+#[derive(Debug, Clone)]
+pub struct Table1CellRun<'k> {
+    /// Dense cell index (kernel-major, run-minor).
+    pub index: usize,
+    /// Position of the kernel in the campaign's kernel list.
+    pub kernel_idx: usize,
+    /// The kernel.
+    pub kernel: &'k Kernel,
+    /// Position of the staggering setup in [`TABLE1_NOPS`].
+    pub setup_idx: usize,
+    /// Staggering of this run (`None` for the synchronised start).
+    pub stagger: Option<StaggerConfig>,
+    /// Repeat-run number within the setup.
+    pub run: usize,
+    /// Memory-jitter seed of this run.
+    pub seed: u64,
+    /// Pre-built program image, shared across the runs of one setup.
+    pub program: Arc<safedm_asm::Program>,
+}
+
+/// Enumerates the Table I protocol as campaign cells, pre-building each
+/// setup's program once (`Arc`-shared across its runs).
+///
+/// With `root_seed == None` the runs use the paper protocol's literal jitter
+/// seeds (0–3 for the synchronised setup, the delayed-core index for the
+/// staggered ones) — the seeds every checked-in table was produced with.
+/// With `Some(root)`, each cell's seed is
+/// [`derive_cell_seed`]`(root, index)`: distinct per cell, independent of
+/// scheduling, reproducible from the root alone.
+#[must_use]
+pub fn table1_cells<'k>(kernels: &[&'k Kernel], root_seed: Option<u64>) -> Vec<Table1CellRun<'k>> {
+    let mut cells = Vec::new();
+    for (kernel_idx, k) in kernels.iter().enumerate() {
+        for (setup_idx, nops) in TABLE1_NOPS.iter().enumerate() {
+            let runs = table1_runs_per_setup(*nops);
+            let mut shared: Option<Arc<safedm_asm::Program>> = None;
+            for run in 0..runs {
+                let stagger =
+                    (*nops != 0).then_some(StaggerConfig { nops: *nops, delayed_core: run });
+                // Synchronised runs share one image; staggered runs differ
+                // per delayed core and build their own.
+                let program = match (&stagger, &shared) {
+                    (None, Some(p)) => Arc::clone(p),
+                    _ => {
+                        let harness = HarnessConfig { stagger, stack: StackMode::Mirrored };
+                        let p = Arc::new(build_kernel_program(k, &harness));
+                        if stagger.is_none() {
+                            shared = Some(Arc::clone(&p));
+                        }
+                        p
+                    }
+                };
+                let index = cells.len();
+                let seed =
+                    root_seed.map_or(run as u64, |root| derive_cell_seed(root, index as u64));
+                cells.push(Table1CellRun {
+                    index,
+                    kernel_idx,
+                    kernel: k,
+                    setup_idx,
+                    stagger,
+                    run,
+                    seed,
+                    program,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Folds per-cell run summaries (in cell order) back into Table I rows.
+fn table1_fold(
+    kernels: &[&Kernel],
+    cells: &[Table1CellRun],
+    runs: &[KernelRunSummary],
+) -> Vec<Table1Row> {
+    let mut rows: Vec<Table1Row> = kernels
+        .iter()
+        .map(|k| Table1Row {
+            name: k.name.to_owned(),
+            cells: [Table1Cell::default(); 4],
+            instructions: 0,
+            all_checksums_ok: true,
+        })
+        .collect();
+    for (cell, r) in cells.iter().zip(runs) {
+        let row = &mut rows[cell.kernel_idx];
+        let slot = &mut row.cells[cell.setup_idx];
+        slot.zero_stag = slot.zero_stag.max(r.zero_stag);
+        slot.no_div = slot.no_div.max(r.no_div);
+        row.all_checksums_ok &= r.checksum_ok;
+        if cell.stagger.is_none() {
+            row.instructions = r.instructions;
+        }
+    }
+    rows
+}
+
 /// Reproduces Table I for the given kernels. Per the paper's protocol,
 /// the no-staggering setup runs four times (different memory-jitter seeds)
 /// and each staggered setup runs twice (each core delayed once); cells
 /// report the maxima.
+///
+/// Single-threaded convenience wrapper over [`table1_with_jobs`]; output is
+/// byte-identical for every worker count.
 #[must_use]
 pub fn table1(kernels: &[&Kernel], dm_cfg: SafeDmConfig) -> Vec<Table1Row> {
+    table1_with_jobs(kernels, dm_cfg, 1, None, None)
+}
+
+/// [`table1`] on `jobs` workers through the `safedm-campaign` engine.
+///
+/// The cells of [`table1_cells`] are executed by a chunked work-stealing
+/// pool with ordered result collection; the fold then sees results in the
+/// canonical cell order, so rows (and anything rendered from them) are
+/// byte-identical for any `jobs`. When `prof` is given, each cell's
+/// wall-clock is recorded under `cell.<kernel>.nops<N>.run<R>` plus a
+/// `campaign.total` phase (wall-clock is reported via the profiler only —
+/// never mixed into deterministic outputs).
+#[must_use]
+pub fn table1_with_jobs(
+    kernels: &[&Kernel],
+    dm_cfg: SafeDmConfig,
+    jobs: usize,
+    root_seed: Option<u64>,
+    prof: Option<&mut SelfProfiler>,
+) -> Vec<Table1Row> {
+    let cells = table1_cells(kernels, root_seed);
+    let campaign_start = std::time::Instant::now();
+    let (runs, timings) = par_map_timed(jobs, &cells, |_, cell| {
+        run_monitored_prebuilt(cell.kernel, &cell.program, cell.stagger, cell.seed, dm_cfg)
+    });
+    if let Some(prof) = prof {
+        prof.record("campaign.total", campaign_start.elapsed());
+        for (cell, t) in cells.iter().zip(&timings) {
+            let nops = TABLE1_NOPS[cell.setup_idx];
+            prof.record(&format!("cell.{}.nops{nops}.run{}", cell.kernel.name, cell.run), *t);
+        }
+    }
+    table1_fold(kernels, &cells, &runs)
+}
+
+/// The pre-engine nested-loop Table I: the differential baseline
+/// `tests/parallel_determinism.rs` compares the campaign engine against.
+/// Must stay byte-for-byte equivalent to [`table1_with_jobs`] for every
+/// `jobs` and `root_seed`.
+#[must_use]
+pub fn table1_serial(
+    kernels: &[&Kernel],
+    dm_cfg: SafeDmConfig,
+    root_seed: Option<u64>,
+) -> Vec<Table1Row> {
+    let mut index = 0usize;
     kernels
         .iter()
         .map(|k| {
@@ -155,17 +337,13 @@ pub fn table1(kernels: &[&Kernel], dm_cfg: SafeDmConfig) -> Vec<Table1Row> {
             let mut instructions = 0;
             let mut ok = true;
             for (ci, nops) in TABLE1_NOPS.iter().enumerate() {
-                let runs: Vec<KernelRunSummary> = if *nops == 0 {
-                    (0..4).map(|seed| run_monitored(k, None, seed, dm_cfg)).collect()
-                } else {
-                    (0..2)
-                        .map(|d| {
-                            let st = StaggerConfig { nops: *nops, delayed_core: d };
-                            run_monitored(k, Some(st), d as u64, dm_cfg)
-                        })
-                        .collect()
-                };
-                for r in &runs {
+                for run in 0..table1_runs_per_setup(*nops) {
+                    let stagger =
+                        (*nops != 0).then_some(StaggerConfig { nops: *nops, delayed_core: run });
+                    let seed =
+                        root_seed.map_or(run as u64, |root| derive_cell_seed(root, index as u64));
+                    index += 1;
+                    let r = run_monitored(k, stagger, seed, dm_cfg);
                     cells[ci].zero_stag = cells[ci].zero_stag.max(r.zero_stag);
                     cells[ci].no_div = cells[ci].no_div.max(r.no_div);
                     ok &= r.checksum_ok;
@@ -263,6 +441,122 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
 #[must_use]
 pub fn arg_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Parses the value of `--flag` as a `T`, distinguishing "absent" from
+/// "present but invalid".
+///
+/// # Errors
+///
+/// Returns `Err` with a `"invalid value for FLAG"` message when the flag is
+/// present but its value does not parse.
+pub fn try_arg_parsed<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<T>, String> {
+    match arg_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value for {flag}: `{v}` (expected a number)")),
+    }
+}
+
+/// [`try_arg_parsed`] with a default, exiting with a helpful diagnostic
+/// instead of panicking on an invalid value (the bench binaries' shared
+/// argument handling — no `expect("--flag")` unwinds at the user).
+pub fn arg_parsed_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match try_arg_parsed(args, flag) {
+        Ok(v) => v.unwrap_or(default),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolves `--jobs` for a bench binary: the machine's available
+/// parallelism when absent, a positive integer otherwise; exits with a
+/// helpful diagnostic on invalid values.
+#[must_use]
+pub fn jobs_from_args(args: &[String]) -> usize {
+    match safedm_campaign::parse_jobs(arg_value(args, "--jobs").as_deref()) {
+        Ok(jobs) => jobs,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Registers a batch of `(name, total)` pairs as mirrored counters — the
+/// metrics-registration tail every bench binary used to hand-roll.
+pub fn set_metric_totals(
+    reg: &mut MetricsRegistry,
+    entries: impl IntoIterator<Item = (String, u64)>,
+) {
+    for (name, value) in entries {
+        let id = reg.counter(&name);
+        reg.set_total(id, value);
+    }
+}
+
+/// The CCF-campaign per-kernel metric registry: the six outcome counters
+/// per benchmark. Shared between the `ccf_campaign` binary and the
+/// parallel-determinism differential test, so the snapshot JSON is pinned
+/// to one definition.
+#[must_use]
+pub fn ccf_metrics(results: &[(&str, &safedm_faults::CampaignStats)]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new(true);
+    for (name, stats) in results {
+        set_metric_totals(
+            &mut reg,
+            [
+                ("masked", stats.masked),
+                ("mismatch", stats.detected_mismatch),
+                ("anomaly", stats.detected_anomaly),
+                ("silent_no_div", stats.silent_with_no_diversity),
+                ("silent_div", stats.silent_with_diversity),
+                ("silent_site_divergent", stats.silent_site_divergent),
+            ]
+            .map(|(metric, value)| (format!("ccf.{name}.{metric}"), value)),
+        );
+    }
+    reg
+}
+
+/// Writes a metric snapshot's JSON to `path`, exiting with a diagnostic on
+/// I/O failure (the shared `--metrics-out` tail).
+pub fn write_metrics_json(path: &str, snap: &MetricsSnapshot) {
+    if let Err(e) = std::fs::write(path, snap.to_json()) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path}");
+}
+
+/// The Table I metric registry (`--metrics-out`): per-row zero-stag /
+/// no-div / instruction totals. Shared between the `table1` binary and the
+/// parallel-determinism differential test, and fed by [`table1_with_jobs`]
+/// output only — so its snapshot inherits the engine's byte-determinism.
+#[must_use]
+pub fn table1_metrics(rows: &[Table1Row]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new(true);
+    for r in rows {
+        set_metric_totals(
+            &mut reg,
+            TABLE1_NOPS.iter().enumerate().flat_map(|(i, nops)| {
+                [
+                    (format!("table1.{}.nops{nops}.zero_stag", r.name), r.cells[i].zero_stag),
+                    (format!("table1.{}.nops{nops}.no_div", r.name), r.cells[i].no_div),
+                ]
+            }),
+        );
+        set_metric_totals(&mut reg, [(format!("table1.{}.instructions", r.name), r.instructions)]);
+    }
+    reg
 }
 
 /// Minimal JSON emission for the report structures (replaces the previous

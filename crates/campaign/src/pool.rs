@@ -1,0 +1,183 @@
+//! The deterministic parallel executor: a chunked work-stealing pool over an
+//! indexed item list, with **ordered** result collection.
+//!
+//! Workers claim chunks of indices from a shared atomic cursor (cheap,
+//! contention-free stealing), run the cell function, and stash
+//! `(index, output)` pairs locally; after the scoped join the pairs are
+//! scattered back into index order. Scheduling therefore affects only *when*
+//! a cell runs, never *what* it computes (cells are pure functions of their
+//! index and item) nor *where* its result lands — output is byte-identical
+//! for any worker count.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of workers to use by default: the machine's available parallelism
+/// (1 when it cannot be determined).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Chunk size for `len` items across `jobs` workers: aim for ~4 chunks per
+/// worker so stragglers can be stolen, clamped to `[1, 64]`.
+fn chunk_size(len: usize, jobs: usize) -> usize {
+    (len / (jobs * 4).max(1)).clamp(1, 64)
+}
+
+/// Runs `f(index, &items[index])` for every item on `jobs` workers and
+/// returns the outputs **in item order**, plus the per-cell wall-clock time
+/// (also in item order; timings are measurement, not input — they vary run
+/// to run while outputs do not).
+///
+/// `jobs == 1` (or a single item) runs inline on the calling thread; the
+/// result is identical by construction.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` after all workers stop.
+pub fn par_map_timed<T, O, F>(jobs: usize, items: &[T], f: F) -> (Vec<O>, Vec<Duration>)
+where
+    T: Sync,
+    O: Send,
+    F: Fn(usize, &T) -> O + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        let mut outs = Vec::with_capacity(items.len());
+        let mut times = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let start = Instant::now();
+            outs.push(f(i, item));
+            times.push(start.elapsed());
+        }
+        return (outs, times);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let chunk = chunk_size(items.len(), jobs);
+    let worker = || {
+        let mut local: Vec<(usize, O, Duration)> = Vec::new();
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= items.len() {
+                break;
+            }
+            let end = (start + chunk).min(items.len());
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                let t = Instant::now();
+                // Cells must not poison each other: a panicking cell is
+                // re-raised after the join, once every worker has stopped.
+                let out = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                match out {
+                    Ok(o) => local.push((i, o, t.elapsed())),
+                    Err(payload) => return Err(payload),
+                }
+            }
+        }
+        Ok(local)
+    };
+
+    let mut slots: Vec<Option<(O, Duration)>> = (0..items.len()).map(|_| None).collect();
+    let mut panic_payload = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs).map(|_| scope.spawn(worker)).collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(local)) => {
+                    for (i, o, d) in local {
+                        slots[i] = Some((o, d));
+                    }
+                }
+                Ok(Err(payload)) | Err(payload) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+    let mut outs = Vec::with_capacity(items.len());
+    let mut times = Vec::with_capacity(items.len());
+    for slot in slots {
+        let (o, d) = slot.expect("every cell ran (no worker panicked)");
+        outs.push(o);
+        times.push(d);
+    }
+    (outs, times)
+}
+
+/// [`par_map_timed`] without the timings.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+///
+/// # Examples
+///
+/// ```
+/// use safedm_campaign::pool::par_map;
+///
+/// let squares = par_map(4, &[1u64, 2, 3, 4, 5], |_, v| v * v);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn par_map<T, O, F>(jobs: usize, items: &[T], f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(usize, &T) -> O + Sync,
+{
+    par_map_timed(jobs, items, f).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_order_matches_item_order_for_any_jobs() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = par_map(1, &items, |i, v| (i as u64) * 1000 + v);
+        for jobs in [2, 3, 4, 8, 16] {
+            assert_eq!(par_map(jobs, &items, |i, v| (i as u64) * 1000 + v), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_lists() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(8, &empty, |_, v| *v).is_empty());
+        assert_eq!(par_map(8, &[7u64], |_, v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn timings_align_with_outputs() {
+        let items: Vec<u64> = (0..40).collect();
+        let (outs, times) = par_map_timed(4, &items, |_, v| *v);
+        assert_eq!(outs, items);
+        assert_eq!(times.len(), items.len());
+    }
+
+    #[test]
+    fn chunk_size_is_bounded() {
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(3, 4), 1);
+        assert_eq!(chunk_size(1 << 20, 2), 64);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u64> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            par_map(4, &items, |i, _| {
+                assert!(i != 13, "boom");
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+}

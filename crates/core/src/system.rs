@@ -316,6 +316,20 @@ impl MonitoredSoc {
     }
 }
 
+// The parallel campaign engine (`safedm-campaign`) moves whole monitored
+// systems and their results across worker threads. Keep that possible by
+// construction: a non-Send field sneaking into the run types (an Rc-shared
+// cache, a raw-pointer probe, a thread-local) breaks every `--jobs N` bench
+// at compile time, here, rather than at the first parallel campaign.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<MonitoredSoc>();
+    assert_send::<MonitoredRun>();
+    assert_send::<TraceSample>();
+    assert_send::<crate::SafeDm>();
+    assert_send::<crate::SafeDmConfig>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

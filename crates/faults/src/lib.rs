@@ -103,7 +103,7 @@ pub enum Outcome {
 }
 
 /// Full record of one injection.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InjectionResult {
     /// The injected fault.
     pub fault: CommonCauseFault,
@@ -345,7 +345,7 @@ impl Default for CampaignConfig {
 }
 
 /// Aggregate campaign statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignStats {
     /// Masked injections.
     pub masked: u64,
@@ -432,16 +432,22 @@ impl Campaign {
         CommonCauseFault { cycle, target }
     }
 
-    /// Runs the campaign on `kernel`.
+    /// The full fault list the campaign will inject, drawn up-front from the
+    /// seeded RNG. The sequence is identical to what the historical serial
+    /// `run` loop drew (faults come off one sequential stream), which is what
+    /// lets [`Campaign::run_jobs`] execute injections in parallel while
+    /// keeping records byte-identical to the serial campaign.
     #[must_use]
-    pub fn run(&self, kernel: &Kernel) -> CampaignStats {
-        let prog = build_kernel_program(kernel, &HarnessConfig::default());
-        let golden = (kernel.reference)();
+    pub fn planned_faults(&self) -> Vec<CommonCauseFault> {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        (0..self.cfg.trials).map(|_| self.draw(&mut rng)).collect()
+    }
+
+    /// Folds per-trial records (in trial order) into campaign statistics.
+    #[must_use]
+    pub fn stats_from_records(records: Vec<InjectionResult>) -> CampaignStats {
         let mut stats = CampaignStats::default();
-        for _ in 0..self.cfg.trials {
-            let fault = self.draw(&mut rng);
-            let r = run_injection(&prog, golden, fault, self.cfg.max_cycles);
+        for r in records {
             match r.outcome {
                 Outcome::Masked => stats.masked += 1,
                 Outcome::DetectedMismatch => {
@@ -468,6 +474,30 @@ impl Campaign {
             stats.records.push(r);
         }
         stats
+    }
+
+    /// Runs the campaign on `kernel`.
+    #[must_use]
+    pub fn run(&self, kernel: &Kernel) -> CampaignStats {
+        self.run_jobs(kernel, 1)
+    }
+
+    /// Runs the campaign on `kernel` with `jobs` worker threads.
+    ///
+    /// Faults are planned serially ([`Campaign::planned_faults`]), the
+    /// expensive injections run in parallel on a shared pre-built program,
+    /// and the records are folded in trial order — the resulting
+    /// [`CampaignStats`] (records included) is identical for every `jobs`.
+    #[must_use]
+    pub fn run_jobs(&self, kernel: &Kernel, jobs: usize) -> CampaignStats {
+        let prog = build_kernel_program(kernel, &HarnessConfig::default());
+        let golden = (kernel.reference)();
+        let faults = self.planned_faults();
+        let max_cycles = self.cfg.max_cycles;
+        let records = safedm_campaign::par_map(jobs, &faults, |_, &fault| {
+            run_injection(&prog, golden, fault, max_cycles)
+        });
+        Campaign::stats_from_records(records)
     }
 }
 
@@ -581,6 +611,26 @@ mod tests {
         assert_eq!(a.masked, b.masked);
         assert_eq!(a.detected_mismatch, b.detected_mismatch);
         assert_eq!(a.silent(), b.silent());
+    }
+
+    #[test]
+    fn planned_faults_reproducible_and_sized() {
+        let cfg = CampaignConfig { trials: 25, seed: 11, ..CampaignConfig::default() };
+        let a = Campaign::new(cfg).planned_faults();
+        let b = Campaign::new(cfg).planned_faults();
+        assert_eq!(a.len(), 25);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        let cfg =
+            CampaignConfig { trials: 6, seed: 9, max_cycle: 8_000, ..CampaignConfig::default() };
+        let serial = Campaign::new(cfg).run(kernel());
+        for jobs in [2, 4] {
+            let par = Campaign::new(cfg).run_jobs(kernel(), jobs);
+            assert_eq!(serial, par, "jobs={jobs} must match the serial campaign");
+        }
     }
 
     #[test]

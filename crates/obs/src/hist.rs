@@ -145,6 +145,39 @@ impl BinnedHistogram {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Folds another histogram's samples into this one. The merge is exact
+    /// (bin counts, under/overflow, count, sum, min, max all combine), so
+    /// merging per-worker histograms reproduces the single-threaded result
+    /// regardless of how samples were split across workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries (lo, width, bin count) differ.
+    pub fn merge(&mut self, other: &BinnedHistogram) {
+        assert!(
+            self.lo == other.lo && self.width == other.width && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different geometries \
+             ({}+{}x{} vs {}+{}x{})",
+            self.lo,
+            self.width,
+            self.bins.len(),
+            other.lo,
+            other.width,
+            other.bins.len()
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Clears all counts, keeping the geometry.
     pub fn reset(&mut self) {
         self.bins.iter_mut().for_each(|b| *b = 0);
@@ -160,6 +193,43 @@ impl BinnedHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_reproduces_single_stream() {
+        let samples: Vec<u64> = (0..100).map(|i| i * 7 % 60).collect();
+        let mut whole = BinnedHistogram::new(0, 8, 6);
+        for &v in &samples {
+            whole.observe(v);
+        }
+        // Split the same samples across three "workers" and merge.
+        let mut merged = BinnedHistogram::new(0, 8, 6);
+        for part in samples.chunks(33) {
+            let mut h = BinnedHistogram::new(0, 8, 6);
+            for &v in part {
+                h.observe(v);
+            }
+            merged.merge(&h);
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_min_max() {
+        let mut h = BinnedHistogram::new(0, 1, 4);
+        h.observe(2);
+        h.merge(&BinnedHistogram::new(0, 1, 4));
+        assert_eq!(h.min(), Some(2));
+        assert_eq!(h.max(), Some(2));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometries")]
+    fn merge_rejects_geometry_mismatch() {
+        let mut a = BinnedHistogram::new(0, 1, 4);
+        let b = BinnedHistogram::new(0, 2, 4);
+        a.merge(&b);
+    }
 
     #[test]
     fn exact_edges_bin_correctly() {

@@ -134,6 +134,40 @@ impl MetricsRegistry {
         }
     }
 
+    /// Folds another registry's metrics into this one: counters add,
+    /// gauges take the other registry's value (so merging workers in cell
+    /// order gives the last cell's gauge, as a serial run would), and
+    /// histograms merge exactly ([`BinnedHistogram::merge`]). Metrics only
+    /// the other registry knows are registered here first, in the other's
+    /// registration order — merging per-worker registries in a fixed order
+    /// therefore yields a registry whose snapshot is byte-identical
+    /// regardless of how work was split.
+    ///
+    /// A disabled receiver still *registers* the union of names (so shapes
+    /// stay comparable) but keeps every value at zero, matching its
+    /// behaviour under direct updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram name is shared with a different geometry.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            let id = self.counter(name);
+            self.add(id, *value);
+        }
+        for (name, value) in &other.gauges {
+            let id = self.gauge(name);
+            self.set(id, *value);
+        }
+        for (name, hist) in &other.histograms {
+            let (lo, hi) = hist.bin_range(0);
+            let id = self.histogram(name, lo, hi - lo, hist.bins().len());
+            if self.enabled {
+                self.histograms[id.0].1.merge(hist);
+            }
+        }
+    }
+
     /// Takes a deterministic snapshot: all metrics sorted by name.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -320,6 +354,54 @@ mod tests {
         reg.set_total(c, 42);
         reg.set_total(c, 40); // mirrored totals may be rewritten wholesale
         assert_eq!(reg.snapshot().counter("bus.transactions"), Some(40));
+    }
+
+    #[test]
+    fn merge_from_reproduces_single_registry() {
+        // One registry fed everything vs. two "workers" fed half each.
+        let mut whole = MetricsRegistry::new(true);
+        let c = whole.counter("runs.total");
+        whole.add(c, 10);
+        let g = whole.gauge("last.stagger");
+        whole.set(g, -7);
+        let h = whole.histogram("cycles", 0, 10, 4);
+        for v in [1, 11, 25, 39] {
+            whole.observe(h, v);
+        }
+
+        let mut w0 = MetricsRegistry::new(true);
+        let c = w0.counter("runs.total");
+        w0.add(c, 4);
+        let h = w0.histogram("cycles", 0, 10, 4);
+        w0.observe(h, 1);
+        w0.observe(h, 11);
+        let mut w1 = MetricsRegistry::new(true);
+        let c = w1.counter("runs.total");
+        w1.add(c, 6);
+        let g = w1.gauge("last.stagger");
+        w1.set(g, -7);
+        let h = w1.histogram("cycles", 0, 10, 4);
+        w1.observe(h, 25);
+        w1.observe(h, 39);
+
+        let mut merged = MetricsRegistry::new(true);
+        merged.merge_from(&w0);
+        merged.merge_from(&w1);
+        assert_eq!(merged.snapshot().to_json(), whole.snapshot().to_json());
+    }
+
+    #[test]
+    fn merge_into_disabled_registers_names_but_keeps_zero() {
+        let mut src = MetricsRegistry::new(true);
+        let c = src.counter("a");
+        src.add(c, 5);
+        let h = src.histogram("h", 0, 1, 2);
+        src.observe(h, 1);
+        let mut dst = MetricsRegistry::new(false);
+        dst.merge_from(&src);
+        let snap = dst.snapshot();
+        assert_eq!(snap.counter("a"), Some(0));
+        assert_eq!(snap.histogram("h").unwrap().count(), 0);
     }
 
     #[test]

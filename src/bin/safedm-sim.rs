@@ -18,13 +18,22 @@
 //! safedm-sim analyze <program.s | --kernel NAME> [--stagger N] [--gate]
 //! safedm-sim trace <kernel | program.s> [--cycles N] [--out FILE] [--jsonl]
 //! safedm-sim stats <kernel | program.s> [--cycles N] [--json] [--profile]
+//! safedm-sim campaign [--kernels a,b] [--staggers 0,100] [--runs N]
+//!            [--root-seed S] [--jobs N] [--json] [--profile]
 //! safedm-sim --list-kernels
 //! ```
+//!
+//! The `campaign` subcommand enumerates a kernel × stagger × run grid and
+//! executes it on the deterministic `safedm-campaign` pool: per-cell seeds
+//! derive from `--root-seed` and the cell index alone, and results collect
+//! in grid order, so the output is byte-identical for every `--jobs N`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use safedm::analysis::{analyze, AnalysisConfig};
 use safedm::asm::Program;
+use safedm::campaign::{par_map_timed, ConfigGrid};
 use safedm::monitor::{MonitoredSoc, ObsConfig, ReportMode, RunObserver, SafeDmConfig};
 use safedm::obs::SelfProfiler;
 use safedm::soc::{ProbeVcd, SocConfig};
@@ -57,7 +66,10 @@ fn usage() -> &'static str {
      \x20      safedm-sim trace <kernel | program.s>\n\
      \x20      [--cycles N] [--out FILE] [--jsonl] [--events N] [--interval N]\n\
      \x20      safedm-sim stats <kernel | program.s>\n\
-     \x20      [--cycles N] [--json] [--metrics-out FILE] [--profile] [--interval N]"
+     \x20      [--cycles N] [--json] [--metrics-out FILE] [--profile] [--interval N]\n\
+     \x20      safedm-sim campaign\n\
+     \x20      [--kernels a,b,..] [--staggers 0,100,..] [--runs N]\n\
+     \x20      [--root-seed S] [--jobs N] [--json] [--profile]"
 }
 
 /// Resolves the positional target of a subcommand: a built-in kernel name
@@ -221,6 +233,130 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `campaign` subcommand: enumerate a kernel × stagger × run
+/// [`ConfigGrid`] and execute it on the deterministic worker pool.
+fn run_campaign(args: &[String]) -> Result<(), String> {
+    let kernels_arg = arg_value(args, "--kernels").unwrap_or_else(|| "bitcount,fac".to_owned());
+    let mut kernel_axis = Vec::new();
+    for n in kernels_arg.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let k = kernels::by_name(n)
+            .ok_or_else(|| format!("unknown kernel `{n}` (see --list-kernels)"))?;
+        kernel_axis.push(k);
+    }
+    if kernel_axis.is_empty() {
+        return Err("--kernels needs at least one kernel name".to_owned());
+    }
+    let staggers_arg = arg_value(args, "--staggers").unwrap_or_else(|| "0,100".to_owned());
+    let stagger_axis: Vec<u64> = staggers_arg
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_u64)
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("invalid value for --staggers: {e}"))?;
+    if stagger_axis.is_empty() {
+        return Err("--staggers needs at least one nop count".to_owned());
+    }
+    let runs = arg_value(args, "--runs").map_or(Ok(2), |v| parse_u64(&v))?.max(1) as usize;
+    let root_seed = arg_value(args, "--root-seed").map_or(Ok(2024), |v| parse_u64(&v))?;
+    let jobs = safedm::campaign::parse_jobs(arg_value(args, "--jobs").as_deref())?;
+
+    let grid = ConfigGrid {
+        kernels: kernel_axis,
+        staggers: stagger_axis,
+        configs: vec![SafeDmConfig::default()],
+        runs,
+        root_seed,
+    };
+    // One pre-decoded program per (kernel, stagger) setup, shared by all of
+    // that setup's runs. Setup index = cell.index / runs in the canonical
+    // kernel-major, run-minor order.
+    let mut programs: Vec<Arc<Program>> =
+        Vec::with_capacity(grid.kernels.len() * grid.staggers.len());
+    for k in &grid.kernels {
+        for &nops in &grid.staggers {
+            let stagger =
+                (nops > 0).then_some(StaggerConfig { nops: nops as usize, delayed_core: 1 });
+            programs.push(Arc::new(build_kernel_program(
+                k,
+                &HarnessConfig { stagger, ..HarnessConfig::default() },
+            )));
+        }
+    }
+
+    let cells = grid.cells();
+    eprintln!("campaign: {} cells on {jobs} worker(s), root seed {root_seed}", cells.len());
+    let (results, durations) = par_map_timed(jobs, &cells, |_, cell| {
+        let prog = &programs[cell.index / runs];
+        let soc_cfg = SocConfig { mem_jitter: 2, jitter_seed: cell.seed, ..SocConfig::default() };
+        let dm_cfg = SafeDmConfig { report_mode: ReportMode::Polling, ..cell.config };
+        let mut sys = MonitoredSoc::new(soc_cfg, dm_cfg);
+        sys.load_program(prog);
+        sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(ReportMode::Polling) << 1));
+        let out = sys.run(500_000_000);
+        let golden = (cell.kernel.reference)();
+        let ok = !out.run.timed_out
+            && (0..2).all(|c| sys.soc().core(c).reg(safedm::isa::Reg::A0) == golden);
+        (out.run.cycles, out.zero_stag_cycles, out.no_div_cycles, out.cycles_observed, ok)
+    });
+
+    let json = arg_flag(args, "--json");
+    if json {
+        let mut doc = String::from("[");
+        for (cell, r) in cells.iter().zip(&results) {
+            if cell.index > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&format!(
+                "{{\"kernel\":\"{}\",\"nops\":{},\"run\":{},\"seed\":{},\"cycles\":{},\
+                 \"zero_stag\":{},\"no_div\":{},\"observed\":{},\"checksum_ok\":{}}}",
+                cell.kernel.name, cell.stagger, cell.run, cell.seed, r.0, r.1, r.2, r.3, r.4
+            ));
+        }
+        doc.push(']');
+        println!("{doc}");
+    } else {
+        println!(
+            "CAMPAIGN: {} kernels x {} staggers x {} runs",
+            grid.kernels.len(),
+            grid.staggers.len(),
+            runs
+        );
+        println!(
+            "{:<14} {:>7} {:>4} {:>20} {:>10} {:>10} {:>9} {:>6}",
+            "kernel", "nops", "run", "seed", "cycles", "zero-stag", "no-div", "check"
+        );
+        for (cell, r) in cells.iter().zip(&results) {
+            println!(
+                "{:<14} {:>7} {:>4} {:>20} {:>10} {:>10} {:>9} {:>6}",
+                cell.kernel.name,
+                cell.stagger,
+                cell.run,
+                cell.seed,
+                r.0,
+                r.1,
+                r.2,
+                if r.4 { "ok" } else { "FAIL" }
+            );
+        }
+    }
+    if arg_flag(args, "--profile") {
+        // Host wall-clock per cell: stderr only, never part of the
+        // deterministic stdout above.
+        eprintln!("per-cell wall-clock:");
+        for (cell, d) in cells.iter().zip(&durations) {
+            eprintln!(
+                "  {:<14} nops {:>7} run {} : {:>10.1?}",
+                cell.kernel.name, cell.stagger, cell.run, d
+            );
+        }
+    }
+    if results.iter().any(|r| !r.4) {
+        return Err("one or more campaign cells failed their self-check".to_owned());
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || arg_flag(&args, "--help") {
@@ -241,6 +377,9 @@ fn run() -> Result<(), String> {
     }
     if args.first().is_some_and(|a| a == "stats") {
         return run_stats(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "campaign") {
+        return run_campaign(&args[1..]);
     }
 
     let base = arg_value(&args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;

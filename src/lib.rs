@@ -11,6 +11,7 @@
 //! | [`obs`] | `safedm-obs` | metrics registry, event tracing, self-profiler |
 //! | [`monitor`] | `safedm-core` | **SafeDM** itself + the SafeDE baseline |
 //! | [`tacle`] | `safedm-tacle` | the 29 TACLe-style kernels of Table I |
+//! | [`campaign`] | `safedm-campaign` | deterministic parallel campaign engine |
 //! | [`faults`] | `safedm-faults` | common-cause fault-injection campaigns |
 //! | [`power`] | `safedm-power` | FPGA area/power model (Section V-D) |
 //! | [`analysis`] | `safedm-analysis` | static diversity analyzer (CFG/dataflow lints) |
@@ -56,6 +57,9 @@ pub use safedm_core as monitor;
 
 /// TACLe-style benchmark kernels (re-export of `safedm-tacle`).
 pub use safedm_tacle as tacle;
+
+/// Deterministic parallel campaign engine (re-export of `safedm-campaign`).
+pub use safedm_campaign as campaign;
 
 /// Fault-injection campaigns (re-export of `safedm-faults`).
 pub use safedm_faults as faults;

@@ -1,6 +1,8 @@
-//! Property tests of the SafeDM monitor over random probe streams.
+//! Property tests of the SafeDM monitor over random probe streams, plus
+//! invariants of the campaign engine's per-cell seed derivation.
 
 use proptest::prelude::*;
+use safedm::campaign::{derive_cell_seed, ConfigGrid};
 use safedm::monitor::{SafeDm, SafeDmConfig};
 use safedm::soc::{CoreProbe, PortSample, StageSlot, PIPE_STAGES, PIPE_WIDTH, READ_PORTS};
 
@@ -139,5 +141,63 @@ proptest! {
                 prop_assert!(!r.ds_match, "divergent sample must persist {depth} cycles");
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Distinct cells must get distinct seeds under any root: splitmix's
+    /// odd gamma stride plus the bijective finalizer keep the per-cell
+    /// streams collision-free.
+    #[test]
+    fn distinct_cells_get_distinct_seeds(
+        root in any::<u64>(),
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+    ) {
+        if a != b {
+            prop_assert_ne!(derive_cell_seed(root, a), derive_cell_seed(root, b));
+        }
+    }
+
+    /// A cell's seed is a pure function of (root, index): enumerating the
+    /// grid forwards, backwards, or decoding single cells must agree, and
+    /// the axis *contents* must not matter.
+    #[test]
+    fn cell_seed_stable_across_enumeration_order(
+        root in any::<u64>(),
+        nk in 1usize..5,
+        ns in 1usize..5,
+        runs in 1usize..4,
+    ) {
+        let grid = ConfigGrid {
+            kernels: (0..nk).collect::<Vec<usize>>(),
+            staggers: (0..ns).collect::<Vec<usize>>(),
+            configs: vec![()],
+            runs,
+            root_seed: root,
+        };
+        let forward = grid.cells();
+        prop_assert_eq!(forward.len(), grid.len());
+        for i in (0..grid.len()).rev() {
+            let c = grid.cell(i);
+            prop_assert_eq!(c.index, i);
+            prop_assert_eq!(c.seed, forward[i].seed);
+            prop_assert_eq!(c.seed, derive_cell_seed(root, i as u64));
+        }
+        // Axis values are irrelevant to the seed.
+        let relabeled = ConfigGrid {
+            kernels: (100..100 + nk).collect::<Vec<usize>>(),
+            ..grid.clone()
+        };
+        for i in 0..grid.len() {
+            prop_assert_eq!(grid.cell(i).seed, relabeled.cell(i).seed);
+        }
+        // And within one grid every cell's seed is unique.
+        let mut seeds: Vec<u64> = forward.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        prop_assert_eq!(seeds.len(), grid.len());
     }
 }
