@@ -1,0 +1,222 @@
+//! Congruence domain: `value ≡ r (mod m)`.
+//!
+//! This is the domain that actually decides FIFO-period collisions: a loop
+//! counter stepped by `k` satisfies `c ≡ c0 (mod |k|)` at the header, and
+//! whether two staggered copies of a periodic traffic pattern re-align is a
+//! residue-class question on the stagger. `m == 0` encodes an exact
+//! constant, `m == 1` is top (every value).
+//!
+//! Congruences are integer facts; they do not survive wrap-around mod 2^64
+//! (unless `m` divides 2^64). The product domain in [`super`] therefore only
+//! applies a non-constant congruence transfer when the interval half proves
+//! the machine operation did not overflow; constants are exempt because
+//! wrapping constants track the machine value exactly.
+
+use safedm_isa::AluKind;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The set `{ v : v ≡ r (mod m) }`; `m == 0` means exactly `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Congruence {
+    /// Modulus; 0 = constant, 1 = top.
+    pub m: u64,
+    /// Residue, reduced mod `m` when `m > 1`.
+    pub r: u64,
+}
+
+impl Congruence {
+    /// Every value.
+    pub const TOP: Congruence = Congruence { m: 1, r: 0 };
+
+    /// The singleton abstraction of one value.
+    #[must_use]
+    pub fn constant(c: u64) -> Congruence {
+        Congruence { m: 0, r: c }
+    }
+
+    fn normalized(m: u64, r: u64) -> Congruence {
+        if m == 0 {
+            Congruence { m: 0, r }
+        } else {
+            Congruence { m, r: r % m }
+        }
+    }
+
+    /// Whether this is the top element.
+    #[must_use]
+    pub fn is_top(&self) -> bool {
+        self.m == 1
+    }
+
+    /// The single member, when constant.
+    #[must_use]
+    pub fn as_const(&self) -> Option<u64> {
+        (self.m == 0).then_some(self.r)
+    }
+
+    /// Whether `v` is a member.
+    #[must_use]
+    pub fn contains(&self, v: u64) -> bool {
+        if self.m == 0 {
+            v == self.r
+        } else {
+            v % self.m == self.r
+        }
+    }
+
+    /// Least upper bound: the coarsest congruence containing both. Joining
+    /// constants `a` and `b` yields `a mod |a-b|`; in general the modulus is
+    /// `gcd(m1, m2, |r1-r2|)`, which strictly divides its inputs, so join
+    /// chains are finite and the fixpoint needs no widening.
+    #[must_use]
+    pub fn join(&self, other: &Congruence) -> Congruence {
+        if self == other {
+            return *self;
+        }
+        let diff = self.r.abs_diff(other.r);
+        let m = gcd(gcd(self.m, other.m), diff);
+        if m == 0 {
+            // Both constants with equal residues is the self == other case;
+            // here diff != 0 so m != 0 unless both moduli were 0 and equal.
+            return Congruence::constant(self.r);
+        }
+        Congruence::normalized(m, self.r)
+    }
+
+    /// Abstract counterpart of [`safedm_isa::alu`], valid **only when the
+    /// concrete operation cannot wrap** (the caller proves this with the
+    /// interval half of the product). Constant operands are exact regardless.
+    #[must_use]
+    pub fn alu(kind: AluKind, a: &Congruence, b: &Congruence) -> Congruence {
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            return Congruence::constant(safedm_isa::alu(kind, x, y));
+        }
+        match kind {
+            AluKind::Add => {
+                let m = gcd(a.m, b.m);
+                if m == 0 {
+                    Congruence::constant(a.r.wrapping_add(b.r))
+                } else {
+                    Congruence::normalized(m, (a.r % m).wrapping_add(b.r % m))
+                }
+            }
+            AluKind::Sub => {
+                let m = gcd(a.m, b.m);
+                if m == 0 {
+                    Congruence::constant(a.r.wrapping_sub(b.r))
+                } else {
+                    Congruence::normalized(m, (a.r % m).wrapping_add(m - b.r % m))
+                }
+            }
+            AluKind::Mul => match (a.as_const(), b.as_const()) {
+                // k * (qm + r) = q(km) + kr.
+                (Some(k), None) => match (k.checked_mul(b.m), k.checked_mul(b.r)) {
+                    (Some(m), Some(r)) => Congruence::normalized(m, r),
+                    _ => Congruence::TOP,
+                },
+                (None, Some(k)) => match (k.checked_mul(a.m), k.checked_mul(a.r)) {
+                    (Some(m), Some(r)) => Congruence::normalized(m, r),
+                    _ => Congruence::TOP,
+                },
+                _ => Congruence::TOP,
+            },
+            AluKind::Sll => match b.as_const() {
+                // A left shift by a known amount is a multiplication by 2^s.
+                Some(s) if (s & 63) < 63 => {
+                    let k = 1u64 << (s & 63);
+                    match (k.checked_mul(a.m), k.checked_mul(a.r)) {
+                        (Some(m), Some(r)) => Congruence::normalized(m, r),
+                        _ => Congruence::TOP,
+                    }
+                }
+                _ => Congruence::TOP,
+            },
+            _ => Congruence::TOP,
+        }
+    }
+
+    /// Whether membership in `self` and membership in `other` are provably
+    /// disjoint — no value satisfies both. Used to prove two register reads
+    /// must differ.
+    #[must_use]
+    pub fn disjoint(&self, other: &Congruence) -> bool {
+        match (self.as_const(), other.as_const()) {
+            (Some(a), Some(b)) => a != b,
+            _ => {
+                // Solvable iff gcd(m1, m2) divides r1 - r2 (CRT).
+                let g = gcd(self.m, other.m);
+                g > 1 && self.r % g != other.r % g
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_of_constants_finds_the_step() {
+        let a = Congruence::constant(100);
+        let b = Congruence::constant(96);
+        let j = a.join(&b);
+        assert_eq!(j, Congruence { m: 4, r: 0 });
+        assert!(j.contains(0) && j.contains(104) && !j.contains(101));
+        // Further joins with more counter values are stable.
+        assert_eq!(j.join(&Congruence::constant(92)), j);
+    }
+
+    #[test]
+    fn add_keeps_residue() {
+        let c = Congruence { m: 8, r: 3 };
+        let step = Congruence::constant(8);
+        let next = Congruence::alu(AluKind::Add, &c, &step);
+        assert_eq!(next, Congruence { m: 8, r: 3 });
+        let off = Congruence::alu(AluKind::Add, &c, &Congruence::constant(1));
+        assert_eq!(off, Congruence { m: 8, r: 4 });
+    }
+
+    #[test]
+    fn mul_and_shift_scale_the_modulus() {
+        let c = Congruence { m: 4, r: 1 };
+        let scaled = Congruence::alu(AluKind::Mul, &Congruence::constant(3), &c);
+        assert_eq!(scaled, Congruence { m: 12, r: 3 });
+        let shifted = Congruence::alu(AluKind::Sll, &c, &Congruence::constant(2));
+        assert_eq!(shifted, Congruence { m: 16, r: 4 });
+    }
+
+    #[test]
+    fn disjointness_is_a_crt_check() {
+        let even = Congruence { m: 2, r: 0 };
+        let odd = Congruence { m: 2, r: 1 };
+        assert!(even.disjoint(&odd));
+        let m4r1 = Congruence { m: 4, r: 1 };
+        assert!(!even.disjoint(&Congruence { m: 4, r: 2 }));
+        assert!(m4r1.disjoint(&Congruence { m: 4, r: 3 }) || !m4r1.disjoint(&odd));
+        assert!(!Congruence::TOP.disjoint(&even));
+    }
+
+    #[test]
+    fn join_chain_terminates() {
+        let mut c = Congruence::constant(7);
+        let mut steps = 0;
+        for v in [19u64, 31, 43, 44, 45] {
+            let next = c.join(&Congruence::constant(v));
+            if next != c {
+                steps += 1;
+            }
+            c = next;
+        }
+        assert!(steps <= 5);
+        assert_eq!(c, Congruence::TOP);
+    }
+}

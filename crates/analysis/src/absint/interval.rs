@@ -1,0 +1,198 @@
+//! Unsigned interval domain with widening/narrowing.
+//!
+//! An [`Interval`] abstracts a set of `u64` values by its smallest enclosing
+//! non-wrapping range `[lo, hi]`. The main job of the domain in the
+//! diversity prover is *overflow exclusion*: congruence arithmetic (see
+//! [`super::congruence`]) is only valid over the integers, so every
+//! congruence transfer first asks the interval half of the product whether
+//! the machine operation could have wrapped mod 2^64.
+
+use safedm_isa::AluKind;
+
+/// A non-wrapping unsigned range `[lo, hi]` with `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The full range: every `u64`.
+    pub const TOP: Interval = Interval { lo: 0, hi: u64::MAX };
+
+    /// The singleton abstraction of one value.
+    #[must_use]
+    pub fn constant(c: u64) -> Interval {
+        Interval { lo: c, hi: c }
+    }
+
+    /// Whether this is the full range.
+    #[must_use]
+    pub fn is_top(&self) -> bool {
+        *self == Interval::TOP
+    }
+
+    /// The single member, when the range is a singleton.
+    #[must_use]
+    pub fn as_const(&self) -> Option<u64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether `v` is a member.
+    #[must_use]
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound (range hull).
+    #[must_use]
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Standard widening: any bound still moving after a join jumps to its
+    /// extreme, guaranteeing the fixpoint terminates.
+    #[must_use]
+    pub fn widen(&self, next: &Interval) -> Interval {
+        Interval {
+            lo: if next.lo < self.lo { 0 } else { self.lo },
+            hi: if next.hi > self.hi { u64::MAX } else { self.hi },
+        }
+    }
+
+    /// One narrowing step after widening: bounds that were widened to an
+    /// extreme may be pulled back to the recomputed value.
+    #[must_use]
+    pub fn narrow(&self, next: &Interval) -> Interval {
+        Interval {
+            lo: if self.lo == 0 { next.lo } else { self.lo },
+            hi: if self.hi == u64::MAX { next.hi } else { self.hi },
+        }
+    }
+
+    /// Abstract counterpart of [`safedm_isa::alu`]. Sound but deliberately
+    /// coarse outside the operations the prover needs (add/sub chains for
+    /// counters, masks, small shifts); everything else returns
+    /// [`Interval::TOP`].
+    #[must_use]
+    pub fn alu(kind: AluKind, a: &Interval, b: &Interval) -> Interval {
+        // Two singletons are exact for every operation, wrapping included —
+        // the machine value is known.
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            return Interval::constant(safedm_isa::alu(kind, x, y));
+        }
+        match kind {
+            AluKind::Add => match (a.lo.checked_add(b.lo), a.hi.checked_add(b.hi)) {
+                (Some(lo), Some(hi)) => Interval { lo, hi },
+                _ => Interval::TOP,
+            },
+            AluKind::Sub => {
+                if a.lo >= b.hi {
+                    Interval { lo: a.lo - b.hi, hi: a.hi - b.lo }
+                } else {
+                    Interval::TOP
+                }
+            }
+            AluKind::Mul => match (a.lo.checked_mul(b.lo), a.hi.checked_mul(b.hi)) {
+                (Some(lo), Some(hi)) => Interval { lo, hi },
+                _ => Interval::TOP,
+            },
+            AluKind::And => Interval { lo: 0, hi: a.hi.min(b.hi) },
+            AluKind::Or | AluKind::Xor => {
+                // Bounded by the next power of two above both operands.
+                let bits = 64 - a.hi.max(b.hi).leading_zeros();
+                if bits >= 64 {
+                    Interval::TOP
+                } else {
+                    Interval { lo: 0, hi: (1u64 << bits) - 1 }
+                }
+            }
+            AluKind::Srl => {
+                // The shift amount is masked to 6 bits by the hardware; only
+                // a known amount gives a usable bound.
+                match b.as_const() {
+                    Some(s) => Interval { lo: a.lo >> (s & 63), hi: a.hi >> (s & 63) },
+                    None => Interval { lo: 0, hi: a.hi },
+                }
+            }
+            AluKind::Sll => match b.as_const() {
+                Some(s) => {
+                    let s = s & 63;
+                    match (a.lo.checked_shl(s as u32), a.hi.checked_shl(s as u32)) {
+                        (Some(lo), Some(hi)) if (hi >> s) == a.hi => Interval { lo, hi },
+                        _ => Interval::TOP,
+                    }
+                }
+                None => Interval::TOP,
+            },
+            AluKind::Slt | AluKind::Sltu => Interval { lo: 0, hi: 1 },
+            AluKind::Divu => {
+                // Unsigned division never grows the dividend; divisor 0
+                // yields u64::MAX by convention, so only a nonzero-proved
+                // divisor keeps a bound.
+                match a.hi.checked_div(b.lo) {
+                    Some(hi) if b.lo > 0 => Interval { lo: a.lo / b.hi.max(1), hi },
+                    _ => Interval::TOP,
+                }
+            }
+            AluKind::Remu => {
+                if b.lo > 0 {
+                    Interval { lo: 0, hi: a.hi.min(b.hi - 1) }
+                } else {
+                    Interval::TOP
+                }
+            }
+            _ => Interval::TOP,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_contains() {
+        let a = Interval::constant(3).join(&Interval::constant(9));
+        assert_eq!(a, Interval { lo: 3, hi: 9 });
+        assert!(a.contains(5) && !a.contains(10));
+        assert!(Interval::TOP.contains(u64::MAX));
+    }
+
+    #[test]
+    fn widening_terminates_growth() {
+        let a = Interval { lo: 4, hi: 10 };
+        let grown = Interval { lo: 4, hi: 12 };
+        assert_eq!(a.widen(&grown), Interval { lo: 4, hi: u64::MAX });
+        assert_eq!(a.widen(&a), a);
+        // Narrowing recovers a recomputed finite bound.
+        let w = a.widen(&grown);
+        assert_eq!(w.narrow(&Interval { lo: 4, hi: 20 }), Interval { lo: 4, hi: 20 });
+    }
+
+    #[test]
+    fn add_overflow_goes_top() {
+        let a = Interval { lo: 1, hi: u64::MAX - 1 };
+        let b = Interval { lo: 0, hi: 2 };
+        assert!(Interval::alu(AluKind::Add, &a, &b).is_top());
+        let small = Interval { lo: 1, hi: 5 };
+        assert_eq!(Interval::alu(AluKind::Add, &small, &b), Interval { lo: 1, hi: 7 });
+    }
+
+    #[test]
+    fn const_const_is_exact_even_when_wrapping() {
+        let a = Interval::constant(u64::MAX);
+        let b = Interval::constant(2);
+        assert_eq!(Interval::alu(AluKind::Add, &a, &b), Interval::constant(1));
+    }
+
+    #[test]
+    fn sub_requires_order_proof() {
+        let a = Interval { lo: 10, hi: 20 };
+        let b = Interval { lo: 1, hi: 5 };
+        assert_eq!(Interval::alu(AluKind::Sub, &a, &b), Interval { lo: 5, hi: 19 });
+        assert!(Interval::alu(AluKind::Sub, &b, &a).is_top());
+    }
+}

@@ -1,0 +1,1126 @@
+//! Abstract-interpretation diversity prover.
+//!
+//! A worklist fixpoint over the [`Cfg`] with three composable abstract
+//! domains:
+//!
+//! * [`interval::Interval`] — value ranges with widening/narrowing, used to
+//!   exclude wrap-around so the congruence arithmetic is valid;
+//! * [`congruence::Congruence`] — `value ≡ r (mod m)`, the residue facts
+//!   that decide FIFO-period collisions;
+//! * [`stagger::DeltaState`] — the relational core-1-minus-core-0 register
+//!   deltas plus the memory-mirror flag.
+//!
+//! From the fixpoint the prover emits a three-valued [`Verdict`] per program
+//! point and a [`LoopCertificate`] per natural loop carrying the minimum
+//! staggering (in committed instructions of *effective* inter-core delta)
+//! for which diversity is proved — or `None` with the refuting witness.
+//!
+//! ## The model behind the verdicts
+//!
+//! Both cores execute the same binary from the same reset state, so their
+//! committed instruction streams are identical and the data-signature FIFO
+//! of the delayed core observes the *same sample sequence* shifted by the
+//! effective stagger. Collision verdicts are *existential* (at least one
+//! no-diversity cycle must be observed while both cores execute the region):
+//! either the cores are in lockstep (effective stagger 0 and every read
+//! provably delta-zero), or an iteration-invariant traffic pattern re-aligns
+//! because the stagger is ≡ 0 modulo the pattern's rotation period. Diverse
+//! verdicts are *universal* (no no-diversity cycle may occur while both
+//! cores are warmed up inside the region): every instruction of the loop
+//! body reads a provably iteration-injective value, so any non-zero window
+//! alignment compares distinct counter states. The dual-issue front end
+//! quantises the alignment in groups of up to two instructions, which is why
+//! certificates start at an effective delta of 2, and the grouping-alignment
+//! argument is machine-checked by the `prove_soundness` harness across the
+//! full kernels × staggers grid.
+
+pub mod congruence;
+pub mod interval;
+pub mod stagger;
+
+use std::fmt;
+
+use safedm_isa::csr::addr::MHARTID;
+use safedm_isa::{abs_transfer, AbsValue, AluKind, Inst, Reg};
+
+use crate::cfg::{Cfg, DecodedProgram, NaturalLoop};
+use crate::dataflow::{ConstProp, LoopTraffic, Taint};
+use crate::diag::{Diagnostic, LintCode, PcSpan, Severity};
+use crate::AnalysisConfig;
+
+pub use congruence::Congruence;
+pub use interval::Interval;
+pub use stagger::{Delta, DeltaState};
+
+// ---------------------------------------------------------------------------
+// The product value domain
+// ---------------------------------------------------------------------------
+
+/// Reduced product of the interval and congruence domains. The interval half
+/// gates the congruence transfer: a non-constant congruence result is only
+/// kept when the interval proves the machine operation did not wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abs {
+    /// Range information.
+    pub itv: Interval,
+    /// Residue information.
+    pub cong: Congruence,
+}
+
+impl Abs {
+    /// The full value set.
+    pub const TOP: Abs = Abs { itv: Interval::TOP, cong: Congruence::TOP };
+
+    /// The single member, when either half pins one down.
+    #[must_use]
+    pub fn as_const(&self) -> Option<u64> {
+        self.itv.as_const().or_else(|| self.cong.as_const())
+    }
+
+    /// Whether `v` is a member of both halves.
+    #[must_use]
+    pub fn contains(&self, v: u64) -> bool {
+        self.itv.contains(v) && self.cong.contains(v)
+    }
+
+    /// Pointwise least upper bound.
+    #[must_use]
+    pub fn join(&self, other: &Abs) -> Abs {
+        Abs { itv: self.itv.join(&other.itv), cong: self.cong.join(&other.cong) }
+    }
+
+    /// Widening: intervals widen, congruences join (their chains are finite).
+    #[must_use]
+    pub fn widen(&self, next: &Abs) -> Abs {
+        Abs { itv: self.itv.widen(&next.itv), cong: self.cong.join(&next.cong) }
+    }
+}
+
+impl AbsValue for Abs {
+    fn top() -> Abs {
+        Abs::TOP
+    }
+
+    fn constant(c: u64) -> Abs {
+        Abs { itv: Interval::constant(c), cong: Congruence::constant(c) }
+    }
+
+    fn alu(kind: AluKind, a: &Abs, b: &Abs) -> Abs {
+        let itv = Interval::alu(kind, &a.itv, &b.itv);
+        // Congruences are integer facts; they only survive machine
+        // arithmetic when it provably does not wrap (or when both operands
+        // are constants — wrapping constants track the machine exactly).
+        let wrap_sensitive =
+            matches!(kind, AluKind::Add | AluKind::Sub | AluKind::Mul | AluKind::Sll);
+        let both_const = a.as_const().is_some() && b.as_const().is_some();
+        let cong = if !wrap_sensitive || both_const || !itv.is_top() {
+            Congruence::alu(kind, &a.cong, &b.cong)
+        } else {
+            Congruence::TOP
+        };
+        Abs { itv, cong }
+    }
+
+    fn csr(csr: u16) -> Abs {
+        if csr == MHARTID {
+            // Two harts: the value is 0 or 1 on this platform.
+            Abs { itv: Interval { lo: 0, hi: 1 }, cong: Congruence::TOP }
+        } else {
+            Abs::TOP
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fixpoint state and engine
+// ---------------------------------------------------------------------------
+
+/// Abstract machine state at a program point: per-register product values
+/// plus the relational inter-core deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    /// `regs[i]` abstracts `x{i}` (index 0 is pinned to constant 0).
+    pub regs: [Abs; 32],
+    /// Relational inter-core state.
+    pub delta: DeltaState,
+}
+
+impl AbsState {
+    /// The platform reset state: zeroed registers, mirrored memories.
+    #[must_use]
+    pub fn reset() -> AbsState {
+        AbsState { regs: [Abs::constant(0); 32], delta: DeltaState::equal() }
+    }
+
+    /// The abstract value of one register.
+    #[must_use]
+    pub fn get(&self, r: Reg) -> Abs {
+        if r.is_zero() {
+            Abs::constant(0)
+        } else {
+            self.regs[r.index() as usize]
+        }
+    }
+
+    fn join(&self, other: &AbsState) -> AbsState {
+        let mut regs = [Abs::TOP; 32];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            *slot = self.regs[i].join(&other.regs[i]);
+        }
+        AbsState { regs, delta: self.delta.join(&other.delta) }
+    }
+
+    fn widen(&self, next: &AbsState) -> AbsState {
+        let mut regs = [Abs::TOP; 32];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            *slot = self.regs[i].widen(&next.regs[i]);
+        }
+        AbsState { regs, delta: self.delta.join(&next.delta) }
+    }
+
+    /// Applies one instruction to both halves of the state.
+    pub fn transfer(&mut self, pc: u64, inst: &Inst) {
+        if let Some((rd, v)) = abs_transfer::<Abs>(inst, pc, |r| self.get(r)) {
+            self.regs[rd.index() as usize] = v;
+        }
+        self.delta.transfer(pc, inst);
+    }
+}
+
+/// The fixpoint solution: one abstract state per basic-block entry
+/// (`None` = block unreachable from the entry point).
+#[derive(Debug, Clone)]
+pub struct AbsInt {
+    /// Per-block entry states.
+    pub block_in: Vec<Option<AbsState>>,
+}
+
+impl AbsInt {
+    /// Runs the worklist fixpoint with widening at natural-loop headers.
+    #[must_use]
+    pub fn compute(prog: &DecodedProgram, cfg: &Cfg) -> AbsInt {
+        let nb = cfg.blocks.len();
+        let mut block_in: Vec<Option<AbsState>> = vec![None; nb];
+        let mut joins = vec![0u32; nb];
+        let is_header: Vec<bool> =
+            (0..nb).map(|b| cfg.loops.iter().any(|l| l.header == b)).collect();
+        // Joins at a header beyond this trip widening kicks in. Two passes
+        // are enough to discover a counter's step before the range widens.
+        const WIDEN_AFTER: u32 = 2;
+
+        let Some(entry) = cfg.entry_block else { return AbsInt { block_in } };
+        block_in[entry] = Some(AbsState::reset());
+        let mut worklist = vec![entry];
+        while let Some(b) = worklist.pop() {
+            let Some(mut state) = block_in[b].clone() else { continue };
+            let blk = &cfg.blocks[b];
+            for i in blk.start..blk.end {
+                if let Some(inst) = prog.slots[i].inst {
+                    state.transfer(prog.slots[i].pc, &inst);
+                }
+            }
+            for &s in &blk.succs {
+                let merged = match &block_in[s] {
+                    None => state.clone(),
+                    Some(old) => {
+                        let joined = old.join(&state);
+                        if is_header[s] && joins[s] >= WIDEN_AFTER {
+                            old.widen(&joined)
+                        } else {
+                            joined
+                        }
+                    }
+                };
+                if block_in[s].as_ref() != Some(&merged) {
+                    joins[s] += 1;
+                    block_in[s] = Some(merged);
+                    worklist.push(s);
+                }
+            }
+        }
+        AbsInt { block_in }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verdicts and certificates
+// ---------------------------------------------------------------------------
+
+/// Three-valued diversity verdict for a program point at the configured
+/// staggering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// At least one no-diversity cycle is guaranteed while both cores
+    /// execute this region (existential claim, cross-validated like the
+    /// DIV001/DIV002 gate).
+    ProvedCollision,
+    /// No no-diversity cycle can be observed while both cores are warmed up
+    /// inside this region (universal claim, machine-checked by the
+    /// soundness harness).
+    ProvedDiverse,
+    /// Neither direction is proved.
+    Unknown,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::ProvedCollision => "proved-collision",
+            Verdict::ProvedDiverse => "proved-diverse",
+            Verdict::Unknown => "unknown",
+        })
+    }
+}
+
+/// Per-loop result: the minimum staggering for which diversity is proved, or
+/// the witness refuting provability.
+#[derive(Debug, Clone)]
+pub struct LoopCertificate {
+    /// PC of the loop header.
+    pub header_pc: u64,
+    /// The loop body region.
+    pub span: PcSpan,
+    /// Committed instructions per iteration, for single-path bodies.
+    pub body_len: Option<u64>,
+    /// Minimal rotation period of the data-signature traffic pattern, for
+    /// iteration-invariant loops (collisions at stagger ≡ 0 mod this).
+    pub ds_period: Option<u64>,
+    /// Minimal rotation period of the instruction (opcode) sequence.
+    pub is_period: Option<u64>,
+    /// Smallest effective inter-core delta (committed instructions) for
+    /// which diversity is proved, or `None` when no stagger is provably
+    /// safe.
+    pub min_safe_stagger: Option<u64>,
+    /// Why no certificate exists, when `min_safe_stagger` is `None`.
+    pub witness: Option<String>,
+    /// The verdict at the configured staggering.
+    pub verdict: Verdict,
+}
+
+impl LoopCertificate {
+    /// One-line rendering used by reports and golden summaries.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let cert = match self.min_safe_stagger {
+            Some(m) => format!("min-safe-stagger={m}"),
+            None => "min-safe-stagger=none".to_owned(),
+        };
+        let mut line = format!(
+            "loop {:#x} [{}] {} verdict={}",
+            self.header_pc,
+            self.body_len.map_or("irregular".to_owned(), |n| format!("{n} insts/iter")),
+            cert,
+            self.verdict
+        );
+        if let Some(p) = self.ds_period {
+            line.push_str(&format!(" ds-period={p}"));
+        }
+        if let Some(p) = self.is_period {
+            line.push_str(&format!(" is-period={p}"));
+        }
+        if let Some(w) = &self.witness {
+            line.push_str(&format!(" witness: {w}"));
+        }
+        line
+    }
+}
+
+/// Everything the prover learned about one program at one configuration.
+#[derive(Debug, Clone)]
+pub struct ProveReport {
+    /// Per-slot verdicts, parallel to `DecodedProgram::slots`.
+    pub points: Vec<Verdict>,
+    /// Per-natural-loop certificates, in `Cfg::loops` order.
+    pub certificates: Vec<LoopCertificate>,
+    /// DIV005–DIV008 findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The effective inter-core committed-instruction delta the verdicts are
+    /// for (configured nops plus the harness phase correction).
+    pub effective_stagger: i64,
+}
+
+impl ProveReport {
+    /// Count of points with the given verdict.
+    #[must_use]
+    pub fn count(&self, v: Verdict) -> usize {
+        self.points.iter().filter(|p| **p == v).count()
+    }
+
+    /// Loop spans carrying a `ProvedDiverse` verdict — the regions the
+    /// soundness harness watches for (forbidden) no-diversity cycles.
+    #[must_use]
+    pub fn diverse_spans(&self) -> Vec<PcSpan> {
+        self.certificates
+            .iter()
+            .filter(|c| c.verdict == Verdict::ProvedDiverse)
+            .map(|c| c.span)
+            .collect()
+    }
+
+    /// Loop spans carrying a `ProvedCollision` verdict — regions where at
+    /// least one no-diversity cycle must be observed when executed.
+    #[must_use]
+    pub fn collision_spans(&self) -> Vec<PcSpan> {
+        self.certificates
+            .iter()
+            .filter(|c| c.verdict == Verdict::ProvedCollision)
+            .map(|c| c.span)
+            .collect()
+    }
+
+    /// The one-line machine-comparable summary used by the golden test.
+    #[must_use]
+    pub fn summary_line(&self, name: &str) -> String {
+        let mut certs: Vec<String> = self.certificates.iter().map(|c| c.summary()).collect();
+        certs.sort();
+        format!(
+            "{name} stagger={} points={} collision={} diverse={} unknown={} | {}",
+            self.effective_stagger,
+            self.points.len(),
+            self.count(Verdict::ProvedCollision),
+            self.count(Verdict::ProvedDiverse),
+            self.count(Verdict::Unknown),
+            if certs.is_empty() { "no loops".to_owned() } else { certs.join("; ") }
+        )
+    }
+
+    /// Renders the certificates and diagnostics, rustc style.
+    #[must_use]
+    pub fn render(&self, prog: &DecodedProgram, snippet_lines: usize) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(prog, snippet_lines));
+            out.push('\n');
+        }
+        let _ = writeln!(out, "certificates (effective stagger {}):", self.effective_stagger);
+        if self.certificates.is_empty() {
+            let _ = writeln!(out, "  (no natural loops)");
+        }
+        for c in &self.certificates {
+            let _ = writeln!(out, "  {}", c.summary());
+        }
+        let _ = writeln!(
+            out,
+            "prove: {} points: {} proved-collision, {} proved-diverse, {} unknown",
+            self.points.len(),
+            self.count(Verdict::ProvedCollision),
+            self.count(Verdict::ProvedDiverse),
+            self.count(Verdict::Unknown),
+        );
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The prover
+// ---------------------------------------------------------------------------
+
+/// Effective inter-core committed-instruction delta for a configuration:
+/// the configured sled nops plus the harness phase correction
+/// ([`AnalysisConfig::stagger_phase`]); 0 when no staggering is configured.
+#[must_use]
+pub fn effective_stagger(config: &AnalysisConfig) -> i64 {
+    match config.stagger_nops {
+        None => 0,
+        Some(n) => (n as i64).saturating_add(config.stagger_phase),
+    }
+}
+
+/// Runs the abstract-interpretation prover on a decoded program.
+#[must_use]
+pub fn prove(prog: &DecodedProgram, cfg: &Cfg, config: &AnalysisConfig) -> ProveReport {
+    let absint = AbsInt::compute(prog, cfg);
+    let taint = Taint::compute(prog, cfg);
+    let constprop = ConstProp::compute(prog, cfg);
+    let s_eff = effective_stagger(config);
+
+    let mut certificates = Vec::new();
+    for lp in &cfg.loops {
+        let traffic = LoopTraffic::analyze(prog, cfg, lp, &taint, &constprop);
+        certificates.push(certify_loop(prog, cfg, lp, &traffic, &absint, config, s_eff));
+    }
+
+    // Per-point verdicts: points inside a loop inherit the innermost
+    // (smallest) enclosing loop's verdict; straight-line points are proved
+    // colliding only in the delta-zero lockstep case.
+    let mut points = vec![Verdict::Unknown; prog.slots.len()];
+    if s_eff == 0 {
+        lockstep_points(prog, cfg, &absint, &mut points);
+    }
+    let mut order: Vec<usize> = (0..certificates.len()).collect();
+    // Larger loops first so inner loops overwrite their enclosing ones.
+    order.sort_by_key(|&i| std::cmp::Reverse(cfg.loops[i].blocks.len()));
+    for i in order {
+        let lp = &cfg.loops[i];
+        if certificates[i].verdict == Verdict::Unknown {
+            continue;
+        }
+        for &bid in &lp.blocks {
+            points[cfg.blocks[bid].start..cfg.blocks[bid].end].fill(certificates[i].verdict);
+        }
+    }
+
+    let diagnostics = prove_lints(prog, cfg, config, &certificates, s_eff);
+    ProveReport { points, certificates, diagnostics, effective_stagger: s_eff }
+}
+
+/// Marks straight-line lockstep points: with an effective delta of 0, any
+/// instruction whose reads are all provably delta-zero (with the memory
+/// mirror intact) samples identical port traffic on both cores; since both
+/// cores also sit at the same point of the same stream, the signature
+/// windows coincide — a collision whenever the point executes.
+fn lockstep_points(prog: &DecodedProgram, cfg: &Cfg, absint: &AbsInt, points: &mut [Verdict]) {
+    for b in &cfg.blocks {
+        let Some(state) = &absint.block_in[b.id] else { continue };
+        let mut st = state.clone();
+        for (i, point) in points.iter_mut().enumerate().take(b.end).skip(b.start) {
+            let Some(inst) = prog.slots[i].inst else { continue };
+            let reads_equal =
+                [inst.rs1(), inst.rs2()].into_iter().flatten().all(|r| st.delta.get(r).is_zero());
+            if reads_equal && st.delta.mem_equal {
+                *point = Verdict::ProvedCollision;
+            }
+            st.transfer(prog.slots[i].pc, &inst);
+        }
+    }
+}
+
+/// The unique single-path body sequence of a deterministic loop, as slot
+/// indices in execution order starting at the header.
+fn body_sequence(cfg: &Cfg, lp: &NaturalLoop) -> Option<Vec<usize>> {
+    let mut seq = Vec::with_capacity(lp.insts);
+    let mut bid = lp.header;
+    let mut visited = 0usize;
+    loop {
+        let b = &cfg.blocks[bid];
+        seq.extend(b.start..b.end);
+        let mut inside = b.succs.iter().filter(|s| lp.blocks.contains(s));
+        let next = *inside.next()?;
+        if inside.next().is_some() {
+            return None; // not single-path
+        }
+        if next == lp.header {
+            return Some(seq);
+        }
+        visited += 1;
+        if visited > lp.blocks.len() {
+            return None; // guards a malformed loop set
+        }
+        bid = next;
+    }
+}
+
+/// Minimal `p` dividing `len` such that the sequence equals itself rotated
+/// by `p`, under the supplied provable-equality predicate.
+fn rotation_period<T>(seq: &[T], eq: impl Fn(&T, &T) -> bool) -> u64 {
+    let len = seq.len();
+    for p in 1..len {
+        if len.is_multiple_of(p) && (0..len).all(|k| eq(&seq[k], &seq[(k + p) % len])) {
+            return p as u64;
+        }
+    }
+    len.max(1) as u64
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return a.max(b).max(1);
+    }
+    a / gcd(a, b) * b
+}
+
+/// Phase-independent tag of one register read, for rotation comparison of
+/// data-signature traffic. Only tags that denote the *same sample value at
+/// every occurrence of the instruction* may compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValTag {
+    /// The read always samples this constant.
+    Const(u64),
+    /// The read samples a register never written inside the loop.
+    Fixed(Reg),
+    /// Anything else.
+    Opaque,
+}
+
+impl ValTag {
+    fn provably_equal(&self, other: &ValTag) -> bool {
+        match (self, other) {
+            (ValTag::Const(a), ValTag::Const(b)) => a == b,
+            (ValTag::Fixed(a), ValTag::Fixed(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// For each body position, whether the instruction reads at least one
+/// provably *iteration-injective* value: a value distinct at every dynamic
+/// occurrence of that position within one loop execution.
+///
+/// Seeds are single-def `addi r, r, step` counters (`step != 0`), injective
+/// at every point of the body (a read before the def observes the previous
+/// iteration's value — still distinct per iteration). The walk then tracks
+/// injectivity through *values*, not register names, so multi-def chains
+/// like `slli t1, t0, 3; add t1, t1, s0` stay injective: each def of a
+/// register marks it injective exactly when it is an injective function of
+/// a currently-injective value and loop-fixed operands (`defined` is the
+/// in-loop def mask). Distinctness is modulo 2^64 and relies on iteration
+/// counts being far below 2^34 (bounded by the cycle budget), which keeps
+/// `k * step` and bounded left shifts away from wrap-around.
+///
+/// Flags entering the header come from the previous iteration, so the walk
+/// repeats until the header-entry set stabilises (bounded by the register
+/// count); if it somehow does not, the seeds-only fallback is sound.
+fn injective_read_flags(prog: &DecodedProgram, body: &[usize], defined: u32) -> Vec<bool> {
+    // Seeds: self-stepped counters with exactly one in-loop def.
+    let mut def_count = [0u8; 32];
+    let mut seeds = 0u32;
+    for &s in body {
+        let Some(inst) = prog.slots[s].inst else { continue };
+        if let Some(rd) = inst.rd() {
+            def_count[rd.index() as usize] = def_count[rd.index() as usize].saturating_add(1);
+        }
+    }
+    for &s in body {
+        if let Some(Inst::OpImm { kind: AluKind::Add, rd, rs1, imm }) = prog.slots[s].inst {
+            if rd == rs1 && imm != 0 && !rd.is_zero() && def_count[rd.index() as usize] == 1 {
+                seeds |= rd.bit();
+            }
+        }
+    }
+
+    let fixed = |x: Reg| x.bit() & defined == 0; // never written in the loop
+    let step = |inj: u32, inst: &Inst| -> u32 {
+        let Some(rd) = inst.rd() else { return inj };
+        if seeds & rd.bit() != 0 {
+            return inj | rd.bit(); // the counter's own step keeps it injective
+        }
+        let derived = match *inst {
+            Inst::OpImm { kind: AluKind::Add | AluKind::Xor, rs1, .. } => inj & rs1.bit() != 0,
+            Inst::OpImm { kind: AluKind::Sll, rs1, imm, .. } => {
+                inj & rs1.bit() != 0 && (0..=30).contains(&imm)
+            }
+            Inst::Op { kind: AluKind::Add | AluKind::Xor | AluKind::Sub, rs1, rs2, .. } => {
+                (inj & rs1.bit() != 0 && fixed(rs2)) || (inj & rs2.bit() != 0 && fixed(rs1))
+            }
+            _ => false,
+        };
+        if derived {
+            inj | rd.bit()
+        } else {
+            inj & !rd.bit()
+        }
+    };
+
+    // Least fixpoint of the header-entry flag set: `step` is monotone in
+    // `inj` and preserves the seeds (their single def re-derives them), so
+    // iterating from the seeds grows monotonically and converges within 32
+    // rounds. Every flag in the fixpoint carries a derivation chain grounded
+    // in a seed counter, which is the inductive soundness argument.
+    let mut entry = seeds;
+    for _ in 0..33 {
+        let mut inj = entry;
+        for &s in body {
+            if let Some(inst) = prog.slots[s].inst {
+                inj = step(inj, &inst);
+            }
+        }
+        let next = inj | seeds;
+        if next == entry {
+            break;
+        }
+        entry = next;
+    }
+
+    let mut inj = entry;
+    body.iter()
+        .map(|&s| match prog.slots[s].inst {
+            None => false,
+            Some(inst) => {
+                let ok = inst.use_mask() & inj != 0;
+                inj = step(inj, &inst);
+                ok
+            }
+        })
+        .collect()
+}
+
+/// Builds the certificate and configured-stagger verdict for one loop.
+fn certify_loop(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    lp: &NaturalLoop,
+    traffic: &LoopTraffic,
+    absint: &AbsInt,
+    config: &AnalysisConfig,
+    s_eff: i64,
+) -> LoopCertificate {
+    let start = lp.blocks.iter().map(|&b| cfg.blocks[b].start).min().unwrap_or(0);
+    let end = lp.blocks.iter().map(|&b| cfg.blocks[b].end).max().unwrap_or(0);
+    let span = PcSpan { start: prog.pc_of(start), end: prog.pc_of(end) };
+    let header_pc = prog.pc_of(cfg.blocks[lp.header].start);
+
+    let mut cert = LoopCertificate {
+        header_pc,
+        span,
+        body_len: None,
+        ds_period: None,
+        is_period: None,
+        min_safe_stagger: None,
+        witness: None,
+        verdict: Verdict::Unknown,
+    };
+
+    // Lockstep collision applies to any loop shape: with effective delta 0
+    // and every read provably equal across cores, the windows coincide.
+    let lockstep = s_eff == 0 && loop_reads_delta_zero(prog, cfg, lp, absint);
+
+    let body = if traffic.deterministic_body { body_sequence(cfg, lp) } else { None };
+    let Some(body) = body else {
+        cert.witness = Some("irregular control flow: the body is not a single path".into());
+        if lockstep {
+            cert.verdict = Verdict::ProvedCollision;
+        }
+        return cert;
+    };
+    let body_insts: Vec<Inst> = match body.iter().map(|&s| prog.slots[s].inst).collect() {
+        Some(v) => v,
+        None => {
+            cert.witness = Some("undecodable instruction in the body".into());
+            return cert;
+        }
+    };
+    let len = body_insts.len() as u64;
+    cert.body_len = Some(len);
+
+    // Instruction-signature rotation period: full-instruction equality is
+    // finer than any opcode tagging the monitor uses, hence sound for
+    // collision claims.
+    cert.is_period = Some(rotation_period(&body_insts, |a, b| a == b));
+
+    let invariant = traffic.varying == 0 && !traffic.has_load && !traffic.has_csr;
+    if invariant {
+        // Data-signature rotation period over phase-independent read tags.
+        let tags = read_tags(prog, cfg, lp, &body, traffic, absint);
+        cert.ds_period = Some(rotation_period(&tags, |a, b| {
+            a.0 == b.0 // same enable structure
+                && a.1.iter().zip(b.1.iter()).all(|(x, y)| x.provably_equal(y))
+        }));
+        let realign = lcm(cert.ds_period.unwrap_or(len), cert.is_period.unwrap_or(len));
+        cert.witness = Some(format!(
+            "iteration-invariant traffic: any stagger ≡ 0 (mod {realign}) re-aligns \
+             identical windows"
+        ));
+        if s_eff.rem_euclid(realign as i64) == 0 {
+            cert.verdict = Verdict::ProvedCollision;
+        }
+        return cert;
+    }
+
+    // Diversity certificate: every instruction of the body must read a
+    // provably iteration-injective value, the loop must not be nested
+    // (re-entry would repeat counter values), every read must be provably
+    // equal across cores, and the body must fit the signature window.
+    let inj_reads = injective_read_flags(prog, &body, traffic.defined);
+    let nested = cfg
+        .loops
+        .iter()
+        .any(|other| other.header != lp.header && other.blocks.contains(&lp.header));
+    let window = 2 * config.fifo_depth as u64;
+
+    let witness = if inj_reads.iter().all(|ok| !ok) {
+        Some("no provably iteration-injective value in the body".to_owned())
+    } else if let Some(bad) = inj_reads.iter().position(|ok| !ok).map(|i| body[i]) {
+        Some(format!("instruction at {:#x} reads no iteration-injective value", prog.pc_of(bad)))
+    } else if nested {
+        Some("nested loop: re-entry may repeat counter values inside a window".to_owned())
+    } else if len > window {
+        Some(format!("body ({len} insts) exceeds the provable window ({window} insts)"))
+    } else if !loop_reads_delta_zero(prog, cfg, lp, absint) {
+        Some("a read is not provably equal across the cores".to_owned())
+    } else {
+        None
+    };
+
+    match witness {
+        Some(w) => {
+            cert.witness = Some(w);
+            if lockstep {
+                cert.verdict = Verdict::ProvedCollision;
+            }
+        }
+        None => {
+            // Effective delta 2: the dual-issue front end quantises window
+            // alignment in groups of up to two instructions, so a delta of
+            // 2 guarantees a non-zero window shift.
+            cert.min_safe_stagger = Some(2);
+            if s_eff >= 2 {
+                cert.verdict = Verdict::ProvedDiverse;
+            } else if lockstep {
+                cert.verdict = Verdict::ProvedCollision;
+            }
+        }
+    }
+    cert
+}
+
+/// Whether every register read inside the loop is provably delta-zero with
+/// the memory mirror intact, per the relational fixpoint.
+fn loop_reads_delta_zero(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    lp: &NaturalLoop,
+    absint: &AbsInt,
+) -> bool {
+    for &bid in &lp.blocks {
+        let Some(state) = &absint.block_in[bid] else { return false };
+        let mut st = state.clone();
+        let b = &cfg.blocks[bid];
+        for i in b.start..b.end {
+            let Some(inst) = prog.slots[i].inst else { continue };
+            if !st.delta.mem_equal {
+                return false;
+            }
+            let equal =
+                [inst.rs1(), inst.rs2()].into_iter().flatten().all(|r| st.delta.get(r).is_zero());
+            if !equal {
+                return false;
+            }
+            st.transfer(prog.slots[i].pc, &inst);
+        }
+    }
+    true
+}
+
+/// Per-body-position read tags: the enable structure (rs1/rs2 presence) and
+/// a phase-independent [`ValTag`] per read port.
+fn read_tags(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    lp: &NaturalLoop,
+    body: &[usize],
+    traffic: &LoopTraffic,
+    absint: &AbsInt,
+) -> Vec<((bool, bool), [ValTag; 2])> {
+    // Walk the body once from the header fixpoint state to obtain per-point
+    // constants.
+    let mut st = absint.block_in[lp.header]
+        .clone()
+        .unwrap_or_else(|| AbsState { regs: [Abs::TOP; 32], delta: DeltaState::unknown() });
+    // Positions may span several blocks; re-derive states per position by
+    // sequential walk (the body is the unique path, so this is exact).
+    let _ = cfg;
+    let mut tags = Vec::with_capacity(body.len());
+    for &s in body {
+        let Some(inst) = prog.slots[s].inst else {
+            tags.push(((false, false), [ValTag::Opaque, ValTag::Opaque]));
+            continue;
+        };
+        let tag_of = |r: Option<Reg>, st: &AbsState| -> ValTag {
+            match r {
+                None => ValTag::Opaque,
+                Some(r) if r.is_zero() => ValTag::Const(0),
+                Some(r) => {
+                    if let Some(c) = st.get(r).as_const() {
+                        ValTag::Const(c)
+                    } else if r.bit() & traffic.defined == 0 {
+                        ValTag::Fixed(r)
+                    } else {
+                        ValTag::Opaque
+                    }
+                }
+            }
+        };
+        let t1 = tag_of(inst.rs1(), &st);
+        let t2 = tag_of(inst.rs2(), &st);
+        tags.push(((inst.rs1().is_some(), inst.rs2().is_some()), [t1, t2]));
+        st.transfer(prog.slots[s].pc, &inst);
+    }
+    tags
+}
+
+/// DIV005–DIV008 generation from the certificates.
+fn prove_lints(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    config: &AnalysisConfig,
+    certs: &[LoopCertificate],
+    s_eff: i64,
+) -> Vec<Diagnostic> {
+    let _ = (prog, cfg);
+    let mut diags = Vec::new();
+    let stagger_known = config.stagger_nops.is_some();
+    for c in certs {
+        match c.verdict {
+            Verdict::ProvedCollision => {
+                let realign = lcm(
+                    c.ds_period.unwrap_or_else(|| c.body_len.unwrap_or(1)),
+                    c.is_period.unwrap_or_else(|| c.body_len.unwrap_or(1)),
+                );
+                let (message, mut notes) = if s_eff == 0 {
+                    (
+                        "proved data-signature collision: lockstep cores with provably \
+                         equal reads"
+                            .to_owned(),
+                        vec!["note: effective inter-core delta is 0 and every read in the loop \
+                             is proved delta-zero, so the signature windows coincide"
+                            .to_owned()],
+                    )
+                } else {
+                    (
+                        format!(
+                            "proved data-signature collision: effective stagger {s_eff} is a \
+                             multiple of the traffic rotation period {realign}"
+                        ),
+                        vec![format!(
+                            "note: the invariant traffic pattern re-aligns exactly every \
+                             {realign} committed instructions"
+                        )],
+                    )
+                };
+                notes.push(
+                    "note: existential claim — at least one no-diversity cycle while both \
+                     cores execute this loop"
+                        .to_owned(),
+                );
+                diags.push(Diagnostic {
+                    code: LintCode::Div005,
+                    severity: Severity::Error,
+                    span: c.span,
+                    message,
+                    notes,
+                    period: (c.ds_period.is_some()).then_some(realign),
+                    min_safe_stagger: c.min_safe_stagger,
+                });
+            }
+            Verdict::ProvedDiverse => {}
+            Verdict::Unknown => {}
+        }
+
+        // DIV006: the instruction signature provably re-aligns even where
+        // the data signature is not proved to — a half-collision window.
+        if let (Some(p_is), Verdict::Unknown) = (c.is_period, c.verdict) {
+            if stagger_known && s_eff != 0 && s_eff.rem_euclid(p_is as i64) == 0 {
+                diags.push(Diagnostic {
+                    code: LintCode::Div006,
+                    severity: Severity::Warning,
+                    span: c.span,
+                    message: format!(
+                        "proved instruction-signature collision window: effective stagger \
+                         {s_eff} is a multiple of the opcode rotation period {p_is}"
+                    ),
+                    notes: vec!["note: the opcode streams re-align; only the data signature can \
+                         still separate the cores here"
+                        .to_owned()],
+                    period: Some(p_is),
+                    min_safe_stagger: None,
+                });
+            }
+        }
+
+        // DIV007: a certificate exists and the configured stagger violates it.
+        if let Some(m) = c.min_safe_stagger {
+            if stagger_known && s_eff >= 0 && (s_eff as u64) < m {
+                diags.push(Diagnostic {
+                    code: LintCode::Div007,
+                    severity: Severity::Error,
+                    span: c.span,
+                    message: format!(
+                        "configured stagger (effective delta {s_eff}) violates this loop's \
+                         minimum-safe-stagger certificate of {m}"
+                    ),
+                    notes: vec![format!(
+                        "help: stagger the cores by at least {m} effective committed \
+                         instructions to make this loop provably diverse"
+                    )],
+                    period: None,
+                    min_safe_stagger: Some(m),
+                });
+            }
+        }
+
+        // DIV008: diversity of this loop is unprovable at the configured
+        // stagger.
+        if c.verdict == Verdict::Unknown {
+            let mut notes = Vec::new();
+            if let Some(w) = &c.witness {
+                notes.push(format!("note: {w}"));
+            }
+            if let Some(m) = c.min_safe_stagger {
+                notes.push(format!(
+                    "note: a certificate exists: effective delta >= {m} is provably diverse"
+                ));
+            }
+            notes.push(
+                "note: unprovable is not unsafe — the runtime monitor stays authoritative"
+                    .to_owned(),
+            );
+            diags.push(Diagnostic {
+                code: LintCode::Div008,
+                severity: Severity::Warning,
+                span: c.span,
+                message: "diversity of this loop is not provable at the configured stagger"
+                    .to_owned(),
+                notes,
+                period: None,
+                min_safe_stagger: c.min_safe_stagger,
+            });
+        }
+    }
+    diags.sort_by_key(|d| (d.span.start, d.code));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_asm::Asm;
+
+    fn proved(f: impl FnOnce(&mut Asm), config: &AnalysisConfig) -> (DecodedProgram, ProveReport) {
+        let mut a = Asm::new();
+        f(&mut a);
+        let p = DecodedProgram::from_program(&a.link(0x8000_0000).unwrap());
+        let c = Cfg::build(&p);
+        let r = prove(&p, &c, config);
+        (p, r)
+    }
+
+    fn countdown(a: &mut Asm) {
+        a.li(Reg::T0, 1000);
+        let l = a.new_label("l");
+        a.bind(l).unwrap();
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, l);
+        a.ebreak();
+    }
+
+    #[test]
+    fn countdown_loop_gets_a_certificate() {
+        let (_, r) = proved(countdown, &AnalysisConfig::default());
+        assert_eq!(r.certificates.len(), 1, "{:#?}", r.certificates);
+        let c = &r.certificates[0];
+        assert_eq!(c.body_len, Some(2));
+        assert_eq!(c.min_safe_stagger, Some(2), "{c:?}");
+        // No stagger configured: effective delta 0, lockstep collision.
+        assert_eq!(c.verdict, Verdict::ProvedCollision);
+        assert_eq!(r.effective_stagger, 0);
+    }
+
+    #[test]
+    fn countdown_loop_proved_diverse_at_certified_stagger() {
+        let cfg = AnalysisConfig { stagger_nops: Some(100), ..AnalysisConfig::default() };
+        let (_, r) = proved(countdown, &cfg);
+        let c = &r.certificates[0];
+        assert_eq!(c.verdict, Verdict::ProvedDiverse, "{c:?}");
+        assert!(!r.diverse_spans().is_empty());
+        assert!(r.count(Verdict::ProvedDiverse) >= 2);
+    }
+
+    #[test]
+    fn idle_loop_collides_at_period_residue_only() {
+        let idle = |a: &mut Asm| {
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.nop();
+            a.j(l);
+        };
+        // Effective stagger 4 ≡ 0 (mod 2): proved collision, DIV005.
+        let cfg = AnalysisConfig { stagger_nops: Some(4), ..AnalysisConfig::default() };
+        let (_, r) = proved(idle, &cfg);
+        let c = &r.certificates[0];
+        assert_eq!(c.verdict, Verdict::ProvedCollision, "{c:?}");
+        assert_eq!(c.min_safe_stagger, None);
+        assert!(c.witness.as_deref().unwrap_or("").contains("re-aligns"));
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::Div005));
+
+        // Effective stagger 5: not a multiple — unknown, never diverse.
+        let cfg = AnalysisConfig { stagger_nops: Some(5), ..AnalysisConfig::default() };
+        let (_, r) = proved(idle, &cfg);
+        assert_eq!(r.certificates[0].verdict, Verdict::Unknown);
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::Div008));
+    }
+
+    #[test]
+    fn certificate_violation_fires_div007() {
+        let cfg = AnalysisConfig {
+            stagger_nops: Some(2),
+            stagger_phase: -1, // harness sled: effective delta 1 < cert 2
+            ..AnalysisConfig::default()
+        };
+        let (_, r) = proved(countdown, &cfg);
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::Div007), "{:#?}", r.diagnostics);
+    }
+
+    #[test]
+    fn lockstep_points_marked_colliding_at_zero_stagger() {
+        let (p, r) = proved(
+            |a| {
+                a.li(Reg::T0, 7);
+                a.addi(Reg::T1, Reg::T0, 1);
+                a.ebreak();
+            },
+            &AnalysisConfig::default(),
+        );
+        assert!(r.count(Verdict::ProvedCollision) >= 2, "{:?}", r.points);
+        assert_eq!(r.points.len(), p.slots.len());
+    }
+
+    #[test]
+    fn hartid_breaks_the_lockstep_proof() {
+        let (_, r) = proved(
+            |a| {
+                a.hartid(Reg::T0);
+                a.addi(Reg::T1, Reg::T0, 1);
+                a.ebreak();
+            },
+            &AnalysisConfig::default(),
+        );
+        // The addi reads a register with non-zero delta: not proved colliding.
+        assert!(r.count(Verdict::Unknown) >= 1, "{:?}", r.points);
+    }
+
+    #[test]
+    fn memcpy_style_loop_qualifies_via_injective_closure() {
+        let (_, r) = proved(
+            |a| {
+                a.li(Reg::A0, 0x8010_0000); // src
+                a.li(Reg::A1, 0x8011_0000); // dst
+                a.li(Reg::T0, 64); // count
+                let l = a.new_label("l");
+                a.bind(l).unwrap();
+                a.lw(Reg::T1, 0, Reg::A0);
+                a.sw(Reg::T1, 0, Reg::A1);
+                a.addi(Reg::A0, Reg::A0, 4);
+                a.addi(Reg::A1, Reg::A1, 4);
+                a.addi(Reg::T0, Reg::T0, -1);
+                a.bnez(Reg::T0, l);
+                a.ebreak();
+            },
+            &AnalysisConfig { stagger_nops: Some(100), ..AnalysisConfig::default() },
+        );
+        let c = &r.certificates[0];
+        assert_eq!(c.min_safe_stagger, Some(2), "{c:?}");
+        assert_eq!(c.verdict, Verdict::ProvedDiverse);
+    }
+
+    #[test]
+    fn render_and_summary_are_stable() {
+        let cfg = AnalysisConfig { stagger_nops: Some(100), ..AnalysisConfig::default() };
+        let (p, r) = proved(countdown, &cfg);
+        let text = r.render(&p, 6);
+        assert!(text.contains("certificates"), "{text}");
+        assert!(text.contains("proved-diverse"), "{text}");
+        let line = r.summary_line("countdown");
+        assert!(line.contains("min-safe-stagger=2"), "{line}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Relational stagger-offset domain: per-register core-B-minus-core-A deltas.
+//!
+//! SafeDM runs the *same* binary on both redundant cores; the only
+//! architectural sources of divergence are `mhartid` (0 vs 1) and, through
+//! it, per-hart memory state. This domain tracks, for each register, what is
+//! known about `value_on_core1 - value_on_core0` at the same program point:
+//! provably zero, a known constant, or unknown. A coupled `mem_equal` flag
+//! tracks whether the two cores' data memories are still provably identical
+//! (they start identical; a store whose address or data delta is not proved
+//! zero may break the mirror).
+//!
+//! A program point whose every register read has delta [`Delta::Zero`] (with
+//! `mem_equal` intact) produces bit-identical register-port samples on both
+//! cores — the precondition for the stagger-0 lockstep collision verdicts.
+
+use safedm_isa::csr::addr::MHARTID;
+use safedm_isa::{abs_transfer, AbsValue, AluKind, Inst, Reg};
+
+/// What is known about `value(core1) - value(core0)` for one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delta {
+    /// Both cores provably hold the same value.
+    Zero,
+    /// The cores' values provably differ by this (wrapping) constant.
+    Const(u64),
+    /// Nothing is known.
+    Unknown,
+}
+
+impl Delta {
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(&self, other: &Delta) -> Delta {
+        match (self, other) {
+            (a, b) if a == b => *a,
+            (Delta::Zero, Delta::Const(0)) | (Delta::Const(0), Delta::Zero) => Delta::Zero,
+            _ => Delta::Unknown,
+        }
+    }
+
+    /// Whether the delta is provably zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Delta::Zero | Delta::Const(0))
+    }
+
+    /// Whether the delta is provably **non**-zero — the cores must hold
+    /// different values here.
+    #[must_use]
+    pub fn is_nonzero(&self) -> bool {
+        matches!(self, Delta::Const(d) if *d != 0)
+    }
+}
+
+impl AbsValue for Delta {
+    fn top() -> Delta {
+        Delta::Unknown
+    }
+
+    /// Immediates and PC-derived values are identical on both cores.
+    fn constant(_c: u64) -> Delta {
+        Delta::Zero
+    }
+
+    fn alu(kind: AluKind, a: &Delta, b: &Delta) -> Delta {
+        // Identical deterministic inputs give identical outputs, whatever
+        // the operation.
+        if a.is_zero() && b.is_zero() {
+            return Delta::Zero;
+        }
+        let (da, db) = match (a, b) {
+            (Delta::Const(x), Delta::Const(y)) => (*x, *y),
+            (Delta::Zero, Delta::Const(y)) => (0, *y),
+            (Delta::Const(x), Delta::Zero) => (*x, 0),
+            _ => return Delta::Unknown,
+        };
+        // Only the linear operations transport a constant delta.
+        match kind {
+            AluKind::Add => Delta::Const(da.wrapping_add(db)),
+            AluKind::Sub => Delta::Const(da.wrapping_sub(db)),
+            _ => Delta::Unknown,
+        }
+    }
+
+    /// Refined by [`DeltaState::transfer`], which knows the address delta
+    /// and the memory-mirror flag; standalone a load is unknown.
+    fn load() -> Delta {
+        Delta::Unknown
+    }
+
+    /// `mhartid` reads 0 on core 0 and 1 on core 1 — the one architectural
+    /// constant-delta source. Every other CSR is modelled as unknown.
+    fn csr(csr: u16) -> Delta {
+        if csr == MHARTID {
+            Delta::Const(1)
+        } else {
+            Delta::Unknown
+        }
+    }
+}
+
+/// Relational state at a program point: per-register deltas plus the
+/// memory-mirror flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaState {
+    /// `regs[i]` is the delta of `x{i}`; `regs[0]` stays [`Delta::Zero`].
+    pub regs: [Delta; 32],
+    /// Whether the two cores' data memories are provably identical.
+    pub mem_equal: bool,
+}
+
+impl DeltaState {
+    /// The reset state: both cores boot with zeroed registers and identical
+    /// memory images.
+    #[must_use]
+    pub fn equal() -> DeltaState {
+        DeltaState { regs: [Delta::Zero; 32], mem_equal: true }
+    }
+
+    /// The unconstrained state.
+    #[must_use]
+    pub fn unknown() -> DeltaState {
+        let mut regs = [Delta::Unknown; 32];
+        regs[0] = Delta::Zero;
+        DeltaState { regs, mem_equal: false }
+    }
+
+    /// Delta of one register (`x0` is always [`Delta::Zero`]).
+    #[must_use]
+    pub fn get(&self, r: Reg) -> Delta {
+        self.regs[r.index() as usize]
+    }
+
+    /// Pointwise least upper bound.
+    #[must_use]
+    pub fn join(&self, other: &DeltaState) -> DeltaState {
+        let mut regs = [Delta::Unknown; 32];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            *slot = self.regs[i].join(&other.regs[i]);
+        }
+        DeltaState { regs, mem_equal: self.mem_equal && other.mem_equal }
+    }
+
+    /// Applies one instruction. Loads and stores get the relational
+    /// treatment the generic dispatch cannot express: a load from a
+    /// zero-delta address out of mirrored memory is zero-delta, and a store
+    /// that is not provably identical on both cores breaks the mirror.
+    pub fn transfer(&mut self, pc: u64, inst: &Inst) {
+        match *inst {
+            Inst::Load { rd, rs1, .. } => {
+                let d = if self.get(rs1).is_zero() && self.mem_equal {
+                    Delta::Zero
+                } else {
+                    Delta::Unknown
+                };
+                if !rd.is_zero() {
+                    self.regs[rd.index() as usize] = d;
+                }
+            }
+            Inst::Store { rs1, rs2, .. } => {
+                if !(self.get(rs1).is_zero() && self.get(rs2).is_zero()) {
+                    self.mem_equal = false;
+                }
+            }
+            _ => {
+                if let Some((rd, d)) = abs_transfer(inst, pc, |r| self.get(r)) {
+                    self.regs[rd.index() as usize] = d;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hartid_introduces_a_constant_delta() {
+        let mut s = DeltaState::equal();
+        let csrr =
+            Inst::Csr { kind: safedm_isa::CsrKind::Rs, rd: Reg::T0, rs1: Reg::ZERO, csr: MHARTID };
+        s.transfer(0, &csrr);
+        assert_eq!(s.get(Reg::T0), Delta::Const(1));
+        assert!(s.get(Reg::T0).is_nonzero());
+
+        // Linear arithmetic transports the delta; non-linear loses it.
+        let add = Inst::Op { kind: AluKind::Add, rd: Reg::T1, rs1: Reg::T0, rs2: Reg::T0 };
+        s.transfer(0, &add);
+        assert_eq!(s.get(Reg::T1), Delta::Const(2));
+        let mul = Inst::Op { kind: AluKind::Mul, rd: Reg::T2, rs1: Reg::T0, rs2: Reg::T0 };
+        s.transfer(0, &mul);
+        assert_eq!(s.get(Reg::T2), Delta::Unknown);
+        // Subtracting a register from itself cancels even an unknown base.
+        let sub = Inst::Op { kind: AluKind::Sub, rd: Reg::T3, rs1: Reg::T0, rs2: Reg::T0 };
+        s.transfer(0, &sub);
+        assert_eq!(s.get(Reg::T3), Delta::Const(0));
+        assert!(s.get(Reg::T3).is_zero());
+    }
+
+    #[test]
+    fn divergent_store_breaks_the_memory_mirror() {
+        let mut s = DeltaState::equal();
+        let csrr =
+            Inst::Csr { kind: safedm_isa::CsrKind::Rs, rd: Reg::T0, rs1: Reg::ZERO, csr: MHARTID };
+        s.transfer(0, &csrr);
+
+        // Load through an equal address from mirrored memory: still equal.
+        let ld = Inst::Load { kind: safedm_isa::LoadKind::D, rd: Reg::A0, rs1: Reg::SP, offset: 0 };
+        s.transfer(0, &ld);
+        assert_eq!(s.get(Reg::A0), Delta::Zero);
+
+        // Store of a divergent value: the mirror is gone, and later loads
+        // are unknown even through equal addresses.
+        let st =
+            Inst::Store { kind: safedm_isa::StoreKind::D, rs1: Reg::SP, rs2: Reg::T0, offset: 0 };
+        s.transfer(0, &st);
+        assert!(!s.mem_equal);
+        s.transfer(0, &ld);
+        assert_eq!(s.get(Reg::A0), Delta::Unknown);
+    }
+
+    #[test]
+    fn join_is_pointwise_and_sticky_on_memory() {
+        let a = DeltaState::equal();
+        let mut b = DeltaState::equal();
+        b.regs[5] = Delta::Const(1);
+        b.mem_equal = false;
+        let j = a.join(&b);
+        assert_eq!(j.regs[5], Delta::Unknown);
+        assert_eq!(j.regs[6], Delta::Zero);
+        assert!(!j.mem_equal);
+    }
+}

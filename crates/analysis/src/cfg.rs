@@ -460,4 +460,115 @@ mod tests {
         let cfg = Cfg::build(&p);
         assert!(cfg.blocks.iter().any(|b| b.term == Terminator::Halt));
     }
+
+    #[test]
+    fn multiple_back_edges_merge_into_one_loop() {
+        // Two distinct latch blocks close on the same header: a conditional
+        // `bnez` latch and an unconditional `j` latch. Both back edges must
+        // fold into a single natural loop with both latches recorded.
+        let p = build(|a| {
+            a.li(Reg::T0, 8);
+            let head = a.new_label("head");
+            let done = a.new_label("done");
+            a.bind(head).unwrap();
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.beqz(Reg::T0, done);
+            a.bnez(Reg::T1, head); // latch 1
+            a.nop();
+            a.j(head); // latch 2
+            a.bind(done).unwrap();
+            a.ebreak();
+        });
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.loops.len(), 1, "{cfg:?}");
+        let lp = &cfg.loops[0];
+        assert_eq!(lp.latches.len(), 2);
+        // The header dominates every latch, and each latch block is in the body.
+        for &l in &lp.latches {
+            assert!(lp.blocks.contains(&l));
+        }
+        assert!(lp.blocks.contains(&lp.header));
+        assert_eq!(lp.insts, lp.blocks.iter().map(|&b| cfg.blocks[b].len()).sum::<usize>());
+    }
+
+    #[test]
+    fn irreducible_cycle_yields_no_natural_loop() {
+        // Classic irreducible shape: the entry branches into *both* nodes of
+        // a two-node cycle, so neither dominates the other and neither edge
+        // is a back edge. Loop discovery must terminate and report no
+        // natural loops — the prover then (soundly) treats the region as
+        // irregular instead of certifying it.
+        let p = build(|a| {
+            let a_lbl = a.new_label("a");
+            let b_lbl = a.new_label("b");
+            a.bnez(Reg::A0, b_lbl); // entry → {a, b}
+            a.bind(a_lbl).unwrap();
+            a.nop();
+            a.j(b_lbl); // a → b
+            a.bind(b_lbl).unwrap();
+            a.nop();
+            a.bnez(Reg::A1, a_lbl); // b → a: closes the cycle
+            a.ebreak();
+        });
+        let cfg = Cfg::build(&p);
+        assert!(cfg.loops.is_empty(), "{:?}", cfg.loops);
+        // The cycle itself still exists in the edge set.
+        let has_cycle_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|&s| s < i && cfg.blocks[s].succs.contains(&i)));
+        assert!(has_cycle_edge);
+    }
+
+    #[test]
+    fn jump_into_loop_middle_keeps_dominated_back_edge() {
+        // The entry jumps straight into the middle block of a rotated loop.
+        // The middle block then dominates the top block, so the
+        // top → middle edge is still a back edge: exactly one natural loop,
+        // headed at the *middle* block.
+        let p = build(|a| {
+            let top = a.new_label("top");
+            let mid = a.new_label("mid");
+            a.j(mid);
+            a.bind(top).unwrap();
+            a.nop();
+            a.bind(mid).unwrap();
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, top);
+            a.ebreak();
+        });
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.loops.len(), 1, "{:?}", cfg.loops);
+        let lp = &cfg.loops[0];
+        let header_pc = p.pc_of(cfg.blocks[lp.header].start);
+        assert_eq!(header_pc, 0x8000_0008, "header must be the jumped-into mid block");
+        assert_eq!(lp.blocks.len(), 2);
+    }
+
+    #[test]
+    fn irreducible_cycle_with_inner_natural_loop() {
+        // An inner self-loop nested inside an irreducible outer cycle: the
+        // outer cycle is skipped, the inner (reducible) loop is still found.
+        let p = build(|a| {
+            let a_lbl = a.new_label("a");
+            let b_lbl = a.new_label("b");
+            let spin = a.new_label("spin");
+            a.bnez(Reg::A0, b_lbl);
+            a.bind(a_lbl).unwrap();
+            a.bind(spin).unwrap();
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, spin); // inner reducible self-loop
+            a.j(b_lbl);
+            a.bind(b_lbl).unwrap();
+            a.nop();
+            a.bnez(Reg::A1, a_lbl);
+            a.ebreak();
+        });
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.loops.len(), 1, "{:?}", cfg.loops);
+        let lp = &cfg.loops[0];
+        assert_eq!(lp.blocks.len(), 1);
+        assert_eq!(lp.insts, 2);
+    }
 }

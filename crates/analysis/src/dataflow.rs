@@ -9,25 +9,25 @@ use safedm_isa::{alu, branch_taken, Inst, Reg};
 use crate::cfg::{Cfg, DecodedProgram, NaturalLoop};
 
 /// Bit for a register in a 32-bit mask, with `x0` mapped to no bits.
+///
+/// Thin wrapper over [`Reg::bit`] — the mask convention is owned by
+/// `safedm-isa` so the analyzer and the pipeline's hazard logic share one
+/// definition of operand extraction.
 #[must_use]
 pub fn reg_bit(r: Reg) -> u32 {
-    if r.is_zero() {
-        0
-    } else {
-        1 << r.index()
-    }
+    r.bit()
 }
 
-/// Mask of registers read by an instruction.
+/// Mask of registers read by an instruction (see [`Inst::use_mask`]).
 #[must_use]
 pub fn use_mask(inst: &Inst) -> u32 {
-    inst.rs1().map_or(0, reg_bit) | inst.rs2().map_or(0, reg_bit)
+    inst.use_mask()
 }
 
-/// Mask of registers written by an instruction (`x0` writes excluded).
+/// Mask of registers written by an instruction (see [`Inst::def_mask`]).
 #[must_use]
 pub fn def_mask(inst: &Inst) -> u32 {
-    inst.rd().map_or(0, reg_bit)
+    inst.def_mask()
 }
 
 // ---------------------------------------------------------------------------

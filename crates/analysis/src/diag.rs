@@ -23,12 +23,36 @@ pub enum LintCode {
     /// DIV001/DIV002 (multiple of a loop period, or smaller than a sled's
     /// minimum safe stagger).
     Div004,
+    /// The abstract-interpretation prover proved a data-signature collision
+    /// at the configured stagger: either lockstep cores with provably equal
+    /// reads, or invariant traffic re-aligning at a stagger ≡ 0 modulo its
+    /// rotation period.
+    Div005,
+    /// The prover proved an instruction-signature collision window: the
+    /// opcode streams re-align at the configured stagger even though the
+    /// data signature is not proved to collide.
+    Div006,
+    /// The configured stagger violates a loop's minimum-safe-stagger
+    /// certificate (a provably safe stagger exists, but the configured one
+    /// is below it).
+    Div007,
+    /// Diversity of a loop is not provable at the configured stagger — the
+    /// prover's explicit `Unknown`, with the refuting witness attached.
+    Div008,
 }
 
 impl LintCode {
     /// All lint codes, in numeric order.
-    pub const ALL: [LintCode; 4] =
-        [LintCode::Div001, LintCode::Div002, LintCode::Div003, LintCode::Div004];
+    pub const ALL: [LintCode; 8] = [
+        LintCode::Div001,
+        LintCode::Div002,
+        LintCode::Div003,
+        LintCode::Div004,
+        LintCode::Div005,
+        LintCode::Div006,
+        LintCode::Div007,
+        LintCode::Div008,
+    ];
 
     /// Short human description of what the lint detects.
     #[must_use]
@@ -40,6 +64,10 @@ impl LintCode {
             }
             LintCode::Div003 => "data-independent loop (diversity relies on staggering alone)",
             LintCode::Div004 => "configured staggering defeated by a detected hazard",
+            LintCode::Div005 => "proved data-signature collision at the configured stagger",
+            LintCode::Div006 => "proved instruction-signature collision window",
+            LintCode::Div007 => "configured stagger violates a minimum-safe-stagger certificate",
+            LintCode::Div008 => "diversity unprovable at the configured stagger",
         }
     }
 }
@@ -51,6 +79,10 @@ impl fmt::Display for LintCode {
             LintCode::Div002 => "DIV002",
             LintCode::Div003 => "DIV003",
             LintCode::Div004 => "DIV004",
+            LintCode::Div005 => "DIV005",
+            LintCode::Div006 => "DIV006",
+            LintCode::Div007 => "DIV007",
+            LintCode::Div008 => "DIV008",
         };
         f.write_str(s)
     }

@@ -17,6 +17,16 @@
 //! | `DIV002` | error | identical-instruction sled longer than the pipeline — guaranteed instruction-signature collision below its minimum safe stagger |
 //! | `DIV003` | warning | data-independent loop: no load/CSR-derived value reaches the body, so redundant cores compute identical traffic |
 //! | `DIV004` | error | the configured staggering is defeated by a DIV001/DIV002 hazard |
+//! | `DIV005` | error | prover: data-signature collision proved at the configured stagger (lockstep or period re-alignment) |
+//! | `DIV006` | warning | prover: instruction-signature collision window proved (opcode streams re-align) |
+//! | `DIV007` | error | prover: configured stagger violates a loop's minimum-safe-stagger certificate |
+//! | `DIV008` | warning | prover: diversity unprovable for a loop, with a refuting witness |
+//!
+//! DIV001–DIV004 come from the syntactic lint pass ([`lints`]); DIV005–DIV008
+//! come from the abstract-interpretation prover ([`absint::prove`]), which
+//! runs a worklist fixpoint over interval, congruence and relational
+//! stagger-offset domains and emits a per-loop minimum-safe-stagger
+//! certificate.
 //!
 //! The pipeline: [`cfg::DecodedProgram`] decodes the text section,
 //! [`cfg::Cfg`] builds basic blocks / dominators / natural loops, the
@@ -42,11 +52,13 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod cfg;
 pub mod dataflow;
 pub mod diag;
 pub mod lints;
 
+pub use absint::{prove, Abs, AbsInt, AbsState, LoopCertificate, ProveReport, Verdict};
 pub use cfg::{BasicBlock, Cfg, DecodedProgram, NaturalLoop, Slot, Terminator};
 pub use dataflow::{ConstProp, ConstVal, Liveness, LoopTraffic, ReachingDefs, Taint};
 pub use diag::{Diagnostic, LintCode, PcSpan, Severity};
@@ -66,6 +78,13 @@ pub struct AnalysisConfig {
     /// Staggering the run is configured with (nops delaying one core), when
     /// known. Enables the DIV004 cross-check.
     pub stagger_nops: Option<u64>,
+    /// Correction from configured sled nops to the *effective* inter-core
+    /// committed-instruction delta. The TACLe harness sled makes the delayed
+    /// hart commit `nops` nops while the other hart commits one `j skip`, so
+    /// harness-staggered runs use `-1`; a raw delay uses the default `0`.
+    /// Residue-class lints (DIV004 and the prover) test
+    /// `stagger_nops + stagger_phase` against loop periods.
+    pub stagger_phase: i64,
     /// Maximum disassembly lines per rendered snippet.
     pub snippet_lines: usize,
 }
@@ -76,6 +95,7 @@ impl Default for AnalysisConfig {
             fifo_depth: 8,
             pipeline_slots: PIPE_STAGES * PIPE_WIDTH,
             stagger_nops: None,
+            stagger_phase: 0,
             snippet_lines: 6,
         }
     }

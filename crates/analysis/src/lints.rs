@@ -207,19 +207,26 @@ fn lint_sleds(
 /// DIV001/DIV002.
 fn lint_stagger(config: &AnalysisConfig, diags: &mut Vec<Diagnostic>) {
     let Some(stagger) = config.stagger_nops else { return };
+    // What the periodic-traffic argument actually depends on is the
+    // *effective* inter-core committed-instruction delta, which differs from
+    // the configured nop count by a fixed phase (the harness sled's `j skip`
+    // on the non-delayed hart, for instance). A stagger that is a multiple
+    // of a loop period *plus a nonzero phase* lands in a different residue
+    // class and is not a re-alignment hazard.
+    let s_eff = (stagger as i64).saturating_add(config.stagger_phase);
     let mut extra = Vec::new();
     for d in diags.iter() {
         match d.code {
             LintCode::Div001 => {
                 let period = d.period.unwrap_or(1).max(1);
-                if stagger % period == 0 {
+                if s_eff.rem_euclid(period as i64) == 0 {
                     extra.push(Diagnostic {
                         code: LintCode::Div004,
                         severity: Severity::Error,
                         span: d.span,
                         message: format!(
-                            "configured stagger of {stagger} nops is a multiple of this \
-                             loop's {period}-instruction traffic period"
+                            "configured stagger of {stagger} nops (effective delta {s_eff}) \
+                             is a multiple of this loop's {period}-instruction traffic period"
                         ),
                         notes: vec![format!(
                             "note: the periodic traffic re-aligns exactly, reproducing the \
@@ -233,14 +240,14 @@ fn lint_stagger(config: &AnalysisConfig, diags: &mut Vec<Diagnostic>) {
             }
             LintCode::Div002 => {
                 let min_safe = d.min_safe_stagger.unwrap_or(1);
-                if stagger < min_safe {
+                if s_eff < min_safe as i64 {
                     extra.push(Diagnostic {
                         code: LintCode::Div004,
                         severity: Severity::Error,
                         span: d.span,
                         message: format!(
-                            "configured stagger of {stagger} nops is below this sled's \
-                             minimum safe stagger of {min_safe}"
+                            "configured stagger of {stagger} nops (effective delta {s_eff}) \
+                             is below this sled's minimum safe stagger of {min_safe}"
                         ),
                         notes: vec![format!(
                             "note: both pipelines sit fully inside the sled at the same \
@@ -375,6 +382,38 @@ mod tests {
             a.j(l);
         });
         assert!(!codes(&d).contains(&LintCode::Div004), "{d:?}");
+    }
+
+    #[test]
+    fn div004_respects_the_stagger_phase() {
+        // Regression: a configured stagger that is a multiple of the loop
+        // period *plus a nonzero phase* lands in a different residue class
+        // and must not be flagged. With the harness phase of -1, 4 nops give
+        // an effective delta of 3 (safe against a period of 2) while 5 nops
+        // give 4 (a true re-alignment).
+        let idle = |a: &mut Asm| {
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.nop();
+            a.j(l);
+        };
+        let cfg = AnalysisConfig {
+            stagger_nops: Some(4),
+            stagger_phase: -1,
+            ..AnalysisConfig::default()
+        };
+        let d = lints(&cfg, idle);
+        assert!(!codes(&d).contains(&LintCode::Div004), "{d:?}");
+
+        let cfg = AnalysisConfig {
+            stagger_nops: Some(5),
+            stagger_phase: -1,
+            ..AnalysisConfig::default()
+        };
+        let d = lints(&cfg, idle);
+        assert!(codes(&d).contains(&LintCode::Div004), "{d:?}");
+        let div4 = d.iter().find(|x| x.code == LintCode::Div004).unwrap();
+        assert!(div4.message.contains("effective delta 4"), "{}", div4.message);
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Soundness harness for the abstract-interpretation diversity prover:
+//! runs every TACLe kernel (plus synthetic programs that actually earn
+//! `ProvedDiverse` certificates) across a stagger grid under the *dynamic*
+//! SafeDM monitor, and fails if the monitor ever observes a no-diversity
+//! cycle inside a region the prover marked `ProvedDiverse`.
+//!
+//! The check is warmup-gated: a no-diversity verdict only counts against a
+//! `ProvedDiverse` span once both cores' last-committed PCs have stayed
+//! inside that same span for at least `2 * data_fifo_depth` consecutive
+//! observed cycles, so both signature FIFOs contain only in-span traffic.
+//! `ProvedCollision` claims are existential (a collision *exists* at some
+//! alignment), so they are confirmed informationally, never failed.
+//!
+//! Cells run on the `safedm-campaign` pool with ordered collection:
+//! stdout is byte-identical for any `--jobs N`.
+//!
+//! Usage: `cargo run -p safedm-bench --bin prove_soundness --release
+//! [--quick] [--jobs N] [--staggers 0,100,1000,10000] [--max-cycles N]`
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use safedm_analysis::{analyze, prove, AnalysisConfig, PcSpan};
+use safedm_asm::{Asm, Program};
+use safedm_bench::experiments::{arg_flag, arg_value, jobs_from_args};
+use safedm_campaign::{par_map, ConfigGrid};
+use safedm_core::{MonitoredSoc, SafeDmConfig};
+use safedm_isa::Reg;
+use safedm_soc::SocConfig;
+use safedm_tacle::{build_kernel_program, kernels, HarnessConfig, Kernel, StaggerConfig};
+
+/// One program under test: a TACLe kernel or a synthetic diverse-by-proof
+/// program.
+#[derive(Clone)]
+enum Target {
+    Tacle(&'static Kernel),
+    Synth(&'static str),
+}
+
+impl Target {
+    fn name(&self) -> &'static str {
+        match self {
+            Target::Tacle(k) => k.name,
+            Target::Synth(n) => n,
+        }
+    }
+
+    fn build(&self, stagger: Option<StaggerConfig>) -> Program {
+        match self {
+            Target::Tacle(k) => {
+                build_kernel_program(k, &HarnessConfig { stagger, ..HarnessConfig::default() })
+            }
+            Target::Synth("countdown") => synth_countdown(stagger),
+            Target::Synth("memcpy") => synth_memcpy(stagger),
+            Target::Synth(other) => unreachable!("unknown synthetic {other}"),
+        }
+    }
+}
+
+/// Emits the same hart-gated nop sled as the TACLe harness prologue: the
+/// delayed hart commits `nops` nops, the other commits one `j skip`, so the
+/// effective committed-instruction delta is `nops - 1` (sled phase `-1`).
+fn sled(a: &mut Asm, st: StaggerConfig) {
+    let sled = a.new_label("sled");
+    let skip = a.new_label("skip_sled");
+    a.hartid(Reg::T0);
+    a.li(Reg::T1, st.delayed_core as i64);
+    a.beq(Reg::T0, Reg::T1, sled);
+    a.j(skip);
+    a.bind(sled).expect("fresh label");
+    a.nops(st.nops);
+    a.bind(skip).expect("fresh label");
+}
+
+/// A long countdown loop: two instructions per iteration, each reading the
+/// iteration-injective counter — the simplest loop the prover certifies
+/// `ProvedDiverse` at any effective stagger >= 2. Long enough that both
+/// cores overlap inside the loop even at a 10000-nop sled.
+fn synth_countdown(stagger: Option<StaggerConfig>) -> Program {
+    let mut a = Asm::new();
+    if let Some(st) = stagger {
+        sled(&mut a, st);
+    }
+    a.li(Reg::T0, 60_000);
+    let l = a.new_label("l");
+    a.bind(l).unwrap();
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, l);
+    a.ebreak();
+    a.link(0x8000_0000).unwrap()
+}
+
+/// A memcpy-style loop with loads and stores: qualifies via the injective
+/// closure (every instruction reads an injective pointer or counter) plus
+/// the relational memory-equality proof.
+fn synth_memcpy(stagger: Option<StaggerConfig>) -> Program {
+    const WORDS: usize = 16_384; // 64 KiB copied, 4 bytes per iteration
+    let mut a = Asm::new();
+    let src: Vec<u64> = (0..WORDS as u64 / 2).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let src = a.d_dwords("src", &src);
+    let dst = a.d_dwords("dst", &vec![0u64; WORDS / 2]);
+    if let Some(st) = stagger {
+        sled(&mut a, st);
+    }
+    a.la(Reg::A0, src);
+    a.la(Reg::A1, dst);
+    a.li(Reg::T0, WORDS as i64);
+    let l = a.new_label("l");
+    a.bind(l).unwrap();
+    a.lw(Reg::T1, 0, Reg::A0);
+    a.sw(Reg::T1, 0, Reg::A1);
+    a.addi(Reg::A0, Reg::A0, 4);
+    a.addi(Reg::A1, Reg::A1, 4);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, l);
+    a.ebreak();
+    a.link(0x8000_0000).unwrap()
+}
+
+/// Everything precomputed for one (target, stagger) setup.
+struct Setup {
+    prog: Arc<Program>,
+    diverse: Vec<PcSpan>,
+    collision: Vec<PcSpan>,
+    effective: i64,
+    golden: Option<u64>,
+}
+
+/// Dynamic observations of one cell.
+struct CellOut {
+    cycles: u64,
+    observed: u64,
+    no_div: u64,
+    guarded: u64,
+    violations: Vec<(u64, u64, u64)>,
+    collision_nodiv: u64,
+    timed_out: bool,
+    checksum_ok: bool,
+}
+
+fn run_cell(setup: &Setup, max_cycles: u64) -> CellOut {
+    let dm_cfg = SafeDmConfig::default();
+    let warmup = 2 * dm_cfg.data_fifo_depth as u64;
+    let mut sys = MonitoredSoc::new(SocConfig::default(), dm_cfg);
+    sys.load_program(&setup.prog);
+
+    let mut streak = 0u64;
+    let mut streak_span: Option<usize> = None;
+    let mut guarded = 0u64;
+    let mut violations = Vec::new();
+    let mut collision_nodiv = 0u64;
+    for _ in 0..max_cycles {
+        if sys.soc().all_halted()
+            && (0..sys.soc().core_count()).all(|i| sys.soc().core(i).store_buffer_len() == 0)
+        {
+            break;
+        }
+        let rep = sys.step();
+        let pcs = (sys.soc().core(0).last_commit_pc(), sys.soc().core(1).last_commit_pc());
+        let both_in = |spans: &[PcSpan]| match pcs {
+            (Some(p0), Some(p1)) => spans.iter().position(|s| s.contains(p0) && s.contains(p1)),
+            _ => None,
+        };
+        match (rep.observed, both_in(&setup.diverse)) {
+            (true, Some(si)) => {
+                if streak_span == Some(si) {
+                    streak += 1;
+                } else {
+                    streak_span = Some(si);
+                    streak = 1;
+                }
+            }
+            _ => {
+                streak = 0;
+                streak_span = None;
+            }
+        }
+        if streak >= warmup {
+            guarded += 1;
+        }
+        if rep.observed && rep.no_diversity {
+            if streak >= warmup {
+                let (p0, p1) = (pcs.0.unwrap_or(0), pcs.1.unwrap_or(0));
+                violations.push((sys.soc().cycle(), p0, p1));
+            }
+            if both_in(&setup.collision).is_some() {
+                collision_nodiv += 1;
+            }
+        }
+    }
+    sys.monitor_mut().finish();
+    let timed_out = !sys.soc().all_halted();
+    let checksum_ok = match setup.golden {
+        Some(golden) => !timed_out && (0..2).all(|c| sys.soc().core(c).reg(Reg::A0) == golden),
+        None => !timed_out,
+    };
+    let counters = sys.monitor().counters();
+    CellOut {
+        cycles: sys.soc().cycle(),
+        observed: counters.cycles_observed,
+        no_div: counters.no_div_cycles,
+        guarded,
+        violations,
+        collision_nodiv,
+        timed_out,
+        checksum_ok,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = arg_flag(&args, "--quick");
+    let jobs = jobs_from_args(&args);
+    let max_cycles = arg_value(&args, "--max-cycles")
+        .map_or(20_000_000, |v| v.parse::<u64>().expect("--max-cycles needs a number"));
+
+    let staggers: Vec<u64> = match arg_value(&args, "--staggers") {
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().expect("--staggers needs numbers"))
+            .collect(),
+        None if quick => vec![0, 100],
+        None => vec![0, 100, 1000, 10000],
+    };
+
+    let mut targets: Vec<Target> = if quick {
+        ["fac", "bitcount", "insertsort"]
+            .iter()
+            .map(|n| Target::Tacle(kernels::by_name(n).expect("kernel")))
+            .collect()
+    } else {
+        kernels::all().iter().map(Target::Tacle).collect()
+    };
+    targets.push(Target::Synth("countdown"));
+    targets.push(Target::Synth("memcpy"));
+
+    let grid =
+        ConfigGrid { kernels: targets, staggers, configs: vec![()], runs: 1, root_seed: 2024 };
+
+    // Static phase: prove every (target, stagger) setup once, up front.
+    // Setup index == cell index (runs and configs are singleton axes).
+    let cells = grid.cells();
+    let setups: Vec<Setup> = cells
+        .iter()
+        .map(|cell| {
+            let nops = cell.stagger;
+            let stagger =
+                (nops > 0).then_some(StaggerConfig { nops: nops as usize, delayed_core: 1 });
+            let prog = cell.kernel.build(stagger);
+            let cfg = AnalysisConfig {
+                stagger_nops: (nops > 0).then_some(nops),
+                stagger_phase: if nops > 0 { -1 } else { 0 },
+                ..AnalysisConfig::default()
+            };
+            let report = analyze(&prog, &cfg);
+            let proof = prove(&report.program, &report.cfg, &cfg);
+            let golden = match cell.kernel {
+                Target::Tacle(k) => Some((k.reference)()),
+                Target::Synth(_) => None,
+            };
+            Setup {
+                prog: Arc::new(prog),
+                diverse: proof.diverse_spans(),
+                collision: proof.collision_spans(),
+                effective: proof.effective_stagger,
+                golden,
+            }
+        })
+        .collect();
+
+    eprintln!(
+        "prove-soundness: {} targets x {} staggers on {jobs} worker(s), max {max_cycles} cycles",
+        grid.kernels.len(),
+        grid.staggers.len()
+    );
+
+    // Dynamic phase: run every cell under the monitor, in parallel.
+    let results = par_map(jobs, &cells, |_, cell| run_cell(&setups[cell.index], max_cycles));
+
+    println!(
+        "{:<16} {:>7} {:>8} {:>10} {:>10} {:>8} {:>8} {:>9} {:>10} {:>6}",
+        "target",
+        "nops",
+        "eff",
+        "cycles",
+        "observed",
+        "no-div",
+        "guarded",
+        "col-hits",
+        "violations",
+        "check"
+    );
+    let mut total_violations = 0usize;
+    let mut total_guarded = 0u64;
+    let mut bad_runs = 0usize;
+    for (cell, r) in cells.iter().zip(&results) {
+        total_violations += r.violations.len();
+        total_guarded += r.guarded;
+        if !r.checksum_ok || r.timed_out {
+            bad_runs += 1;
+        }
+        println!(
+            "{:<16} {:>7} {:>8} {:>10} {:>10} {:>8} {:>8} {:>9} {:>10} {:>6}",
+            cell.kernel.name(),
+            cell.stagger,
+            setups[cell.index].effective,
+            r.cycles,
+            r.observed,
+            r.no_div,
+            r.guarded,
+            r.collision_nodiv,
+            r.violations.len(),
+            if r.checksum_ok { "ok" } else { "FAIL" }
+        );
+        for &(cycle, p0, p1) in r.violations.iter().take(5) {
+            println!(
+                "  VIOLATION {} nops={}: no-diversity cycle {cycle} inside ProvedDiverse \
+                 region (pc0={p0:#x}, pc1={p1:#x})",
+                cell.kernel.name(),
+                cell.stagger
+            );
+        }
+    }
+
+    println!();
+    if total_violations == 0 && bad_runs == 0 {
+        println!(
+            "PROVE-SOUNDNESS: PASS ({} cells, {} warmup-gated cycles guarded, 0 violations)",
+            cells.len(),
+            total_guarded
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "PROVE-SOUNDNESS: FAIL ({total_violations} violations, {bad_runs} bad runs across {} \
+             cells)",
+            cells.len()
+        );
+        ExitCode::FAILURE
+    }
+}

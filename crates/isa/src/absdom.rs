@@ -1,0 +1,132 @@
+//! Per-instruction abstract transfer hooks.
+//!
+//! The static diversity prover in `safedm-analysis` interprets programs over
+//! several abstract domains (intervals, congruences, inter-core deltas). All
+//! of them need the same per-instruction dispatch: which register an
+//! instruction writes and how the written value is computed from the values
+//! it reads. Keeping that dispatch here, next to the concrete [`crate::alu`]
+//! semantics, means a new instruction cannot be added to the ISA without the
+//! abstract interpreters seeing it — the `match` in [`abs_transfer`] is
+//! exhaustive over [`Inst`].
+//!
+//! A domain implements [`AbsValue`]; [`abs_transfer`] then mirrors the
+//! concrete write-back of one instruction in that domain. Instantiating the
+//! same dispatch at a concrete value type turns it into an executor, which is
+//! how the soundness property tests check every transfer function against
+//! the real semantics.
+
+use crate::{Inst, Reg};
+
+/// An abstract value: an element of a lattice of sets of `u64` values.
+///
+/// Implementations must be *sound* over-approximations: for every operation,
+/// the concrete result of applying the operation to members of the operand
+/// abstractions must be a member of the resulting abstraction. The soundness
+/// property tests in the workspace check exactly this.
+pub trait AbsValue: Sized + Clone {
+    /// The least precise element — every `u64` is a member.
+    fn top() -> Self;
+
+    /// The abstraction of a single concrete value.
+    fn constant(c: u64) -> Self;
+
+    /// Abstract counterpart of the concrete [`crate::alu`] function.
+    fn alu(kind: crate::AluKind, a: &Self, b: &Self) -> Self;
+
+    /// The abstraction of a value loaded from memory. Memory contents are
+    /// unknown to register-only domains, so the default is [`AbsValue::top`].
+    fn load() -> Self {
+        Self::top()
+    }
+
+    /// The abstraction of the old value read from CSR `csr`. Unknown by
+    /// default; domains that understand specific CSRs (e.g. the inter-core
+    /// delta of `mhartid`) refine this.
+    fn csr(_csr: u16) -> Self {
+        Self::top()
+    }
+}
+
+/// The register write performed by `inst` at address `pc`, in the abstract.
+///
+/// Returns `Some((rd, value))` for value-producing instructions and `None`
+/// for branches, stores, fences, traps and `x0` destinations — exactly when
+/// [`Inst::rd`] is `None`. `read` supplies the abstract pre-state for source
+/// registers; `x0` is resolved to `constant(0)` here and `read` is never
+/// called for it.
+pub fn abs_transfer<V: AbsValue>(
+    inst: &Inst,
+    pc: u64,
+    read: impl Fn(Reg) -> V,
+) -> Option<(Reg, V)> {
+    let rd = inst.rd()?;
+    let get = |r: Reg| if r.is_zero() { V::constant(0) } else { read(r) };
+    let val = match *inst {
+        Inst::Lui { imm, .. } => V::constant(imm as u64),
+        Inst::Auipc { imm, .. } => V::constant(pc.wrapping_add(imm as u64)),
+        // The link value: both jumps write the address of the next slot.
+        Inst::Jal { .. } | Inst::Jalr { .. } => V::constant(pc.wrapping_add(crate::INST_BYTES)),
+        Inst::Load { .. } => V::load(),
+        Inst::OpImm { kind, rs1, imm, .. } => V::alu(kind, &get(rs1), &V::constant(imm as u64)),
+        Inst::Op { kind, rs1, rs2, .. } => V::alu(kind, &get(rs1), &get(rs2)),
+        Inst::Csr { csr, .. } | Inst::CsrImm { csr, .. } => V::csr(csr),
+        Inst::Branch { .. } | Inst::Store { .. } | Inst::Fence | Inst::Ecall | Inst::Ebreak => {
+            unreachable!("rd() returned Some for an instruction without a destination")
+        }
+    };
+    Some((rd, val))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{alu, AluKind};
+
+    /// A concrete value is a (degenerate) abstract domain; instantiating the
+    /// dispatch at it yields an executor matching the pipeline semantics.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Concrete(u64);
+
+    impl AbsValue for Concrete {
+        fn top() -> Self {
+            Concrete(0) // only reachable via load()/csr(), unused in tests
+        }
+        fn constant(c: u64) -> Self {
+            Concrete(c)
+        }
+        fn alu(kind: AluKind, a: &Self, b: &Self) -> Self {
+            Concrete(alu(kind, a.0, b.0))
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_concrete_semantics() {
+        let regs = |r: Reg| Concrete(0x100 + u64::from(r.index()));
+        let add = Inst::Op { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let (rd, v) = abs_transfer(&add, 0x8000_0000, regs).unwrap();
+        assert_eq!((rd, v.0), (Reg::A0, 0x100 + 11 + 0x100 + 12));
+
+        let lui = Inst::Lui { rd: Reg::T0, imm: -4096 };
+        let (_, v) = abs_transfer(&lui, 0, regs).unwrap();
+        assert_eq!(v.0, (-4096i64) as u64);
+
+        let jal = Inst::Jal { rd: Reg::RA, offset: 64 };
+        let (_, v) = abs_transfer(&jal, 0x8000_0010, regs).unwrap();
+        assert_eq!(v.0, 0x8000_0014);
+
+        // x0 reads resolve to constant 0 without consulting the state.
+        let addi = Inst::OpImm { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 7 };
+        let (_, v) = abs_transfer::<Concrete>(&addi, 0, |_| panic!("x0 must not be read")).unwrap();
+        assert_eq!(v.0, 7);
+    }
+
+    #[test]
+    fn no_write_instructions_return_none() {
+        let regs = |_: Reg| Concrete(1);
+        let br =
+            Inst::Branch { kind: crate::BranchKind::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 8 };
+        assert!(abs_transfer(&br, 0, regs).is_none());
+        assert!(abs_transfer(&Inst::Fence, 0, regs).is_none());
+        assert!(abs_transfer(&Inst::NOP, 0, regs).is_none()); // rd = x0
+    }
+}

@@ -362,6 +362,23 @@ impl Inst {
         }
     }
 
+    /// Mask of registers read by this instruction (bit *i* = `x{i}`, `x0`
+    /// contributes no bits).
+    ///
+    /// This is the single definition of operand extraction shared by the
+    /// pipeline's hazard logic and the static analyzer's dataflow passes, so
+    /// the two cannot drift.
+    #[must_use]
+    pub fn use_mask(&self) -> u32 {
+        self.rs1().map_or(0, Reg::bit) | self.rs2().map_or(0, Reg::bit)
+    }
+
+    /// Mask of registers written by this instruction (`x0` writes excluded).
+    #[must_use]
+    pub fn def_mask(&self) -> u32 {
+        self.rd().map_or(0, Reg::bit)
+    }
+
     /// Whether this is a load.
     #[must_use]
     pub fn is_load(&self) -> bool {

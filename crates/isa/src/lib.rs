@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod absdom;
 pub mod csr;
 mod decode;
 mod disasm;
@@ -32,6 +33,7 @@ mod inst;
 mod reg;
 mod semantics;
 
+pub use absdom::{abs_transfer, AbsValue};
 pub use decode::decode;
 pub use encode::encode;
 pub use error::{DecodeError, EncodeError};

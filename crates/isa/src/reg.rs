@@ -140,6 +140,18 @@ impl Reg {
         ABI_NAMES[self.0 as usize]
     }
 
+    /// The register's bit in a 32-bit register mask, with `x0` mapped to no
+    /// bits (it is architecturally constant and never participates in
+    /// dependence or liveness reasoning).
+    #[must_use]
+    pub const fn bit(self) -> u32 {
+        if self.0 == 0 {
+            0
+        } else {
+            1 << self.0
+        }
+    }
+
     /// Iterates over all 32 registers in index order.
     pub fn all() -> impl Iterator<Item = Reg> {
         (0u8..32).map(Reg)

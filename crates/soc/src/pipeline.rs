@@ -739,14 +739,10 @@ impl Core {
         if older.is_control_flow() {
             return false;
         }
-        // Data: no intra-pair RAW or WAW.
-        if let Some(rd) = older.rd() {
-            if younger.rs1() == Some(rd) || younger.rs2() == Some(rd) {
-                return false;
-            }
-            if younger.rd() == Some(rd) {
-                return false;
-            }
+        // Data: no intra-pair RAW or WAW, via the operand masks shared with
+        // the static analyzer (see `Inst::use_mask`/`Inst::def_mask`).
+        if older.def_mask() & (younger.use_mask() | younger.def_mask()) != 0 {
+            return false;
         }
         true
     }

@@ -61,8 +61,8 @@ fn usage() -> &'static str {
     "usage: safedm-sim <program.s | --kernel NAME | --list-kernels>\n\
      \x20      [--base ADDR] [--stagger NOPS [--delayed-core 0|1]]\n\
      \x20      [--vcd FILE [--vcd-cycles N]] [--trace N] [--max-cycles N] [--json]\n\
-     \x20      safedm-sim analyze <program.s | --kernel NAME>\n\
-     \x20      [--base ADDR] [--stagger NOPS] [--gate] [--max-cycles N]\n\
+     \x20      safedm-sim analyze <program.s | --kernel NAME | --kernel all>\n\
+     \x20      [--base ADDR] [--stagger NOPS] [--gate] [--prove] [--max-cycles N]\n\
      \x20      safedm-sim trace <kernel | program.s>\n\
      \x20      [--cycles N] [--out FILE] [--jsonl] [--events N] [--interval N]\n\
      \x20      safedm-sim stats <kernel | program.s>\n\
@@ -184,19 +184,45 @@ fn run_stats(args: &[String]) -> Result<(), String> {
 
 /// The `analyze` subcommand: run the static diversity lints, print the
 /// rustc-style report, and with `--gate` cross-validate the guaranteed
-/// findings against a monitored run.
+/// findings against a monitored run. `--prove` additionally runs the
+/// abstract-interpretation prover and prints per-loop minimum-safe-stagger
+/// certificates; `--kernel all` proves every built-in kernel (one summary
+/// line each), which is what the CI smoke test drives.
 fn run_analyze(args: &[String]) -> Result<(), String> {
     let base = arg_value(args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;
     let stagger_nops = arg_value(args, "--stagger").map(|v| parse_u64(&v)).transpose()?;
     let max_cycles = arg_value(args, "--max-cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
+    let prove_mode = arg_flag(args, "--prove");
 
-    let (name, prog) = if let Some(kname) = arg_value(args, "--kernel") {
+    if arg_value(args, "--kernel").as_deref() == Some("all") {
+        if !prove_mode {
+            return Err("--kernel all is only supported with --prove".to_owned());
+        }
+        for k in kernels::all() {
+            let stagger =
+                stagger_nops.map(|nops| StaggerConfig { nops: nops as usize, delayed_core: 1 });
+            let phase = if stagger.is_some() { -1 } else { 0 };
+            let prog =
+                build_kernel_program(k, &HarnessConfig { stagger, ..HarnessConfig::default() });
+            let cfg =
+                AnalysisConfig { stagger_nops, stagger_phase: phase, ..AnalysisConfig::default() };
+            let report = analyze(&prog, &cfg);
+            let proof = safedm::analysis::prove(&report.program, &report.cfg, &cfg);
+            println!("{}", proof.summary_line(k.name));
+        }
+        return Ok(());
+    }
+
+    let (name, prog, phase) = if let Some(kname) = arg_value(args, "--kernel") {
         let k = kernels::by_name(&kname)
             .ok_or_else(|| format!("unknown kernel `{kname}` (see --list-kernels)"))?;
         let stagger =
             stagger_nops.map(|nops| StaggerConfig { nops: nops as usize, delayed_core: 1 });
+        // The harness sled makes the delayed hart commit `nops` nops while
+        // the other hart commits one `j skip`: effective delta = nops - 1.
+        let phase = if stagger.is_some() { -1 } else { 0 };
         let prog = build_kernel_program(k, &HarnessConfig { stagger, ..HarnessConfig::default() });
-        (kname, prog)
+        (kname, prog, phase)
     } else {
         let path = args
             .iter()
@@ -205,13 +231,19 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let prog = safedm::asm::assemble(&source, base).map_err(|e| e.to_string())?;
-        (path.clone(), prog)
+        (path.clone(), prog, 0)
     };
 
-    let cfg = AnalysisConfig { stagger_nops, ..AnalysisConfig::default() };
+    let cfg = AnalysisConfig { stagger_nops, stagger_phase: phase, ..AnalysisConfig::default() };
     let report = analyze(&prog, &cfg);
     println!("static diversity analysis of `{name}`");
     print!("{}", report.render());
+
+    if prove_mode {
+        let proof = safedm::analysis::prove(&report.program, &report.cfg, &cfg);
+        println!("\nabstract-interpretation prover:");
+        print!("{}", proof.render(&report.program, cfg.snippet_lines));
+    }
 
     if arg_flag(args, "--gate") {
         println!("\ncross-validating against the runtime monitor (stagger 0) ...");

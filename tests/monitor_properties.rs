@@ -201,3 +201,191 @@ proptest! {
         prop_assert_eq!(seeds.len(), grid.len());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Soundness of the abstract transfer functions
+// ---------------------------------------------------------------------------
+//
+// Instantiating `abs_transfer` at a concrete value type turns it into an
+// executor with the real `alu` semantics. For random instructions and random
+// concrete register states drawn from random abstract states, the concrete
+// result must be a member of the abstract transfer's output — the defining
+// soundness property of every domain the diversity prover runs on.
+
+use safedm::analysis::absint::{Abs, Congruence, Delta, Interval};
+use safedm::isa::{abs_transfer, alu, AbsValue, AluKind, Inst, Reg};
+
+/// Concrete execution as a (degenerate) abstract domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cv(u64);
+
+impl AbsValue for Cv {
+    fn top() -> Self {
+        Cv(0) // only reachable via load()/csr(); the strategies below avoid both
+    }
+    fn constant(c: u64) -> Self {
+        Cv(c)
+    }
+    fn alu(kind: AluKind, a: &Self, b: &Self) -> Self {
+        Cv(alu(kind, a.0, b.0))
+    }
+}
+
+const ALL_ALU: &[AluKind] = &[
+    AluKind::Add,
+    AluKind::Sub,
+    AluKind::Sll,
+    AluKind::Slt,
+    AluKind::Sltu,
+    AluKind::Xor,
+    AluKind::Srl,
+    AluKind::Sra,
+    AluKind::Or,
+    AluKind::And,
+    AluKind::Addw,
+    AluKind::Subw,
+    AluKind::Sllw,
+    AluKind::Srlw,
+    AluKind::Sraw,
+    AluKind::Mul,
+    AluKind::Mulh,
+    AluKind::Mulhsu,
+    AluKind::Mulhu,
+    AluKind::Div,
+    AluKind::Divu,
+    AluKind::Rem,
+    AluKind::Remu,
+    AluKind::Mulw,
+    AluKind::Divw,
+    AluKind::Divuw,
+    AluKind::Remw,
+    AluKind::Remuw,
+];
+
+/// A random *pure* value-producing instruction: no load (memory is outside
+/// the register domains) and no CSR (covered by unit tests with the
+/// `mhartid` refinement).
+fn pure_inst(sel: u8, k: usize, rd: u8, rs1: u8, rs2: u8, imm: i64, big: i64) -> Inst {
+    let kind = ALL_ALU[k % ALL_ALU.len()];
+    let (rd, rs1, rs2) = (Reg::new(rd % 32), Reg::new(rs1 % 32), Reg::new(rs2 % 32));
+    match sel % 5 {
+        0 => Inst::Lui { rd, imm: big << 12 },
+        1 => Inst::Auipc { rd, imm: big << 12 },
+        2 => Inst::Jal { rd, offset: (imm / 2) * 2 },
+        3 => Inst::OpImm { kind, rd, rs1, imm },
+        _ => Inst::Op { kind, rd, rs1, rs2 },
+    }
+}
+
+/// A random abstraction that contains the concrete value `v`.
+fn abs_containing(v: u64, tag: u8, a: u64, b: u64) -> Abs {
+    match tag % 4 {
+        0 => Abs::constant(v),
+        1 => Abs::TOP,
+        2 => Abs {
+            itv: Interval { lo: v.saturating_sub(a % 1024), hi: v.saturating_add(b % 1024) },
+            cong: Congruence::TOP,
+        },
+        _ => {
+            let m = (a % 64).max(2);
+            Abs { itv: Interval::TOP, cong: Congruence { m, r: v % m } }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Product-domain soundness: concrete execution stays inside the
+    /// interval × congruence abstraction for every transfer function.
+    #[test]
+    fn value_transfers_are_sound(
+        sel in 0u8..5,
+        k in 0usize..ALL_ALU.len(),
+        rd in 0u8..32,
+        rs1 in 0u8..32,
+        rs2 in 0u8..32,
+        imm in -2048i64..2048,
+        big in -(1i64 << 19)..(1i64 << 19),
+        vals in proptest::collection::vec(any::<u64>(), 4),
+        tags in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 4),
+        pc_word in 0u64..(1 << 20),
+    ) {
+        let inst = pure_inst(sel, k, rd, rs1, rs2, imm, big);
+        let pc = 0x8000_0000u64 + pc_word * 4;
+        let cval = |r: Reg| vals[r.index() as usize % 4];
+        let cabs = |r: Reg| {
+            let i = r.index() as usize % 4;
+            abs_containing(vals[i], tags[i].0, tags[i].1, tags[i].2)
+        };
+        // Pre-state consistency: every abstraction contains its concrete value.
+        for r in Reg::all().skip(1) {
+            prop_assert!(cabs(r).contains(cval(r)));
+        }
+        if let Some((rd_c, out_c)) = abs_transfer::<Cv>(&inst, pc, |r| Cv(cval(r))) {
+            let (rd_a, out_a) = abs_transfer::<Abs>(&inst, pc, cabs)
+                .expect("abstract and concrete dispatch agree on rd");
+            prop_assert_eq!(rd_c, rd_a);
+            prop_assert!(
+                out_a.contains(out_c.0),
+                "unsound transfer for {:?}: concrete {:#x} not in {:?}",
+                inst, out_c.0, out_a
+            );
+        } else {
+            prop_assert!(abs_transfer::<Abs>(&inst, pc, cabs).is_none());
+        }
+    }
+
+    /// Relational-domain soundness: running the same instruction on two
+    /// concrete register files whose differences are drawn from a delta
+    /// abstraction keeps the concrete difference inside the transferred
+    /// delta.
+    #[test]
+    fn delta_transfers_are_sound(
+        sel in 0u8..5,
+        k in 0usize..ALL_ALU.len(),
+        rd in 0u8..32,
+        rs1 in 0u8..32,
+        rs2 in 0u8..32,
+        imm in -2048i64..2048,
+        big in -(1i64 << 19)..(1i64 << 19),
+        vals in proptest::collection::vec(any::<u64>(), 4),
+        dtags in proptest::collection::vec((0u8..3, any::<u64>()), 4),
+    ) {
+        let inst = pure_inst(sel, k, rd, rs1, rs2, imm, big);
+        let pc = 0x8000_0000u64;
+        let v0 = |r: Reg| vals[r.index() as usize % 4];
+        let diff = |r: Reg| {
+            let (tag, d) = dtags[r.index() as usize % 4];
+            match tag {
+                0 => 0u64,
+                1 => d,
+                _ => d ^ 0x9e37_79b9_7f4a_7c15, // arbitrary: abstraction is Unknown
+            }
+        };
+        let v1 = |r: Reg| v0(r).wrapping_add(diff(r));
+        let dabs = |r: Reg| match dtags[r.index() as usize % 4] {
+            (0, _) => Delta::Zero,
+            (1, d) => Delta::Const(d),
+            _ => Delta::Unknown,
+        };
+        let r0 = abs_transfer::<Cv>(&inst, pc, |r| Cv(v0(r)));
+        let r1 = abs_transfer::<Cv>(&inst, pc, |r| Cv(v1(r)));
+        let ra = abs_transfer::<Delta>(&inst, pc, dabs);
+        match (r0, r1, ra) {
+            (Some((_, c0)), Some((_, c1)), Some((_, d))) => {
+                let concrete = c1.0.wrapping_sub(c0.0);
+                match d {
+                    Delta::Zero => prop_assert_eq!(concrete, 0, "unsound Zero for {:?}", inst),
+                    Delta::Const(k) => prop_assert_eq!(concrete, k, "unsound Const for {:?}", inst),
+                    Delta::Unknown => {}
+                }
+                if d.is_nonzero() {
+                    prop_assert_ne!(c0.0, c1.0);
+                }
+            }
+            (None, None, None) => {}
+            other => prop_assert!(false, "dispatch disagreement: {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Golden-file pinning of the abstract-interpretation prover's verdicts.
+//!
+//! One summary line per TACLe kernel per stagger setting (unstaggered, and a
+//! harness sled of 100 nops with the `-1` sled phase). Any change to a
+//! verdict, a certificate, or a rotation period shows up as a diff here —
+//! which is exactly what a soundness-sensitive pass wants pinned.
+//! Regenerate deliberately with `BLESS_GOLDEN=1 cargo test --test
+//! prove_golden`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use safedm::analysis::{analyze, prove, AnalysisConfig};
+use safedm::tacle::{build_kernel_program, kernels, HarnessConfig, StaggerConfig};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n(run `BLESS_GOLDEN=1 cargo test --test \
+             prove_golden` to create it)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden fixture\n(if the change is intentional, regenerate with \
+         `BLESS_GOLDEN=1 cargo test --test prove_golden`)"
+    );
+}
+
+/// The prover's per-kernel summary lines across the stagger grid the CI
+/// smoke test also drives.
+fn verdict_summary() -> String {
+    let mut out = String::new();
+    for stagger_nops in [None, Some(100u64)] {
+        match stagger_nops {
+            None => out.push_str("# unstaggered (effective delta 0)\n"),
+            Some(n) => {
+                let _ = writeln!(out, "# harness sled {n} nops (effective delta {})", n - 1);
+            }
+        }
+        for k in kernels::all() {
+            let stagger =
+                stagger_nops.map(|nops| StaggerConfig { nops: nops as usize, delayed_core: 1 });
+            let phase = if stagger.is_some() { -1 } else { 0 };
+            let prog =
+                build_kernel_program(k, &HarnessConfig { stagger, ..HarnessConfig::default() });
+            let cfg =
+                AnalysisConfig { stagger_nops, stagger_phase: phase, ..AnalysisConfig::default() };
+            let report = analyze(&prog, &cfg);
+            let proof = prove(&report.program, &report.cfg, &cfg);
+            let _ = writeln!(out, "{}", proof.summary_line(k.name));
+        }
+    }
+    out
+}
+
+#[test]
+fn prove_verdicts_match_golden() {
+    check_golden("prove_verdicts.txt", &verdict_summary());
+}
+
+#[test]
+fn every_kernel_loop_gets_a_certificate_or_explicit_unknown() {
+    // Acceptance criterion of the prover: no loop may come back without
+    // either a minimum-safe-stagger certificate or an explicit `Unknown`
+    // verdict carrying a refuting witness.
+    for k in kernels::all() {
+        let prog = build_kernel_program(k, &HarnessConfig::default());
+        let cfg = AnalysisConfig::default();
+        let report = analyze(&prog, &cfg);
+        let proof = prove(&report.program, &report.cfg, &cfg);
+        assert_eq!(proof.certificates.len(), report.cfg.loops.len(), "kernel {}", k.name);
+        for cert in &proof.certificates {
+            assert!(
+                cert.min_safe_stagger.is_some() || cert.witness.is_some(),
+                "kernel {}: loop at {:#x} has neither certificate nor witness",
+                k.name,
+                cert.header_pc
+            );
+        }
+    }
+}
