@@ -1,0 +1,60 @@
+//! Scratch tests for review verification — delete before merge.
+
+use safedm_analysis::cfg::{Cfg, DecodedProgram};
+use safedm_analysis::{prove, AnalysisConfig, Verdict};
+use safedm_asm::Asm;
+use safedm_isa::Reg;
+
+fn build(f: impl FnOnce(&mut Asm)) -> (DecodedProgram, Cfg) {
+    let mut a = Asm::new();
+    f(&mut a);
+    let p = DecodedProgram::from_program(&a.link(0x8000_0000).unwrap());
+    let c = Cfg::build(&p);
+    (p, c)
+}
+
+// Irreducible cycle containing a counter increment: no natural loop header,
+// so no widening — does AbsInt::compute terminate?
+#[test]
+fn irreducible_counter_terminates() {
+    let (p, c) = build(|a| {
+        let a_lbl = a.new_label("a");
+        let b_lbl = a.new_label("b");
+        a.bnez(Reg::A0, b_lbl); // entry -> {a, b}
+        a.bind(a_lbl).unwrap();
+        a.addi(Reg::T0, Reg::T0, 1); // counter inside the irreducible cycle
+        a.j(b_lbl);
+        a.bind(b_lbl).unwrap();
+        a.nop();
+        a.bnez(Reg::A1, a_lbl); // b -> a closes the cycle
+        a.ebreak();
+    });
+    assert!(c.loops.is_empty(), "{:?}", c.loops);
+    let _ = safedm_analysis::AbsInt::compute(&p, &c);
+}
+
+// Loop-invariant register seeded from mhartid before the loop: the loop body
+// has no loads/CSRs, traffic is "invariant", but the two cores' data values
+// differ by 1 at every sample — a collision can never occur. Does the prover
+// still claim ProvedCollision at a stagger that is a multiple of the period?
+#[test]
+fn hartid_invariant_loop_not_proved_collision() {
+    let mut a = Asm::new();
+    a.hartid(Reg::S0); // s0 = 0 on core0, 1 on core1
+    let l = a.new_label("l");
+    a.bind(l).unwrap();
+    a.addi(Reg::T1, Reg::S0, 1); // reads the cross-core-divergent s0
+    a.j(l);
+    let p = DecodedProgram::from_program(&a.link(0x8000_0000).unwrap());
+    let c = Cfg::build(&p);
+    let cfg = AnalysisConfig { stagger_nops: Some(4), ..AnalysisConfig::default() };
+    let r = prove(&p, &c, &cfg);
+    let cert = &r.certificates[0];
+    eprintln!("cert = {cert:?}");
+    assert_ne!(
+        cert.verdict,
+        Verdict::ProvedCollision,
+        "data differs across cores (delta 1 via s0) at every cycle; \
+         a no-diversity cycle cannot occur, yet the prover claims it must"
+    );
+}
