@@ -36,6 +36,7 @@
 
 pub mod congruence;
 pub mod interval;
+pub mod pair;
 pub mod stagger;
 
 use std::fmt;
@@ -50,6 +51,7 @@ use crate::AnalysisConfig;
 
 pub use congruence::Congruence;
 pub use interval::Interval;
+pub use pair::{prove_pair, PairCertificate, PairReport};
 pub use stagger::{Delta, DeltaState};
 
 // ---------------------------------------------------------------------------
@@ -207,6 +209,12 @@ impl AbsInt {
         // Joins at a header beyond this trip widening kicks in. Two passes
         // are enough to discover a counter's step before the range widens.
         const WIDEN_AFTER: u32 = 2;
+        // Irreducible cycles have no natural-loop header to widen at, yet a
+        // counter inside one still climbs the interval lattice one step per
+        // pass. Any block re-joined this often is on some cycle: widen there
+        // too so the fixpoint terminates (reducible code never gets near
+        // this count, so precision is unaffected).
+        const WIDEN_AFTER_ANY: u32 = 16;
 
         let Some(entry) = cfg.entry_block else { return AbsInt { block_in } };
         block_in[entry] = Some(AbsState::reset());
@@ -224,7 +232,8 @@ impl AbsInt {
                     None => state.clone(),
                     Some(old) => {
                         let joined = old.join(&state);
-                        if is_header[s] && joins[s] >= WIDEN_AFTER {
+                        let widen_at = if is_header[s] { WIDEN_AFTER } else { WIDEN_AFTER_ANY };
+                        if joins[s] >= widen_at {
                             old.widen(&joined)
                         } else {
                             joined
@@ -445,7 +454,10 @@ pub fn prove(prog: &DecodedProgram, cfg: &Cfg, config: &AnalysisConfig) -> Prove
     // (smallest) enclosing loop's verdict; straight-line points are proved
     // colliding only in the delta-zero lockstep case.
     let mut points = vec![Verdict::Unknown; prog.slots.len()];
-    if s_eff == 0 {
+    // Lockstep collisions presuppose both cores committing the *same*
+    // stream; a twin pair (pair_mode) runs two different copies, so the
+    // delta-zero claim is off the table there.
+    if s_eff == 0 && !config.pair_mode {
         lockstep_points(prog, cfg, &absint, &mut points);
     }
     let mut order: Vec<usize> = (0..certificates.len()).collect();
@@ -683,7 +695,9 @@ fn certify_loop(
 
     // Lockstep collision applies to any loop shape: with effective delta 0
     // and every read provably equal across cores, the windows coincide.
-    let lockstep = s_eff == 0 && loop_reads_delta_zero(prog, cfg, lp, absint);
+    // Both collision arguments presuppose the cores committing the *same*
+    // stream, which a twin pair (pair_mode) does not.
+    let lockstep = s_eff == 0 && !config.pair_mode && loop_reads_delta_zero(prog, cfg, lp, absint);
 
     let body = if traffic.deterministic_body { body_sequence(cfg, lp) } else { None };
     let Some(body) = body else {
@@ -721,7 +735,7 @@ fn certify_loop(
             "iteration-invariant traffic: any stagger ≡ 0 (mod {realign}) re-aligns \
              identical windows"
         ));
-        if s_eff.rem_euclid(realign as i64) == 0 {
+        if s_eff.rem_euclid(realign as i64) == 0 && !config.pair_mode {
             cert.verdict = Verdict::ProvedCollision;
         }
         return cert;
@@ -1014,6 +1028,57 @@ mod tests {
         // No stagger configured: effective delta 0, lockstep collision.
         assert_eq!(c.verdict, Verdict::ProvedCollision);
         assert_eq!(r.effective_stagger, 0);
+    }
+
+    #[test]
+    fn irreducible_counter_terminates() {
+        // An irreducible cycle has no natural-loop header, so header-only
+        // widening never fires and a counter inside the cycle would climb
+        // the interval lattice forever. The any-block widening fallback
+        // must bound the fixpoint.
+        let mut a = Asm::new();
+        let a_lbl = a.new_label("a");
+        let b_lbl = a.new_label("b");
+        a.bnez(Reg::A0, b_lbl); // entry -> {a, b}
+        a.bind(a_lbl).unwrap();
+        a.addi(Reg::T0, Reg::T0, 1); // counter inside the irreducible cycle
+        a.j(b_lbl);
+        a.bind(b_lbl).unwrap();
+        a.nop();
+        a.bnez(Reg::A1, a_lbl); // b -> a closes the cycle
+        a.ebreak();
+        let p = DecodedProgram::from_program(&a.link(0x8000_0000).unwrap());
+        let c = Cfg::build(&p);
+        assert!(c.loops.is_empty(), "{:?}", c.loops);
+        let _ = AbsInt::compute(&p, &c);
+    }
+
+    #[test]
+    fn pair_mode_drops_delta_zero_lockstep_claims() {
+        // A twin pair runs *different* binaries on the two cores, so the
+        // stagger-0 lockstep-collision argument does not apply and must not
+        // be inherited by pair-mode analysis.
+        let cfg = AnalysisConfig { pair_mode: true, ..AnalysisConfig::default() };
+        let (_, r) = proved(countdown, &cfg);
+        assert_eq!(r.count(Verdict::ProvedCollision), 0, "{}", r.summary_line("countdown"));
+        assert_eq!(r.certificates[0].verdict, Verdict::Unknown);
+        // The loop's own min-safe-stagger certificate is a property of the
+        // code and stays.
+        assert_eq!(r.certificates[0].min_safe_stagger, Some(2));
+
+        let idle = |a: &mut Asm| {
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.nop();
+            a.j(l);
+        };
+        // Invariant-traffic re-alignment (stagger 4 ≡ 0 mod 2) is equally a
+        // same-stream argument; gated too.
+        let cfg =
+            AnalysisConfig { stagger_nops: Some(4), pair_mode: true, ..AnalysisConfig::default() };
+        let (_, r) = proved(idle, &cfg);
+        assert_eq!(r.certificates[0].verdict, Verdict::Unknown, "{:#?}", r.certificates);
+        assert!(!r.diagnostics.iter().any(|d| d.code == LintCode::Div005), "{:#?}", r.diagnostics);
     }
 
     #[test]

@@ -1,0 +1,712 @@
+//! Two-program relational prover for diversity-transformed twin pairs.
+//!
+//! The single-program prover ([`super::prove`]) certifies diversity *in
+//! time*: identical binaries, staggered. This module certifies diversity
+//! *in structure*: an original kernel and its seed-transformed twin
+//! ([`safedm_asm::transform`]) composed into one image, each copy executed
+//! by one hart, at stagger **0**.
+//!
+//! It consumes the [`PairMap`] the transform produced — the renamed-register
+//! bijection plus the original-PC ↔ variant-PC correspondence with each
+//! point's match discipline — and refuses to take any of it on faith:
+//!
+//! 1. **correspondence verification** — every mapped point is re-checked
+//!    against its [`MatchKind`] (exact renamed encoding, relinked control
+//!    flow with free displacement, re-materialised address with free
+//!    immediates); the map must tile the original copy exactly and leave
+//!    precisely the declared overhead uncovered in the variant. Any
+//!    violation is a semantic-inequivalence witness → `DIV010` (error) and
+//!    no certificate is issued;
+//! 2. **loop matching** — each natural loop of the original copy is matched
+//!    through the verified map onto a loop of the variant copy with the
+//!    same single-path body (as a set; schedule jitter may reorder it);
+//! 3. **diversity certification** — two side conditions, both discharged
+//!    from the *verified* map alone:
+//!
+//!    * *encoding disjointness*: if no raw instruction word of the
+//!      original body also appears in the variant body, the instruction
+//!      signatures (which sample raw words per pipeline slot) can never
+//!      be equal on any cycle where at least one slot of either pipeline
+//!      holds a live instruction, at *any* alignment;
+//!    * *prologue skew*: encoding disjointness says nothing about the
+//!      all-empty capture. A rename keeps the cycle-by-cycle schedule of
+//!      the twin identical, so correlated stalls drain **both** pipelines
+//!      in the same cycle; two all-invalid captures compare equal, and
+//!      the hold-gated data FIFOs freeze carrying port samples from the
+//!      same program point — whose values renaming preserves — so
+//!      `no_diversity = ds_match && is_match` fires inside the bodies
+//!      (observed dynamically on every rename-only twin). The map must
+//!      therefore witness at least `fifo_depth` overhead instructions
+//!      retired *before* the variant body (the transform's nop sled and
+//!      frame padding), which offsets the drain windows and keeps any
+//!      residual frozen windows sampling distinct program points.
+//!
+//!    Both held → [`Verdict::ProvedDiverse`] at stagger 0, no staggering
+//!    required. Residues (shared encodings, missing skew, unmapped or
+//!    multi-path bodies) fall to [`Verdict::Unknown`] → `DIV009` (warning);
+//! 4. **relational state** — one [`AbsInt`] fixpoint over the composed
+//!    image (the hart-id dispatch makes both copies reachable) yields, per
+//!    matched loop-header pair, the set of registers whose original value
+//!    and renamed-variant value are both abstract constants: the twin-delta
+//!    component reported as `twin-regs` in each certificate.
+//!
+//! The universal claim in step 3 is machine-checked against the dynamic
+//! monitor by the `transform_diversity` campaign binary, the same way the
+//! staggered certificates are checked by `prove_soundness`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use safedm_asm::{MatchKind, PairMap, PcPair};
+use safedm_isa::{encode, Inst, Reg};
+
+use super::{AbsInt, Verdict};
+use crate::cfg::{Cfg, DecodedProgram};
+use crate::diag::{Diagnostic, LintCode, PcSpan, Severity};
+use crate::AnalysisConfig;
+
+/// Per-matched-loop result of the pair prover.
+#[derive(Debug, Clone)]
+pub struct PairCertificate {
+    /// Header PC of the loop in the original copy.
+    pub orig_header: u64,
+    /// Header PC of the matched loop in the variant copy (0 if unmatched).
+    pub var_header: u64,
+    /// Body span of the original loop.
+    pub orig_span: PcSpan,
+    /// Body span of the matched variant loop.
+    pub var_span: PcSpan,
+    /// Committed instructions per iteration, for single-path bodies.
+    pub body_len: Option<u64>,
+    /// Registers whose original value and renamed-variant value are both
+    /// abstract constants at the two loop headers — the relational
+    /// twin-delta component of the product domain.
+    pub twin_regs: usize,
+    /// Verified overhead instructions retired before the variant body —
+    /// the temporal offset that de-correlates the two cores' pipeline
+    /// drain windows (see module docs, certification step 3).
+    pub prologue_skew: usize,
+    /// The verdict for this pair at stagger 0.
+    pub verdict: Verdict,
+    /// Why the pair is not certified, when `verdict` is not diverse.
+    pub witness: Option<String>,
+}
+
+impl PairCertificate {
+    /// One-line rendering used by reports and golden summaries.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "pair-loop {:#x}<->{:#x} [{}] twin-regs={} skew={} verdict={}",
+            self.orig_header,
+            self.var_header,
+            self.body_len.map_or("irregular".to_owned(), |n| format!("{n} insts/iter")),
+            self.twin_regs,
+            self.prologue_skew,
+            self.verdict
+        );
+        if let Some(w) = &self.witness {
+            line.push_str(&format!(" witness: {w}"));
+        }
+        line
+    }
+}
+
+/// Everything the relational prover learned about one twin pair.
+#[derive(Debug, Clone)]
+pub struct PairReport {
+    /// Per-original-loop certificates, in `Cfg::loops` order.
+    pub certificates: Vec<PairCertificate>,
+    /// DIV009/DIV010 findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Correspondence points in the map.
+    pub points_mapped: usize,
+    /// Points that passed their match-discipline check.
+    pub points_verified: usize,
+    /// Whether the whole map verified (tiling, overhead, every point).
+    pub map_ok: bool,
+}
+
+impl PairReport {
+    /// Count of loop pairs with the given verdict.
+    #[must_use]
+    pub fn count(&self, v: Verdict) -> usize {
+        self.certificates.iter().filter(|c| c.verdict == v).count()
+    }
+
+    /// `(original, variant)` body spans of the proved-diverse loop pairs —
+    /// the regions the dynamic cross-check watches for (forbidden)
+    /// no-diversity cycles.
+    #[must_use]
+    pub fn diverse_spans(&self) -> Vec<(PcSpan, PcSpan)> {
+        self.certificates
+            .iter()
+            .filter(|c| c.verdict == Verdict::ProvedDiverse)
+            .map(|c| (c.orig_span, c.var_span))
+            .collect()
+    }
+
+    /// The one-line machine-comparable summary used by the golden test.
+    #[must_use]
+    pub fn summary_line(&self, name: &str) -> String {
+        let mut certs: Vec<String> = self.certificates.iter().map(|c| c.summary()).collect();
+        certs.sort();
+        format!(
+            "{name} pair map={} points={}/{} diverse={} unknown={} | {}",
+            if self.map_ok { "ok" } else { "violated" },
+            self.points_verified,
+            self.points_mapped,
+            self.count(Verdict::ProvedDiverse),
+            self.count(Verdict::Unknown),
+            if certs.is_empty() { "no loops".to_owned() } else { certs.join("; ") }
+        )
+    }
+
+    /// Renders the certificates and diagnostics, rustc style.
+    #[must_use]
+    pub fn render(&self, prog: &DecodedProgram, snippet_lines: usize) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(prog, snippet_lines));
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "pair certificates (stagger 0, correspondence {}):",
+            if self.map_ok { "verified" } else { "VIOLATED" }
+        );
+        if self.certificates.is_empty() {
+            let _ = writeln!(out, "  (no natural loops in the original copy)");
+        }
+        for c in &self.certificates {
+            let _ = writeln!(out, "  {}", c.summary());
+        }
+        let _ = writeln!(
+            out,
+            "pair prove: {}/{} points verified, {} loop pairs proved-diverse, {} unknown",
+            self.points_verified,
+            self.points_mapped,
+            self.count(Verdict::ProvedDiverse),
+            self.count(Verdict::Unknown),
+        );
+        out
+    }
+}
+
+/// One slot of a mapped point, for the per-slot lookup table.
+fn expand_slots(p: &PcPair) -> impl Iterator<Item = (u64, u64)> + '_ {
+    (0..u64::from(p.slots)).map(move |k| (p.orig + 4 * k, p.var + 4 * k))
+}
+
+/// Checks one correspondence point against its match discipline. Returns a
+/// violation witness, or `None` when the point verifies.
+fn check_point(prog: &DecodedProgram, map: &PairMap, p: &PcPair) -> Option<String> {
+    // Every covered slot of both copies must exist in the decoded image.
+    for (opc, vpc) in expand_slots(p) {
+        if prog.index_of(opc).is_none() || prog.index_of(vpc).is_none() {
+            return Some(format!("mapped point {opc:#x}<->{vpc:#x} outside the text section"));
+        }
+    }
+    let slot = |pc: u64| prog.slots[prog.index_of(pc).unwrap()];
+    let pi = |r: Reg| map.renamed(r);
+    match p.kind {
+        MatchKind::Exact => {
+            let o = slot(p.orig);
+            let v = slot(p.var);
+            let expect = match o.inst {
+                Some(i) => encode(&i.map_regs(pi)).unwrap_or(o.raw),
+                None => o.raw,
+            };
+            (v.raw != expect).then(|| {
+                format!(
+                    "exact point {:#x}<->{:#x}: expected renamed encoding {expect:#010x}, \
+                     variant holds {:#010x}",
+                    p.orig, p.var, v.raw
+                )
+            })
+        }
+        MatchKind::ControlFlow => {
+            let (o, v) = (slot(p.orig).inst, slot(p.var).inst);
+            let ok = match (o, v) {
+                (Some(Inst::Jal { rd: or, .. }), Some(Inst::Jal { rd: vr, .. })) => pi(or) == vr,
+                (
+                    Some(Inst::Branch { kind: ok, rs1: o1, rs2: o2, .. }),
+                    Some(Inst::Branch { kind: vk, rs1: v1, rs2: v2, .. }),
+                ) => ok == vk && pi(o1) == v1 && pi(o2) == v2,
+                (
+                    Some(Inst::Jalr { rd: or, rs1: o1, offset: oo }),
+                    Some(Inst::Jalr { rd: vr, rs1: v1, offset: vo }),
+                ) => pi(or) == vr && pi(o1) == v1 && oo == vo,
+                _ => false,
+            };
+            (!ok).then(|| {
+                format!(
+                    "control-flow point {:#x}<->{:#x}: operation or renamed operands differ",
+                    p.orig, p.var
+                )
+            })
+        }
+        MatchKind::AddrMat => {
+            // `la` re-materialisation: auipc rd + addi rd, rd on both
+            // sides, destination chain renamed, immediates free (the copies
+            // sit at different addresses).
+            let shape = |base: u64, want: Reg| -> bool {
+                match (slot(base).inst, slot(base + 4).inst) {
+                    (Some(Inst::Auipc { rd: a, .. }), Some(Inst::OpImm { rd: b, rs1: c, .. })) => {
+                        a == want && b == want && c == want
+                    }
+                    _ => false,
+                }
+            };
+            let orig_rd = match slot(p.orig).inst {
+                Some(Inst::Auipc { rd, .. }) => rd,
+                _ => {
+                    return Some(format!(
+                        "addr-mat point {:#x}<->{:#x}: original is not an auipc pair",
+                        p.orig, p.var
+                    ))
+                }
+            };
+            (!(shape(p.orig, orig_rd) && shape(p.var, pi(orig_rd)))).then(|| {
+                format!(
+                    "addr-mat point {:#x}<->{:#x}: re-materialisation shape or renamed \
+                     destination differs",
+                    p.orig, p.var
+                )
+            })
+        }
+    }
+}
+
+/// Verifies the map's global shape: the points must tile the original copy
+/// exactly (sorted, gap-free, span-bounded), and the variant slots left
+/// uncovered must number exactly the declared overhead and all decode to
+/// plain (non-control-flow) instructions.
+fn check_tiling(prog: &DecodedProgram, map: &PairMap) -> Option<String> {
+    let mut cursor = map.orig_span.0;
+    for p in &map.pairs {
+        if p.orig != cursor {
+            return Some(format!(
+                "original copy not tiled: gap or overlap at {cursor:#x} (next point {:#x})",
+                p.orig
+            ));
+        }
+        cursor += 4 * u64::from(p.slots);
+    }
+    if cursor != map.orig_span.1 {
+        return Some(format!(
+            "original copy not fully covered: map ends at {cursor:#x}, span ends at {:#x}",
+            map.orig_span.1
+        ));
+    }
+    let covered: BTreeSet<u64> = map.pairs.iter().flat_map(expand_slots).map(|(_, v)| v).collect();
+    let mut overhead = 0u64;
+    let mut vpc = map.var_span.0;
+    while vpc < map.var_span.1 {
+        if !covered.contains(&vpc) {
+            overhead += 1;
+            let plain = prog
+                .index_of(vpc)
+                .and_then(|i| prog.slots[i].inst)
+                .is_some_and(|i| !i.is_control_flow() && !matches!(i, Inst::Ebreak | Inst::Ecall));
+            if !plain {
+                return Some(format!(
+                    "uncovered variant slot {vpc:#x} is not a plain overhead instruction"
+                ));
+            }
+        }
+        vpc += 4;
+    }
+    (overhead != map.overhead_insts).then(|| {
+        format!(
+            "variant has {overhead} uncovered slots, map declares overhead of {}",
+            map.overhead_insts
+        )
+    })
+}
+
+/// Runs the two-program relational prover over a composed twin image.
+///
+/// `prog`/`cfg` decode the *composed* program ([`build_twin_program`-style]:
+/// hart-id dispatch stub + original copy + variant copy in one text
+/// section); `map` is the transform-produced correspondence. Certification
+/// is for stagger 0 — no staggering assumption is used anywhere.
+#[must_use]
+pub fn prove_pair(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    map: &PairMap,
+    config: &AnalysisConfig,
+) -> PairReport {
+    let mut diagnostics = Vec::new();
+
+    // --- 1. correspondence verification ------------------------------------
+    let mut points_verified = 0usize;
+    let mut map_ok = true;
+    for p in &map.pairs {
+        match check_point(prog, map, p) {
+            None => points_verified += 1,
+            Some(witness) => {
+                map_ok = false;
+                diagnostics.push(Diagnostic {
+                    code: LintCode::Div010,
+                    severity: Severity::Error,
+                    span: PcSpan { start: p.orig, end: p.orig + 4 * u64::from(p.slots) },
+                    message: format!("correspondence-map violation ({} point)", p.kind),
+                    notes: vec![format!("note: {witness}")],
+                    period: None,
+                    min_safe_stagger: None,
+                });
+            }
+        }
+    }
+    if let Some(witness) = check_tiling(prog, map) {
+        map_ok = false;
+        diagnostics.push(Diagnostic {
+            code: LintCode::Div010,
+            severity: Severity::Error,
+            span: PcSpan { start: map.orig_span.0, end: map.orig_span.1 },
+            message: "correspondence map does not tile the twin pair".to_owned(),
+            notes: vec![format!("note: {witness}")],
+            period: None,
+            min_safe_stagger: None,
+        });
+    }
+
+    // Per-slot original-PC → variant-PC lookup (only meaningful once the
+    // map verified; used below for loop matching either way, with failures
+    // degrading to Unknown).
+    let slot_map: BTreeMap<u64, u64> = map.pairs.iter().flat_map(expand_slots).collect();
+
+    // Variant slots the map leaves uncovered — the verified overhead
+    // instructions. The ones lying before a matched body are the prologue
+    // skew that certification step 3 requires.
+    let covered: BTreeSet<u64> = map.pairs.iter().flat_map(expand_slots).map(|(_, v)| v).collect();
+    let uncovered: Vec<u64> =
+        (map.var_span.0..map.var_span.1).step_by(4).filter(|pc| !covered.contains(pc)).collect();
+
+    // --- 4. relational state (one fixpoint over the composed image) --------
+    let absint = AbsInt::compute(prog, cfg);
+    let twin_regs_at = |o_header_slot: usize, v_header_slot: usize| -> usize {
+        let (Some(ob), Some(vb)) =
+            (cfg.block_of_slot(o_header_slot), cfg.block_of_slot(v_header_slot))
+        else {
+            return 0;
+        };
+        let (Some(os), Some(vs)) = (&absint.block_in[ob], &absint.block_in[vb]) else { return 0 };
+        (1..32u8)
+            .filter(|&i| {
+                let r = Reg::new(i);
+                os.get(r).as_const().is_some() && vs.get(map.renamed(r)).as_const().is_some()
+            })
+            .count()
+    };
+
+    // Variant loops, by their single-path body slot sets.
+    let var_loops: Vec<(usize, Vec<usize>)> = cfg
+        .loops
+        .iter()
+        .enumerate()
+        .filter(|(_, lp)| {
+            let pc = prog.slots[cfg.blocks[lp.header].start].pc;
+            map.var_span.0 <= pc && pc < map.var_span.1
+        })
+        .filter_map(|(i, lp)| super::body_sequence(cfg, lp).map(|seq| (i, seq)))
+        .collect();
+
+    // --- 2+3. loop matching and encoding-disjointness -----------------------
+    let mut certificates = Vec::new();
+    for lp in &cfg.loops {
+        let header_pc = prog.slots[cfg.blocks[lp.header].start].pc;
+        if !(map.orig_span.0 <= header_pc && header_pc < map.orig_span.1) {
+            continue;
+        }
+        let span_of = |slots: &[usize]| {
+            let lo = slots.iter().map(|&i| prog.slots[i].pc).min().unwrap_or(header_pc);
+            let hi = slots.iter().map(|&i| prog.slots[i].pc).max().unwrap_or(header_pc);
+            PcSpan { start: lo, end: hi + 4 }
+        };
+        let mut cert = PairCertificate {
+            orig_header: header_pc,
+            var_header: 0,
+            orig_span: span_of(&Vec::from_iter(
+                lp.blocks.iter().flat_map(|&b| cfg.blocks[b].start..cfg.blocks[b].end),
+            )),
+            var_span: PcSpan { start: 0, end: 0 },
+            body_len: None,
+            twin_regs: 0,
+            prologue_skew: 0,
+            verdict: Verdict::Unknown,
+            witness: None,
+        };
+
+        'certify: {
+            if !map_ok {
+                cert.witness = Some("correspondence map violated (DIV010)".to_owned());
+                break 'certify;
+            }
+            let Some(seq_o) = super::body_sequence(cfg, lp) else {
+                cert.witness = Some("multi-path loop body".to_owned());
+                break 'certify;
+            };
+            cert.body_len = Some(seq_o.len() as u64);
+            cert.orig_span = span_of(&seq_o);
+
+            // Map the body through the verified correspondence.
+            let mut mapped = BTreeSet::new();
+            for &i in &seq_o {
+                let opc = prog.slots[i].pc;
+                // Second slot of an addr-mat point maps via its pair start.
+                match slot_map.get(&opc) {
+                    Some(&vpc) => {
+                        mapped.insert(vpc);
+                    }
+                    None => {
+                        cert.witness = Some(format!("body point {opc:#x} unmapped"));
+                        break 'certify;
+                    }
+                }
+            }
+
+            // Find the variant loop whose single-path body is exactly the
+            // mapped set (jitter may have reordered it).
+            let matched = var_loops.iter().find(|(_, seq_v)| {
+                seq_v.len() == mapped.len()
+                    && seq_v.iter().all(|&i| mapped.contains(&prog.slots[i].pc))
+            });
+            let Some((vi, seq_v)) = matched else {
+                cert.witness = Some("no variant loop with the same single-path body".to_owned());
+                break 'certify;
+            };
+            let vlp = &cfg.loops[*vi];
+            cert.var_header = prog.slots[cfg.blocks[vlp.header].start].pc;
+            cert.var_span = span_of(seq_v);
+            cert.twin_regs =
+                twin_regs_at(cfg.blocks[lp.header].start, cfg.blocks[vlp.header].start);
+
+            // Encoding-disjointness: the instruction signature samples raw
+            // words per pipeline slot; if no original-body word also occurs
+            // in the variant body, `is_match` is false at every alignment
+            // on any cycle where either pipeline holds a live instruction
+            // while both warmed-up cores sit inside their bodies.
+            let var_words: BTreeSet<u32> = seq_v.iter().map(|&i| prog.slots[i].raw).collect();
+            if let Some(&i) = seq_o.iter().find(|&&i| var_words.contains(&prog.slots[i].raw)) {
+                cert.witness = Some(format!(
+                    "shared encoding {:#010x} at {:#x} survives in the variant body",
+                    prog.slots[i].raw, prog.slots[i].pc
+                ));
+                break 'certify;
+            }
+
+            // Prologue skew: close the all-empty-capture residue. Without a
+            // temporal offset, the schedule-identical twin drains both
+            // pipelines on the same cycle under correlated stalls, and two
+            // all-invalid instruction captures match while the frozen data
+            // FIFOs hold rename-invariant values from the same program
+            // point. Overhead instructions retired before the variant body
+            // offset the drain windows; `fifo_depth` of them keep even the
+            // frozen data windows sampling distinct program points.
+            cert.prologue_skew = uncovered.iter().filter(|&&pc| pc < cert.var_span.start).count();
+            if cert.prologue_skew < config.fifo_depth {
+                cert.witness = Some(format!(
+                    "prologue skew {} < data-FIFO depth {}: simultaneous pipeline drains \
+                     match empty instruction signatures",
+                    cert.prologue_skew, config.fifo_depth
+                ));
+                break 'certify;
+            }
+            cert.verdict = Verdict::ProvedDiverse;
+        }
+
+        if cert.verdict != Verdict::ProvedDiverse {
+            diagnostics.push(Diagnostic {
+                code: LintCode::Div009,
+                severity: Severity::Warning,
+                span: cert.orig_span,
+                message: format!(
+                    "diversity transform left an unproved residue for the loop at {:#x}",
+                    cert.orig_header
+                ),
+                notes: vec![format!("note: {}", cert.witness.as_deref().unwrap_or("no witness"))],
+                period: None,
+                min_safe_stagger: None,
+            });
+        }
+        certificates.push(cert);
+    }
+
+    PairReport {
+        certificates,
+        diagnostics,
+        points_mapped: map.pairs.len(),
+        points_verified,
+        map_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_asm::{pair_map, transform, Asm, TransformConfig};
+
+    /// A toy kernel shaped like the TACLe harness bodies: every loop-body
+    /// instruction names at least one allocatable register. `sled` prepends
+    /// that many prologue nops, the way the twin harness inserts its
+    /// overhead extras before the body.
+    fn toy(sled: usize) -> Asm {
+        let mut a = Asm::new();
+        let tab = a.d_dwords("tab", &[3, 1, 4, 1, 5]);
+        a.nops(sled);
+        a.li(Reg::T0, 5);
+        a.la(Reg::T1, tab);
+        a.li(Reg::A0, 0);
+        let top = a.here("top");
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.addi(Reg::T1, Reg::T1, 8);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.add(Reg::A0, Reg::A0, Reg::T2);
+        a.bnez(Reg::T0, top);
+        a.ebreak();
+        a
+    }
+
+    /// Links the toy and its transform (the variant carrying `sled`
+    /// prologue nops as declared overhead) as two copies of one image
+    /// behind an `mhartid` dispatch stub (the stub makes both copies — and
+    /// hence both loops — reachable from the entry) and builds the
+    /// correspondence map.
+    fn twin(cfg: &TransformConfig, sled: usize) -> (DecodedProgram, Cfg, PairMap) {
+        let a = toy(0);
+        let (t, rep) = transform(&toy(sled), cfg);
+        let base = 0x8000_0000u64;
+        let b1 = base + 64;
+        let o = a.link_with_data_base(b1, 0x8100_0000).unwrap();
+        let b2 = (b1 + o.text.len() as u64).next_multiple_of(64);
+        let v = t.link_with_data_base(b2, 0x8100_0000).unwrap();
+        let assoc: Vec<(usize, usize)> =
+            (0..a.item_count()).map(|oi| (oi, rep.new_index_of(oi + sled).unwrap())).collect();
+        let map = pair_map(&a, &t, &assoc, b1, b2, rep.rename, sled as u64);
+        // Compose one image: stub + original + variant.
+        let stub = [
+            Inst::Csr {
+                kind: safedm_isa::CsrKind::Rs,
+                rd: Reg::T0,
+                rs1: Reg::ZERO,
+                csr: safedm_isa::csr::addr::MHARTID,
+            },
+            Inst::Branch {
+                kind: safedm_isa::BranchKind::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                offset: 8,
+            },
+            Inst::Jal { rd: Reg::ZERO, offset: (b1 - (base + 8)) as i64 },
+            Inst::Jal { rd: Reg::ZERO, offset: (b2 - (base + 12)) as i64 },
+        ];
+        let mut text = vec![0u8; ((b2 - base) as usize) + v.text.len()];
+        for (i, inst) in stub.iter().enumerate() {
+            text[i * 4..i * 4 + 4].copy_from_slice(&encode(inst).unwrap().to_le_bytes());
+        }
+        let o_off = (b1 - base) as usize;
+        text[o_off..o_off + o.text.len()].copy_from_slice(&o.text);
+        text[(b2 - base) as usize..].copy_from_slice(&v.text);
+        let mut composed = o.clone();
+        composed.entry = base;
+        composed.text_base = base;
+        composed.text = text;
+        let prog = DecodedProgram::from_program(&composed);
+        let cfg = Cfg::build(&prog);
+        (prog, cfg, map)
+    }
+
+    #[test]
+    fn renamed_twin_with_skew_is_proved_diverse_at_stagger_zero() {
+        let (prog, cfg, map) = twin(&TransformConfig::level(7, 2), 8);
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        assert!(r.map_ok, "{:#?}", r.diagnostics);
+        assert_eq!(r.points_verified, r.points_mapped);
+        assert_eq!(r.count(Verdict::ProvedDiverse), 1, "{}", r.summary_line("toy"));
+        assert!(r.diagnostics.is_empty(), "{:#?}", r.diagnostics);
+        let c = &r.certificates[0];
+        assert_eq!(c.body_len, Some(5));
+        assert_eq!(c.prologue_skew, 8);
+        assert!(c.var_header >= map.var_span.0);
+        assert!(!r.diverse_spans().is_empty());
+    }
+
+    #[test]
+    fn identity_twin_is_a_residue_not_a_violation() {
+        // Level 0 keeps every encoding: the map verifies (identity renaming
+        // is a faithful correspondence) but no loop is encoding-disjoint.
+        let (prog, cfg, map) = twin(&TransformConfig::level(7, 0), 0);
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        assert!(r.map_ok, "{:#?}", r.diagnostics);
+        assert_eq!(r.count(Verdict::ProvedDiverse), 0);
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::Div009), "{:#?}", r.diagnostics);
+        let c = &r.certificates[0];
+        assert!(c.witness.as_deref().unwrap_or("").contains("shared encoding"), "{c:?}");
+    }
+
+    #[test]
+    fn schedule_aligned_twin_is_a_residue_despite_disjoint_encodings() {
+        // Renamed + jittered but no prologue skew: every encoding differs,
+        // yet the cycle-aligned twin drains both pipelines simultaneously
+        // under correlated stalls, so the all-empty instruction captures
+        // match. The prover must refuse the certificate.
+        let (prog, cfg, map) = twin(&TransformConfig::level(7, 2), 0);
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        assert!(r.map_ok, "{:#?}", r.diagnostics);
+        assert_eq!(r.count(Verdict::ProvedDiverse), 0, "{}", r.summary_line("toy"));
+        let c = &r.certificates[0];
+        assert!(c.witness.as_deref().unwrap_or("").contains("prologue skew"), "{c:?}");
+        assert!(r.diverse_spans().is_empty());
+    }
+
+    #[test]
+    fn tampered_variant_trips_div010_and_blocks_certification() {
+        let (mut prog, _, map) = twin(&TransformConfig::level(7, 2), 8);
+        // Flip one mapped variant instruction to a different (decodable)
+        // one: addi x5, x5, 1.
+        let target = map.pairs.iter().find(|p| p.kind == MatchKind::Exact).unwrap().var;
+        let idx = prog.index_of(target).unwrap();
+        let word = encode(&Inst::OpImm {
+            kind: safedm_isa::AluKind::Add,
+            rd: Reg::T6,
+            rs1: Reg::T6,
+            imm: 1365,
+        })
+        .unwrap();
+        prog.slots[idx].raw = word;
+        prog.slots[idx].inst = safedm_isa::decode(word).ok();
+        let cfg = Cfg::build(&prog);
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        assert!(!r.map_ok);
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::Div010), "{:#?}", r.diagnostics);
+        assert_eq!(r.count(Verdict::ProvedDiverse), 0, "violated map must not certify");
+        let text = r.render(&prog, 4);
+        assert!(text.contains("DIV010"), "{text}");
+    }
+
+    #[test]
+    fn wrong_overhead_declaration_is_a_tiling_violation() {
+        let (prog, cfg, mut map) = twin(&TransformConfig::level(7, 2), 8);
+        map.overhead_insts = 3;
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        assert!(!r.map_ok);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::Div010 && d.message.contains("tile")));
+    }
+
+    #[test]
+    fn summary_line_is_stable() {
+        let (prog, cfg, map) = twin(&TransformConfig::level(7, 2), 8);
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        let line = r.summary_line("toy");
+        assert!(line.contains("pair map=ok"), "{line}");
+        assert!(line.contains("diverse=1"), "{line}");
+        assert!(line.contains("pair-loop"), "{line}");
+    }
+}

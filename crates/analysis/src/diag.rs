@@ -39,11 +39,20 @@ pub enum LintCode {
     /// Diversity of a loop is not provable at the configured stagger — the
     /// prover's explicit `Unknown`, with the refuting witness attached.
     Div008,
+    /// The diversity transform left a residue the two-program relational
+    /// prover could not certify: a loop-body pair that shares at least one
+    /// instruction encoding (or an unmapped / multi-path body), so
+    /// encoding-disjointness does not hold at stagger 0.
+    Div009,
+    /// Correspondence-map violation: the variant is not a faithful renaming
+    /// of the original at some mapped point — a semantic-inequivalence
+    /// witness for the twin pair.
+    Div010,
 }
 
 impl LintCode {
     /// All lint codes, in numeric order.
-    pub const ALL: [LintCode; 8] = [
+    pub const ALL: [LintCode; 10] = [
         LintCode::Div001,
         LintCode::Div002,
         LintCode::Div003,
@@ -52,6 +61,8 @@ impl LintCode {
         LintCode::Div006,
         LintCode::Div007,
         LintCode::Div008,
+        LintCode::Div009,
+        LintCode::Div010,
     ];
 
     /// Short human description of what the lint detects.
@@ -68,6 +79,8 @@ impl LintCode {
             LintCode::Div006 => "proved instruction-signature collision window",
             LintCode::Div007 => "configured stagger violates a minimum-safe-stagger certificate",
             LintCode::Div008 => "diversity unprovable at the configured stagger",
+            LintCode::Div009 => "transform residue: twin loop pair not provably diverse",
+            LintCode::Div010 => "correspondence-map violation: twin is not a faithful renaming",
         }
     }
 }
@@ -83,6 +96,8 @@ impl fmt::Display for LintCode {
             LintCode::Div006 => "DIV006",
             LintCode::Div007 => "DIV007",
             LintCode::Div008 => "DIV008",
+            LintCode::Div009 => "DIV009",
+            LintCode::Div010 => "DIV010",
         };
         f.write_str(s)
     }

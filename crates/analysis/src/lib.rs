@@ -21,12 +21,17 @@
 //! | `DIV006` | warning | prover: instruction-signature collision window proved (opcode streams re-align) |
 //! | `DIV007` | error | prover: configured stagger violates a loop's minimum-safe-stagger certificate |
 //! | `DIV008` | warning | prover: diversity unprovable for a loop, with a refuting witness |
+//! | `DIV009` | warning | pair prover: the diversity transform left a residue (shared encoding / unmapped body) that is not provably diverse at stagger 0 |
+//! | `DIV010` | error | pair prover: correspondence-map violation — the twin is not a faithful renaming of the original |
 //!
 //! DIV001–DIV004 come from the syntactic lint pass ([`lints`]); DIV005–DIV008
 //! come from the abstract-interpretation prover ([`absint::prove`]), which
 //! runs a worklist fixpoint over interval, congruence and relational
 //! stagger-offset domains and emits a per-loop minimum-safe-stagger
-//! certificate.
+//! certificate. DIV009/DIV010 come from the two-program relational prover
+//! ([`absint::prove_pair`]), which verifies a transform-produced
+//! correspondence map between a program and its diversity-transformed twin
+//! and certifies encoding-disjoint loop-body pairs diverse at stagger 0.
 //!
 //! The pipeline: [`cfg::DecodedProgram`] decodes the text section,
 //! [`cfg::Cfg`] builds basic blocks / dominators / natural loops, the
@@ -58,7 +63,10 @@ pub mod dataflow;
 pub mod diag;
 pub mod lints;
 
-pub use absint::{prove, Abs, AbsInt, AbsState, LoopCertificate, ProveReport, Verdict};
+pub use absint::{
+    prove, prove_pair, Abs, AbsInt, AbsState, LoopCertificate, PairCertificate, PairReport,
+    ProveReport, Verdict,
+};
 pub use cfg::{BasicBlock, Cfg, DecodedProgram, NaturalLoop, Slot, Terminator};
 pub use dataflow::{ConstProp, ConstVal, Liveness, LoopTraffic, ReachingDefs, Taint};
 pub use diag::{Diagnostic, LintCode, PcSpan, Severity};
@@ -87,6 +95,14 @@ pub struct AnalysisConfig {
     pub stagger_phase: i64,
     /// Maximum disassembly lines per rendered snippet.
     pub snippet_lines: usize,
+    /// The program under analysis is a composed *twin pair* (original +
+    /// diversity-transformed variant sharing one image, dispatched by hart
+    /// id). The cores then execute **different** instruction streams, so
+    /// every single-program staggered-pair assumption is off: the DIV004
+    /// residue cross-check and the delta-zero lockstep collision claims are
+    /// suppressed, and certification is the pair prover's
+    /// ([`absint::prove_pair`]) job.
+    pub pair_mode: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -97,6 +113,7 @@ impl Default for AnalysisConfig {
             stagger_nops: None,
             stagger_phase: 0,
             snippet_lines: 6,
+            pair_mode: false,
         }
     }
 }

@@ -206,6 +206,13 @@ fn lint_sleds(
 /// DIV004: check the configured staggering against the hazards found by
 /// DIV001/DIV002.
 fn lint_stagger(config: &AnalysisConfig, diags: &mut Vec<Diagnostic>) {
+    // A twin pair runs *different* binaries on the two cores; the DIV004
+    // residue argument (periodic traffic of one shared stream re-aligning
+    // under a stagger) does not apply, so a pair at stagger 0 must not trip
+    // it. Certification there is the pair prover's job.
+    if config.pair_mode {
+        return;
+    }
     let Some(stagger) = config.stagger_nops else { return };
     // What the periodic-traffic argument actually depends on is the
     // *effective* inter-core committed-instruction delta, which differs from
@@ -382,6 +389,29 @@ mod tests {
             a.j(l);
         });
         assert!(!codes(&d).contains(&LintCode::Div004), "{d:?}");
+    }
+
+    #[test]
+    fn pair_mode_suppresses_div004_residue_path() {
+        // A twin pair at stagger 0 (or any stagger) runs different binaries;
+        // the DIV004 residue argument presupposes one shared stream and must
+        // not fire in pair mode. DIV001 itself (a per-copy code-shape fact)
+        // still does.
+        for nops in [0u64, 4] {
+            let cfg = AnalysisConfig {
+                stagger_nops: Some(nops),
+                pair_mode: true,
+                ..AnalysisConfig::default()
+            };
+            let d = lints(&cfg, |a| {
+                let l = a.new_label("l");
+                a.bind(l).unwrap();
+                a.nop();
+                a.j(l);
+            });
+            assert!(!codes(&d).contains(&LintCode::Div004), "nops={nops}: {d:?}");
+            assert!(codes(&d).contains(&LintCode::Div001), "nops={nops}: {d:?}");
+        }
     }
 
     #[test]

@@ -11,22 +11,22 @@ use crate::{AsmError, Program};
 /// Created with [`Asm::new_label`], bound with [`Asm::bind`] (in text) or by
 /// the data-emitting methods (in data).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Label(usize);
+pub struct Label(pub(crate) usize);
 
 #[derive(Debug, Clone)]
-enum LabelPos {
+pub(crate) enum LabelPos {
     Text(u64),
     Data(u64),
 }
 
 #[derive(Debug, Clone)]
-struct LabelInfo {
-    name: String,
-    pos: Option<LabelPos>,
+pub(crate) struct LabelInfo {
+    pub(crate) name: String,
+    pub(crate) pos: Option<LabelPos>,
 }
 
 #[derive(Debug, Clone)]
-enum Item {
+pub(crate) enum Item {
     Fixed(Inst),
     Raw(u32),
     Branch { kind: BranchKind, rs1: Reg, rs2: Reg, target: Label },
@@ -35,7 +35,7 @@ enum Item {
 }
 
 impl Item {
-    fn size(&self) -> u64 {
+    pub(crate) fn size(&self) -> u64 {
         match self {
             Item::La { .. } => 8,
             _ => 4,
@@ -70,10 +70,10 @@ impl Item {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Asm {
-    items: Vec<Item>,
-    text_off: u64,
-    labels: Vec<LabelInfo>,
-    data: Vec<u8>,
+    pub(crate) items: Vec<Item>,
+    pub(crate) text_off: u64,
+    pub(crate) labels: Vec<LabelInfo>,
+    pub(crate) data: Vec<u8>,
     data_align: u64,
 }
 
@@ -123,6 +123,14 @@ impl Asm {
     #[must_use]
     pub fn text_offset(&self) -> u64 {
         self.text_off
+    }
+
+    /// Number of items (instructions and raw words; an `la` pseudo counts
+    /// as one item of two words) appended so far. The diversity transform's
+    /// item permutation indexes into this sequence.
+    #[must_use]
+    pub fn item_count(&self) -> usize {
+        self.items.len()
     }
 
     fn push(&mut self, item: Item) -> &mut Asm {

@@ -37,8 +37,13 @@ mod builder;
 mod error;
 mod program;
 mod text;
+pub mod transform;
 
 pub use builder::{Asm, Label};
 pub use error::AsmError;
 pub use program::Program;
 pub use text::{assemble, ParseError};
+pub use transform::{
+    pair_map, rename_permutation, transform, MatchKind, PairMap, PcPair, TransformConfig,
+    TransformReport,
+};

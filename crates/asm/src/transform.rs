@@ -1,0 +1,575 @@
+//! Seed-driven software-diversity transform.
+//!
+//! SafeDM derives diversity from *time* (staggering identical binaries).
+//! This module derives it from *structure*: a deterministic, seed-driven
+//! pass that turns one program into a semantically equal twin through
+//!
+//! 1. **register renaming** — a bijection over the allocatable GPRs that
+//!    fixes the ABI-constrained registers `x0`/`ra`/`sp`/`gp`/`tp`. The
+//!    permutation is a single cycle (Sattolo's algorithm), so every
+//!    allocatable register is guaranteed to move;
+//! 2. **instruction-schedule jitter** — seed-driven adjacent swaps of
+//!    independent straight-line instructions, legality decided by the same
+//!    [`use_mask`](Inst::use_mask)/[`def_mask`](Inst::def_mask) dataflow
+//!    the pipeline's hazard logic uses. Swaps never cross basic-block
+//!    boundaries (labels, control flow, system instructions) and never
+//!    reorder a store against another memory access.
+//!
+//! Code- and stack-layout offsets (nop sleds, frame padding) are inserted
+//! by the harness that instantiates the twin — they are placement, not
+//! item rewriting — but the knobs live in [`TransformConfig`] so one value
+//! describes the whole variant.
+//!
+//! The pass also produces the artefacts the two-program relational prover
+//! consumes: the renaming bijection and, via [`pair_map`], a per-point
+//! correspondence map between original and variant PCs with the match
+//! discipline each point must satisfy (exact renamed encoding, relinked
+//! control flow, or re-materialised address).
+
+use safedm_isa::{Inst, Reg};
+
+use crate::builder::{Asm, Item, LabelPos};
+
+/// Registers the renaming bijection must fix: `x0` (hardwired zero) plus
+/// the ABI link/stack/global/thread registers the harness contract pins.
+pub const FIXED_REGS: [Reg; 5] = [Reg::ZERO, Reg::RA, Reg::SP, Reg::GP, Reg::TP];
+
+/// Knobs of the diversity transform. All stages are deterministic in
+/// `seed`; a given `(seed, config)` always produces the same twin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformConfig {
+    /// Seed for the permutation and the jitter coin flips.
+    pub seed: u64,
+    /// Apply the register-renaming bijection.
+    pub rename: bool,
+    /// Rounds of adjacent-swap schedule jitter (0 disables).
+    pub jitter_passes: u32,
+    /// Entry nop sled of the variant (code-layout + temporal offset),
+    /// applied by the twin harness.
+    pub sled_len: u32,
+    /// Bytes of stack frame padding (`sp -= frame_pad` once at entry),
+    /// applied by the twin harness. Kept 16-byte aligned by convention.
+    pub frame_pad: u32,
+}
+
+impl Default for TransformConfig {
+    fn default() -> TransformConfig {
+        TransformConfig::level(0x5afe_d1f0, 3)
+    }
+}
+
+impl TransformConfig {
+    /// Preset aggressiveness levels used by the experiments:
+    /// 0 = identity, 1 = rename, 2 = rename + jitter, 3 = full (rename +
+    /// jitter + nop sled + frame padding). Levels above 3 saturate.
+    #[must_use]
+    pub fn level(seed: u64, level: u8) -> TransformConfig {
+        TransformConfig {
+            seed,
+            rename: level >= 1,
+            jitter_passes: if level >= 2 { 4 } else { 0 },
+            sled_len: if level >= 3 { 12 } else { 0 },
+            frame_pad: if level >= 3 { 64 } else { 0 },
+        }
+    }
+
+    /// Short human-readable name of the closest preset.
+    #[must_use]
+    pub fn level_name(&self) -> &'static str {
+        match (self.rename, self.jitter_passes > 0, self.sled_len > 0 || self.frame_pad > 0) {
+            (false, false, false) => "identity",
+            (true, false, false) => "rename",
+            (true, true, false) => "rename+jitter",
+            (true, _, true) => "full",
+            _ => "custom",
+        }
+    }
+}
+
+/// What the transform did, in enough detail for the relational prover and
+/// the differential tests to check it.
+#[derive(Debug, Clone)]
+pub struct TransformReport {
+    /// Seed the twin was derived from.
+    pub seed: u64,
+    /// The renaming bijection: `rename[i]` is where `x{i}` went. Identity
+    /// when renaming is disabled.
+    pub rename: [Reg; 32],
+    /// Accepted jitter swaps.
+    pub swaps: u64,
+    /// Item permutation: `item_perm[new] == old` index into the source
+    /// item list.
+    pub item_perm: Vec<usize>,
+    /// Nop-sled length the harness will insert.
+    pub sled_len: u32,
+    /// Frame padding the harness will insert.
+    pub frame_pad: u32,
+}
+
+impl TransformReport {
+    /// The registers that actually moved, as `(from, to)` pairs.
+    #[must_use]
+    pub fn renamed_pairs(&self) -> Vec<(Reg, Reg)> {
+        (0..32u8)
+            .filter_map(|i| {
+                let from = Reg::new(i);
+                let to = self.rename[i as usize];
+                (from != to).then_some((from, to))
+            })
+            .collect()
+    }
+
+    /// Position of source item `old` in the transformed item list.
+    #[must_use]
+    pub fn new_index_of(&self, old: usize) -> Option<usize> {
+        self.item_perm.iter().position(|&o| o == old)
+    }
+}
+
+/// SplitMix64 — the same tiny generator the campaign engine seeds its
+/// cells with; re-implemented here so `safedm-asm` stays dependency-free.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Derives the register-renaming bijection for `seed`: a single cycle over
+/// the 27 allocatable registers (Sattolo's algorithm), so it has **no**
+/// fixed point among them, while [`FIXED_REGS`] map to themselves.
+#[must_use]
+pub fn rename_permutation(seed: u64) -> [Reg; 32] {
+    let mut rng = SplitMix64(seed ^ 0x007e_9a11_e50f_u64);
+    let pool: Vec<u8> = (0..32u8).filter(|i| !FIXED_REGS.iter().any(|f| f.index() == *i)).collect();
+    let n = pool.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i as u64) as usize;
+        perm.swap(i, j);
+    }
+    let mut map = [Reg::ZERO; 32];
+    for i in 0..32u8 {
+        map[i as usize] = Reg::new(i);
+    }
+    for (k, &src) in pool.iter().enumerate() {
+        map[src as usize] = Reg::new(pool[perm[k]]);
+    }
+    map
+}
+
+/// Read/write register masks of an item, for the swap legality check.
+/// `La` expands to `auipc`+`addi` over `rd` only (its source is the PC,
+/// which relinking re-derives at the new position).
+fn item_masks(item: &Item) -> (u32, u32) {
+    match item {
+        Item::Fixed(i) => (i.use_mask(), i.def_mask()),
+        Item::La { rd, .. } => (0, rd.bit()),
+        // Barriers: never swapped, masks irrelevant.
+        Item::Raw(_) | Item::Branch { .. } | Item::Jal { .. } => (u32::MAX, u32::MAX),
+    }
+}
+
+/// Whether schedule jitter may move this item at all.
+fn movable(item: &Item) -> bool {
+    match item {
+        Item::La { .. } => true,
+        Item::Fixed(i) => {
+            // Control flow and system instructions anchor the schedule;
+            // `auipc` is PC-relative so moving it would change its value.
+            !(i.is_control_flow() || i.is_system() || matches!(i, Inst::Auipc { .. } | Inst::Fence))
+        }
+        Item::Raw(_) | Item::Branch { .. } | Item::Jal { .. } => false,
+    }
+}
+
+fn is_mem(item: &Item) -> bool {
+    matches!(item, Item::Fixed(i) if i.is_mem())
+}
+
+fn is_store(item: &Item) -> bool {
+    matches!(item, Item::Fixed(i) if i.is_store())
+}
+
+/// May `a` and `b` (adjacent, `a` first) exchange places?
+fn may_swap(a: &Item, b: &Item) -> bool {
+    if !movable(a) || !movable(b) {
+        return false;
+    }
+    let (ua, da) = item_masks(a);
+    let (ub, db) = item_masks(b);
+    if (da & db) | (da & ub) | (ua & db) != 0 {
+        return false; // WAW / RAW / WAR
+    }
+    // Conservative memory model: loads may pass loads, nothing passes a
+    // store.
+    !(is_mem(a) && is_mem(b) && (is_store(a) || is_store(b)))
+}
+
+/// Applies the diversity transform to `asm`, returning the twin and a
+/// report. The twin assembles to the same instruction count and byte size
+/// (renaming and reordering only; layout offsets are the harness's job).
+#[must_use]
+pub fn transform(asm: &Asm, cfg: &TransformConfig) -> (Asm, TransformReport) {
+    let mut out = asm.clone();
+    let mut report = TransformReport {
+        seed: cfg.seed,
+        rename: rename_permutation(cfg.seed),
+        swaps: 0,
+        item_perm: (0..asm.items.len()).collect(),
+        sled_len: cfg.sled_len,
+        frame_pad: cfg.frame_pad,
+    };
+    if !cfg.rename {
+        for i in 0..32u8 {
+            report.rename[i as usize] = Reg::new(i);
+        }
+    }
+
+    // --- register renaming ------------------------------------------------
+    if cfg.rename {
+        let pi = report.rename;
+        let f = |r: Reg| pi[r.index() as usize];
+        for item in &mut out.items {
+            *item = match item {
+                Item::Fixed(i) => Item::Fixed(i.map_regs(f)),
+                Item::Raw(w) => Item::Raw(*w),
+                Item::Branch { kind, rs1, rs2, target } => {
+                    Item::Branch { kind: *kind, rs1: f(*rs1), rs2: f(*rs2), target: *target }
+                }
+                Item::Jal { rd, target } => Item::Jal { rd: f(*rd), target: *target },
+                Item::La { rd, target } => Item::La { rd: f(*rd), target: *target },
+            };
+        }
+    }
+
+    // --- schedule jitter ---------------------------------------------------
+    if cfg.jitter_passes > 0 && !out.items.is_empty() {
+        // Item start offsets and the set of bound text-label offsets: a
+        // label is a potential jump target, so no item may cross one.
+        let mut offs = Vec::with_capacity(out.items.len());
+        let mut off = 0u64;
+        for item in &out.items {
+            offs.push(off);
+            off += item.size();
+        }
+        let mut label_offs: Vec<u64> = out
+            .labels
+            .iter()
+            .filter_map(|l| match l.pos {
+                Some(LabelPos::Text(o)) => Some(o),
+                _ => None,
+            })
+            .collect();
+        label_offs.sort_unstable();
+        let is_label = |o: u64| label_offs.binary_search(&o).is_ok();
+
+        // Maximal swap regions: runs of movable items not broken by a
+        // label boundary.
+        let mut regions: Vec<(usize, usize)> = Vec::new(); // [start, end)
+        let mut start = None;
+        for (i, item) in out.items.iter().enumerate() {
+            let breaks = !movable(item) || (start.is_some() && is_label(offs[i]));
+            if breaks {
+                if let Some(s) = start.take() {
+                    regions.push((s, i));
+                }
+                if movable(item) {
+                    start = Some(i); // label boundary: new region starts here
+                }
+            } else if start.is_none() {
+                start = Some(i);
+            }
+        }
+        if let Some(s) = start {
+            regions.push((s, out.items.len()));
+        }
+
+        let mut rng = SplitMix64(cfg.seed ^ 0x0011_77e2_u64);
+        for _ in 0..cfg.jitter_passes {
+            for &(s, e) in &regions {
+                for i in s..e.saturating_sub(1) {
+                    if rng.below(2) == 0 {
+                        continue;
+                    }
+                    if may_swap(&out.items[i], &out.items[i + 1]) {
+                        out.items.swap(i, i + 1);
+                        report.item_perm.swap(i, i + 1);
+                        report.swaps += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    (out, report)
+}
+
+// ---------------------------------------------------------------------------
+// Correspondence map
+// ---------------------------------------------------------------------------
+
+/// How a correspondence point is allowed to differ between the twins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// The variant encoding must equal the renamed original encoding
+    /// bit-for-bit (immediates included).
+    Exact,
+    /// Relinked control flow (`branch`/`jal`): same operation and renamed
+    /// registers, but the displacement is free (layout may move targets).
+    ControlFlow,
+    /// Re-materialised address (`la` → `auipc`+`addi` pair): same shape and
+    /// renamed destination, immediates free.
+    AddrMat,
+}
+
+impl std::fmt::Display for MatchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MatchKind::Exact => "exact",
+            MatchKind::ControlFlow => "control-flow",
+            MatchKind::AddrMat => "addr-mat",
+        })
+    }
+}
+
+/// One point of the original ↔ variant correspondence.
+#[derive(Debug, Clone, Copy)]
+pub struct PcPair {
+    /// PC of the point in the original copy.
+    pub orig: u64,
+    /// PC of the corresponding point in the variant copy.
+    pub var: u64,
+    /// Consecutive 32-bit slots covered (2 for an `la` pair).
+    pub slots: u8,
+    /// Match discipline the relational prover must enforce here.
+    pub kind: MatchKind,
+}
+
+/// The per-point correspondence map between a program and its transformed
+/// twin: the renamed-register bijection plus the original-PC ↔ variant-PC
+/// pairing, with each point's match discipline. This is the interface
+/// between the transform (which constructs it) and the relational prover
+/// (which *verifies* it and refuses to certify on any violation).
+#[derive(Debug, Clone)]
+pub struct PairMap {
+    /// The renaming bijection applied to the variant.
+    pub rename: [Reg; 32],
+    /// Correspondence points, sorted by original PC.
+    pub pairs: Vec<PcPair>,
+    /// Half-open text span `[start, end)` of the original copy.
+    pub orig_span: (u64, u64),
+    /// Half-open text span `[start, end)` of the variant copy.
+    pub var_span: (u64, u64),
+    /// Retired-instruction overhead of the variant (sled + padding +
+    /// result-register fix-up), statically known because every inserted
+    /// instruction executes exactly once.
+    pub overhead_insts: u64,
+}
+
+impl PairMap {
+    /// Where `x{i}` went under the variant's renaming.
+    #[must_use]
+    pub fn renamed(&self, r: Reg) -> Reg {
+        self.rename[r.index() as usize]
+    }
+
+    /// The correspondence point starting at original PC `pc`, if any.
+    #[must_use]
+    pub fn pair_at(&self, pc: u64) -> Option<&PcPair> {
+        self.pairs.binary_search_by_key(&pc, |p| p.orig).ok().map(|i| &self.pairs[i])
+    }
+}
+
+/// Builds the [`PairMap`] for two item-associated builders: `assoc` lists
+/// `(orig_item, var_item)` index pairs, `orig_base`/`var_base` are the link
+/// bases of the two copies. The match discipline of each point follows the
+/// original item's kind.
+#[must_use]
+pub fn pair_map(
+    orig: &Asm,
+    var: &Asm,
+    assoc: &[(usize, usize)],
+    orig_base: u64,
+    var_base: u64,
+    rename: [Reg; 32],
+    overhead_insts: u64,
+) -> PairMap {
+    let offsets = |a: &Asm| -> Vec<u64> {
+        let mut offs = Vec::with_capacity(a.items.len());
+        let mut off = 0u64;
+        for item in &a.items {
+            offs.push(off);
+            off += item.size();
+        }
+        offs
+    };
+    let o_offs = offsets(orig);
+    let v_offs = offsets(var);
+    let mut pairs: Vec<PcPair> = assoc
+        .iter()
+        .map(|&(oi, vi)| {
+            let (slots, kind) = match &orig.items[oi] {
+                Item::La { .. } => (2, MatchKind::AddrMat),
+                Item::Branch { .. } | Item::Jal { .. } => (1, MatchKind::ControlFlow),
+                Item::Fixed(i) if i.is_control_flow() => (1, MatchKind::ControlFlow),
+                Item::Fixed(_) | Item::Raw(_) => (1, MatchKind::Exact),
+            };
+            PcPair { orig: orig_base + o_offs[oi], var: var_base + v_offs[vi], slots, kind }
+        })
+        .collect();
+    pairs.sort_by_key(|p| p.orig);
+    PairMap {
+        rename,
+        pairs,
+        orig_span: (orig_base, orig_base + orig.text_off),
+        var_span: (var_base, var_base + var.text_off),
+        overhead_insts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_isa::decode;
+
+    #[test]
+    fn rename_is_a_derangement_of_the_allocatable_set() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let pi = rename_permutation(seed);
+            let mut seen = [false; 32];
+            for (i, r) in pi.iter().enumerate() {
+                assert!(!seen[r.index() as usize], "seed {seed}: not a bijection");
+                seen[r.index() as usize] = true;
+                let fixed = FIXED_REGS.iter().any(|f| f.index() as usize == i);
+                if fixed {
+                    assert_eq!(r.index() as usize, i, "seed {seed}: fixed reg moved");
+                } else {
+                    assert_ne!(r.index() as usize, i, "seed {seed}: allocatable reg unmoved");
+                }
+            }
+        }
+        assert_eq!(rename_permutation(7), rename_permutation(7));
+        assert_ne!(rename_permutation(7), rename_permutation(8));
+    }
+
+    fn toy() -> Asm {
+        let mut a = Asm::new();
+        let tab = a.d_dwords("tab", &[1, 2, 3, 4]);
+        a.li(Reg::T0, 4);
+        a.la(Reg::T1, tab);
+        a.li(Reg::A0, 0);
+        let top = a.here("top");
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.addi(Reg::T1, Reg::T1, 8);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.add(Reg::A0, Reg::A0, Reg::T2);
+        a.bnez(Reg::T0, top);
+        a.ebreak();
+        a
+    }
+
+    #[test]
+    fn transform_is_deterministic_and_size_preserving() {
+        let a = toy();
+        let cfg = TransformConfig::level(99, 3);
+        let (t1, r1) = transform(&a, &cfg);
+        let (t2, r2) = transform(&a, &cfg);
+        let p1 = t1.link(0x8000_0000).unwrap();
+        let p2 = t2.link(0x8000_0000).unwrap();
+        assert_eq!(p1.text, p2.text);
+        assert_eq!(r1.rename, r2.rename);
+        assert_eq!(r1.item_perm, r2.item_perm);
+        let orig = a.link(0x8000_0000).unwrap();
+        assert_eq!(p1.text.len(), orig.text.len());
+        assert_eq!(p1.data, orig.data);
+    }
+
+    #[test]
+    fn rename_changes_every_loop_body_encoding_of_the_toy() {
+        let a = toy();
+        let orig = a.link(0x8000_0000).unwrap();
+        let (t, _) = transform(&a, &TransformConfig { jitter_passes: 0, ..Default::default() });
+        let var = t.link(0x8000_0000).unwrap();
+        let ow: Vec<u32> = orig.words().map(|(_, w)| w).collect();
+        let vw: Vec<u32> = var.words().map(|(_, w)| w).collect();
+        // Every word of the toy names at least one allocatable register, so
+        // no original encoding survives into the variant (except ebreak).
+        for (o, v) in ow.iter().zip(&vw) {
+            if decode(*o).map(|i| matches!(i, Inst::Ebreak)).unwrap_or(false) {
+                assert_eq!(o, v);
+            } else {
+                assert_ne!(o, v, "encoding {o:#010x} not diversified");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_respects_dependences_and_labels() {
+        // `addi t1, t0, 1` depends on `li t0`; they must never reorder.
+        // The label-bound loop body must stay behind its label.
+        for seed in 0..32u64 {
+            let a = toy();
+            let cfg =
+                TransformConfig { seed, rename: false, jitter_passes: 8, ..Default::default() };
+            let (t, rep) = transform(&a, &cfg);
+            let prog = t.link(0x4000).unwrap();
+            // Same multiset of encodings (modulo la re-materialisation).
+            assert_eq!(prog.inst_count(), a.link(0x4000).unwrap().inst_count());
+            // The load (depends on t1) never passes the la that defines t1:
+            // find positions in the item permutation.
+            let la_old = 3; // item index of `la` in toy() (li t0 is 1 item)
+            let _ = rep.new_index_of(la_old);
+            // Execute both on the sequence level: dependences are enforced
+            // by construction; here we only pin that the loop latch stayed
+            // last before ebreak (branches are immovable).
+            let words: Vec<u32> = prog.words().map(|(_, w)| w).collect();
+            let last = decode(words[words.len() - 1]).unwrap();
+            assert!(matches!(last, Inst::Ebreak));
+            let latch = decode(words[words.len() - 2]).unwrap();
+            assert!(matches!(latch, Inst::Branch { .. }), "latch moved: {latch}");
+        }
+    }
+
+    #[test]
+    fn jitter_actually_reorders_for_some_seed() {
+        let mut moved = false;
+        for seed in 0..16u64 {
+            let a = toy();
+            let cfg =
+                TransformConfig { seed, rename: false, jitter_passes: 4, ..Default::default() };
+            let (_, rep) = transform(&a, &cfg);
+            if rep.swaps > 0 {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved, "no seed in 0..16 produced a single swap");
+    }
+
+    #[test]
+    fn pair_map_orders_and_resolves() {
+        let a = toy();
+        let cfg = TransformConfig::level(5, 2);
+        let (_, rep) = transform(&a, &cfg);
+        let (t, _) = transform(&a, &cfg);
+        let assoc: Vec<(usize, usize)> =
+            (0..a.items.len()).map(|oi| (oi, rep.new_index_of(oi).unwrap())).collect();
+        let map = pair_map(&a, &t, &assoc, 0x1000, 0x9000, rep.rename, 0);
+        assert_eq!(map.pairs.len(), a.items.len());
+        assert!(map.pairs.windows(2).all(|w| w[0].orig < w[1].orig));
+        let first = map.pair_at(0x1000).unwrap();
+        assert_eq!(first.kind, MatchKind::Exact);
+        // The la item maps as a 2-slot addr-mat point.
+        assert!(map.pairs.iter().any(|p| p.kind == MatchKind::AddrMat && p.slots == 2));
+    }
+}

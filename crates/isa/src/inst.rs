@@ -379,6 +379,42 @@ impl Inst {
         self.rd().map_or(0, Reg::bit)
     }
 
+    /// Rewrites every register operand through `f`, leaving immediates, CSR
+    /// numbers and opcodes untouched.
+    ///
+    /// This is the hook the software-diversity transform uses to apply a
+    /// register-renaming bijection: the returned instruction reads
+    /// `f(rs1)`/`f(rs2)` and writes `f(rd)`. Callers are responsible for `f`
+    /// respecting ABI constraints (in particular `f(x0) == x0`, or writes to
+    /// the renamed destination silently change semantics).
+    #[must_use]
+    pub fn map_regs(&self, mut f: impl FnMut(Reg) -> Reg) -> Inst {
+        match *self {
+            Inst::Lui { rd, imm } => Inst::Lui { rd: f(rd), imm },
+            Inst::Auipc { rd, imm } => Inst::Auipc { rd: f(rd), imm },
+            Inst::Jal { rd, offset } => Inst::Jal { rd: f(rd), offset },
+            Inst::Jalr { rd, rs1, offset } => Inst::Jalr { rd: f(rd), rs1: f(rs1), offset },
+            Inst::Branch { kind, rs1, rs2, offset } => {
+                Inst::Branch { kind, rs1: f(rs1), rs2: f(rs2), offset }
+            }
+            Inst::Load { kind, rd, rs1, offset } => {
+                Inst::Load { kind, rd: f(rd), rs1: f(rs1), offset }
+            }
+            Inst::Store { kind, rs1, rs2, offset } => {
+                Inst::Store { kind, rs1: f(rs1), rs2: f(rs2), offset }
+            }
+            Inst::OpImm { kind, rd, rs1, imm } => Inst::OpImm { kind, rd: f(rd), rs1: f(rs1), imm },
+            Inst::Op { kind, rd, rs1, rs2 } => {
+                Inst::Op { kind, rd: f(rd), rs1: f(rs1), rs2: f(rs2) }
+            }
+            Inst::Fence => Inst::Fence,
+            Inst::Ecall => Inst::Ecall,
+            Inst::Ebreak => Inst::Ebreak,
+            Inst::Csr { kind, rd, rs1, csr } => Inst::Csr { kind, rd: f(rd), rs1: f(rs1), csr },
+            Inst::CsrImm { kind, rd, zimm, csr } => Inst::CsrImm { kind, rd: f(rd), zimm, csr },
+        }
+    }
+
     /// Whether this is a load.
     #[must_use]
     pub fn is_load(&self) -> bool {
@@ -504,5 +540,25 @@ mod tests {
         assert!(m.is_muldiv());
         let a = Inst::Op { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
         assert!(!a.is_muldiv());
+    }
+
+    #[test]
+    fn map_regs_rewrites_all_operands() {
+        let bump = |r: Reg| Reg::new((r.index() + 1) % 32);
+        let i = Inst::Op { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let Inst::Op { rd, rs1, rs2, .. } = i.map_regs(bump) else { panic!("kind changed") };
+        assert_eq!((rd, rs1, rs2), (Reg::A1, Reg::A2, Reg::A3));
+
+        // Identity mapping reproduces the instruction bit-for-bit.
+        for i in [
+            Inst::Lui { rd: Reg::T3, imm: 0x1000 },
+            Inst::Load { kind: LoadKind::D, rd: Reg::S1, rs1: Reg::SP, offset: 8 },
+            Inst::Store { kind: StoreKind::W, rs1: Reg::SP, rs2: Reg::S2, offset: -4 },
+            Inst::Branch { kind: BranchKind::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -8 },
+            Inst::Csr { kind: CsrKind::Rs, rd: Reg::T0, rs1: Reg::ZERO, csr: 0xf14 },
+            Inst::Fence,
+        ] {
+            assert_eq!(i.map_regs(|r| r), i);
+        }
     }
 }

@@ -47,8 +47,8 @@ pub(crate) fn kernels_lcg(seed: u64) -> impl FnMut() -> u64 {
     move || lcg.next()
 }
 
-use safedm_asm::{Asm, Program};
-use safedm_isa::Reg;
+use safedm_asm::{pair_map, transform, Asm, PairMap, Program, TransformConfig, TransformReport};
+use safedm_isa::{encode, Inst, Reg};
 
 /// Link base for all kernel programs.
 pub const TEXT_BASE: u64 = 0x8000_0000;
@@ -171,6 +171,223 @@ pub fn build_kernel_program(kernel: &Kernel, cfg: &HarnessConfig) -> Program {
     a.link(TEXT_BASE).expect("kernel must assemble")
 }
 
+// ---------------------------------------------------------------------------
+// Software-diversity twins
+// ---------------------------------------------------------------------------
+
+/// Configuration of a diversity-transformed twin build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TwinConfig {
+    /// The diversity transform applied to the variant copy.
+    pub transform: TransformConfig,
+    /// Stack placement (shared by both copies).
+    pub stack: StackMode,
+}
+
+/// A standalone original/variant program pair, linked at the same text base
+/// with a **common** data base, so every address the two programs
+/// materialise is equal and architectural results can be compared directly
+/// on the ISS (the differential-testing harness for the transform).
+#[derive(Debug)]
+pub struct TwinPair {
+    /// The untransformed kernel program.
+    pub orig: Program,
+    /// The diversity-transformed twin.
+    pub var: Program,
+    /// What the transform did.
+    pub report: TransformReport,
+    /// Retired-instruction overhead of the variant (sled + frame padding +
+    /// result-register fix-up), each executed exactly once.
+    pub overhead_insts: u64,
+}
+
+/// A composed twin binary for the redundant SoC: a 4-instruction `mhartid`
+/// dispatch stub sends hart 0 to the original copy and hart 1 to the
+/// transformed variant; both copies share one data image (per-hart private
+/// memory keeps the stores isolated, exactly as with identical binaries).
+#[derive(Debug)]
+pub struct TwinProgram {
+    /// The composed loadable image (stub + original + variant).
+    pub program: Program,
+    /// Original ↔ variant correspondence map for the relational prover.
+    pub map: PairMap,
+    /// What the transform did.
+    pub report: TransformReport,
+    /// Entry PC of the original copy (hart 0).
+    pub orig_entry: u64,
+    /// Entry PC of the variant copy (hart 1).
+    pub var_entry: u64,
+}
+
+/// Emits the kernel harness into `a`: `result` cell, prologue (plus the
+/// variant's frame padding and nop sled when `extras` is set), kernel body
+/// and epilogue. `with_ebreak` is false for the variant, whose `ebreak` is
+/// appended after the transform together with the `a0` fix-up.
+fn emit_twin_harness(
+    a: &mut Asm,
+    kernel: &Kernel,
+    stack: StackMode,
+    extras: Option<(u32, u32)>,
+    with_ebreak: bool,
+) {
+    let result = a.d_dwords("result", &[0]);
+    a.li(Reg::SP, STACK_TOP as i64);
+    if let Some((frame_pad, sled_len)) = extras {
+        if frame_pad > 0 {
+            a.addi(Reg::SP, Reg::SP, -i64::from(frame_pad));
+        }
+        a.nops(sled_len as usize);
+    }
+    a.hartid(Reg::T0);
+    if let StackMode::PerHart = stack {
+        a.slli(Reg::T1, Reg::T0, 16);
+        a.sub(Reg::SP, Reg::SP, Reg::T1);
+    }
+    (kernel.build)(a);
+    a.la(Reg::T6, result);
+    a.sd(Reg::A0, 0, Reg::T6);
+    a.fence();
+    if with_ebreak {
+        a.ebreak();
+    }
+}
+
+/// Builds the original and transformed-variant builders for `kernel`, plus
+/// the item association `(orig_item, variant_item)` and the variant's
+/// statically known retired-instruction overhead.
+fn twin_asms(
+    kernel: &Kernel,
+    cfg: &TwinConfig,
+) -> (Asm, Asm, Vec<(usize, usize)>, TransformReport, u64) {
+    let t = &cfg.transform;
+    let mut ov = Asm::new();
+    emit_twin_harness(&mut ov, kernel, cfg.stack, None, true);
+    let mut vv = Asm::new();
+    emit_twin_harness(&mut vv, kernel, cfg.stack, Some((t.frame_pad, t.sled_len)), false);
+    let (mut tv, report) = transform(&vv, t);
+
+    // Harness contract fix-up: the checksum is read from `a0`, but the
+    // renamed variant keeps it in π(a0). One extra retired instruction.
+    let moved = report.rename[Reg::A0.index() as usize];
+    let fixup = u64::from(moved != Reg::A0);
+    if moved != Reg::A0 {
+        tv.mv(Reg::A0, moved);
+    }
+    tv.ebreak();
+
+    // Item association: the two harnesses issue the same builder calls
+    // except for the variant's inserted prologue extras (right after the
+    // `li sp` expansion) and the appended fix-up/ebreak tail.
+    let n_li = {
+        let mut probe = Asm::new();
+        probe.li(Reg::SP, STACK_TOP as i64);
+        probe.item_count()
+    };
+    let extra = usize::from(t.frame_pad > 0) + t.sled_len as usize;
+    assert_eq!(
+        report.item_perm.len(),
+        ov.item_count() - 1 + extra,
+        "twin builders drifted apart ({})",
+        kernel.name
+    );
+    let mut inv = vec![0usize; report.item_perm.len()];
+    for (new, &old) in report.item_perm.iter().enumerate() {
+        inv[old] = new;
+    }
+    let ov_len = ov.item_count();
+    let mut assoc = Vec::with_capacity(ov_len);
+    for oi in 0..ov_len - 1 {
+        let vi = if oi < n_li { oi } else { oi + extra };
+        assoc.push((oi, inv[vi]));
+    }
+    assoc.push((ov_len - 1, tv.item_count() - 1)); // ebreak ↔ ebreak
+
+    let overhead = extra as u64 + fixup;
+    (ov, tv, assoc, report, overhead)
+}
+
+/// Builds the standalone original/variant pair for `kernel` (both linked at
+/// [`TEXT_BASE`] with a shared data base). Used by the differential tests:
+/// run both on the ISS and compare architectural results modulo the
+/// renaming bijection.
+#[must_use]
+pub fn build_twin_pair(kernel: &Kernel, cfg: &TwinConfig) -> TwinPair {
+    let (ov, tv, _assoc, report, overhead_insts) = twin_asms(kernel, cfg);
+    let t_max = ov.text_offset().max(tv.text_offset());
+    let data_base = (TEXT_BASE + t_max + 63) & !63;
+    let orig = ov.link_with_data_base(TEXT_BASE, data_base).expect("twin original must assemble");
+    let var = tv.link_with_data_base(TEXT_BASE, data_base).expect("twin variant must assemble");
+    TwinPair { orig, var, report, overhead_insts }
+}
+
+/// Builds the composed twin binary for `kernel`: hart 0 runs the original
+/// copy, hart 1 the transformed variant, dispatched on `mhartid`.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to assemble or is too large for the
+/// dispatcher's `jal` reach (±1 MiB) — both construction bugs.
+#[must_use]
+pub fn build_twin_program(kernel: &Kernel, cfg: &TwinConfig) -> TwinProgram {
+    let (ov, tv, assoc, report, overhead) = twin_asms(kernel, cfg);
+    let b1 = TEXT_BASE + 64;
+    let b2 = (b1 + ov.text_offset() + 63) & !63;
+    let text_end = b2 + tv.text_offset();
+    let data_base = (text_end + 63) & !63;
+    assert!(b2 - TEXT_BASE < (1 << 20), "twin too large for jal dispatch");
+
+    let orig = ov.link_with_data_base(b1, data_base).expect("twin original must assemble");
+    let var = tv.link_with_data_base(b2, data_base).expect("twin variant must assemble");
+    assert_eq!(orig.data, var.data, "twin copies must share one data image");
+
+    let stub = [
+        Inst::Csr {
+            kind: safedm_isa::CsrKind::Rs,
+            rd: Reg::T0,
+            rs1: Reg::ZERO,
+            csr: safedm_isa::csr::addr::MHARTID,
+        },
+        Inst::Branch { kind: safedm_isa::BranchKind::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: 8 },
+        Inst::Jal { rd: Reg::ZERO, offset: (b1 - (TEXT_BASE + 8)) as i64 },
+        Inst::Jal { rd: Reg::ZERO, offset: (b2 - (TEXT_BASE + 12)) as i64 },
+    ];
+    // Alignment gaps are *inside* the text section here, so the pipelined
+    // cores' speculative front end will fetch and decode them (dual-issue
+    // delay slots, post-`ebreak` prefetch). Zero words would trap as
+    // illegal instructions before the real redirect resolves — pad with
+    // canonical nops instead.
+    let nop = encode(&Inst::NOP).expect("nop encodes").to_le_bytes();
+    let mut text: Vec<u8> = (0..(text_end - TEXT_BASE) as usize).map(|i| nop[i % 4]).collect();
+    for (i, inst) in stub.iter().enumerate() {
+        let w = encode(inst).expect("stub encodes");
+        text[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    let o_off = (b1 - TEXT_BASE) as usize;
+    text[o_off..o_off + orig.text.len()].copy_from_slice(&orig.text);
+    let v_off = (b2 - TEXT_BASE) as usize;
+    text[v_off..v_off + var.text.len()].copy_from_slice(&var.text);
+
+    let mut symbols = orig.symbols.clone();
+    for (name, addr) in &var.symbols {
+        if *addr >= b2 {
+            symbols.insert(format!("twin::{name}"), *addr);
+        }
+    }
+    symbols.insert("twin::orig_entry".to_owned(), b1);
+    symbols.insert("twin::var_entry".to_owned(), b2);
+
+    let program = Program {
+        entry: TEXT_BASE,
+        text_base: TEXT_BASE,
+        text,
+        data_base,
+        data: orig.data.clone(),
+        symbols,
+    };
+    let map = pair_map(&ov, &tv, &assoc, b1, b2, report.rename, overhead);
+    TwinProgram { program, map, report, orig_entry: b1, var_entry: b2 }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +402,67 @@ mod tests {
                     assert!(prog.symbol("result").is_some());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn twin_pair_is_architecturally_equal_modulo_renaming() {
+        use safedm_soc::Iss;
+        for name in ["fac", "bitcount"] {
+            let k = kernels::by_name(name).unwrap();
+            let cfg = TwinConfig::default();
+            let pair = build_twin_pair(k, &cfg);
+            let run = |prog: &Program| {
+                let mut iss = Iss::new(0);
+                iss.load_program(prog);
+                iss.run(200_000_000);
+                iss
+            };
+            let oi = run(&pair.orig);
+            let vi = run(&pair.var);
+            assert_eq!(oi.reg(Reg::A0), (k.reference)(), "{name}: original checksum");
+            assert_eq!(vi.reg(Reg::A0), (k.reference)(), "{name}: variant checksum");
+            assert_eq!(vi.executed(), oi.executed() + pair.overhead_insts, "{name}: overhead");
+            let fixed_up = pair.report.rename[Reg::A0.index() as usize] != Reg::A0;
+            for r in 0..32u8 {
+                let reg = Reg::new(r);
+                let mapped = pair.report.rename[r as usize];
+                // The a0 fix-up overwrites the variant's a0, so the preimage
+                // of a0 is the one register without a correspondence.
+                if fixed_up && mapped == Reg::A0 {
+                    continue;
+                }
+                let (o, v) = (oi.reg(reg), vi.reg(mapped));
+                let shift =
+                    4 * (u64::from(pair.report.sled_len) + u64::from(pair.report.frame_pad > 0));
+                if reg == Reg::SP {
+                    assert_eq!(v, o.wrapping_sub(u64::from(cfg.transform.frame_pad)), "{name}: sp");
+                } else if reg == Reg::RA && o != 0 {
+                    // Return addresses are code-layout dependent: the
+                    // variant's text is shifted by the prologue extras.
+                    assert_eq!(v, o + shift, "{name}: ra");
+                } else {
+                    assert_eq!(v, o, "{name}: x{r} -> {mapped} mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn twin_program_dispatches_both_harts_to_the_right_copy() {
+        let k = kernels::by_name("fac").unwrap();
+        let tw = build_twin_program(k, &TwinConfig::default());
+        assert_eq!(tw.program.entry, TEXT_BASE);
+        assert!(tw.map.pairs.windows(2).all(|w| w[0].orig < w[1].orig));
+        assert!(tw.map.orig_span.1 <= tw.map.var_span.0, "copies must not overlap");
+        for hart in [0usize, 1] {
+            let mut iss = safedm_soc::Iss::new(hart);
+            iss.load_program(&tw.program);
+            iss.run(200_000_000);
+            assert_eq!(iss.reg(Reg::A0), (k.reference)(), "hart {hart} checksum");
+            let pc = iss.pc();
+            let (lo, hi) = if hart == 0 { tw.map.orig_span } else { tw.map.var_span };
+            assert!(pc >= lo && pc < hi, "hart {hart} halted at {pc:#x}, outside its copy");
         }
     }
 

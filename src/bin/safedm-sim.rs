@@ -7,6 +7,13 @@
 //! The `analyze` subcommand runs the static diversity analyzer
 //! (`safedm-analysis`) instead of the simulator, and can optionally
 //! cross-validate its guaranteed findings against the runtime monitor.
+//! With `--pair` it analyzes the composed diversity-transformed twin of a
+//! kernel and runs the two-program relational prover, certifying
+//! encoding-disjoint loop pairs diverse **at stagger 0**.
+//! The `transform` subcommand reports what the diversity transform did to a
+//! kernel (and `--verify` differentially checks the twin on the ISS); the
+//! `bench` subcommand runs a pinned performance suite and writes/compares a
+//! `BENCH_<date>.json` baseline.
 //! The `trace` subcommand records a Chrome trace-event timeline
 //! (chrome://tracing, Perfetto) of a monitored run; `stats` emits the full
 //! metric snapshot, optionally with a wall-clock self-profile.
@@ -16,6 +23,10 @@
 //!            [--vcd out.vcd [--vcd-cycles N]] [--trace N] [--json]
 //! safedm-sim --kernel bitcount [...]
 //! safedm-sim analyze <program.s | --kernel NAME> [--stagger N] [--gate]
+//! safedm-sim analyze --prove --pair --kernel <NAME | all> [--seed S] [--level L]
+//! safedm-sim transform <NAME | all> [--seed S] [--level L] [--verify]
+//! safedm-sim bench [--out FILE] [--date YYYY-MM-DD] [--quick]
+//!            [--check BASELINE [--tolerance F]]
 //! safedm-sim trace <kernel | program.s> [--cycles N] [--out FILE] [--jsonl]
 //! safedm-sim stats <kernel | program.s> [--cycles N] [--json] [--profile]
 //! safedm-sim campaign [--kernels a,b] [--staggers 0,100] [--runs N]
@@ -32,12 +43,17 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use safedm::analysis::{analyze, AnalysisConfig};
+use safedm::asm::transform::TransformConfig;
 use safedm::asm::Program;
 use safedm::campaign::{par_map_timed, ConfigGrid};
 use safedm::monitor::{MonitoredSoc, ObsConfig, ReportMode, RunObserver, SafeDmConfig};
+use safedm::obs::json::JsonValue;
 use safedm::obs::SelfProfiler;
 use safedm::soc::{ProbeVcd, SocConfig};
-use safedm::tacle::{build_kernel_program, kernels, HarnessConfig, StaggerConfig};
+use safedm::tacle::{
+    build_kernel_program, build_twin_pair, build_twin_program, kernels, HarnessConfig,
+    StaggerConfig, TwinConfig,
+};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -63,6 +79,12 @@ fn usage() -> &'static str {
      \x20      [--vcd FILE [--vcd-cycles N]] [--trace N] [--max-cycles N] [--json]\n\
      \x20      safedm-sim analyze <program.s | --kernel NAME | --kernel all>\n\
      \x20      [--base ADDR] [--stagger NOPS] [--gate] [--prove] [--max-cycles N]\n\
+     \x20      [--pair [--seed S] [--level 0..3]]\n\
+     \x20      safedm-sim transform <NAME | all | --kernel NAME>\n\
+     \x20      [--seed S] [--level 0..3] [--verify]\n\
+     \x20      safedm-sim bench\n\
+     \x20      [--out FILE] [--date YYYY-MM-DD] [--quick]\n\
+     \x20      [--check BASELINE [--tolerance F]]\n\
      \x20      safedm-sim trace <kernel | program.s>\n\
      \x20      [--cycles N] [--out FILE] [--jsonl] [--events N] [--interval N]\n\
      \x20      safedm-sim stats <kernel | program.s>\n\
@@ -182,6 +204,67 @@ fn run_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The transform configuration shared by `analyze --pair` and `transform`:
+/// `--seed` picks the derangement/jitter seed, `--level` the aggressiveness
+/// preset (0 identity … 3 full; defaults to 3).
+fn twin_config(args: &[String]) -> Result<TwinConfig, String> {
+    let seed = arg_value(args, "--seed").map_or(Ok(0x5afe_d1f0), |v| parse_u64(&v))?;
+    let level = arg_value(args, "--level").map_or(Ok(3), |v| parse_u64(&v))?;
+    if level > 3 {
+        return Err(format!("--level {level} out of range (0..=3)"));
+    }
+    Ok(TwinConfig { transform: TransformConfig::level(seed, level as u8), ..TwinConfig::default() })
+}
+
+/// The `analyze --prove --pair` path: build the composed diversity twin of
+/// a kernel, lint it in pair mode, and run the two-program relational
+/// prover, which certifies encoding-disjoint loop pairs diverse at
+/// stagger 0. `--kernel all` prints one summary line per kernel (the CI
+/// smoke test drives that); a correspondence-map violation (DIV010) is a
+/// hard error.
+fn run_analyze_pair(args: &[String]) -> Result<(), String> {
+    if arg_value(args, "--stagger").is_some() {
+        return Err("--pair certifies at stagger 0; --stagger is not applicable".to_owned());
+    }
+    let tcfg = twin_config(args)?;
+    let kname = arg_value(args, "--kernel")
+        .ok_or_else(|| "--pair needs --kernel NAME (or --kernel all)".to_owned())?;
+    let cfg = AnalysisConfig { pair_mode: true, ..AnalysisConfig::default() };
+
+    if kname == "all" {
+        for k in kernels::all() {
+            let tw = build_twin_program(k, &tcfg);
+            let report = analyze(&tw.program, &cfg);
+            let pr = safedm::analysis::prove_pair(&report.program, &report.cfg, &tw.map, &cfg);
+            println!("{}", pr.summary_line(k.name));
+        }
+        return Ok(());
+    }
+
+    let k = kernels::by_name(&kname)
+        .ok_or_else(|| format!("unknown kernel `{kname}` (see --list-kernels)"))?;
+    let tw = build_twin_program(k, &tcfg);
+    println!(
+        "twin pair `{}` (transform `{}`, seed {:#x}): original @ {:#x}, variant @ {:#x}",
+        k.name,
+        tcfg.transform.level_name(),
+        tw.report.seed,
+        tw.orig_entry,
+        tw.var_entry,
+    );
+    let report = analyze(&tw.program, &cfg);
+    print!("{}", report.render());
+    let pr = safedm::analysis::prove_pair(&report.program, &report.cfg, &tw.map, &cfg);
+    println!("\ntwo-program relational prover:");
+    print!("{}", pr.render(&report.program, cfg.snippet_lines));
+    if !pr.map_ok {
+        return Err(
+            "correspondence-map violation (DIV010): twin is not a faithful renaming".to_owned()
+        );
+    }
+    Ok(())
+}
+
 /// The `analyze` subcommand: run the static diversity lints, print the
 /// rustc-style report, and with `--gate` cross-validate the guaranteed
 /// findings against a monitored run. `--prove` additionally runs the
@@ -193,6 +276,13 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
     let stagger_nops = arg_value(args, "--stagger").map(|v| parse_u64(&v)).transpose()?;
     let max_cycles = arg_value(args, "--max-cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
     let prove_mode = arg_flag(args, "--prove");
+
+    if arg_flag(args, "--pair") {
+        if !prove_mode {
+            return Err("--pair is only supported with --prove".to_owned());
+        }
+        return run_analyze_pair(args);
+    }
 
     if arg_value(args, "--kernel").as_deref() == Some("all") {
         if !prove_mode {
@@ -389,6 +479,299 @@ fn run_campaign(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `transform` subcommand: report what the diversity transform does to
+/// a kernel (or `all`), and with `--verify` differentially check the twin
+/// on the ISS — the variant must produce the reference checksum and retire
+/// exactly `overhead_insts` more instructions than the original.
+fn run_transform(args: &[String]) -> Result<(), String> {
+    let tcfg = twin_config(args)?;
+    let verify = arg_flag(args, "--verify");
+    let kname = arg_value(args, "--kernel")
+        .or_else(|| args.iter().find(|a| !a.starts_with("--") && !is_flag_value(args, a)).cloned())
+        .ok_or_else(|| "transform needs a kernel name or `all` (see --list-kernels)".to_owned())?;
+    let list: Vec<&safedm::tacle::Kernel> = if kname == "all" {
+        kernels::all().iter().collect()
+    } else {
+        vec![kernels::by_name(&kname)
+            .ok_or_else(|| format!("unknown kernel `{kname}` (see --list-kernels)"))?]
+    };
+
+    // Differential ISS check: both programs of the standalone pair run to
+    // completion, produce the reference checksum in `a0`, and the variant
+    // retires exactly the statically declared overhead on top.
+    let verify_kernel = |k: &safedm::tacle::Kernel| -> Result<(u64, u64), String> {
+        let pair = build_twin_pair(k, &tcfg);
+        let run = |prog: &Program| {
+            let mut iss = safedm::soc::Iss::new(0);
+            iss.load_program(prog);
+            iss.run(200_000_000);
+            iss
+        };
+        let oi = run(&pair.orig);
+        let vi = run(&pair.var);
+        let golden = (k.reference)();
+        if oi.reg(safedm::isa::Reg::A0) != golden {
+            return Err(format!("{}: original checksum mismatch", k.name));
+        }
+        if vi.reg(safedm::isa::Reg::A0) != golden {
+            return Err(format!("{}: variant checksum mismatch", k.name));
+        }
+        let (oe, ve) = (oi.executed(), vi.executed());
+        if ve != oe + pair.overhead_insts {
+            return Err(format!(
+                "{}: variant retired {} insts, expected {} + {} overhead",
+                k.name, ve, oe, pair.overhead_insts
+            ));
+        }
+        Ok((oe, ve))
+    };
+
+    println!(
+        "{:<14} {:<14} {:>18} {:>7} {:>6} {:>5} {:>4} {:>8}{}",
+        "kernel",
+        "level",
+        "seed",
+        "renamed",
+        "swaps",
+        "sled",
+        "pad",
+        "overhead",
+        if verify { "   orig-insts    var-insts verify" } else { "" }
+    );
+    for k in &list {
+        let pair = build_twin_pair(k, &tcfg);
+        let rep = &pair.report;
+        print!(
+            "{:<14} {:<14} {:>#18x} {:>7} {:>6} {:>5} {:>4} {:>8}",
+            k.name,
+            tcfg.transform.level_name(),
+            rep.seed,
+            rep.renamed_pairs().len(),
+            rep.swaps,
+            rep.sled_len,
+            rep.frame_pad,
+            pair.overhead_insts
+        );
+        if verify {
+            let (oe, ve) = verify_kernel(k)?;
+            print!(" {oe:>12} {ve:>12}     ok");
+        }
+        println!();
+    }
+
+    if list.len() == 1 {
+        let rep = build_twin_pair(list[0], &tcfg).report;
+        let pairs = rep.renamed_pairs();
+        if !pairs.is_empty() {
+            let shown: Vec<String> =
+                pairs.iter().take(8).map(|(f, t)| format!("{f}->{t}")).collect();
+            println!(
+                "renaming ({} registers moved): {}{}",
+                pairs.len(),
+                shown.join(", "),
+                if pairs.len() > 8 { ", ..." } else { "" }
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Civil date from days since the Unix epoch (proleptic Gregorian).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// The `bench` subcommand: a pinned performance suite — simulator
+/// throughput on three kernels, a Table-1-style stagger sweep, and the
+/// latency of both provers — written as `BENCH_<date>.json`. With
+/// `--check BASELINE` the suite runs and fails (direction-aware) on any
+/// metric regressing beyond `--tolerance` (default 10%).
+fn run_bench(args: &[String]) -> Result<(), String> {
+    use std::time::Instant;
+    let reps: u32 = if arg_flag(args, "--quick") { 1 } else { 3 };
+    let date = arg_value(args, "--date").unwrap_or_else(today);
+    let out_path = arg_value(args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let tolerance = arg_value(args, "--tolerance")
+        .map_or(Ok(0.10), |v| v.parse::<f64>().map_err(|_| format!("invalid --tolerance `{v}`")))?;
+
+    let monitored_run = |prog: &Program, golden: u64| -> Result<u64, String> {
+        let mut sys = MonitoredSoc::new(
+            SocConfig::default(),
+            SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },
+        );
+        sys.load_program(prog);
+        sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(ReportMode::Polling) << 1));
+        let out = sys.run(500_000_000);
+        if out.run.timed_out
+            || (0..2).any(|c| sys.soc().core(c).reg(safedm::isa::Reg::A0) != golden)
+        {
+            return Err("bench run failed its checksum".to_owned());
+        }
+        Ok(out.run.cycles)
+    };
+
+    // (name, value, unit, better-direction)
+    let mut metrics: Vec<(String, f64, &'static str, &'static str)> = Vec::new();
+
+    // 1. Simulator throughput: simulated cycles per wall-second on three
+    //    pinned kernels at stagger 0, best-of-`reps`.
+    for name in ["fac", "bitcount", "insertsort"] {
+        let k = kernels::by_name(name).expect("pinned kernel exists");
+        let prog = build_kernel_program(k, &HarnessConfig::default());
+        let golden = (k.reference)();
+        let mut best = f64::INFINITY;
+        let mut cycles = 0u64;
+        for _ in 0..reps {
+            let t = Instant::now();
+            cycles = monitored_run(&prog, golden)?;
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        metrics.push((format!("sim_mcps_{name}"), cycles as f64 / best / 1e6, "Mcyc/s", "higher"));
+    }
+
+    // 2. Table-1-style stagger sweep wall-clock: bitcount across the four
+    //    canonical nop staggers.
+    {
+        let k = kernels::by_name("bitcount").expect("pinned kernel exists");
+        let golden = (k.reference)();
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            for nops in [0usize, 100, 1000, 10_000] {
+                let stagger = (nops > 0).then_some(StaggerConfig { nops, delayed_core: 1 });
+                let prog =
+                    build_kernel_program(k, &HarnessConfig { stagger, ..HarnessConfig::default() });
+                monitored_run(&prog, golden)?;
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        metrics.push(("table1_wall_ms".to_owned(), best * 1e3, "ms", "lower"));
+    }
+
+    // 3. Stagger-prover latency: analyze + prove every built-in kernel.
+    {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            for k in kernels::all() {
+                let prog = build_kernel_program(k, &HarnessConfig::default());
+                let cfg = AnalysisConfig::default();
+                let report = analyze(&prog, &cfg);
+                let _ = safedm::analysis::prove(&report.program, &report.cfg, &cfg);
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        metrics.push(("prover_ms_all_kernels".to_owned(), best * 1e3, "ms", "lower"));
+    }
+
+    // 4. Pair-prover latency: twin build + relational proof over the whole
+    // suite (per-kernel times are sub-millisecond and noise-bound; the
+    // full sweep is a stable gateable number).
+    {
+        let tcfg = TwinConfig::default();
+        let pcfg = AnalysisConfig { pair_mode: true, ..AnalysisConfig::default() };
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            for k in kernels::all() {
+                let tw = build_twin_program(k, &tcfg);
+                let report = analyze(&tw.program, &pcfg);
+                let pr = safedm::analysis::prove_pair(&report.program, &report.cfg, &tw.map, &pcfg);
+                if !pr.map_ok {
+                    return Err(format!("bench: pair prover rejected the {} twin map", k.name));
+                }
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        metrics.push(("pair_prover_ms_all_kernels".to_owned(), best * 1e3, "ms", "lower"));
+    }
+
+    println!("bench suite ({date}, best of {reps}):");
+    for (name, value, unit, better) in &metrics {
+        println!("  {name:<24} {value:>12.3} {unit:<7} (better: {better})");
+    }
+
+    if let Some(base_path) = arg_value(args, "--check") {
+        let text = std::fs::read_to_string(&base_path)
+            .map_err(|e| format!("cannot read {base_path}: {e}"))?;
+        let base = safedm::obs::json::parse(&text)
+            .map_err(|e| format!("cannot parse {base_path}: {e:?}"))?;
+        let mut regressions = Vec::new();
+        println!("check vs {base_path} (tolerance {:.0}%):", tolerance * 100.0);
+        for (name, value, _unit, better) in &metrics {
+            let Some(old) = base
+                .get("metrics")
+                .and_then(|m| m.get(name))
+                .and_then(|e| e.get("value"))
+                .and_then(JsonValue::as_f64)
+            else {
+                println!("  {name:<24} (not in baseline, skipped)");
+                continue;
+            };
+            // Relative change in the *bad* direction for this metric.
+            let delta = if *better == "higher" { (old - value) / old } else { (value - old) / old };
+            let verdict = if delta > tolerance { "REGRESSED" } else { "ok" };
+            println!("  {name:<24} baseline {old:>12.3}, now {value:>12.3}  {verdict}");
+            if delta > tolerance {
+                regressions.push(name.clone());
+            }
+        }
+        if !regressions.is_empty() {
+            return Err(format!(
+                "bench: regression beyond {:.0}% on: {}",
+                tolerance * 100.0,
+                regressions.join(", ")
+            ));
+        }
+        println!("bench: no metric regressed beyond {:.0}%", tolerance * 100.0);
+        return Ok(());
+    }
+
+    let doc = JsonValue::Obj(vec![
+        ("schema".to_owned(), JsonValue::Str("safedm-bench/1".to_owned())),
+        ("date".to_owned(), JsonValue::Str(date)),
+        ("reps".to_owned(), JsonValue::Num(f64::from(reps))),
+        (
+            "metrics".to_owned(),
+            JsonValue::Obj(
+                metrics
+                    .into_iter()
+                    .map(|(name, value, unit, better)| {
+                        (
+                            name,
+                            JsonValue::Obj(vec![
+                                ("value".to_owned(), JsonValue::Num(value)),
+                                ("unit".to_owned(), JsonValue::Str(unit.to_owned())),
+                                ("better".to_owned(), JsonValue::Str(better.to_owned())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.render()).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || arg_flag(&args, "--help") {
@@ -412,6 +795,12 @@ fn run() -> Result<(), String> {
     }
     if args.first().is_some_and(|a| a == "campaign") {
         return run_campaign(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "transform") {
+        return run_transform(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "bench") {
+        return run_bench(&args[1..]);
     }
 
     let base = arg_value(&args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;

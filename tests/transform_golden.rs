@@ -1,0 +1,107 @@
+//! Golden-file pinning of the transform pass and the two-program
+//! relational prover.
+//!
+//! One pair-prover summary line per TACLe kernel per transform level, plus
+//! a per-kernel transform shape line (renamed registers, schedule swaps,
+//! sled, padding, overhead) at the default configuration. Any drift in a
+//! verdict, a witness, a prologue skew, or the transform's output shape
+//! shows up as a diff here. Regenerate deliberately with
+//! `BLESS_GOLDEN=1 cargo test --test transform_golden`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use safedm::analysis::{analyze, prove_pair, AnalysisConfig};
+use safedm::asm::TransformConfig;
+use safedm::tacle::{build_twin_pair, build_twin_program, kernels, TwinConfig};
+
+/// The seed every pinned line uses; the CLI's default.
+const SEED: u64 = 0x5afe_d1f0;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n(run `BLESS_GOLDEN=1 cargo test --test \
+             transform_golden` to create it)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden fixture\n(if the change is intentional, regenerate with \
+         `BLESS_GOLDEN=1 cargo test --test transform_golden`)"
+    );
+}
+
+/// Pair-prover summary lines across the level grid the CI smoke test also
+/// drives. Level 1 pins the rename-only residue (prologue-skew witness),
+/// level 3 pins the full-transform certificates.
+fn pair_verdict_summary() -> String {
+    let mut out = String::new();
+    for level in [1u8, 3] {
+        let tcfg = TransformConfig::level(SEED, level);
+        let _ = writeln!(out, "# transform level {level} ({}), seed {SEED:#x}", tcfg.level_name());
+        for k in kernels::all() {
+            let cfg = TwinConfig { transform: tcfg, ..TwinConfig::default() };
+            let tw = build_twin_program(k, &cfg);
+            let acfg = AnalysisConfig { pair_mode: true, ..AnalysisConfig::default() };
+            let report = analyze(&tw.program, &acfg);
+            let pr = prove_pair(&report.program, &report.cfg, &tw.map, &acfg);
+            let _ = writeln!(out, "{}", pr.summary_line(k.name));
+        }
+    }
+    out
+}
+
+/// Transform shape lines at the default (full) configuration.
+fn transform_shape_summary() -> String {
+    let mut out = String::new();
+    let cfg = TwinConfig::default();
+    let _ = writeln!(out, "# transform default (full), seed {SEED:#x}");
+    for k in kernels::all() {
+        let pair = build_twin_pair(k, &cfg);
+        let r = &pair.report;
+        let _ = writeln!(
+            out,
+            "{} renamed={} swaps={} sled={} pad={} overhead={}",
+            k.name,
+            r.renamed_pairs().len(),
+            r.swaps,
+            r.sled_len,
+            r.frame_pad,
+            pair.overhead_insts
+        );
+    }
+    out
+}
+
+#[test]
+fn pair_prover_verdicts_match_golden() {
+    check_golden("transform_pair_verdicts.txt", &pair_verdict_summary());
+}
+
+#[test]
+fn transform_shapes_match_golden() {
+    check_golden("transform_shapes.txt", &transform_shape_summary());
+}
+
+#[test]
+fn full_transform_certifies_kernels_the_stagger_prover_cannot() {
+    // The headline acceptance property, pinned as a test: at stagger 0 the
+    // full transform earns proved-diverse pair certificates on a majority
+    // of the suite, where the single-program prover can only prove
+    // collision (min-safe-stagger >= 2, see prove_verdicts.txt).
+    let summary = pair_verdict_summary();
+    let certified =
+        summary.lines().filter(|l| l.contains("map=ok") && !l.contains("diverse=0")).count();
+    assert!(certified >= 15, "only {certified} certified lines:\n{summary}");
+}

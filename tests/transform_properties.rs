@@ -1,0 +1,90 @@
+//! Differential property tests of the software-diversity transform: for
+//! random seeds and aggressiveness levels across every TACLe kernel, the
+//! transformed twin must be architecturally indistinguishable from the
+//! original (same checksum, statically-known retired-instruction overhead)
+//! on the ISS, the transform must be a pure function of its seed, and the
+//! correspondence map it emits must survive the relational prover's
+//! verification.
+
+use proptest::prelude::*;
+use safedm::analysis::{analyze, prove_pair, AnalysisConfig};
+use safedm::asm::{Program, TransformConfig};
+use safedm::isa::Reg;
+use safedm::soc::Iss;
+use safedm::tacle::{build_twin_pair, build_twin_program, kernels, TwinConfig};
+
+/// Runs a standalone program to completion on the ISS and returns the
+/// `(checksum, retired instructions)` architectural observation.
+fn run_iss(prog: &Program, hart: usize) -> (u64, u64) {
+    let mut iss = Iss::new(hart);
+    iss.load_program(prog);
+    iss.run(200_000_000);
+    (iss.reg(Reg::A0), iss.executed())
+}
+
+/// A `(kernel index, seed, level)` point of the transform's input space.
+fn any_point() -> impl Strategy<Value = (usize, u64, u8)> {
+    (0..kernels::all().len(), any::<u64>(), 1u8..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The twin computes the original's checksum and retires exactly the
+    /// declared overhead on top of the original's instruction count,
+    /// whatever the seed and level.
+    #[test]
+    fn twin_is_architecturally_equal_modulo_declared_overhead(point in any_point()) {
+        let (ki, seed, level) = point;
+        let k = &kernels::all()[ki];
+        let cfg = TwinConfig {
+            transform: TransformConfig::level(seed, level),
+            ..TwinConfig::default()
+        };
+        let pair = build_twin_pair(k, &cfg);
+        let (oa, oe) = run_iss(&pair.orig, 0);
+        let (va, ve) = run_iss(&pair.var, 0);
+        let golden = (k.reference)();
+        prop_assert_eq!(oa, golden, "{}: original checksum", k.name);
+        prop_assert_eq!(va, golden, "{}: twin checksum", k.name);
+        prop_assert_eq!(ve, oe + pair.overhead_insts, "{}: overhead", k.name);
+    }
+
+    /// The transform is deterministic: the same seed and level produce a
+    /// byte-identical variant image, and the composed twin is a pure
+    /// function of its configuration.
+    #[test]
+    fn transform_is_a_pure_function_of_its_seed(point in any_point()) {
+        let (ki, seed, level) = point;
+        let k = &kernels::all()[ki];
+        let cfg = TwinConfig {
+            transform: TransformConfig::level(seed, level),
+            ..TwinConfig::default()
+        };
+        let a = build_twin_pair(k, &cfg);
+        let b = build_twin_pair(k, &cfg);
+        prop_assert_eq!(&a.var.text, &b.var.text, "{}: variant text drifted", k.name);
+        let ta = build_twin_program(k, &cfg);
+        let tb = build_twin_program(k, &cfg);
+        prop_assert_eq!(&ta.program.text, &tb.program.text, "{}: twin image drifted", k.name);
+    }
+
+    /// The correspondence map the transform hands the relational prover
+    /// verifies completely — every point passes its match discipline and
+    /// the tiling/overhead shape holds — for arbitrary seeds.
+    #[test]
+    fn correspondence_map_verifies_for_random_seeds(point in any_point()) {
+        let (ki, seed, level) = point;
+        let k = &kernels::all()[ki];
+        let cfg = TwinConfig {
+            transform: TransformConfig::level(seed, level),
+            ..TwinConfig::default()
+        };
+        let tw = build_twin_program(k, &cfg);
+        let acfg = AnalysisConfig { pair_mode: true, ..AnalysisConfig::default() };
+        let report = analyze(&tw.program, &acfg);
+        let pr = prove_pair(&report.program, &report.cfg, &tw.map, &acfg);
+        prop_assert!(pr.map_ok, "{}: {:#?}", k.name, pr.diagnostics);
+        prop_assert_eq!(pr.points_verified, pr.points_mapped, "{}", k.name);
+    }
+}
