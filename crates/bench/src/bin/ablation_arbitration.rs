@@ -8,17 +8,26 @@
 //! quantifies the effect on the Table I metrics.
 //!
 //! Usage: `cargo run -p safedm-bench --bin ablation_arbitration --release
-//! [--jobs N]`
+//! [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::jobs_from_args;
-use safedm_campaign::par_map;
+use safedm_bench::experiments::{jobs_from_args, run_cells_with_telemetry, Telemetry};
 use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
+use safedm_obs::events::CellEvent;
 use safedm_soc::{ArbitrationPolicy, SocConfig};
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
 
-fn run(name: &str, policy: ArbitrationPolicy) -> (u64, u64, u64, i64) {
+struct RunOut {
+    zero_stag: u64,
+    no_div: u64,
+    cycles: u64,
+    bias: i64,
+    observed: u64,
+    episodes: u64,
+}
+
+fn run(name: &str, policy: ArbitrationPolicy) -> RunOut {
     let k = kernels::by_name(name).expect("kernel");
     let prog = build_kernel_program(k, &HarnessConfig::default());
     let soc_cfg = SocConfig { arbitration: policy, ..SocConfig::default() };
@@ -35,12 +44,20 @@ fn run(name: &str, policy: ArbitrationPolicy) -> (u64, u64, u64, i64) {
     let lead_core0 = trace.iter().filter(|s| s.diff > 0).count() as i64;
     let lead_core1 = trace.iter().filter(|s| s.diff < 0).count() as i64;
     let bias = lead_core0 - lead_core1;
-    (out.zero_stag_cycles, out.no_div_cycles, out.run.cycles, bias)
+    RunOut {
+        zero_stag: out.zero_stag_cycles,
+        no_div: out.no_div_cycles,
+        cycles: out.run.cycles,
+        bias,
+        observed: out.cycles_observed,
+        episodes: sys.monitor().no_diversity_history().total_episodes(),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
     let names = ["bitcount", "fac", "insertsort", "quicksort", "lms"];
     // One campaign cell per (kernel, policy); ordered collection keeps the
     // table identical for any --jobs N.
@@ -48,15 +65,36 @@ fn main() {
         .iter()
         .flat_map(|&n| [(n, ArbitrationPolicy::RoundRobin), (n, ArbitrationPolicy::FixedPriority)])
         .collect();
-    let outs = par_map(jobs, &cells, |_, &(name, policy)| run(name, policy));
+    let outs = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        &cells,
+        |&(name, _)| name.to_owned(),
+        |_, &(name, policy)| run(name, policy),
+        |index, &(name, policy), r| CellEvent {
+            index,
+            kernel: name.to_owned(),
+            config: format!("arb={policy:?}"),
+            run: 0,
+            seed: 0,
+            cycles: r.cycles,
+            guarded: r.observed,
+            zero_stag: r.zero_stag,
+            no_div: r.no_div,
+            episodes: r.episodes,
+            violations: 0,
+            ok: true,
+            wall_us: None,
+        },
+    );
     let mut rows = String::new();
     for (i, name) in names.iter().enumerate() {
-        let (zs_rr, nd_rr, _, bias_rr) = outs[2 * i];
-        let (zs_fp, nd_fp, _, bias_fp) = outs[2 * i + 1];
+        let rr = &outs[2 * i];
+        let fp = &outs[2 * i + 1];
         let _ = writeln!(
             rows,
             "{:<12} | {:>10} {:>8} {:>10} | {:>10} {:>8} {:>10}",
-            name, zs_rr, nd_rr, bias_rr, zs_fp, nd_fp, bias_fp
+            name, rr.zero_stag, rr.no_div, rr.bias, fp.zero_stag, fp.no_div, fp.bias
         );
     }
     println!("ABLATION A3: bus arbitration policy vs natural diversity");

@@ -7,12 +7,13 @@
 //! a linear area cost. The sweep quantifies that trade-off.
 //!
 //! Usage: `cargo run -p safedm-bench --bin ablation_fifo_depth --release
-//! [--jobs N]`
+//! [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{jobs_from_args, run_monitored};
-use safedm_campaign::par_map;
+use safedm_bench::experiments::{
+    event_from_summary, jobs_from_args, run_cells_with_telemetry, run_monitored, Telemetry,
+};
 use safedm_core::SafeDmConfig;
 use safedm_power::estimate_area;
 use safedm_tacle::kernels;
@@ -20,6 +21,7 @@ use safedm_tacle::kernels;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
     let names = ["fac", "iir", "bitcount", "md5"];
     let depths = [1usize, 2, 4, 8, 12, 16];
 
@@ -27,13 +29,21 @@ fn main() {
     // table identical for any --jobs N.
     let cells: Vec<(usize, &str)> =
         depths.iter().flat_map(|&d| names.iter().map(move |&n| (d, n))).collect();
-    let no_divs = par_map(jobs, &cells, |_, &(depth, name)| {
-        let cfg = SafeDmConfig { data_fifo_depth: depth, ..SafeDmConfig::default() };
-        let k = kernels::by_name(name).expect("kernel");
-        let r = run_monitored(k, None, 0, cfg);
-        assert!(r.checksum_ok);
-        r.no_div
-    });
+    let runs = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        &cells,
+        |&(_, name)| name.to_owned(),
+        |_, &(depth, name)| {
+            let cfg = SafeDmConfig { data_fifo_depth: depth, ..SafeDmConfig::default() };
+            let k = kernels::by_name(name).expect("kernel");
+            let r = run_monitored(k, None, 0, cfg);
+            assert!(r.checksum_ok);
+            r
+        },
+        |index, &(depth, _), r| event_from_summary(index, &format!("fifo={depth}"), r),
+    );
+    let no_divs: Vec<u64> = runs.iter().map(|r| r.no_div).collect();
 
     let mut rows = String::new();
     let mut per_depth: Vec<Vec<u64>> = Vec::new();

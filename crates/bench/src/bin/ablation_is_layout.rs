@@ -8,28 +8,38 @@
 //! positives the paper's design decision avoids.
 //!
 //! Usage: `cargo run -p safedm-bench --bin ablation_is_layout --release
-//! [--jobs N]`
+//! [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{dm_config_with_layout, jobs_from_args, run_monitored};
-use safedm_campaign::par_map;
+use safedm_bench::experiments::{
+    dm_config_with_layout, event_from_summary, jobs_from_args, run_cells_with_telemetry,
+    run_monitored, Telemetry,
+};
 use safedm_core::IsLayout;
 use safedm_tacle::kernels;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
     let names = ["fac", "bitcount", "iir", "insertsort", "quicksort", "pm"];
 
     // One campaign cell per (kernel, layout); ordered collection keeps the
     // table identical for any --jobs N.
     let cells: Vec<(&str, IsLayout)> =
         names.iter().flat_map(|&n| [(n, IsLayout::PerStage), (n, IsLayout::InFlight)]).collect();
-    let outs = par_map(jobs, &cells, |_, &(name, layout)| {
-        let k = kernels::by_name(name).expect("kernel");
-        run_monitored(k, None, 0, dm_config_with_layout(layout))
-    });
+    let outs = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        &cells,
+        |&(name, _)| name.to_owned(),
+        |_, &(name, layout)| {
+            let k = kernels::by_name(name).expect("kernel");
+            run_monitored(k, None, 0, dm_config_with_layout(layout))
+        },
+        |index, &(_, layout), r| event_from_summary(index, &format!("layout={layout:?}"), r),
+    );
 
     let mut rows = String::new();
     let mut total_extra = 0i64;

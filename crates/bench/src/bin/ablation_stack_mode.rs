@@ -11,18 +11,20 @@
 //! diversity is data diversity, not timing).
 //!
 //! Usage: `cargo run -p safedm-bench --bin ablation_stack_mode --release
-//! [--jobs N]`
+//! [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{jobs_from_args, run_monitored_cfg};
-use safedm_campaign::par_map;
+use safedm_bench::experiments::{
+    event_from_summary, jobs_from_args, run_cells_with_telemetry, run_monitored_cfg, Telemetry,
+};
 use safedm_core::SafeDmConfig;
 use safedm_tacle::{kernels, HarnessConfig, StackMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
     // Stack-using kernels (calls / explicit work stacks) versus controls
     // whose data lives only in mirrored tables or registers.
     let stack_users = ["fac", "recursion", "quicksort"];
@@ -33,10 +35,17 @@ fn main() {
     // the table identical for any --jobs N.
     let cells: Vec<(&str, StackMode)> =
         names.iter().flat_map(|&n| [(n, StackMode::Mirrored), (n, StackMode::PerHart)]).collect();
-    let outs = par_map(jobs, &cells, |_, &(name, stack)| {
-        let k = kernels::by_name(name).expect("kernel");
-        run_monitored_cfg(k, HarnessConfig { stagger: None, stack }, 0, SafeDmConfig::default())
-    });
+    let outs = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        &cells,
+        |&(name, _)| name.to_owned(),
+        |_, &(name, stack)| {
+            let k = kernels::by_name(name).expect("kernel");
+            run_monitored_cfg(k, HarnessConfig { stagger: None, stack }, 0, SafeDmConfig::default())
+        },
+        |index, &(_, stack), r| event_from_summary(index, &format!("stack={stack:?}"), r),
+    );
 
     let mut rows = String::new();
     for (i, &name) in names.iter().enumerate() {

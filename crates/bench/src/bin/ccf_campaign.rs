@@ -13,14 +13,21 @@
 //! every output is byte-identical for any `--jobs N`.
 //!
 //! Usage: `cargo run -p safedm-bench --bin ccf_campaign --release
-//! [--trials N] [--seed S] [--jobs N] [--metrics-out PATH]`
+//! [--trials N] [--seed S] [--jobs N] [--metrics-out PATH]
+//! [--events-out PATH] [--progress]`
+//!
+//! `--events-out` emits one aggregate event per kernel campaign (trials
+//! fold inside `safedm-faults`; `violations` counts detected mismatches,
+//! `no_div` counts silent corruptions under flagged cycles).
 
 use std::fmt::Write as _;
 
 use safedm_bench::experiments::{
     arg_parsed_or, arg_value, ccf_metrics, jobs_from_args, set_metric_totals, write_metrics_json,
+    Telemetry,
 };
 use safedm_faults::{Campaign, CampaignConfig};
+use safedm_obs::events::CellEvent;
 use safedm_tacle::kernels;
 
 fn main() {
@@ -28,8 +35,11 @@ fn main() {
     let trials: usize = arg_parsed_or(&args, "--trials", 120);
     let seed: u64 = arg_parsed_or(&args, "--seed", 2024);
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
 
     let names = ["fac", "bitcount", "iir", "quicksort"];
+    let progress = telemetry.progress_for(names.len());
+    let mut events: Vec<CellEvent> = Vec::new();
 
     let mut grand_silent_flagged = 0u64;
     let mut grand_silent_unflagged = 0u64;
@@ -72,8 +82,26 @@ fn main() {
             stats.silent_site_divergent,
             lat
         );
+        events.push(CellEvent {
+            index: events.len() as u64,
+            kernel: name.to_owned(),
+            config: format!("trials={trials}"),
+            run: 0,
+            seed,
+            cycles: 0,
+            guarded: trials as u64,
+            zero_stag: 0,
+            no_div: stats.silent_with_no_diversity,
+            episodes: 0,
+            violations: stats.detected_mismatch,
+            ok: true,
+            wall_us: None,
+        });
+        progress.cell_done(name);
         per_kernel.push((name, stats));
     }
+    progress.finish();
+    telemetry.write_events(&events);
 
     println!("VALIDATION V1: common-cause fault injection ({trials} trials/kernel, seed {seed})");
     println!();

@@ -4,11 +4,11 @@
 //! stay in lockstep).
 //!
 //! Usage: `cargo run -p safedm-bench --bin kernel_stats --release
-//! [--jobs N]`
+//! [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
 
-use safedm_bench::experiments::jobs_from_args;
-use safedm_campaign::par_map;
+use safedm_bench::experiments::{jobs_from_args, run_cells_with_telemetry, Telemetry};
 use safedm_isa::Inst;
+use safedm_obs::events::CellEvent;
 use safedm_soc::{Iss, MpSoc, SocConfig};
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
 
@@ -47,31 +47,54 @@ fn characterize(prog: &safedm_asm::Program) -> Mix {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
     // One campaign cell per kernel; ordered collection keeps the table
     // identical for any --jobs N.
     let all = kernels::all();
-    let row_strings = par_map(jobs, all, |_, k| {
-        let prog = build_kernel_program(k, &HarnessConfig::default());
-        let mix = characterize(&prog);
+    let outs = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        all,
+        |k| k.name.to_owned(),
+        |_, k| {
+            let prog = build_kernel_program(k, &HarnessConfig::default());
+            let mix = characterize(&prog);
 
-        let cfg = SocConfig { cores: 1, ..SocConfig::default() };
-        let mut soc = MpSoc::new(cfg);
-        soc.load_program(&prog);
-        let r = soc.run(400_000_000);
-        assert!(r.all_clean(), "{}: {:?}", k.name, r.exits);
+            let cfg = SocConfig { cores: 1, ..SocConfig::default() };
+            let mut soc = MpSoc::new(cfg);
+            soc.load_program(&prog);
+            let r = soc.run(400_000_000);
+            assert!(r.all_clean(), "{}: {:?}", k.name, r.exits);
 
-        format!(
-            "{:<16} {:>10} {:>7.1}% {:>7.1}% {:>7.1}% {:>10} {:>6.2}\n",
-            k.name,
-            mix.total,
-            mix.mem as f64 / mix.total as f64 * 100.0,
-            mix.branch as f64 / mix.total as f64 * 100.0,
-            mix.muldiv as f64 / mix.total as f64 * 100.0,
-            r.cycles,
-            mix.total as f64 / r.cycles as f64,
-        )
-    });
-    let rows: String = row_strings.concat();
+            let row = format!(
+                "{:<16} {:>10} {:>7.1}% {:>7.1}% {:>7.1}% {:>10} {:>6.2}\n",
+                k.name,
+                mix.total,
+                mix.mem as f64 / mix.total as f64 * 100.0,
+                mix.branch as f64 / mix.total as f64 * 100.0,
+                mix.muldiv as f64 / mix.total as f64 * 100.0,
+                r.cycles,
+                mix.total as f64 / r.cycles as f64,
+            );
+            (row, r.cycles)
+        },
+        |index, k, &(_, cycles)| CellEvent {
+            index,
+            kernel: k.name.to_owned(),
+            config: "single-core".to_owned(),
+            run: 0,
+            seed: 0,
+            cycles,
+            guarded: 0,
+            zero_stag: 0,
+            no_div: 0,
+            episodes: 0,
+            violations: 0,
+            ok: true,
+            wall_us: None,
+        },
+    );
+    let rows: String = outs.into_iter().map(|(row, _)| row).collect();
     println!("KERNEL CHARACTERISATION (dynamic, single core)");
     println!();
     println!(

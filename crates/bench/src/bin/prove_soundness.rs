@@ -15,17 +15,21 @@
 //! stdout is byte-identical for any `--jobs N`.
 //!
 //! Usage: `cargo run -p safedm-bench --bin prove_soundness --release
-//! [--quick] [--jobs N] [--staggers 0,100,1000,10000] [--max-cycles N]`
+//! [--quick] [--jobs N] [--staggers 0,100,1000,10000] [--max-cycles N]
+//! [--events-out PATH] [--events-timing] [--progress]`
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use safedm_analysis::{analyze, prove, AnalysisConfig, PcSpan};
 use safedm_asm::{Asm, Program};
-use safedm_bench::experiments::{arg_flag, arg_value, jobs_from_args};
-use safedm_campaign::{par_map, ConfigGrid};
+use safedm_bench::experiments::{
+    arg_flag, arg_list_or_exit, arg_parsed_or, jobs_from_args, run_cells_with_telemetry, Telemetry,
+};
+use safedm_campaign::ConfigGrid;
 use safedm_core::{MonitoredSoc, SafeDmConfig};
 use safedm_isa::Reg;
+use safedm_obs::events::CellEvent;
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig, Kernel, StaggerConfig};
 
@@ -211,16 +215,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = arg_flag(&args, "--quick");
     let jobs = jobs_from_args(&args);
-    let max_cycles = arg_value(&args, "--max-cycles")
-        .map_or(20_000_000, |v| v.parse::<u64>().expect("--max-cycles needs a number"));
+    let telemetry = Telemetry::from_args(&args);
+    let max_cycles = arg_parsed_or::<u64>(&args, "--max-cycles", 20_000_000);
 
-    let staggers: Vec<u64> = match arg_value(&args, "--staggers") {
-        Some(list) => list
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(|s| s.parse().expect("--staggers needs numbers"))
-            .collect(),
+    let staggers: Vec<u64> = match arg_list_or_exit::<u64>(&args, "--staggers") {
+        Some(list) => list,
         None if quick => vec![0, 100],
         None => vec![0, 100, 1000, 10000],
     };
@@ -270,14 +269,38 @@ fn main() -> ExitCode {
         })
         .collect();
 
-    eprintln!(
-        "prove-soundness: {} targets x {} staggers on {jobs} worker(s), max {max_cycles} cycles",
-        grid.kernels.len(),
-        grid.staggers.len()
-    );
+    if telemetry.progress {
+        eprintln!(
+            "prove-soundness: {} targets x {} staggers on {jobs} worker(s), max {max_cycles} \
+             cycles",
+            grid.kernels.len(),
+            grid.staggers.len()
+        );
+    }
 
     // Dynamic phase: run every cell under the monitor, in parallel.
-    let results = par_map(jobs, &cells, |_, cell| run_cell(&setups[cell.index], max_cycles));
+    let results = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        &cells,
+        |cell| cell.kernel.name().to_owned(),
+        |_, cell| run_cell(&setups[cell.index], max_cycles),
+        |index, cell, r| CellEvent {
+            index,
+            kernel: cell.kernel.name().to_owned(),
+            config: format!("nops={}", cell.stagger),
+            run: 0,
+            seed: cell.seed,
+            cycles: r.cycles,
+            guarded: r.guarded,
+            zero_stag: 0,
+            no_div: r.no_div,
+            episodes: 0,
+            violations: r.violations.len() as u64,
+            ok: r.checksum_ok && !r.timed_out && r.violations.is_empty(),
+            wall_us: None,
+        },
+    );
 
     println!(
         "{:<16} {:>7} {:>8} {:>10} {:>10} {:>8} {:>8} {:>9} {:>10} {:>6}",

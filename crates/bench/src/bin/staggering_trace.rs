@@ -13,7 +13,9 @@
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{arg_parsed_or, arg_value, write_metrics_json, RUN_BUDGET};
+use safedm_bench::experiments::{
+    arg_parsed_or, arg_value, write_file_or_exit, write_metrics_json, RUN_BUDGET,
+};
 use safedm_core::{MonitoredSoc, ObsConfig, ReportMode, RunObserver, SafeDmConfig};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig, StackMode, StaggerConfig};
@@ -101,8 +103,7 @@ fn main() {
     // (small |diff|) while both cores work core-locally, yet diversity
     // persists (no-div stays near zero in those windows).
     if let Some(path) = arg_value(&args, "--csv") {
-        std::fs::write(&path, csv).expect("write csv");
-        eprintln!("wrote {path}");
+        write_file_or_exit(&path, &csv);
     }
     if let Some(path) = arg_value(&args, "--metrics-out") {
         write_metrics_json(&path, &obs.metrics_snapshot());

@@ -12,14 +12,19 @@
 //! identical for any `--jobs N`.
 //!
 //! Usage: `cargo run -p safedm-bench --bin static_vs_dynamic --release
-//! [--quick] [--jobs N]`
+//! [--quick] [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
+//!
+//! `--events-out` records the per-kernel gate campaign (the synthetic
+//! hazard cross-validation is a fixed smoke set and stays out of the
+//! stream).
 
 use safedm_analysis::{AnalysisConfig, LintCode};
 use safedm_asm::{Asm, Program};
-use safedm_bench::experiments::{arg_flag, jobs_from_args};
+use safedm_bench::experiments::{arg_flag, jobs_from_args, run_cells_with_telemetry, Telemetry};
 use safedm_campaign::par_map;
 use safedm_core::{DiversityGate, MonitoredRun, MonitoredSoc, SafeDmConfig};
 use safedm_isa::Reg;
+use safedm_obs::events::CellEvent;
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
 
@@ -76,6 +81,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = arg_flag(&args, "--quick");
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
 
     let all = kernels::all();
     let selected: Vec<&safedm_tacle::Kernel> = if quick {
@@ -88,31 +94,60 @@ fn main() {
 
     // One campaign cell per kernel; each returns its rendered row plus the
     // two verdict bits the summary needs.
-    let kernel_cells = par_map(jobs, &selected, |_, k| {
-        let prog = build_kernel_program(k, &HarnessConfig::default());
-        let (out, gate) = run_gated(&prog, 200_000_000);
-        assert!(!out.run.timed_out, "{}: kernel run timed out", k.name);
-        let report = gate.report();
-        let has_diags = !report.diagnostics.is_empty();
-        let ok = gate.all_confirmed();
-        let row = format!(
-            "{:<18} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}  {}\n",
-            k.name,
-            report.cfg.loops.len(),
-            count(&gate, LintCode::Div001),
-            count(&gate, LintCode::Div002),
-            count(&gate, LintCode::Div003),
-            out.no_div_cycles,
-            out.cycles_observed,
-            if ok { "ok" } else { "REFUTED" }
-        );
-        (row, has_diags, ok)
-    });
+    let kernel_cells = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        &selected,
+        |k| k.name.to_owned(),
+        |_, k| {
+            let prog = build_kernel_program(k, &HarnessConfig::default());
+            let (out, gate) = run_gated(&prog, 200_000_000);
+            assert!(!out.run.timed_out, "{}: kernel run timed out", k.name);
+            let report = gate.report();
+            let has_diags = !report.diagnostics.is_empty();
+            let ok = gate.all_confirmed();
+            let row = format!(
+                "{:<18} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}  {}\n",
+                k.name,
+                report.cfg.loops.len(),
+                count(&gate, LintCode::Div001),
+                count(&gate, LintCode::Div002),
+                count(&gate, LintCode::Div003),
+                out.no_div_cycles,
+                out.cycles_observed,
+                if ok { "ok" } else { "REFUTED" }
+            );
+            (
+                row,
+                has_diags,
+                ok,
+                out.run.cycles,
+                out.zero_stag_cycles,
+                out.no_div_cycles,
+                out.cycles_observed,
+            )
+        },
+        |index, k, &(_, _, ok, cycles, zero_stag, no_div, observed)| CellEvent {
+            index,
+            kernel: k.name.to_owned(),
+            config: "gate".to_owned(),
+            run: 0,
+            seed: 0,
+            cycles,
+            guarded: observed,
+            zero_stag,
+            no_div,
+            episodes: 0,
+            violations: u64::from(!ok),
+            ok,
+            wall_us: None,
+        },
+    );
 
     let mut refuted = 0usize;
     let mut kernels_with_diags = 0usize;
     let mut kernel_rows = String::new();
-    for (row, has_diags, ok) in kernel_cells {
+    for (row, has_diags, ok, ..) in kernel_cells {
         kernel_rows.push_str(&row);
         if has_diags {
             kernels_with_diags += 1;

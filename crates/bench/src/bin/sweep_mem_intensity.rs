@@ -12,13 +12,13 @@
 //! `--jobs N`.
 //!
 //! Usage: `cargo run -p safedm-bench --bin sweep_mem_intensity --release
-//! [--jobs N]`
+//! [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::jobs_from_args;
-use safedm_campaign::par_map;
+use safedm_bench::experiments::{jobs_from_args, run_cells_with_telemetry, Telemetry};
 use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
+use safedm_obs::events::CellEvent;
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_synthetic, StackMode, SynthConfig};
 
@@ -28,25 +28,48 @@ const SEEDS: u64 = 3;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
 
     // One campaign cell per (mem-percent, generator-seed) pair.
     let cells: Vec<(u32, u64)> =
         PERCENTS.iter().flat_map(|&p| (0..SEEDS).map(move |s| (p, s))).collect();
-    let outs = par_map(jobs, &cells, |_, &(percent, seed)| {
-        let prog = build_synthetic(
-            &SynthConfig::with_mem_percent(percent, 11 + seed),
-            None,
-            StackMode::Mirrored,
-        );
-        let mut sys = MonitoredSoc::new(
-            SocConfig::default(),
-            SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },
-        );
-        sys.load_program(&prog);
-        let out = sys.run(400_000_000);
-        assert!(out.run.all_clean(), "mem {percent}%: {:?}", out.run.exits);
-        (out.run.cycles, out.zero_stag_cycles, out.no_div_cycles, out.cycles_observed)
-    });
+    let outs = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        &cells,
+        |_| "synthetic".to_owned(),
+        |_, &(percent, seed)| {
+            let prog = build_synthetic(
+                &SynthConfig::with_mem_percent(percent, 11 + seed),
+                None,
+                StackMode::Mirrored,
+            );
+            let mut sys = MonitoredSoc::new(
+                SocConfig::default(),
+                SafeDmConfig { report_mode: ReportMode::Polling, ..SafeDmConfig::default() },
+            );
+            sys.load_program(&prog);
+            let out = sys.run(400_000_000);
+            assert!(out.run.all_clean(), "mem {percent}%: {:?}", out.run.exits);
+            let episodes = sys.monitor().no_diversity_history().total_episodes();
+            (out.run.cycles, out.zero_stag_cycles, out.no_div_cycles, out.cycles_observed, episodes)
+        },
+        |index, &(percent, seed), &(cycles, zero_stag, no_div, observed, episodes)| CellEvent {
+            index,
+            kernel: "synthetic".to_owned(),
+            config: format!("mem={percent}%"),
+            run: seed,
+            seed: 11 + seed,
+            cycles,
+            guarded: observed,
+            zero_stag,
+            no_div,
+            episodes,
+            violations: 0,
+            ok: true,
+            wall_us: None,
+        },
+    );
 
     // Fold per-seed results back into per-percent averages, in sweep order.
     let mut rows = String::new();

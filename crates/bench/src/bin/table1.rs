@@ -8,11 +8,12 @@
 //!
 //! Usage: `cargo run -p safedm-bench --bin table1 --release [--quick]
 //! [--jobs N] [--root-seed S] [--profile] [--json PATH]
-//! [--metrics-out PATH]`
+//! [--metrics-out PATH] [--events-out PATH] [--events-timing] [--progress]`
 
 use safedm_bench::experiments::{
-    arg_flag, arg_value, jobs_from_args, render_table1, summarize_table1, table1_metrics,
-    table1_with_jobs, try_arg_parsed, write_metrics_json,
+    arg_flag, arg_value, jobs_from_args, render_table1, summarize_table1, table1_cells,
+    table1_events, table1_metrics, table1_rows_from_runs, table1_run_cells, try_arg_parsed,
+    write_file_or_exit, write_metrics_json, Telemetry, TABLE1_NOPS,
 };
 use safedm_core::SafeDmConfig;
 use safedm_obs::SelfProfiler;
@@ -22,6 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = arg_flag(&args, "--quick");
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
     let root_seed = match try_arg_parsed::<u64>(&args, "--root-seed") {
         Ok(v) => v,
         Err(msg) => {
@@ -39,16 +41,31 @@ fn main() {
         all.iter().collect()
     };
 
-    eprintln!(
-        "table1: running {} kernels x 4 staggering setups (4 seeds for 0 nops, 2 for the rest) \
-         on {jobs} worker(s)",
-        selected.len()
-    );
+    // Campaign stderr is quiet by default; `--progress` turns on the
+    // header and the live status line.
+    if telemetry.progress {
+        eprintln!(
+            "table1: running {} kernels x 4 staggering setups (4 seeds for 0 nops, 2 for the \
+             rest) on {jobs} worker(s)",
+            selected.len()
+        );
+    }
     let t = std::time::Instant::now();
+    let cells = table1_cells(&selected, root_seed);
+    let progress = telemetry.progress_for(cells.len());
+    let (runs, timings) = table1_run_cells(&cells, SafeDmConfig::default(), jobs, Some(&progress));
+    progress.finish();
     let mut prof = SelfProfiler::new();
-    let rows =
-        table1_with_jobs(&selected, SafeDmConfig::default(), jobs, root_seed, Some(&mut prof));
-    eprintln!("table1: finished in {:.1?}", t.elapsed());
+    prof.record("campaign.total", t.elapsed());
+    for (cell, dt) in cells.iter().zip(&timings) {
+        let nops = TABLE1_NOPS[cell.setup_idx];
+        prof.record(&format!("cell.{}.nops{nops}.run{}", cell.kernel.name, cell.run), *dt);
+    }
+    telemetry.write_events(&table1_events(&cells, &runs, &timings));
+    let rows = table1_rows_from_runs(&selected, &cells, &runs);
+    if telemetry.progress {
+        eprintln!("table1: finished in {:.1?}", t.elapsed());
+    }
 
     println!("TABLE I: TACLe-style benchmarks under SafeDM (model reproduction)");
     println!("{}", render_table1(&rows));
@@ -82,8 +99,7 @@ fn main() {
 
     if let Some(path) = arg_value(&args, "--json") {
         let blob = safedm_bench::experiments::json::table1_document(&rows, &summary);
-        std::fs::write(&path, blob).expect("write json");
-        eprintln!("wrote {path}");
+        write_file_or_exit(&path, &blob);
     }
     if let Some(path) = arg_value(&args, "--metrics-out") {
         write_metrics_json(&path, &table1_metrics(&rows).snapshot());

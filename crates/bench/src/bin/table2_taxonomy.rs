@@ -10,11 +10,11 @@
 //!   quantified diversity evidence.
 //!
 //! Usage: `cargo run -p safedm-bench --bin table2_taxonomy --release
-//! [--jobs N]`
+//! [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
 
-use safedm_bench::experiments::jobs_from_args;
-use safedm_campaign::par_map;
+use safedm_bench::experiments::{jobs_from_args, run_cells_with_telemetry, Telemetry};
 use safedm_core::{MonitoredSoc, ReportMode, SafeDe, SafeDeConfig, SafeDmConfig};
+use safedm_obs::events::CellEvent;
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
 
@@ -58,26 +58,48 @@ fn run_safedm(prog: &safedm_asm::Program) -> (u64, u64, u64) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs = jobs_from_args(&args);
+    let telemetry = Telemetry::from_args(&args);
     let names = ["bitcount", "fac", "iir", "insertsort", "pm", "quicksort", "md5", "fft"];
     let threshold = 200u64;
     // One campaign cell per kernel (each cell runs all three techniques);
     // ordered collection keeps the table identical for any --jobs N.
-    let rows = par_map(jobs, &names, |_, &name| {
-        let k = kernels::by_name(name).expect("kernel exists");
-        let prog = build_kernel_program(k, &HarnessConfig::default());
-        let plain = run_plain(&prog);
-        let (dec, stalls) = run_safede(&prog, threshold);
-        let (dmc, no_div, zero_stag) = run_safedm(&prog);
-        Row {
-            name,
-            plain_cycles: plain,
-            safede_cycles: dec,
-            safede_stalls: stalls,
-            safedm_cycles: dmc,
-            no_div,
-            zero_stag,
-        }
-    });
+    let rows = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        &names,
+        |name| (*name).to_owned(),
+        |_, &name| {
+            let k = kernels::by_name(name).expect("kernel exists");
+            let prog = build_kernel_program(k, &HarnessConfig::default());
+            let plain = run_plain(&prog);
+            let (dec, stalls) = run_safede(&prog, threshold);
+            let (dmc, no_div, zero_stag) = run_safedm(&prog);
+            Row {
+                name,
+                plain_cycles: plain,
+                safede_cycles: dec,
+                safede_stalls: stalls,
+                safedm_cycles: dmc,
+                no_div,
+                zero_stag,
+            }
+        },
+        |index, &name, r| CellEvent {
+            index,
+            kernel: name.to_owned(),
+            config: "taxonomy".to_owned(),
+            run: 0,
+            seed: 0,
+            cycles: r.safedm_cycles,
+            guarded: r.safedm_cycles,
+            zero_stag: r.zero_stag,
+            no_div: r.no_div,
+            episodes: 0,
+            violations: 0,
+            ok: true,
+            wall_us: None,
+        },
+    );
 
     println!("TABLE II (quantified): non-lockstepped redundant execution techniques");
     println!();

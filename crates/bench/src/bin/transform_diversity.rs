@@ -16,7 +16,8 @@
 //! stdout is byte-identical for any `--jobs N`.
 //!
 //! Usage: `cargo run -p safedm-bench --bin transform_diversity --release
-//! [--quick] [--jobs N] [--max-cycles N] [--seed S]`
+//! [--quick] [--jobs N] [--max-cycles N] [--seed S] [--events-out PATH]
+//! [--events-timing] [--progress]`
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -24,10 +25,13 @@ use std::sync::Arc;
 use safedm_analysis::{analyze, prove, prove_pair, AnalysisConfig, PcSpan, Verdict};
 use safedm_asm::transform::TransformConfig;
 use safedm_asm::Program;
-use safedm_bench::experiments::{arg_flag, arg_value, jobs_from_args};
-use safedm_campaign::{par_map, ConfigGrid};
+use safedm_bench::experiments::{
+    arg_flag, arg_parsed_or, jobs_from_args, run_cells_with_telemetry, Telemetry,
+};
+use safedm_campaign::ConfigGrid;
 use safedm_core::{MonitoredSoc, SafeDmConfig};
 use safedm_isa::Reg;
+use safedm_obs::events::CellEvent;
 use safedm_soc::SocConfig;
 use safedm_tacle::{
     build_kernel_program, build_twin_program, kernels, HarnessConfig, Kernel, StaggerConfig,
@@ -179,10 +183,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = arg_flag(&args, "--quick");
     let jobs = jobs_from_args(&args);
-    let max_cycles = arg_value(&args, "--max-cycles")
-        .map_or(20_000_000, |v| v.parse::<u64>().expect("--max-cycles needs a number"));
-    let seed = arg_value(&args, "--seed")
-        .map_or(0x5afe_d1f0, |v| v.parse::<u64>().expect("--seed needs a number"));
+    let telemetry = Telemetry::from_args(&args);
+    let max_cycles = arg_parsed_or::<u64>(&args, "--max-cycles", 20_000_000);
+    let seed = arg_parsed_or::<u64>(&args, "--seed", 0x5afe_d1f0);
 
     let targets: Vec<&'static Kernel> = if quick {
         ["fac", "bitcount", "insertsort"]
@@ -212,15 +215,38 @@ fn main() -> ExitCode {
     let setups: Vec<Setup> =
         cells.iter().map(|cell| build_setup(cell.kernel, cell.stagger, seed)).collect();
 
-    eprintln!(
-        "transform-diversity: {} kernels x {} modes on {jobs} worker(s), max {max_cycles} \
-         cycles, seed {seed:#x}",
-        grid.kernels.len(),
-        grid.staggers.len()
-    );
+    if telemetry.progress {
+        eprintln!(
+            "transform-diversity: {} kernels x {} modes on {jobs} worker(s), max {max_cycles} \
+             cycles, seed {seed:#x}",
+            grid.kernels.len(),
+            grid.staggers.len()
+        );
+    }
 
     // Dynamic phase: machine-check every cell under the monitor.
-    let results = par_map(jobs, &cells, |_, cell| run_cell(&setups[cell.index], max_cycles));
+    let results = run_cells_with_telemetry(
+        jobs,
+        &telemetry,
+        &cells,
+        |cell| cell.kernel.name.to_owned(),
+        |_, cell| run_cell(&setups[cell.index], max_cycles),
+        |index, cell, r| CellEvent {
+            index,
+            kernel: cell.kernel.name.to_owned(),
+            config: cell.stagger.name(),
+            run: 0,
+            seed: cell.seed,
+            cycles: r.cycles,
+            guarded: r.guarded,
+            zero_stag: 0,
+            no_div: r.no_div,
+            episodes: 0,
+            violations: r.violations as u64,
+            ok: r.checksum_ok && r.violations == 0,
+            wall_us: None,
+        },
+    );
 
     println!(
         "{:<16} {:<14} {:>5} {:>7} {:>6} {:>10} {:>7} {:>10} {:>8} {:>8} {:>10} {:>6}",

@@ -4,10 +4,12 @@
 //! [`mod@json`] helpers — no external serialisation dependency).
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use safedm_campaign::{derive_cell_seed, par_map_timed};
+use safedm_campaign::{derive_cell_seed, par_map_timed_observed, Progress};
 use safedm_core::{IsLayout, MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_isa::Reg;
+use safedm_obs::events::{CellEvent, Timing};
 use safedm_obs::{MetricsRegistry, MetricsSnapshot, SelfProfiler};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, HarnessConfig, Kernel, StackMode, StaggerConfig};
@@ -40,6 +42,8 @@ pub struct KernelRunSummary {
     pub is_match: u64,
     /// Monitored cycles.
     pub observed: u64,
+    /// Completed no-diversity episodes.
+    pub episodes: u64,
     /// Whether both cores produced the reference checksum.
     pub checksum_ok: bool,
 }
@@ -135,6 +139,7 @@ pub fn run_monitored_prebuilt(
         ds_match: counters.ds_match_cycles,
         is_match: counters.is_match_cycles,
         observed: out.cycles_observed,
+        episodes: sys.monitor().no_diversity_history().total_episodes(),
         checksum_ok,
     }
 }
@@ -306,9 +311,7 @@ pub fn table1_with_jobs(
 ) -> Vec<Table1Row> {
     let cells = table1_cells(kernels, root_seed);
     let campaign_start = std::time::Instant::now();
-    let (runs, timings) = par_map_timed(jobs, &cells, |_, cell| {
-        run_monitored_prebuilt(cell.kernel, &cell.program, cell.stagger, cell.seed, dm_cfg)
-    });
+    let (runs, timings) = table1_run_cells(&cells, dm_cfg, jobs, None);
     if let Some(prof) = prof {
         prof.record("campaign.total", campaign_start.elapsed());
         for (cell, t) in cells.iter().zip(&timings) {
@@ -317,6 +320,147 @@ pub fn table1_with_jobs(
         }
     }
     table1_fold(kernels, &cells, &runs)
+}
+
+/// Executes Table I campaign cells on `jobs` workers, reporting each
+/// completion to `progress` (stderr only — outputs stay deterministic) and
+/// returning run summaries plus per-cell wall-clock, both in cell order.
+#[must_use]
+pub fn table1_run_cells(
+    cells: &[Table1CellRun],
+    dm_cfg: SafeDmConfig,
+    jobs: usize,
+    progress: Option<&Progress>,
+) -> (Vec<KernelRunSummary>, Vec<Duration>) {
+    par_map_timed_observed(
+        jobs,
+        cells,
+        |_, cell| {
+            run_monitored_prebuilt(cell.kernel, &cell.program, cell.stagger, cell.seed, dm_cfg)
+        },
+        |i, _| {
+            if let Some(p) = progress {
+                p.cell_done(cells[i].kernel.name);
+            }
+        },
+    )
+}
+
+/// Folds Table I campaign output into rows (the shared fold behind
+/// [`table1_with_jobs`], exposed for callers that also want the per-cell
+/// summaries).
+#[must_use]
+pub fn table1_rows_from_runs(
+    kernels: &[&Kernel],
+    cells: &[Table1CellRun],
+    runs: &[KernelRunSummary],
+) -> Vec<Table1Row> {
+    table1_fold(kernels, cells, runs)
+}
+
+/// Builds the telemetry event stream for a Table I-protocol campaign: one
+/// [`CellEvent`] per cell, in cell order, carrying the run's counters and
+/// its wall-clock (which serialisation strips unless asked to keep).
+#[must_use]
+pub fn table1_events(
+    cells: &[Table1CellRun],
+    runs: &[KernelRunSummary],
+    timings: &[Duration],
+) -> Vec<CellEvent> {
+    cells
+        .iter()
+        .zip(runs)
+        .zip(timings)
+        .map(|((cell, r), t)| CellEvent {
+            index: cell.index as u64,
+            kernel: cell.kernel.name.to_owned(),
+            config: format!("nops={}", TABLE1_NOPS[cell.setup_idx]),
+            run: cell.run as u64,
+            seed: cell.seed,
+            cycles: r.cycles,
+            guarded: r.observed,
+            zero_stag: r.zero_stag,
+            no_div: r.no_div,
+            episodes: r.episodes,
+            violations: u64::from(!r.checksum_ok),
+            ok: r.checksum_ok,
+            wall_us: Some(duration_us(*t)),
+        })
+        .collect()
+}
+
+/// A [`CellEvent`] from one run's summary: the shared conversion for bins
+/// whose cells are single [`run_monitored`] calls. `run` defaults to 0 and
+/// `wall_us` to `None` (the campaign helper fills the measured duration).
+#[must_use]
+pub fn event_from_summary(index: u64, config: &str, r: &KernelRunSummary) -> CellEvent {
+    CellEvent {
+        index,
+        kernel: r.name.clone(),
+        config: config.to_owned(),
+        run: 0,
+        seed: r.seed,
+        cycles: r.cycles,
+        guarded: r.observed,
+        zero_stag: r.zero_stag,
+        no_div: r.no_div,
+        episodes: r.episodes,
+        violations: u64::from(!r.checksum_ok),
+        ok: r.checksum_ok,
+        wall_us: None,
+    }
+}
+
+/// A `Duration` as saturating whole microseconds.
+#[must_use]
+pub fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Runs a generic campaign through the pool with the full telemetry
+/// surface: live progress (stderr, throttled, only under `--progress`),
+/// per-cell wall-clock captured into events, and the event stream written
+/// if `--events-out` was given. Outputs come back in cell order exactly as
+/// [`par_map_timed_observed`] guarantees — telemetry observes, never
+/// steers.
+///
+/// `label(item)` names the cell's kernel for the progress breakdown;
+/// `event(index, item, out)` builds the cell's event (its `wall_us` is
+/// overwritten with the measured duration).
+pub fn run_cells_with_telemetry<T, O, F, L, E>(
+    jobs: usize,
+    telemetry: &Telemetry,
+    items: &[T],
+    label: L,
+    f: F,
+    event: E,
+) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(usize, &T) -> O + Sync,
+    L: Fn(&T) -> String + Sync,
+    E: Fn(u64, &T, &O) -> CellEvent,
+{
+    let progress = telemetry.progress_for(items.len());
+    let (outs, timings) =
+        par_map_timed_observed(jobs, items, f, |i, _| progress.cell_done(&label(&items[i])));
+    progress.finish();
+    if telemetry.events_out.is_some() {
+        let events: Vec<CellEvent> = items
+            .iter()
+            .zip(&outs)
+            .zip(&timings)
+            .enumerate()
+            .map(|(i, ((item, o), t))| {
+                let mut e = event(i as u64, item, o);
+                e.wall_us = Some(duration_us(*t));
+                e
+            })
+            .collect();
+        telemetry.write_events(&events);
+    }
+    outs
 }
 
 /// The pre-engine nested-loop Table I: the differential baseline
@@ -477,6 +621,58 @@ pub fn arg_parsed_or<T: std::str::FromStr>(args: &[String], flag: &str, default:
     }
 }
 
+/// Parses the value of `--flag` as a comma-separated list of `T`,
+/// distinguishing "absent" from "present but invalid". Empty entries
+/// (stray commas, whitespace) are skipped.
+///
+/// # Errors
+///
+/// Returns `Err` with an `"invalid value for FLAG"` message naming the
+/// first entry that does not parse.
+pub fn try_arg_list<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<Vec<T>>, String> {
+    match arg_value(args, flag) {
+        None => Ok(None),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse().map_err(|_| {
+                    format!("invalid value for {flag}: `{s}` (expected a comma-separated list of numbers)")
+                })
+            })
+            .collect::<Result<Vec<T>, String>>()
+            .map(Some),
+    }
+}
+
+/// [`try_arg_list`] exiting with a diagnostic on invalid values; `None`
+/// when the flag is absent (callers pick their own default).
+#[must_use]
+pub fn arg_list_or_exit<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Vec<T>> {
+    match try_arg_list(args, flag) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Writes `contents` to `path`, exiting with a diagnostic on I/O failure —
+/// the shared artefact-writing tail (`--json`, `--csv`, `--events-out`),
+/// replacing per-binary `expect("write ...")` panics.
+pub fn write_file_or_exit(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path}");
+}
+
 /// Resolves `--jobs` for a bench binary: the machine's available
 /// parallelism when absent, a positive integer otherwise; exits with a
 /// helpful diagnostic on invalid values.
@@ -487,6 +683,55 @@ pub fn jobs_from_args(args: &[String]) -> usize {
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(2);
+        }
+    }
+}
+
+/// The shared telemetry CLI surface: `--events-out FILE` (per-cell event
+/// JSONL), `--events-timing` (keep wall-clock in the stream, forfeiting
+/// byte-identity across runs) and `--progress` (live stderr status line).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Where to write the event JSONL, if anywhere.
+    pub events_out: Option<String>,
+    /// Whether serialised events keep their wall-clock field.
+    pub keep_timing: bool,
+    /// Whether the live stderr progress line is on.
+    pub progress: bool,
+}
+
+impl Telemetry {
+    /// Parses the telemetry flags out of `args`.
+    #[must_use]
+    pub fn from_args(args: &[String]) -> Telemetry {
+        Telemetry {
+            events_out: arg_value(args, "--events-out"),
+            keep_timing: arg_flag(args, "--events-timing"),
+            progress: arg_flag(args, "--progress"),
+        }
+    }
+
+    /// The serialisation policy the flags ask for.
+    #[must_use]
+    pub fn timing(&self) -> Timing {
+        if self.keep_timing {
+            Timing::Keep
+        } else {
+            Timing::Strip
+        }
+    }
+
+    /// A progress reporter for `total` cells, live only under `--progress`.
+    #[must_use]
+    pub fn progress_for(&self, total: usize) -> Progress {
+        Progress::new(self.progress, total)
+    }
+
+    /// Writes the event stream if `--events-out` was given, exiting with a
+    /// diagnostic on I/O failure (same contract as [`write_metrics_json`]).
+    pub fn write_events(&self, events: &[CellEvent]) {
+        if let Some(path) = &self.events_out {
+            write_file_or_exit(path, &safedm_obs::events::to_jsonl(events, self.timing()));
         }
     }
 }
@@ -649,6 +894,52 @@ mod tests {
         assert!(!arg_flag(&args, "--slow"));
         // flag at the end with no value
         assert_eq!(arg_value(&args, "--quick"), None);
+    }
+
+    #[test]
+    fn arg_list_parses_and_reports_bad_entries() {
+        let args: Vec<String> =
+            ["prog", "--staggers", "0, 100,,1000"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(try_arg_list::<u64>(&args, "--staggers"), Ok(Some(vec![0, 100, 1000])));
+        assert_eq!(try_arg_list::<u64>(&args, "--absent"), Ok(None));
+        let bad: Vec<String> =
+            ["prog", "--staggers", "0,ten"].iter().map(|s| (*s).to_owned()).collect();
+        let err = try_arg_list::<u64>(&bad, "--staggers").unwrap_err();
+        assert!(err.contains("invalid value for --staggers"), "{err}");
+        assert!(err.contains("`ten`"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_pick_timing() {
+        let args: Vec<String> = ["prog", "--events-out", "ev.jsonl", "--progress"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let t = Telemetry::from_args(&args);
+        assert_eq!(t.events_out.as_deref(), Some("ev.jsonl"));
+        assert!(t.progress);
+        assert_eq!(t.timing(), Timing::Strip);
+        let args: Vec<String> =
+            ["prog", "--events-timing"].iter().map(|s| (*s).to_owned()).collect();
+        let t = Telemetry::from_args(&args);
+        assert!(t.events_out.is_none());
+        assert_eq!(t.timing(), Timing::Keep);
+    }
+
+    #[test]
+    fn table1_events_carry_run_counters() {
+        let k = kernels::by_name("fac").expect("kernel");
+        let cells = table1_cells(&[k], Some(7));
+        let (runs, timings) = table1_run_cells(&cells, SafeDmConfig::default(), 1, None);
+        let events = table1_events(&cells, &runs, &timings);
+        assert_eq!(events.len(), cells.len());
+        assert_eq!(events[0].kernel, "fac");
+        assert_eq!(events[0].config, "nops=0");
+        assert_eq!(events[0].seed, cells[0].seed);
+        assert!(events.iter().all(|e| e.ok && e.wall_us.is_some()));
+        assert!(events.iter().all(|e| e.guarded >= e.no_div));
+        // Cell order is the canonical enumeration.
+        assert!(events.windows(2).all(|w| w[0].index + 1 == w[1].index));
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   scheduling;
 //! * [`pool::par_map`] / [`pool::par_map_timed`] — a `std::thread` chunked
 //!   work-stealing pool with **ordered result collection**: outputs come
-//!   back in cell order, byte-identical for any `--jobs N`.
+//!   back in cell order, byte-identical for any `--jobs N`;
+//! * [`pool::par_map_timed_observed`] + [`progress::Progress`] — a
+//!   completion observer (fires per cell on the worker thread, in
+//!   scheduling order) driving a throttled stderr progress line; the
+//!   observer sees only measurement, so outputs stay deterministic.
 //!
 //! The determinism contract, spelled out: for a fixed item list and cell
 //! function, `par_map(j, items, f)` returns the same `Vec` for every `j`,
@@ -54,10 +58,12 @@
 
 pub mod grid;
 pub mod pool;
+pub mod progress;
 pub mod seed;
 
 pub use grid::{Cell, ConfigGrid};
-pub use pool::{default_jobs, par_map, par_map_timed};
+pub use pool::{default_jobs, par_map, par_map_timed, par_map_timed_observed};
+pub use progress::Progress;
 pub use seed::{derive_cell_seed, SplitMix64};
 
 /// Parses a `--jobs`-style value: `None` means the machine default, and an

@@ -43,6 +43,31 @@ where
     O: Send,
     F: Fn(usize, &T) -> O + Sync,
 {
+    par_map_timed_observed(jobs, items, f, |_, _| {})
+}
+
+/// [`par_map_timed`] with a completion observer: `observe(index, elapsed)`
+/// runs on the *worker* thread the moment a cell finishes, in whatever
+/// order scheduling produces. The observer sees only measurement (which
+/// cell, how long) and returns nothing, so it cannot influence outputs —
+/// use it for live progress reporting, never for results. Outputs and
+/// timings are still collected in item order exactly as [`par_map_timed`].
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` after all workers stop.
+pub fn par_map_timed_observed<T, O, F, Obs>(
+    jobs: usize,
+    items: &[T],
+    f: F,
+    observe: Obs,
+) -> (Vec<O>, Vec<Duration>)
+where
+    T: Sync,
+    O: Send,
+    F: Fn(usize, &T) -> O + Sync,
+    Obs: Fn(usize, Duration) + Sync,
+{
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs == 1 {
         let mut outs = Vec::with_capacity(items.len());
@@ -50,7 +75,9 @@ where
         for (i, item) in items.iter().enumerate() {
             let start = Instant::now();
             outs.push(f(i, item));
-            times.push(start.elapsed());
+            let elapsed = start.elapsed();
+            observe(i, elapsed);
+            times.push(elapsed);
         }
         return (outs, times);
     }
@@ -71,7 +98,11 @@ where
                 // re-raised after the join, once every worker has stopped.
                 let out = catch_unwind(AssertUnwindSafe(|| f(i, item)));
                 match out {
-                    Ok(o) => local.push((i, o, t.elapsed())),
+                    Ok(o) => {
+                        let elapsed = t.elapsed();
+                        observe(i, elapsed);
+                        local.push((i, o, elapsed));
+                    }
                     Err(payload) => return Err(payload),
                 }
             }
@@ -167,6 +198,25 @@ mod tests {
         assert_eq!(chunk_size(0, 4), 1);
         assert_eq!(chunk_size(3, 4), 1);
         assert_eq!(chunk_size(1 << 20, 2), 64);
+    }
+
+    #[test]
+    fn observer_sees_every_cell_exactly_once() {
+        use std::sync::Mutex;
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 4] {
+            let seen = Mutex::new(Vec::new());
+            let (outs, _) = par_map_timed_observed(
+                jobs,
+                &items,
+                |_, v| *v,
+                |i, _| seen.lock().unwrap().push(i),
+            );
+            assert_eq!(outs, items);
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..items.len()).collect::<Vec<_>>());
+        }
     }
 
     #[test]

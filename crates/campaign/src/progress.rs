@@ -1,0 +1,164 @@
+//! Throttled live progress for campaign runs.
+//!
+//! [`Progress`] counts completed cells as the pool's completion observer
+//! fires (any thread, any order) and periodically rewrites one stderr
+//! status line: cells done/total, cells/sec, ETA, and a per-kernel
+//! breakdown. It writes **only to stderr** and only when enabled, so
+//! stdout artefacts (JSON, CSV, event JSONL) are never perturbed — the
+//! same contract `SelfProfiler` keeps for its wall-clock lines.
+//!
+//! Rendering is throttled (default 200 ms between repaints) so a campaign
+//! of tiny cells is not dominated by terminal writes.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Minimum interval between stderr repaints.
+const THROTTLE: Duration = Duration::from_millis(200);
+
+struct State {
+    done: usize,
+    per_kernel: BTreeMap<String, usize>,
+    last_paint: Option<Instant>,
+}
+
+/// A throttled stderr progress reporter; shareable across pool workers.
+pub struct Progress {
+    enabled: bool,
+    total: usize,
+    start: Instant,
+    state: Mutex<State>,
+}
+
+impl Progress {
+    /// A reporter for `total` cells. When `enabled` is false every call is
+    /// a no-op (one branch, no lock).
+    #[must_use]
+    pub fn new(enabled: bool, total: usize) -> Progress {
+        Progress {
+            enabled,
+            total,
+            start: Instant::now(),
+            state: Mutex::new(State { done: 0, per_kernel: BTreeMap::new(), last_paint: None }),
+        }
+    }
+
+    /// Records one completed cell for `kernel` and repaints the status line
+    /// if the throttle interval has elapsed. Safe to call from any worker.
+    pub fn cell_done(&self, kernel: &str) {
+        if !self.enabled {
+            return;
+        }
+        let Ok(mut st) = self.state.lock() else { return };
+        st.done += 1;
+        *st.per_kernel.entry(kernel.to_owned()).or_insert(0) += 1;
+        let now = Instant::now();
+        let due = st.last_paint.is_none_or(|t| now.duration_since(t) >= THROTTLE);
+        if due || st.done == self.total {
+            st.last_paint = Some(now);
+            let line = render_line(st.done, self.total, self.start.elapsed(), &st.per_kernel);
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r\x1b[2K{line}");
+            let _ = err.flush();
+        }
+    }
+
+    /// Finishes the progress display: paints the final state and moves to a
+    /// fresh line so subsequent stderr output is not glued to the bar.
+    pub fn finish(&self) {
+        if !self.enabled {
+            return;
+        }
+        let Ok(st) = self.state.lock() else { return };
+        let line = render_line(st.done, self.total, self.start.elapsed(), &st.per_kernel);
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "\r\x1b[2K{line}");
+        let _ = err.flush();
+    }
+}
+
+/// The status line: `cells 12/40 (30.0%)  3.1 cells/s  eta 9s  [fac 6, matmul 6]`.
+/// Pure function of the counts, so it is testable without a terminal.
+#[must_use]
+pub fn render_line(
+    done: usize,
+    total: usize,
+    elapsed: Duration,
+    per_kernel: &BTreeMap<String, usize>,
+) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let pct = if total > 0 { done as f64 / total as f64 * 100.0 } else { 100.0 };
+    let secs = elapsed.as_secs_f64();
+    #[allow(clippy::cast_precision_loss)]
+    let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+    let eta = if done > 0 && done < total && rate > 0.0 {
+        #[allow(clippy::cast_precision_loss)]
+        let remaining = (total - done) as f64 / rate;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let secs_left = remaining.ceil() as u64;
+        format!("eta {secs_left}s")
+    } else if done >= total {
+        "done".to_owned()
+    } else {
+        "eta ?".to_owned()
+    };
+    let kernels: Vec<String> = per_kernel.iter().map(|(k, n)| format!("{k} {n}")).collect();
+    let mut line = format!("cells {done}/{total} ({pct:.1}%)  {rate:.1} cells/s  {eta}");
+    if !kernels.is_empty() {
+        line.push_str("  [");
+        line.push_str(&kernels.join(", "));
+        line.push(']');
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_line_reports_rate_eta_and_kernels() {
+        let mut pk = BTreeMap::new();
+        pk.insert("fac".to_owned(), 6);
+        pk.insert("matmul".to_owned(), 6);
+        let line = render_line(12, 40, Duration::from_secs(4), &pk);
+        assert!(line.contains("cells 12/40 (30.0%)"), "{line}");
+        assert!(line.contains("3.0 cells/s"), "{line}");
+        assert!(line.contains("eta 10s"), "{line}");
+        assert!(line.contains("[fac 6, matmul 6]"), "{line}");
+    }
+
+    #[test]
+    fn render_line_edge_cases() {
+        let pk = BTreeMap::new();
+        // Nothing done yet: unknown ETA, no kernel list.
+        let line = render_line(0, 10, Duration::ZERO, &pk);
+        assert!(line.contains("eta ?"), "{line}");
+        assert!(!line.contains('['), "{line}");
+        // Complete (and empty campaigns count as complete).
+        assert!(render_line(10, 10, Duration::from_secs(1), &pk).contains("done"));
+        assert!(render_line(0, 0, Duration::ZERO, &pk).contains("(100.0%)"));
+    }
+
+    #[test]
+    fn disabled_progress_is_inert() {
+        let p = Progress::new(false, 5);
+        p.cell_done("fac");
+        p.finish();
+        assert_eq!(p.state.lock().unwrap().done, 0);
+    }
+
+    #[test]
+    fn enabled_progress_counts_cells() {
+        // Note: paints to stderr; fine under the test harness.
+        let p = Progress::new(true, 2);
+        p.cell_done("fac");
+        p.cell_done("fac");
+        p.finish();
+        let st = p.state.lock().unwrap();
+        assert_eq!(st.done, 2);
+        assert_eq!(st.per_kernel.get("fac"), Some(&2));
+    }
+}

@@ -15,7 +15,12 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (stored as `f64`).
+    /// A non-negative integer, kept at full `u64` precision. The parser
+    /// produces this for unsigned integer literals (no sign, fraction or
+    /// exponent), so counters like guarded-cycle totals survive a
+    /// round-trip even beyond 2^53 (where `f64` starts dropping bits).
+    Uint(u64),
+    /// Any other JSON number (stored as `f64`).
     Num(f64),
     /// A string.
     Str(String),
@@ -53,11 +58,38 @@ impl JsonValue {
         }
     }
 
-    /// The numeric payload (`None` on other kinds).
+    /// The numeric payload (`None` on other kinds). `Uint` values wider
+    /// than 53 bits are rounded — use [`JsonValue::as_u64`] when exactness
+    /// matters.
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Num(n) => Some(*n),
+            #[allow(clippy::cast_precision_loss)]
+            JsonValue::Uint(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`: `Uint` directly, `Num` only when it is
+    /// a non-negative integer small enough to be exact.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Uint(n) => Some(*n),
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload (`None` on other kinds).
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -74,6 +106,9 @@ impl JsonValue {
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Uint(n) => {
+                let _ = write!(out, "{n}");
+            }
             JsonValue::Num(n) => out.push_str(&number(*n)),
             JsonValue::Str(s) => {
                 out.push('"');
@@ -373,6 +408,13 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        // Unsigned integer literals keep full 64-bit precision; everything
+        // else (signs, fractions, exponents, wider integers) goes to f64.
+        if !text.starts_with('-') && !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::Uint(n));
+            }
+        }
         text.parse::<f64>().map(JsonValue::Num).map_err(|_| self.err("invalid number"))
     }
 }
@@ -414,6 +456,22 @@ mod tests {
         let v = JsonValue::Str("a\u{1}b".to_owned());
         assert_eq!(v.render(), "\"a\\u0001b\"");
         assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_integers_roundtrip_exactly() {
+        for n in [0u64, 1, (1 << 53) + 1, u64::MAX] {
+            let v = parse(&format!("{n}")).unwrap();
+            assert_eq!(v, JsonValue::Uint(n));
+            assert_eq!(v.as_u64(), Some(n));
+            assert_eq!(parse(&v.render()).unwrap(), v);
+        }
+        // Signed / fractional / exponent literals stay on the f64 path.
+        assert_eq!(parse("-1").unwrap(), JsonValue::Num(-1.0));
+        assert_eq!(parse("1.5").unwrap(), JsonValue::Num(1.5));
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Num(1000.0));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("2.0").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -17,15 +17,25 @@
 //! * [`json`] — a dependency-free JSON writer/parser used by the exporters
 //!   and by tests that validate exported documents.
 //!
+//! On top of these sit the campaign-telemetry modules: [`events`] (the
+//! per-cell [`events::CellEvent`] record and its JSONL codec), [`aggregate`]
+//! (per-kernel summaries, heatmaps, stall Paretos and bench-baseline
+//! trends) and [`report`] (terminal and self-contained HTML renderers).
+//! Serialised events strip wall-clock by default so campaign telemetry
+//! inherits the byte-identical-across-workers contract.
+//!
 //! Instrumentation must observe, never mutate: nothing in this crate holds a
 //! mutable handle into simulated state.
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
+pub mod events;
 mod hist;
 pub mod json;
 mod metrics;
 mod profiler;
+pub mod report;
 mod trace;
 
 pub use hist::BinnedHistogram;

@@ -26,11 +26,14 @@
 //! safedm-sim analyze --prove --pair --kernel <NAME | all> [--seed S] [--level L]
 //! safedm-sim transform <NAME | all> [--seed S] [--level L] [--verify]
 //! safedm-sim bench [--out FILE] [--date YYYY-MM-DD] [--quick]
-//!            [--check BASELINE [--tolerance F]]
+//!            [--check BASELINE [--tolerance F]] [--history [--bench-dir DIR]]
 //! safedm-sim trace <kernel | program.s> [--cycles N] [--out FILE] [--jsonl]
 //! safedm-sim stats <kernel | program.s> [--cycles N] [--json] [--profile]
 //! safedm-sim campaign [--kernels a,b] [--staggers 0,100] [--runs N]
 //!            [--root-seed S] [--jobs N] [--json] [--profile]
+//!            [--events-out FILE [--events-timing]] [--progress]
+//! safedm-sim report --events FILE [--metrics FILE] [--bench-dir DIR]
+//!            [--html FILE] [--top N] [--tolerance F]
 //! safedm-sim --list-kernels
 //! ```
 //!
@@ -38,6 +41,18 @@
 //! executes it on the deterministic `safedm-campaign` pool: per-cell seeds
 //! derive from `--root-seed` and the cell index alone, and results collect
 //! in grid order, so the output is byte-identical for every `--jobs N`.
+//! `--events-out` additionally writes one [`safedm::obs::events`] JSONL
+//! record per cell (also byte-identical across `--jobs`; per-cell
+//! wall-clock is stripped unless `--events-timing` opts in), and
+//! `--progress` turns on a live stderr progress line — without it the
+//! campaign keeps stderr quiet.
+//!
+//! The `report` subcommand consumes a campaign event stream (plus an
+//! optional metrics snapshot and the committed `BENCH_*.json` history) and
+//! renders the campaign telemetry report — per-kernel summary, a
+//! diversity/episode heatmap, the slowest cells, a stall-cause Pareto, and
+//! the bench trend — to the terminal and optionally as a self-contained
+//! HTML page (`--html`).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -45,8 +60,9 @@ use std::sync::Arc;
 use safedm::analysis::{analyze, AnalysisConfig};
 use safedm::asm::transform::TransformConfig;
 use safedm::asm::Program;
-use safedm::campaign::{par_map_timed, ConfigGrid};
+use safedm::campaign::{par_map_timed_observed, ConfigGrid, Progress};
 use safedm::monitor::{MonitoredSoc, ObsConfig, ReportMode, RunObserver, SafeDmConfig};
+use safedm::obs::events::{CellEvent, Timing};
 use safedm::obs::json::JsonValue;
 use safedm::obs::SelfProfiler;
 use safedm::soc::{ProbeVcd, SocConfig};
@@ -73,6 +89,37 @@ fn parse_u64(s: &str) -> Result<u64, String> {
     .map_err(|_| format!("invalid number `{s}`"))
 }
 
+/// `--flag N` with a default: decimal or `0x` hex, with the flag named in
+/// the error (`invalid value for --runs: \`x\` (expected a number)`).
+fn arg_u64_or(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match arg_value(args, flag) {
+        None => Ok(default),
+        Some(v) => parse_u64(&v)
+            .map_err(|_| format!("invalid value for {flag}: `{v}` (expected a number)")),
+    }
+}
+
+/// `--flag N` without a default: `None` when absent, flag-named error when
+/// present but unparsable.
+fn arg_opt_u64(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    arg_value(args, flag)
+        .map(|v| {
+            parse_u64(&v)
+                .map_err(|_| format!("invalid value for {flag}: `{v}` (expected a number)"))
+        })
+        .transpose()
+}
+
+/// `--flag F` with a default: a float, with the flag named in the error.
+fn arg_f64_or(args: &[String], flag: &str, default: f64) -> Result<f64, String> {
+    match arg_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("invalid value for {flag}: `{v}` (expected a number)")),
+    }
+}
+
 fn usage() -> &'static str {
     "usage: safedm-sim <program.s | --kernel NAME | --list-kernels>\n\
      \x20      [--base ADDR] [--stagger NOPS [--delayed-core 0|1]]\n\
@@ -85,13 +132,18 @@ fn usage() -> &'static str {
      \x20      safedm-sim bench\n\
      \x20      [--out FILE] [--date YYYY-MM-DD] [--quick]\n\
      \x20      [--check BASELINE [--tolerance F]]\n\
+     \x20      [--history [--bench-dir DIR] [--tolerance F]]\n\
      \x20      safedm-sim trace <kernel | program.s>\n\
      \x20      [--cycles N] [--out FILE] [--jsonl] [--events N] [--interval N]\n\
      \x20      safedm-sim stats <kernel | program.s>\n\
      \x20      [--cycles N] [--json] [--metrics-out FILE] [--profile] [--interval N]\n\
      \x20      safedm-sim campaign\n\
      \x20      [--kernels a,b,..] [--staggers 0,100,..] [--runs N]\n\
-     \x20      [--root-seed S] [--jobs N] [--json] [--profile]"
+     \x20      [--root-seed S] [--jobs N] [--json] [--profile]\n\
+     \x20      [--events-out FILE [--events-timing]] [--progress]\n\
+     \x20      safedm-sim report --events FILE\n\
+     \x20      [--metrics FILE] [--bench-dir DIR] [--html FILE]\n\
+     \x20      [--top N] [--tolerance F]"
 }
 
 /// Resolves the positional target of a subcommand: a built-in kernel name
@@ -122,10 +174,10 @@ fn observed_run(
     args: &[String],
     profile: Option<&mut SelfProfiler>,
 ) -> Result<(String, MonitoredSoc, RunObserver), String> {
-    let base = arg_value(args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;
-    let max_cycles = arg_value(args, "--cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
-    let events = arg_value(args, "--events").map_or(Ok(1 << 16), |v| parse_u64(&v))?;
-    let interval = arg_value(args, "--interval").map_or(Ok(64), |v| parse_u64(&v))?.max(1);
+    let base = arg_u64_or(args, "--base", 0x8000_0000)?;
+    let max_cycles = arg_u64_or(args, "--cycles", 500_000_000)?;
+    let events = arg_u64_or(args, "--events", 1 << 16)?;
+    let interval = arg_u64_or(args, "--interval", 64)?.max(1);
     let (name, prog) = resolve_target(args, base)?;
 
     let mut sys = MonitoredSoc::new(
@@ -208,8 +260,8 @@ fn run_stats(args: &[String]) -> Result<(), String> {
 /// `--seed` picks the derangement/jitter seed, `--level` the aggressiveness
 /// preset (0 identity … 3 full; defaults to 3).
 fn twin_config(args: &[String]) -> Result<TwinConfig, String> {
-    let seed = arg_value(args, "--seed").map_or(Ok(0x5afe_d1f0), |v| parse_u64(&v))?;
-    let level = arg_value(args, "--level").map_or(Ok(3), |v| parse_u64(&v))?;
+    let seed = arg_u64_or(args, "--seed", 0x5afe_d1f0)?;
+    let level = arg_u64_or(args, "--level", 3)?;
     if level > 3 {
         return Err(format!("--level {level} out of range (0..=3)"));
     }
@@ -272,9 +324,9 @@ fn run_analyze_pair(args: &[String]) -> Result<(), String> {
 /// certificates; `--kernel all` proves every built-in kernel (one summary
 /// line each), which is what the CI smoke test drives.
 fn run_analyze(args: &[String]) -> Result<(), String> {
-    let base = arg_value(args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;
-    let stagger_nops = arg_value(args, "--stagger").map(|v| parse_u64(&v)).transpose()?;
-    let max_cycles = arg_value(args, "--max-cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
+    let base = arg_u64_or(args, "--base", 0x8000_0000)?;
+    let stagger_nops = arg_opt_u64(args, "--stagger")?;
+    let max_cycles = arg_u64_or(args, "--max-cycles", 500_000_000)?;
     let prove_mode = arg_flag(args, "--prove");
 
     if arg_flag(args, "--pair") {
@@ -357,6 +409,10 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
 
 /// The `campaign` subcommand: enumerate a kernel × stagger × run
 /// [`ConfigGrid`] and execute it on the deterministic worker pool.
+/// Telemetry — the `--events-out` stream and the `--progress` stderr line
+/// — observes the campaign but never steers it: events are built from the
+/// ordered results after the pool joins, so the stream is byte-identical
+/// for every `--jobs N` (wall-clock is stripped unless `--events-timing`).
 fn run_campaign(args: &[String]) -> Result<(), String> {
     let kernels_arg = arg_value(args, "--kernels").unwrap_or_else(|| "bitcount,fac".to_owned());
     let mut kernel_axis = Vec::new();
@@ -373,15 +429,24 @@ fn run_campaign(args: &[String]) -> Result<(), String> {
         .split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
-        .map(parse_u64)
-        .collect::<Result<_, _>>()
-        .map_err(|e| format!("invalid value for --staggers: {e}"))?;
+        .map(|s| {
+            parse_u64(s).map_err(|_| {
+                format!(
+                    "invalid value for --staggers: `{s}` (expected a comma-separated list of \
+                     numbers)"
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
     if stagger_axis.is_empty() {
         return Err("--staggers needs at least one nop count".to_owned());
     }
-    let runs = arg_value(args, "--runs").map_or(Ok(2), |v| parse_u64(&v))?.max(1) as usize;
-    let root_seed = arg_value(args, "--root-seed").map_or(Ok(2024), |v| parse_u64(&v))?;
+    let runs = arg_u64_or(args, "--runs", 2)?.max(1) as usize;
+    let root_seed = arg_u64_or(args, "--root-seed", 2024)?;
     let jobs = safedm::campaign::parse_jobs(arg_value(args, "--jobs").as_deref())?;
+    let events_out = arg_value(args, "--events-out");
+    let timing = if arg_flag(args, "--events-timing") { Timing::Keep } else { Timing::Strip };
+    let show_progress = arg_flag(args, "--progress");
 
     let grid = ConfigGrid {
         kernels: kernel_axis,
@@ -407,20 +472,63 @@ fn run_campaign(args: &[String]) -> Result<(), String> {
     }
 
     let cells = grid.cells();
-    eprintln!("campaign: {} cells on {jobs} worker(s), root seed {root_seed}", cells.len());
-    let (results, durations) = par_map_timed(jobs, &cells, |_, cell| {
-        let prog = &programs[cell.index / runs];
-        let soc_cfg = SocConfig { mem_jitter: 2, jitter_seed: cell.seed, ..SocConfig::default() };
-        let dm_cfg = SafeDmConfig { report_mode: ReportMode::Polling, ..cell.config };
-        let mut sys = MonitoredSoc::new(soc_cfg, dm_cfg);
-        sys.load_program(prog);
-        sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(ReportMode::Polling) << 1));
-        let out = sys.run(500_000_000);
-        let golden = (cell.kernel.reference)();
-        let ok = !out.run.timed_out
-            && (0..2).all(|c| sys.soc().core(c).reg(safedm::isa::Reg::A0) == golden);
-        (out.run.cycles, out.zero_stag_cycles, out.no_div_cycles, out.cycles_observed, ok)
-    });
+    if show_progress {
+        eprintln!("campaign: {} cells on {jobs} worker(s), root seed {root_seed}", cells.len());
+    }
+    let progress = Progress::new(show_progress, cells.len());
+    let (results, durations) = par_map_timed_observed(
+        jobs,
+        &cells,
+        |_, cell| {
+            let prog = &programs[cell.index / runs];
+            let soc_cfg =
+                SocConfig { mem_jitter: 2, jitter_seed: cell.seed, ..SocConfig::default() };
+            let dm_cfg = SafeDmConfig { report_mode: ReportMode::Polling, ..cell.config };
+            let mut sys = MonitoredSoc::new(soc_cfg, dm_cfg);
+            sys.load_program(prog);
+            sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(ReportMode::Polling) << 1));
+            let out = sys.run(500_000_000);
+            let golden = (cell.kernel.reference)();
+            let ok = !out.run.timed_out
+                && (0..2).all(|c| sys.soc().core(c).reg(safedm::isa::Reg::A0) == golden);
+            CampaignCell {
+                cycles: out.run.cycles,
+                zero_stag: out.zero_stag_cycles,
+                no_div: out.no_div_cycles,
+                observed: out.cycles_observed,
+                episodes: sys.monitor().no_diversity_history().total_episodes(),
+                ok,
+            }
+        },
+        |i, _| progress.cell_done(cells[i].kernel.name),
+    );
+    progress.finish();
+
+    if let Some(path) = &events_out {
+        let events: Vec<CellEvent> = cells
+            .iter()
+            .zip(&results)
+            .zip(&durations)
+            .map(|((cell, r), d)| CellEvent {
+                index: cell.index as u64,
+                kernel: cell.kernel.name.to_owned(),
+                config: format!("nops={}", cell.stagger),
+                run: cell.run as u64,
+                seed: cell.seed,
+                cycles: r.cycles,
+                guarded: r.observed,
+                zero_stag: r.zero_stag,
+                no_div: r.no_div,
+                episodes: r.episodes,
+                violations: u64::from(!r.ok),
+                ok: r.ok,
+                wall_us: Some(u64::try_from(d.as_micros()).unwrap_or(u64::MAX)),
+            })
+            .collect();
+        std::fs::write(path, safedm::obs::events::to_jsonl(&events, timing))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
 
     let json = arg_flag(args, "--json");
     if json {
@@ -432,7 +540,15 @@ fn run_campaign(args: &[String]) -> Result<(), String> {
             doc.push_str(&format!(
                 "{{\"kernel\":\"{}\",\"nops\":{},\"run\":{},\"seed\":{},\"cycles\":{},\
                  \"zero_stag\":{},\"no_div\":{},\"observed\":{},\"checksum_ok\":{}}}",
-                cell.kernel.name, cell.stagger, cell.run, cell.seed, r.0, r.1, r.2, r.3, r.4
+                cell.kernel.name,
+                cell.stagger,
+                cell.run,
+                cell.seed,
+                r.cycles,
+                r.zero_stag,
+                r.no_div,
+                r.observed,
+                r.ok
             ));
         }
         doc.push(']');
@@ -455,10 +571,10 @@ fn run_campaign(args: &[String]) -> Result<(), String> {
                 cell.stagger,
                 cell.run,
                 cell.seed,
-                r.0,
-                r.1,
-                r.2,
-                if r.4 { "ok" } else { "FAIL" }
+                r.cycles,
+                r.zero_stag,
+                r.no_div,
+                if r.ok { "ok" } else { "FAIL" }
             );
         }
     }
@@ -473,8 +589,91 @@ fn run_campaign(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    if results.iter().any(|r| !r.4) {
+    if results.iter().any(|r| !r.ok) {
         return Err("one or more campaign cells failed their self-check".to_owned());
+    }
+    Ok(())
+}
+
+/// One campaign cell's deterministic counters (wall-clock lives in the
+/// pool's separate timing vector, never here).
+struct CampaignCell {
+    cycles: u64,
+    zero_stag: u64,
+    no_div: u64,
+    observed: u64,
+    episodes: u64,
+    ok: bool,
+}
+
+/// The `report` subcommand: render the campaign telemetry report from an
+/// event stream (`--events`, JSONL as written by `campaign --events-out`
+/// or the bench bins), an optional metrics snapshot (`--metrics`, as
+/// written by `stats --metrics-out`), and the committed `BENCH_*.json`
+/// history (`--bench-dir`). Terminal output always; `--html` additionally
+/// writes a self-contained page.
+fn run_report(args: &[String]) -> Result<(), String> {
+    use safedm::obs::{aggregate, report};
+
+    let events_path = arg_value(args, "--events")
+        .ok_or_else(|| "report needs --events FILE (see campaign --events-out)".to_owned())?;
+    let top = arg_u64_or(args, "--top", 5)?.max(1) as usize;
+    let tolerance = arg_f64_or(args, "--tolerance", 0.10)?;
+    let text = std::fs::read_to_string(&events_path)
+        .map_err(|e| format!("cannot read {events_path}: {e}"))?;
+    let events = safedm::obs::events::parse_jsonl(&text)
+        .map_err(|e| format!("cannot parse {events_path}: {e}"))?;
+
+    let mut sections: Vec<(String, String)> = Vec::new();
+    println!("campaign report: {} cell(s) from {events_path}", events.len());
+
+    let kernels_tbl = report::render_kernel_table(&aggregate::summarize_by_kernel(&events));
+    println!("\nper-kernel summary:");
+    print!("{kernels_tbl}");
+    sections.push((
+        "Per-kernel summary".to_owned(),
+        report::html_kernel_table(&aggregate::summarize_by_kernel(&events)),
+    ));
+
+    let hm = aggregate::heatmap(&events);
+    let hm_txt = report::render_heatmap(&hm);
+    println!("\nno-diversity heatmap (kernel × config, mean no-div share):");
+    print!("{hm_txt}");
+    sections.push(("No-diversity heatmap".to_owned(), report::html_heatmap(&hm)));
+
+    let slow = report::render_slowest(&aggregate::slowest_cells(&events, top));
+    println!("\nslowest cells (top {top}):");
+    print!("{slow}");
+    sections.push(("Slowest cells".to_owned(), report::html_pre(&slow)));
+
+    if let Some(metrics_path) = arg_value(args, "--metrics") {
+        let snap = std::fs::read_to_string(&metrics_path)
+            .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
+        let causes = aggregate::stall_pareto(&snap)
+            .map_err(|e| format!("cannot parse {metrics_path}: {e}"))?;
+        let pareto = report::render_pareto(&causes);
+        println!("\nstall-cause Pareto ({metrics_path}):");
+        print!("{pareto}");
+        sections.push(("Stall-cause Pareto".to_owned(), report::html_pre(&pareto)));
+    }
+
+    if let Some(dir) = arg_value(args, "--bench-dir") {
+        let history = aggregate::load_bench_history(&dir)?;
+        if history.is_empty() {
+            println!("\nbench trend: no BENCH_*.json baselines in {dir}");
+        } else {
+            let trends = aggregate::metric_trends(&history);
+            let (table, _regressed) = report::render_trend(&history, &trends, tolerance);
+            println!("\nbench trend ({dir}):");
+            print!("{table}");
+            sections.push(("Bench trend".to_owned(), report::html_trend(&trends, tolerance)));
+        }
+    }
+
+    if let Some(html_path) = arg_value(args, "--html") {
+        let page = report::html_page("SafeDM campaign report", &sections);
+        std::fs::write(&html_path, page).map_err(|e| format!("cannot write {html_path}: {e}"))?;
+        eprintln!("wrote {html_path}");
     }
     Ok(())
 }
@@ -608,8 +807,29 @@ fn run_bench(args: &[String]) -> Result<(), String> {
     let reps: u32 = if arg_flag(args, "--quick") { 1 } else { 3 };
     let date = arg_value(args, "--date").unwrap_or_else(today);
     let out_path = arg_value(args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
-    let tolerance = arg_value(args, "--tolerance")
-        .map_or(Ok(0.10), |v| v.parse::<f64>().map_err(|_| format!("invalid --tolerance `{v}`")))?;
+    let tolerance = arg_f64_or(args, "--tolerance", 0.10)?;
+
+    // `--history`: no suite run — scan the committed baselines and render
+    // the per-metric trend (sparkline + delta); a last-step regression
+    // beyond the tolerance is an error, same threshold as `--check`.
+    if arg_flag(args, "--history") {
+        let dir = arg_value(args, "--bench-dir").unwrap_or_else(|| ".".to_owned());
+        let history = safedm::obs::aggregate::load_bench_history(&dir)?;
+        if history.is_empty() {
+            return Err(format!("no BENCH_*.json baselines found in {dir}"));
+        }
+        let trends = safedm::obs::aggregate::metric_trends(&history);
+        let (table, regressed) = safedm::obs::report::render_trend(&history, &trends, tolerance);
+        print!("{table}");
+        if !regressed.is_empty() {
+            return Err(format!(
+                "bench: regression beyond {:.0}% on: {}",
+                tolerance * 100.0,
+                regressed.join(", ")
+            ));
+        }
+        return Ok(());
+    }
 
     let monitored_run = |prog: &Program, golden: u64| -> Result<u64, String> {
         let mut sys = MonitoredSoc::new(
@@ -802,18 +1022,15 @@ fn run() -> Result<(), String> {
     if args.first().is_some_and(|a| a == "bench") {
         return run_bench(&args[1..]);
     }
+    if args.first().is_some_and(|a| a == "report") {
+        return run_report(&args[1..]);
+    }
 
-    let base = arg_value(&args, "--base").map_or(Ok(0x8000_0000), |v| parse_u64(&v))?;
-    let stagger = arg_value(&args, "--stagger").map(|v| parse_u64(&v)).transpose()?.map(|nops| {
-        StaggerConfig {
-            nops: nops as usize,
-            delayed_core: arg_value(&args, "--delayed-core")
-                .map_or(Ok(1), |v| parse_u64(&v))
-                .map(|c| c as usize)
-                .unwrap_or(1),
-        }
-    });
-    let max_cycles = arg_value(&args, "--max-cycles").map_or(Ok(500_000_000), |v| parse_u64(&v))?;
+    let base = arg_u64_or(&args, "--base", 0x8000_0000)?;
+    let delayed_core = arg_u64_or(&args, "--delayed-core", 1)? as usize;
+    let stagger = arg_opt_u64(&args, "--stagger")?
+        .map(|nops| StaggerConfig { nops: nops as usize, delayed_core });
+    let max_cycles = arg_u64_or(&args, "--max-cycles", 500_000_000)?;
 
     // Program source: a file path or a built-in kernel.
     let (name, prog, golden) = if let Some(kname) = arg_value(&args, "--kernel") {
@@ -845,14 +1062,14 @@ fn run() -> Result<(), String> {
     // as an RTOS write would).
     sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(ReportMode::Polling) << 1));
 
-    let trace_n = arg_value(&args, "--trace").map(|v| parse_u64(&v)).transpose()?;
+    let trace_n = arg_opt_u64(&args, "--trace")?;
     if let Some(n) = trace_n {
         sys.soc_mut().core_mut(0).enable_commit_trace(n as usize);
     }
 
     // Optional VCD of the first N cycles.
     let vcd_path = arg_value(&args, "--vcd");
-    let vcd_cycles = arg_value(&args, "--vcd-cycles").map_or(Ok(4_096), |v| parse_u64(&v))?;
+    let vcd_cycles = arg_u64_or(&args, "--vcd-cycles", 4_096)?;
     let mut vcd = vcd_path.as_ref().map(|_| {
         let mut v = ProbeVcd::new(2, "safedm_sim");
         let nd = v.add_channel("monitor.no_diversity", 1);
