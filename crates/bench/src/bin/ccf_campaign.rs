@@ -86,6 +86,7 @@ fn main() {
             index: events.len() as u64,
             kernel: name.to_owned(),
             config: format!("trials={trials}"),
+            engine: "cycle".to_owned(),
             run: 0,
             seed,
             cycles: 0,

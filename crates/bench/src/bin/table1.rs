@@ -7,16 +7,24 @@
 //! EXPERIMENTS.md, "Parallel campaigns").
 //!
 //! Usage: `cargo run -p safedm-bench --bin table1 --release [--quick]
-//! [--jobs N] [--root-seed S] [--profile] [--json PATH]
-//! [--metrics-out PATH] [--events-out PATH] [--events-timing] [--progress]`
+//! [--jobs N] [--root-seed S] [--engine cycle|fast|hybrid] [--profile]
+//! [--json PATH] [--metrics-out PATH] [--events-out PATH] [--events-timing]
+//! [--progress]`
+//!
+//! `--engine hybrid` runs guarded regions on the cycle-accurate model (the
+//! conservative fast-path default), so its table is byte-identical to
+//! `--engine cycle`; `--engine fast` reports the block-compiled engine's
+//! functional proxies instead (orders of magnitude faster, not
+//! paper-grade — see DESIGN.md §10).
 
 use safedm_bench::experiments::{
     arg_flag, arg_value, jobs_from_args, render_table1, summarize_table1, table1_cells,
-    table1_events, table1_metrics, table1_rows_from_runs, table1_run_cells, try_arg_parsed,
+    table1_events, table1_metrics, table1_rows_from_runs, table1_run_cells_engine, try_arg_parsed,
     write_file_or_exit, write_metrics_json, Telemetry, TABLE1_NOPS,
 };
 use safedm_core::SafeDmConfig;
 use safedm_obs::SelfProfiler;
+use safedm_soc::Engine;
 use safedm_tacle::kernels;
 
 fn main() {
@@ -26,6 +34,14 @@ fn main() {
     let telemetry = Telemetry::from_args(&args);
     let root_seed = match try_arg_parsed::<u64>(&args, "--root-seed") {
         Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let engine = match arg_value(&args, "--engine").map_or(Ok(Engine::Cycle), |v| Engine::parse(&v))
+    {
+        Ok(e) => e,
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(2);
@@ -53,7 +69,8 @@ fn main() {
     let t = std::time::Instant::now();
     let cells = table1_cells(&selected, root_seed);
     let progress = telemetry.progress_for(cells.len());
-    let (runs, timings) = table1_run_cells(&cells, SafeDmConfig::default(), jobs, Some(&progress));
+    let (runs, timings) =
+        table1_run_cells_engine(&cells, SafeDmConfig::default(), jobs, Some(&progress), engine);
     progress.finish();
     let mut prof = SelfProfiler::new();
     prof.record("campaign.total", t.elapsed());
@@ -61,7 +78,7 @@ fn main() {
         let nops = TABLE1_NOPS[cell.setup_idx];
         prof.record(&format!("cell.{}.nops{nops}.run{}", cell.kernel.name, cell.run), *dt);
     }
-    telemetry.write_events(&table1_events(&cells, &runs, &timings));
+    telemetry.write_events(&table1_events(&cells, &runs, &timings, engine));
     let rows = table1_rows_from_runs(&selected, &cells, &runs);
     if telemetry.progress {
         eprintln!("table1: finished in {:.1?}", t.elapsed());

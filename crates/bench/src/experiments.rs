@@ -11,6 +11,7 @@ use safedm_core::{IsLayout, MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_isa::Reg;
 use safedm_obs::events::{CellEvent, Timing};
 use safedm_obs::{MetricsRegistry, MetricsSnapshot, SelfProfiler};
+use safedm_soc::fastpath::{Engine, ExecMode, FastTwin};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, HarnessConfig, Kernel, StackMode, StaggerConfig};
 
@@ -18,7 +19,7 @@ use safedm_tacle::{build_kernel_program, HarnessConfig, Kernel, StackMode, Stagg
 pub const RUN_BUDGET: u64 = 200_000_000;
 
 /// One monitored redundant run of one kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelRunSummary {
     /// Kernel name.
     pub name: String,
@@ -141,6 +142,79 @@ pub fn run_monitored_prebuilt(
         observed: out.cycles_observed,
         episodes: sys.monitor().no_diversity_history().total_episodes(),
         checksum_ok,
+    }
+}
+
+/// [`run_monitored_prebuilt`]'s functional analogue on the block-compiled
+/// fast engine: a [`FastTwin`] pair over the same image, reporting the
+/// functional monitor proxies described on [`FastTwin::run`]. `ds_match`
+/// and `is_match` are set to the no-diversity proxy (a functional engine
+/// has no per-cycle signatures to compare separately), and `seed` is
+/// recorded but functionally inert — the fast engine models no memory
+/// jitter, which is exactly why its counters are nominal rather than
+/// comparable with the cycle engine's.
+///
+/// # Panics
+///
+/// Panics if the run exceeds [`RUN_BUDGET`] (indicates a model bug).
+#[must_use]
+pub fn run_fast_prebuilt(
+    kernel: &Kernel,
+    prog: &safedm_asm::Program,
+    stagger: Option<StaggerConfig>,
+    seed: u64,
+    mode: ExecMode,
+) -> KernelRunSummary {
+    let mut twin = FastTwin::new(mode);
+    twin.load_program(prog);
+    let out = twin.run(RUN_BUDGET);
+    assert!(!out.timed_out, "{}: fast run exceeded budget", kernel.name);
+    let golden = (kernel.reference)();
+    let checksum_ok = (0..2).all(|c| twin.hart(c).reg(Reg::A0) == golden);
+    KernelRunSummary {
+        name: kernel.name.to_owned(),
+        stagger_nops: stagger.map_or(0, |s| s.nops),
+        delayed_core: stagger.map_or(0, |s| s.delayed_core),
+        seed,
+        cycles: out.cycles,
+        instructions: out.instructions[0],
+        zero_stag: out.zero_stag,
+        no_div: out.no_div,
+        ds_match: out.no_div,
+        is_match: out.no_div,
+        observed: out.observed,
+        episodes: out.episodes,
+        checksum_ok,
+    }
+}
+
+/// One kernel run on the selected engine.
+///
+/// [`Engine::Hybrid`] delegates to the cycle-accurate path: a monitored
+/// kernel run is one guarded region end to end (observation starts at the
+/// first commit and ends at the first halt), and hybrid's conservative
+/// default runs guarded regions on the cycle model — so its monitor
+/// verdicts are byte-identical to [`Engine::Cycle`] by construction.
+/// [`Engine::Fast`] trades monitor fidelity for throughput via
+/// [`run_fast_prebuilt`].
+///
+/// # Panics
+///
+/// Panics if the run exceeds [`RUN_BUDGET`] (indicates a model bug).
+#[must_use]
+pub fn run_engine_prebuilt(
+    engine: Engine,
+    kernel: &Kernel,
+    prog: &safedm_asm::Program,
+    stagger: Option<StaggerConfig>,
+    seed: u64,
+    dm_cfg: SafeDmConfig,
+) -> KernelRunSummary {
+    match engine {
+        Engine::Cycle | Engine::Hybrid => {
+            run_monitored_prebuilt(kernel, prog, stagger, seed, dm_cfg)
+        }
+        Engine::Fast => run_fast_prebuilt(kernel, prog, stagger, seed, ExecMode::Fast),
     }
 }
 
@@ -332,11 +406,24 @@ pub fn table1_run_cells(
     jobs: usize,
     progress: Option<&Progress>,
 ) -> (Vec<KernelRunSummary>, Vec<Duration>) {
+    table1_run_cells_engine(cells, dm_cfg, jobs, progress, Engine::Cycle)
+}
+
+/// [`table1_run_cells`] on the selected engine (see
+/// [`run_engine_prebuilt`] for what each engine means for the counters).
+#[must_use]
+pub fn table1_run_cells_engine(
+    cells: &[Table1CellRun],
+    dm_cfg: SafeDmConfig,
+    jobs: usize,
+    progress: Option<&Progress>,
+    engine: Engine,
+) -> (Vec<KernelRunSummary>, Vec<Duration>) {
     par_map_timed_observed(
         jobs,
         cells,
         |_, cell| {
-            run_monitored_prebuilt(cell.kernel, &cell.program, cell.stagger, cell.seed, dm_cfg)
+            run_engine_prebuilt(engine, cell.kernel, &cell.program, cell.stagger, cell.seed, dm_cfg)
         },
         |i, _| {
             if let Some(p) = progress {
@@ -366,6 +453,7 @@ pub fn table1_events(
     cells: &[Table1CellRun],
     runs: &[KernelRunSummary],
     timings: &[Duration],
+    engine: Engine,
 ) -> Vec<CellEvent> {
     cells
         .iter()
@@ -375,6 +463,7 @@ pub fn table1_events(
             index: cell.index as u64,
             kernel: cell.kernel.name.to_owned(),
             config: format!("nops={}", TABLE1_NOPS[cell.setup_idx]),
+            engine: engine.as_str().to_owned(),
             run: cell.run as u64,
             seed: cell.seed,
             cycles: r.cycles,
@@ -398,6 +487,7 @@ pub fn event_from_summary(index: u64, config: &str, r: &KernelRunSummary) -> Cel
         index,
         kernel: r.name.clone(),
         config: config.to_owned(),
+        engine: "cycle".to_owned(),
         run: 0,
         seed: r.seed,
         cycles: r.cycles,
@@ -931,7 +1021,7 @@ mod tests {
         let k = kernels::by_name("fac").expect("kernel");
         let cells = table1_cells(&[k], Some(7));
         let (runs, timings) = table1_run_cells(&cells, SafeDmConfig::default(), 1, None);
-        let events = table1_events(&cells, &runs, &timings);
+        let events = table1_events(&cells, &runs, &timings, Engine::Cycle);
         assert_eq!(events.len(), cells.len());
         assert_eq!(events[0].kernel, "fac");
         assert_eq!(events[0].config, "nops=0");

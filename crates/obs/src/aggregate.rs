@@ -340,6 +340,7 @@ mod tests {
             index: 0,
             kernel: kernel.to_owned(),
             config: config.to_owned(),
+            engine: "cycle".to_owned(),
             run: 0,
             seed: 1,
             cycles: guarded + 10,

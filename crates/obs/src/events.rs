@@ -43,6 +43,9 @@ pub struct CellEvent {
     pub kernel: String,
     /// Config-point description (e.g. `nops=100`, `fifo=8`, `mem=20%`).
     pub config: String,
+    /// Execution engine that produced the cell (`cycle`, `fast` or
+    /// `hybrid`); absent in pre-engine streams, which parse as `cycle`.
+    pub engine: String,
     /// Repeat-run number within the config point.
     pub run: u64,
     /// The cell's derived seed.
@@ -74,6 +77,7 @@ impl CellEvent {
             ("index".to_owned(), JsonValue::Uint(self.index)),
             ("kernel".to_owned(), JsonValue::Str(self.kernel.clone())),
             ("config".to_owned(), JsonValue::Str(self.config.clone())),
+            ("engine".to_owned(), JsonValue::Str(self.engine.clone())),
             ("run".to_owned(), JsonValue::Uint(self.run)),
             ("seed".to_owned(), JsonValue::Uint(self.seed)),
             ("cycles".to_owned(), JsonValue::Uint(self.cycles)),
@@ -115,6 +119,13 @@ impl CellEvent {
             index: uint("index")?,
             kernel: string("kernel")?,
             config: string("config")?,
+            engine: match v.get("engine") {
+                None => "cycle".to_owned(),
+                Some(e) => e
+                    .as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| "event field `engine` is not a string".to_owned())?,
+            },
             run: uint("run")?,
             seed: uint("seed")?,
             cycles: uint("cycles")?,
@@ -177,6 +188,7 @@ mod tests {
             index: 3,
             kernel: "bitcount".to_owned(),
             config: "nops=100".to_owned(),
+            engine: "cycle".to_owned(),
             run: 1,
             seed: 0xdead_beef_cafe_f00d,
             cycles: u64::MAX - 1,
@@ -232,6 +244,18 @@ mod tests {
         let doc = good.replace("\"cycles\":18446744073709551614", "\"cycles\":\"many\"");
         let err = parse_jsonl(&doc).unwrap_err();
         assert!(err.contains("cycles"), "{err}");
+    }
+
+    #[test]
+    fn pre_engine_streams_parse_as_cycle() {
+        let doc = to_jsonl(&[sample()], Timing::Strip).replace("\"engine\":\"cycle\",", "");
+        assert!(!doc.contains("engine"));
+        let back = &parse_jsonl(&doc).unwrap()[0];
+        assert_eq!(back.engine, "cycle");
+        // Non-default engines round-trip.
+        let ev = CellEvent { engine: "hybrid".to_owned(), ..sample() };
+        let back = &parse_jsonl(&to_jsonl(std::slice::from_ref(&ev), Timing::Strip)).unwrap()[0];
+        assert_eq!(back.engine, "hybrid");
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Instruction lowering: [`Inst`] → pre-lowered threaded-code op.
+//!
+//! A [`FastOp`] is an [`Inst`] with every pc-dependent value folded in at
+//! lower time: `auipc` results, `jal`/branch targets and link addresses are
+//! computed once when a block is compiled, so replaying the block never
+//! re-derives them. Everything else dispatches straight into the shared
+//! pure semantics in `safedm_isa` ([`safedm_isa::alu`],
+//! [`safedm_isa::branch_taken`], [`safedm_isa::load_value`],
+//! [`safedm_isa::store_merge`]) — the same functions the pipeline's execute
+//! stage and the reference [`crate::Iss`] use, which is what makes the
+//! differential suites meaningful rather than vacuous.
+
+use safedm_isa::{AluKind, BranchKind, CsrKind, Inst, LoadKind, Reg, StoreKind};
+
+/// One pre-lowered op. Targets/links are absolute addresses computed from
+/// the op's pc at lower time; operand registers stay symbolic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastOp {
+    /// `lui`/`auipc`: write a constant (for `auipc`, `pc + imm` was folded).
+    SetRd {
+        /// Destination register.
+        rd: Reg,
+        /// Precomputed value to write.
+        value: u64,
+    },
+    /// `jal`: write `link`, jump to `target` (both precomputed).
+    Jal {
+        /// Link register.
+        rd: Reg,
+        /// Precomputed return address (`pc + 4`).
+        link: u64,
+        /// Precomputed absolute jump target.
+        target: u64,
+    },
+    /// `jalr`: write `link` (precomputed), jump to `(rs1 + offset) & !1`.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Base register of the indirect target.
+        rs1: Reg,
+        /// Signed displacement added to `rs1`.
+        offset: i64,
+        /// Precomputed return address (`pc + 4`).
+        link: u64,
+    },
+    /// Conditional branch to the precomputed `target`.
+    Branch {
+        /// Comparison kind.
+        kind: BranchKind,
+        /// Left operand register.
+        rs1: Reg,
+        /// Right operand register.
+        rs2: Reg,
+        /// Precomputed absolute branch target.
+        target: u64,
+    },
+    /// Memory load (address depends on `rs1`, stays dynamic).
+    Load {
+        /// Access width and extension.
+        kind: LoadKind,
+        /// Destination register.
+        rd: Reg,
+        /// Address base register.
+        rs1: Reg,
+        /// Signed address displacement.
+        offset: i64,
+    },
+    /// Memory store (address depends on `rs1`, stays dynamic).
+    Store {
+        /// Access width.
+        kind: StoreKind,
+        /// Address base register.
+        rs1: Reg,
+        /// Source register.
+        rs2: Reg,
+        /// Signed address displacement.
+        offset: i64,
+    },
+    /// Register-immediate ALU op.
+    AluImm {
+        /// Operation kind.
+        kind: AluKind,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand register.
+        rs1: Reg,
+        /// Sign-extended immediate operand.
+        imm: i64,
+    },
+    /// Register-register ALU op.
+    Alu {
+        /// Operation kind.
+        kind: AluKind,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand register.
+        rs1: Reg,
+        /// Right operand register.
+        rs2: Reg,
+    },
+    /// `fence`: architectural no-op in this memory model.
+    Fence,
+    /// `ecall`: halts the hart with [`crate::CoreExit::Ecall`].
+    Ecall,
+    /// `ebreak`: halts the hart with [`crate::CoreExit::Ebreak`].
+    Ebreak,
+    /// CSR register op.
+    Csr {
+        /// Read/set/clear kind.
+        kind: CsrKind,
+        /// Destination register (old CSR value).
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// CSR address.
+        csr: u16,
+    },
+    /// CSR immediate op.
+    CsrImm {
+        /// Read/set/clear kind.
+        kind: CsrKind,
+        /// Destination register (old CSR value).
+        rd: Reg,
+        /// 5-bit zero-extended immediate.
+        zimm: u8,
+        /// CSR address.
+        csr: u16,
+    },
+}
+
+/// Lowers one decoded instruction at address `pc` into a [`FastOp`],
+/// folding every pc-dependent value.
+#[must_use]
+pub fn lower(pc: u64, inst: &Inst) -> FastOp {
+    match *inst {
+        Inst::Lui { rd, imm } => FastOp::SetRd { rd, value: imm as u64 },
+        Inst::Auipc { rd, imm } => FastOp::SetRd { rd, value: pc.wrapping_add(imm as u64) },
+        Inst::Jal { rd, offset } => {
+            FastOp::Jal { rd, link: pc + 4, target: pc.wrapping_add(offset as u64) }
+        }
+        Inst::Jalr { rd, rs1, offset } => FastOp::Jalr { rd, rs1, offset, link: pc + 4 },
+        Inst::Branch { kind, rs1, rs2, offset } => {
+            FastOp::Branch { kind, rs1, rs2, target: pc.wrapping_add(offset as u64) }
+        }
+        Inst::Load { kind, rd, rs1, offset } => FastOp::Load { kind, rd, rs1, offset },
+        Inst::Store { kind, rs1, rs2, offset } => FastOp::Store { kind, rs1, rs2, offset },
+        Inst::OpImm { kind, rd, rs1, imm } => FastOp::AluImm { kind, rd, rs1, imm },
+        Inst::Op { kind, rd, rs1, rs2 } => FastOp::Alu { kind, rd, rs1, rs2 },
+        Inst::Fence => FastOp::Fence,
+        Inst::Ecall => FastOp::Ecall,
+        Inst::Ebreak => FastOp::Ebreak,
+        Inst::Csr { kind, rd, rs1, csr } => FastOp::Csr { kind, rd, rs1, csr },
+        Inst::CsrImm { kind, rd, zimm, csr } => FastOp::CsrImm { kind, rd, zimm, csr },
+    }
+}
+
+/// Whether `inst` terminates a basic block: any control flow, plus
+/// `ecall`/`ebreak` (which halt the hart). Mirrors the terminator rule in
+/// `safedm_analysis::cfg::Cfg::build`, so fast-path blocks line up with the
+/// static CFG's leaders.
+#[must_use]
+pub fn is_block_end(inst: &Inst) -> bool {
+    inst.is_control_flow() || matches!(inst, Inst::Ecall | Inst::Ebreak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_dependent_values_fold_at_lower_time() {
+        let pc = 0x8000_0100;
+        assert_eq!(
+            lower(pc, &Inst::Auipc { rd: Reg::A0, imm: 0x1000 }),
+            FastOp::SetRd { rd: Reg::A0, value: 0x8000_1100 }
+        );
+        assert_eq!(
+            lower(pc, &Inst::Jal { rd: Reg::RA, offset: -8 }),
+            FastOp::Jal { rd: Reg::RA, link: 0x8000_0104, target: 0x8000_00f8 }
+        );
+        assert_eq!(
+            lower(
+                pc,
+                &Inst::Branch { kind: BranchKind::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 16 }
+            ),
+            FastOp::Branch {
+                kind: BranchKind::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                target: 0x8000_0110
+            }
+        );
+    }
+
+    #[test]
+    fn block_end_matches_control_flow_and_halts() {
+        assert!(is_block_end(&Inst::Jal { rd: Reg::ZERO, offset: 8 }));
+        assert!(is_block_end(&Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }));
+        assert!(is_block_end(&Inst::Ecall));
+        assert!(is_block_end(&Inst::Ebreak));
+        assert!(!is_block_end(&Inst::Fence));
+        assert!(!is_block_end(&Inst::NOP));
+        assert!(!is_block_end(&Inst::Load {
+            kind: LoadKind::D,
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: 0
+        }));
+    }
+}

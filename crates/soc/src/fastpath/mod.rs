@@ -1,0 +1,121 @@
+//! Block-compiled fast-path execution engine.
+//!
+//! The cycle-accurate pipeline model ([`crate::Core`]) is the throughput
+//! ceiling of every campaign: each simulated cycle pays for stage shuffling,
+//! cache lookups and bus arbitration even when the caller only needs the
+//! architectural outcome. This module adds a second execution tier that
+//! decodes basic blocks **once** into pre-lowered threaded-code ops
+//! ([`FastOp`]) and replays them from a per-image cache ([`BlockCache`])
+//! keyed on `(entry pc, code version)`.
+//!
+//! ## Engines
+//!
+//! Three engine selections are exposed to the CLI as `--engine`:
+//!
+//! * [`Engine::Cycle`] — the existing cycle-accurate pipeline model.
+//!   Monitor verdicts are a pure function of the per-cycle probe stream
+//!   (stage raw bits, register ports, commit counts), so this is the only
+//!   engine that produces paper-grade diversity numbers.
+//! * [`Engine::Fast`] — whole-run block-compiled functional execution
+//!   ([`FastIss`] / [`FastTwin`]): exact RV64IM architectural semantics
+//!   (differentially fuzzed against [`crate::Iss`] and the pipeline), with
+//!   *nominal* 1-instruction-per-cycle time. Monitor counters reported by
+//!   [`FastTwin`] are functional proxies (see its docs), not comparable
+//!   byte-for-byte with the cycle engine.
+//! * [`Engine::Hybrid`] — conservative composition: any window the
+//!   diversity monitor observes runs the cycle-accurate model (the
+//!   "always-slow" default for `MonitoredSoc` guarded regions), so monitor
+//!   verdicts are byte-identical to [`Engine::Cycle`] **by construction**;
+//!   unmonitored functional work (reference checks, standalone runs) uses
+//!   the block cache with hot/cold switching ([`ExecMode::Hybrid`]).
+//!
+//! ## Soundness of the switch windows
+//!
+//! SafeDM's signatures hash raw instruction bits and register port values
+//! *per cycle*; a functional model has no cycles, ports or stage contents,
+//! so any cycle the monitor observes must come from the pipeline model.
+//! The guarded-region protocol (Table I, campaigns, machine checks)
+//! observes from the first committed instruction to the first core halt —
+//! which is why [`Engine::Hybrid`] defaults guarded regions to the cycle
+//! model wholesale instead of trying to splice functional execution into
+//! an observation window. The fast tier therefore accelerates the places
+//! where fidelity is *not* observable: architectural reference runs, twin
+//! verification, fuzzing, and `--engine fast` campaigns that only need
+//! checksums and functional counters.
+
+mod block;
+mod engine;
+mod lower;
+
+pub use block::{BlockCache, CompiledBlock, MAX_BLOCK_OPS};
+pub use engine::{ExecMode, FastIss, FastTwin, FastTwinRun, SwitchEvent};
+pub use lower::{is_block_end, lower, FastOp};
+
+/// Which execution engine a CLI run or campaign cell uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Cycle-accurate pipeline model everywhere (the paper-grade default).
+    #[default]
+    Cycle,
+    /// Block-compiled functional execution everywhere; nominal 1-IPC time.
+    Fast,
+    /// Cycle-accurate inside monitor-observed windows, block-compiled
+    /// elsewhere; monitor verdicts byte-identical to [`Engine::Cycle`].
+    Hybrid,
+}
+
+impl Engine {
+    /// Canonical lower-case name (the `--engine` flag vocabulary).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Cycle => "cycle",
+            Engine::Fast => "fast",
+            Engine::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a `--engine` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a CLI-ready message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Engine, String> {
+        match s.trim() {
+            "cycle" => Ok(Engine::Cycle),
+            "fast" => Ok(Engine::Fast),
+            "hybrid" => Ok(Engine::Hybrid),
+            other => Err(format!("invalid engine `{other}` (expected cycle, fast or hybrid)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        Engine::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_names_roundtrip() {
+        for e in [Engine::Cycle, Engine::Fast, Engine::Hybrid] {
+            assert_eq!(Engine::parse(e.as_str()), Ok(e));
+            assert_eq!(e.as_str().parse::<Engine>(), Ok(e));
+            assert_eq!(format!("{e}"), e.as_str());
+        }
+        assert!(Engine::parse("warp").is_err());
+        assert_eq!(Engine::default(), Engine::Cycle);
+    }
+}

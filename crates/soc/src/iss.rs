@@ -90,6 +90,12 @@ impl Iss {
         }
     }
 
+    /// CSR value, when the address is implemented.
+    #[must_use]
+    pub fn csr(&self, addr: u16) -> Option<u64> {
+        self.csrs.read(addr)
+    }
+
     /// Exit state.
     #[must_use]
     pub fn exit(&self) -> CoreExit {

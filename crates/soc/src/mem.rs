@@ -122,6 +122,34 @@ impl MainMemory {
     pub fn allocated_lines(&self) -> usize {
         self.lines.len()
     }
+
+    /// Deterministic digest of all allocated content: FNV-1a over
+    /// `(line index, line bytes)` in ascending line order.
+    ///
+    /// Two memories that saw the same write sequence digest equal; note a
+    /// line explicitly overwritten with zeros digests differently from one
+    /// never allocated, so only compare digests across executions with
+    /// identical allocation behaviour (e.g. two engines running the same
+    /// program).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut keys: Vec<u64> = self.lines.keys().copied().collect();
+        keys.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mix = |h: &mut u64, b: u8| {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for k in keys {
+            for b in k.to_le_bytes() {
+                mix(&mut h, b);
+            }
+            for &b in &self.lines[&k] {
+                mix(&mut h, b);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -1,13 +1,43 @@
 //! Golden cycle-by-cycle pipeline traces — the model's substitute for the
-//! paper's Modelsim inspection (Section V-A): assert the exact stage
-//! occupancy pattern of a small program so timing regressions are caught
-//! immediately.
+//! paper's Modelsim inspection (Section V-A): pin the exact stage occupancy
+//! pattern of small programs (and the fast path's hybrid switch trace) as
+//! file fixtures under `tests/golden/`, so timing regressions show up as a
+//! readable diff. Regenerate deliberately with `BLESS_GOLDEN=1 cargo test
+//! -p safedm-soc --test golden_pipeline`.
+
+use std::path::PathBuf;
 
 use safedm_asm::Asm;
 use safedm_isa::Reg;
+use safedm_soc::fastpath::{ExecMode, FastIss};
 use safedm_soc::{MpSoc, SocConfig, PIPE_STAGES};
 
-/// Renders one cycle's occupancy as a string like `..|D.|RA|..|..|..|WB`.
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("golden dir");
+        std::fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n(run `BLESS_GOLDEN=1 cargo test -p safedm-soc \
+             --test golden_pipeline` to create it)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden fixture\n(if the change is intentional, regenerate with \
+         `BLESS_GOLDEN=1 cargo test -p safedm-soc --test golden_pipeline`)"
+    );
+}
+
+/// Renders one cycle's occupancy: one char per stage, `.`/`1`/`2` wide.
 fn occupancy(soc: &MpSoc) -> String {
     let p = soc.probe(0);
     (0..PIPE_STAGES)
@@ -24,6 +54,25 @@ fn occupancy(soc: &MpSoc) -> String {
         .join("")
 }
 
+/// Runs `prog` to completion on a single core, collecting the occupancy row
+/// of every cycle from the first non-empty one.
+fn occupancy_trace(prog: &safedm_asm::Program) -> Vec<String> {
+    let mut soc = MpSoc::new(single_core());
+    soc.load_program(prog);
+    let mut trace = Vec::new();
+    for _ in 0..200 {
+        soc.step();
+        if soc.probe(0).occupancy() > 0 || !trace.is_empty() {
+            trace.push(occupancy(&soc));
+        }
+        if soc.all_halted() {
+            break;
+        }
+    }
+    assert!(soc.all_halted(), "trace program did not halt within 200 cycles");
+    trace
+}
+
 fn single_core() -> SocConfig {
     SocConfig { cores: 1, ..SocConfig::default() }
 }
@@ -36,25 +85,12 @@ fn straightline_pair_flows_through_all_stages() {
     a.addi(Reg::T1, Reg::ZERO, 2);
     a.ebreak();
     let prog = a.link(0x8000_0000).unwrap();
-    let mut soc = MpSoc::new(single_core());
-    soc.load_program(&prog);
 
-    // Skip the boot I$ miss: run until the first cycle with occupancy.
-    let mut trace = Vec::new();
-    for _ in 0..200 {
-        soc.step();
-        if soc.probe(0).occupancy() > 0 || !trace.is_empty() {
-            trace.push(occupancy(&soc));
-        }
-        if soc.all_halted() {
-            break;
-        }
-    }
-    assert!(soc.all_halted());
-    // Golden: the dual-issued addi pair marches F→D→RA→EX→ME→XC→WB one
-    // stage per cycle (the ebreak trails one group behind).
-    let first_full = &trace[0];
-    assert_eq!(first_full, "2......", "pair must fetch together: {trace:?}");
+    let trace = occupancy_trace(&prog);
+    // Structural claim first (a readable failure before the byte diff):
+    // the dual-issued addi pair marches F→D→RA→EX→ME→XC→WB one stage per
+    // cycle (the ebreak trails one group behind).
+    assert_eq!(&trace[0], "2......", "pair must fetch together: {trace:?}");
     for (i, stage_char) in (1..PIPE_STAGES).enumerate() {
         let row = &trace[i + 1];
         assert_eq!(
@@ -64,6 +100,8 @@ fn straightline_pair_flows_through_all_stages() {
             i + 1
         );
     }
+    // Then the full cycle-by-cycle pattern, pinned byte-for-byte.
+    check_golden("straightline_occupancy.txt", &(trace.join("\n") + "\n"));
 }
 
 #[test]
@@ -91,6 +129,8 @@ fn raw_dependent_pair_splits_at_issue() {
     assert!(soc.all_halted());
     assert!(saw_split, "dependent pair must issue one at a time");
     assert_eq!(soc.core(0).reg(Reg::T1), 3);
+    // The exact split pattern, pinned byte-for-byte.
+    check_golden("raw_dependent_occupancy.txt", &(occupancy_trace(&prog).join("\n") + "\n"));
 }
 
 #[test]
@@ -132,4 +172,30 @@ fn taken_backward_branch_has_single_fetch_bubble() {
     assert_eq!(stats.mispredicts, 1, "only the loop exit mispredicts");
     // Steady-state loop cost: ≲4 cycles per 2-instruction iteration.
     assert!(stats.cycles < 64 * 4 + 120, "loop iterations too slow: {} cycles", stats.cycles);
+}
+
+#[test]
+fn hybrid_switch_trace_is_golden() {
+    // A hot loop behind a cold prologue: the hybrid engine interprets the
+    // loop block until it crosses the heat threshold, then compiles it —
+    // every interp↔compiled edge lands in the switch trace, pinned here so
+    // a change in switch placement (the soundness-relevant decision) shows
+    // up as a diff.
+    let mut a = Asm::new();
+    a.li(Reg::T0, 12);
+    a.li(Reg::T1, 0);
+    let top = a.here("top");
+    a.addi(Reg::T1, Reg::T1, 3);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, top);
+    a.ebreak();
+    let prog = a.link(0x8000_0000).unwrap();
+
+    let mut f = FastIss::new(0, ExecMode::Hybrid { hot_threshold: 4 });
+    f.load_program(&prog);
+    f.run(10_000);
+    assert_eq!(f.reg(Reg::T1), 36, "hybrid run computed the wrong sum");
+    let trace = f.render_switch_trace();
+    assert!(trace.contains("-> compiled"), "loop never went hot:\n{trace}");
+    check_golden("hybrid_switch_trace.txt", &trace);
 }
