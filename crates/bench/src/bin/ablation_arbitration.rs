@@ -12,7 +12,8 @@
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{jobs_from_args, run_cells_with_telemetry, Telemetry};
+use safedm_bench::args;
+use safedm_bench::experiments::{run_cells_with_telemetry, Telemetry};
 use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_obs::events::CellEvent;
 use safedm_soc::{ArbitrationPolicy, SocConfig};
@@ -56,7 +57,7 @@ fn run(name: &str, policy: ArbitrationPolicy) -> RunOut {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let jobs = jobs_from_args(&args);
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
     let names = ["bitcount", "fac", "insertsort", "quicksort", "lms"];
     // One campaign cell per (kernel, policy); ordered collection keeps the

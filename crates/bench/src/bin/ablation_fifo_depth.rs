@@ -11,8 +11,9 @@
 
 use std::fmt::Write as _;
 
+use safedm_bench::args;
 use safedm_bench::experiments::{
-    event_from_summary, jobs_from_args, run_cells_with_telemetry, run_monitored, Telemetry,
+    event_from_summary, run_cells_with_telemetry, run_monitored, Telemetry,
 };
 use safedm_core::SafeDmConfig;
 use safedm_power::estimate_area;
@@ -20,7 +21,7 @@ use safedm_tacle::kernels;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let jobs = jobs_from_args(&args);
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
     let names = ["fac", "iir", "bitcount", "md5"];
     let depths = [1usize, 2, 4, 8, 12, 16];

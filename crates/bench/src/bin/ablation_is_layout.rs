@@ -12,16 +12,16 @@
 
 use std::fmt::Write as _;
 
+use safedm_bench::args;
 use safedm_bench::experiments::{
-    dm_config_with_layout, event_from_summary, jobs_from_args, run_cells_with_telemetry,
-    run_monitored, Telemetry,
+    dm_config_with_layout, event_from_summary, run_cells_with_telemetry, run_monitored, Telemetry,
 };
 use safedm_core::IsLayout;
 use safedm_tacle::kernels;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let jobs = jobs_from_args(&args);
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
     let names = ["fac", "bitcount", "iir", "insertsort", "quicksort", "pm"];
 

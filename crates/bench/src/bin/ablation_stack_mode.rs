@@ -15,15 +15,16 @@
 
 use std::fmt::Write as _;
 
+use safedm_bench::args;
 use safedm_bench::experiments::{
-    event_from_summary, jobs_from_args, run_cells_with_telemetry, run_monitored_cfg, Telemetry,
+    event_from_summary, run_cells_with_telemetry, run_monitored_cfg, Telemetry,
 };
 use safedm_core::SafeDmConfig;
 use safedm_tacle::{kernels, HarnessConfig, StackMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let jobs = jobs_from_args(&args);
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
     // Stack-using kernels (calls / explicit work stacks) versus controls
     // whose data lives only in mirrored tables or registers.

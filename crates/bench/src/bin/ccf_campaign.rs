@@ -22,23 +22,37 @@
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{
-    arg_parsed_or, arg_value, ccf_metrics, jobs_from_args, set_metric_totals, write_metrics_json,
-    Telemetry,
-};
+use safedm_bench::args;
+use safedm_bench::experiments::{ccf_metrics, set_metric_totals, write_metrics_json, Telemetry};
+use safedm_bench::service::CCF_MAX_CYCLE;
+use safedm_campaign::spec::{CampaignSpec, Protocol};
 use safedm_faults::{Campaign, CampaignConfig};
 use safedm_obs::events::CellEvent;
 use safedm_tacle::kernels;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let trials: usize = arg_parsed_or(&args, "--trials", 120);
-    let seed: u64 = arg_parsed_or(&args, "--seed", 2024);
-    let jobs = jobs_from_args(&args);
     let telemetry = Telemetry::from_args(&args);
 
-    let names = ["fac", "bitcount", "iir", "quicksort"];
-    let progress = telemetry.progress_for(names.len());
+    // The campaign inputs route through the shared `safedm-api/1` request
+    // type: the same document `safedm-sim serve` accepts (protocol `ccf`,
+    // `runs` = trials per kernel) and whose digest keys the result cache.
+    let spec = CampaignSpec {
+        protocol: Protocol::Ccf,
+        kernels: ["fac", "bitcount", "iir", "quicksort"].map(str::to_owned).to_vec(),
+        staggers: Vec::new(), // injections sweep cycles, not staggers
+        runs: args::or_exit(args::parsed_or(&args, "--trials", 120)),
+        root_seed: Some(args::or_exit(args::parsed_or(&args, "--seed", 2024))),
+        engine: "cycle".to_owned(),
+        jobs: Some(args::jobs(&args) as u64),
+        keep_timing: telemetry.keep_timing,
+    };
+    args::or_exit(spec.validate());
+    let trials = spec.runs as usize;
+    let seed = spec.root_seed.unwrap_or(2024);
+    let jobs = spec.jobs.map_or(1, |j| j.max(1) as usize);
+
+    let progress = telemetry.progress_for(spec.kernels.len());
     let mut events: Vec<CellEvent> = Vec::new();
 
     let mut grand_silent_flagged = 0u64;
@@ -50,12 +64,13 @@ fn main() {
     // and render as a final report below.
     let mut rows = String::new();
     let mut per_kernel = Vec::new();
-    for name in names {
+    for name in &spec.kernels {
+        let name = name.as_str();
         let k = kernels::by_name(name).expect("kernel");
         let stats = Campaign::new(CampaignConfig {
             trials,
             seed,
-            max_cycle: 10_000,
+            max_cycle: CCF_MAX_CYCLE,
             ..CampaignConfig::default()
         })
         .run_jobs(k, jobs);
@@ -138,7 +153,7 @@ fn main() {
     if grand_flagged_trials > 0 && p_flagged > p_unflagged {
         println!("flagged cycles are measurably more CCF-vulnerable, as the paper argues");
     }
-    if let Some(path) = arg_value(&args, "--metrics-out") {
+    if let Some(path) = args::value(&args, "--metrics-out") {
         let refs: Vec<(&str, &safedm_faults::CampaignStats)> =
             per_kernel.iter().map(|(n, s)| (*n, s)).collect();
         let mut reg = ccf_metrics(&refs);

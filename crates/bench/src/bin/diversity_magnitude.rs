@@ -8,14 +8,14 @@
 //! Usage: `cargo run -p safedm-bench --bin diversity_magnitude --release
 //! [--kernel NAME]`
 
-use safedm_bench::experiments::arg_value;
+use safedm_bench::args;
 use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let name = arg_value(&args, "--kernel").unwrap_or_else(|| "bitcount".to_owned());
+    let name = args::value(&args, "--kernel").unwrap_or_else(|| "bitcount".to_owned());
     let k = kernels::by_name(&name).unwrap_or_else(|| {
         eprintln!("error: unknown kernel `{name}` (see kernel_stats for the list)");
         std::process::exit(2);

@@ -6,7 +6,8 @@
 //! Usage: `cargo run -p safedm-bench --bin kernel_stats --release
 //! [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
 
-use safedm_bench::experiments::{jobs_from_args, run_cells_with_telemetry, Telemetry};
+use safedm_bench::args;
+use safedm_bench::experiments::{run_cells_with_telemetry, Telemetry};
 use safedm_isa::Inst;
 use safedm_obs::events::CellEvent;
 use safedm_soc::{Iss, MpSoc, SocConfig};
@@ -46,7 +47,7 @@ fn characterize(prog: &safedm_asm::Program) -> Mix {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let jobs = jobs_from_args(&args);
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
     // One campaign cell per kernel; ordered collection keeps the table
     // identical for any --jobs N.

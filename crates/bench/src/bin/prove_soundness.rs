@@ -23,9 +23,8 @@ use std::sync::Arc;
 
 use safedm_analysis::{analyze, prove, AnalysisConfig, PcSpan};
 use safedm_asm::{Asm, Program};
-use safedm_bench::experiments::{
-    arg_flag, arg_list_or_exit, arg_parsed_or, jobs_from_args, run_cells_with_telemetry, Telemetry,
-};
+use safedm_bench::args;
+use safedm_bench::experiments::{run_cells_with_telemetry, Telemetry};
 use safedm_campaign::ConfigGrid;
 use safedm_core::{MonitoredSoc, SafeDmConfig};
 use safedm_isa::Reg;
@@ -213,12 +212,12 @@ fn run_cell(setup: &Setup, max_cycles: u64) -> CellOut {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = arg_flag(&args, "--quick");
-    let jobs = jobs_from_args(&args);
+    let quick = args::flag(&args, "--quick");
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
-    let max_cycles = arg_parsed_or::<u64>(&args, "--max-cycles", 20_000_000);
+    let max_cycles = args::or_exit(args::parsed_or::<u64>(&args, "--max-cycles", 20_000_000));
 
-    let staggers: Vec<u64> = match arg_list_or_exit::<u64>(&args, "--staggers") {
+    let staggers: Vec<u64> = match args::list_or_exit::<u64>(&args, "--staggers") {
         Some(list) => list,
         None if quick => vec![0, 100],
         None => vec![0, 100, 1000, 10000],

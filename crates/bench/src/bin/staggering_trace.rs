@@ -13,9 +13,8 @@
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{
-    arg_parsed_or, arg_value, write_file_or_exit, write_metrics_json, RUN_BUDGET,
-};
+use safedm_bench::args;
+use safedm_bench::experiments::{write_metrics_json, RUN_BUDGET};
 use safedm_core::{MonitoredSoc, ObsConfig, ReportMode, RunObserver, SafeDmConfig};
 use safedm_soc::SocConfig;
 use safedm_tacle::{build_kernel_program, kernels, HarnessConfig, StackMode, StaggerConfig};
@@ -30,9 +29,9 @@ struct WindowRow {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let kernel_name = arg_value(&args, "--kernel").unwrap_or_else(|| "pm".to_owned());
-    let nops: usize = arg_parsed_or(&args, "--nops", 1000);
-    let window: u64 = arg_parsed_or(&args, "--window", 256).max(1);
+    let kernel_name = args::value(&args, "--kernel").unwrap_or_else(|| "pm".to_owned());
+    let nops: usize = args::or_exit(args::parsed_or(&args, "--nops", 1000));
+    let window: u64 = args::or_exit(args::parsed_or(&args, "--window", 256)).max(1);
 
     let k = kernels::by_name(&kernel_name).unwrap_or_else(|| {
         eprintln!("error: unknown kernel `{kernel_name}` (see kernel_stats for the list)");
@@ -102,10 +101,10 @@ fn main() {
     // The pm narrative: staggered start, transient re-synchronisation
     // (small |diff|) while both cores work core-locally, yet diversity
     // persists (no-div stays near zero in those windows).
-    if let Some(path) = arg_value(&args, "--csv") {
-        write_file_or_exit(&path, &csv);
+    if let Some(path) = args::value(&args, "--csv") {
+        args::write_file_or_exit(&path, &csv);
     }
-    if let Some(path) = arg_value(&args, "--metrics-out") {
+    if let Some(path) = args::value(&args, "--metrics-out") {
         write_metrics_json(&path, &obs.metrics_snapshot());
     }
 }

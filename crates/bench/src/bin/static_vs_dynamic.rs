@@ -20,7 +20,8 @@
 
 use safedm_analysis::{AnalysisConfig, LintCode};
 use safedm_asm::{Asm, Program};
-use safedm_bench::experiments::{arg_flag, jobs_from_args, run_cells_with_telemetry, Telemetry};
+use safedm_bench::args;
+use safedm_bench::experiments::{run_cells_with_telemetry, Telemetry};
 use safedm_campaign::par_map;
 use safedm_core::{DiversityGate, MonitoredRun, MonitoredSoc, SafeDmConfig};
 use safedm_isa::Reg;
@@ -79,8 +80,8 @@ fn synthetic_hazards() -> Vec<(&'static str, Program)> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = arg_flag(&args, "--quick");
-    let jobs = jobs_from_args(&args);
+    let quick = args::flag(&args, "--quick");
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
 
     let all = kernels::all();

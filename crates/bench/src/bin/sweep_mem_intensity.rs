@@ -16,7 +16,8 @@
 
 use std::fmt::Write as _;
 
-use safedm_bench::experiments::{jobs_from_args, run_cells_with_telemetry, Telemetry};
+use safedm_bench::args;
+use safedm_bench::experiments::{run_cells_with_telemetry, Telemetry};
 use safedm_core::{MonitoredSoc, ReportMode, SafeDmConfig};
 use safedm_obs::events::CellEvent;
 use safedm_soc::SocConfig;
@@ -27,7 +28,7 @@ const SEEDS: u64 = 3;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let jobs = jobs_from_args(&args);
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
 
     // One campaign cell per (mem-percent, generator-seed) pair.

@@ -17,11 +17,12 @@
 //! functional proxies instead (orders of magnitude faster, not
 //! paper-grade — see DESIGN.md §10).
 
+use safedm_bench::args;
 use safedm_bench::experiments::{
-    arg_flag, arg_value, jobs_from_args, render_table1, summarize_table1, table1_cells,
-    table1_events, table1_metrics, table1_rows_from_runs, table1_run_cells_engine, try_arg_parsed,
-    write_file_or_exit, write_metrics_json, Telemetry, TABLE1_NOPS,
+    render_table1, summarize_table1, table1_cells, table1_events, table1_metrics,
+    table1_rows_from_runs, table1_run_cells_engine, write_metrics_json, Telemetry, TABLE1_NOPS,
 };
+use safedm_campaign::spec::{CampaignSpec, Protocol};
 use safedm_core::SafeDmConfig;
 use safedm_obs::SelfProfiler;
 use safedm_soc::Engine;
@@ -29,19 +30,10 @@ use safedm_tacle::kernels;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = arg_flag(&args, "--quick");
-    let jobs = jobs_from_args(&args);
+    let quick = args::flag(&args, "--quick");
     let telemetry = Telemetry::from_args(&args);
-    let root_seed = match try_arg_parsed::<u64>(&args, "--root-seed") {
+    let root_seed = match args::opt_parsed::<u64>(&args, "--root-seed") {
         Ok(v) => v,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    };
-    let engine = match arg_value(&args, "--engine").map_or(Ok(Engine::Cycle), |v| Engine::parse(&v))
-    {
-        Ok(e) => e,
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(2);
@@ -57,6 +49,23 @@ fn main() {
         all.iter().collect()
     };
 
+    // The campaign inputs route through the shared `safedm-api/1` request
+    // type: the same document `safedm-sim serve` accepts (protocol
+    // `table1`) and whose digest keys the service's result cache.
+    let spec = CampaignSpec {
+        protocol: Protocol::Table1,
+        kernels: selected.iter().map(|k| k.name.to_owned()).collect(),
+        staggers: Vec::new(), // table1 pins its own stagger setups
+        runs: 1,              // likewise its per-setup seed counts
+        root_seed,
+        engine: args::value(&args, "--engine").unwrap_or_else(|| "cycle".to_owned()),
+        jobs: Some(args::jobs(&args) as u64),
+        keep_timing: telemetry.keep_timing,
+    };
+    args::or_exit(spec.validate());
+    let engine = args::or_exit(Engine::parse(&spec.engine));
+    let jobs = spec.jobs.map_or(1, |j| j.max(1) as usize);
+
     // Campaign stderr is quiet by default; `--progress` turns on the
     // header and the live status line.
     if telemetry.progress {
@@ -67,7 +76,7 @@ fn main() {
         );
     }
     let t = std::time::Instant::now();
-    let cells = table1_cells(&selected, root_seed);
+    let cells = table1_cells(&selected, spec.root_seed);
     let progress = telemetry.progress_for(cells.len());
     let (runs, timings) =
         table1_run_cells_engine(&cells, SafeDmConfig::default(), jobs, Some(&progress), engine);
@@ -114,14 +123,14 @@ fn main() {
     println!("shape: no-div vanishes with large staggering: {monotone_ok}");
     println!("shape: no-div bounded by observation: {nodiv_bounded}");
 
-    if let Some(path) = arg_value(&args, "--json") {
+    if let Some(path) = args::value(&args, "--json") {
         let blob = safedm_bench::experiments::json::table1_document(&rows, &summary);
-        write_file_or_exit(&path, &blob);
+        args::write_file_or_exit(&path, &blob);
     }
-    if let Some(path) = arg_value(&args, "--metrics-out") {
+    if let Some(path) = args::value(&args, "--metrics-out") {
         write_metrics_json(&path, &table1_metrics(&rows).snapshot());
     }
-    if arg_flag(&args, "--profile") {
+    if args::flag(&args, "--profile") {
         // Wall-clock per campaign cell (host measurement — deliberately on
         // stderr, never part of the deterministic outputs above).
         eprintln!("\nper-cell wall-clock (campaign profiler, {jobs} worker(s)):");

@@ -12,7 +12,8 @@
 //! Usage: `cargo run -p safedm-bench --bin table2_taxonomy --release
 //! [--jobs N] [--events-out PATH] [--events-timing] [--progress]`
 
-use safedm_bench::experiments::{jobs_from_args, run_cells_with_telemetry, Telemetry};
+use safedm_bench::args;
+use safedm_bench::experiments::{run_cells_with_telemetry, Telemetry};
 use safedm_core::{MonitoredSoc, ReportMode, SafeDe, SafeDeConfig, SafeDmConfig};
 use safedm_obs::events::CellEvent;
 use safedm_soc::SocConfig;
@@ -57,7 +58,7 @@ fn run_safedm(prog: &safedm_asm::Program) -> (u64, u64, u64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let jobs = jobs_from_args(&args);
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
     let names = ["bitcount", "fac", "iir", "insertsort", "pm", "quicksort", "md5", "fft"];
     let threshold = 200u64;

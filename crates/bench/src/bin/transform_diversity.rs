@@ -31,9 +31,8 @@ use std::sync::Arc;
 use safedm_analysis::{analyze, prove, prove_pair, AnalysisConfig, PcSpan, Verdict};
 use safedm_asm::transform::TransformConfig;
 use safedm_asm::Program;
-use safedm_bench::experiments::{
-    arg_flag, arg_parsed_or, jobs_from_args, run_cells_with_telemetry, Telemetry,
-};
+use safedm_bench::args;
+use safedm_bench::experiments::{run_cells_with_telemetry, Telemetry};
 use safedm_campaign::ConfigGrid;
 use safedm_core::{MonitoredSoc, SafeDmConfig};
 use safedm_isa::Reg;
@@ -187,11 +186,11 @@ fn run_cell(setup: &Setup, max_cycles: u64) -> CellOut {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = arg_flag(&args, "--quick");
-    let jobs = jobs_from_args(&args);
+    let quick = args::flag(&args, "--quick");
+    let jobs = args::jobs(&args);
     let telemetry = Telemetry::from_args(&args);
-    let max_cycles = arg_parsed_or::<u64>(&args, "--max-cycles", 20_000_000);
-    let seed = arg_parsed_or::<u64>(&args, "--seed", 0x5afe_d1f0);
+    let max_cycles = args::or_exit(args::parsed_or::<u64>(&args, "--max-cycles", 20_000_000));
+    let seed = args::or_exit(args::parsed_or::<u64>(&args, "--seed", 0x5afe_d1f0));
     let engine = match args
         .iter()
         .position(|a| a == "--engine")

@@ -666,15 +666,17 @@ pub fn dm_config_with_layout(layout: IsLayout) -> SafeDmConfig {
 
 /// Parses `--flag value`-style arguments (tiny helper; no external CLI
 /// crate).
+#[deprecated(since = "0.1.0", note = "use `safedm_bench::args::value` instead")]
 #[must_use]
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    crate::args::value(args, flag)
 }
 
 /// Whether a bare `--flag` is present.
+#[deprecated(since = "0.1.0", note = "use `safedm_bench::args::flag` instead")]
 #[must_use]
 pub fn arg_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
+    crate::args::flag(args, flag)
 }
 
 /// Parses the value of `--flag` as a `T`, distinguishing "absent" from
@@ -684,31 +686,22 @@ pub fn arg_flag(args: &[String], flag: &str) -> bool {
 ///
 /// Returns `Err` with a `"invalid value for FLAG"` message when the flag is
 /// present but its value does not parse.
+#[deprecated(since = "0.1.0", note = "use `safedm_bench::args::opt_parsed` instead")]
 pub fn try_arg_parsed<T: std::str::FromStr>(
     args: &[String],
     flag: &str,
 ) -> Result<Option<T>, String> {
-    match arg_value(args, flag) {
-        None => Ok(None),
-        Some(v) => v
-            .trim()
-            .parse()
-            .map(Some)
-            .map_err(|_| format!("invalid value for {flag}: `{v}` (expected a number)")),
-    }
+    crate::args::opt_parsed(args, flag)
 }
 
-/// [`try_arg_parsed`] with a default, exiting with a helpful diagnostic
-/// instead of panicking on an invalid value (the bench binaries' shared
-/// argument handling — no `expect("--flag")` unwinds at the user).
+/// `--flag` parsed with a default, exiting with a helpful diagnostic
+/// instead of panicking on an invalid value.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `safedm_bench::args::or_exit(args::parsed_or(..))` instead"
+)]
 pub fn arg_parsed_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
-    match try_arg_parsed(args, flag) {
-        Ok(v) => v.unwrap_or(default),
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    }
+    crate::args::or_exit(crate::args::parsed_or(args, flag, default))
 }
 
 /// Parses the value of `--flag` as a comma-separated list of `T`,
@@ -719,62 +712,35 @@ pub fn arg_parsed_or<T: std::str::FromStr>(args: &[String], flag: &str, default:
 ///
 /// Returns `Err` with an `"invalid value for FLAG"` message naming the
 /// first entry that does not parse.
+#[deprecated(since = "0.1.0", note = "use `safedm_bench::args::opt_list` instead")]
 pub fn try_arg_list<T: std::str::FromStr>(
     args: &[String],
     flag: &str,
 ) -> Result<Option<Vec<T>>, String> {
-    match arg_value(args, flag) {
-        None => Ok(None),
-        Some(list) => list
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(|s| {
-                s.parse().map_err(|_| {
-                    format!("invalid value for {flag}: `{s}` (expected a comma-separated list of numbers)")
-                })
-            })
-            .collect::<Result<Vec<T>, String>>()
-            .map(Some),
-    }
+    crate::args::opt_list(args, flag)
 }
 
-/// [`try_arg_list`] exiting with a diagnostic on invalid values; `None`
-/// when the flag is absent (callers pick their own default).
+/// Comma-separated `--flag` list exiting with a diagnostic on invalid
+/// values; `None` when the flag is absent (callers pick their own default).
+#[deprecated(since = "0.1.0", note = "use `safedm_bench::args::list_or_exit` instead")]
 #[must_use]
 pub fn arg_list_or_exit<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Vec<T>> {
-    match try_arg_list(args, flag) {
-        Ok(v) => v,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    }
+    crate::args::list_or_exit(args, flag)
 }
 
-/// Writes `contents` to `path`, exiting with a diagnostic on I/O failure —
-/// the shared artefact-writing tail (`--json`, `--csv`, `--events-out`),
-/// replacing per-binary `expect("write ...")` panics.
+/// Writes `contents` to `path`, exiting with a diagnostic on I/O failure.
+#[deprecated(since = "0.1.0", note = "use `safedm_bench::args::write_file_or_exit` instead")]
 pub fn write_file_or_exit(path: &str, contents: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
-        eprintln!("error: cannot write {path}: {e}");
-        std::process::exit(2);
-    }
-    eprintln!("wrote {path}");
+    crate::args::write_file_or_exit(path, contents);
 }
 
 /// Resolves `--jobs` for a bench binary: the machine's available
 /// parallelism when absent, a positive integer otherwise; exits with a
 /// helpful diagnostic on invalid values.
+#[deprecated(since = "0.1.0", note = "use `safedm_bench::args::jobs` instead")]
 #[must_use]
 pub fn jobs_from_args(args: &[String]) -> usize {
-    match safedm_campaign::parse_jobs(arg_value(args, "--jobs").as_deref()) {
-        Ok(jobs) => jobs,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    }
+    crate::args::jobs(args)
 }
 
 /// The shared telemetry CLI surface: `--events-out FILE` (per-cell event
@@ -795,9 +761,9 @@ impl Telemetry {
     #[must_use]
     pub fn from_args(args: &[String]) -> Telemetry {
         Telemetry {
-            events_out: arg_value(args, "--events-out"),
-            keep_timing: arg_flag(args, "--events-timing"),
-            progress: arg_flag(args, "--progress"),
+            events_out: crate::args::value(args, "--events-out"),
+            keep_timing: crate::args::flag(args, "--events-timing"),
+            progress: crate::args::flag(args, "--progress"),
         }
     }
 
@@ -821,7 +787,10 @@ impl Telemetry {
     /// diagnostic on I/O failure (same contract as [`write_metrics_json`]).
     pub fn write_events(&self, events: &[CellEvent]) {
         if let Some(path) = &self.events_out {
-            write_file_or_exit(path, &safedm_obs::events::to_jsonl(events, self.timing()));
+            crate::args::write_file_or_exit(
+                path,
+                &safedm_obs::events::to_jsonl(events, self.timing()),
+            );
         }
     }
 }
@@ -974,29 +943,31 @@ mod tests {
     use super::*;
     use safedm_tacle::kernels;
 
+    // The deprecated free functions must stay behaviour-identical to their
+    // `crate::args` replacements until they are removed.
+    #[allow(deprecated)]
     #[test]
-    fn arg_helpers() {
+    fn deprecated_arg_helpers_delegate_to_args() {
         let args: Vec<String> =
             ["prog", "--json", "out.json", "--quick"].iter().map(|s| (*s).to_owned()).collect();
-        assert_eq!(arg_value(&args, "--json").as_deref(), Some("out.json"));
+        assert_eq!(arg_value(&args, "--json"), crate::args::value(&args, "--json"));
         assert_eq!(arg_value(&args, "--missing"), None);
         assert!(arg_flag(&args, "--quick"));
         assert!(!arg_flag(&args, "--slow"));
         // flag at the end with no value
         assert_eq!(arg_value(&args, "--quick"), None);
-    }
-
-    #[test]
-    fn arg_list_parses_and_reports_bad_entries() {
-        let args: Vec<String> =
+        let lists: Vec<String> =
             ["prog", "--staggers", "0, 100,,1000"].iter().map(|s| (*s).to_owned()).collect();
-        assert_eq!(try_arg_list::<u64>(&args, "--staggers"), Ok(Some(vec![0, 100, 1000])));
-        assert_eq!(try_arg_list::<u64>(&args, "--absent"), Ok(None));
+        assert_eq!(
+            try_arg_list::<u64>(&lists, "--staggers"),
+            crate::args::opt_list::<u64>(&lists, "--staggers")
+        );
         let bad: Vec<String> =
             ["prog", "--staggers", "0,ten"].iter().map(|s| (*s).to_owned()).collect();
-        let err = try_arg_list::<u64>(&bad, "--staggers").unwrap_err();
-        assert!(err.contains("invalid value for --staggers"), "{err}");
-        assert!(err.contains("`ten`"), "{err}");
+        assert_eq!(
+            try_arg_list::<u64>(&bad, "--staggers").unwrap_err(),
+            crate::args::opt_list::<u64>(&bad, "--staggers").unwrap_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! `safedm-sim serve`: a dependency-free HTTP/1.1 campaign service over
+//! `std::net::TcpListener`.
+//!
+//! Endpoints (all bodies are `safedm-api/1` JSON via the `safedm-obs`
+//! layer):
+//!
+//! | method | path | semantics |
+//! |---|---|---|
+//! | `POST` | `/v1/campaigns` | submit a [`CampaignSpec`]; `201` with the campaign id |
+//! | `GET` | `/v1/campaigns/{id}/events` | chunked `application/x-ndjson` stream of per-cell [`CellEvent`](safedm_obs::events::CellEvent) lines, in cell order, as they complete |
+//! | `GET` | `/v1/campaigns/{id}/result` | status + cache counters (`running` until done) |
+//! | `GET` | `/v1/healthz` | liveness + code version |
+//!
+//! Each accepted connection is handled on its own thread
+//! (`Connection: close`, one request per connection); campaign cells
+//! execute on the shared `safedm-campaign` pool via [`crate::service`],
+//! fronted by one server-wide content-addressed [`ResultCache`]. The
+//! streamed lines are the cells' [`Timing::Strip`]-serialised events —
+//! byte-identical to a local `--events-out` run of the same spec (see
+//! `crate::service` for the argument).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use safedm_campaign::cache::ResultCache;
+use safedm_campaign::spec::{CampaignSpec, CODE_VERSION, SCHEMA};
+use safedm_campaign::Progress;
+use safedm_obs::json::JsonValue;
+
+use crate::service::{self, RunOptions};
+
+/// Maximum request head (request line + headers) the server will read.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum request body (a spec document) the server will read.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8787` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker count for campaign cells (a submitted spec's `jobs` hint is
+    /// clamped to this).
+    pub jobs: usize,
+    /// In-memory result-cache capacity (cell records).
+    pub cache_cap: usize,
+    /// Optional on-disk cache directory (write-through tier).
+    pub cache_dir: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8787".to_owned(),
+            jobs: safedm_campaign::default_jobs(),
+            cache_cap: 4096,
+            cache_dir: None,
+        }
+    }
+}
+
+struct JobInner {
+    lines: Vec<String>,
+    done: bool,
+    error: Option<String>,
+    all_ok: bool,
+    hits: u64,
+    misses: u64,
+}
+
+struct Job {
+    total: usize,
+    inner: Mutex<JobInner>,
+    cond: Condvar,
+}
+
+impl Job {
+    fn finish(&self, update: impl FnOnce(&mut JobInner)) {
+        let mut inner = lock(&self.inner);
+        update(&mut inner);
+        inner.done = true;
+        self.cond.notify_all();
+    }
+}
+
+struct State {
+    jobs: usize,
+    // `Arc` so runner threads (which are `'static`) can share the one
+    // server-wide cache with the accept loop.
+    cache: Arc<Mutex<ResultCache>>,
+    campaigns: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+}
+
+/// A bound campaign server (listener + shared state). `bind` then `run`;
+/// tests bind to `127.0.0.1:0` and read [`Server::local_addr`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state (cache included).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound.
+    pub fn bind(cfg: &ServeConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        let mut cache = ResultCache::new(cfg.cache_cap);
+        if let Some(dir) = &cfg.cache_dir {
+            cache = cache.with_dir(std::path::Path::new(dir));
+        }
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                jobs: cfg.jobs.max(1),
+                cache: Arc::new(Mutex::new(cache)),
+                campaigns: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    /// The bound address (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the socket has no local address.
+    pub fn local_addr(&self) -> Result<String, String> {
+        self.listener.local_addr().map(|a| a.to_string()).map_err(|e| e.to_string())
+    }
+
+    /// Serves forever: accepts connections, one handler thread each.
+    pub fn run(self) {
+        for stream in self.listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &state);
+            });
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn json_body(members: Vec<(&str, JsonValue)>) -> String {
+    let mut obj = vec![("schema".to_owned(), JsonValue::Str(SCHEMA.to_owned()))];
+    obj.extend(members.into_iter().map(|(k, v)| (k.to_owned(), v)));
+    JsonValue::Obj(obj).render()
+}
+
+fn write_response(
+    out: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn write_error(out: &mut impl Write, status: u16, reason: &str, msg: &str) -> std::io::Result<()> {
+    let body = json_body(vec![("error", JsonValue::Str(msg.to_owned()))]);
+    write_response(out, status, reason, &body)
+}
+
+/// Reads one request: `(method, path, body)`.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), String> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let path = parts.next().ok_or("request line has no path")?.to_owned();
+    let mut content_length = 0usize;
+    let mut head = line.len();
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).map_err(|e| e.to_string())?;
+        head += h.len();
+        if head > MAX_HEAD {
+            return Err("request head too large".to_owned());
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| "invalid Content-Length".to_owned())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err("request body too large".to_owned());
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok((method, path, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let (method, path, body) = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(e) => return write_error(&mut out, 400, "Bad Request", &e),
+    };
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/v1/healthz") => {
+            let campaigns = lock(&state.campaigns).len() as u64;
+            let body = json_body(vec![
+                ("status", JsonValue::Str("ok".to_owned())),
+                ("version", JsonValue::Str(CODE_VERSION.to_owned())),
+                ("campaigns", JsonValue::Uint(campaigns)),
+            ]);
+            write_response(&mut out, 200, "OK", &body)
+        }
+        ("POST", "/v1/campaigns") => post_campaign(&mut out, state, &body),
+        ("GET", p) => match parse_campaign_path(p) {
+            Some((id, "events")) => get_events(&mut out, state, id),
+            Some((id, "result")) => get_result(&mut out, state, id),
+            _ => write_error(&mut out, 404, "Not Found", &format!("no such resource: {p}")),
+        },
+        (m, p) => write_error(&mut out, 405, "Method Not Allowed", &format!("cannot {m} {p}")),
+    }
+}
+
+/// `/v1/campaigns/c{N}/{tail}` → `(N, tail)`.
+fn parse_campaign_path(path: &str) -> Option<(u64, &str)> {
+    let rest = path.strip_prefix("/v1/campaigns/c")?;
+    let (id, tail) = rest.split_once('/')?;
+    Some((id.parse().ok()?, tail))
+}
+
+fn post_campaign(out: &mut TcpStream, state: &State, body: &str) -> std::io::Result<()> {
+    let spec = match CampaignSpec::parse_json(body) {
+        Ok(s) => s,
+        Err(e) => return write_error(out, 400, "Bad Request", &e),
+    };
+    // The server owns scheduling: a client's jobs hint is clamped to the
+    // server's worker budget (it never affects results either way).
+    let clamped = CampaignSpec {
+        jobs: Some(spec.jobs.map_or(state.jobs as u64, |j| j.min(state.jobs as u64)).max(1)),
+        ..spec
+    };
+    let prepared = match service::prepare(&clamped) {
+        Ok(p) => p,
+        Err(e) => return write_error(out, 400, "Bad Request", &e),
+    };
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(Job {
+        total: prepared.cells.len(),
+        inner: Mutex::new(JobInner {
+            lines: Vec::new(),
+            done: false,
+            error: None,
+            all_ok: true,
+            hits: 0,
+            misses: 0,
+        }),
+        cond: Condvar::new(),
+    });
+    lock(&state.campaigns).insert(id, Arc::clone(&job));
+
+    let digest = clamped.digest();
+    let total = prepared.cells.len() as u64;
+    {
+        // Runner thread: cells on the campaign pool, lines into the job
+        // buffer in index order as their prefix completes.
+        let job = Arc::clone(&job);
+        let cache = Arc::clone(&state.cache);
+        std::thread::spawn(move || {
+            let sink = |_i: usize, line: &str| {
+                let mut inner = lock(&job.inner);
+                inner.lines.push(line.to_owned());
+                job.cond.notify_all();
+            };
+            let progress = Progress::new(false, prepared.cells.len());
+            let opts =
+                RunOptions { cache: Some(&cache), progress: Some(&progress), on_line: Some(&sink) };
+            match service::run(&prepared, &opts) {
+                Ok(outcome) => job.finish(|inner| {
+                    inner.all_ok = outcome.all_ok;
+                    inner.hits = outcome.cache.hits + outcome.cache.disk_hits;
+                    inner.misses = outcome.cache.misses;
+                }),
+                Err(e) => job.finish(|inner| inner.error = Some(e)),
+            }
+        });
+    }
+
+    let body = json_body(vec![
+        ("id", JsonValue::Str(format!("c{id}"))),
+        ("cells", JsonValue::Uint(total)),
+        ("spec_digest", JsonValue::Str(format!("{digest:016x}"))),
+    ]);
+    write_response(out, 201, "Created", &body)
+}
+
+fn get_events(out: &mut TcpStream, state: &State, id: u64) -> std::io::Result<()> {
+    let Some(job) = lock(&state.campaigns).get(&id).cloned() else {
+        return write_error(out, 404, "Not Found", &format!("no campaign c{id}"));
+    };
+    write!(
+        out,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut sent = 0usize;
+    loop {
+        let batch: Vec<String> = {
+            let mut inner = lock(&job.inner);
+            while inner.lines.len() == sent && !inner.done {
+                inner = job.cond.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            let batch = inner.lines[sent..].to_vec();
+            if batch.is_empty() && inner.done {
+                break;
+            }
+            batch
+        };
+        for line in &batch {
+            let chunk = format!("{line}\n");
+            write!(out, "{:x}\r\n{chunk}\r\n", chunk.len())?;
+        }
+        sent += batch.len();
+        if sent >= job.total {
+            break;
+        }
+    }
+    // Hold the stream open until the runner publishes its final counters,
+    // so a `result` fetched right after the stream ends is never `running`.
+    {
+        let mut inner = lock(&job.inner);
+        while !inner.done {
+            inner = job.cond.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    write!(out, "0\r\n\r\n")
+}
+
+fn get_result(out: &mut TcpStream, state: &State, id: u64) -> std::io::Result<()> {
+    let Some(job) = lock(&state.campaigns).get(&id).cloned() else {
+        return write_error(out, 404, "Not Found", &format!("no campaign c{id}"));
+    };
+    let inner = lock(&job.inner);
+    let status = if !inner.done {
+        "running"
+    } else if inner.error.is_some() {
+        "failed"
+    } else {
+        "done"
+    };
+    let mut members = vec![
+        ("id", JsonValue::Str(format!("c{id}"))),
+        ("status", JsonValue::Str(status.to_owned())),
+        ("cells", JsonValue::Uint(job.total as u64)),
+        ("completed", JsonValue::Uint(inner.lines.len() as u64)),
+        ("ok", JsonValue::Bool(inner.all_ok)),
+        (
+            "cache",
+            JsonValue::Obj(vec![
+                ("hits".to_owned(), JsonValue::Uint(inner.hits)),
+                ("misses".to_owned(), JsonValue::Uint(inner.misses)),
+            ]),
+        ),
+    ];
+    if let Some(e) = &inner.error {
+        members.push(("error", JsonValue::Str(e.clone())));
+    }
+    let body = json_body(members);
+    write_response(out, 200, "OK", &body)
+}

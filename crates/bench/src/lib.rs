@@ -5,4 +5,7 @@
 
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod experiments;
+pub mod http;
+pub mod service;

@@ -1,0 +1,225 @@
+//! Content-addressed result cache for campaign cells.
+//!
+//! Keys are [`CellSpec::digest`](crate::spec::CellSpec::digest) values —
+//! content hashes of a cell's canonical identity (kernel, config point,
+//! run, seed, engine, protocol) salted with the simulator code version.
+//! Values are the cell's *serialised* record: the exact timing-stripped
+//! `CellEvent` JSONL line the campaign would have streamed. Storing the
+//! bytes rather than a struct keeps the byte-identity contract trivially
+//! true on a hit — the cache replays the line it was given, verbatim.
+//!
+//! The store is a bounded in-memory LRU with an optional write-through
+//! on-disk directory (`{digest:016x}.json`, one line per file). Disk reads
+//! refill the memory tier; disk writes are best-effort (a full disk
+//! degrades to memory-only, it never fails a campaign). Hit/miss/eviction
+//! counters export into a `MetricsRegistry` in the same style as
+//! `SocMetrics`.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use safedm_obs::MetricsRegistry;
+
+/// Running counters for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the in-memory tier.
+    pub hits: u64,
+    /// Lookups served from the on-disk tier (memory miss, disk hit).
+    pub disk_hits: u64,
+    /// Lookups that found nothing in either tier.
+    pub misses: u64,
+    /// Records inserted (via [`ResultCache::put`] or a disk refill).
+    pub inserts: u64,
+    /// Records evicted from the memory tier to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.disk_hits + self.misses
+    }
+
+    /// Exports the counters into `reg` under `cache.*` names (no-op when
+    /// the registry is disabled, like every obs counter).
+    pub fn export(&self, reg: &mut MetricsRegistry) {
+        for (name, value) in [
+            ("cache.hits", self.hits),
+            ("cache.disk_hits", self.disk_hits),
+            ("cache.misses", self.misses),
+            ("cache.inserts", self.inserts),
+            ("cache.evictions", self.evictions),
+        ] {
+            let id = reg.counter(name);
+            reg.set_total(id, value);
+        }
+    }
+}
+
+struct Entry {
+    line: String,
+    tick: u64,
+}
+
+/// A bounded LRU of serialised cell records keyed by content digest, with
+/// an optional on-disk second tier.
+pub struct ResultCache {
+    cap: usize,
+    map: HashMap<u64, Entry>,
+    tick: u64,
+    dir: Option<PathBuf>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An in-memory cache holding at most `cap` records (`cap` is clamped
+    /// to at least 1).
+    #[must_use]
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            tick: 0,
+            dir: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Adds a write-through on-disk tier rooted at `dir` (created eagerly;
+    /// creation failure disables the tier rather than erroring).
+    #[must_use]
+    pub fn with_dir(mut self, dir: &Path) -> ResultCache {
+        self.dir = std::fs::create_dir_all(dir).is_ok().then(|| dir.to_path_buf());
+        self
+    }
+
+    /// Number of records in the memory tier.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memory tier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn disk_path(&self, digest: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{digest:016x}.json")))
+    }
+
+    /// Looks up `digest`, refreshing recency on a hit and refilling the
+    /// memory tier from disk when only the disk tier has it.
+    pub fn get(&mut self, digest: u64) -> Option<String> {
+        self.tick += 1;
+        if let Some(e) = self.map.get_mut(&digest) {
+            e.tick = self.tick;
+            self.stats.hits += 1;
+            return Some(e.line.clone());
+        }
+        if let Some(path) = self.disk_path(digest) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                let line = text.trim_end_matches('\n').to_owned();
+                self.stats.disk_hits += 1;
+                self.insert(digest, line.clone());
+                return Some(line);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Stores `line` under `digest` in memory and (best-effort) on disk.
+    pub fn put(&mut self, digest: u64, line: &str) {
+        self.tick += 1;
+        if let Some(path) = self.disk_path(digest) {
+            let _ = std::fs::write(&path, format!("{line}\n"));
+        }
+        self.insert(digest, line.to_owned());
+    }
+
+    fn insert(&mut self, digest: u64, line: String) {
+        if !self.map.contains_key(&digest) && self.map.len() >= self.cap {
+            // O(n) min-tick scan: caches hold at most a few thousand cell
+            // lines, far below where a heap would pay for itself.
+            if let Some(&victim) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.stats.inserts += 1;
+        self.map.insert(digest, Entry { line, tick: self.tick });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_the_exact_bytes_put() {
+        let mut c = ResultCache::new(8);
+        c.put(1, r#"{"index":0,"kernel":"fac"}"#);
+        assert_eq!(c.get(1).as_deref(), Some(r#"{"index":0,"kernel":"fac"}"#));
+        assert_eq!(c.get(2), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.put(1, "one");
+        c.put(2, "two");
+        assert_eq!(c.get(1).as_deref(), Some("one")); // 1 is now most recent
+        c.put(3, "three"); // evicts 2
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1).as_deref(), Some("one"));
+        assert_eq!(c.get(3).as_deref(), Some("three"));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn disk_tier_survives_memory_eviction_and_new_instances() {
+        let dir = std::env::temp_dir().join(format!("safedm-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = ResultCache::new(1).with_dir(&dir);
+            c.put(10, "ten");
+            c.put(11, "eleven"); // evicts 10 from memory; disk keeps it
+            assert_eq!(c.get(10).as_deref(), Some("ten"));
+            assert_eq!(c.stats().disk_hits, 1);
+        }
+        {
+            let mut c = ResultCache::new(4).with_dir(&dir);
+            assert_eq!(c.get(11).as_deref(), Some("eleven"));
+            assert_eq!(c.stats().disk_hits, 1);
+            assert_eq!(c.stats().hits, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_export_lands_in_the_registry() {
+        let mut c = ResultCache::new(4);
+        c.put(1, "x");
+        let _ = c.get(1);
+        let _ = c.get(2);
+        let mut reg = MetricsRegistry::new(true);
+        c.stats().export(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(1));
+        assert_eq!(snap.counter("cache.misses"), Some(1));
+        assert_eq!(snap.counter("cache.inserts"), Some(1));
+    }
+}

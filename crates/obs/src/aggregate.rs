@@ -245,14 +245,30 @@ pub fn parse_bench_doc(file: &str, text: &str) -> Result<BenchDoc, String> {
     Ok(BenchDoc { file: file.to_owned(), date, metrics })
 }
 
+/// Whether a baseline document declares a `safedm-bench/N` schema newer
+/// than this binary's `safedm-bench/1` — i.e. a forward baseline written
+/// by a newer toolchain. Such files are tolerable (skip them), unlike
+/// malformed ones (error).
+fn forward_schema(text: &str) -> Option<String> {
+    let schema = parse(text).ok()?.get("schema")?.as_str()?.to_owned();
+    let version: u64 = schema.strip_prefix("safedm-bench/")?.parse().ok()?;
+    (version > 1).then_some(schema)
+}
+
 /// Loads every `BENCH_*.json` baseline in `dir`, sorted by file name (the
 /// dated naming convention makes that chronological order).
+///
+/// Baselines whose schema is a *newer* `safedm-bench/N` than this binary
+/// understands are skipped, not fatal — old binaries must tolerate forward
+/// baselines checked in by newer ones. Each skip produces a warning string
+/// in the second tuple element for the caller to surface.
 ///
 /// # Errors
 ///
 /// Returns a message on unreadable directories or files and on any
-/// baseline that fails [`parse_bench_doc`] validation.
-pub fn load_bench_history(dir: &str) -> Result<Vec<BenchDoc>, String> {
+/// same-or-unknown-schema baseline that fails [`parse_bench_doc`]
+/// validation.
+pub fn load_bench_history(dir: &str) -> Result<(Vec<BenchDoc>, Vec<String>), String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir}: {e}"))?;
     let mut files: Vec<String> = Vec::new();
     for entry in entries {
@@ -264,13 +280,21 @@ pub fn load_bench_history(dir: &str) -> Result<Vec<BenchDoc>, String> {
     }
     files.sort();
     let mut docs = Vec::new();
+    let mut warnings = Vec::new();
     for name in files {
         let path = std::path::Path::new(dir).join(&name);
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        if let Some(schema) = forward_schema(&text) {
+            warnings.push(format!(
+                "skipping {name}: baseline schema `{schema}` is newer than this binary's \
+                 `safedm-bench/1`"
+            ));
+            continue;
+        }
         docs.push(parse_bench_doc(&name, &text)?);
     }
-    Ok(docs)
+    Ok((docs, warnings))
 }
 
 /// The trend of one metric across a baseline history: its values in

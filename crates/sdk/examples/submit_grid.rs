@@ -1,0 +1,52 @@
+//! Submit a small grid campaign to a running `safedm-sim serve` and print
+//! the streamed event lines.
+//!
+//! ```text
+//! safedm-sim serve --addr 127.0.0.1:8787 &
+//! cargo run -p safedm-sdk --example submit_grid -- 127.0.0.1:8787
+//! ```
+
+use std::time::Duration;
+
+use safedm_campaign::CampaignSpec;
+use safedm_sdk::Client;
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:8787".to_owned());
+    let client = Client::new(addr).with_deadline(Duration::from_secs(300));
+
+    let health = match client.healthz() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: server not reachable: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("server {} is {}", health.version, health.status);
+
+    // The default spec is the 4-cell bitcount/fac × nops 0/100 grid.
+    let spec = CampaignSpec::default();
+    let run = match client.run(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: campaign failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "campaign {} ({} cells, digest {}): {} — {} cache hit(s), {} miss(es)",
+        run.submission.id,
+        run.result.cells,
+        run.submission.spec_digest,
+        run.result.status,
+        run.result.cache_hits,
+        run.result.cache_misses
+    );
+    for line in &run.lines {
+        println!("{line}");
+    }
+    if run.result.status != "done" || !run.result.ok {
+        eprintln!("error: campaign did not complete cleanly");
+        std::process::exit(1);
+    }
+}

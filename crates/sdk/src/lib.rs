@@ -1,0 +1,478 @@
+//! # safedm-sdk — thin client for the `safedm-sim serve` campaign service
+//!
+//! A blocking, dependency-free (std + the workspace's own `safedm-obs`
+//! JSON layer) client for the `safedm-api/1` HTTP surface:
+//!
+//! ```no_run
+//! use safedm_campaign::CampaignSpec;
+//! use safedm_sdk::Client;
+//!
+//! let client = Client::new("127.0.0.1:8787");
+//! let spec = CampaignSpec::default(); // 4-cell grid
+//! let run = client.run(&spec).expect("campaign");
+//! assert_eq!(run.lines.len() as u64, run.result.cells);
+//! ```
+//!
+//! The client is deliberately thin: typed request/response structs
+//! ([`Submission`], [`CampaignResult`], [`Health`]), one TCP connection
+//! per request (`Connection: close`, matching the server), retry with
+//! exponential backoff on connect failures and 5xx responses, and a
+//! per-call deadline that bounds connect, reads and the whole event
+//! stream. Event lines come back exactly as the server streamed them —
+//! byte-identical to a local `--events-out` run of the same spec.
+
+#![warn(missing_docs)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use safedm_campaign::spec::{CampaignSpec, SCHEMA};
+use safedm_obs::json::{parse, JsonValue};
+
+/// Client-side errors, split by what the caller can do about them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdkError {
+    /// TCP connect / socket I/O failure (retried automatically).
+    Connect(String),
+    /// Non-2xx HTTP response (5xx are retried automatically).
+    Http {
+        /// HTTP status code.
+        status: u16,
+        /// The response body (usually a `safedm-api/1` error document).
+        body: String,
+    },
+    /// The response did not follow the `safedm-api/1` protocol.
+    Protocol(String),
+    /// The configured deadline elapsed.
+    Deadline,
+}
+
+impl std::fmt::Display for SdkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdkError::Connect(e) => write!(f, "connect: {e}"),
+            SdkError::Http { status, body } => write!(f, "http {status}: {body}"),
+            SdkError::Protocol(e) => write!(f, "protocol: {e}"),
+            SdkError::Deadline => write!(f, "deadline elapsed"),
+        }
+    }
+}
+
+/// Retry policy: `attempts` tries with exponential backoff starting at
+/// `backoff` (doubling each retry). Applies to connect errors and 5xx.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// Initial backoff between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { attempts: 5, backoff: Duration::from_millis(50) }
+    }
+}
+
+/// A successful `POST /v1/campaigns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submission {
+    /// Server-assigned campaign id (e.g. `c7`).
+    pub id: String,
+    /// Number of cells the spec enumerates to.
+    pub cells: u64,
+    /// The spec's content digest as the server computed it (hex).
+    pub spec_digest: String,
+}
+
+/// A `GET /v1/campaigns/{id}/result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// `running`, `done` or `failed`.
+    pub status: String,
+    /// Total cells.
+    pub cells: u64,
+    /// Cells completed so far (== `cells` when done).
+    pub completed: u64,
+    /// Whether every completed cell passed its self-check.
+    pub ok: bool,
+    /// Result-cache hits this campaign (memory + disk).
+    pub cache_hits: u64,
+    /// Result-cache misses this campaign (cells actually simulated).
+    pub cache_misses: u64,
+    /// Failure message when `status == "failed"`.
+    pub error: Option<String>,
+}
+
+/// A `GET /v1/healthz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// Always `ok` when the server answers.
+    pub status: String,
+    /// The server's code version (cache-salt identity).
+    pub version: String,
+}
+
+/// A full [`Client::run`]: submission, streamed lines, final result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRun {
+    /// The submission receipt.
+    pub submission: Submission,
+    /// The streamed event lines, in cell order, byte-exact.
+    pub lines: Vec<String>,
+    /// The final result document.
+    pub result: CampaignResult,
+}
+
+/// Status code, lowercased headers, and a reader positioned at the body.
+type RawResponse = (u16, Vec<(String, String)>, BufReader<TcpStream>);
+
+/// Blocking campaign-service client. Cheap to construct; every call opens
+/// its own connection.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    retry: RetryPolicy,
+    deadline: Option<Duration>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with default retry and no
+    /// deadline.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into(), retry: RetryPolicy::default(), deadline: None }
+    }
+
+    /// Sets the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Client {
+        self.retry = retry;
+        self
+    }
+
+    /// Bounds every call (including full event streams) by `deadline`.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Client {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    fn start(&self) -> Option<Instant> {
+        self.deadline.map(|_| Instant::now())
+    }
+
+    fn remaining(&self, started: Option<Instant>) -> Result<Option<Duration>, SdkError> {
+        match (self.deadline, started) {
+            (Some(d), Some(t0)) => {
+                let spent = t0.elapsed();
+                if spent >= d {
+                    Err(SdkError::Deadline)
+                } else {
+                    Ok(Some(d - spent))
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// `GET /v1/healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdkError`] on connect/protocol failures after retries.
+    pub fn healthz(&self) -> Result<Health, SdkError> {
+        let started = self.start();
+        let (_, v) = self.request_json("GET", "/v1/healthz", None, started)?;
+        Ok(Health { status: str_field(&v, "status")?, version: str_field(&v, "version")? })
+    }
+
+    /// `POST /v1/campaigns`: submits `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdkError::Http`] with status 400 for invalid specs.
+    pub fn submit(&self, spec: &CampaignSpec) -> Result<Submission, SdkError> {
+        let started = self.start();
+        let body = spec.canonical_json();
+        let (status, v) = self.request_json("POST", "/v1/campaigns", Some(&body), started)?;
+        if status != 201 {
+            return Err(SdkError::Protocol(format!("expected 201, got {status}")));
+        }
+        Ok(Submission {
+            id: str_field(&v, "id")?,
+            cells: uint_field(&v, "cells")?,
+            spec_digest: str_field(&v, "spec_digest")?,
+        })
+    }
+
+    /// `GET /v1/campaigns/{id}/events`: blocks until the stream ends,
+    /// returning every line (in cell order, byte-exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdkError::Deadline`] if the stream outlives the deadline.
+    pub fn stream_events(&self, id: &str) -> Result<Vec<String>, SdkError> {
+        let started = self.start();
+        let path = format!("/v1/campaigns/{id}/events");
+        let (status, headers, mut reader) = self.request_raw("GET", &path, None, started)?;
+        if status != 200 {
+            let body = read_plain_body(&headers, &mut reader)?;
+            return Err(SdkError::Http { status, body });
+        }
+        let text = read_body(&headers, &mut reader)?;
+        Ok(text.lines().map(str::to_owned).collect())
+    }
+
+    /// `GET /v1/campaigns/{id}/result`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdkError`] on connect/protocol failures after retries.
+    pub fn result(&self, id: &str) -> Result<CampaignResult, SdkError> {
+        let started = self.start();
+        let path = format!("/v1/campaigns/{id}/result");
+        let (_, v) = self.request_json("GET", &path, None, started)?;
+        let cache = v.get("cache").ok_or_else(|| proto("result has no `cache`"))?;
+        Ok(CampaignResult {
+            status: str_field(&v, "status")?,
+            cells: uint_field(&v, "cells")?,
+            completed: uint_field(&v, "completed")?,
+            ok: v
+                .get("ok")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| proto("result has no `ok`"))?,
+            cache_hits: uint_field(cache, "hits")?,
+            cache_misses: uint_field(cache, "misses")?,
+            error: v.get("error").and_then(|e| e.as_str().map(str::to_owned)),
+        })
+    }
+
+    /// Submit + stream + result, in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SdkError`] from any of the three steps.
+    pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignRun, SdkError> {
+        let submission = self.submit(spec)?;
+        let lines = self.stream_events(&submission.id)?;
+        let result = self.result(&submission.id)?;
+        Ok(CampaignRun { submission, lines, result })
+    }
+
+    /// One JSON request with the retry policy applied: connect errors and
+    /// 5xx retry with backoff; 4xx surface immediately.
+    fn request_json(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        started: Option<Instant>,
+    ) -> Result<(u16, JsonValue), SdkError> {
+        let mut backoff = self.retry.backoff;
+        let mut last = SdkError::Protocol("no attempts made".to_owned());
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            self.remaining(started)?;
+            match self.attempt_json(method, path, body, started) {
+                Ok((status, v)) if status >= 500 => {
+                    last = SdkError::Http { status, body: v.render() };
+                }
+                Ok((status, v)) if status >= 400 => {
+                    return Err(SdkError::Http { status, body: v.render() });
+                }
+                Ok(ok) => return Ok(ok),
+                Err(e @ (SdkError::Connect(_) | SdkError::Http { .. })) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn attempt_json(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        started: Option<Instant>,
+    ) -> Result<(u16, JsonValue), SdkError> {
+        let (status, headers, mut reader) = self.request_raw(method, path, body, started)?;
+        let text = read_body(&headers, &mut reader)?;
+        let v = parse(&text).map_err(|e| proto(&format!("body is not JSON: {e}")))?;
+        match v.get("schema").and_then(JsonValue::as_str) {
+            Some(SCHEMA) => Ok((status, v)),
+            Some(other) => Err(proto(&format!("unsupported schema `{other}`"))),
+            None => Err(proto("response has no `schema`")),
+        }
+    }
+
+    /// Opens a connection, writes the request, reads the status line and
+    /// headers. The body is left in the returned reader.
+    fn request_raw(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        started: Option<Instant>,
+    ) -> Result<RawResponse, SdkError> {
+        let remaining = self.remaining(started)?;
+        let stream = match remaining {
+            Some(d) => {
+                let addr = self
+                    .addr
+                    .parse()
+                    .map_err(|e| SdkError::Connect(format!("bad address {}: {e}", self.addr)))?;
+                TcpStream::connect_timeout(&addr, d)
+            }
+            None => TcpStream::connect(&self.addr),
+        }
+        .map_err(|e| SdkError::Connect(format!("{}: {e}", self.addr)))?;
+        stream.set_read_timeout(remaining).map_err(|e| SdkError::Connect(e.to_string()))?;
+        let mut out = stream.try_clone().map_err(|e| SdkError::Connect(e.to_string()))?;
+        let body = body.unwrap_or("");
+        write!(
+            out,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        )
+        .map_err(|e| SdkError::Connect(e.to_string()))?;
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).map_err(read_err)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| proto(&format!("bad status line `{}`", status_line.trim())))?;
+        let mut headers = Vec::new();
+        loop {
+            let mut h = String::new();
+            reader.read_line(&mut h).map_err(read_err)?;
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = h.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+            }
+        }
+        Ok((status, headers, reader))
+    }
+}
+
+fn proto(msg: &str) -> SdkError {
+    SdkError::Protocol(msg.to_owned())
+}
+
+fn read_err(e: std::io::Error) -> SdkError {
+    if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+        SdkError::Deadline
+    } else {
+        SdkError::Connect(e.to_string())
+    }
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+/// Reads a response body: `Content-Length` or chunked transfer encoding.
+fn read_body(
+    headers: &[(String, String)],
+    reader: &mut BufReader<TcpStream>,
+) -> Result<String, SdkError> {
+    if header(headers, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        let mut out = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line).map_err(read_err)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| proto(&format!("bad chunk size `{}`", size_line.trim())))?;
+            let mut chunk = vec![0u8; size + 2]; // chunk + trailing \r\n
+            reader.read_exact(&mut chunk).map_err(read_err)?;
+            if size == 0 {
+                break;
+            }
+            out.extend_from_slice(&chunk[..size]);
+        }
+        return Ok(String::from_utf8_lossy(&out).into_owned());
+    }
+    read_plain_body(headers, reader)
+}
+
+/// Reads a `Content-Length` (or to-EOF) body.
+fn read_plain_body(
+    headers: &[(String, String)],
+    reader: &mut BufReader<TcpStream>,
+) -> Result<String, SdkError> {
+    match header(headers, "content-length") {
+        Some(len) => {
+            let len: usize =
+                len.parse().map_err(|_| proto(&format!("bad Content-Length `{len}`")))?;
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).map_err(read_err)?;
+            Ok(String::from_utf8_lossy(&body).into_owned())
+        }
+        None => {
+            let mut body = String::new();
+            reader.read_to_string(&mut body).map_err(read_err)?;
+            Ok(body)
+        }
+    }
+}
+
+fn str_field(v: &JsonValue, key: &str) -> Result<String, SdkError> {
+    v.get(key)
+        .and_then(|x| x.as_str().map(str::to_owned))
+        .ok_or_else(|| proto(&format!("response has no string `{key}`")))
+}
+
+fn uint_field(v: &JsonValue, key: &str) -> Result<u64, SdkError> {
+    v.get(key).and_then(JsonValue::as_u64).ok_or_else(|| proto(&format!("response has no `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_usefully() {
+        assert_eq!(SdkError::Deadline.to_string(), "deadline elapsed");
+        let e = SdkError::Http { status: 400, body: "{}".to_owned() };
+        assert!(e.to_string().contains("400"));
+    }
+
+    #[test]
+    fn connect_errors_are_retried_then_surfaced() {
+        // Nothing listens on a fresh ephemeral port that we immediately
+        // close, so every attempt fails with a connect error.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let client = Client::new(addr)
+            .with_retry(RetryPolicy { attempts: 2, backoff: Duration::from_millis(1) });
+        match client.healthz() {
+            Err(SdkError::Connect(_)) => {}
+            other => panic!("expected connect error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_connect() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // The listener never accepts or answers; reads must time out.
+        let client = Client::new(addr)
+            .with_retry(RetryPolicy { attempts: 1, backoff: Duration::from_millis(1) })
+            .with_deadline(Duration::from_millis(50));
+        match client.healthz() {
+            Err(SdkError::Deadline | SdkError::Connect(_)) => {}
+            other => panic!("expected deadline/connect, got {other:?}"),
+        }
+    }
+}

@@ -34,6 +34,8 @@
 //!            [--root-seed S] [--jobs N] [--engine cycle|fast|hybrid]
 //!            [--json] [--profile]
 //!            [--events-out FILE [--events-timing]] [--progress]
+//! safedm-sim serve [--addr HOST:PORT] [--jobs N]
+//!            [--cache-cap N] [--cache-dir DIR]
 //! safedm-sim report --events FILE [--metrics FILE] [--bench-dir DIR]
 //!            [--html FILE] [--top N] [--tolerance F]
 //! safedm-sim --list-kernels
@@ -45,10 +47,17 @@
 //! block-compiles only outside monitor-relevant windows, so monitored runs
 //! stay byte-identical to `cycle`.
 //!
-//! The `campaign` subcommand enumerates a kernel × stagger × run grid and
-//! executes it on the deterministic `safedm-campaign` pool: per-cell seeds
-//! derive from `--root-seed` and the cell index alone, and results collect
-//! in grid order, so the output is byte-identical for every `--jobs N`.
+//! The `campaign` subcommand builds a `safedm-api/1`
+//! [`CampaignSpec`](safedm::campaign::spec) from its flags and executes it
+//! through the shared campaign service (`safedm_bench::service`): per-cell
+//! seeds derive from `--root-seed` and the cell index alone, and results
+//! collect in grid order, so the output is byte-identical for every
+//! `--jobs N`. The `serve` subcommand exposes the same engine over a
+//! dependency-free HTTP/1.1 surface (`POST /v1/campaigns`, chunked
+//! `GET /v1/campaigns/{id}/events`, `GET /v1/campaigns/{id}/result`,
+//! `GET /v1/healthz`) with a content-addressed result cache in front —
+//! repeated cells replay their stored bytes without re-simulation (see
+//! DESIGN.md §11; the `safedm-sdk` crate is the matching client).
 //! `--events-out` additionally writes one [`safedm::obs::events`] JSONL
 //! record per cell (also byte-identical across `--jobs`; per-cell
 //! wall-clock is stripped unless `--events-timing` opts in), and
@@ -63,12 +72,12 @@
 //! HTML page (`--html`).
 
 use std::process::ExitCode;
-use std::sync::Arc;
 
 use safedm::analysis::{analyze, AnalysisConfig};
 use safedm::asm::transform::TransformConfig;
 use safedm::asm::Program;
-use safedm::campaign::{par_map_timed_observed, ConfigGrid, Progress};
+use safedm::campaign::spec::{CampaignSpec, Protocol};
+use safedm::campaign::Progress;
 use safedm::monitor::{MonitoredSoc, ObsConfig, ReportMode, RunObserver, SafeDmConfig};
 use safedm::obs::events::{CellEvent, Timing};
 use safedm::obs::json::JsonValue;
@@ -79,55 +88,13 @@ use safedm::tacle::{
     build_kernel_program, build_twin_pair, build_twin_program, kernels, HarnessConfig,
     StaggerConfig, TwinConfig,
 };
+use safedm_bench::http::{ServeConfig, Server};
+use safedm_bench::{args, service};
 
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
-}
-
-fn arg_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
-fn parse_u64(s: &str) -> Result<u64, String> {
-    let t = s.trim();
-    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16)
-    } else {
-        t.parse()
-    }
-    .map_err(|_| format!("invalid number `{s}`"))
-}
-
-/// `--flag N` with a default: decimal or `0x` hex, with the flag named in
-/// the error (`invalid value for --runs: \`x\` (expected a number)`).
-fn arg_u64_or(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
-    match arg_value(args, flag) {
-        None => Ok(default),
-        Some(v) => parse_u64(&v)
-            .map_err(|_| format!("invalid value for {flag}: `{v}` (expected a number)")),
-    }
-}
-
-/// `--flag N` without a default: `None` when absent, flag-named error when
-/// present but unparsable.
-fn arg_opt_u64(args: &[String], flag: &str) -> Result<Option<u64>, String> {
-    arg_value(args, flag)
-        .map(|v| {
-            parse_u64(&v)
-                .map_err(|_| format!("invalid value for {flag}: `{v}` (expected a number)"))
-        })
-        .transpose()
-}
-
-/// `--flag F` with a default: a float, with the flag named in the error.
-fn arg_f64_or(args: &[String], flag: &str, default: f64) -> Result<f64, String> {
-    match arg_value(args, flag) {
-        None => Ok(default),
-        Some(v) => v
-            .parse::<f64>()
-            .map_err(|_| format!("invalid value for {flag}: `{v}` (expected a number)")),
-    }
-}
+// Argument parsing lives in `safedm_bench::args` — the one parser shared
+// by this CLI and every bench binary (PR 9 replaced the per-binary
+// copies). `args::value`, `args::flag`, `args::u64_or`, … below all refer
+// to that module.
 
 fn usage() -> &'static str {
     "usage: safedm-sim <program.s | --kernel NAME | --list-kernels>\n\
@@ -152,6 +119,8 @@ fn usage() -> &'static str {
      \x20      [--root-seed S] [--jobs N] [--engine cycle|fast|hybrid]\n\
      \x20      [--json] [--profile]\n\
      \x20      [--events-out FILE [--events-timing]] [--progress]\n\
+     \x20      safedm-sim serve\n\
+     \x20      [--addr HOST:PORT] [--jobs N] [--cache-cap N] [--cache-dir DIR]\n\
      \x20      safedm-sim report --events FILE\n\
      \x20      [--metrics FILE] [--bench-dir DIR] [--html FILE]\n\
      \x20      [--top N] [--tolerance F]"
@@ -162,7 +131,7 @@ fn usage() -> &'static str {
 fn resolve_target(args: &[String], base: u64) -> Result<(String, Program), String> {
     let target = args
         .iter()
-        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .find(|a| !a.starts_with("--") && !args::is_flag_value(args, a))
         .ok_or_else(|| usage().to_owned())?;
     if let Some(k) = kernels::by_name(target) {
         return Ok((target.clone(), build_kernel_program(k, &HarnessConfig::default())));
@@ -185,10 +154,10 @@ fn observed_run(
     args: &[String],
     profile: Option<&mut SelfProfiler>,
 ) -> Result<(String, MonitoredSoc, RunObserver), String> {
-    let base = arg_u64_or(args, "--base", 0x8000_0000)?;
-    let max_cycles = arg_u64_or(args, "--cycles", 500_000_000)?;
-    let events = arg_u64_or(args, "--events", 1 << 16)?;
-    let interval = arg_u64_or(args, "--interval", 64)?.max(1);
+    let base = args::u64_or(args, "--base", 0x8000_0000)?;
+    let max_cycles = args::u64_or(args, "--cycles", 500_000_000)?;
+    let events = args::u64_or(args, "--events", 1 << 16)?;
+    let interval = args::u64_or(args, "--interval", 64)?.max(1);
     let (name, prog) = resolve_target(args, base)?;
 
     let mut sys = MonitoredSoc::new(
@@ -229,8 +198,8 @@ fn observed_run(
 /// timeline as Chrome trace-event JSON (default) or JSONL.
 fn run_trace(args: &[String]) -> Result<(), String> {
     let (name, _sys, obs) = observed_run(args, None)?;
-    let jsonl = arg_flag(args, "--jsonl");
-    let out = arg_value(args, "--out").unwrap_or_else(|| {
+    let jsonl = args::flag(args, "--jsonl");
+    let out = args::value(args, "--out").unwrap_or_else(|| {
         format!("{}.trace.{}", file_stem(&name), if jsonl { "jsonl" } else { "json" })
     });
     let payload = if jsonl { obs.trace_jsonl() } else { obs.chrome_trace_json() };
@@ -247,14 +216,14 @@ fn run_trace(args: &[String]) -> Result<(), String> {
 /// snapshot (human table or JSON), optionally with a self-profile.
 fn run_stats(args: &[String]) -> Result<(), String> {
     let mut prof = SelfProfiler::new();
-    let profile = arg_flag(args, "--profile");
+    let profile = args::flag(args, "--profile");
     let (name, _sys, obs) = observed_run(args, profile.then_some(&mut prof))?;
     let snap = obs.metrics_snapshot();
-    if let Some(path) = arg_value(args, "--metrics-out") {
+    if let Some(path) = args::value(args, "--metrics-out") {
         std::fs::write(&path, snap.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-    if arg_flag(args, "--json") {
+    if args::flag(args, "--json") {
         println!("{}", snap.to_json());
     } else {
         println!("metrics for `{name}`:");
@@ -271,8 +240,8 @@ fn run_stats(args: &[String]) -> Result<(), String> {
 /// `--seed` picks the derangement/jitter seed, `--level` the aggressiveness
 /// preset (0 identity … 3 full; defaults to 3).
 fn twin_config(args: &[String]) -> Result<TwinConfig, String> {
-    let seed = arg_u64_or(args, "--seed", 0x5afe_d1f0)?;
-    let level = arg_u64_or(args, "--level", 3)?;
+    let seed = args::u64_or(args, "--seed", 0x5afe_d1f0)?;
+    let level = args::u64_or(args, "--level", 3)?;
     if level > 3 {
         return Err(format!("--level {level} out of range (0..=3)"));
     }
@@ -286,11 +255,11 @@ fn twin_config(args: &[String]) -> Result<TwinConfig, String> {
 /// smoke test drives that); a correspondence-map violation (DIV010) is a
 /// hard error.
 fn run_analyze_pair(args: &[String]) -> Result<(), String> {
-    if arg_value(args, "--stagger").is_some() {
+    if args::value(args, "--stagger").is_some() {
         return Err("--pair certifies at stagger 0; --stagger is not applicable".to_owned());
     }
     let tcfg = twin_config(args)?;
-    let kname = arg_value(args, "--kernel")
+    let kname = args::value(args, "--kernel")
         .ok_or_else(|| "--pair needs --kernel NAME (or --kernel all)".to_owned())?;
     let cfg = AnalysisConfig { pair_mode: true, ..AnalysisConfig::default() };
 
@@ -335,19 +304,19 @@ fn run_analyze_pair(args: &[String]) -> Result<(), String> {
 /// certificates; `--kernel all` proves every built-in kernel (one summary
 /// line each), which is what the CI smoke test drives.
 fn run_analyze(args: &[String]) -> Result<(), String> {
-    let base = arg_u64_or(args, "--base", 0x8000_0000)?;
-    let stagger_nops = arg_opt_u64(args, "--stagger")?;
-    let max_cycles = arg_u64_or(args, "--max-cycles", 500_000_000)?;
-    let prove_mode = arg_flag(args, "--prove");
+    let base = args::u64_or(args, "--base", 0x8000_0000)?;
+    let stagger_nops = args::opt_u64(args, "--stagger")?;
+    let max_cycles = args::u64_or(args, "--max-cycles", 500_000_000)?;
+    let prove_mode = args::flag(args, "--prove");
 
-    if arg_flag(args, "--pair") {
+    if args::flag(args, "--pair") {
         if !prove_mode {
             return Err("--pair is only supported with --prove".to_owned());
         }
         return run_analyze_pair(args);
     }
 
-    if arg_value(args, "--kernel").as_deref() == Some("all") {
+    if args::value(args, "--kernel").as_deref() == Some("all") {
         if !prove_mode {
             return Err("--kernel all is only supported with --prove".to_owned());
         }
@@ -366,7 +335,7 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let (name, prog, phase) = if let Some(kname) = arg_value(args, "--kernel") {
+    let (name, prog, phase) = if let Some(kname) = args::value(args, "--kernel") {
         let k = kernels::by_name(&kname)
             .ok_or_else(|| format!("unknown kernel `{kname}` (see --list-kernels)"))?;
         let stagger =
@@ -379,7 +348,7 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
     } else {
         let path = args
             .iter()
-            .find(|a| !a.starts_with("--") && *a != "analyze" && !is_flag_value(args, a))
+            .find(|a| !a.starts_with("--") && *a != "analyze" && !args::is_flag_value(args, a))
             .ok_or_else(|| usage().to_owned())?;
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -398,7 +367,7 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
         print!("{}", proof.render(&report.program, cfg.snippet_lines));
     }
 
-    if arg_flag(args, "--gate") {
+    if args::flag(args, "--gate") {
         println!("\ncross-validating against the runtime monitor (stagger 0) ...");
         let mut sys = MonitoredSoc::new(SocConfig::default(), SafeDmConfig::default());
         sys.enable_static_gate(cfg);
@@ -418,172 +387,83 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// The `campaign` subcommand: enumerate a kernel × stagger × run
-/// [`ConfigGrid`] and execute it on the deterministic worker pool.
-/// Telemetry — the `--events-out` stream and the `--progress` stderr line
-/// — observes the campaign but never steers it: events are built from the
-/// ordered results after the pool joins, so the stream is byte-identical
-/// for every `--jobs N` (wall-clock is stripped unless `--events-timing`).
-fn run_campaign(args: &[String]) -> Result<(), String> {
-    let kernels_arg = arg_value(args, "--kernels").unwrap_or_else(|| "bitcount,fac".to_owned());
-    let mut kernel_axis = Vec::new();
-    for n in kernels_arg.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        let k = kernels::by_name(n)
-            .ok_or_else(|| format!("unknown kernel `{n}` (see --list-kernels)"))?;
-        kernel_axis.push(k);
-    }
-    if kernel_axis.is_empty() {
-        return Err("--kernels needs at least one kernel name".to_owned());
-    }
-    let staggers_arg = arg_value(args, "--staggers").unwrap_or_else(|| "0,100".to_owned());
-    let stagger_axis: Vec<u64> = staggers_arg
+/// Builds the shared [`CampaignSpec`] from `campaign` CLI flags — the
+/// same `safedm-api/1` request document `safedm-sim serve` accepts over
+/// HTTP and `safedm-sdk` submits, so all three front-ends drive the one
+/// entry point in [`safedm_bench::service`].
+fn campaign_spec_from_args(args: &[String]) -> Result<CampaignSpec, String> {
+    let kernels_arg = args::value(args, "--kernels").unwrap_or_else(|| "bitcount,fac".to_owned());
+    let kernel_names: Vec<String> = kernels_arg
         .split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
-        .map(|s| {
-            parse_u64(s).map_err(|_| {
-                format!(
-                    "invalid value for --staggers: `{s}` (expected a comma-separated list of \
-                     numbers)"
-                )
-            })
-        })
-        .collect::<Result<_, _>>()?;
-    if stagger_axis.is_empty() {
-        return Err("--staggers needs at least one nop count".to_owned());
-    }
-    let runs = arg_u64_or(args, "--runs", 2)?.max(1) as usize;
-    let root_seed = arg_u64_or(args, "--root-seed", 2024)?;
-    let engine = arg_value(args, "--engine").map_or(Ok(Engine::Cycle), |v| Engine::parse(&v))?;
-    let jobs = safedm::campaign::parse_jobs(arg_value(args, "--jobs").as_deref())?;
-    let events_out = arg_value(args, "--events-out");
-    let timing = if arg_flag(args, "--events-timing") { Timing::Keep } else { Timing::Strip };
-    let show_progress = arg_flag(args, "--progress");
+        .map(str::to_owned)
+        .collect();
+    Ok(CampaignSpec {
+        protocol: Protocol::Grid,
+        kernels: kernel_names,
+        staggers: args::opt_list::<u64>(args, "--staggers")?.unwrap_or_else(|| vec![0, 100]),
+        runs: args::u64_or(args, "--runs", 2)?.max(1),
+        root_seed: Some(args::u64_or(args, "--root-seed", 2024)?),
+        engine: args::value(args, "--engine").unwrap_or_else(|| "cycle".to_owned()),
+        jobs: Some(safedm::campaign::parse_jobs(args::value(args, "--jobs").as_deref())? as u64),
+        keep_timing: args::flag(args, "--events-timing"),
+    })
+}
 
-    let grid = ConfigGrid {
-        kernels: kernel_axis,
-        staggers: stagger_axis,
-        configs: vec![SafeDmConfig::default()],
-        runs,
-        root_seed,
-    };
-    // One pre-decoded program per (kernel, stagger) setup, shared by all of
-    // that setup's runs. Setup index = cell.index / runs in the canonical
-    // kernel-major, run-minor order.
-    let mut programs: Vec<Arc<Program>> =
-        Vec::with_capacity(grid.kernels.len() * grid.staggers.len());
-    for k in &grid.kernels {
-        for &nops in &grid.staggers {
-            let stagger =
-                (nops > 0).then_some(StaggerConfig { nops: nops as usize, delayed_core: 1 });
-            programs.push(Arc::new(build_kernel_program(
-                k,
-                &HarnessConfig { stagger, ..HarnessConfig::default() },
-            )));
-        }
-    }
+/// The `campaign` subcommand: build a [`CampaignSpec`] from the flags and
+/// execute it through the shared campaign service ([`safedm_bench::service`])
+/// — the exact engine `safedm-sim serve` exposes over HTTP. Telemetry —
+/// the `--events-out` stream and the `--progress` stderr line — observes
+/// the campaign but never steers it: the event stream is byte-identical
+/// for every `--jobs N` (wall-clock is stripped unless `--events-timing`).
+fn run_campaign(args: &[String]) -> Result<(), String> {
+    let spec = campaign_spec_from_args(args)?;
+    let events_out = args::value(args, "--events-out");
+    let timing = if spec.keep_timing { Timing::Keep } else { Timing::Strip };
+    let show_progress = args::flag(args, "--progress");
 
-    let cells = grid.cells();
+    let prepared = service::prepare(&spec)?;
     if show_progress {
-        eprintln!("campaign: {} cells on {jobs} worker(s), root seed {root_seed}", cells.len());
+        eprintln!(
+            "campaign: {} cells on {} worker(s), root seed {}",
+            prepared.cells.len(),
+            prepared.jobs,
+            spec.root_seed.unwrap_or_default()
+        );
     }
-    let progress = Progress::new(show_progress, cells.len());
-    let (results, durations) = par_map_timed_observed(
-        jobs,
-        &cells,
-        |_, cell| {
-            let prog = &programs[cell.index / runs];
-            let golden = (cell.kernel.reference)();
-            if engine == Engine::Fast {
-                // Functional twin at block granularity: architecturally
-                // exact results plus instruction-count diversity proxies,
-                // no pipeline model (see `safedm::soc::fastpath`).
-                let mut twin = FastTwin::new(ExecMode::Fast);
-                twin.load_program(prog);
-                let out = twin.run(500_000_000);
-                let ok = !out.timed_out
-                    && (0..2).all(|c| twin.hart(c).reg(safedm::isa::Reg::A0) == golden);
-                return CampaignCell {
-                    cycles: out.cycles,
-                    zero_stag: out.zero_stag,
-                    no_div: out.no_div,
-                    observed: out.observed,
-                    episodes: out.episodes,
-                    ok,
-                };
-            }
-            // `cycle` and `hybrid` both take the cycle-accurate path here:
-            // every campaign cell runs under the monitor, and the hybrid
-            // engine's "always-slow in guarded regions" rule makes the
-            // whole monitored run a guarded region.
-            let soc_cfg =
-                SocConfig { mem_jitter: 2, jitter_seed: cell.seed, ..SocConfig::default() };
-            let dm_cfg = SafeDmConfig { report_mode: ReportMode::Polling, ..cell.config };
-            let mut sys = MonitoredSoc::new(soc_cfg, dm_cfg);
-            sys.load_program(prog);
-            sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(ReportMode::Polling) << 1));
-            let out = sys.run(500_000_000);
-            let ok = !out.run.timed_out
-                && (0..2).all(|c| sys.soc().core(c).reg(safedm::isa::Reg::A0) == golden);
-            CampaignCell {
-                cycles: out.run.cycles,
-                zero_stag: out.zero_stag_cycles,
-                no_div: out.no_div_cycles,
-                observed: out.cycles_observed,
-                episodes: sys.monitor().no_diversity_history().total_episodes(),
-                ok,
-            }
-        },
-        |i, _| progress.cell_done(cells[i].kernel.name),
-    );
+    let progress = Progress::new(show_progress, prepared.cells.len());
+    let opts = service::RunOptions { progress: Some(&progress), ..service::RunOptions::default() };
+    let outcome = service::run(&prepared, &opts)?;
     progress.finish();
 
     if let Some(path) = &events_out {
-        let events: Vec<CellEvent> = cells
-            .iter()
-            .zip(&results)
-            .zip(&durations)
-            .map(|((cell, r), d)| CellEvent {
-                index: cell.index as u64,
-                kernel: cell.kernel.name.to_owned(),
-                config: format!("nops={}", cell.stagger),
-                engine: engine.as_str().to_owned(),
-                run: cell.run as u64,
-                seed: cell.seed,
-                cycles: r.cycles,
-                guarded: r.observed,
-                zero_stag: r.zero_stag,
-                no_div: r.no_div,
-                episodes: r.episodes,
-                violations: u64::from(!r.ok),
-                ok: r.ok,
-                wall_us: Some(u64::try_from(d.as_micros()).unwrap_or(u64::MAX)),
-            })
-            .collect();
-        std::fs::write(path, safedm::obs::events::to_jsonl(&events, timing))
+        std::fs::write(path, safedm::obs::events::to_jsonl(&outcome.events, timing))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
 
-    let json = arg_flag(args, "--json");
-    if json {
+    // Grid cells always carry a `nops=N` config; recover N for the table.
+    let nops = |ev: &CellEvent| ev.config.strip_prefix("nops=").unwrap_or("0").to_owned();
+
+    if args::flag(args, "--json") {
         let mut doc = String::from("[");
-        for (cell, r) in cells.iter().zip(&results) {
-            if cell.index > 0 {
+        for ev in &outcome.events {
+            if ev.index > 0 {
                 doc.push(',');
             }
             doc.push_str(&format!(
                 "{{\"kernel\":\"{}\",\"nops\":{},\"run\":{},\"seed\":{},\"cycles\":{},\
                  \"zero_stag\":{},\"no_div\":{},\"observed\":{},\"checksum_ok\":{}}}",
-                cell.kernel.name,
-                cell.stagger,
-                cell.run,
-                cell.seed,
-                r.cycles,
-                r.zero_stag,
-                r.no_div,
-                r.observed,
-                r.ok
+                ev.kernel,
+                nops(ev),
+                ev.run,
+                ev.seed,
+                ev.cycles,
+                ev.zero_stag,
+                ev.no_div,
+                ev.guarded,
+                ev.ok
             ));
         }
         doc.push(']');
@@ -591,54 +471,70 @@ fn run_campaign(args: &[String]) -> Result<(), String> {
     } else {
         println!(
             "CAMPAIGN: {} kernels x {} staggers x {} runs",
-            grid.kernels.len(),
-            grid.staggers.len(),
-            runs
+            spec.kernels.len(),
+            spec.staggers.len(),
+            spec.runs
         );
         println!(
             "{:<14} {:>7} {:>4} {:>20} {:>10} {:>10} {:>9} {:>6}",
             "kernel", "nops", "run", "seed", "cycles", "zero-stag", "no-div", "check"
         );
-        for (cell, r) in cells.iter().zip(&results) {
+        for ev in &outcome.events {
             println!(
                 "{:<14} {:>7} {:>4} {:>20} {:>10} {:>10} {:>9} {:>6}",
-                cell.kernel.name,
-                cell.stagger,
-                cell.run,
-                cell.seed,
-                r.cycles,
-                r.zero_stag,
-                r.no_div,
-                if r.ok { "ok" } else { "FAIL" }
+                ev.kernel,
+                nops(ev),
+                ev.run,
+                ev.seed,
+                ev.cycles,
+                ev.zero_stag,
+                ev.no_div,
+                if ev.ok { "ok" } else { "FAIL" }
             );
         }
     }
-    if arg_flag(args, "--profile") {
+    if args::flag(args, "--profile") {
         // Host wall-clock per cell: stderr only, never part of the
         // deterministic stdout above.
         eprintln!("per-cell wall-clock:");
-        for (cell, d) in cells.iter().zip(&durations) {
+        for ev in &outcome.events {
             eprintln!(
-                "  {:<14} nops {:>7} run {} : {:>10.1?}",
-                cell.kernel.name, cell.stagger, cell.run, d
+                "  {:<14} {:>7} run {} : {:>10} us",
+                ev.kernel,
+                ev.config,
+                ev.run,
+                ev.wall_us.unwrap_or(0)
             );
         }
     }
-    if results.iter().any(|r| !r.ok) {
+    if !outcome.all_ok {
         return Err("one or more campaign cells failed their self-check".to_owned());
     }
     Ok(())
 }
 
-/// One campaign cell's deterministic counters (wall-clock lives in the
-/// pool's separate timing vector, never here).
-struct CampaignCell {
-    cycles: u64,
-    zero_stag: u64,
-    no_div: u64,
-    observed: u64,
-    episodes: u64,
-    ok: bool,
+/// The `serve` subcommand: bind the campaign service and serve forever.
+/// `POST /v1/campaigns` accepts the same [`CampaignSpec`] document the
+/// `campaign` subcommand builds from its flags; `GET
+/// /v1/campaigns/{id}/events` streams the byte-identical JSONL event
+/// lines; results are content-addressed-cached across submissions.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let cfg = ServeConfig {
+        addr: args::value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8787".to_owned()),
+        jobs: safedm::campaign::parse_jobs(args::value(args, "--jobs").as_deref())?,
+        cache_cap: args::u64_or(args, "--cache-cap", 4096)?.max(1) as usize,
+        cache_dir: args::value(args, "--cache-dir"),
+    };
+    let server = Server::bind(&cfg)?;
+    let disk = cfg.cache_dir.as_deref().map(|d| format!(", disk tier {d}")).unwrap_or_default();
+    eprintln!(
+        "safedm-sim serve: listening on {} ({} worker(s), cache cap {}{disk})",
+        server.local_addr()?,
+        cfg.jobs,
+        cfg.cache_cap
+    );
+    server.run();
+    Ok(())
 }
 
 /// The `report` subcommand: render the campaign telemetry report from an
@@ -650,10 +546,10 @@ struct CampaignCell {
 fn run_report(args: &[String]) -> Result<(), String> {
     use safedm::obs::{aggregate, report};
 
-    let events_path = arg_value(args, "--events")
+    let events_path = args::value(args, "--events")
         .ok_or_else(|| "report needs --events FILE (see campaign --events-out)".to_owned())?;
-    let top = arg_u64_or(args, "--top", 5)?.max(1) as usize;
-    let tolerance = arg_f64_or(args, "--tolerance", 0.10)?;
+    let top = args::u64_or(args, "--top", 5)?.max(1) as usize;
+    let tolerance = args::f64_or(args, "--tolerance", 0.10)?;
     let text = std::fs::read_to_string(&events_path)
         .map_err(|e| format!("cannot read {events_path}: {e}"))?;
     let events = safedm::obs::events::parse_jsonl(&text)
@@ -681,7 +577,7 @@ fn run_report(args: &[String]) -> Result<(), String> {
     print!("{slow}");
     sections.push(("Slowest cells".to_owned(), report::html_pre(&slow)));
 
-    if let Some(metrics_path) = arg_value(args, "--metrics") {
+    if let Some(metrics_path) = args::value(args, "--metrics") {
         let snap = std::fs::read_to_string(&metrics_path)
             .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
         let causes = aggregate::stall_pareto(&snap)
@@ -692,8 +588,11 @@ fn run_report(args: &[String]) -> Result<(), String> {
         sections.push(("Stall-cause Pareto".to_owned(), report::html_pre(&pareto)));
     }
 
-    if let Some(dir) = arg_value(args, "--bench-dir") {
-        let history = aggregate::load_bench_history(&dir)?;
+    if let Some(dir) = args::value(args, "--bench-dir") {
+        let (history, warnings) = aggregate::load_bench_history(&dir)?;
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
         if history.is_empty() {
             println!("\nbench trend: no BENCH_*.json baselines in {dir}");
         } else {
@@ -705,7 +604,7 @@ fn run_report(args: &[String]) -> Result<(), String> {
         }
     }
 
-    if let Some(html_path) = arg_value(args, "--html") {
+    if let Some(html_path) = args::value(args, "--html") {
         let page = report::html_page("SafeDM campaign report", &sections);
         std::fs::write(&html_path, page).map_err(|e| format!("cannot write {html_path}: {e}"))?;
         eprintln!("wrote {html_path}");
@@ -719,9 +618,11 @@ fn run_report(args: &[String]) -> Result<(), String> {
 /// exactly `overhead_insts` more instructions than the original.
 fn run_transform(args: &[String]) -> Result<(), String> {
     let tcfg = twin_config(args)?;
-    let verify = arg_flag(args, "--verify");
-    let kname = arg_value(args, "--kernel")
-        .or_else(|| args.iter().find(|a| !a.starts_with("--") && !is_flag_value(args, a)).cloned())
+    let verify = args::flag(args, "--verify");
+    let kname = args::value(args, "--kernel")
+        .or_else(|| {
+            args.iter().find(|a| !a.starts_with("--") && !args::is_flag_value(args, a)).cloned()
+        })
         .ok_or_else(|| "transform needs a kernel name or `all` (see --list-kernels)".to_owned())?;
     let list: Vec<&safedm::tacle::Kernel> = if kname == "all" {
         kernels::all().iter().collect()
@@ -839,17 +740,20 @@ fn today() -> String {
 /// metric regressing beyond `--tolerance` (default 10%).
 fn run_bench(args: &[String]) -> Result<(), String> {
     use std::time::Instant;
-    let reps: u32 = if arg_flag(args, "--quick") { 1 } else { 3 };
-    let date = arg_value(args, "--date").unwrap_or_else(today);
-    let out_path = arg_value(args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
-    let tolerance = arg_f64_or(args, "--tolerance", 0.10)?;
+    let reps: u32 = if args::flag(args, "--quick") { 1 } else { 3 };
+    let date = args::value(args, "--date").unwrap_or_else(today);
+    let out_path = args::value(args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let tolerance = args::f64_or(args, "--tolerance", 0.10)?;
 
     // `--history`: no suite run — scan the committed baselines and render
     // the per-metric trend (sparkline + delta); a last-step regression
     // beyond the tolerance is an error, same threshold as `--check`.
-    if arg_flag(args, "--history") {
-        let dir = arg_value(args, "--bench-dir").unwrap_or_else(|| ".".to_owned());
-        let history = safedm::obs::aggregate::load_bench_history(&dir)?;
+    if args::flag(args, "--history") {
+        let dir = args::value(args, "--bench-dir").unwrap_or_else(|| ".".to_owned());
+        let (history, warnings) = safedm::obs::aggregate::load_bench_history(&dir)?;
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
         if history.is_empty() {
             return Err(format!("no BENCH_*.json baselines found in {dir}"));
         }
@@ -985,7 +889,7 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         println!("  {name:<24} {value:>12.3} {unit:<7} (better: {better})");
     }
 
-    if let Some(base_path) = arg_value(args, "--check") {
+    if let Some(base_path) = args::value(args, "--check") {
         let text = std::fs::read_to_string(&base_path)
             .map_err(|e| format!("cannot read {base_path}: {e}"))?;
         let base = safedm::obs::json::parse(&text)
@@ -1051,11 +955,11 @@ fn run_bench(args: &[String]) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || arg_flag(&args, "--help") {
+    if args.is_empty() || args::flag(&args, "--help") {
         println!("{}", usage());
         return Ok(());
     }
-    if arg_flag(&args, "--list-kernels") {
+    if args::flag(&args, "--list-kernels") {
         for k in kernels::all() {
             println!("{}", k.name);
         }
@@ -1073,6 +977,9 @@ fn run() -> Result<(), String> {
     if args.first().is_some_and(|a| a == "campaign") {
         return run_campaign(&args[1..]);
     }
+    if args.first().is_some_and(|a| a == "serve") {
+        return run_serve(&args[1..]);
+    }
     if args.first().is_some_and(|a| a == "transform") {
         return run_transform(&args[1..]);
     }
@@ -1083,15 +990,15 @@ fn run() -> Result<(), String> {
         return run_report(&args[1..]);
     }
 
-    let base = arg_u64_or(&args, "--base", 0x8000_0000)?;
-    let delayed_core = arg_u64_or(&args, "--delayed-core", 1)? as usize;
-    let stagger = arg_opt_u64(&args, "--stagger")?
+    let base = args::u64_or(&args, "--base", 0x8000_0000)?;
+    let delayed_core = args::u64_or(&args, "--delayed-core", 1)? as usize;
+    let stagger = args::opt_u64(&args, "--stagger")?
         .map(|nops| StaggerConfig { nops: nops as usize, delayed_core });
-    let max_cycles = arg_u64_or(&args, "--max-cycles", 500_000_000)?;
-    let engine = arg_value(&args, "--engine").map_or(Ok(Engine::Cycle), |v| Engine::parse(&v))?;
+    let max_cycles = args::u64_or(&args, "--max-cycles", 500_000_000)?;
+    let engine = args::value(&args, "--engine").map_or(Ok(Engine::Cycle), |v| Engine::parse(&v))?;
 
     // Program source: a file path or a built-in kernel.
-    let (name, prog, golden) = if let Some(kname) = arg_value(&args, "--kernel") {
+    let (name, prog, golden) = if let Some(kname) = args::value(&args, "--kernel") {
         let k = kernels::by_name(&kname)
             .ok_or_else(|| format!("unknown kernel `{kname}` (see --list-kernels)"))?;
         let prog = build_kernel_program(k, &HarnessConfig { stagger, ..HarnessConfig::default() });
@@ -1099,7 +1006,7 @@ fn run() -> Result<(), String> {
     } else {
         let path = args
             .iter()
-            .find(|a| !a.starts_with("--") && !is_flag_value(&args, a))
+            .find(|a| !a.starts_with("--") && !args::is_flag_value(&args, a))
             .ok_or_else(|| usage().to_owned())?;
         if stagger.is_some() {
             return Err("--stagger is only supported with --kernel (the harness builds the sled)"
@@ -1114,7 +1021,7 @@ fn run() -> Result<(), String> {
     if engine == Engine::Fast {
         // Block-compiled functional twin: no pipeline, no monitor probes —
         // instruction-count proxies stand in for the per-cycle verdicts.
-        if arg_value(&args, "--vcd").is_some() || arg_opt_u64(&args, "--trace")?.is_some() {
+        if args::value(&args, "--vcd").is_some() || args::opt_u64(&args, "--trace")?.is_some() {
             return Err(
                 "--vcd/--trace need the pipeline model; use --engine cycle or hybrid".to_owned()
             );
@@ -1123,7 +1030,7 @@ fn run() -> Result<(), String> {
         twin.load_program(&prog);
         let out = twin.run(max_cycles);
         let a0 = [twin.hart(0).reg(safedm::isa::Reg::A0), twin.hart(1).reg(safedm::isa::Reg::A0)];
-        if arg_flag(&args, "--json") {
+        if args::flag(&args, "--json") {
             println!(
                 "{{\"program\":\"{name}\",\"engine\":\"fast\",\"cycles\":{},\"observed\":{},\
                  \"zero_stag\":{},\"no_div\":{},\"a0\":[{},{}]}}",
@@ -1162,14 +1069,14 @@ fn run() -> Result<(), String> {
     // as an RTOS write would).
     sys.write_ctrl(1 | (safedm::monitor::regs::encode_mode(ReportMode::Polling) << 1));
 
-    let trace_n = arg_opt_u64(&args, "--trace")?;
+    let trace_n = args::opt_u64(&args, "--trace")?;
     if let Some(n) = trace_n {
         sys.soc_mut().core_mut(0).enable_commit_trace(n as usize);
     }
 
     // Optional VCD of the first N cycles.
-    let vcd_path = arg_value(&args, "--vcd");
-    let vcd_cycles = arg_u64_or(&args, "--vcd-cycles", 4_096)?;
+    let vcd_path = args::value(&args, "--vcd");
+    let vcd_cycles = args::u64_or(&args, "--vcd-cycles", 4_096)?;
     let mut vcd = vcd_path.as_ref().map(|_| {
         let mut v = ProbeVcd::new(2, "safedm_sim");
         let nd = v.add_channel("monitor.no_diversity", 1);
@@ -1211,7 +1118,7 @@ fn run() -> Result<(), String> {
     let c = sys.monitor().counters();
     let zero_stag = sys.monitor().instruction_diff().zero_cycles();
 
-    if arg_flag(&args, "--json") {
+    if args::flag(&args, "--json") {
         println!(
             "{{\"program\":\"{name}\",\"cycles\":{},\"observed\":{},\"zero_stag\":{zero_stag},\
              \"no_div\":{},\"ds_match\":{},\"is_match\":{},\"a0\":[{},{}],\"irq\":{}}}",
@@ -1242,16 +1149,6 @@ fn run() -> Result<(), String> {
         return Err("run did not complete within --max-cycles".to_owned());
     }
     Ok(())
-}
-
-/// Whether `tok` is the value of some `--flag value` pair (not a program
-/// path).
-fn is_flag_value(args: &[String], tok: &String) -> bool {
-    args.iter()
-        .position(|a| a == tok)
-        .and_then(|i| i.checked_sub(1))
-        .and_then(|i| args.get(i))
-        .is_some_and(|prev| prev.starts_with("--"))
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,101 @@
+//! End-to-end campaign service test: `safedm-sim serve`'s engine on an
+//! ephemeral port, driven through the public `safedm-sdk` client.
+//!
+//! The contract under test is the PR 9 cache-correctness argument: a
+//! campaign's event stream over HTTP is byte-identical to local execution
+//! of the same spec (any `--jobs`), and a repeated submission is served
+//! entirely from the content-addressed result cache — same bytes, zero
+//! re-simulation.
+
+use std::time::Duration;
+
+use safedm::campaign::spec::{CampaignSpec, Protocol};
+use safedm_bench::http::{ServeConfig, Server};
+use safedm_bench::service::{self, RunOptions};
+use safedm_sdk::{Client, SdkError};
+
+/// The ISSUE's 4-cell grid: bitcount/fac × nops 0/100, one run each.
+fn four_cell_spec() -> CampaignSpec {
+    CampaignSpec {
+        protocol: Protocol::Grid,
+        kernels: vec!["bitcount".to_owned(), "fac".to_owned()],
+        staggers: vec![0, 100],
+        runs: 1,
+        root_seed: Some(2024),
+        engine: "cycle".to_owned(),
+        jobs: Some(2),
+        keep_timing: false,
+    }
+}
+
+fn spawn_server() -> String {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+#[test]
+fn served_events_match_local_run_and_resubmission_is_all_cache_hits() {
+    let addr = spawn_server();
+    let client = Client::new(addr).with_deadline(Duration::from_secs(300));
+
+    let health = client.healthz().expect("healthz");
+    assert_eq!(health.status, "ok");
+    assert!(health.version.starts_with("safedm/"), "code version: {}", health.version);
+
+    // The reference: the same spec executed locally on 2 workers, no
+    // cache — exactly what `safedm-sim campaign --jobs 2` runs.
+    let spec = four_cell_spec();
+    let local = service::run_spec(&spec, &RunOptions::default()).expect("local run");
+    assert_eq!(local.lines.len(), 4);
+
+    // Cold submission: everything simulates, stream matches local bytes.
+    let cold = client.run(&spec).expect("cold campaign");
+    assert_eq!(cold.submission.cells, 4);
+    assert_eq!(cold.lines, local.lines, "served stream must be byte-identical to local run");
+    assert_eq!(cold.result.status, "done");
+    assert!(cold.result.ok);
+    assert_eq!((cold.result.cache_hits, cold.result.cache_misses), (0, 4));
+
+    // Resubmission: 100% cache hit, same bytes, nothing re-simulated.
+    let warm = client.run(&spec).expect("warm campaign");
+    assert_eq!(warm.lines, cold.lines);
+    assert_eq!((warm.result.cache_hits, warm.result.cache_misses), (4, 0));
+    assert_eq!(warm.result.status, "done");
+    assert!(warm.result.ok);
+    assert_ne!(warm.submission.id, cold.submission.id, "each submission gets its own id");
+    assert_eq!(warm.submission.spec_digest, cold.submission.spec_digest);
+
+    // Scheduling hints are not identity: a different jobs count digests
+    // (and caches) identically.
+    let rehinted = CampaignSpec { jobs: Some(1), ..spec };
+    let hinted = client.run(&rehinted).expect("re-hinted campaign");
+    assert_eq!(hinted.submission.spec_digest, cold.submission.spec_digest);
+    assert_eq!((hinted.result.cache_hits, hinted.result.cache_misses), (4, 0));
+    assert_eq!(hinted.lines, cold.lines);
+}
+
+#[test]
+fn invalid_specs_and_unknown_campaigns_are_client_errors() {
+    let addr = spawn_server();
+    let client = Client::new(addr).with_deadline(Duration::from_secs(60));
+
+    let bad = CampaignSpec { kernels: vec!["nonesuch".to_owned()], ..four_cell_spec() };
+    match client.submit(&bad) {
+        Err(SdkError::Http { status: 400, body }) => {
+            assert!(body.contains("nonesuch"), "error names the kernel: {body}");
+        }
+        other => panic!("expected 400, got {other:?}"),
+    }
+
+    match client.result("c999999") {
+        Err(SdkError::Http { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+}

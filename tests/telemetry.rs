@@ -167,8 +167,10 @@ fn bench_history_trend_flags_only_real_regressions() {
         std::fs::write(dir.join(format!("BENCH_{date}.json")), bench_doc(date, value))
             .expect("write baseline");
     }
-    let history = load_bench_history(dir.to_str().expect("utf-8 path")).expect("load history");
+    let (history, warnings) =
+        load_bench_history(dir.to_str().expect("utf-8 path")).expect("load history");
     assert_eq!(history.len(), 3, "chronological scan of BENCH_*.json");
+    assert!(warnings.is_empty(), "no forward baselines here: {warnings:?}");
     let trends = metric_trends(&history);
 
     // 10.4 -> 8.0 on a higher-is-better metric is a 23% regression.
@@ -190,6 +192,40 @@ fn bench_history_load_fails_cleanly_on_a_bad_file() {
     let err =
         load_bench_history(dir.to_str().expect("utf-8 path")).expect_err("malformed baseline");
     assert!(err.contains("BENCH_2026-01-01.json"), "error names the file: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_history_skips_forward_schema_baselines_with_a_warning() {
+    let dir = scratch_dir("forward");
+    std::fs::write(dir.join("BENCH_2026-01-01.json"), bench_doc("2026-01-01", 10.0))
+        .expect("write baseline");
+    // A baseline from a future toolchain: schema bumped, body shape
+    // unknown to this binary. Must be skipped, not fatal.
+    std::fs::write(
+        dir.join("BENCH_2026-01-02.json"),
+        "{\"schema\":\"safedm-bench/2\",\"date\":\"2026-01-02\",\"metrics\":7}",
+    )
+    .expect("write forward baseline");
+    // But an *unknown* (non-versioned) schema is still a hard error.
+    let (history, warnings) =
+        load_bench_history(dir.to_str().expect("utf-8 path")).expect("forward baseline tolerated");
+    assert_eq!(history.len(), 1, "only the understood baseline loads");
+    assert_eq!(warnings.len(), 1);
+    assert!(
+        warnings[0].contains("BENCH_2026-01-02.json") && warnings[0].contains("safedm-bench/2"),
+        "warning names file and schema: {}",
+        warnings[0]
+    );
+
+    std::fs::write(
+        dir.join("BENCH_2026-01-03.json"),
+        "{\"schema\":\"other/9\",\"date\":\"2026-01-03\",\"metrics\":{}}",
+    )
+    .expect("write alien baseline");
+    let err = load_bench_history(dir.to_str().expect("utf-8 path"))
+        .expect_err("alien schema still errors");
+    assert!(err.contains("other/9"), "error names the schema: {err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
