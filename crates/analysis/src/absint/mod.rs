@@ -33,6 +33,23 @@
 //! certificates start at an effective delta of 2, and the grouping-alignment
 //! argument is machine-checked by the `prove_soundness` harness across the
 //! full kernels × staggers grid.
+//!
+//! ## Interprocedural composition
+//!
+//! [`prove`] first builds the whole-program call graph
+//! ([`crate::callgraph::CallGraph`]) and its bottom-up function summaries
+//! ([`crate::summary::FnSummary`]), then uses them in two places. The
+//! fixpoint applies each callee's [`CallEffect`] along the call's
+//! fall-through edge — only the may-clobber set havocs, a provably balanced
+//! callee preserves the caller's `sp` facts, a returning callee preserves
+//! `ra`, and a CSR-free callee with delta-zero inputs and a mirrored memory
+//! preserves the relational state (identical inputs drive identical
+//! execution on both cores). Loop certification splices composable
+//! (straight-line leaf) callee bodies into the iteration's committed stream,
+//! so loops containing calls are certified over their *true* commit sequence
+//! instead of refuted at the call. Without summaries
+//! ([`AbsInt::compute`]), every call fall-through conservatively havocs the
+//! whole state.
 
 pub mod congruence;
 pub mod interval;
@@ -42,11 +59,12 @@ pub mod stagger;
 use std::fmt;
 
 use safedm_isa::csr::addr::MHARTID;
-use safedm_isa::{abs_transfer, AbsValue, AluKind, Inst, Reg};
+use safedm_isa::{abs_transfer, call_return_transfer, AbsValue, AluKind, Inst, Reg};
 
 use crate::cfg::{Cfg, DecodedProgram, NaturalLoop};
-use crate::dataflow::{ConstProp, LoopTraffic, Taint};
+use crate::dataflow::{invariant_mask, ConstProp, LoopTraffic, Taint};
 use crate::diag::{Diagnostic, LintCode, PcSpan, Severity};
+use crate::summary::{CallEffect, Interproc};
 use crate::AnalysisConfig;
 
 pub use congruence::Congruence;
@@ -199,8 +217,26 @@ pub struct AbsInt {
 
 impl AbsInt {
     /// Runs the worklist fixpoint with widening at natural-loop headers.
+    ///
+    /// No interprocedural summaries: every call fall-through edge applies
+    /// the worst-case [`CallEffect`] (full havoc, broken memory mirror). Use
+    /// [`AbsInt::compute_with_summaries`] for the summary-refined fixpoint.
     #[must_use]
     pub fn compute(prog: &DecodedProgram, cfg: &Cfg) -> AbsInt {
+        AbsInt::compute_with_summaries(prog, cfg, None)
+    }
+
+    /// The worklist fixpoint with per-callee [`CallEffect`]s applied along
+    /// call fall-through edges: only the callee's may-clobber set havocs, a
+    /// provably balanced callee preserves the caller's `sp` facts, a
+    /// returning callee preserves `ra`, and a CSR-free callee with
+    /// delta-zero inputs preserves the relational state.
+    #[must_use]
+    pub fn compute_with_summaries(
+        prog: &DecodedProgram,
+        cfg: &Cfg,
+        ipo: Option<&Interproc>,
+    ) -> AbsInt {
         let nb = cfg.blocks.len();
         let mut block_in: Vec<Option<AbsState>> = vec![None; nb];
         let mut joins = vec![0u32; nb];
@@ -227,11 +263,26 @@ impl AbsInt {
                     state.transfer(prog.slots[i].pc, &inst);
                 }
             }
+            // A linking jump's fall-through successor is the abstract return
+            // edge: the callee runs in between, so its effect applies there
+            // (and only there — the edge into the callee sees the post-call
+            // state as-is).
+            let last = blk.end.wrapping_sub(1);
+            let is_call = blk.end > blk.start
+                && matches!(
+                    prog.slots[last].inst,
+                    Some(Inst::Jal { rd, .. } | Inst::Jalr { rd, .. }) if !rd.is_zero()
+                );
             for &s in &blk.succs {
+                let mut out = state.clone();
+                if is_call && cfg.blocks[s].start == blk.end {
+                    let eff = ipo.map_or_else(CallEffect::unknown, |i| i.effect_for_slot(last));
+                    apply_call_return(&mut out, &eff);
+                }
                 let merged = match &block_in[s] {
-                    None => state.clone(),
+                    None => out,
                     Some(old) => {
-                        let joined = old.join(&state);
+                        let joined = old.join(&out);
                         let widen_at = if is_header[s] { WIDEN_AFTER } else { WIDEN_AFTER_ANY };
                         if joins[s] >= widen_at {
                             old.widen(&joined)
@@ -248,6 +299,53 @@ impl AbsInt {
             }
         }
         AbsInt { block_in }
+    }
+}
+
+/// Applies a callee's abstract effect to the caller's state at the call's
+/// fall-through point.
+///
+/// The value half delegates to [`call_return_transfer`]. The relational half
+/// rests on a relational argument about the two cores: when the callee is
+/// transitively CSR-free, the memory mirror is intact and every register the
+/// callee may read is provably delta-zero, both cores feed the callee
+/// identical inputs and therefore execute it identically — every output is
+/// delta-zero and the mirror survives (may-clobbered registers join with
+/// [`Delta::Zero`], covering not-actually-written paths). Otherwise the
+/// callee may diverge: clobbered deltas become unknown — except `sp`, whose
+/// delta is preserved when the callee nets the same statically-known
+/// adjustment on every path of either core, and `ra`, which on a returning
+/// callee still holds the (equal) link value the call wrote — and the mirror
+/// only survives a provably store-free callee.
+fn apply_call_return(st: &mut AbsState, eff: &CallEffect) {
+    let old = st.regs;
+    call_return_transfer::<Abs>(
+        eff.clobbers,
+        eff.sp_delta,
+        eff.ra_restored,
+        |r| old[r.index() as usize],
+        |r, v| st.regs[r.index() as usize] = v,
+    );
+
+    let inputs_equal = eff.csr_free
+        && st.delta.mem_equal
+        && (1..32).all(|i| eff.uses & (1 << i) == 0 || st.delta.regs[i].is_zero());
+    for i in 1..32 {
+        if eff.clobbers & (1 << i) == 0 {
+            continue;
+        }
+        if inputs_equal {
+            st.delta.regs[i] = st.delta.regs[i].join(&Delta::Zero);
+        } else if i == Reg::SP.index() as usize && eff.sp_delta.is_some() {
+            // sp' = sp + d on every path of either core: the delta carries.
+        } else if i == Reg::RA.index() as usize && eff.ra_restored {
+            // ra still holds the link value, equal on both cores.
+        } else {
+            st.delta.regs[i] = Delta::Unknown;
+        }
+    }
+    if !inputs_equal && eff.may_store {
+        st.delta.mem_equal = false;
     }
 }
 
@@ -289,6 +387,10 @@ pub struct LoopCertificate {
     pub header_pc: u64,
     /// The loop body region.
     pub span: PcSpan,
+    /// Body spans of composable callees spliced into the iteration stream:
+    /// together with `span`, every PC one iteration's committed stream can
+    /// occupy. Empty for call-free loops (and when splicing was refuted).
+    pub callee_spans: Vec<PcSpan>,
     /// Committed instructions per iteration, for single-path bodies.
     pub body_len: Option<u64>,
     /// Minimal rotation period of the data-signature traffic pattern, for
@@ -326,6 +428,10 @@ impl LoopCertificate {
         }
         if let Some(p) = self.is_period {
             line.push_str(&format!(" is-period={p}"));
+        }
+        if !self.callee_spans.is_empty() {
+            let spans: Vec<String> = self.callee_spans.iter().map(ToString::to_string).collect();
+            line.push_str(&format!(" spliced-callees={}", spans.join(",")));
         }
         if let Some(w) = &self.witness {
             line.push_str(&format!(" witness: {w}"));
@@ -374,6 +480,34 @@ impl ProveReport {
             .iter()
             .filter(|c| c.verdict == Verdict::ProvedCollision)
             .map(|c| c.span)
+            .collect()
+    }
+
+    /// Per-certificate `ProvedDiverse` regions: the loop span plus every
+    /// spliced callee-body span. A dynamic monitor of a certificate must
+    /// watch the whole union — one iteration's committed PCs alternate
+    /// between the loop and its composable callees.
+    #[must_use]
+    pub fn diverse_regions(&self) -> Vec<Vec<PcSpan>> {
+        self.regions(Verdict::ProvedDiverse)
+    }
+
+    /// Per-certificate `ProvedCollision` regions (loop plus spliced callee
+    /// spans), mirroring [`ProveReport::diverse_regions`].
+    #[must_use]
+    pub fn collision_regions(&self) -> Vec<Vec<PcSpan>> {
+        self.regions(Verdict::ProvedCollision)
+    }
+
+    fn regions(&self, v: Verdict) -> Vec<Vec<PcSpan>> {
+        self.certificates
+            .iter()
+            .filter(|c| c.verdict == v)
+            .map(|c| {
+                let mut region = vec![c.span];
+                region.extend(c.callee_spans.iter().copied());
+                region
+            })
             .collect()
     }
 
@@ -439,15 +573,16 @@ pub fn effective_stagger(config: &AnalysisConfig) -> i64 {
 /// Runs the abstract-interpretation prover on a decoded program.
 #[must_use]
 pub fn prove(prog: &DecodedProgram, cfg: &Cfg, config: &AnalysisConfig) -> ProveReport {
-    let absint = AbsInt::compute(prog, cfg);
     let taint = Taint::compute(prog, cfg);
     let constprop = ConstProp::compute(prog, cfg);
+    let ipo = Interproc::compute(prog, cfg, &constprop);
+    let absint = AbsInt::compute_with_summaries(prog, cfg, Some(&ipo));
     let s_eff = effective_stagger(config);
 
     let mut certificates = Vec::new();
     for lp in &cfg.loops {
         let traffic = LoopTraffic::analyze(prog, cfg, lp, &taint, &constprop);
-        certificates.push(certify_loop(prog, cfg, lp, &traffic, &absint, config, s_eff));
+        certificates.push(certify_loop(prog, cfg, lp, &traffic, &absint, &ipo, config, s_eff));
     }
 
     // Per-point verdicts: points inside a loop inherit the innermost
@@ -668,12 +803,14 @@ fn injective_read_flags(prog: &DecodedProgram, body: &[usize], defined: u32) -> 
 }
 
 /// Builds the certificate and configured-stagger verdict for one loop.
+#[allow(clippy::too_many_arguments)]
 fn certify_loop(
     prog: &DecodedProgram,
     cfg: &Cfg,
     lp: &NaturalLoop,
     traffic: &LoopTraffic,
     absint: &AbsInt,
+    ipo: &Interproc,
     config: &AnalysisConfig,
     s_eff: i64,
 ) -> LoopCertificate {
@@ -685,6 +822,7 @@ fn certify_loop(
     let mut cert = LoopCertificate {
         header_pc,
         span,
+        callee_spans: Vec::new(),
         body_len: None,
         ds_period: None,
         is_period: None,
@@ -697,7 +835,8 @@ fn certify_loop(
     // and every read provably equal across cores, the windows coincide.
     // Both collision arguments presuppose the cores committing the *same*
     // stream, which a twin pair (pair_mode) does not.
-    let lockstep = s_eff == 0 && !config.pair_mode && loop_reads_delta_zero(prog, cfg, lp, absint);
+    let lockstep =
+        s_eff == 0 && !config.pair_mode && loop_reads_delta_zero(prog, cfg, lp, absint, ipo);
 
     let body = if traffic.deterministic_body { body_sequence(cfg, lp) } else { None };
     let Some(body) = body else {
@@ -706,6 +845,22 @@ fn certify_loop(
             cert.verdict = Verdict::ProvedCollision;
         }
         return cert;
+    };
+    // Splice composable callee bodies into the sequence: the certificate
+    // arguments quantify over the exact committed stream of one iteration,
+    // which includes every callee activation.
+    let body = match splice_calls(prog, &body, ipo) {
+        Ok((b, callee_spans)) => {
+            cert.callee_spans = callee_spans;
+            b
+        }
+        Err(w) => {
+            cert.witness = Some(w);
+            if lockstep {
+                cert.verdict = Verdict::ProvedCollision;
+            }
+            return cert;
+        }
     };
     let body_insts: Vec<Inst> = match body.iter().map(|&s| prog.slots[s].inst).collect() {
         Some(v) => v,
@@ -722,10 +877,17 @@ fn certify_loop(
     // collision claims.
     cert.is_period = Some(rotation_period(&body_insts, |a, b| a == b));
 
-    let invariant = traffic.varying == 0 && !traffic.has_load && !traffic.has_csr;
+    // Body facts over the spliced stream — callee defs, loads and CSR reads
+    // included, unlike the block-level [`LoopTraffic`] facts.
+    let defined = body_insts.iter().map(Inst::def_mask).fold(0, |a, m| a | m);
+    let has_load = body_insts.iter().any(Inst::is_load);
+    let has_csr = body_insts.iter().any(|i| matches!(i, Inst::Csr { .. } | Inst::CsrImm { .. }));
+    let varying = defined & !invariant_mask(&body_insts, defined);
+
+    let invariant = varying == 0 && !has_load && !has_csr;
     if invariant {
         // Data-signature rotation period over phase-independent read tags.
-        let tags = read_tags(prog, cfg, lp, &body, traffic, absint);
+        let tags = read_tags(prog, lp, &body, defined, absint);
         cert.ds_period = Some(rotation_period(&tags, |a, b| {
             a.0 == b.0 // same enable structure
                 && a.1.iter().zip(b.1.iter()).all(|(x, y)| x.provably_equal(y))
@@ -741,26 +903,70 @@ fn certify_loop(
         return cert;
     }
 
-    // Diversity certificate: every instruction of the body must read a
-    // provably iteration-injective value, the loop must not be nested
-    // (re-entry would repeat counter values), every read must be provably
-    // equal across cores, and the body must fit the signature window.
-    let inj_reads = injective_read_flags(prog, &body, traffic.defined);
+    // Diversity certificate. Strict rule: every instruction of the body
+    // reads a provably iteration-injective value. Relaxed rule, for bodies
+    // with *neutral* positions (typically spliced calls — the jump itself
+    // and callee housekeeping read nothing iteration-varying): every
+    // position is injective or neutral (reads nothing beyond constants and
+    // loop-fixed registers), every cyclic FIFO-depth window of the body
+    // contains at least one injective position, and the opcode sequence has
+    // full rotation period. A stagger ≡ 0 (mod body) then compares distinct
+    // iterations position-by-position and the injective read in every
+    // window separates the data signatures; any other stagger misaligns the
+    // full-period opcode stream. Both directions are machine-checked by the
+    // soundness harness. Either way, the loop must not be nested (re-entry
+    // would repeat counter values), every read of the committed stream must
+    // be provably equal across cores, and the body must fit the window.
+    let inj_reads = injective_read_flags(prog, &body, defined);
+    let tags = read_tags(prog, lp, &body, defined, absint);
+    let neutral: Vec<bool> = tags
+        .iter()
+        .map(|((has1, has2), t)| {
+            let port_ok = |has: bool, tag: &ValTag| {
+                !has || matches!(tag, ValTag::Const(_) | ValTag::Fixed(_))
+            };
+            port_ok(*has1, &t[0]) && port_ok(*has2, &t[1])
+        })
+        .collect();
     let nested = cfg
         .loops
         .iter()
         .any(|other| other.header != lp.header && other.blocks.contains(&lp.header));
     let window = 2 * config.fifo_depth as u64;
 
-    let witness = if inj_reads.iter().all(|ok| !ok) {
-        Some("no provably iteration-injective value in the body".to_owned())
-    } else if let Some(bad) = inj_reads.iter().position(|ok| !ok).map(|i| body[i]) {
-        Some(format!("instruction at {:#x} reads no iteration-injective value", prog.pc_of(bad)))
+    let strict = !inj_reads.is_empty() && inj_reads.iter().all(|&ok| ok);
+    let relaxed = !strict && inj_reads.iter().any(|&ok| ok) && {
+        let n = body.len();
+        let win = config.fifo_depth.min(n);
+        (0..n).all(|i| inj_reads[i] || neutral[i])
+            && (0..n).all(|w0| (0..win).any(|k| inj_reads[(w0 + k) % n]))
+            && cert.is_period == Some(len)
+    };
+
+    let witness = if !strict && !relaxed {
+        if inj_reads.iter().all(|ok| !ok) {
+            Some("no provably iteration-injective value in the body".to_owned())
+        } else if let Some(bad) = (0..body.len()).find(|&i| !inj_reads[i] && !neutral[i]) {
+            Some(format!(
+                "instruction at {:#x} reads no iteration-injective value",
+                prog.pc_of(body[bad])
+            ))
+        } else if cert.is_period != Some(len) {
+            Some(format!(
+                "neutral positions with a repeating opcode pattern (period {} < body {len})",
+                cert.is_period.unwrap_or(0)
+            ))
+        } else {
+            Some(format!(
+                "iteration-injective reads too sparse: some {}-instruction window has none",
+                config.fifo_depth
+            ))
+        }
     } else if nested {
         Some("nested loop: re-entry may repeat counter values inside a window".to_owned())
     } else if len > window {
         Some(format!("body ({len} insts) exceeds the provable window ({window} insts)"))
-    } else if !loop_reads_delta_zero(prog, cfg, lp, absint) {
+    } else if !body_reads_delta_zero(prog, &body, absint, lp) {
         Some("a read is not provably equal across the cores".to_owned())
     } else {
         None
@@ -789,12 +995,17 @@ fn certify_loop(
 }
 
 /// Whether every register read inside the loop is provably delta-zero with
-/// the memory mirror intact, per the relational fixpoint.
+/// the memory mirror intact, per the relational fixpoint. A call inside the
+/// loop hands execution to the callee, whose reads are part of the loop's
+/// committed stream too: the claim survives only when the callee provably
+/// executes identically on both cores — transitively CSR-free with every
+/// may-read register delta-zero at the call.
 fn loop_reads_delta_zero(
     prog: &DecodedProgram,
     cfg: &Cfg,
     lp: &NaturalLoop,
     absint: &AbsInt,
+    ipo: &Interproc,
 ) -> bool {
     for &bid in &lp.blocks {
         let Some(state) = &absint.block_in[bid] else { return false };
@@ -810,30 +1021,111 @@ fn loop_reads_delta_zero(
             if !equal {
                 return false;
             }
+            let is_call =
+                matches!(inst, Inst::Jal { rd, .. } | Inst::Jalr { rd, .. } if !rd.is_zero());
+            if is_call {
+                let eff = ipo.effect_for_slot(i);
+                let callee_identical = eff.csr_free
+                    && (1..32).all(|r| eff.uses & (1 << r) == 0 || st.delta.regs[r].is_zero());
+                if !callee_identical {
+                    return false;
+                }
+            }
             st.transfer(prog.slots[i].pc, &inst);
         }
     }
     true
 }
 
+/// Whether every read of the exact committed body stream (spliced callee
+/// instructions included) is provably delta-zero with the memory mirror
+/// intact, by sequential walk from the loop-header fixpoint state. Spliced
+/// callee slots have no in-loop block states, so the walk re-derives their
+/// states exactly — the body is the unique execution path.
+fn body_reads_delta_zero(
+    prog: &DecodedProgram,
+    body: &[usize],
+    absint: &AbsInt,
+    lp: &NaturalLoop,
+) -> bool {
+    let Some(state) = &absint.block_in[lp.header] else { return false };
+    let mut st = state.clone();
+    for &s in body {
+        let Some(inst) = prog.slots[s].inst else { return false };
+        if !st.delta.mem_equal {
+            return false;
+        }
+        let equal =
+            [inst.rs1(), inst.rs2()].into_iter().flatten().all(|r| st.delta.get(r).is_zero());
+        if !equal {
+            return false;
+        }
+        st.transfer(prog.slots[s].pc, &inst);
+    }
+    true
+}
+
+/// Splices composable callee bodies into a loop's slot sequence, producing
+/// the exact committed stream of one iteration plus the PC span of every
+/// spliced callee body (deduplicated). Every call must target a resolved
+/// function whose summary carries a straight-line leaf body; anything else
+/// returns the refuting witness.
+fn splice_calls(
+    prog: &DecodedProgram,
+    body: &[usize],
+    ipo: &Interproc,
+) -> Result<(Vec<usize>, Vec<PcSpan>), String> {
+    const MAX_SPLICED: usize = 4096;
+    let mut out = Vec::with_capacity(body.len());
+    let mut callee_spans: Vec<PcSpan> = Vec::new();
+    for &s in body {
+        out.push(s);
+        let is_call = matches!(
+            prog.slots[s].inst,
+            Some(Inst::Jal { rd, .. } | Inst::Jalr { rd, .. }) if !rd.is_zero()
+        );
+        if !is_call {
+            continue;
+        }
+        let pc = prog.slots[s].pc;
+        let Some(summary) = ipo.summary_for_slot(s) else {
+            return Err(format!("unresolvable indirect call at {pc:#x}"));
+        };
+        let Some(callee_body) = &summary.body else {
+            return Err(format!("call at {pc:#x} to non-composable function {:#x}", summary.entry));
+        };
+        out.extend_from_slice(callee_body);
+        let pcs = callee_body.iter().map(|&c| prog.slots[c].pc);
+        if let (Some(lo), Some(hi)) = (pcs.clone().min(), pcs.max()) {
+            let span = PcSpan { start: lo, end: hi + 4 };
+            if !callee_spans.contains(&span) {
+                callee_spans.push(span);
+            }
+        }
+        if out.len() > MAX_SPLICED {
+            return Err(format!("spliced body exceeds {MAX_SPLICED} instructions"));
+        }
+    }
+    Ok((out, callee_spans))
+}
+
 /// Per-body-position read tags: the enable structure (rs1/rs2 presence) and
-/// a phase-independent [`ValTag`] per read port.
+/// a phase-independent [`ValTag`] per read port. `defined` is the def mask
+/// of the body sequence itself (spliced callee defs included).
 fn read_tags(
     prog: &DecodedProgram,
-    cfg: &Cfg,
     lp: &NaturalLoop,
     body: &[usize],
-    traffic: &LoopTraffic,
+    defined: u32,
     absint: &AbsInt,
 ) -> Vec<((bool, bool), [ValTag; 2])> {
     // Walk the body once from the header fixpoint state to obtain per-point
-    // constants.
+    // constants. Positions may span several blocks (and spliced callees);
+    // re-derive states per position by sequential walk — the body is the
+    // unique execution path, so this is exact.
     let mut st = absint.block_in[lp.header]
         .clone()
         .unwrap_or_else(|| AbsState { regs: [Abs::TOP; 32], delta: DeltaState::unknown() });
-    // Positions may span several blocks; re-derive states per position by
-    // sequential walk (the body is the unique path, so this is exact).
-    let _ = cfg;
     let mut tags = Vec::with_capacity(body.len());
     for &s in body {
         let Some(inst) = prog.slots[s].inst else {
@@ -847,7 +1139,7 @@ fn read_tags(
                 Some(r) => {
                     if let Some(c) = st.get(r).as_const() {
                         ValTag::Const(c)
-                    } else if r.bit() & traffic.defined == 0 {
+                    } else if r.bit() & defined == 0 {
                         ValTag::Fixed(r)
                     } else {
                         ValTag::Opaque
@@ -1092,6 +1384,40 @@ mod tests {
     }
 
     #[test]
+    fn spliced_call_loop_region_covers_the_callee_body() {
+        let call_loop = |a: &mut Asm| {
+            a.li(Reg::T0, 16);
+            let l = a.new_label("l");
+            let leaf = a.new_label("leaf");
+            a.bind(l).unwrap();
+            a.call(leaf);
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, l);
+            a.ebreak();
+            a.bind(leaf).unwrap();
+            a.add(Reg::T2, Reg::T0, Reg::T0);
+            a.xor(Reg::T3, Reg::T2, Reg::T0);
+            a.ret();
+        };
+        let cfg = AnalysisConfig { stagger_nops: Some(100), ..AnalysisConfig::default() };
+        let (_, r) = proved(call_loop, &cfg);
+        let c = &r.certificates[0];
+        assert_eq!(c.verdict, Verdict::ProvedDiverse, "{c:?}");
+        // jal + (add, xor, ret) + addi + bnez.
+        assert_eq!(c.body_len, Some(6), "{c:?}");
+        assert_eq!(c.callee_spans.len(), 1, "{c:?}");
+        let leaf = c.callee_spans[0];
+        assert_eq!(leaf.insts(), 3, "{leaf}");
+        // The callee body sits outside the loop span but inside the region
+        // the harness must guard.
+        assert!(!c.span.contains(leaf.start));
+        let region = &r.diverse_regions()[0];
+        assert!(region.iter().any(|s| s.contains(leaf.start)));
+        assert!(region.iter().any(|s| s.contains(c.header_pc)));
+        assert!(c.summary().contains("spliced-callees="), "{}", c.summary());
+    }
+
+    #[test]
     fn idle_loop_collides_at_period_residue_only() {
         let idle = |a: &mut Asm| {
             let l = a.new_label("l");
@@ -1176,6 +1502,150 @@ mod tests {
         let c = &r.certificates[0];
         assert_eq!(c.min_safe_stagger, Some(2), "{c:?}");
         assert_eq!(c.verdict, Verdict::ProvedDiverse);
+    }
+
+    /// li s1; call leaf; use s1 — the fall-through point after the call.
+    fn call_then_use(a: &mut Asm) {
+        let f = a.new_label("f");
+        a.li(Reg::S1, 7);
+        a.call(f);
+        a.addi(Reg::T1, Reg::S1, 0);
+        a.ebreak();
+        a.bind(f).unwrap();
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.ret();
+    }
+
+    #[test]
+    fn call_fallthrough_havocs_without_summaries_and_refines_with_them() {
+        let mut a = Asm::new();
+        call_then_use(&mut a);
+        let p = DecodedProgram::from_program(&a.link(0x8000_0000).unwrap());
+        let c = Cfg::build(&p);
+        let cp = ConstProp::compute(&p, &c);
+        let ipo = Interproc::compute(&p, &c, &cp);
+
+        // The fall-through block starts right after the call slot.
+        let use_slot = (0..p.slots.len())
+            .find(|&i| {
+                matches!(p.slots[i].inst, Some(Inst::OpImm { rd: Reg::T1, rs1: Reg::S1, .. }))
+            })
+            .unwrap();
+        let bid = c.block_of_slot(use_slot).unwrap();
+
+        // No summaries: any callee could have clobbered s1 — havocked.
+        let plain = AbsInt::compute(&p, &c);
+        let st = plain.block_in[bid].as_ref().unwrap();
+        assert_eq!(st.get(Reg::S1).as_const(), None, "{st:?}");
+        assert!(!st.delta.mem_equal);
+
+        // Summaries: the leaf clobbers only t0 (and ra via the call), so the
+        // caller's s1 constant and the relational state survive the call.
+        let refined = AbsInt::compute_with_summaries(&p, &c, Some(&ipo));
+        let st = refined.block_in[bid].as_ref().unwrap();
+        assert_eq!(st.get(Reg::S1).as_const(), Some(7), "{st:?}");
+        assert_eq!(st.get(Reg::T0).as_const(), None, "t0 is clobbered by the callee");
+        assert!(st.delta.mem_equal);
+        assert!(st.delta.get(Reg::S1).is_zero());
+    }
+
+    #[test]
+    fn loop_with_composable_call_gets_a_certificate() {
+        let cfg = AnalysisConfig { stagger_nops: Some(100), ..AnalysisConfig::default() };
+        let (_, r) = proved(
+            |a| {
+                let f = a.new_label("f");
+                let l = a.new_label("l");
+                a.li(Reg::T0, 64);
+                a.bind(l).unwrap();
+                a.call(f);
+                a.addi(Reg::T0, Reg::T0, -1);
+                a.bnez(Reg::T0, l);
+                a.ebreak();
+                a.bind(f).unwrap();
+                a.addi(Reg::A0, Reg::A0, 1);
+                a.ret();
+            },
+            &cfg,
+        );
+        assert_eq!(r.certificates.len(), 1, "{:#?}", r.certificates);
+        let c = &r.certificates[0];
+        // Spliced stream: jal + (addi a0 + ret) + addi t0 + bnez = 5 insts.
+        assert_eq!(c.body_len, Some(5), "{c:?}");
+        assert_eq!(c.min_safe_stagger, Some(2), "{c:?}");
+        assert_eq!(c.verdict, Verdict::ProvedDiverse);
+    }
+
+    #[test]
+    fn loop_calling_noncomposable_function_is_witnessed() {
+        let (_, r) = proved(
+            |a| {
+                let f = a.new_label("f");
+                let skip = a.new_label("skip");
+                let l = a.new_label("l");
+                a.li(Reg::T0, 64);
+                a.bind(l).unwrap();
+                a.call(f);
+                a.addi(Reg::T0, Reg::T0, -1);
+                a.bnez(Reg::T0, l);
+                a.ebreak();
+                a.bind(f).unwrap();
+                a.beqz(Reg::A0, skip); // branchy callee: not composable
+                a.addi(Reg::A0, Reg::A0, -1);
+                a.bind(skip).unwrap();
+                a.ret();
+            },
+            &AnalysisConfig { stagger_nops: Some(100), ..AnalysisConfig::default() },
+        );
+        let c = &r.certificates[0];
+        assert_eq!(c.min_safe_stagger, None, "{c:?}");
+        assert!(c.witness.as_deref().unwrap_or("").contains("non-composable"), "{c:?}");
+    }
+
+    #[test]
+    fn loop_with_unresolved_indirect_call_is_witnessed() {
+        let (_, r) = proved(
+            |a| {
+                let l = a.new_label("l");
+                a.li(Reg::T0, 64);
+                a.bind(l).unwrap();
+                a.ld(Reg::T2, 0, Reg::SP);
+                a.jalr(Reg::RA, Reg::T2, 0); // target unknown statically
+                a.addi(Reg::T0, Reg::T0, -1);
+                a.bnez(Reg::T0, l);
+                a.ebreak();
+            },
+            &AnalysisConfig { stagger_nops: Some(100), ..AnalysisConfig::default() },
+        );
+        let c = &r.certificates[0];
+        assert_eq!(c.min_safe_stagger, None, "{c:?}");
+        assert!(c.witness.as_deref().unwrap_or("").contains("unresolvable"), "{c:?}");
+    }
+
+    #[test]
+    fn hartid_reading_callee_blocks_the_lockstep_collision_claim() {
+        // The caller's own loop reads are all delta-zero, but the callee
+        // reads a register carrying the hartid delta — the cores do not
+        // execute it identically, so no lockstep collision may be claimed.
+        let (_, r) = proved(
+            |a| {
+                let f = a.new_label("f");
+                let l = a.new_label("l");
+                a.hartid(Reg::A0);
+                a.li(Reg::T0, 64);
+                a.bind(l).unwrap();
+                a.call(f);
+                a.addi(Reg::T0, Reg::T0, -1);
+                a.bnez(Reg::T0, l);
+                a.ebreak();
+                a.bind(f).unwrap();
+                a.addi(Reg::A1, Reg::A0, 1); // reads the divergent a0
+                a.ret();
+            },
+            &AnalysisConfig::default(),
+        );
+        let c = &r.certificates[0];
+        assert_ne!(c.verdict, Verdict::ProvedCollision, "{c:?}");
     }
 
     #[test]

@@ -12,14 +12,20 @@
 //!
 //! 1. **correspondence verification** — every mapped point is re-checked
 //!    against its [`MatchKind`] (exact renamed encoding, relinked control
-//!    flow with free displacement, re-materialised address with free
-//!    immediates); the map must tile the original copy exactly and leave
+//!    flow with free displacement — including `j` canonicalised to the
+//!    always-taken `beq x0, x0` —, re-materialised address with free
+//!    immediates, or frame-re-layout relation dictated by the declared
+//!    [`FrameRemap`] slot permutation, itself validated for injectivity
+//!    and bounds); the map must tile the original copy exactly and leave
 //!    precisely the declared overhead uncovered in the variant. Any
 //!    violation is a semantic-inequivalence witness → `DIV010` (error) and
 //!    no certificate is issued;
 //! 2. **loop matching** — each natural loop of the original copy is matched
-//!    through the verified map onto a loop of the variant copy with the
-//!    same single-path body (as a set; schedule jitter may reorder it);
+//!    through the verified map onto the variant loop whose reachable body
+//!    is point-for-point the image of the original body (multi-path bodies
+//!    included; schedule jitter may reorder within blocks and layout
+//!    filler inside the variant span is statically unreachable and
+//!    excluded);
 //! 3. **diversity certification** — two side conditions, both discharged
 //!    from the *verified* map alone:
 //!
@@ -39,7 +45,9 @@
 //!      therefore witness at least `fifo_depth` overhead instructions
 //!      retired *before* the variant body (the transform's nop sled and
 //!      frame padding), which offsets the drain windows and keeps any
-//!      residual frozen windows sampling distinct program points.
+//!      residual frozen windows sampling distinct program points. Only
+//!      uncovered slots in reachable blocks *dominating* the variant loop
+//!      header count: filler never retires and contributes no skew.
 //!
 //!    Both held → [`Verdict::ProvedDiverse`] at stagger 0, no staggering
 //!    required. Residues (shared encodings, missing skew, unmapped or
@@ -57,8 +65,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use safedm_asm::{MatchKind, PairMap, PcPair};
-use safedm_isa::{encode, Inst, Reg};
+use safedm_asm::{FrameRemap, MatchKind, PairMap, PcPair};
+use safedm_isa::{encode, AluKind, BranchKind, Inst, Reg};
 
 use super::{AbsInt, Verdict};
 use crate::cfg::{Cfg, DecodedProgram};
@@ -238,6 +246,13 @@ fn check_point(prog: &DecodedProgram, map: &PairMap, p: &PcPair) -> Option<Strin
                     Some(Inst::Jalr { rd: or, rs1: o1, offset: oo }),
                     Some(Inst::Jalr { rd: vr, rs1: v1, offset: vo }),
                 ) => pi(or) == vr && pi(o1) == v1 && oo == vo,
+                // Branch canonicalisation: an original `j` may become the
+                // architecturally equal always-taken `beq x0, x0` in the
+                // variant (same target through relinking, displacement free).
+                (
+                    Some(Inst::Jal { rd: or, .. }),
+                    Some(Inst::Branch { kind: BranchKind::Eq, rs1: v1, rs2: v2, .. }),
+                ) => or == Reg::ZERO && v1 == Reg::ZERO && v2 == Reg::ZERO,
                 _ => false,
             };
             (!ok).then(|| {
@@ -276,7 +291,104 @@ fn check_point(prog: &DecodedProgram, map: &PairMap, p: &PcPair) -> Option<Strin
                 )
             })
         }
+        MatchKind::Frame(fi) => {
+            // Re-laid-out stack frame: the alloc/dealloc magnitudes must be
+            // exactly `orig_bytes` vs `orig_bytes + pad`, and every spill
+            // offset must follow the declared slot permutation.
+            let Some(fr) = map.frames.get(usize::from(fi)) else {
+                return Some(format!(
+                    "frame point {:#x}<->{:#x}: frame #{fi} not declared in the map",
+                    p.orig, p.var
+                ));
+            };
+            let remap = |off: i64| -> Option<i64> {
+                (off >= 0 && off % 8 == 0)
+                    .then(|| fr.slots.get((off / 8) as usize).map(|&s| i64::from(8 * s)))
+                    .flatten()
+            };
+            let ok = match (slot(p.orig).inst, slot(p.var).inst) {
+                (
+                    Some(Inst::OpImm { kind: AluKind::Add, rd: od, rs1: os, imm: oi }),
+                    Some(Inst::OpImm { kind: AluKind::Add, rd: vd, rs1: vs, imm: vi }),
+                ) => {
+                    od == Reg::SP
+                        && os == Reg::SP
+                        && vd == Reg::SP
+                        && vs == Reg::SP
+                        && oi.unsigned_abs() == u64::from(fr.orig_bytes)
+                        && vi.unsigned_abs() == u64::from(fr.var_bytes())
+                        && oi.signum() == vi.signum()
+                }
+                (
+                    Some(Inst::Load { kind: ok_, rd: od, rs1: ob, offset: oo }),
+                    Some(Inst::Load { kind: vk, rd: vd, rs1: vb, offset: vo }),
+                ) => {
+                    ok_ == vk
+                        && ob == Reg::SP
+                        && vb == Reg::SP
+                        && pi(od) == vd
+                        && remap(oo) == Some(vo)
+                }
+                (
+                    Some(Inst::Store { kind: ok_, rs1: ob, rs2: od, offset: oo }),
+                    Some(Inst::Store { kind: vk, rs1: vb, rs2: vd, offset: vo }),
+                ) => {
+                    ok_ == vk
+                        && ob == Reg::SP
+                        && vb == Reg::SP
+                        && pi(od) == vd
+                        && remap(oo) == Some(vo)
+                }
+                _ => false,
+            };
+            (!ok).then(|| {
+                format!(
+                    "frame point {:#x}<->{:#x}: instruction does not follow the frame #{fi} \
+                     re-layout (size {}+{} bytes)",
+                    p.orig, p.var, fr.orig_bytes, fr.pad
+                )
+            })
+        }
     }
+}
+
+/// Validates the frame re-layout tables themselves: every [`FrameRemap`]
+/// must describe an 8-byte-slotted frame whose enlarged size still encodes
+/// in one `addi`, with an injective in-bounds slot permutation. A violation
+/// here means no [`MatchKind::Frame`] point can be trusted.
+fn check_frames(frames: &[FrameRemap]) -> Option<String> {
+    for (fi, fr) in frames.iter().enumerate() {
+        if fr.orig_bytes == 0 || fr.orig_bytes % 8 != 0 || fr.pad % 8 != 0 {
+            return Some(format!(
+                "frame #{fi}: sizes {}+{} are not 8-byte aligned",
+                fr.orig_bytes, fr.pad
+            ));
+        }
+        if fr.var_bytes() > 2040 {
+            return Some(format!(
+                "frame #{fi}: enlarged frame of {} bytes exceeds the addi immediate range",
+                fr.var_bytes()
+            ));
+        }
+        if fr.slots.len() != (fr.orig_bytes / 8) as usize {
+            return Some(format!(
+                "frame #{fi}: {} slot entries for a {}-byte original frame",
+                fr.slots.len(),
+                fr.orig_bytes
+            ));
+        }
+        let total = fr.var_bytes() / 8;
+        let mut seen = BTreeSet::new();
+        for &s in &fr.slots {
+            if s >= total {
+                return Some(format!("frame #{fi}: slot {s} outside the {total}-slot frame"));
+            }
+            if !seen.insert(s) {
+                return Some(format!("frame #{fi}: slot {s} assigned twice (not injective)"));
+            }
+        }
+    }
+    None
 }
 
 /// Verifies the map's global shape: the points must tile the original copy
@@ -373,6 +485,18 @@ pub fn prove_pair(
             min_safe_stagger: None,
         });
     }
+    if let Some(witness) = check_frames(&map.frames) {
+        map_ok = false;
+        diagnostics.push(Diagnostic {
+            code: LintCode::Div010,
+            severity: Severity::Error,
+            span: PcSpan { start: map.var_span.0, end: map.var_span.1 },
+            message: "frame re-layout table is not a valid slot permutation".to_owned(),
+            notes: vec![format!("note: {witness}")],
+            period: None,
+            min_safe_stagger: None,
+        });
+    }
 
     // Per-slot original-PC → variant-PC lookup (only meaningful once the
     // map verified; used below for loop matching either way, with failures
@@ -403,8 +527,22 @@ pub fn prove_pair(
             .count()
     };
 
-    // Variant loops, by their single-path body slot sets.
-    let var_loops: Vec<(usize, Vec<usize>)> = cfg
+    // All reachable instruction slots of a loop body. Statically
+    // unreachable blocks (layout filler behind always-taken transfers)
+    // never execute and are excluded.
+    let loop_slots = |lp: &crate::cfg::NaturalLoop| -> Vec<usize> {
+        lp.blocks
+            .iter()
+            .filter(|&&b| cfg.is_reachable(b))
+            .flat_map(|&b| cfg.blocks[b].start..cfg.blocks[b].end)
+            .collect()
+    };
+
+    // Variant loops, by the PC sets of their (reachable) bodies. Multi-path
+    // bodies participate: matching is by exact mapped-PC-set equality, so a
+    // branchy body certifies as long as every original body point maps onto
+    // exactly this variant loop.
+    let var_loops: Vec<(usize, BTreeSet<u64>)> = cfg
         .loops
         .iter()
         .enumerate()
@@ -412,7 +550,7 @@ pub fn prove_pair(
             let pc = prog.slots[cfg.blocks[lp.header].start].pc;
             map.var_span.0 <= pc && pc < map.var_span.1
         })
-        .filter_map(|(i, lp)| super::body_sequence(cfg, lp).map(|seq| (i, seq)))
+        .map(|(i, lp)| (i, loop_slots(lp).iter().map(|&s| prog.slots[s].pc).collect()))
         .collect();
 
     // --- 2+3. loop matching and encoding-disjointness -----------------------
@@ -446,16 +584,15 @@ pub fn prove_pair(
                 cert.witness = Some("correspondence map violated (DIV010)".to_owned());
                 break 'certify;
             }
-            let Some(seq_o) = super::body_sequence(cfg, lp) else {
-                cert.witness = Some("multi-path loop body".to_owned());
-                break 'certify;
-            };
-            cert.body_len = Some(seq_o.len() as u64);
-            cert.orig_span = span_of(&seq_o);
+            // Single-path bodies keep their per-iteration commit count;
+            // multi-path bodies certify too, just without it.
+            let body = loop_slots(lp);
+            cert.body_len = super::body_sequence(cfg, lp).map(|seq| seq.len() as u64);
+            cert.orig_span = span_of(&body);
 
-            // Map the body through the verified correspondence.
+            // Map every body point through the verified correspondence.
             let mut mapped = BTreeSet::new();
-            for &i in &seq_o {
+            for &i in &body {
                 let opc = prog.slots[i].pc;
                 // Second slot of an addr-mat point maps via its pair start.
                 match slot_map.get(&opc) {
@@ -469,19 +606,22 @@ pub fn prove_pair(
                 }
             }
 
-            // Find the variant loop whose single-path body is exactly the
-            // mapped set (jitter may have reordered it).
-            let matched = var_loops.iter().find(|(_, seq_v)| {
-                seq_v.len() == mapped.len()
-                    && seq_v.iter().all(|&i| mapped.contains(&prog.slots[i].pc))
-            });
-            let Some((vi, seq_v)) = matched else {
-                cert.witness = Some("no variant loop with the same single-path body".to_owned());
+            // Find the variant loop whose (reachable) body is exactly the
+            // mapped set. Jitter may reorder within blocks and filler may
+            // sit inside the variant span, but the executable PC sets must
+            // coincide point-for-point.
+            let matched = var_loops.iter().find(|(_, pcs)| *pcs == mapped);
+            let Some((vi, vpcs)) = matched else {
+                cert.witness =
+                    Some("no variant loop matches the mapped body point-for-point".to_owned());
                 break 'certify;
             };
             let vlp = &cfg.loops[*vi];
             cert.var_header = prog.slots[cfg.blocks[vlp.header].start].pc;
-            cert.var_span = span_of(seq_v);
+            cert.var_span = PcSpan {
+                start: *vpcs.first().unwrap_or(&cert.var_header),
+                end: vpcs.last().unwrap_or(&cert.var_header) + 4,
+            };
             cert.twin_regs =
                 twin_regs_at(cfg.blocks[lp.header].start, cfg.blocks[vlp.header].start);
 
@@ -489,9 +629,13 @@ pub fn prove_pair(
             // words per pipeline slot; if no original-body word also occurs
             // in the variant body, `is_match` is false at every alignment
             // on any cycle where either pipeline holds a live instruction
-            // while both warmed-up cores sit inside their bodies.
-            let var_words: BTreeSet<u32> = seq_v.iter().map(|&i| prog.slots[i].raw).collect();
-            if let Some(&i) = seq_o.iter().find(|&&i| var_words.contains(&prog.slots[i].raw)) {
+            // while both warmed-up cores sit inside their bodies. The sets
+            // compared are the executable body instructions — filler words
+            // inside the variant *span* never enter the pipeline and do not
+            // count as diversity.
+            let var_words: BTreeSet<u32> =
+                vpcs.iter().map(|&pc| prog.slots[prog.index_of(pc).unwrap()].raw).collect();
+            if let Some(&i) = body.iter().find(|&&i| var_words.contains(&prog.slots[i].raw)) {
                 cert.witness = Some(format!(
                     "shared encoding {:#010x} at {:#x} survives in the variant body",
                     prog.slots[i].raw, prog.slots[i].pc
@@ -506,8 +650,20 @@ pub fn prove_pair(
             // FIFOs hold rename-invariant values from the same program
             // point. Overhead instructions retired before the variant body
             // offset the drain windows; `fifo_depth` of them keep even the
-            // frozen data windows sampling distinct program points.
-            cert.prologue_skew = uncovered.iter().filter(|&&pc| pc < cert.var_span.start).count();
+            // frozen data windows sampling distinct program points. Only
+            // overhead that provably *retires* before the body counts: the
+            // slot must sit in a reachable block that dominates the variant
+            // loop header (never-executed layout filler does not skew
+            // anything).
+            cert.prologue_skew = uncovered
+                .iter()
+                .filter(|&&pc| pc < cert.var_span.start)
+                .filter(|&&pc| {
+                    prog.index_of(pc)
+                        .and_then(|i| cfg.block_of_slot(i))
+                        .is_some_and(|b| cfg.is_reachable(b) && cfg.dominates(b, vlp.header))
+                })
+                .count();
             if cert.prologue_skew < config.fifo_depth {
                 cert.witness = Some(format!(
                     "prologue skew {} < data-FIFO depth {}: simultaneous pipeline drains \
@@ -571,14 +727,18 @@ mod tests {
         a
     }
 
-    /// Links the toy and its transform (the variant carrying `sled`
+    /// Links a kernel and its transform (the variant carrying `sled`
     /// prologue nops as declared overhead) as two copies of one image
     /// behind an `mhartid` dispatch stub (the stub makes both copies — and
     /// hence both loops — reachable from the entry) and builds the
     /// correspondence map.
-    fn twin(cfg: &TransformConfig, sled: usize) -> (DecodedProgram, Cfg, PairMap) {
-        let a = toy(0);
-        let (t, rep) = transform(&toy(sled), cfg);
+    fn twin_of(
+        mk: &dyn Fn(usize) -> Asm,
+        cfg: &TransformConfig,
+        sled: usize,
+    ) -> (DecodedProgram, Cfg, PairMap) {
+        let a = mk(0);
+        let (t, rep) = transform(&mk(sled), cfg);
         let base = 0x8000_0000u64;
         let b1 = base + 64;
         let o = a.link_with_data_base(b1, 0x8100_0000).unwrap();
@@ -586,7 +746,8 @@ mod tests {
         let v = t.link_with_data_base(b2, 0x8100_0000).unwrap();
         let assoc: Vec<(usize, usize)> =
             (0..a.item_count()).map(|oi| (oi, rep.new_index_of(oi + sled).unwrap())).collect();
-        let map = pair_map(&a, &t, &assoc, b1, b2, rep.rename, sled as u64);
+        let mut map = pair_map(&a, &t, &assoc, b1, b2, rep.rename, (sled + rep.fillers) as u64);
+        safedm_asm::apply_frame_map(&mut map, &a, &rep, b1, |src| src.checked_sub(sled));
         // Compose one image: stub + original + variant.
         let stub = [
             Inst::Csr {
@@ -618,6 +779,10 @@ mod tests {
         let prog = DecodedProgram::from_program(&composed);
         let cfg = Cfg::build(&prog);
         (prog, cfg, map)
+    }
+
+    fn twin(cfg: &TransformConfig, sled: usize) -> (DecodedProgram, Cfg, PairMap) {
+        twin_of(&toy, cfg, sled)
     }
 
     #[test]
@@ -708,5 +873,151 @@ mod tests {
         assert!(line.contains("pair map=ok"), "{line}");
         assert!(line.contains("diverse=1"), "{line}");
         assert!(line.contains("pair-loop"), "{line}");
+    }
+
+    /// A loop with a conditional skip inside the body: two paths per
+    /// iteration, so `body_sequence` fails and certification must go
+    /// through the multi-path point-for-point matching.
+    fn branchy(sled: usize) -> Asm {
+        let mut a = Asm::new();
+        let tab = a.d_dwords("tab", &[3, 1, 4, 1, 5]);
+        a.nops(sled);
+        a.li(Reg::T0, 5);
+        a.la(Reg::T1, tab);
+        a.li(Reg::A0, 0);
+        let top = a.here("top");
+        let skip = a.new_label("skip");
+        a.ld(Reg::T2, 0, Reg::T1);
+        a.beqz(Reg::T2, skip);
+        a.add(Reg::A0, Reg::A0, Reg::T2);
+        a.bind(skip).unwrap();
+        a.addi(Reg::T1, Reg::T1, 8);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, top);
+        a.ebreak();
+        a
+    }
+
+    #[test]
+    fn multi_path_body_is_certified_point_for_point() {
+        let (prog, cfg, map) = twin_of(&branchy, &TransformConfig::level(7, 2), 8);
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        assert!(r.map_ok, "{:#?}", r.diagnostics);
+        assert_eq!(r.count(Verdict::ProvedDiverse), 1, "{}", r.summary_line("branchy"));
+        let c = &r.certificates[0];
+        assert_eq!(c.body_len, None, "two-path body must not claim a commit count");
+        assert!(c.summary().contains("irregular"), "{}", c.summary());
+        assert_eq!(c.prologue_skew, 8);
+    }
+
+    /// A straight-line balanced `sp` frame ahead of the loop, so the frame
+    /// re-layout fires and the map carries `Frame` points.
+    fn framed(sled: usize) -> Asm {
+        let mut a = Asm::new();
+        a.nops(sled);
+        a.addi(Reg::SP, Reg::SP, -16);
+        a.li(Reg::T0, 4);
+        a.li(Reg::T1, 7);
+        a.sd(Reg::T0, 0, Reg::SP);
+        a.sd(Reg::T1, 8, Reg::SP);
+        a.ld(Reg::T1, 8, Reg::SP);
+        a.addi(Reg::SP, Reg::SP, 16);
+        let top = a.here("top");
+        a.add(Reg::A0, Reg::A0, Reg::T1);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, top);
+        a.ebreak();
+        a
+    }
+
+    fn frame_config() -> TransformConfig {
+        TransformConfig {
+            jitter_passes: 0,
+            branch_canon: false,
+            layout_fill: false,
+            frame_shuffle: true,
+            ..TransformConfig::level(21, 3)
+        }
+    }
+
+    #[test]
+    fn frame_relayout_points_verify_and_certify() {
+        let (prog, cfg, map) = twin_of(&framed, &frame_config(), 8);
+        assert_eq!(map.frames.len(), 1, "frame shuffle must have fired");
+        let frame_points =
+            map.pairs.iter().filter(|p| matches!(p.kind, MatchKind::Frame(0))).count();
+        assert_eq!(frame_points, 5, "alloc + dealloc + 3 accesses");
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        assert!(r.map_ok, "{:#?}", r.diagnostics);
+        assert_eq!(r.points_verified, r.points_mapped);
+        assert_eq!(r.count(Verdict::ProvedDiverse), 1, "{}", r.summary_line("framed"));
+    }
+
+    #[test]
+    fn tampered_frame_table_trips_div010() {
+        let (prog, cfg, mut map) = twin_of(&framed, &frame_config(), 8);
+        // A non-injective slot table could alias two spill slots — the
+        // variant would not be semantically equal, so no Frame point may be
+        // trusted.
+        map.frames[0].slots[0] = map.frames[0].slots[1];
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        assert!(!r.map_ok);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::Div010 && d.message.contains("slot permutation")),
+            "{:#?}",
+            r.diagnostics
+        );
+        assert_eq!(r.count(Verdict::ProvedDiverse), 0);
+    }
+
+    /// A loop latched by an unconditional `j`, which branch canonicalisation
+    /// rewrites to `beq x0, x0` in the variant, with layout filler landing
+    /// behind the always-taken latch *inside* the variant loop span.
+    fn jump_latch(sled: usize) -> Asm {
+        let mut a = Asm::new();
+        a.nops(sled);
+        a.li(Reg::T0, 5);
+        a.li(Reg::A0, 0);
+        let top = a.here("top");
+        let done = a.new_label("done");
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.add(Reg::A0, Reg::A0, Reg::T0);
+        a.beqz(Reg::T0, done);
+        a.j(top);
+        a.bind(done).unwrap();
+        a.ebreak();
+        a
+    }
+
+    #[test]
+    fn canonicalised_jump_latch_certifies_with_filler_in_span() {
+        let cfg_t = TransformConfig {
+            jitter_passes: 0,
+            branch_canon: true,
+            layout_fill: true,
+            frame_shuffle: false,
+            ..TransformConfig::level(9, 3)
+        };
+        let (prog, cfg, map) = twin_of(&jump_latch, &cfg_t, 8);
+        let r = prove_pair(&prog, &cfg, &map, &AnalysisConfig::default());
+        assert!(r.map_ok, "{:#?}", r.diagnostics);
+        assert_eq!(r.points_verified, r.points_mapped);
+        assert_eq!(r.count(Verdict::ProvedDiverse), 1, "{}", r.summary_line("jump-latch"));
+        // The latch pair really is jal ↔ beq x0, x0.
+        let c = &r.certificates[0];
+        let canonicalised = map.pairs.iter().any(|p| {
+            p.kind == MatchKind::ControlFlow
+                && matches!(prog.slots[prog.index_of(p.orig).unwrap()].inst, Some(Inst::Jal { .. }))
+                && matches!(
+                    prog.slots[prog.index_of(p.var).unwrap()].inst,
+                    Some(Inst::Branch { kind: BranchKind::Eq, .. })
+                )
+        });
+        assert!(canonicalised, "latch was not canonicalised");
+        // Filler sits inside the variant loop span but is unreachable, so
+        // it neither blocks the match nor counts towards the skew.
+        assert_eq!(c.prologue_skew, 8, "{c:?}");
     }
 }

@@ -1,0 +1,267 @@
+//! Machine-readable lint baselines: accept today's findings, gate on new
+//! ones.
+//!
+//! A baseline file records the currently-accepted findings as
+//! `(program, rule, pc)` triples. The CI lint gate re-runs the analyzer,
+//! drops every finding the baseline covers, **warns** about stale entries
+//! (baselined findings that no longer fire — the baseline should be
+//! regenerated) and **fails** on any error-severity finding the baseline
+//! does not cover. The file format:
+//!
+//! ```json
+//! {
+//!   "schema": "safedm-lint-baseline/1",
+//!   "entries": [
+//!     {"program": "fac", "rule": "DIV001", "pc": "0x80000010"}
+//!   ]
+//! }
+//! ```
+//!
+//! Entries render one per line, sorted and deduplicated, so committed
+//! baselines diff cleanly. `pc` is the hex start address of the finding's
+//! span — stable across runs because the analyzer is deterministic for a
+//! given image, and intentionally *not* tied to message text, which may be
+//! reworded without invalidating the acceptance.
+
+use safedm_obs::json::{self, escape, JsonValue};
+
+use crate::diag::Diagnostic;
+
+/// The `schema` tag of the baseline document format.
+pub const SCHEMA: &str = "safedm-lint-baseline/1";
+
+/// One accepted finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// The analyzed program (kernel name or source path) the finding is in.
+    pub program: String,
+    /// The stable rule id (`"DIV001"` …).
+    pub rule: String,
+    /// Start PC of the finding's span.
+    pub pc: u64,
+}
+
+impl BaselineEntry {
+    /// Whether this entry covers `d` as found in `program`.
+    #[must_use]
+    pub fn covers(&self, program: &str, d: &Diagnostic) -> bool {
+        self.program == program && self.rule == d.code.id() && self.pc == d.span.start
+    }
+}
+
+/// A parsed or freshly-built baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// The accepted findings, sorted and deduplicated.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Builds a baseline accepting every finding given (sorted, deduped).
+    #[must_use]
+    pub fn from_findings(runs: &[(String, Vec<Diagnostic>)]) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = runs
+            .iter()
+            .flat_map(|(program, diags)| {
+                diags.iter().map(|d| BaselineEntry {
+                    program: program.clone(),
+                    rule: d.code.id().to_owned(),
+                    pc: d.span.start,
+                })
+            })
+            .collect();
+        entries.sort();
+        entries.dedup();
+        Baseline { entries }
+    }
+
+    /// Renders the canonical one-entry-per-line document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"program\": \"{}\", \"rule\": \"{}\", \"pc\": \"{:#x}\"}}",
+                escape(&e.program),
+                escape(&e.rule),
+                e.pc
+            ));
+        }
+        out.push_str(if self.entries.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        out
+    }
+
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a wrong/missing `schema` tag, or
+    /// an entry missing one of its three fields.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| format!("baseline: {e}"))?;
+        let schema = doc.get("schema").and_then(JsonValue::as_str).unwrap_or_default();
+        if schema != SCHEMA {
+            return Err(format!("baseline: expected schema `{SCHEMA}`, found `{schema}`"));
+        }
+        let raw = doc
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "baseline: missing `entries` array".to_owned())?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for (i, e) in raw.iter().enumerate() {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("baseline: entry {i} is missing string field `{k}`"))
+            };
+            let pc_text = field("pc")?;
+            let pc_digits = pc_text
+                .strip_prefix("0x")
+                .or_else(|| pc_text.strip_prefix("0X"))
+                .unwrap_or(&pc_text);
+            let pc = u64::from_str_radix(pc_digits, 16)
+                .map_err(|_| format!("baseline: entry {i} has invalid pc `{pc_text}`"))?;
+            entries.push(BaselineEntry { program: field("program")?, rule: field("rule")?, pc });
+        }
+        entries.sort();
+        entries.dedup();
+        Ok(Baseline { entries })
+    }
+}
+
+/// Applies a baseline to one or more programs' findings, tracking which
+/// entries were actually used so stale ones can be reported.
+#[derive(Debug)]
+pub struct BaselineFilter {
+    baseline: Baseline,
+    used: Vec<bool>,
+}
+
+impl BaselineFilter {
+    /// Wraps a baseline for application.
+    #[must_use]
+    pub fn new(baseline: Baseline) -> BaselineFilter {
+        let used = vec![false; baseline.entries.len()];
+        BaselineFilter { baseline, used }
+    }
+
+    /// Drops every finding the baseline covers, returning the survivors in
+    /// order. Matched entries are marked used (an entry may cover any number
+    /// of findings).
+    #[must_use]
+    pub fn suppress(&mut self, program: &str, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter(|d| {
+                let mut covered = false;
+                for (i, e) in self.baseline.entries.iter().enumerate() {
+                    if e.covers(program, d) {
+                        self.used[i] = true;
+                        covered = true;
+                    }
+                }
+                !covered
+            })
+            .collect()
+    }
+
+    /// Entries that covered nothing across every [`BaselineFilter::suppress`]
+    /// call so far — the finding was fixed and the baseline should be
+    /// regenerated.
+    #[must_use]
+    pub fn stale(&self) -> Vec<&BaselineEntry> {
+        self.baseline
+            .entries
+            .iter()
+            .zip(&self.used)
+            .filter_map(|(e, &u)| (!u).then_some(e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{LintCode, PcSpan};
+
+    fn finding(code: LintCode, start: u64) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            span: PcSpan { start, end: start + 4 },
+            message: "m".into(),
+            notes: vec![],
+            period: None,
+            min_safe_stagger: None,
+        }
+    }
+
+    #[test]
+    fn round_trip_and_canonical_order() {
+        let runs = vec![
+            ("zeta".to_owned(), vec![finding(LintCode::Div002, 0x2000)]),
+            (
+                "alpha".to_owned(),
+                vec![finding(LintCode::Div001, 0x1000), finding(LintCode::Div001, 0x1000)],
+            ),
+        ];
+        let b = Baseline::from_findings(&runs);
+        // Sorted by program, duplicate collapsed.
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries[0].program, "alpha");
+        let text = b.render();
+        assert!(text.contains("\"pc\": \"0x1000\""), "{text}");
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries, b.entries);
+        // An empty baseline still round-trips.
+        let empty = Baseline::default();
+        assert_eq!(Baseline::parse(&empty.render()).unwrap().entries, Vec::new());
+    }
+
+    #[test]
+    fn emit_then_rerun_suppresses_everything() {
+        let runs = vec![(
+            "fac".to_owned(),
+            vec![finding(LintCode::Div001, 0x1000), finding(LintCode::Div003, 0x1400)],
+        )];
+        let b = Baseline::from_findings(&runs);
+        let mut filter = BaselineFilter::new(Baseline::parse(&b.render()).unwrap());
+        let left = filter.suppress("fac", runs[0].1.clone());
+        assert!(left.is_empty(), "{left:?}");
+        assert!(filter.stale().is_empty());
+    }
+
+    #[test]
+    fn new_findings_survive_and_fixed_entries_go_stale() {
+        let baseline = Baseline::from_findings(&[(
+            "fac".to_owned(),
+            vec![finding(LintCode::Div001, 0x1000), finding(LintCode::Div002, 0x1800)],
+        )]);
+        let mut filter = BaselineFilter::new(baseline);
+        // The DIV002 at 0x1800 was fixed; a new DIV001 appeared at 0x2000.
+        let now = vec![finding(LintCode::Div001, 0x1000), finding(LintCode::Div001, 0x2000)];
+        let left = filter.suppress("fac", now);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].span.start, 0x2000);
+        let stale = filter.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "DIV002");
+        // Same pc in a different program is not covered.
+        let other = filter.suppress("bitcount", vec![finding(LintCode::Div001, 0x1000)]);
+        assert_eq!(other.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("{\"schema\":\"nope\",\"entries\":[]}").is_err());
+        assert!(Baseline::parse("{\"schema\":\"safedm-lint-baseline/1\"}").is_err());
+        let bad_pc = format!("{{\"schema\":\"{SCHEMA}\",\"entries\":[{{\"program\":\"p\",\"rule\":\"DIV001\",\"pc\":\"zz\"}}]}}");
+        assert!(Baseline::parse(&bad_pc).is_err());
+    }
+}

@@ -1,0 +1,519 @@
+//! Whole-program call graph over a lowered image.
+//!
+//! Functions are discovered from the program entry plus every call target:
+//! direct `jal` displacements, and `jalr` call sites whose base register is
+//! pinned down by the bounded constant-propagation resolution. Each function
+//! body is the set of blocks reachable from its entry following
+//! *intraprocedural* flow only — at a call site the walk follows the
+//! abstract return edge (the fall-through block), never the callee entry, so
+//! two functions keep disjoint bodies even when the [`Cfg`] links them with
+//! call edges.
+//!
+//! Unresolved indirect calls are kept as explicit [`CallTarget::Unresolved`]
+//! sites; downstream consumers (the interprocedural summaries in
+//! [`crate::summary`]) treat them as clobbering everything, so resolution is
+//! a precision feature, never a soundness requirement. Recursion is detected
+//! by condensing the graph into strongly connected components (Tarjan);
+//! [`CallGraph::sccs`] lists components callee-first, the order the
+//! bottom-up summary computation wants.
+
+use std::collections::BTreeSet;
+
+use safedm_isa::{Inst, Reg};
+
+use crate::cfg::{Cfg, DecodedProgram, Terminator};
+use crate::dataflow::{const_transfer, ConstProp};
+
+/// How the target of a call site was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallTarget {
+    /// A `jal` with a static displacement to this address.
+    Direct(u64),
+    /// A `jalr` whose base register is a propagated constant at the site;
+    /// the address includes the immediate with the low bit cleared.
+    Resolved(u64),
+    /// A `jalr` the bounded resolution could not pin down.
+    Unresolved,
+}
+
+impl CallTarget {
+    /// The target address, when the site is resolved.
+    #[must_use]
+    pub fn pc(&self) -> Option<u64> {
+        match *self {
+            CallTarget::Direct(pc) | CallTarget::Resolved(pc) => Some(pc),
+            CallTarget::Unresolved => None,
+        }
+    }
+}
+
+/// One call instruction (a linking `jal` or `jalr`).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Address of the call instruction.
+    pub pc: u64,
+    /// Slot index of the call instruction.
+    pub slot: usize,
+    /// Block ending in the call.
+    pub block: usize,
+    /// Index of the (first) function whose body contains the site, when the
+    /// site lies inside a discovered function.
+    pub caller: Option<usize>,
+    /// Where the call goes.
+    pub target: CallTarget,
+    /// Index of the callee function, when the target is a discovered entry.
+    pub callee: Option<usize>,
+}
+
+/// One discovered function: an entry point plus its intraprocedural body.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Entry address.
+    pub entry: u64,
+    /// Block holding the entry.
+    pub entry_block: usize,
+    /// Blocks reachable from the entry without entering callees.
+    pub blocks: BTreeSet<usize>,
+    /// Total instruction slots across the body.
+    pub insts: usize,
+    /// Indices into [`CallGraph::sites`] of the call sites in this body, in
+    /// address order.
+    pub sites: Vec<usize>,
+    /// Whether a `ret` is reachable (the function can return to its caller).
+    pub returns: bool,
+    /// Whether the body contains flow the walk cannot follow — an indirect
+    /// jump that is not a `ret` and not a linking call.
+    pub irregular: bool,
+    /// Whether the function can call itself, directly or through a cycle.
+    pub recursive: bool,
+    /// Index of the function's strongly connected component in
+    /// [`CallGraph::sccs`].
+    pub scc: usize,
+}
+
+/// Whole-program call graph: functions, call sites, and the callee-first
+/// component order used by bottom-up interprocedural analyses.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Discovered functions, in entry-address order.
+    pub functions: Vec<Function>,
+    /// All call sites, in address order.
+    pub sites: Vec<CallSite>,
+    /// Strongly connected components of the function-level graph, listed
+    /// callee-first (every cross-component call goes from a later component
+    /// to an earlier one).
+    pub sccs: Vec<Vec<usize>>,
+}
+
+/// Classification of a block's terminating instruction for the function walk.
+enum BlockExit {
+    /// A linking `jal`/`jalr`: flow continues at the fall-through slot.
+    Call { slot: usize, target: CallTarget },
+    /// `jalr x0, ra`: the function returns.
+    Ret,
+    /// A non-`ret`, non-linking indirect jump the walk cannot follow.
+    Irregular,
+    /// Ordinary flow: follow the CFG successors.
+    Plain,
+}
+
+fn classify_exit(prog: &DecodedProgram, cfg: &Cfg, constprop: &ConstProp, bid: usize) -> BlockExit {
+    let b = &cfg.blocks[bid];
+    let last = b.end - 1;
+    match prog.slots[last].inst {
+        Some(Inst::Jal { rd, offset }) if !rd.is_zero() => BlockExit::Call {
+            slot: last,
+            target: CallTarget::Direct(prog.slots[last].pc.wrapping_add(offset as u64)),
+        },
+        Some(Inst::Jalr { rd, rs1, offset }) if !rd.is_zero() => {
+            // Bounded resolution: walk the block's constants up to the call
+            // and read the base register.
+            let mut state = constprop.block_in[bid];
+            for i in b.start..last {
+                if let Some(inst) = prog.slots[i].inst {
+                    const_transfer(&mut state, prog.slots[i].pc, &inst);
+                }
+            }
+            let base = if rs1.is_zero() { Some(0) } else { state[rs1.index() as usize].as_const() };
+            let target = match base {
+                Some(v) => CallTarget::Resolved(v.wrapping_add(offset as u64) & !1),
+                None => CallTarget::Unresolved,
+            };
+            BlockExit::Call { slot: last, target }
+        }
+        Some(Inst::Jalr { rd, rs1, .. }) if rd.is_zero() && rs1 == Reg::RA => BlockExit::Ret,
+        _ if b.term == Terminator::IndirectJump => BlockExit::Irregular,
+        _ => BlockExit::Plain,
+    }
+}
+
+impl CallGraph {
+    /// Builds the call graph for a decoded program, resolving indirect call
+    /// sites through the supplied constant-propagation solution.
+    #[must_use]
+    pub fn build(prog: &DecodedProgram, cfg: &Cfg, constprop: &ConstProp) -> CallGraph {
+        if cfg.blocks.is_empty() {
+            return CallGraph { functions: vec![], sites: vec![], sccs: vec![] };
+        }
+        let mut block_of = vec![0usize; prog.slots.len()];
+        for b in &cfg.blocks {
+            for s in block_of.iter_mut().take(b.end).skip(b.start) {
+                *s = b.id;
+            }
+        }
+
+        // --- entries: program entry plus every resolved call target --------
+        let mut entries: BTreeSet<u64> = BTreeSet::new();
+        if prog.index_of(prog.entry).is_some() {
+            entries.insert(prog.entry);
+        }
+        for bid in 0..cfg.blocks.len() {
+            if let BlockExit::Call { target, .. } = classify_exit(prog, cfg, constprop, bid) {
+                if let Some(pc) = target.pc() {
+                    if prog.index_of(pc).is_some() {
+                        entries.insert(pc);
+                    }
+                }
+            }
+        }
+
+        // --- bodies: intraprocedural reachability from each entry -----------
+        let mut functions: Vec<Function> = Vec::with_capacity(entries.len());
+        for &entry in &entries {
+            let entry_block = block_of[prog.index_of(entry).expect("entry indexed above")];
+            let mut blocks = BTreeSet::new();
+            let mut returns = false;
+            let mut irregular = false;
+            let mut work = vec![entry_block];
+            while let Some(bid) = work.pop() {
+                if !blocks.insert(bid) {
+                    continue;
+                }
+                match classify_exit(prog, cfg, constprop, bid) {
+                    BlockExit::Call { .. } => {
+                        // Follow the abstract return edge only.
+                        let fall = cfg.blocks[bid].end;
+                        if fall < prog.slots.len() {
+                            work.push(block_of[fall]);
+                        }
+                    }
+                    BlockExit::Ret => returns = true,
+                    BlockExit::Irregular => irregular = true,
+                    BlockExit::Plain => work.extend(cfg.blocks[bid].succs.iter().copied()),
+                }
+            }
+            let insts = blocks.iter().map(|&b| cfg.blocks[b].len()).sum();
+            functions.push(Function {
+                entry,
+                entry_block,
+                blocks,
+                insts,
+                sites: vec![],
+                returns,
+                irregular,
+                recursive: false,
+                scc: 0,
+            });
+        }
+
+        // --- sites ----------------------------------------------------------
+        let entry_index =
+            |pc: u64| functions.iter().position(|f| f.entry == pc && prog.index_of(pc).is_some());
+        let mut sites: Vec<CallSite> = Vec::new();
+        for bid in 0..cfg.blocks.len() {
+            if let BlockExit::Call { slot, target } = classify_exit(prog, cfg, constprop, bid) {
+                let caller = functions.iter().position(|f| f.blocks.contains(&bid));
+                let callee = target.pc().and_then(entry_index);
+                sites.push(CallSite {
+                    pc: prog.slots[slot].pc,
+                    slot,
+                    block: bid,
+                    caller,
+                    target,
+                    callee,
+                });
+            }
+        }
+        sites.sort_by_key(|s| s.pc);
+        for (i, s) in sites.iter().enumerate() {
+            if let Some(f) = s.caller {
+                functions[f].sites.push(i);
+            }
+        }
+
+        // --- SCC condensation (iterative Tarjan), callee-first --------------
+        let sccs = tarjan_sccs(&functions, &sites);
+        for (ci, comp) in sccs.iter().enumerate() {
+            let cyclic = comp.len() > 1
+                || sites.iter().any(|s| s.caller == Some(comp[0]) && s.callee == Some(comp[0]));
+            for &f in comp {
+                functions[f].scc = ci;
+                functions[f].recursive = cyclic;
+            }
+        }
+
+        CallGraph { functions, sites, sccs }
+    }
+
+    /// Index of the function entered at `pc`, when one exists.
+    #[must_use]
+    pub fn function_at(&self, pc: u64) -> Option<usize> {
+        self.functions.iter().position(|f| f.entry == pc)
+    }
+
+    /// The call site at slot index `slot`, when one exists.
+    #[must_use]
+    pub fn site_at_slot(&self, slot: usize) -> Option<&CallSite> {
+        self.sites.iter().find(|s| s.slot == slot)
+    }
+
+    /// Number of unresolved indirect call sites.
+    #[must_use]
+    pub fn unresolved(&self) -> usize {
+        self.sites.iter().filter(|s| s.target == CallTarget::Unresolved).count()
+    }
+
+    /// Deterministic multi-line rendering used by reports and goldens.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "callgraph: {} functions, {} call sites, {} unresolved",
+            self.functions.len(),
+            self.sites.len(),
+            self.unresolved()
+        );
+        for (i, f) in self.functions.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "fn f{i} @{:#x}: blocks={} insts={} returns={} recursive={}{}",
+                f.entry,
+                f.blocks.len(),
+                f.insts,
+                f.returns,
+                f.recursive,
+                if f.irregular { " irregular" } else { "" }
+            );
+            for &si in &f.sites {
+                let s = &self.sites[si];
+                let how = match s.target {
+                    CallTarget::Direct(_) => "direct",
+                    CallTarget::Resolved(_) => "resolved",
+                    CallTarget::Unresolved => "unresolved",
+                };
+                match (s.target.pc(), s.callee) {
+                    (Some(pc), Some(c)) => {
+                        let _ = writeln!(out, "  call @{:#x} -> f{c} @{pc:#x} [{how}]", s.pc);
+                    }
+                    (Some(pc), None) => {
+                        let _ = writeln!(out, "  call @{:#x} -> {pc:#x} (no body) [{how}]", s.pc);
+                    }
+                    (None, _) => {
+                        let _ = writeln!(out, "  call @{:#x} -> ? [{how}]", s.pc);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Iterative Tarjan SCC over the function-level graph. Components come out
+/// in pop order, which for Tarjan is callee-first (reverse topological over
+/// the condensation).
+fn tarjan_sccs(functions: &[Function], sites: &[CallSite]) -> Vec<Vec<usize>> {
+    let n = functions.len();
+    let succs: Vec<Vec<usize>> = (0..n)
+        .map(|f| {
+            let mut out: Vec<usize> =
+                functions[f].sites.iter().filter_map(|&si| sites[si].callee).collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect();
+
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS frame: (node, next successor position).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if let Some(&w) = succs[v].get(*pos) {
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_asm::Asm;
+    use safedm_isa::Reg;
+
+    fn graph(f: impl FnOnce(&mut Asm)) -> (DecodedProgram, Cfg, CallGraph) {
+        let mut a = Asm::new();
+        f(&mut a);
+        let p = DecodedProgram::from_program(&a.link(0x8000_0000).unwrap());
+        let c = Cfg::build(&p);
+        let cp = ConstProp::compute(&p, &c);
+        let g = CallGraph::build(&p, &c, &cp);
+        (p, c, g)
+    }
+
+    #[test]
+    fn direct_call_splits_two_functions() {
+        let (_, _, g) = graph(|a| {
+            let f = a.new_label("f");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.addi(Reg::A0, Reg::A0, 1);
+            a.ret();
+        });
+        assert_eq!(g.functions.len(), 2, "{}", g.render());
+        assert_eq!(g.sites.len(), 1);
+        let site = &g.sites[0];
+        assert!(matches!(site.target, CallTarget::Direct(_)));
+        assert_eq!(site.caller, Some(0));
+        assert_eq!(site.callee, Some(1));
+        // Bodies are disjoint: the caller never absorbs the callee's blocks.
+        assert!(g.functions[0].blocks.is_disjoint(&g.functions[1].blocks));
+        assert!(g.functions[1].returns);
+        assert!(!g.functions[0].recursive && !g.functions[1].recursive);
+        // Callee-first component order.
+        assert_eq!(g.sccs.len(), 2);
+        assert_eq!(g.sccs[0], vec![1]);
+    }
+
+    #[test]
+    fn resolved_indirect_call_finds_the_callee() {
+        let (_, _, g) = graph(|a| {
+            let f = a.new_label("f");
+            a.la(Reg::T0, f);
+            a.jalr(Reg::RA, Reg::T0, 0);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.ret();
+        });
+        assert_eq!(g.functions.len(), 2, "{}", g.render());
+        let site = &g.sites[0];
+        assert!(matches!(site.target, CallTarget::Resolved(_)), "{site:?}");
+        assert!(site.callee.is_some());
+        assert_eq!(g.unresolved(), 0);
+    }
+
+    #[test]
+    fn unresolved_indirect_call_is_conservative() {
+        let (_, _, g) = graph(|a| {
+            // The base register comes out of memory: not a constant.
+            a.ld(Reg::T0, 0, Reg::SP);
+            a.jalr(Reg::RA, Reg::T0, 0);
+            a.ebreak();
+        });
+        assert_eq!(g.unresolved(), 1, "{}", g.render());
+        assert_eq!(g.sites[0].callee, None);
+        // The caller still flows past the call to the ebreak.
+        assert_eq!(g.functions.len(), 1);
+        assert!(g.functions[0].blocks.len() >= 2);
+    }
+
+    #[test]
+    fn direct_recursion_is_flagged() {
+        let (_, _, g) = graph(|a| {
+            let f = a.new_label("f");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.addi(Reg::A0, Reg::A0, -1);
+            a.call(f); // self call
+            a.ret();
+        });
+        let fi = g.functions.iter().position(|f| f.recursive).expect("recursive fn");
+        assert_ne!(g.functions[fi].entry, 0x8000_0000);
+        // The entry function is not recursive.
+        let entry = g.function_at(0x8000_0000).unwrap();
+        assert!(!g.functions[entry].recursive);
+    }
+
+    #[test]
+    fn mutual_recursion_lands_in_one_scc() {
+        let (_, _, g) = graph(|a| {
+            let f = a.new_label("f");
+            let h = a.new_label("h");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.call(h);
+            a.ret();
+            a.bind(h).unwrap();
+            a.call(f);
+            a.ret();
+        });
+        assert_eq!(g.functions.len(), 3, "{}", g.render());
+        let cyclic: Vec<&Function> = g.functions.iter().filter(|f| f.recursive).collect();
+        assert_eq!(cyclic.len(), 2);
+        assert_eq!(cyclic[0].scc, cyclic[1].scc);
+    }
+
+    #[test]
+    fn render_is_stable_and_names_sites() {
+        let (_, _, g) = graph(|a| {
+            let f = a.new_label("f");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.ret();
+        });
+        let text = g.render();
+        assert!(text.starts_with("callgraph: 2 functions, 1 call sites, 0 unresolved"), "{text}");
+        assert!(text.contains("[direct]"), "{text}");
+        assert_eq!(text, g.render());
+    }
+}

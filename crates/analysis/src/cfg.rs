@@ -75,9 +75,11 @@ pub enum Terminator {
     /// Unconditional direct jump (`jal`); a linking jump also gets an
     /// abstract return edge to its fall-through.
     Jump,
-    /// Indirect jump (`jalr`). `ret` and other indirect targets are not
-    /// resolved statically, so the block has no successors (except the
-    /// abstract return edge already placed at the matching call site).
+    /// Indirect jump (`jalr`). Indirect targets are not resolved statically:
+    /// a *linking* `jalr` (an indirect call) gets an abstract return edge to
+    /// its fall-through, while `ret` and other non-linking indirect jumps
+    /// have no successors (except any abstract return edge already placed at
+    /// the matching call site).
     IndirectJump,
     /// `ecall`/`ebreak` (program exit on this platform) or an undecodable
     /// word.
@@ -139,11 +141,20 @@ pub struct Cfg {
     pub entry_block: Option<usize>,
     /// Natural loops, innermost-last, discovered from dominator back edges.
     pub loops: Vec<NaturalLoop>,
+    /// Immediate dominator per block (`idom[entry] == entry`;
+    /// `usize::MAX` marks blocks unreachable from the entry).
+    pub idom: Vec<usize>,
 }
 
 /// Direct control-flow targets of the instruction at `pc`, as slot-relative
 /// addresses. Returns `(targets, falls_through)`.
+///
+/// Same-register branches are resolved statically: `beq x, x` always takes
+/// and `bne x, x` never does, so layout filler placed behind a canonicalised
+/// unconditional transfer is recognised as unreachable rather than growing
+/// phantom paths through loop bodies.
 fn flow_targets(pc: u64, inst: &Inst) -> (Vec<u64>, bool) {
+    use safedm_isa::BranchKind;
     match *inst {
         Inst::Jal { rd, offset } => {
             let target = pc.wrapping_add(offset as u64);
@@ -151,8 +162,22 @@ fn flow_targets(pc: u64, inst: &Inst) -> (Vec<u64>, bool) {
             // with an abstract fall-through edge.
             (vec![target], !rd.is_zero())
         }
+        Inst::Branch { kind, rs1, rs2, offset } if rs1 == rs2 => {
+            match kind {
+                // `x == x`, `x >= x`: always taken — no fall-through edge.
+                BranchKind::Eq | BranchKind::Ge | BranchKind::Geu => {
+                    (vec![pc.wrapping_add(offset as u64)], false)
+                }
+                // `x != x`, `x < x`: never taken — fall-through only.
+                BranchKind::Ne | BranchKind::Lt | BranchKind::Ltu => (vec![], true),
+            }
+        }
         Inst::Branch { offset, .. } => (vec![pc.wrapping_add(offset as u64)], true),
-        Inst::Jalr { .. } | Inst::Ecall | Inst::Ebreak => (vec![], false),
+        // A linking indirect jump is an indirect call: like `jal`, model the
+        // callee's eventual return with an abstract fall-through edge. `ret`
+        // and other non-linking indirect jumps have no static successors.
+        Inst::Jalr { rd, .. } => (vec![], !rd.is_zero()),
+        Inst::Ecall | Inst::Ebreak => (vec![], false),
         _ => (vec![], true),
     }
 }
@@ -163,7 +188,7 @@ impl Cfg {
     #[must_use]
     pub fn build(prog: &DecodedProgram) -> Cfg {
         if prog.slots.is_empty() {
-            return Cfg { blocks: vec![], entry_block: None, loops: vec![] };
+            return Cfg { blocks: vec![], entry_block: None, loops: vec![], idom: vec![] };
         }
         let n = prog.slots.len();
 
@@ -247,8 +272,9 @@ impl Cfg {
         }
 
         let entry_block = prog.index_of(prog.entry).map(|i| block_of[i]);
-        let loops = find_loops(&blocks, entry_block);
-        Cfg { blocks, entry_block, loops }
+        let idom = compute_idom(&blocks, entry_block);
+        let loops = find_loops(&blocks, entry_block, &idom);
+        Cfg { blocks, entry_block, loops, idom }
     }
 
     /// The block containing slot index `idx`, when any.
@@ -256,13 +282,40 @@ impl Cfg {
     pub fn block_of_slot(&self, idx: usize) -> Option<usize> {
         self.blocks.iter().find(|b| b.start <= idx && idx < b.end).map(|b| b.id)
     }
+
+    /// Whether block `id` is reachable from the program entry.
+    #[must_use]
+    pub fn is_reachable(&self, id: usize) -> bool {
+        Some(id) == self.entry_block || self.idom.get(id).is_some_and(|&d| d != usize::MAX)
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive; false when either
+    /// block is unreachable from the entry).
+    #[must_use]
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut x = b;
+        loop {
+            if x == a {
+                return true;
+            }
+            let d = self.idom[x];
+            if d == x || d == usize::MAX {
+                return false;
+            }
+            x = d;
+        }
+    }
 }
 
-/// Iterative dominator computation (Cooper–Harvey–Kennedy) followed by
-/// back-edge discovery and natural-loop body collection.
-fn find_loops(blocks: &[BasicBlock], entry_block: Option<usize>) -> Vec<NaturalLoop> {
-    let Some(entry) = entry_block else { return vec![] };
+/// Iterative dominator computation (Cooper–Harvey–Kennedy) over the blocks
+/// reachable from the entry. `idom[entry] == entry`; unreachable blocks keep
+/// `usize::MAX`.
+fn compute_idom(blocks: &[BasicBlock], entry_block: Option<usize>) -> Vec<usize> {
     let n = blocks.len();
+    let Some(entry) = entry_block else { return vec![usize::MAX; n] };
 
     // Reverse postorder over blocks reachable from the entry.
     let mut order: Vec<usize> = Vec::with_capacity(n);
@@ -320,6 +373,21 @@ fn find_loops(blocks: &[BasicBlock], entry_block: Option<usize>) -> Vec<NaturalL
             }
         }
     }
+    idom
+}
+
+/// Back-edge discovery and natural-loop body collection from a precomputed
+/// dominator tree. Blocks unreachable from the entry can never execute, so
+/// they are excluded from loop bodies even when a fall-through predecessor
+/// edge would reach them backwards from a latch (layout filler sits behind
+/// always-taken transfers exactly like this).
+fn find_loops(
+    blocks: &[BasicBlock],
+    entry_block: Option<usize>,
+    idom: &[usize],
+) -> Vec<NaturalLoop> {
+    let Some(entry) = entry_block else { return vec![] };
+    let n = blocks.len();
 
     let dominates = |a: usize, b: usize| -> bool {
         let mut x = b;
@@ -351,6 +419,9 @@ fn find_loops(blocks: &[BasicBlock], entry_block: Option<usize>) -> Vec<NaturalL
             body.insert(header);
             let mut work = vec![b];
             while let Some(x) = work.pop() {
+                if idom[x] == usize::MAX && x != entry {
+                    continue; // unreachable: cannot execute, keep it out
+                }
                 if body.insert(x) {
                     work.extend(blocks[x].preds.iter().copied());
                 }

@@ -466,46 +466,16 @@ impl LoopTraffic {
         });
         let period = deterministic_body.then_some(lp.insts as u64);
 
-        // Iteration-invariant written registers: pessimistic fixpoint — a
-        // register is invariant when every def of it in the loop is a pure
-        // ALU/PC computation over registers that are themselves invariant or
-        // never written in the loop.
-        let mut invariant = 0u32;
-        loop {
-            let mut grown = false;
-            for r in 1..32u32 {
-                let bit = 1 << r;
-                if defined & bit == 0 || invariant & bit != 0 {
-                    continue;
-                }
-                let mut ok = true;
-                'scan: for &bid in &lp.blocks {
-                    let b = &cfg.blocks[bid];
-                    for i in b.start..b.end {
-                        let Some(inst) = prog.slots[i].inst else { continue };
-                        if def_mask(&inst) != bit {
-                            continue;
-                        }
-                        let pure = !matches!(
-                            inst,
-                            Inst::Load { .. } | Inst::Csr { .. } | Inst::CsrImm { .. }
-                        );
-                        let sources_fixed = use_mask(&inst) & defined & !invariant == 0;
-                        if !pure || !sources_fixed {
-                            ok = false;
-                            break 'scan;
-                        }
-                    }
-                }
-                if ok {
-                    invariant |= bit;
-                    grown = true;
-                }
-            }
-            if !grown {
-                break;
-            }
-        }
+        // Iteration-invariant written registers: see [`invariant_mask`].
+        let body_insts: Vec<Inst> = lp
+            .blocks
+            .iter()
+            .flat_map(|&bid| {
+                let b = &cfg.blocks[bid];
+                (b.start..b.end).filter_map(|i| prog.slots[i].inst)
+            })
+            .collect();
+        let invariant = invariant_mask(&body_insts, defined);
         let varying = defined & !invariant;
 
         let header_in = constprop.block_in[lp.header];
@@ -532,6 +502,39 @@ impl LoopTraffic {
             trip_count,
         }
     }
+}
+
+/// Iteration-invariant written registers of a repeated instruction sequence:
+/// pessimistic fixpoint — a register is invariant when every def of it in
+/// `insts` is a pure ALU/PC computation over registers that are themselves
+/// invariant or outside `defined` (never written in the sequence). Used both
+/// for natural-loop bodies and for interprocedurally spliced bodies, where
+/// `insts` is the exact committed stream of one iteration.
+#[must_use]
+pub fn invariant_mask(insts: &[Inst], defined: u32) -> u32 {
+    let mut invariant = 0u32;
+    loop {
+        let mut grown = false;
+        for r in 1..32u32 {
+            let bit = 1 << r;
+            if defined & bit == 0 || invariant & bit != 0 {
+                continue;
+            }
+            let ok = insts.iter().filter(|inst| def_mask(inst) == bit).all(|inst| {
+                let pure =
+                    !matches!(inst, Inst::Load { .. } | Inst::Csr { .. } | Inst::CsrImm { .. });
+                pure && use_mask(inst) & defined & !invariant == 0
+            });
+            if ok {
+                invariant |= bit;
+                grown = true;
+            }
+        }
+        if !grown {
+            break;
+        }
+    }
+    invariant
 }
 
 /// Estimates the trip count of a simple counted loop: a latch branch whose

@@ -65,6 +65,49 @@ impl LintCode {
         LintCode::Div010,
     ];
 
+    /// The stable rule identifier (`"DIV001"` …), as used in SARIF output,
+    /// baseline files and the `--deny/--warn/--allow` CLI flags.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            LintCode::Div001 => "DIV001",
+            LintCode::Div002 => "DIV002",
+            LintCode::Div003 => "DIV003",
+            LintCode::Div004 => "DIV004",
+            LintCode::Div005 => "DIV005",
+            LintCode::Div006 => "DIV006",
+            LintCode::Div007 => "DIV007",
+            LintCode::Div008 => "DIV008",
+            LintCode::Div009 => "DIV009",
+            LintCode::Div010 => "DIV010",
+        }
+    }
+
+    /// Parses a rule identifier (case-insensitive `DIVnnn`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL.iter().copied().find(|c| c.id().eq_ignore_ascii_case(s.trim()))
+    }
+
+    /// The severity this lint reports with when no override is configured
+    /// and no finding-specific downgrade applies (DIV001 downgrades itself
+    /// to a warning when the period exceeds the FIFO depth, for instance).
+    /// This is what the SARIF `defaultConfiguration` advertises.
+    #[must_use]
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::Div001
+            | LintCode::Div002
+            | LintCode::Div004
+            | LintCode::Div005
+            | LintCode::Div007
+            | LintCode::Div010 => Severity::Error,
+            LintCode::Div003 | LintCode::Div006 | LintCode::Div008 | LintCode::Div009 => {
+                Severity::Warning
+            }
+        }
+    }
+
     /// Short human description of what the lint detects.
     #[must_use]
     pub fn summary(self) -> &'static str {
@@ -122,6 +165,97 @@ impl fmt::Display for Severity {
             Severity::Error => "error",
         };
         f.write_str(s)
+    }
+}
+
+/// A per-lint severity override, rustc-flag style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Suppress the lint entirely (`--allow`).
+    Allow,
+    /// Force findings down to [`Severity::Warning`] (`--warn`).
+    Warn,
+    /// Force findings up to [`Severity::Error`] (`--deny`).
+    Deny,
+}
+
+/// The per-lint severity configuration of one analysis run: a sparse map
+/// from [`LintCode`] to [`Level`]. Codes without an entry keep whatever
+/// severity the lint itself computed. Later [`LintLevels::set`] calls win,
+/// so CLI flags compose left-to-right.
+#[derive(Debug, Clone, Default)]
+pub struct LintLevels {
+    overrides: Vec<(LintCode, Level)>,
+}
+
+impl LintLevels {
+    /// Sets (or replaces) the level for one lint.
+    pub fn set(&mut self, code: LintCode, level: Level) {
+        if let Some(slot) = self.overrides.iter_mut().find(|(c, _)| *c == code) {
+            slot.1 = level;
+        } else {
+            self.overrides.push((code, level));
+        }
+    }
+
+    /// The configured level for `code`, if any.
+    #[must_use]
+    pub fn get(&self, code: LintCode) -> Option<Level> {
+        self.overrides.iter().find(|(c, _)| *c == code).map(|(_, l)| *l)
+    }
+
+    /// Builds the map from the three comma-separated CLI lists
+    /// (`--deny DIV003,DIV008` style). Deny wins over warn wins over allow
+    /// when one code appears in several lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first entry that is not a known rule id.
+    pub fn from_args(
+        allow: Option<&str>,
+        warn: Option<&str>,
+        deny: Option<&str>,
+    ) -> Result<LintLevels, String> {
+        let mut levels = LintLevels::default();
+        for (list, level, flag) in [
+            (allow, Level::Allow, "--allow"),
+            (warn, Level::Warn, "--warn"),
+            (deny, Level::Deny, "--deny"),
+        ] {
+            let Some(list) = list else { continue };
+            for entry in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let code = LintCode::parse(entry).ok_or_else(|| {
+                    format!("{flag}: unknown lint `{entry}` (expected DIV001..DIV010)")
+                })?;
+                levels.set(code, level);
+            }
+        }
+        Ok(levels)
+    }
+
+    /// Applies the overrides to a finding list: `Allow` drops the finding,
+    /// `Warn`/`Deny` rewrite its severity. Returns the surviving findings in
+    /// their original order.
+    #[must_use]
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        if self.overrides.is_empty() {
+            return diags;
+        }
+        diags
+            .into_iter()
+            .filter_map(|mut d| match self.get(d.code) {
+                Some(Level::Allow) => None,
+                Some(Level::Warn) => {
+                    d.severity = Severity::Warning;
+                    Some(d)
+                }
+                Some(Level::Deny) => {
+                    d.severity = Severity::Error;
+                    Some(d)
+                }
+                None => Some(d),
+            })
+            .collect()
     }
 }
 
@@ -220,6 +354,52 @@ impl Diagnostic {
 mod tests {
     use super::*;
     use safedm_asm::Asm;
+
+    #[test]
+    fn lint_code_ids_parse_back() {
+        for code in LintCode::ALL {
+            assert_eq!(LintCode::parse(code.id()), Some(code));
+            assert_eq!(LintCode::parse(&code.id().to_lowercase()), Some(code));
+            assert_eq!(code.id(), code.to_string());
+        }
+        assert_eq!(LintCode::parse("DIV999"), None);
+        assert_eq!(LintCode::parse(""), None);
+    }
+
+    #[test]
+    fn levels_parse_apply_and_compose() {
+        let levels =
+            LintLevels::from_args(Some("div003"), Some("DIV001, DIV003"), Some("DIV003")).unwrap();
+        // --deny wins: DIV003 moved allow -> warn -> deny.
+        assert_eq!(levels.get(LintCode::Div003), Some(Level::Deny));
+        assert_eq!(levels.get(LintCode::Div001), Some(Level::Warn));
+        assert_eq!(levels.get(LintCode::Div002), None);
+
+        let mk = |code, severity| Diagnostic {
+            code,
+            severity,
+            span: PcSpan { start: 0, end: 4 },
+            message: String::new(),
+            notes: vec![],
+            period: None,
+            min_safe_stagger: None,
+        };
+        let mut levels = LintLevels::default();
+        levels.set(LintCode::Div001, Level::Warn);
+        levels.set(LintCode::Div002, Level::Allow);
+        let out = levels.apply(vec![
+            mk(LintCode::Div001, Severity::Error),
+            mk(LintCode::Div002, Severity::Error),
+            mk(LintCode::Div003, Severity::Warning),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].code, LintCode::Div001);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[1].code, LintCode::Div003);
+
+        let err = LintLevels::from_args(None, None, Some("DIV042")).unwrap_err();
+        assert!(err.contains("--deny") && err.contains("DIV042"), "{err}");
+    }
 
     #[test]
     fn span_contains_and_len() {

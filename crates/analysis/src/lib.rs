@@ -58,18 +58,26 @@
 #![warn(missing_docs)]
 
 pub mod absint;
+pub mod baseline;
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod diag;
 pub mod lints;
+pub mod sarif;
+pub mod summary;
 
 pub use absint::{
     prove, prove_pair, Abs, AbsInt, AbsState, LoopCertificate, PairCertificate, PairReport,
     ProveReport, Verdict,
 };
+pub use baseline::{Baseline, BaselineEntry, BaselineFilter};
+pub use callgraph::{CallGraph, CallSite, CallTarget, Function};
 pub use cfg::{BasicBlock, Cfg, DecodedProgram, NaturalLoop, Slot, Terminator};
 pub use dataflow::{ConstProp, ConstVal, Liveness, LoopTraffic, ReachingDefs, Taint};
-pub use diag::{Diagnostic, LintCode, PcSpan, Severity};
+pub use diag::{Diagnostic, Level, LintCode, LintLevels, PcSpan, Severity};
+pub use lints::{registry, LintContext, LintPass};
+pub use summary::{CallEffect, FnSummary, Interproc, Summaries, ALL_WRITABLE};
 
 use safedm_asm::Program;
 use safedm_soc::{PIPE_STAGES, PIPE_WIDTH};
@@ -103,6 +111,9 @@ pub struct AnalysisConfig {
     /// suppressed, and certification is the pair prover's
     /// ([`absint::prove_pair`]) job.
     pub pair_mode: bool,
+    /// Per-lint severity overrides (`--deny/--warn/--allow` on the CLI):
+    /// applied by the lint driver after every registered pass has run.
+    pub levels: diag::LintLevels,
 }
 
 impl Default for AnalysisConfig {
@@ -114,6 +125,7 @@ impl Default for AnalysisConfig {
             stagger_phase: 0,
             snippet_lines: 6,
             pair_mode: false,
+            levels: diag::LintLevels::default(),
         }
     }
 }

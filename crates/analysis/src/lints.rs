@@ -1,10 +1,20 @@
-//! The diversity lints: DIV001–DIV004.
+//! The registry-driven lint driver and the syntactic diversity lints
+//! (DIV001–DIV004).
 //!
 //! Each lint turns facts from the CFG and dataflow passes into
 //! [`Diagnostic`]s predicting where the SafeDM runtime monitor would see no
 //! diversity between two redundant cores. The lints only *predict* hazards —
 //! the `safedm-core` pre-run gate cross-validates guaranteed findings
 //! against the cycle-accurate monitor.
+//!
+//! The driver is a small registry of [`LintPass`] objects: every pass reads
+//! one shared [`LintContext`] (the program, CFG and the dataflow facts
+//! computed once per run) and appends findings. [`registry`] lists the
+//! passes in execution order — order matters, because the DIV004 stagger
+//! cross-check re-reads the findings of the passes before it. After the
+//! registry runs, the per-lint severity overrides in
+//! [`AnalysisConfig::levels`] rewrite or drop findings
+//! (see [`crate::diag::LintLevels`]).
 
 use safedm_isa::Reg;
 
@@ -12,6 +22,45 @@ use crate::cfg::{Cfg, DecodedProgram};
 use crate::dataflow::{ConstProp, LoopTraffic, Taint};
 use crate::diag::{Diagnostic, LintCode, PcSpan, Severity};
 use crate::AnalysisConfig;
+
+/// The facts a lint pass may read: computed once in [`run_lints`] and
+/// shared by every pass in the registry.
+pub struct LintContext<'a> {
+    /// The decoded text section.
+    pub prog: &'a DecodedProgram,
+    /// Basic blocks, dominators and natural loops.
+    pub cfg: &'a Cfg,
+    /// The analysis configuration (FIFO depth, stagger, levels, …).
+    pub config: &'a AnalysisConfig,
+    /// Input-taint dataflow facts.
+    pub taint: &'a Taint,
+    /// Constant-propagation dataflow facts.
+    pub constprop: &'a ConstProp,
+}
+
+/// One registered lint pass.
+///
+/// A pass may emit findings for several related [`LintCode`]s (the loop
+/// pass classifies each loop as DIV001 *or* DIV003, for instance) and may
+/// read findings appended by earlier passes — the DIV004 cross-check is
+/// exactly that.
+pub trait LintPass {
+    /// Short machine-friendly pass name, for `--list-lints`-style output.
+    fn name(&self) -> &'static str;
+    /// The lint codes this pass can emit.
+    fn codes(&self) -> &'static [LintCode];
+    /// Runs the pass, appending findings to `diags` (which already holds
+    /// the findings of every earlier pass in the registry).
+    fn run(&self, ctx: &LintContext<'_>, diags: &mut Vec<Diagnostic>);
+}
+
+/// The syntactic lint passes, in execution order. The stagger cross-check
+/// must stay last: it derives DIV004 findings from the DIV001/DIV002
+/// findings already in the list.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn LintPass>> {
+    vec![Box::new(LoopLints), Box::new(SledLints), Box::new(StaggerLints)]
+}
 
 fn reg_list(mask: u32) -> String {
     let names: Vec<&str> =
@@ -29,18 +78,71 @@ fn loop_span(
     PcSpan { start: prog.pc_of(start), end: prog.pc_of(end) }
 }
 
-/// Runs every lint and returns the findings sorted by address then code.
+/// Runs the lint registry and returns the findings sorted by address then
+/// code, with the [`AnalysisConfig::levels`] severity overrides applied.
 #[must_use]
 pub fn run_lints(prog: &DecodedProgram, cfg: &Cfg, config: &AnalysisConfig) -> Vec<Diagnostic> {
     let taint = Taint::compute(prog, cfg);
     let constprop = ConstProp::compute(prog, cfg);
+    let ctx = LintContext { prog, cfg, config, taint: &taint, constprop: &constprop };
 
     let mut diags = Vec::new();
-    lint_loops(prog, cfg, config, &taint, &constprop, &mut diags);
-    lint_sleds(prog, cfg, config, &mut diags);
-    lint_stagger(config, &mut diags);
+    for pass in registry() {
+        pass.run(&ctx, &mut diags);
+    }
     diags.sort_by_key(|d| (d.span.start, d.code));
-    diags
+    config.levels.apply(diags)
+}
+
+/// DIV001 + DIV003: per-loop traffic classification.
+struct LoopLints;
+
+impl LintPass for LoopLints {
+    fn name(&self) -> &'static str {
+        "loop-traffic"
+    }
+
+    fn codes(&self) -> &'static [LintCode] {
+        &[LintCode::Div001, LintCode::Div003]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, diags: &mut Vec<Diagnostic>) {
+        lint_loops(ctx.prog, ctx.cfg, ctx.config, ctx.taint, ctx.constprop, diags);
+    }
+}
+
+/// DIV002: identical-instruction sleds.
+struct SledLints;
+
+impl LintPass for SledLints {
+    fn name(&self) -> &'static str {
+        "instruction-sleds"
+    }
+
+    fn codes(&self) -> &'static [LintCode] {
+        &[LintCode::Div002]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, diags: &mut Vec<Diagnostic>) {
+        lint_sleds(ctx.prog, ctx.cfg, ctx.config, diags);
+    }
+}
+
+/// DIV004: configured-stagger cross-check over earlier findings.
+struct StaggerLints;
+
+impl LintPass for StaggerLints {
+    fn name(&self) -> &'static str {
+        "stagger-cross-check"
+    }
+
+    fn codes(&self) -> &'static [LintCode] {
+        &[LintCode::Div004]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, diags: &mut Vec<Diagnostic>) {
+        lint_stagger(ctx.config, diags);
+    }
 }
 
 /// DIV001 + DIV003: per-loop traffic classification.
@@ -289,6 +391,63 @@ mod tests {
 
     fn codes(diags: &[Diagnostic]) -> Vec<LintCode> {
         diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn registry_covers_the_syntactic_lints_in_order() {
+        let passes = registry();
+        let names: Vec<&str> = passes.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["loop-traffic", "instruction-sleds", "stagger-cross-check"]);
+        let mut covered: Vec<LintCode> = passes.iter().flat_map(|p| p.codes()).copied().collect();
+        covered.sort();
+        assert_eq!(
+            covered,
+            [LintCode::Div001, LintCode::Div002, LintCode::Div003, LintCode::Div004]
+        );
+        // The cross-check must run after the passes it reads.
+        assert_eq!(names.last(), Some(&"stagger-cross-check"));
+    }
+
+    #[test]
+    fn severity_overrides_rewrite_and_drop_findings() {
+        use crate::diag::{Level, LintLevels};
+        let idle = |a: &mut Asm| {
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.nop();
+            a.j(l);
+        };
+
+        // Baseline: DIV001 fires as an error.
+        let d = lints(&AnalysisConfig::default(), idle);
+        assert!(d.iter().any(|x| x.code == LintCode::Div001 && x.severity == Severity::Error));
+
+        // --warn DIV001 downgrades, --allow DIV001 drops.
+        let mut levels = LintLevels::default();
+        levels.set(LintCode::Div001, Level::Warn);
+        let cfg = AnalysisConfig { levels, ..AnalysisConfig::default() };
+        let d = lints(&cfg, idle);
+        assert!(d.iter().any(|x| x.code == LintCode::Div001 && x.severity == Severity::Warning));
+
+        let mut levels = LintLevels::default();
+        levels.set(LintCode::Div001, Level::Allow);
+        let cfg = AnalysisConfig { levels, ..AnalysisConfig::default() };
+        let d = lints(&cfg, idle);
+        assert!(!codes(&d).contains(&LintCode::Div001), "{d:?}");
+
+        // --deny DIV003 upgrades the warning-by-default lint.
+        let mut levels = LintLevels::default();
+        levels.set(LintCode::Div003, Level::Deny);
+        let cfg = AnalysisConfig { levels, ..AnalysisConfig::default() };
+        let d = lints(&cfg, |a| {
+            a.li(Reg::T0, 100);
+            let l = a.new_label("l");
+            a.bind(l).unwrap();
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, l);
+            a.ebreak();
+        });
+        assert!(d.iter().any(|x| x.code == LintCode::Div003 && x.severity == Severity::Error));
     }
 
     #[test]

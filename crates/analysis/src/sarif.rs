@@ -1,0 +1,220 @@
+//! SARIF 2.1.0 emission for the diversity lints.
+//!
+//! [SARIF](https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html)
+//! is the interchange format CI forges ingest for static-analysis findings.
+//! This module renders any set of [`Diagnostic`]s — syntactic lints and
+//! prover findings alike — as one SARIF log with a single run:
+//!
+//! * `tool.driver.rules` carries all ten stable rule ids (`DIV001` …
+//!   `DIV010`) with their short descriptions and default severities, so a
+//!   viewer can show rule metadata even for rules with no findings;
+//! * each result's `locations[0].physicalLocation` uses the *program name*
+//!   as the artifact URI and the PC span as `byteOffset`/`byteLength`
+//!   (the analyzed artifact is a linked text section, not a source file);
+//! * the machine-readable extras a [`Diagnostic`] carries (PC span, traffic
+//!   period, minimum safe stagger) ride along in `properties`.
+//!
+//! The output is deterministic: object keys keep insertion order
+//! ([`JsonValue`] guarantees that) and results appear in the order given.
+
+use safedm_obs::json::JsonValue;
+
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+/// The `$schema` URI stamped on every emitted log.
+pub const SCHEMA_URI: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// The SARIF `level` string for a severity.
+#[must_use]
+pub fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Note => "note",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+fn obj(members: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(members.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn text(s: impl Into<String>) -> JsonValue {
+    JsonValue::Str(s.into())
+}
+
+/// The `tool.driver.rules` array: one reporting descriptor per lint code.
+fn rules() -> JsonValue {
+    JsonValue::Arr(
+        LintCode::ALL
+            .iter()
+            .map(|&code| {
+                obj(vec![
+                    ("id", text(code.id())),
+                    ("shortDescription", obj(vec![("text", text(code.summary()))])),
+                    (
+                        "defaultConfiguration",
+                        obj(vec![("level", text(level(code.default_severity())))]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// One SARIF `result` object for a finding in `program`.
+fn result(program: &str, d: &Diagnostic) -> JsonValue {
+    let mut props = vec![
+        ("pc", text(format!("{:#x}", d.span.start))),
+        ("pcEnd", text(format!("{:#x}", d.span.end))),
+    ];
+    if let Some(p) = d.period {
+        props.push(("period", JsonValue::Uint(p)));
+    }
+    if let Some(m) = d.min_safe_stagger {
+        props.push(("minSafeStagger", JsonValue::Uint(m)));
+    }
+    let mut message = d.message.clone();
+    for n in &d.notes {
+        message.push('\n');
+        message.push_str(n);
+    }
+    obj(vec![
+        ("ruleId", text(d.code.id())),
+        ("level", text(level(d.severity))),
+        ("message", obj(vec![("text", text(message))])),
+        (
+            "locations",
+            JsonValue::Arr(vec![obj(vec![(
+                "physicalLocation",
+                obj(vec![
+                    ("artifactLocation", obj(vec![("uri", text(program))])),
+                    (
+                        "region",
+                        obj(vec![
+                            ("byteOffset", JsonValue::Uint(d.span.start)),
+                            (
+                                "byteLength",
+                                JsonValue::Uint(d.span.end.saturating_sub(d.span.start)),
+                            ),
+                        ]),
+                    ),
+                ]),
+            )])]),
+        ),
+        ("properties", obj(props)),
+    ])
+}
+
+/// Renders one or more analyzed programs' findings as a SARIF 2.1.0 log
+/// (a single run; each program becomes one artifact URI).
+#[must_use]
+pub fn to_sarif(runs: &[(String, Vec<Diagnostic>)]) -> JsonValue {
+    let results: Vec<JsonValue> =
+        runs.iter().flat_map(|(name, diags)| diags.iter().map(|d| result(name, d))).collect();
+    obj(vec![
+        ("$schema", text(SCHEMA_URI)),
+        ("version", text("2.1.0")),
+        (
+            "runs",
+            JsonValue::Arr(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", text("safedm-analysis")),
+                            ("version", text(env!("CARGO_PKG_VERSION"))),
+                            ("informationUri", text("https://example.com/safedm")),
+                            ("rules", rules()),
+                        ]),
+                    )]),
+                ),
+                ("results", JsonValue::Arr(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::PcSpan;
+    use safedm_obs::json;
+
+    fn finding(code: LintCode, start: u64) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            span: PcSpan { start, end: start + 8 },
+            message: format!("finding at {start:#x}"),
+            notes: vec!["note: extra context".into()],
+            period: Some(2),
+            min_safe_stagger: None,
+        }
+    }
+
+    #[test]
+    fn emitted_log_parses_back_with_rules_and_results() {
+        let runs = vec![
+            ("fac".to_owned(), vec![finding(LintCode::Div001, 0x8000_0010)]),
+            ("bitcount".to_owned(), vec![finding(LintCode::Div003, 0x8000_0200)]),
+        ];
+        let doc = to_sarif(&runs);
+        let parsed = json::parse(&doc.render()).expect("valid JSON");
+        assert_eq!(parsed.get("version").and_then(JsonValue::as_str), Some("2.1.0"));
+        assert_eq!(parsed.get("$schema").and_then(JsonValue::as_str), Some(SCHEMA_URI));
+
+        let run = &parsed.get("runs").unwrap().as_array().unwrap()[0];
+        let driver = run.get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(driver.get("name").and_then(JsonValue::as_str), Some("safedm-analysis"));
+        let rules = driver.get("rules").unwrap().as_array().unwrap();
+        assert_eq!(rules.len(), LintCode::ALL.len());
+        assert_eq!(rules[0].get("id").and_then(JsonValue::as_str), Some("DIV001"));
+
+        let results = run.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("ruleId").and_then(JsonValue::as_str), Some("DIV001"));
+        assert_eq!(results[0].get("level").and_then(JsonValue::as_str), Some("error"));
+        assert_eq!(results[1].get("level").and_then(JsonValue::as_str), Some("warning"));
+        let loc = results[0].get("locations").unwrap().as_array().unwrap()[0]
+            .get("physicalLocation")
+            .unwrap();
+        assert_eq!(
+            loc.get("artifactLocation").unwrap().get("uri").and_then(JsonValue::as_str),
+            Some("fac")
+        );
+        assert_eq!(
+            loc.get("region").unwrap().get("byteOffset").and_then(JsonValue::as_u64),
+            Some(0x8000_0010)
+        );
+        let props = results[0].get("properties").unwrap();
+        assert_eq!(props.get("pc").and_then(JsonValue::as_str), Some("0x80000010"));
+        assert_eq!(props.get("period").and_then(JsonValue::as_u64), Some(2));
+    }
+
+    #[test]
+    fn notes_fold_into_the_message_text() {
+        let doc = to_sarif(&[("p".to_owned(), vec![finding(LintCode::Div002, 0x1000)])]);
+        let parsed = json::parse(&doc.render()).unwrap();
+        let msg = parsed.get("runs").unwrap().as_array().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap()[0]
+            .get("message")
+            .unwrap()
+            .get("text")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_owned();
+        assert!(msg.contains("finding at") && msg.contains("extra context"), "{msg}");
+    }
+
+    #[test]
+    fn empty_input_still_produces_a_valid_log() {
+        let doc = to_sarif(&[]);
+        let parsed = json::parse(&doc.render()).unwrap();
+        let run = &parsed.get("runs").unwrap().as_array().unwrap()[0];
+        assert_eq!(run.get("results").unwrap().as_array().unwrap().len(), 0);
+    }
+}

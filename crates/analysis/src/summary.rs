@@ -1,0 +1,787 @@
+//! Bottom-up interprocedural function summaries.
+//!
+//! For every function of the [`CallGraph`] a [`FnSummary`] records the facts
+//! the intraprocedural prover needs at a call site:
+//!
+//! * **frame shape** — the net stack-pointer delta across an activation
+//!   (`sp_delta`, `Some(0)` = provably balanced), the maximum frame
+//!   excursion, the spilled callee-saved registers and spill-slot count;
+//! * **register effects** — the may-clobber and may-read masks, closed
+//!   transitively over callees;
+//! * **relational facts** — whether the callee is CSR-free (the only
+//!   architectural divergence source between the redundant cores is
+//!   `mhartid`) and whether it may store, which together decide whether the
+//!   inter-core register deltas and the memory mirror survive the call;
+//! * **stagger-offset transfer** — the exact committed-instruction count of
+//!   one activation when it is path-invariant, so loop certificates can
+//!   account for callee commits;
+//! * **composition** — for straight-line leaf callees, the slot sequence of
+//!   the body, which [`crate::absint::prove`] splices into enclosing loop
+//!   bodies instead of bailing at the call.
+//!
+//! Summaries are computed callee-first over the SCC condensation. Recursive
+//! components are handled coinductively: members start from the hypothesis
+//! `sp_delta == Some(0)`, and the hypothesis is kept only when every member's
+//! recomputed delta confirms it (each activation balances given that its
+//! recursive calls balance; the non-recursive base paths anchor the
+//! induction). Unresolved indirect calls poison every fact conservatively.
+
+use std::collections::BTreeSet;
+
+use safedm_isa::{Inst, Reg};
+
+use crate::callgraph::CallGraph;
+use crate::cfg::{Cfg, DecodedProgram, Terminator};
+use crate::dataflow::ConstProp;
+
+/// Callee-saved registers of the RV64 calling convention (`ra`, `s0`–`s11`):
+/// the registers a well-formed callee spills before reuse.
+pub const CALLEE_SAVED: u32 = {
+    let mut m = 1 << 1; // ra
+    m |= 1 << 8; // s0
+    m |= 1 << 9; // s1
+    let mut i = 18; // s2..s11
+    while i <= 27 {
+        m |= 1 << i;
+        i += 1;
+    }
+    m
+};
+
+/// Every register except `x0` (which is never writable): the worst-case
+/// may-clobber / may-use mask of an unknown callee.
+pub const ALL_WRITABLE: u32 = !1;
+
+/// Interprocedural facts about one function, in the caller's frame of
+/// reference.
+#[derive(Debug, Clone)]
+pub struct FnSummary {
+    /// Entry address.
+    pub entry: u64,
+    /// Registers the activation may leave changed, transitively over
+    /// callees (32-bit mask, bit *i* = `x{i}`; `x0` never set).
+    pub clobbers: u32,
+    /// Registers the activation may read, transitively over callees.
+    pub uses: u32,
+    /// Net stack-pointer change across one activation, when every path
+    /// agrees statically; `Some(0)` means provably balanced.
+    pub sp_delta: Option<i64>,
+    /// Maximum bytes the frame extends below the entry `sp`, when the
+    /// stack discipline is statically tracked on every path.
+    pub frame_bytes: Option<u64>,
+    /// Callee-saved registers stored to the function's own frame.
+    pub saved: u32,
+    /// Distinct static `sp`-relative store offsets (spill slots).
+    pub spill_slots: u32,
+    /// Committed instructions of one activation, when path-invariant
+    /// (the stagger-offset a call contributes to its caller's stream).
+    pub insts: Option<u64>,
+    /// No CSR read anywhere in the activation (transitively): the one
+    /// architectural divergence source between the cores is absent, so
+    /// delta-zero inputs give delta-zero outputs and a preserved mirror.
+    pub csr_free: bool,
+    /// The activation may store to memory (transitively).
+    pub may_store: bool,
+    /// The slot sequence of a straight-line leaf body (entry through `ret`,
+    /// inclusive), when the function is composable into caller loop bodies.
+    pub body: Option<Vec<usize>>,
+    /// Whether the function can re-enter itself.
+    pub recursive: bool,
+    /// Whether the function can return.
+    pub returns: bool,
+}
+
+impl FnSummary {
+    /// The summary of a wholly unknown callee: everything clobbered,
+    /// everything read, nothing balanced.
+    #[must_use]
+    pub fn unknown(entry: u64) -> FnSummary {
+        FnSummary {
+            entry,
+            clobbers: ALL_WRITABLE,
+            uses: ALL_WRITABLE,
+            sp_delta: None,
+            frame_bytes: None,
+            saved: 0,
+            spill_slots: 0,
+            insts: None,
+            csr_free: false,
+            may_store: true,
+            body: None,
+            recursive: false,
+            returns: true,
+        }
+    }
+
+    /// One-line rendering used by reports and goldens.
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        let opt_i64 = |v: Option<i64>| v.map_or("?".to_owned(), |d| d.to_string());
+        let opt_u64 = |v: Option<u64>| v.map_or("?".to_owned(), |d| d.to_string());
+        format!(
+            "summary @{:#x}: clobbers={:#010x} uses={:#010x} sp-delta={} frame={} saved={:#010x} \
+             spills={} insts={} csr-free={} may-store={} composable={} recursive={} returns={}",
+            self.entry,
+            self.clobbers,
+            self.uses,
+            opt_i64(self.sp_delta),
+            opt_u64(self.frame_bytes),
+            self.saved,
+            self.spill_slots,
+            opt_u64(self.insts),
+            self.csr_free,
+            self.may_store,
+            self.body.is_some(),
+            self.recursive,
+            self.returns
+        )
+    }
+}
+
+/// The abstract effect a call applies at its fall-through point, derived
+/// from the callee's summary (or the unknown-callee worst case).
+#[derive(Debug, Clone, Copy)]
+pub struct CallEffect {
+    /// Registers to havoc.
+    pub clobbers: u32,
+    /// Net `sp` adjustment, when known.
+    pub sp_delta: Option<i64>,
+    /// Registers whose inter-core delta must be zero at the call for the
+    /// callee's outputs to be provably delta-zero.
+    pub uses: u32,
+    /// Whether the callee is transitively CSR-free.
+    pub csr_free: bool,
+    /// Whether the callee may store.
+    pub may_store: bool,
+    /// Whether control provably comes back through `ret`, preserving `ra`.
+    pub ra_restored: bool,
+}
+
+impl CallEffect {
+    /// The worst case: an unknown callee.
+    #[must_use]
+    pub fn unknown() -> CallEffect {
+        CallEffect {
+            clobbers: ALL_WRITABLE,
+            sp_delta: None,
+            uses: ALL_WRITABLE,
+            csr_free: false,
+            may_store: true,
+            ra_restored: false,
+        }
+    }
+}
+
+impl From<&FnSummary> for CallEffect {
+    fn from(s: &FnSummary) -> CallEffect {
+        CallEffect {
+            clobbers: s.clobbers,
+            sp_delta: s.sp_delta,
+            uses: s.uses,
+            csr_free: s.csr_free,
+            may_store: s.may_store,
+            ra_restored: s.returns,
+        }
+    }
+}
+
+/// Per-function summaries, parallel to [`CallGraph::functions`].
+#[derive(Debug, Clone)]
+pub struct Summaries {
+    /// `list[i]` summarises `callgraph.functions[i]`.
+    pub list: Vec<FnSummary>,
+}
+
+/// One statically-tracked quantity along the frame dataflow: a known value
+/// or an absorbing unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Known(i64),
+    Unknown,
+}
+
+impl Val {
+    fn meet(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Known(a), Val::Known(b)) if a == b => Val::Known(a),
+            _ => Val::Unknown,
+        }
+    }
+
+    fn add(self, d: Option<i64>) -> Val {
+        match (self, d) {
+            (Val::Known(a), Some(d)) => Val::Known(a.wrapping_add(d)),
+            _ => Val::Unknown,
+        }
+    }
+
+    fn known(self) -> Option<i64> {
+        match self {
+            Val::Known(v) => Some(v),
+            Val::Unknown => None,
+        }
+    }
+}
+
+/// Per-block frame-dataflow state: running `sp` offset from the entry `sp`,
+/// running committed-instruction count, and the lowest `sp` offset seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrameFlow {
+    sp: Val,
+    insts: Val,
+    min_sp: i64,
+}
+
+impl FrameFlow {
+    fn meet(self, other: FrameFlow) -> FrameFlow {
+        FrameFlow {
+            sp: self.sp.meet(other.sp),
+            insts: self.insts.meet(other.insts),
+            min_sp: self.min_sp.min(other.min_sp),
+        }
+    }
+}
+
+impl Summaries {
+    /// Computes summaries bottom-up over the call graph's SCC condensation.
+    #[must_use]
+    pub fn compute(prog: &DecodedProgram, cfg: &Cfg, cg: &CallGraph) -> Summaries {
+        let n = cg.functions.len();
+        let mut list: Vec<FnSummary> = cg
+            .functions
+            .iter()
+            .map(|f| FnSummary {
+                entry: f.entry,
+                clobbers: 0,
+                uses: 0,
+                sp_delta: Some(0),
+                frame_bytes: None,
+                saved: 0,
+                spill_slots: 0,
+                insts: None,
+                csr_free: true,
+                may_store: false,
+                body: None,
+                recursive: f.recursive,
+                returns: f.returns,
+            })
+            .collect();
+        if n == 0 {
+            return Summaries { list };
+        }
+
+        for comp in &cg.sccs {
+            // Masks and flags close over the component by monotone
+            // iteration; bounded by the 32-bit masks, so it terminates fast.
+            loop {
+                let mut changed = false;
+                for &fi in comp {
+                    let (clob, uses, csr_free, may_store) =
+                        direct_effects(prog, cfg, cg, &list, fi);
+                    let s = &mut list[fi];
+                    if s.clobbers != clob
+                        || s.uses != uses
+                        || s.csr_free != csr_free
+                        || s.may_store != may_store
+                    {
+                        s.clobbers = clob;
+                        s.uses = uses;
+                        s.csr_free = csr_free;
+                        s.may_store = may_store;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+
+            // Frame shape + instruction count. Recursive components start
+            // from the balanced hypothesis `sp_delta = Some(0)` (already the
+            // initial value); it is kept only when every member confirms it.
+            let shapes: Vec<Option<FrameShape>> =
+                comp.iter().map(|&fi| frame_shape(prog, cfg, cg, &list, fi)).collect();
+            let recursive = cg.functions[comp[0]].recursive;
+            let confirmed = !recursive
+                || shapes.iter().all(|s| s.as_ref().is_some_and(|s| s.sp_delta == Some(0)));
+            for (&fi, shape) in comp.iter().zip(&shapes) {
+                let s = &mut list[fi];
+                match (confirmed, shape) {
+                    (true, Some(sh)) => {
+                        s.sp_delta = sh.sp_delta;
+                        s.frame_bytes = sh.frame_bytes;
+                        s.insts = if recursive { None } else { sh.insts };
+                    }
+                    _ => {
+                        s.sp_delta = None;
+                        s.frame_bytes = None;
+                        s.insts = None;
+                    }
+                }
+                let (saved, spill_slots) = spills(prog, cfg, cg, fi);
+                s.saved = saved;
+                s.spill_slots = spill_slots;
+            }
+
+            // Straight-line leaf bodies compose into caller loops.
+            for &fi in comp {
+                if !cg.functions[fi].recursive {
+                    list[fi].body = straight_line_body(prog, cfg, cg, fi);
+                }
+            }
+        }
+
+        // A provably balanced callee leaves `sp` as it found it: the caller
+        // keeps its frame fact even though the callee wrote `sp` inside.
+        for s in &mut list {
+            if s.sp_delta == Some(0) {
+                s.clobbers &= !Reg::SP.bit();
+            }
+        }
+
+        Summaries { list }
+    }
+
+    /// The summary for the function entered at `pc`.
+    #[must_use]
+    pub fn of_entry(&self, cg: &CallGraph, pc: u64) -> Option<&FnSummary> {
+        cg.function_at(pc).map(|i| &self.list[i])
+    }
+
+    /// Deterministic multi-line rendering, one line per function.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.list {
+            out.push_str(&s.render_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Union of the component-visible effects of function `fi`: its own
+/// instructions plus the current summaries of everything it calls.
+fn direct_effects(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    cg: &CallGraph,
+    list: &[FnSummary],
+    fi: usize,
+) -> (u32, u32, bool, bool) {
+    let f = &cg.functions[fi];
+    let mut clobbers = 0u32;
+    let mut uses = 0u32;
+    let mut csr_free = true;
+    let mut may_store = false;
+    for &bid in &f.blocks {
+        let b = &cfg.blocks[bid];
+        for i in b.start..b.end {
+            let Some(inst) = prog.slots[i].inst else { continue };
+            clobbers |= inst.def_mask();
+            uses |= inst.use_mask();
+            csr_free &= !matches!(inst, Inst::Csr { .. } | Inst::CsrImm { .. });
+            may_store |= inst.is_store();
+        }
+    }
+    if f.irregular {
+        return (ALL_WRITABLE, ALL_WRITABLE, false, true);
+    }
+    for &si in &f.sites {
+        match cg.sites[si].callee {
+            Some(j) => {
+                clobbers |= list[j].clobbers;
+                uses |= list[j].uses;
+                csr_free &= list[j].csr_free;
+                may_store |= list[j].may_store;
+            }
+            None => return (ALL_WRITABLE, ALL_WRITABLE, false, true),
+        }
+    }
+    (clobbers, uses, csr_free, may_store)
+}
+
+struct FrameShape {
+    sp_delta: Option<i64>,
+    frame_bytes: Option<u64>,
+    insts: Option<u64>,
+}
+
+/// Forward dataflow over one function's blocks tracking the running `sp`
+/// offset and instruction count; `None` when the walk cannot even start.
+fn frame_shape(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    cg: &CallGraph,
+    list: &[FnSummary],
+    fi: usize,
+) -> Option<FrameShape> {
+    let f = &cg.functions[fi];
+    let entry = FrameFlow { sp: Val::Known(0), insts: Val::Known(0), min_sp: 0 };
+    let mut flow_in: std::collections::BTreeMap<usize, FrameFlow> =
+        std::collections::BTreeMap::new();
+    flow_in.insert(f.entry_block, entry);
+    let mut exits: Vec<FrameFlow> = Vec::new();
+    let mut sp_tracked = true;
+    let mut global_min = 0i64;
+
+    let mut work = vec![f.entry_block];
+    let mut steps = 0usize;
+    while let Some(bid) = work.pop() {
+        steps += 1;
+        if steps > 64 * f.blocks.len().max(1) {
+            sp_tracked = false;
+            break;
+        }
+        let Some(&inflow) = flow_in.get(&bid) else { continue };
+        let b = &cfg.blocks[bid];
+        let mut st = inflow;
+        let last = b.end - 1;
+        let call = cg.site_at_slot(last).filter(|s| s.block == bid);
+        for i in b.start..b.end {
+            let Some(inst) = prog.slots[i].inst else {
+                st.sp = Val::Unknown;
+                st.insts = Val::Unknown;
+                continue;
+            };
+            st.insts = st.insts.add(Some(1));
+            if call.is_some() && i == last {
+                // The call instruction itself committed above; now add the
+                // callee's activation.
+                let callee = call.and_then(|s| s.callee).map(|j| &list[j]);
+                st.sp = st.sp.add(callee.and_then(|c| c.sp_delta));
+                st.insts = match callee.and_then(|c| c.insts) {
+                    Some(k) => st.insts.add(Some(k as i64)),
+                    None => Val::Unknown,
+                };
+            } else if inst.rd() == Some(Reg::SP) {
+                match inst {
+                    Inst::OpImm { kind: safedm_isa::AluKind::Add, rs1: Reg::SP, imm, .. } => {
+                        st.sp = st.sp.add(Some(imm));
+                    }
+                    _ => st.sp = Val::Unknown,
+                }
+            }
+            if let Val::Known(sp) = st.sp {
+                st.min_sp = st.min_sp.min(sp);
+                global_min = global_min.min(sp);
+            } else {
+                sp_tracked = false;
+            }
+        }
+
+        // Where does the flow go inside this function?
+        let push = |next: usize,
+                    st: FrameFlow,
+                    flow_in: &mut std::collections::BTreeMap<usize, FrameFlow>,
+                    work: &mut Vec<usize>| {
+            if !f.blocks.contains(&next) {
+                return;
+            }
+            let merged = flow_in.get(&next).map_or(st, |old| old.meet(st));
+            if flow_in.get(&next) != Some(&merged) {
+                flow_in.insert(next, merged);
+                work.push(next);
+            }
+        };
+        if call.is_some() {
+            if last + 1 < prog.slots.len() {
+                if let Some(next) = cfg.block_of_slot(last + 1) {
+                    push(next, st, &mut flow_in, &mut work);
+                }
+            }
+        } else if b.term == Terminator::IndirectJump {
+            let is_ret = matches!(
+                prog.slots[last].inst,
+                Some(Inst::Jalr { rd, rs1, .. }) if rd.is_zero() && rs1 == Reg::RA
+            );
+            if is_ret {
+                exits.push(st);
+            } else {
+                // A computed jump we cannot follow: stop trusting the frame.
+                sp_tracked = false;
+            }
+        } else {
+            for &s in &b.succs {
+                push(s, st, &mut flow_in, &mut work);
+            }
+        }
+    }
+
+    let exit = exits.into_iter().reduce(FrameFlow::meet);
+    let sp_delta = exit.and_then(|e| e.sp.known());
+    let insts = exit.and_then(|e| e.insts.known()).and_then(|v| u64::try_from(v).ok());
+    let frame_bytes = (sp_tracked && global_min <= 0).then_some((-global_min) as u64);
+    Some(FrameShape { sp_delta, frame_bytes, insts })
+}
+
+/// Callee-saved spill mask and distinct `sp`-relative store offsets.
+fn spills(prog: &DecodedProgram, cfg: &Cfg, cg: &CallGraph, fi: usize) -> (u32, u32) {
+    let mut saved = 0u32;
+    let mut offsets: BTreeSet<i64> = BTreeSet::new();
+    for &bid in &cg.functions[fi].blocks {
+        let b = &cfg.blocks[bid];
+        for i in b.start..b.end {
+            if let Some(Inst::Store { rs1: Reg::SP, rs2, offset, .. }) = prog.slots[i].inst {
+                offsets.insert(offset);
+                saved |= rs2.bit() & CALLEE_SAVED;
+            }
+        }
+    }
+    (saved, offsets.len() as u32)
+}
+
+/// The slot sequence of a straight-line leaf body: entry through `ret`, no
+/// branches, no calls, every block with exactly one in-function successor.
+fn straight_line_body(
+    prog: &DecodedProgram,
+    cfg: &Cfg,
+    cg: &CallGraph,
+    fi: usize,
+) -> Option<Vec<usize>> {
+    const MAX_BODY: usize = 512;
+    let f = &cg.functions[fi];
+    if !f.returns || f.irregular || !f.sites.is_empty() {
+        return None;
+    }
+    let mut seq = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut bid = f.entry_block;
+    loop {
+        if !seen.insert(bid) || seq.len() > MAX_BODY {
+            return None;
+        }
+        let b = &cfg.blocks[bid];
+        seq.extend(b.start..b.end);
+        match b.term {
+            Terminator::IndirectJump => {
+                // The leaf walk only reaches `ret`-shaped indirect jumps.
+                let last = b.end - 1;
+                return matches!(
+                    prog.slots[last].inst,
+                    Some(Inst::Jalr { rd, rs1, .. }) if rd.is_zero() && rs1 == Reg::RA
+                )
+                .then_some(seq);
+            }
+            Terminator::FallThrough | Terminator::Jump => {
+                let inside: Vec<usize> =
+                    b.succs.iter().copied().filter(|s| f.blocks.contains(s)).collect();
+                let [next] = inside.as_slice() else { return None };
+                bid = *next;
+            }
+            Terminator::Branch | Terminator::Halt => return None,
+        }
+    }
+}
+
+/// The call graph and its summaries, bundled for the prover.
+#[derive(Debug, Clone)]
+pub struct Interproc {
+    /// The whole-program call graph.
+    pub callgraph: CallGraph,
+    /// Per-function summaries, parallel to `callgraph.functions`.
+    pub summaries: Summaries,
+}
+
+impl Interproc {
+    /// Builds the call graph and summaries for a decoded program.
+    #[must_use]
+    pub fn compute(prog: &DecodedProgram, cfg: &Cfg, constprop: &ConstProp) -> Interproc {
+        let callgraph = CallGraph::build(prog, cfg, constprop);
+        let summaries = Summaries::compute(prog, cfg, &callgraph);
+        Interproc { callgraph, summaries }
+    }
+
+    /// The callee summary for the call instruction at slot `slot`, when the
+    /// site resolves to a discovered function.
+    #[must_use]
+    pub fn summary_for_slot(&self, slot: usize) -> Option<&FnSummary> {
+        let site = self.callgraph.site_at_slot(slot)?;
+        site.callee.map(|j| &self.summaries.list[j])
+    }
+
+    /// The abstract effect of the call at slot `slot` (worst case for
+    /// unresolved or undiscovered callees).
+    #[must_use]
+    pub fn effect_for_slot(&self, slot: usize) -> CallEffect {
+        self.summary_for_slot(slot).map_or_else(CallEffect::unknown, CallEffect::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safedm_asm::Asm;
+
+    fn summarize(f: impl FnOnce(&mut Asm)) -> (DecodedProgram, Cfg, CallGraph, Summaries) {
+        let mut a = Asm::new();
+        f(&mut a);
+        let p = DecodedProgram::from_program(&a.link(0x8000_0000).unwrap());
+        let c = Cfg::build(&p);
+        let cp = ConstProp::compute(&p, &c);
+        let g = CallGraph::build(&p, &c, &cp);
+        let s = Summaries::compute(&p, &c, &g);
+        (p, c, g, s)
+    }
+
+    /// A balanced leaf with one spill: `addi sp,sp,-16; sd s0; ...; ld s0;
+    /// addi sp,sp,16; ret`.
+    fn balanced_leaf(a: &mut Asm, f: safedm_asm::Label) {
+        a.bind(f).unwrap();
+        a.addi(Reg::SP, Reg::SP, -16);
+        a.sd(Reg::S0, 0, Reg::SP);
+        a.addi(Reg::S0, Reg::A0, 1);
+        a.add(Reg::A0, Reg::S0, Reg::A0);
+        a.ld(Reg::S0, 0, Reg::SP);
+        a.addi(Reg::SP, Reg::SP, 16);
+        a.ret();
+    }
+
+    #[test]
+    fn balanced_leaf_summary_is_precise() {
+        let (_, _, g, s) = summarize(|a| {
+            let f = a.new_label("f");
+            a.call(f);
+            a.ebreak();
+            balanced_leaf(a, f);
+        });
+        let fi = g.function_at(0x8000_0000).map(|e| 1 - e).unwrap(); // the other one
+        let sum = &s.list[fi];
+        assert_eq!(sum.sp_delta, Some(0), "{}", sum.render_line());
+        assert_eq!(sum.frame_bytes, Some(16));
+        assert_ne!(sum.saved & Reg::S0.bit(), 0);
+        assert_eq!(sum.spill_slots, 1);
+        assert_eq!(sum.insts, Some(7));
+        assert!(sum.csr_free);
+        assert!(sum.may_store);
+        // Balanced: sp is not reported clobbered, but s0/a0 are.
+        assert_eq!(sum.clobbers & Reg::SP.bit(), 0);
+        assert_ne!(sum.clobbers & Reg::A0.bit(), 0);
+        assert_ne!(sum.clobbers & Reg::S0.bit(), 0);
+        // Straight-line leaf: composable.
+        assert_eq!(sum.body.as_ref().map(Vec::len), Some(7));
+    }
+
+    #[test]
+    fn caller_inherits_callee_effects_transitively() {
+        let (_, _, g, s) = summarize(|a| {
+            let f = a.new_label("f");
+            let h = a.new_label("h");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.call(h);
+            a.ret();
+            a.bind(h).unwrap();
+            a.sw(Reg::T1, 0, Reg::GP);
+            a.addi(Reg::T1, Reg::T1, 1);
+            a.ret();
+        });
+        let entry = g.function_at(0x8000_0000).unwrap();
+        let sum = &s.list[entry];
+        assert_ne!(sum.clobbers & Reg::T1.bit(), 0, "{}", sum.render_line());
+        assert!(sum.may_store);
+        assert!(sum.csr_free);
+        // `f` calls through to `h`, so it is not a leaf: not composable.
+        let f_idx =
+            g.functions.iter().position(|f| !f.sites.is_empty() && f.entry != 0x8000_0000).unwrap();
+        assert!(s.list[f_idx].body.is_none());
+    }
+
+    #[test]
+    fn recursive_balanced_function_confirms_the_hypothesis() {
+        let (_, _, g, s) = summarize(|a| {
+            let f = a.new_label("f");
+            let done = a.new_label("done");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.addi(Reg::SP, Reg::SP, -16);
+            a.sd(Reg::RA, 0, Reg::SP);
+            a.beqz(Reg::A0, done);
+            a.addi(Reg::A0, Reg::A0, -1);
+            a.call(f);
+            a.bind(done).unwrap();
+            a.ld(Reg::RA, 0, Reg::SP);
+            a.addi(Reg::SP, Reg::SP, 16);
+            a.ret();
+        });
+        let fi = g.functions.iter().position(|f| f.recursive).unwrap();
+        let sum = &s.list[fi];
+        assert_eq!(sum.sp_delta, Some(0), "{}", sum.render_line());
+        assert!(sum.recursive);
+        // Depth-dependent commit count: never path-invariant.
+        assert_eq!(sum.insts, None);
+        assert!(sum.body.is_none());
+        assert_ne!(sum.saved & Reg::RA.bit(), 0);
+    }
+
+    #[test]
+    fn unbalanced_frame_poisons_sp_delta() {
+        let (_, _, g, s) = summarize(|a| {
+            let f = a.new_label("f");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.addi(Reg::SP, Reg::SP, -32);
+            a.ret(); // leaks 32 bytes
+        });
+        let fi = g.function_at(0x8000_0000).map(|e| 1 - e).unwrap();
+        assert_eq!(s.list[fi].sp_delta, Some(-32), "{}", s.list[fi].render_line());
+        // The caller's own delta across the call is then also -32.
+        let entry = g.function_at(0x8000_0000).unwrap();
+        // sp stays in the callee's clobber mask (not balanced).
+        assert_ne!(s.list[fi].clobbers & Reg::SP.bit(), 0);
+        let _ = entry;
+    }
+
+    #[test]
+    fn unresolved_call_poisons_everything() {
+        let (_, _, g, s) = summarize(|a| {
+            a.ld(Reg::T0, 0, Reg::SP);
+            a.jalr(Reg::RA, Reg::T0, 0);
+            a.ebreak();
+        });
+        let entry = g.function_at(0x8000_0000).unwrap();
+        let sum = &s.list[entry];
+        assert_eq!(sum.clobbers, ALL_WRITABLE, "{}", sum.render_line());
+        assert_eq!(sum.sp_delta, None);
+        assert!(!sum.csr_free);
+        assert!(sum.may_store);
+    }
+
+    #[test]
+    fn branchy_leaf_is_not_composable_but_keeps_frame_facts() {
+        let (_, _, g, s) = summarize(|a| {
+            let f = a.new_label("f");
+            let skip = a.new_label("skip");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.beqz(Reg::A0, skip);
+            a.addi(Reg::A0, Reg::A0, -1);
+            a.bind(skip).unwrap();
+            a.ret();
+        });
+        let fi = g.function_at(0x8000_0000).map(|e| 1 - e).unwrap();
+        let sum = &s.list[fi];
+        assert!(sum.body.is_none(), "{}", sum.render_line());
+        assert_eq!(sum.sp_delta, Some(0));
+        // Path-dependent commit count (2 vs 3): not invariant.
+        assert_eq!(sum.insts, None);
+    }
+
+    #[test]
+    fn hartid_read_breaks_csr_freedom() {
+        let (_, _, g, s) = summarize(|a| {
+            let f = a.new_label("f");
+            a.call(f);
+            a.ebreak();
+            a.bind(f).unwrap();
+            a.hartid(Reg::T0);
+            a.ret();
+        });
+        let entry = g.function_at(0x8000_0000).unwrap();
+        assert!(!s.list[entry].csr_free, "{}", s.list[entry].render_line());
+    }
+}

@@ -44,6 +44,6 @@ pub use error::AsmError;
 pub use program::Program;
 pub use text::{assemble, ParseError};
 pub use transform::{
-    pair_map, rename_permutation, transform, MatchKind, PairMap, PcPair, TransformConfig,
-    TransformReport,
+    apply_frame_map, pair_map, rename_permutation, transform, FrameRemap, MatchKind, PairMap,
+    PcPair, TransformConfig, TransformReport,
 };

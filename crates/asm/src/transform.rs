@@ -26,7 +26,7 @@
 //! discipline each point must satisfy (exact renamed encoding, relinked
 //! control flow, or re-materialised address).
 
-use safedm_isa::{Inst, Reg};
+use safedm_isa::{AluKind, BranchKind, Inst, Reg};
 
 use crate::builder::{Asm, Item, LabelPos};
 
@@ -50,6 +50,17 @@ pub struct TransformConfig {
     /// Bytes of stack frame padding (`sp -= frame_pad` once at entry),
     /// applied by the twin harness. Kept 16-byte aligned by convention.
     pub frame_pad: u32,
+    /// Rewrite unconditional `j` into the architecturally equal
+    /// always-taken `beq x0, x0` when the displacement allows, so jump
+    /// encodings stop being shared between the twins.
+    pub branch_canon: bool,
+    /// Re-layout balanced `sp`-relative stack frames: seeded permutation of
+    /// the 8-byte spill slots plus 16-byte-aligned padding, so frame
+    /// allocation and spill encodings diversify too.
+    pub frame_shuffle: bool,
+    /// Insert never-executed filler words behind unconditional transfers to
+    /// shift downstream code layout (and with it call/jump displacements).
+    pub layout_fill: bool,
 }
 
 impl Default for TransformConfig {
@@ -61,7 +72,8 @@ impl Default for TransformConfig {
 impl TransformConfig {
     /// Preset aggressiveness levels used by the experiments:
     /// 0 = identity, 1 = rename, 2 = rename + jitter, 3 = full (rename +
-    /// jitter + nop sled + frame padding). Levels above 3 saturate.
+    /// jitter + nop sled + frame padding + branch canonicalisation + frame
+    /// re-layout + layout filler). Levels above 3 saturate.
     #[must_use]
     pub fn level(seed: u64, level: u8) -> TransformConfig {
         TransformConfig {
@@ -70,6 +82,9 @@ impl TransformConfig {
             jitter_passes: if level >= 2 { 4 } else { 0 },
             sled_len: if level >= 3 { 12 } else { 0 },
             frame_pad: if level >= 3 { 64 } else { 0 },
+            branch_canon: level >= 3,
+            frame_shuffle: level >= 3,
+            layout_fill: level >= 3,
         }
     }
 
@@ -86,6 +101,29 @@ impl TransformConfig {
     }
 }
 
+/// One re-laid-out stack frame: how the variant's slot numbering relates to
+/// the original's. Slot `j` of the original frame (bytes `8j..8j+8` above
+/// `sp` after allocation) lives at slot `slots[j]` of the variant's enlarged
+/// frame of `orig_bytes + pad` bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameRemap {
+    /// Original frame size in bytes (the `addi sp, sp, -K` magnitude).
+    pub orig_bytes: u32,
+    /// Padding added by the variant (16-byte aligned).
+    pub pad: u32,
+    /// Slot permutation: original slot `j` → variant slot `slots[j]`.
+    /// Injective into `0..(orig_bytes + pad) / 8`.
+    pub slots: Vec<u32>,
+}
+
+impl FrameRemap {
+    /// Total variant frame size in bytes.
+    #[must_use]
+    pub fn var_bytes(&self) -> u32 {
+        self.orig_bytes + self.pad
+    }
+}
+
 /// What the transform did, in enough detail for the relational prover and
 /// the differential tests to check it.
 #[derive(Debug, Clone)]
@@ -98,12 +136,21 @@ pub struct TransformReport {
     /// Accepted jitter swaps.
     pub swaps: u64,
     /// Item permutation: `item_perm[new] == old` index into the source
-    /// item list.
+    /// item list (`usize::MAX` marks inserted layout-filler items with no
+    /// source counterpart).
     pub item_perm: Vec<usize>,
     /// Nop-sled length the harness will insert.
     pub sled_len: u32,
     /// Frame padding the harness will insert.
     pub frame_pad: u32,
+    /// Re-laid-out stack frames, in textual order of their allocation.
+    pub frames: Vec<FrameRemap>,
+    /// Items rewritten by the frame re-layout, as `(source item index,
+    /// index into [`TransformReport::frames`])` — the allocation, the
+    /// deallocation and every `sp`-relative access of each frame.
+    pub frame_points: Vec<(usize, u8)>,
+    /// Number of never-executed layout-filler items inserted.
+    pub fillers: usize,
 }
 
 impl TransformReport {
@@ -228,6 +275,9 @@ pub fn transform(asm: &Asm, cfg: &TransformConfig) -> (Asm, TransformReport) {
         item_perm: (0..asm.items.len()).collect(),
         sled_len: cfg.sled_len,
         frame_pad: cfg.frame_pad,
+        frames: Vec::new(),
+        frame_points: Vec::new(),
+        fillers: 0,
     };
     if !cfg.rename {
         for i in 0..32u8 {
@@ -250,6 +300,18 @@ pub fn transform(asm: &Asm, cfg: &TransformConfig) -> (Asm, TransformReport) {
                 Item::La { rd, target } => Item::La { rd: f(*rd), target: *target },
             };
         }
+    }
+
+    // --- branch canonicalisation -------------------------------------------
+    if cfg.branch_canon {
+        canonicalise_branches(&mut out);
+    }
+
+    // --- stack-frame re-layout ---------------------------------------------
+    if cfg.frame_shuffle {
+        let (frames, points) = shuffle_frames(&mut out, cfg.seed);
+        report.frames = frames;
+        report.frame_points = points;
     }
 
     // --- schedule jitter ---------------------------------------------------
@@ -311,7 +373,300 @@ pub fn transform(asm: &Asm, cfg: &TransformConfig) -> (Asm, TransformReport) {
         }
     }
 
+    // --- layout filler -----------------------------------------------------
+    if cfg.layout_fill {
+        report.fillers = insert_fillers(&mut out, &mut report.item_perm, cfg.seed);
+    }
+
     (out, report)
+}
+
+/// Item start offsets of the current item list.
+fn item_offsets(asm: &Asm) -> Vec<u64> {
+    let mut offs = Vec::with_capacity(asm.items.len());
+    let mut off = 0u64;
+    for item in &asm.items {
+        offs.push(off);
+        off += item.size();
+    }
+    offs
+}
+
+/// Whether control provably never falls through this item: unconditional
+/// jumps (`j`, `jr`/`ret`) and always-taken same-register branches.
+fn never_falls_through(item: &Item) -> bool {
+    match item {
+        Item::Jal { rd, .. } => rd.is_zero(),
+        Item::Branch { kind, rs1, rs2, .. } => {
+            rs1 == rs2 && matches!(kind, BranchKind::Eq | BranchKind::Ge | BranchKind::Geu)
+        }
+        Item::Fixed(i) => match *i {
+            Inst::Jal { rd, .. } | Inst::Jalr { rd, .. } => rd.is_zero(),
+            Inst::Branch { kind, rs1, rs2, .. } => {
+                rs1 == rs2 && matches!(kind, BranchKind::Eq | BranchKind::Ge | BranchKind::Geu)
+            }
+            _ => false,
+        },
+        Item::La { .. } | Item::Raw(_) => false,
+    }
+}
+
+/// Rewrites unconditional `j` items into the architecturally equal
+/// always-taken `beq x0, x0, target` when the displacement (with headroom
+/// for later layout-filler shifts) fits the conditional-branch range. The
+/// two forms commit identically — no link register, same target — but their
+/// encodings never collide, which removes the `j` encodings the twins would
+/// otherwise share.
+fn canonicalise_branches(out: &mut Asm) {
+    let offs = item_offsets(out);
+    // Every never-falling-through item may later receive one 4-byte filler;
+    // leave that much headroom so relinking cannot go out of range.
+    let headroom = 4 * out.items.len().min(512) as i64 + 64;
+    let limit = 4094 - headroom.min(2048);
+    let labels = &out.labels;
+    for (i, item) in out.items.iter_mut().enumerate() {
+        let (rd, target) = match item {
+            Item::Jal { rd, target } => (*rd, *target),
+            _ => continue,
+        };
+        if !rd.is_zero() {
+            continue;
+        }
+        let Some(LabelPos::Text(t)) = labels[target.0].pos else { continue };
+        let disp = t as i64 - offs[i] as i64;
+        if disp >= -limit && disp <= limit {
+            *item = Item::Branch { kind: BranchKind::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, target };
+        }
+    }
+}
+
+/// One frame open during the re-layout scan.
+struct OpenFrame {
+    /// Item index of the `addi sp, sp, -K` allocation.
+    alloc: usize,
+    /// Frame size `K` in bytes.
+    k: u32,
+    /// `sp`-relative accesses seen so far: `(item index, byte offset)`.
+    accesses: Vec<(usize, u32)>,
+    /// Whether anything unanalysable touched the region.
+    bad: bool,
+}
+
+/// Scans the item list for balanced `sp` frames (`addi sp, sp, -K` …
+/// `addi sp, sp, +K` with every intervening `sp` use an in-range, 8-byte
+/// aligned spill access and no label bound inside) and re-lays them out:
+/// the variant frame grows by a seeded 16-byte-aligned pad and the 8-byte
+/// slots are permuted with a full-cycle (Sattolo) permutation, so every
+/// spill offset and both frame `addi` encodings provably change. Anything
+/// irregular — branches inside the frame, out-of-range or misaligned
+/// offsets, unknown `sp` writes, labels into the region — conservatively
+/// disqualifies the enclosing frames.
+fn shuffle_frames(out: &mut Asm, seed: u64) -> (Vec<FrameRemap>, Vec<(usize, u8)>) {
+    let offs = item_offsets(out);
+    let mut label_offs: Vec<u64> = out
+        .labels
+        .iter()
+        .filter_map(|l| match l.pos {
+            Some(LabelPos::Text(o)) => Some(o),
+            _ => None,
+        })
+        .collect();
+    label_offs.sort_unstable();
+    let is_label = |o: u64| label_offs.binary_search(&o).is_ok();
+
+    let sp = Reg::SP.bit();
+    let mut open: Vec<OpenFrame> = Vec::new();
+    // Closed, analysable regions: (alloc idx, dealloc idx, K, accesses).
+    type Region = (usize, usize, u32, Vec<(usize, u32)>);
+    let mut regions: Vec<Region> = Vec::new();
+
+    for (i, item) in out.items.iter().enumerate() {
+        // A label bound inside an open region is a potential entry that
+        // skips the allocation: disqualify every enclosing frame.
+        if !open.is_empty() && i > 0 && is_label(offs[i]) {
+            for f in &mut open {
+                f.bad = true;
+            }
+        }
+        match item {
+            Item::Fixed(Inst::OpImm { kind: AluKind::Add, rd, rs1, imm })
+                if *rd == Reg::SP && *rs1 == Reg::SP =>
+            {
+                if *imm < 0 {
+                    let k = (-imm) as u64;
+                    if k.is_multiple_of(8) && k <= 2047 {
+                        open.push(OpenFrame {
+                            alloc: i,
+                            k: k as u32,
+                            accesses: vec![],
+                            bad: false,
+                        });
+                    } else {
+                        open.clear(); // unanalysable sp adjustment
+                    }
+                } else if *imm > 0 {
+                    match open.pop() {
+                        Some(f) if u64::from(f.k) == *imm as u64 => {
+                            if !f.bad {
+                                regions.push((f.alloc, i, f.k, f.accesses));
+                            }
+                        }
+                        _ => open.clear(), // unbalanced: stop tracking
+                    }
+                }
+            }
+            Item::Fixed(Inst::Load { rd, rs1, offset, .. }) if *rs1 == Reg::SP => {
+                if *rd == Reg::SP {
+                    open.clear(); // sp redefined from memory
+                } else if let Some(f) = open.last_mut() {
+                    if *offset >= 0 && *offset % 8 == 0 && (*offset as u64) + 8 <= u64::from(f.k) {
+                        f.accesses.push((i, *offset as u32));
+                    } else {
+                        for f in &mut open {
+                            f.bad = true;
+                        }
+                    }
+                }
+            }
+            Item::Fixed(Inst::Store { rs1, rs2, offset, .. }) if *rs1 == Reg::SP => {
+                let in_range = |f: &OpenFrame| {
+                    *offset >= 0 && *offset % 8 == 0 && (*offset as u64) + 8 <= u64::from(f.k)
+                };
+                match open.last_mut() {
+                    Some(f) if *rs2 != Reg::SP && in_range(f) => {
+                        f.accesses.push((i, *offset as u32));
+                    }
+                    Some(_) => {
+                        for f in &mut open {
+                            f.bad = true;
+                        }
+                    }
+                    None => {}
+                }
+            }
+            Item::Fixed(inst) => {
+                if inst.def_mask() & sp != 0 {
+                    open.clear(); // sp redefined by something we don't model
+                } else if open.is_empty() {
+                    // nothing to protect
+                } else if matches!(inst, Inst::Jal { rd, .. } if *rd == Reg::RA) {
+                    // A call: the callee runs in its own frame and returns.
+                } else if inst.is_control_flow()
+                    || inst.is_system()
+                    || matches!(inst, Inst::Ecall | Inst::Ebreak)
+                    || inst.use_mask() & sp != 0
+                {
+                    for f in &mut open {
+                        f.bad = true;
+                    }
+                }
+            }
+            Item::Jal { rd, .. } if *rd == Reg::RA => {} // call, see above
+            Item::La { rd, .. } if *rd != Reg::SP => {}
+            Item::Branch { .. } | Item::Jal { .. } | Item::Raw(_) | Item::La { .. } => {
+                if !open.is_empty() {
+                    for f in &mut open {
+                        f.bad = true;
+                    }
+                }
+            }
+        }
+    }
+
+    regions.sort_by_key(|r| r.0);
+    let mut rng = SplitMix64(seed ^ 0x00f7_a3e5_1a7e_u64);
+    let mut frames = Vec::new();
+    let mut points = Vec::new();
+    for (alloc, dealloc, k, accesses) in regions {
+        if frames.len() == u8::MAX as usize {
+            break; // frame ids are u8; more regions than that stay as-is
+        }
+        let mut pad = 16 * (1 + rng.below(4) as u32);
+        while pad > 0 && k + pad > 2040 {
+            pad -= 16;
+        }
+        if pad == 0 {
+            continue; // frame too large to enlarge — leave it alone
+        }
+        let total = ((k + pad) / 8) as usize;
+        // Sattolo: a single cycle, so *every* slot moves and every rewritten
+        // offset provably differs from the original.
+        let mut perm: Vec<u32> = (0..total as u32).collect();
+        for i in (1..total).rev() {
+            let j = rng.below(i as u64) as usize;
+            perm.swap(i, j);
+        }
+        let fi = frames.len() as u8;
+        let var_bytes = i64::from(k + pad);
+        if let Item::Fixed(Inst::OpImm { imm, .. }) = &mut out.items[alloc] {
+            *imm = -var_bytes;
+        }
+        if let Item::Fixed(Inst::OpImm { imm, .. }) = &mut out.items[dealloc] {
+            *imm = var_bytes;
+        }
+        points.push((alloc, fi));
+        points.push((dealloc, fi));
+        for &(idx, off) in &accesses {
+            let new_off = i64::from(8 * perm[(off / 8) as usize]);
+            match &mut out.items[idx] {
+                Item::Fixed(Inst::Load { offset, .. })
+                | Item::Fixed(Inst::Store { offset, .. }) => {
+                    *offset = new_off;
+                }
+                _ => unreachable!("frame access is always a load or store"),
+            }
+            points.push((idx, fi));
+        }
+        frames.push(FrameRemap { orig_bytes: k, pad, slots: perm[..(k / 8) as usize].to_vec() });
+    }
+    (frames, points)
+}
+
+/// Inserts one never-executed 4-byte filler word behind every item control
+/// provably never falls through, shifting all downstream code by 4 bytes per
+/// filler — and with it every call/jump displacement crossing a filler.
+/// Fillers encode as `addi x0, x0, c` with per-program-distinct `c != 0`, so
+/// they decode as plain non-control instructions (the pair prover's tiling
+/// check demands that) yet collide with no real or pad-nop encoding.
+/// Labels at or after an insertion point shift past the filler, so every
+/// branch target still reaches the instruction it used to.
+fn insert_fillers(out: &mut Asm, item_perm: &mut Vec<usize>, seed: u64) -> usize {
+    let offs = item_offsets(out);
+    let mut rng = SplitMix64(seed ^ 0x0f11_1e55_u64);
+    let mut used = std::collections::BTreeSet::new();
+    let mut items = Vec::with_capacity(out.items.len());
+    let mut perm = Vec::with_capacity(item_perm.len());
+    let mut fill_points: Vec<u64> = Vec::new();
+    for (i, item) in out.items.drain(..).enumerate() {
+        let fills_here = never_falls_through(&item);
+        let end = offs[i] + item.size();
+        items.push(item);
+        perm.push(item_perm[i]);
+        if fills_here {
+            let mut c = 0u64;
+            for _ in 0..64 {
+                c = 1 + rng.below(2047);
+                if used.insert(c) {
+                    break;
+                }
+            }
+            let raw = ((c as u32) << 20) | 0x13; // addi x0, x0, c
+            items.push(Item::Raw(raw));
+            perm.push(usize::MAX);
+            fill_points.push(end);
+        }
+    }
+    let fills = fill_points.len();
+    for label in &mut out.labels {
+        if let Some(LabelPos::Text(o)) = &mut label.pos {
+            let shift = 4 * fill_points.iter().filter(|&&fp| fp <= *o).count() as u64;
+            *o += shift;
+        }
+    }
+    out.text_off += 4 * fills as u64;
+    out.items = items;
+    *item_perm = perm;
+    fills
 }
 
 // ---------------------------------------------------------------------------
@@ -330,15 +685,20 @@ pub enum MatchKind {
     /// Re-materialised address (`la` → `auipc`+`addi` pair): same shape and
     /// renamed destination, immediates free.
     AddrMat,
+    /// Re-laid-out stack-frame instruction: the frame `addi` magnitudes and
+    /// spill offsets must relate exactly as the indexed
+    /// [`FrameRemap`](PairMap::frames) dictates.
+    Frame(u8),
 }
 
 impl std::fmt::Display for MatchKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            MatchKind::Exact => "exact",
-            MatchKind::ControlFlow => "control-flow",
-            MatchKind::AddrMat => "addr-mat",
-        })
+        match self {
+            MatchKind::Exact => f.write_str("exact"),
+            MatchKind::ControlFlow => f.write_str("control-flow"),
+            MatchKind::AddrMat => f.write_str("addr-mat"),
+            MatchKind::Frame(i) => write!(f, "frame#{i}"),
+        }
     }
 }
 
@@ -370,10 +730,13 @@ pub struct PairMap {
     pub orig_span: (u64, u64),
     /// Half-open text span `[start, end)` of the variant copy.
     pub var_span: (u64, u64),
-    /// Retired-instruction overhead of the variant (sled + padding +
-    /// result-register fix-up), statically known because every inserted
-    /// instruction executes exactly once.
+    /// Slot overhead of the variant over the original inside `var_span`:
+    /// sled + padding + result-register fix-up + layout filler. This is the
+    /// tiling budget — uncovered variant slots — not the retired-instruction
+    /// overhead (filler never executes).
     pub overhead_insts: u64,
+    /// Stack-frame re-layouts referenced by [`MatchKind::Frame`] points.
+    pub frames: Vec<FrameRemap>,
 }
 
 impl PairMap {
@@ -434,6 +797,36 @@ pub fn pair_map(
         orig_span: (orig_base, orig_base + orig.text_off),
         var_span: (var_base, var_base + var.text_off),
         overhead_insts,
+        frames: Vec::new(),
+    }
+}
+
+/// Attaches the frame re-layout artefacts of `report` to a [`PairMap`]:
+/// every correspondence point whose variant item the frame shuffle rewrote
+/// flips to [`MatchKind::Frame`], and the remap table is copied over so the
+/// relational prover can check alloc magnitudes and spill offsets exactly.
+///
+/// `src_to_orig` maps a source item index of the *transformed* builder to
+/// the corresponding item index of `orig` (`None` for items with no
+/// original counterpart, e.g. harness extras).
+pub fn apply_frame_map(
+    map: &mut PairMap,
+    orig: &Asm,
+    report: &TransformReport,
+    orig_base: u64,
+    src_to_orig: impl Fn(usize) -> Option<usize>,
+) {
+    if report.frames.is_empty() {
+        return;
+    }
+    let o_offs = item_offsets(orig);
+    map.frames = report.frames.clone();
+    for &(src, fi) in &report.frame_points {
+        let Some(oi) = src_to_orig(src) else { continue };
+        let pc = orig_base + o_offs[oi];
+        if let Ok(i) = map.pairs.binary_search_by_key(&pc, |p| p.orig) {
+            map.pairs[i].kind = MatchKind::Frame(fi);
+        }
     }
 }
 
@@ -554,6 +947,171 @@ mod tests {
             }
         }
         assert!(moved, "no seed in 0..16 produced a single swap");
+    }
+
+    #[test]
+    fn branch_canon_rewrites_short_jumps_in_place() {
+        let mut a = Asm::new();
+        let done = a.new_label("done");
+        a.li(Reg::T0, 3);
+        a.j(done);
+        a.nop();
+        a.bind(done).unwrap();
+        a.ebreak();
+        let cfg = TransformConfig {
+            rename: false,
+            jitter_passes: 0,
+            layout_fill: false,
+            frame_shuffle: false,
+            branch_canon: true,
+            ..TransformConfig::level(7, 3)
+        };
+        let (t, rep) = transform(&a, &cfg);
+        assert_eq!(rep.fillers, 0);
+        let prog = t.link(0x8000_0000).unwrap();
+        let words: Vec<Inst> = prog.words().map(|(_, w)| decode(w).unwrap()).collect();
+        // The `j` slot now decodes as an always-taken beq x0, x0 with the
+        // same target (two slots ahead: skip the nop).
+        let j_slot = words.iter().position(|i| matches!(i, Inst::Branch { .. })).unwrap();
+        let Inst::Branch { kind, rs1, rs2, offset } = words[j_slot] else { unreachable!() };
+        assert_eq!(kind, safedm_isa::BranchKind::Eq);
+        assert!(rs1.is_zero() && rs2.is_zero());
+        assert_eq!(offset, 8, "target must still skip the nop");
+        assert!(!words.iter().any(|i| matches!(i, Inst::Jal { .. })));
+    }
+
+    #[test]
+    fn frame_shuffle_permutes_slots_and_stays_balanced() {
+        let mut a = Asm::new();
+        a.addi(Reg::SP, Reg::SP, -16);
+        a.sd(Reg::A0, 0, Reg::SP);
+        a.sd(Reg::A1, 8, Reg::SP);
+        a.ld(Reg::A0, 0, Reg::SP);
+        a.ld(Reg::A1, 8, Reg::SP);
+        a.addi(Reg::SP, Reg::SP, 16);
+        a.ebreak();
+        let cfg = TransformConfig {
+            rename: false,
+            jitter_passes: 0,
+            branch_canon: false,
+            layout_fill: false,
+            frame_shuffle: true,
+            ..TransformConfig::level(11, 3)
+        };
+        let (t, rep) = transform(&a, &cfg);
+        assert_eq!(rep.frames.len(), 1, "{:?}", rep.frames);
+        let fr = &rep.frames[0];
+        assert_eq!(fr.orig_bytes, 16);
+        assert!(fr.pad >= 16 && fr.pad % 16 == 0, "{fr:?}");
+        assert_eq!(fr.slots.len(), 2);
+        // Sattolo: every original slot moved.
+        assert!(fr.slots[0] != 0 && fr.slots[1] != 1, "{fr:?}");
+        assert!(fr.slots[0] != fr.slots[1]);
+        // Alloc/dealloc rewritten to the padded size, accesses follow the
+        // permutation, and the frame stays balanced.
+        let var = i64::from(fr.var_bytes());
+        let insts: Vec<Inst> =
+            t.link(0x1000).unwrap().words().map(|(_, w)| decode(w).unwrap()).collect();
+        let mut sp_delta = 0i64;
+        for i in &insts {
+            if let Inst::OpImm { rd: Reg::SP, rs1: Reg::SP, imm, .. } = i {
+                sp_delta += imm;
+                assert!(imm.unsigned_abs() == var as u64, "{i}");
+            }
+            if let Inst::Store { rs1: Reg::SP, offset, .. } = i {
+                assert_eq!(*offset % 8, 0);
+                assert!(*offset < var && *offset != 0 || *offset != 8, "offset moved: {i}");
+            }
+        }
+        assert_eq!(sp_delta, 0, "frame must stay balanced");
+        // 2 addis + 4 accesses = 6 frame points, all frame id 0.
+        assert_eq!(rep.frame_points.len(), 6, "{:?}", rep.frame_points);
+        assert!(rep.frame_points.iter().all(|&(_, fi)| fi == 0));
+    }
+
+    #[test]
+    fn frame_shuffle_skips_irregular_regions() {
+        // A branch inside the frame region disqualifies it.
+        let mut a = Asm::new();
+        let out = a.new_label("out");
+        a.addi(Reg::SP, Reg::SP, -16);
+        a.sd(Reg::A0, 0, Reg::SP);
+        a.beqz(Reg::A1, out);
+        a.ld(Reg::A0, 0, Reg::SP);
+        a.addi(Reg::SP, Reg::SP, 16);
+        a.bind(out).unwrap();
+        a.ebreak();
+        let cfg = TransformConfig {
+            rename: false,
+            jitter_passes: 0,
+            branch_canon: false,
+            layout_fill: false,
+            frame_shuffle: true,
+            ..TransformConfig::level(11, 3)
+        };
+        let (t, rep) = transform(&a, &cfg);
+        assert!(rep.frames.is_empty(), "{:?}", rep.frames);
+        assert_eq!(t.link(0x1000).unwrap().text, a.link(0x1000).unwrap().text);
+    }
+
+    #[test]
+    fn layout_fill_inserts_unreachable_distinct_words_and_relinks() {
+        let mut a = Asm::new();
+        let f = a.new_label("f");
+        let done = a.new_label("done");
+        a.li(Reg::T0, 1);
+        a.call(f);
+        a.j(done);
+        a.nop(); // dead, but keeps the shape interesting
+        a.bind(f).unwrap();
+        a.ret();
+        a.bind(done).unwrap();
+        a.ebreak();
+        let cfg = TransformConfig {
+            rename: false,
+            jitter_passes: 0,
+            branch_canon: false,
+            frame_shuffle: false,
+            layout_fill: true,
+            ..TransformConfig::level(13, 3)
+        };
+        let orig = a.link(0x8000_0000).unwrap();
+        let (t, rep) = transform(&a, &cfg);
+        // One filler behind the `j`, one behind the `ret`.
+        assert_eq!(rep.fillers, 2, "{:?}", rep.item_perm);
+        assert_eq!(rep.item_perm.iter().filter(|&&o| o == usize::MAX).count(), 2);
+        let prog = t.link(0x8000_0000).unwrap();
+        assert_eq!(prog.text.len(), orig.text.len() + 8);
+        // Fillers decode as addi x0, x0, c with distinct non-zero c.
+        let mut cs = Vec::new();
+        for (_, w) in prog.words() {
+            if let Ok(Inst::OpImm { kind: AluKind::Add, rd, rs1, imm }) = decode(w) {
+                if rd.is_zero() && rs1.is_zero() && imm != 0 {
+                    cs.push(imm);
+                }
+            }
+        }
+        assert_eq!(cs.len(), 2, "{cs:?}");
+        assert_ne!(cs[0], cs[1]);
+        // The call still reaches `f` (now shifted past the j-filler) and the
+        // `j` still reaches the ebreak behind both fillers.
+        let words: Vec<(u64, u32)> = prog.words().collect();
+        let find = |pred: &dyn Fn(&Inst) -> bool| {
+            words
+                .iter()
+                .find(|(_, w)| decode(*w).map(|i| pred(&i)).unwrap_or(false))
+                .map(|&(pc, w)| (pc, decode(w).unwrap()))
+                .unwrap()
+        };
+        let (call_pc, call) = find(&|i| matches!(i, Inst::Jal { rd, .. } if *rd == Reg::RA));
+        let Inst::Jal { offset, .. } = call else { unreachable!() };
+        let f_target = call_pc.wrapping_add(offset as u64);
+        let (ret_pc, _) = find(&|i| matches!(i, Inst::Jalr { rd, .. } if rd.is_zero()));
+        assert_eq!(f_target, ret_pc, "call must still land on the ret");
+        let (j_pc, j) = find(&|i| matches!(i, Inst::Jal { rd, .. } if rd.is_zero()));
+        let Inst::Jal { offset, .. } = j else { unreachable!() };
+        let (ebreak_pc, _) = find(&|i| matches!(i, Inst::Ebreak));
+        assert_eq!(j_pc.wrapping_add(offset as u64), ebreak_pc, "j must still land on the ebreak");
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! cycle inside a region the prover marked `ProvedDiverse`.
 //!
 //! The check is warmup-gated: a no-diversity verdict only counts against a
-//! `ProvedDiverse` span once both cores' last-committed PCs have stayed
-//! inside that same span for at least `2 * data_fifo_depth` consecutive
-//! observed cycles, so both signature FIFOs contain only in-span traffic.
+//! `ProvedDiverse` region (the loop span plus any spliced callee-body
+//! spans) once both cores' last-committed PCs have stayed inside that same
+//! region for at least `2 * data_fifo_depth` consecutive observed cycles,
+//! so both signature FIFOs contain only in-region traffic.
 //! `ProvedCollision` claims are existential (a collision *exists* at some
 //! alignment), so they are confirmed informationally, never failed.
 //!
@@ -55,6 +56,7 @@ impl Target {
             }
             Target::Synth("countdown") => synth_countdown(stagger),
             Target::Synth("memcpy") => synth_memcpy(stagger),
+            Target::Synth("call-loop") => synth_call_loop(stagger),
             Target::Synth(other) => unreachable!("unknown synthetic {other}"),
         }
     }
@@ -93,6 +95,31 @@ fn synth_countdown(stagger: Option<StaggerConfig>) -> Program {
     a.link(0x8000_0000).unwrap()
 }
 
+/// A countdown loop whose body lives behind `call leaf`: the leaf is a
+/// straight-line composable function, so the prover certifies the loop
+/// through its *spliced* stream (`jal` + leaf body + `ret` + counter step)
+/// built from the interprocedural summaries. Every certificate this target
+/// earns is therefore a whole-program one, cross-checked dynamically.
+fn synth_call_loop(stagger: Option<StaggerConfig>) -> Program {
+    let mut a = Asm::new();
+    if let Some(st) = stagger {
+        sled(&mut a, st);
+    }
+    a.li(Reg::T0, 60_000);
+    let l = a.new_label("l");
+    let leaf = a.new_label("leaf");
+    a.bind(l).unwrap();
+    a.call(leaf);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, l);
+    a.ebreak();
+    a.bind(leaf).unwrap();
+    a.add(Reg::T2, Reg::T0, Reg::T0);
+    a.xor(Reg::T3, Reg::T2, Reg::T0);
+    a.ret();
+    a.link(0x8000_0000).unwrap()
+}
+
 /// A memcpy-style loop with loads and stores: qualifies via the injective
 /// closure (every instruction reads an injective pointer or counter) plus
 /// the relational memory-equality proof.
@@ -120,11 +147,14 @@ fn synth_memcpy(stagger: Option<StaggerConfig>) -> Program {
     a.link(0x8000_0000).unwrap()
 }
 
-/// Everything precomputed for one (target, stagger) setup.
+/// Everything precomputed for one (target, stagger) setup. Regions are
+/// per-certificate span unions (loop plus spliced callee bodies), so
+/// interprocedural certificates stay guarded while a core's PC sits inside
+/// a composable callee.
 struct Setup {
     prog: Arc<Program>,
-    diverse: Vec<PcSpan>,
-    collision: Vec<PcSpan>,
+    diverse: Vec<Vec<PcSpan>>,
+    collision: Vec<Vec<PcSpan>>,
     effective: i64,
     golden: Option<u64>,
 }
@@ -160,8 +190,10 @@ fn run_cell(setup: &Setup, max_cycles: u64) -> CellOut {
         }
         let rep = sys.step();
         let pcs = (sys.soc().core(0).last_commit_pc(), sys.soc().core(1).last_commit_pc());
-        let both_in = |spans: &[PcSpan]| match pcs {
-            (Some(p0), Some(p1)) => spans.iter().position(|s| s.contains(p0) && s.contains(p1)),
+        let both_in = |regions: &[Vec<PcSpan>]| match pcs {
+            (Some(p0), Some(p1)) => regions
+                .iter()
+                .position(|r| r.iter().any(|s| s.contains(p0)) && r.iter().any(|s| s.contains(p1))),
             _ => None,
         };
         match (rep.observed, both_in(&setup.diverse)) {
@@ -233,6 +265,7 @@ fn main() -> ExitCode {
     };
     targets.push(Target::Synth("countdown"));
     targets.push(Target::Synth("memcpy"));
+    targets.push(Target::Synth("call-loop"));
 
     let grid =
         ConfigGrid { kernels: targets, staggers, configs: vec![()], runs: 1, root_seed: 2024 };
@@ -260,8 +293,8 @@ fn main() -> ExitCode {
             };
             Setup {
                 prog: Arc::new(prog),
-                diverse: proof.diverse_spans(),
-                collision: proof.collision_spans(),
+                diverse: proof.diverse_regions(),
+                collision: proof.collision_regions(),
                 effective: proof.effective_stagger,
                 golden,
             }

@@ -9,6 +9,7 @@
 //! | `POST` | `/v1/campaigns` | submit a [`CampaignSpec`]; `201` with the campaign id |
 //! | `GET` | `/v1/campaigns/{id}/events` | chunked `application/x-ndjson` stream of per-cell [`CellEvent`](safedm_obs::events::CellEvent) lines, in cell order, as they complete |
 //! | `GET` | `/v1/campaigns/{id}/result` | status + cache counters (`running` until done) |
+//! | `DELETE` | `/v1/campaigns/{id}` | cancel: raise the job's stop flag; `202` with `canceling` (or the final status when already done) |
 //! | `GET` | `/v1/healthz` | liveness + code version |
 //!
 //! Each accepted connection is handled on its own thread
@@ -22,7 +23,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use safedm_campaign::cache::ResultCache;
@@ -64,6 +65,7 @@ impl Default for ServeConfig {
 struct JobInner {
     lines: Vec<String>,
     done: bool,
+    canceled: bool,
     error: Option<String>,
     all_ok: bool,
     hits: u64,
@@ -74,6 +76,9 @@ struct Job {
     total: usize,
     inner: Mutex<JobInner>,
     cond: Condvar,
+    /// Cooperative cancellation flag ([`RunOptions::stop`]): raised by
+    /// `DELETE`, checked by the runner before each pending cell.
+    stop: AtomicBool,
 }
 
 impl Job {
@@ -232,6 +237,10 @@ fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
             Some((id, "result")) => get_result(&mut out, state, id),
             _ => write_error(&mut out, 404, "Not Found", &format!("no such resource: {p}")),
         },
+        ("DELETE", p) => match parse_campaign_id(p) {
+            Some(id) => cancel_campaign(&mut out, state, id),
+            None => write_error(&mut out, 404, "Not Found", &format!("no such resource: {p}")),
+        },
         (m, p) => write_error(&mut out, 405, "Method Not Allowed", &format!("cannot {m} {p}")),
     }
 }
@@ -241,6 +250,11 @@ fn parse_campaign_path(path: &str) -> Option<(u64, &str)> {
     let rest = path.strip_prefix("/v1/campaigns/c")?;
     let (id, tail) = rest.split_once('/')?;
     Some((id.parse().ok()?, tail))
+}
+
+/// `/v1/campaigns/c{N}` (no tail) → `N`.
+fn parse_campaign_id(path: &str) -> Option<u64> {
+    path.strip_prefix("/v1/campaigns/c")?.parse().ok()
 }
 
 fn post_campaign(out: &mut TcpStream, state: &State, body: &str) -> std::io::Result<()> {
@@ -264,12 +278,14 @@ fn post_campaign(out: &mut TcpStream, state: &State, body: &str) -> std::io::Res
         inner: Mutex::new(JobInner {
             lines: Vec::new(),
             done: false,
+            canceled: false,
             error: None,
             all_ok: true,
             hits: 0,
             misses: 0,
         }),
         cond: Condvar::new(),
+        stop: AtomicBool::new(false),
     });
     lock(&state.campaigns).insert(id, Arc::clone(&job));
 
@@ -287,11 +303,16 @@ fn post_campaign(out: &mut TcpStream, state: &State, body: &str) -> std::io::Res
                 job.cond.notify_all();
             };
             let progress = Progress::new(false, prepared.cells.len());
-            let opts =
-                RunOptions { cache: Some(&cache), progress: Some(&progress), on_line: Some(&sink) };
+            let opts = RunOptions {
+                cache: Some(&cache),
+                progress: Some(&progress),
+                on_line: Some(&sink),
+                stop: Some(&job.stop),
+            };
             match service::run(&prepared, &opts) {
                 Ok(outcome) => job.finish(|inner| {
                     inner.all_ok = outcome.all_ok;
+                    inner.canceled = outcome.canceled;
                     inner.hits = outcome.cache.hits + outcome.cache.disk_hits;
                     inner.misses = outcome.cache.misses;
                 }),
@@ -349,18 +370,40 @@ fn get_events(out: &mut TcpStream, state: &State, id: u64) -> std::io::Result<()
     write!(out, "0\r\n\r\n")
 }
 
+/// Raises a campaign's stop flag. Idempotent; a finished campaign just
+/// reports its final status.
+fn cancel_campaign(out: &mut TcpStream, state: &State, id: u64) -> std::io::Result<()> {
+    let Some(job) = lock(&state.campaigns).get(&id).cloned() else {
+        return write_error(out, 404, "Not Found", &format!("no campaign c{id}"));
+    };
+    job.stop.store(true, Ordering::Relaxed);
+    let status = { job_status(&lock(&job.inner)) };
+    let status = if status == "running" { "canceling" } else { status };
+    let body = json_body(vec![
+        ("id", JsonValue::Str(format!("c{id}"))),
+        ("status", JsonValue::Str(status.to_owned())),
+    ]);
+    write_response(out, 202, "Accepted", &body)
+}
+
+fn job_status(inner: &JobInner) -> &'static str {
+    if !inner.done {
+        "running"
+    } else if inner.error.is_some() {
+        "failed"
+    } else if inner.canceled {
+        "canceled"
+    } else {
+        "done"
+    }
+}
+
 fn get_result(out: &mut TcpStream, state: &State, id: u64) -> std::io::Result<()> {
     let Some(job) = lock(&state.campaigns).get(&id).cloned() else {
         return write_error(out, 404, "Not Found", &format!("no campaign c{id}"));
     };
     let inner = lock(&job.inner);
-    let status = if !inner.done {
-        "running"
-    } else if inner.error.is_some() {
-        "failed"
-    } else {
-        "done"
-    };
+    let status = job_status(&inner);
     let mut members = vec![
         ("id", JsonValue::Str(format!("c{id}"))),
         ("status", JsonValue::Str(status.to_owned())),

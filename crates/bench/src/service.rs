@@ -31,6 +31,7 @@
 //! salted with the code version, so equal digests imply equal results —
 //! serving a hit without re-simulation is sound, not heuristic.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use safedm_campaign::cache::{CacheStats, ResultCache};
@@ -82,16 +83,23 @@ pub struct Prepared {
 
 /// What a [`run`] produced.
 pub struct RunOutcome {
-    /// One event per cell, in cell order. Computed cells carry their
-    /// measured `wall_us`; cache hits have none (nothing was measured).
+    /// One event per completed cell, in cell order. Computed cells carry
+    /// their measured `wall_us`; cache hits have none (nothing was
+    /// measured). When the run was [canceled](RunOutcome::canceled),
+    /// skipped cells are absent.
     pub events: Vec<CellEvent>,
-    /// One [`Timing::Strip`] JSONL line per cell, in cell order — the
-    /// byte-exact stream a server replays and `--events-out` writes.
+    /// One [`Timing::Strip`] JSONL line per completed cell, in cell order
+    /// — the byte-exact stream a server replays and `--events-out` writes.
     pub lines: Vec<String>,
     /// Cache counter deltas for this run (all-miss when no cache given).
+    /// Skipped cells count as neither misses nor inserts.
     pub cache: CacheStats,
-    /// Whether every cell passed its self-check.
+    /// Whether every completed cell passed its self-check.
     pub all_ok: bool,
+    /// Whether the run stopped early because [`RunOptions::stop`] was
+    /// raised while cells were still pending. Already-running cells finish
+    /// and are included; pending cells are skipped.
+    pub canceled: bool,
 }
 
 /// How to [`run`] a prepared campaign.
@@ -105,6 +113,12 @@ pub struct RunOptions<'a> {
     /// strictly increasing index order, as soon as each line's prefix is
     /// complete. The event-stream endpoint hangs off this.
     pub on_line: Option<LineSink<'a>>,
+    /// Cooperative cancellation flag, checked before each pending cell
+    /// starts. Once raised, no further cells simulate (cells already
+    /// in flight finish normally) and the outcome reports
+    /// [`RunOutcome::canceled`]. The `DELETE /v1/campaigns/{id}` endpoint
+    /// hangs off this.
+    pub stop: Option<&'a AtomicBool>,
 }
 
 fn resolve_kernels(spec: &CampaignSpec) -> Result<Vec<&'static Kernel>, String> {
@@ -407,20 +421,26 @@ pub fn run(prepared: &Prepared, opts: &RunOptions) -> Result<RunOutcome, String>
         }
     }
 
-    // Phase 2: run the misses on the pool. Each worker serialises its
+    // Phase 2: run the misses on the pool. Each worker checks the stop
+    // flag before starting its cell; past that point it serialises its
     // event, stores it, and publishes through the ordered-prefix state.
+    // A skipped cell yields `None` — nothing simulated, cached, or
+    // published.
     let misses: Vec<usize> = (0..n).filter(|&i| hit_lines[i].is_none()).collect();
     let (computed, timings) = par_map_timed_observed(
         prepared.jobs,
         &misses,
         |_, &i| {
+            if opts.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                return None;
+            }
             let ev = (prepared.cells[i].compute)();
             let line = ev.to_json(Timing::Strip).render();
             if let Some(cache) = opts.cache {
                 lock(cache).put(prepared.cells[i].spec.digest(), &line);
             }
             lock(&publisher).fill(i, line.clone());
-            (ev, line)
+            Some((ev, line))
         },
         |j, _| {
             if let Some(p) = opts.progress {
@@ -429,16 +449,25 @@ pub fn run(prepared: &Prepared, opts: &RunOptions) -> Result<RunOutcome, String>
         },
     );
 
-    // Phase 3: assemble ordered events and lines.
+    // Phase 3: assemble ordered events and lines from the completed cells
+    // (hits plus computed misses). Note the published stream stays a
+    // contiguous index prefix — a skipped cell blocks later lines from
+    // the sink even if they are present here.
     let mut events: Vec<Option<CellEvent>> = vec![None; n];
     let mut lines: Vec<Option<String>> = hit_lines;
-    for ((&i, (ev, line)), t) in misses.iter().zip(computed).zip(&timings) {
-        events[i] = Some(CellEvent { wall_us: Some(duration_us(*t)), ..ev });
-        lines[i] = Some(line);
+    let mut skipped = 0u64;
+    for ((&i, slot), t) in misses.iter().zip(computed).zip(&timings) {
+        match slot {
+            Some((ev, line)) => {
+                events[i] = Some(CellEvent { wall_us: Some(duration_us(*t)), ..ev });
+                lines[i] = Some(line);
+            }
+            None => skipped += 1,
+        }
     }
     for (i, line) in lines.iter().enumerate() {
         if events[i].is_none() {
-            let line = line.as_ref().expect("every cell is a hit or a miss");
+            let Some(line) = line.as_ref() else { continue };
             let parsed = safedm_obs::events::parse_jsonl(line)
                 .map_err(|e| format!("corrupt cache entry for cell {i}: {e}"))?;
             let [ev]: [CellEvent; 1] = parsed
@@ -447,16 +476,23 @@ pub fn run(prepared: &Prepared, opts: &RunOptions) -> Result<RunOutcome, String>
             events[i] = Some(ev);
         }
     }
-    let events: Vec<CellEvent> = events.into_iter().map(|e| e.expect("filled above")).collect();
-    let lines: Vec<String> = lines.into_iter().map(|l| l.expect("filled above")).collect();
+    let (events, lines): (Vec<CellEvent>, Vec<String>) = events
+        .into_iter()
+        .zip(lines)
+        .filter_map(|pair| match pair {
+            (Some(ev), Some(line)) => Some((ev, line)),
+            _ => None,
+        })
+        .unzip();
 
-    // Misses and inserts are this run's own cells by construction;
-    // evictions are a cache-wide property (see `ResultCache::stats`), not
-    // attributable to one campaign, so they stay 0 here.
-    run_stats.misses = misses.len() as u64;
-    run_stats.inserts = if opts.cache.is_some() { misses.len() as u64 } else { 0 };
+    // Misses and inserts are this run's own computed cells by
+    // construction; evictions are a cache-wide property (see
+    // `ResultCache::stats`), not attributable to one campaign, so they
+    // stay 0 here.
+    run_stats.misses = misses.len() as u64 - skipped;
+    run_stats.inserts = if opts.cache.is_some() { run_stats.misses } else { 0 };
     let all_ok = events.iter().all(|e| e.ok);
-    Ok(RunOutcome { events, lines, cache: run_stats, all_ok })
+    Ok(RunOutcome { events, lines, cache: run_stats, all_ok, canceled: skipped > 0 })
 }
 
 /// [`prepare`] + [`run`] in one call.
@@ -522,6 +558,32 @@ mod tests {
         let seen = lock(&seen).clone();
         assert_eq!(seen.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 1]);
         assert_eq!(seen.into_iter().map(|(_, l)| l).collect::<Vec<_>>(), out.lines);
+    }
+
+    #[test]
+    fn a_raised_stop_flag_skips_every_pending_cell() {
+        let stop = AtomicBool::new(true);
+        let out =
+            run_spec(&small_spec(), &RunOptions { stop: Some(&stop), ..RunOptions::default() })
+                .unwrap();
+        assert!(out.canceled);
+        assert!(out.events.is_empty() && out.lines.is_empty());
+        assert_eq!(out.cache.misses, 0);
+        assert_eq!(out.cache.inserts, 0);
+
+        // Cache hits still replay under a raised flag: they cost no
+        // simulation, so cancellation only skips the pending work.
+        let cache = Mutex::new(ResultCache::new(64));
+        let opts = RunOptions { cache: Some(&cache), ..RunOptions::default() };
+        let warm = run_spec(&small_spec(), &opts).unwrap();
+        assert!(!warm.canceled);
+        let replay = run_spec(
+            &small_spec(),
+            &RunOptions { cache: Some(&cache), stop: Some(&stop), ..RunOptions::default() },
+        )
+        .unwrap();
+        assert!(!replay.canceled, "no pending cell was skipped");
+        assert_eq!(replay.lines, warm.lines);
     }
 
     #[test]

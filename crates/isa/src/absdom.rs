@@ -77,6 +77,52 @@ pub fn abs_transfer<V: AbsValue>(
     Some((rd, val))
 }
 
+/// Abstract effect observed at a call's fall-through point (the abstract
+/// *return edge*): every register the callee may write (`clobbers`, a 32-bit
+/// mask with bit *i* = `x{i}`) collapses to [`AbsValue::top`].
+///
+/// Two refinements keep interprocedural analysis useful:
+///
+/// * a callee whose net stack adjustment is statically known transfers
+///   `sp' = sp + sp_delta` precisely instead of losing the frame base (and a
+///   provably balanced callee, `sp_delta == Some(0)`, leaves `sp` untouched
+///   even when it writes `sp` internally);
+/// * a callee known to return via `ret` leaves `ra` holding the call's link
+///   value, so the caller's `ra` fact survives (`ra_restored`).
+///
+/// `read` supplies the pre-state (the caller's state at the call); `write`
+/// receives the updated values. `x0` is never written.
+pub fn call_return_transfer<V: AbsValue>(
+    clobbers: u32,
+    sp_delta: Option<i64>,
+    ra_restored: bool,
+    read: impl Fn(Reg) -> V,
+    mut write: impl FnMut(Reg, V),
+) {
+    for r in Reg::all().skip(1) {
+        if r == Reg::SP {
+            match sp_delta {
+                Some(0) => {} // provably balanced: the caller's sp fact holds
+                Some(d) => {
+                    write(r, V::alu(crate::AluKind::Add, &read(r), &V::constant(d as u64)));
+                }
+                None if clobbers & r.bit() != 0 => write(r, V::top()),
+                None => {}
+            }
+            continue;
+        }
+        if r == Reg::RA && ra_restored {
+            // The callee returned through `jalr x0, ra`: control reaching the
+            // fall-through implies `ra` still holds the link value the call
+            // wrote, which the caller-side transfer already recorded.
+            continue;
+        }
+        if clobbers & r.bit() != 0 {
+            write(r, V::top());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +164,43 @@ mod tests {
         let addi = Inst::OpImm { kind: AluKind::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 7 };
         let (_, v) = abs_transfer::<Concrete>(&addi, 0, |_| panic!("x0 must not be read")).unwrap();
         assert_eq!(v.0, 7);
+    }
+
+    #[test]
+    fn call_return_havocs_clobbers_and_transfers_sp() {
+        let mut state: [Concrete; 32] = std::array::from_fn(|i| Concrete(0x1000 + i as u64));
+        // Callee clobbers t0 and sp, nets -0 on the stack... use a real delta.
+        let clobbers = Reg::T0.bit() | Reg::SP.bit() | Reg::RA.bit();
+        let pre = state;
+        call_return_transfer(
+            clobbers,
+            Some(-16),
+            true,
+            |r: Reg| pre[r.index() as usize],
+            |r, v: Concrete| state[r.index() as usize] = v,
+        );
+        // t0 havocked to top (Concrete's degenerate top is 0).
+        assert_eq!(state[Reg::T0.index() as usize], Concrete(0));
+        // sp transferred precisely: old + (-16).
+        assert_eq!(
+            state[Reg::SP.index() as usize],
+            Concrete((0x1000 + 2u64).wrapping_add(-16i64 as u64))
+        );
+        // ra survives a returning callee; an untouched register is intact.
+        assert_eq!(state[Reg::RA.index() as usize], Concrete(0x1001));
+        assert_eq!(state[Reg::A0.index() as usize], Concrete(0x100a));
+
+        // A balanced callee (delta 0) keeps the caller's sp fact.
+        let mut state2: [Concrete; 32] = std::array::from_fn(|i| Concrete(i as u64));
+        let pre2 = state2;
+        call_return_transfer(
+            Reg::SP.bit(),
+            Some(0),
+            false,
+            |r: Reg| pre2[r.index() as usize],
+            |r, v: Concrete| state2[r.index() as usize] = v,
+        );
+        assert_eq!(state2[Reg::SP.index() as usize], Concrete(2));
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod inst;
 mod reg;
 mod semantics;
 
-pub use absdom::{abs_transfer, AbsValue};
+pub use absdom::{abs_transfer, call_return_transfer, AbsValue};
 pub use decode::decode;
 pub use encode::encode;
 pub use error::{DecodeError, EncodeError};

@@ -14,7 +14,8 @@
 //! ```
 //!
 //! The client is deliberately thin: typed request/response structs
-//! ([`Submission`], [`CampaignResult`], [`Health`]), one TCP connection
+//! ([`Submission`], [`CampaignResult`], [`CancelAck`], [`Health`]), one
+//! TCP connection
 //! per request (`Connection: close`, matching the server), retry with
 //! exponential backoff on connect failures and 5xx responses, and a
 //! per-call deadline that bounds connect, reads and the whole event
@@ -86,10 +87,20 @@ pub struct Submission {
     pub spec_digest: String,
 }
 
+/// A `DELETE /v1/campaigns/{id}` acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CancelAck {
+    /// The campaign id the cancellation targeted.
+    pub id: String,
+    /// `canceling` while the runner drains, or the final status
+    /// (`done`/`failed`/`canceled`) when the campaign already finished.
+    pub status: String,
+}
+
 /// A `GET /v1/campaigns/{id}/result`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignResult {
-    /// `running`, `done` or `failed`.
+    /// `running`, `done`, `canceled` or `failed`.
     pub status: String,
     /// Total cells.
     pub cells: u64,
@@ -247,6 +258,24 @@ impl Client {
             cache_misses: uint_field(cache, "misses")?,
             error: v.get("error").and_then(|e| e.as_str().map(str::to_owned)),
         })
+    }
+
+    /// `DELETE /v1/campaigns/{id}`: asks the server to cancel a running
+    /// campaign. Cancellation is cooperative — cells already simulating
+    /// finish, pending cells are skipped — and idempotent: canceling a
+    /// finished campaign just reports its final status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdkError::Http`] with status 404 for unknown campaigns.
+    pub fn cancel(&self, id: &str) -> Result<CancelAck, SdkError> {
+        let started = self.start();
+        let path = format!("/v1/campaigns/{id}");
+        let (status, v) = self.request_json("DELETE", &path, None, started)?;
+        if status != 202 {
+            return Err(SdkError::Protocol(format!("expected 202, got {status}")));
+        }
+        Ok(CancelAck { id: str_field(&v, "id")?, status: str_field(&v, "status")? })
     }
 
     /// Submit + stream + result, in one call.

@@ -252,13 +252,27 @@ fn emit_twin_harness(
     }
 }
 
+/// Everything [`twin_asms`] derives besides the two builders: the item
+/// association, the transform report, and the two overhead figures — the
+/// *retired* overhead (extras + fix-up, each executing exactly once) and the
+/// *slot* overhead (retired plus never-executed layout filler), which is the
+/// pair prover's tiling budget.
+struct TwinParts {
+    assoc: Vec<(usize, usize)>,
+    report: TransformReport,
+    retired_overhead: u64,
+    slot_overhead: u64,
+    /// Count of items the variant harness prepends over the original
+    /// (frame-pad `addi` + sled nops), for source-index bookkeeping.
+    extra: usize,
+    /// Item count of the `li sp` prologue prefix shared by both builders.
+    n_li: usize,
+}
+
 /// Builds the original and transformed-variant builders for `kernel`, plus
 /// the item association `(orig_item, variant_item)` and the variant's
-/// statically known retired-instruction overhead.
-fn twin_asms(
-    kernel: &Kernel,
-    cfg: &TwinConfig,
-) -> (Asm, Asm, Vec<(usize, usize)>, TransformReport, u64) {
+/// statically known overhead accounting.
+fn twin_asms(kernel: &Kernel, cfg: &TwinConfig) -> (Asm, Asm, TwinParts) {
     let t = &cfg.transform;
     let mut ov = Asm::new();
     emit_twin_harness(&mut ov, kernel, cfg.stack, None, true);
@@ -277,7 +291,9 @@ fn twin_asms(
 
     // Item association: the two harnesses issue the same builder calls
     // except for the variant's inserted prologue extras (right after the
-    // `li sp` expansion) and the appended fix-up/ebreak tail.
+    // `li sp` expansion), the layout filler the transform may insert
+    // (`usize::MAX` in the item permutation — present in the image but
+    // never a correspondence point), and the appended fix-up/ebreak tail.
     let n_li = {
         let mut probe = Asm::new();
         probe.li(Reg::SP, STACK_TOP as i64);
@@ -286,13 +302,16 @@ fn twin_asms(
     let extra = usize::from(t.frame_pad > 0) + t.sled_len as usize;
     assert_eq!(
         report.item_perm.len(),
-        ov.item_count() - 1 + extra,
+        ov.item_count() - 1 + extra + report.fillers,
         "twin builders drifted apart ({})",
         kernel.name
     );
-    let mut inv = vec![0usize; report.item_perm.len()];
+    let src_items = ov.item_count() - 1 + extra;
+    let mut inv = vec![usize::MAX; src_items];
     for (new, &old) in report.item_perm.iter().enumerate() {
-        inv[old] = new;
+        if old != usize::MAX {
+            inv[old] = new;
+        }
     }
     let ov_len = ov.item_count();
     let mut assoc = Vec::with_capacity(ov_len);
@@ -302,8 +321,10 @@ fn twin_asms(
     }
     assoc.push((ov_len - 1, tv.item_count() - 1)); // ebreak ↔ ebreak
 
-    let overhead = extra as u64 + fixup;
-    (ov, tv, assoc, report, overhead)
+    let retired_overhead = extra as u64 + fixup;
+    let slot_overhead = retired_overhead + report.fillers as u64;
+    let parts = TwinParts { assoc, report, retired_overhead, slot_overhead, extra, n_li };
+    (ov, tv, parts)
 }
 
 /// Builds the standalone original/variant pair for `kernel` (both linked at
@@ -312,12 +333,12 @@ fn twin_asms(
 /// renaming bijection.
 #[must_use]
 pub fn build_twin_pair(kernel: &Kernel, cfg: &TwinConfig) -> TwinPair {
-    let (ov, tv, _assoc, report, overhead_insts) = twin_asms(kernel, cfg);
+    let (ov, tv, parts) = twin_asms(kernel, cfg);
     let t_max = ov.text_offset().max(tv.text_offset());
     let data_base = (TEXT_BASE + t_max + 63) & !63;
     let orig = ov.link_with_data_base(TEXT_BASE, data_base).expect("twin original must assemble");
     let var = tv.link_with_data_base(TEXT_BASE, data_base).expect("twin variant must assemble");
-    TwinPair { orig, var, report, overhead_insts }
+    TwinPair { orig, var, report: parts.report, overhead_insts: parts.retired_overhead }
 }
 
 /// Builds the composed twin binary for `kernel`: hart 0 runs the original
@@ -329,7 +350,8 @@ pub fn build_twin_pair(kernel: &Kernel, cfg: &TwinConfig) -> TwinPair {
 /// dispatcher's `jal` reach (±1 MiB) — both construction bugs.
 #[must_use]
 pub fn build_twin_program(kernel: &Kernel, cfg: &TwinConfig) -> TwinProgram {
-    let (ov, tv, assoc, report, overhead) = twin_asms(kernel, cfg);
+    let (ov, tv, parts) = twin_asms(kernel, cfg);
+    let TwinParts { assoc, report, slot_overhead, extra, n_li, .. } = parts;
     let b1 = TEXT_BASE + 64;
     let b2 = (b1 + ov.text_offset() + 63) & !63;
     let text_end = b2 + tv.text_offset();
@@ -384,7 +406,17 @@ pub fn build_twin_program(kernel: &Kernel, cfg: &TwinConfig) -> TwinProgram {
         data: orig.data.clone(),
         symbols,
     };
-    let map = pair_map(&ov, &tv, &assoc, b1, b2, report.rename, overhead);
+    let mut map = pair_map(&ov, &tv, &assoc, b1, b2, report.rename, slot_overhead);
+    // Frame-shuffled points match under the Frame discipline: map each
+    // rewritten variant source item back to its original counterpart
+    // (harness extras have none and stay uncovered).
+    safedm_asm::apply_frame_map(&mut map, &ov, &report, b1, |src| {
+        if src < n_li {
+            Some(src)
+        } else {
+            (src >= n_li + extra).then(|| src - extra)
+        }
+    });
     TwinProgram { program, map, report, orig_entry: b1, var_entry: b2 }
 }
 

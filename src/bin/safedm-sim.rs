@@ -24,6 +24,9 @@
 //!            [--vcd out.vcd [--vcd-cycles N]] [--trace N] [--json]
 //! safedm-sim --kernel bitcount [...]
 //! safedm-sim analyze <program.s | --kernel NAME> [--stagger N] [--gate]
+//!            [--deny IDS] [--warn IDS] [--allow IDS]
+//!            [--sarif FILE] [--baseline FILE] [--write-baseline FILE]
+//! safedm-sim analyze --kernel all [--sarif FILE] [--baseline FILE]
 //! safedm-sim analyze --prove --pair --kernel <NAME | all> [--seed S] [--level L]
 //! safedm-sim transform <NAME | all> [--seed S] [--level L] [--verify]
 //! safedm-sim bench [--out FILE] [--date YYYY-MM-DD] [--quick]
@@ -73,7 +76,8 @@
 
 use std::process::ExitCode;
 
-use safedm::analysis::{analyze, AnalysisConfig};
+use safedm::analysis::baseline::{Baseline, BaselineFilter};
+use safedm::analysis::{analyze, sarif, AnalysisConfig, Diagnostic, LintLevels, Severity};
 use safedm::asm::transform::TransformConfig;
 use safedm::asm::Program;
 use safedm::campaign::spec::{CampaignSpec, Protocol};
@@ -104,6 +108,8 @@ fn usage() -> &'static str {
      \x20      safedm-sim analyze <program.s | --kernel NAME | --kernel all>\n\
      \x20      [--base ADDR] [--stagger NOPS] [--gate] [--prove] [--max-cycles N]\n\
      \x20      [--pair [--seed S] [--level 0..3]]\n\
+     \x20      [--deny IDS] [--warn IDS] [--allow IDS]\n\
+     \x20      [--sarif FILE] [--baseline FILE] [--write-baseline FILE]\n\
      \x20      safedm-sim transform <NAME | all | --kernel NAME>\n\
      \x20      [--seed S] [--level 0..3] [--verify]\n\
      \x20      safedm-sim bench\n\
@@ -248,6 +254,110 @@ fn twin_config(args: &[String]) -> Result<TwinConfig, String> {
     Ok(TwinConfig { transform: TransformConfig::level(seed, level as u8), ..TwinConfig::default() })
 }
 
+/// Parses the per-lint severity overrides (`--deny/--warn/--allow`, each a
+/// comma-separated list of rule ids).
+fn lint_levels(args: &[String]) -> Result<LintLevels, String> {
+    LintLevels::from_args(
+        args::value(args, "--allow").as_deref(),
+        args::value(args, "--warn").as_deref(),
+        args::value(args, "--deny").as_deref(),
+    )
+}
+
+/// The shared tail of the lint driver outputs:
+///
+/// * `--write-baseline FILE` records the full (pre-suppression) finding set
+///   as a committed acceptance file;
+/// * `--baseline FILE` drops every accepted finding, warns about stale
+///   entries, and turns the run into a **gate**: any surviving
+///   error-severity finding fails it;
+/// * `--sarif FILE` writes the post-suppression findings as a SARIF 2.1.0
+///   log.
+fn lint_outputs(args: &[String], mut runs: Vec<(String, Vec<Diagnostic>)>) -> Result<(), String> {
+    if let Some(path) = args::value(args, "--write-baseline") {
+        let b = Baseline::from_findings(&runs);
+        std::fs::write(&path, b.render()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path} ({} entries)", b.entries.len());
+    }
+    let gated = if let Some(path) = args::value(args, "--baseline") {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut filter = BaselineFilter::new(Baseline::parse(&text)?);
+        let mut suppressed = 0usize;
+        for (name, diags) in &mut runs {
+            let before = diags.len();
+            *diags = filter.suppress(name, std::mem::take(diags));
+            suppressed += before - diags.len();
+        }
+        for e in filter.stale() {
+            eprintln!(
+                "warning: stale baseline entry: {} {} at {:#x} no longer fires \
+                 (regenerate with --write-baseline)",
+                e.program, e.rule, e.pc
+            );
+        }
+        eprintln!("baseline {path}: {suppressed} accepted finding(s) suppressed");
+        true
+    } else {
+        false
+    };
+    if let Some(path) = args::value(args, "--sarif") {
+        std::fs::write(&path, sarif::to_sarif(&runs).render())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if gated {
+        let mut errors = 0usize;
+        for (name, diags) in &runs {
+            for d in diags.iter().filter(|d| d.severity == Severity::Error) {
+                eprintln!(
+                    "lint gate: NEW error[{}] in {name} at {}: {}",
+                    d.code, d.span, d.message
+                );
+                errors += 1;
+            }
+        }
+        if errors > 0 {
+            return Err(format!(
+                "lint gate: {errors} error finding(s) not covered by the baseline"
+            ));
+        }
+        println!("lint gate: clean against the baseline");
+    }
+    Ok(())
+}
+
+/// The `analyze --kernel all` lint sweep (no `--prove`): run the registry
+/// lints over every built-in kernel, print one summary line each, and feed
+/// the combined findings through [`lint_outputs`] — this is the CI lint
+/// gate (`--sarif` + `--baseline ci/lint-baseline.json`).
+fn run_lint_sweep(args: &[String]) -> Result<(), String> {
+    let stagger_nops = args::opt_u64(args, "--stagger")?;
+    let levels = lint_levels(args)?;
+    let mut runs: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    for k in kernels::all() {
+        let stagger =
+            stagger_nops.map(|nops| StaggerConfig { nops: nops as usize, delayed_core: 1 });
+        let phase = if stagger.is_some() { -1 } else { 0 };
+        let prog = build_kernel_program(k, &HarnessConfig { stagger, ..HarnessConfig::default() });
+        let cfg = AnalysisConfig {
+            stagger_nops,
+            stagger_phase: phase,
+            levels: levels.clone(),
+            ..AnalysisConfig::default()
+        };
+        let report = analyze(&prog, &cfg);
+        runs.push((k.name.to_owned(), report.diagnostics));
+    }
+    println!("lint sweep over {} kernels:", runs.len());
+    for (name, diags) in &runs {
+        let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+        let warnings = diags.iter().filter(|d| d.severity == Severity::Warning).count();
+        println!("  {name:<14} {errors:>3} error(s) {warnings:>3} warning(s)");
+    }
+    lint_outputs(args, runs)
+}
+
 /// The `analyze --prove --pair` path: build the composed diversity twin of
 /// a kernel, lint it in pair mode, and run the two-program relational
 /// prover, which certifies encoding-disjoint loop pairs diverse at
@@ -318,7 +428,9 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
 
     if args::value(args, "--kernel").as_deref() == Some("all") {
         if !prove_mode {
-            return Err("--kernel all is only supported with --prove".to_owned());
+            // Lint sweep: the registry lints over every kernel, with the
+            // SARIF/baseline gate tail. This is what CI drives.
+            return run_lint_sweep(args);
         }
         for k in kernels::all() {
             let stagger =
@@ -356,16 +468,24 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
         (path.clone(), prog, 0)
     };
 
-    let cfg = AnalysisConfig { stagger_nops, stagger_phase: phase, ..AnalysisConfig::default() };
+    let cfg = AnalysisConfig {
+        stagger_nops,
+        stagger_phase: phase,
+        levels: lint_levels(args)?,
+        ..AnalysisConfig::default()
+    };
     let report = analyze(&prog, &cfg);
     println!("static diversity analysis of `{name}`");
     print!("{}", report.render());
 
+    let mut findings = report.diagnostics.clone();
     if prove_mode {
         let proof = safedm::analysis::prove(&report.program, &report.cfg, &cfg);
         println!("\nabstract-interpretation prover:");
         print!("{}", proof.render(&report.program, cfg.snippet_lines));
+        findings.extend(cfg.levels.apply(proof.diagnostics.clone()));
     }
+    lint_outputs(args, vec![(name.clone(), findings)])?;
 
     if args::flag(args, "--gate") {
         println!("\ncross-validating against the runtime monitor (stagger 0) ...");

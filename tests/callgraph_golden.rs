@@ -1,0 +1,314 @@
+//! Golden-file pinning and property tests of the whole-program call graph
+//! and the interprocedural summaries.
+//!
+//! One call-graph section (functions, call sites, resolution kinds) plus
+//! one summary line per discovered function, for every TACLe kernel image
+//! — and the same call-graph sweep over the transformed twin images, so a
+//! transform change that perturbs function discovery shows up as a diff.
+//! Regenerate deliberately with
+//! `BLESS_GOLDEN=1 cargo test --test callgraph_golden`.
+//!
+//! The property tests drive generated leaf functions through the summary
+//! computation against an independent oracle (the generator knows exactly
+//! which registers each op reads and writes), and check that a loop
+//! analyzed through a call composes to the same verdict as its hand-inlined
+//! equivalent.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use safedm::analysis::{
+    prove, AnalysisConfig, CallTarget, Cfg, ConstProp, DecodedProgram, Interproc, Verdict,
+    ALL_WRITABLE,
+};
+use safedm::asm::Asm;
+use safedm::isa::Reg;
+use safedm::tacle::{build_kernel_program, build_twin_program, kernels, HarnessConfig, TwinConfig};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n(run `BLESS_GOLDEN=1 cargo test --test \
+             callgraph_golden` to create it)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden fixture\n(if the change is intentional, regenerate with \
+         `BLESS_GOLDEN=1 cargo test --test callgraph_golden`)"
+    );
+}
+
+fn interproc_of(prog: &safedm::asm::Program) -> (DecodedProgram, Cfg, Interproc) {
+    let p = DecodedProgram::from_program(prog);
+    let c = Cfg::build(&p);
+    let cp = ConstProp::compute(&p, &c);
+    let ipo = Interproc::compute(&p, &c, &cp);
+    (p, c, ipo)
+}
+
+#[test]
+fn kernel_callgraphs_and_summaries_match_golden() {
+    let mut out = String::new();
+    for k in kernels::all() {
+        let prog = build_kernel_program(k, &HarnessConfig::default());
+        let (_, _, ipo) = interproc_of(&prog);
+        let _ = writeln!(out, "== {}", k.name);
+        out.push_str(&ipo.callgraph.render());
+        out.push_str(&ipo.summaries.render());
+    }
+    check_golden("callgraph.txt", &out);
+}
+
+#[test]
+fn twin_image_callgraphs_match_golden() {
+    let mut out = String::new();
+    for k in kernels::all() {
+        let tw = build_twin_program(k, &TwinConfig::default());
+        let (_, _, ipo) = interproc_of(&tw.program);
+        let _ = writeln!(out, "== {}", k.name);
+        out.push_str(&ipo.callgraph.render());
+    }
+    check_golden("callgraph_twin.txt", &out);
+}
+
+#[test]
+fn callgraph_invariants_hold_across_the_suite() {
+    for k in kernels::all() {
+        let prog = build_kernel_program(k, &HarnessConfig::default());
+        let (_, _, ipo) = interproc_of(&prog);
+        let g = &ipo.callgraph;
+        assert_eq!(
+            ipo.summaries.list.len(),
+            g.functions.len(),
+            "{}: summaries parallel the function table",
+            k.name
+        );
+        // The SCC list is a partition of the functions, callee-first:
+        // every resolved cross-component call goes to an earlier component.
+        let mut seen = vec![false; g.functions.len()];
+        for comp in &g.sccs {
+            for &f in comp {
+                assert!(!seen[f], "{}: function in two components", k.name);
+                seen[f] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{}: component list misses a function", k.name);
+        for s in &g.sites {
+            if let (Some(caller), Some(callee)) = (s.caller, s.callee) {
+                let (cs, es) = (g.functions[caller].scc, g.functions[callee].scc);
+                assert!(
+                    es <= cs,
+                    "{}: call @{:#x} goes from component {cs} to later component {es}",
+                    k.name,
+                    s.pc
+                );
+            }
+        }
+        // Every unresolved site composes to the worst-case effect.
+        for s in &g.sites {
+            if s.target == CallTarget::Unresolved {
+                let eff = ipo.effect_for_slot(s.slot);
+                assert_eq!(eff.clobbers, ALL_WRITABLE);
+                assert!(!eff.ra_restored && !eff.csr_free);
+            }
+        }
+    }
+}
+
+#[test]
+fn unresolved_indirect_callers_still_prove_without_certificates() {
+    // A loop around a call whose target comes out of memory: the analyzer
+    // must neither resolve it nor certify the loop, but still terminate
+    // with a sound (unknown) verdict.
+    let mut a = Asm::new();
+    let loop_top = a.new_label("loop");
+    a.li(Reg::T1, 8);
+    a.bind(loop_top).unwrap();
+    a.ld(Reg::T0, 0, Reg::SP);
+    a.jalr(Reg::RA, Reg::T0, 0);
+    a.addi(Reg::T1, Reg::T1, -1);
+    a.bnez(Reg::T1, loop_top);
+    a.ebreak();
+    let prog = a.link(0x8000_0000).unwrap();
+    let (p, c, ipo) = interproc_of(&prog);
+    assert_eq!(ipo.callgraph.unresolved(), 1, "{}", ipo.callgraph.render());
+    let report = prove(&p, &c, &AnalysisConfig::default());
+    let cert = report.certificates.iter().find(|ct| ct.body_len.is_some() || ct.witness.is_some());
+    // Whatever shape the certificate takes, the loop through the unknown
+    // callee must not be proved diverse.
+    for ct in &report.certificates {
+        assert_ne!(ct.verdict, Verdict::ProvedDiverse, "{}", ct.summary());
+    }
+    assert!(cert.is_some() || report.certificates.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+/// One generated leaf-body op. The generator is its own oracle: it knows
+/// the exact def/use sets without consulting the ISA layer under test.
+#[derive(Debug, Clone, Copy)]
+enum LeafOp {
+    /// `addi rd, x0, imm`
+    Li { rd: usize, imm: i64 },
+    /// `add rd, rs1, rs2`
+    Add { rd: usize, rs1: usize, rs2: usize },
+    /// `xor rd, rs1, rs2`
+    Xor { rd: usize, rs1: usize, rs2: usize },
+}
+
+/// The scratch registers generated bodies are allowed to touch.
+const SCRATCH: [Reg; 3] = [Reg::T2, Reg::T3, Reg::T4];
+
+fn emit(a: &mut Asm, op: LeafOp) {
+    match op {
+        LeafOp::Li { rd, imm } => a.li(SCRATCH[rd], imm),
+        LeafOp::Add { rd, rs1, rs2 } => a.add(SCRATCH[rd], SCRATCH[rs1], SCRATCH[rs2]),
+        LeafOp::Xor { rd, rs1, rs2 } => a.xor(SCRATCH[rd], SCRATCH[rs1], SCRATCH[rs2]),
+    };
+}
+
+/// A short leaf body where every source register was defined by an earlier
+/// op of the same body (the first op is always a `li`), so every value is
+/// iteration-invariant by construction.
+fn leaf_body() -> impl Strategy<Value = Vec<LeafOp>> {
+    let first = (0usize..3, -512i64..512).prop_map(|(rd, imm)| LeafOp::Li { rd, imm });
+    (
+        first,
+        proptest::collection::vec((0usize..3, 0usize..3, 0usize..3, -512i64..512, 0u8..3), 0..5),
+    )
+        .prop_map(|(first, rest)| {
+            let mut ops = vec![first];
+            let mut defined = vec![match first {
+                LeafOp::Li { rd, .. } => rd,
+                _ => unreachable!(),
+            }];
+            for (rd, s1, s2, imm, kind) in rest {
+                // Clamp sources onto already-defined registers.
+                let rs1 = defined[s1 % defined.len()];
+                let rs2 = defined[s2 % defined.len()];
+                let op = match kind {
+                    0 => LeafOp::Li { rd, imm },
+                    1 => LeafOp::Add { rd, rs1, rs2 },
+                    _ => LeafOp::Xor { rd, rs1, rs2 },
+                };
+                ops.push(op);
+                if !defined.contains(&rd) {
+                    defined.push(rd);
+                }
+            }
+            ops
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The computed leaf summary is sound against the generator's own
+    /// def/use bookkeeping: clobbers cover exactly the written scratch
+    /// registers, the instruction count is exact, the frame is balanced,
+    /// and the body is composable.
+    #[test]
+    fn leaf_summaries_are_sound_for_generated_bodies(ops in leaf_body()) {
+        let mut a = Asm::new();
+        let leaf = a.new_label("leaf");
+        a.call(leaf);
+        a.ebreak();
+        a.bind(leaf).unwrap();
+        for &op in &ops {
+            emit(&mut a, op);
+        }
+        a.ret();
+        let prog = a.link(0x8000_0000).unwrap();
+        let (_, _, ipo) = interproc_of(&prog);
+        let site = &ipo.callgraph.sites[0];
+        let s = ipo.summary_for_slot(site.slot).expect("resolved leaf summary");
+
+        // Oracle masks from the generator's knowledge of each op.
+        let mut written = 0u32;
+        let mut read = 0u32;
+        for &op in &ops {
+            match op {
+                LeafOp::Li { rd, .. } => written |= 1 << SCRATCH[rd].index(),
+                LeafOp::Add { rd, rs1, rs2 } | LeafOp::Xor { rd, rs1, rs2 } => {
+                    read |= (1 << SCRATCH[rs1].index()) | (1 << SCRATCH[rs2].index());
+                    written |= 1 << SCRATCH[rd].index();
+                }
+            }
+        }
+        let scratch_mask: u32 =
+            SCRATCH.iter().map(|r| 1u32 << r.index()).fold(0, |m, b| m | b);
+        prop_assert_eq!(s.clobbers & scratch_mask, written, "summary: {}", s.render_line());
+        prop_assert_eq!(s.uses & scratch_mask & read, read, "summary: {}", s.render_line());
+        prop_assert_eq!(s.insts, Some(ops.len() as u64 + 1), "ops + ret");
+        prop_assert_eq!(s.sp_delta, Some(0));
+        prop_assert!(s.csr_free && !s.may_store && s.returns && !s.recursive);
+        prop_assert!(s.body.is_some(), "straight-line leaf is composable");
+    }
+
+    /// A counted loop whose body lives behind a call composes to the same
+    /// lockstep verdict as its hand-inlined equivalent, and the spliced
+    /// body length is the inlined length plus exactly the `jal`/`ret`
+    /// linkage pair.
+    #[test]
+    fn composed_loop_verdicts_agree_with_inlined_equivalents(ops in leaf_body()) {
+        let build = |inline: bool| {
+            let mut a = Asm::new();
+            let top = a.new_label("top");
+            let leaf = a.new_label("leaf");
+            a.li(Reg::T1, 16);
+            a.bind(top).unwrap();
+            if inline {
+                for &op in &ops {
+                    emit(&mut a, op);
+                }
+            } else {
+                a.call(leaf);
+            }
+            a.addi(Reg::T1, Reg::T1, -1);
+            a.bnez(Reg::T1, top);
+            a.ebreak();
+            if !inline {
+                a.bind(leaf).unwrap();
+                for &op in &ops {
+                    emit(&mut a, op);
+                }
+                a.ret();
+            }
+            a.link(0x8000_0000).unwrap()
+        };
+        let certify = |prog: &safedm::asm::Program| {
+            let p = DecodedProgram::from_program(prog);
+            let c = Cfg::build(&p);
+            let r = prove(&p, &c, &AnalysisConfig::default());
+            prop_assert_eq!(r.certificates.len(), 1, "one natural loop");
+            Ok(r.certificates[0].clone())
+        };
+        let composed = certify(&build(false))?;
+        let inlined = certify(&build(true))?;
+        prop_assert_eq!(
+            composed.verdict,
+            inlined.verdict,
+            "composed `{}` vs inlined `{}`",
+            composed.summary(),
+            inlined.summary()
+        );
+        if let (Some(cb), Some(ib)) = (composed.body_len, inlined.body_len) {
+            prop_assert_eq!(cb, ib + 2, "spliced stream adds jal + ret");
+        }
+        prop_assert_eq!(composed.body_len.is_some(), inlined.body_len.is_some());
+    }
+}

@@ -82,6 +82,63 @@ fn served_events_match_local_run_and_resubmission_is_all_cache_hits() {
 }
 
 #[test]
+fn cancellation_stops_pending_cells_and_is_idempotent() {
+    // A single-worker server so cells run strictly one at a time, and a
+    // 32-cell campaign so the cancel request has a real window to land in.
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+    let client = Client::new(addr).with_deadline(Duration::from_secs(300));
+
+    let spec = CampaignSpec {
+        protocol: Protocol::Grid,
+        kernels: vec!["fac".to_owned()],
+        staggers: vec![0],
+        runs: 32,
+        root_seed: Some(99),
+        engine: "cycle".to_owned(),
+        jobs: Some(1),
+        keep_timing: false,
+    };
+    let sub = client.submit(&spec).expect("submit");
+    let ack = client.cancel(&sub.id).expect("cancel");
+    assert_eq!(ack.id, sub.id);
+    assert!(
+        ["canceling", "canceled", "done"].contains(&ack.status.as_str()),
+        "unexpected ack status {}",
+        ack.status
+    );
+
+    // The stream still terminates cleanly, carrying only completed cells.
+    let lines = client.stream_events(&sub.id).expect("stream after cancel");
+    let result = client.result(&sub.id).expect("result after cancel");
+    assert!(result.ok, "completed cells still pass their self-check");
+    if result.status == "canceled" {
+        assert!(result.completed < 32, "a canceled run skipped at least one cell");
+    } else {
+        // The whole campaign may have outraced the cancel request.
+        assert_eq!(result.status, "done");
+        assert_eq!(result.completed, 32);
+    }
+    assert_eq!(lines.len() as u64, result.completed);
+
+    // Canceling a finished campaign reports its final status.
+    let again = client.cancel(&sub.id).expect("idempotent cancel");
+    assert_eq!(again.status, result.status);
+
+    // Unknown campaigns are a 404, like every other endpoint.
+    match client.cancel("c999999") {
+        Err(SdkError::Http { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+}
+
+#[test]
 fn invalid_specs_and_unknown_campaigns_are_client_errors() {
     let addr = spawn_server();
     let client = Client::new(addr).with_deadline(Duration::from_secs(60));
